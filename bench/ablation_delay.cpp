@@ -1,0 +1,133 @@
+// Ablation A9: delay-constrained anycast admission (Section 6 end to end).
+//
+// Sweeps the end-to-end deadline for flows admitted by the delay-aware DAC
+// (WFQ delay -> per-member bandwidth mapping). Tighter deadlines force
+// larger reservations — especially toward distant members — so acceptance
+// falls and traffic gravitates to near mirrors. The bench reports AP, the
+// mean reserved rate per admitted flow, and the near-member share.
+#include <functional>
+#include <iostream>
+
+#include "bench/bench_common.h"
+#include "src/core/delay_admission.h"
+
+namespace {
+
+using namespace anyqos;
+
+struct Outcome {
+  double ap = 0.0;
+  double mean_reserved_kbps = 0.0;
+  double near_member_share = 0.0;  // fraction pinned to each source's closest member
+};
+
+Outcome run(const sim::ExperimentModel& model, double lambda, double deadline_s,
+            const sim::RunControls& controls) {
+  const core::AnycastGroup group("g", model.group_members);
+  const net::RouteTable routes(model.topology, model.group_members);
+  net::BandwidthLedger ledger(model.topology, model.anycast_share);
+  signaling::MessageCounter counter;
+  signaling::ReservationProtocol rsvp(ledger, counter);
+  core::SchedulerModel scheduler;
+  scheduler.max_packet_bits = 1500.0 * 8.0;
+  scheduler.per_hop_latency_s = 0.004;
+
+  des::SeedSequence seeds(controls.seed);
+  des::Simulator simulator;
+  sim::TrafficModel traffic;
+  traffic.arrival_rate = lambda;
+  traffic.mean_holding_s = model.mean_holding_s;
+  traffic.flow_bandwidth_bps = model.flow_bandwidth_bps;
+  traffic.sources = model.sources;
+  sim::ArrivalProcess arrivals(traffic, seeds);
+  des::RandomStream selection = seeds.stream("selection");
+
+  std::vector<std::unique_ptr<core::DelayAdmissionController>> acs(
+      model.topology.router_count());
+  const auto ac_for = [&](net::NodeId s) -> core::DelayAdmissionController& {
+    if (acs[s] == nullptr) {
+      acs[s] = std::make_unique<core::DelayAdmissionController>(
+          s, group, routes, rsvp, scheduler,
+          std::make_unique<core::CounterRetrialPolicy>(2));
+    }
+    return *acs[s];
+  };
+
+  std::uint64_t offered = 0;
+  std::uint64_t admitted = 0;
+  std::uint64_t near_hits = 0;
+  double reserved_total = 0.0;
+  bool measuring = false;
+  std::function<void()> arrival = [&] {
+    simulator.schedule_in(arrivals.next_interarrival(), arrival);
+    core::DelayFlowRequest request;
+    request.source = arrivals.draw_source();
+    request.qos.min_bandwidth_bps = model.flow_bandwidth_bps;
+    request.qos.max_delay_s = deadline_s;
+    const core::DelayAdmissionDecision decision =
+        ac_for(request.source).admit(request, selection);
+    if (measuring) {
+      ++offered;
+      if (decision.admitted) {
+        ++admitted;
+        reserved_total += decision.reserved_bps;
+        if (*decision.destination_index == routes.shortest_destination(request.source)) {
+          ++near_hits;
+        }
+      }
+    }
+    if (decision.admitted) {
+      const core::DelayAdmissionDecision kept = decision;
+      auto& controller = ac_for(request.source);
+      simulator.schedule_in(arrivals.draw_holding(),
+                            [&controller, kept] { controller.release(kept); });
+    }
+  };
+  simulator.schedule_in(arrivals.next_interarrival(), arrival);
+  simulator.run_until(controls.warmup_s);
+  measuring = true;
+  simulator.run_until(controls.warmup_s + controls.measure_s);
+
+  Outcome outcome;
+  outcome.ap = offered == 0 ? 0.0 : static_cast<double>(admitted) / static_cast<double>(offered);
+  outcome.mean_reserved_kbps =
+      admitted == 0 ? 0.0 : reserved_total / static_cast<double>(admitted) / 1000.0;
+  outcome.near_member_share =
+      admitted == 0 ? 0.0 : static_cast<double>(near_hits) / static_cast<double>(admitted);
+  return outcome;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::CliFlags flags("ablation_delay", "deadline sweep for delay-aware DAC");
+  bench::add_run_flags(flags);
+  flags.add_double("lambda", 15.0, "arrival rate, requests/s");
+  flags.add_string("deadlines-ms", "1000,500,300,200,150,100",
+                   "comma-separated end-to-end deadlines (milliseconds)");
+  flags.parse(argc, argv);
+  if (flags.help_requested()) {
+    std::cout << flags.help_text();
+    return 0;
+  }
+  const sim::ExperimentModel model = sim::paper_model();
+  const sim::RunControls controls = bench::run_controls(flags);
+  const double lambda = flags.get_double("lambda");
+
+  util::TablePrinter table({"deadline (ms)", "AP", "mean reserved kbit/s",
+                            "nearest-member share"});
+  for (const std::string& field : util::split(flags.get_string("deadlines-ms"), ',')) {
+    const double deadline_ms = util::parse_double(field).value();
+    const Outcome outcome = run(model, lambda, deadline_ms / 1000.0, controls);
+    table.add_row({util::format_fixed(deadline_ms, 0), util::format_fixed(outcome.ap, 6),
+                   util::format_fixed(outcome.mean_reserved_kbps, 1),
+                   util::format_fixed(outcome.near_member_share, 4)});
+    std::cerr << "  deadline " << deadline_ms << " ms done\n";
+  }
+  std::cout << (flags.get_bool("csv") ? table.to_csv() : table.to_text());
+  std::cout << "\n(Ablation A9 at lambda = " << lambda
+            << ": tighter deadlines inflate per-flow reservations (hops x L / D),\n"
+            << "so AP falls and admitted flows concentrate on near mirrors — the\n"
+            << "delay/anycast coupling Section 6 sketches.)\n";
+  return 0;
+}

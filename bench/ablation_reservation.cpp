@@ -1,0 +1,40 @@
+// Ablation A3: sensitivity to the anycast bandwidth share.
+//
+// Section 5.1 reserves 20% of each 100 Mbit/s link for anycast flows. This
+// bench sweeps that share for <WD/D+H,2>: AP curves shift horizontally in
+// proportion to the share (capacity scaling), a useful sanity check that the
+// saturation points in Figures 3-6 are pure capacity effects.
+#include "bench/bench_common.h"
+
+int main(int argc, char** argv) {
+  using namespace anyqos;
+  util::CliFlags flags("ablation_reservation", "anycast-share sweep for <WD/D+H,2>");
+  bench::add_run_flags(flags);
+  flags.add_string("shares", "0.1,0.2,0.3,0.5", "comma-separated anycast shares in (0,1]");
+  flags.parse(argc, argv);
+  if (flags.help_requested()) {
+    std::cout << flags.help_text();
+    return 0;
+  }
+
+  std::vector<double> shares;
+  for (const std::string& field : util::split(flags.get_string("shares"), ',')) {
+    const auto value = util::parse_double(field);
+    util::require(value.has_value() && *value > 0.0 && *value <= 1.0,
+                  "--shares must be numbers in (0,1]");
+    shares.push_back(*value);
+  }
+
+  std::vector<bench::SystemColumn> systems;
+  for (const double share : shares) {
+    systems.push_back({"share=" + util::format_fixed(share, 2),
+                       [share](sim::SimulationConfig& config) {
+                         config.algorithm = core::SelectionAlgorithm::kDistanceHistory;
+                         config.max_tries = 2;
+                         config.anycast_share = share;
+                       }});
+  }
+  bench::run_figure(flags, "Ablation A3: AP of <WD/D+H,2> across anycast shares", systems,
+                    [](const sim::SimulationResult& r) { return r.admission_probability; });
+  return 0;
+}

@@ -1,0 +1,110 @@
+// Ablation A8: RSVP soft-state refresh overhead vs robustness.
+//
+// The paper's reservation messages are counted at setup/teardown only;
+// standard RSVP additionally refreshes every session periodically. This
+// bench sweeps the refresh interval and network loss rate over a population
+// of anycast sessions and reports the resulting signaling rate and the
+// probability a live flow is spuriously expired — the knob a deployment
+// actually has to tune.
+#include <iostream>
+
+#include "src/net/topologies.h"
+#include "src/sim/experiment.h"
+#include "src/signaling/soft_state.h"
+#include "src/util/cli.h"
+#include "src/util/strings.h"
+#include "src/util/table.h"
+
+namespace {
+
+using namespace anyqos;
+
+struct Outcome {
+  double refresh_messages_per_flow_second = 0.0;
+  double spurious_expiry_fraction = 0.0;
+};
+
+Outcome run(double refresh_interval, double loss, double horizon, std::uint64_t seed) {
+  const sim::ExperimentModel model = sim::paper_model();
+  net::BandwidthLedger ledger(model.topology, model.anycast_share);
+  signaling::MessageCounter counter;
+  signaling::ReservationProtocol rsvp(ledger, counter);
+  const net::RouteTable routes(model.topology, model.group_members);
+
+  des::SeedSequence seeds(seed);
+  des::Simulator simulator;
+  des::RandomStream arrivals = seeds.stream("arrivals");
+  des::RandomStream loss_rng = seeds.stream("loss");
+
+  signaling::SoftStateOptions options;
+  options.refresh_interval_s = refresh_interval;
+  options.lifetime_refreshes = 3;
+  options.refresh_loss_probability = loss;
+  signaling::SoftStateManager manager(simulator, ledger, counter, loss_rng, options);
+
+  // A fixed population of long-lived sessions: arrivals at 2/s for the first
+  // tenth of the horizon, all living until the end unless expired.
+  std::uint64_t installed = 0;
+  std::function<void()> arrival = [&] {
+    const net::NodeId source = model.sources[arrivals.uniform_index(model.sources.size())];
+    const std::size_t member = arrivals.uniform_index(model.group_members.size());
+    const net::Path& route = routes.route(source, member);
+    if (rsvp.reserve(route, model.flow_bandwidth_bps).admitted) {
+      manager.install(route, model.flow_bandwidth_bps);
+      ++installed;
+    }
+    if (simulator.now() < horizon / 10.0) {
+      simulator.schedule_in(arrivals.exponential(0.5), arrival);
+    }
+  };
+  simulator.schedule_in(0.0, arrival);
+  simulator.run_until(horizon);
+
+  Outcome outcome;
+  const double refresh_hops = static_cast<double>(
+      counter.by_kind(signaling::MessageKind::kPath) +
+      counter.by_kind(signaling::MessageKind::kResv));
+  outcome.refresh_messages_per_flow_second =
+      installed == 0 ? 0.0 : refresh_hops / static_cast<double>(installed) / horizon;
+  outcome.spurious_expiry_fraction =
+      installed == 0
+          ? 0.0
+          : static_cast<double>(manager.expired_count()) / static_cast<double>(installed);
+  return outcome;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::CliFlags flags("ablation_softstate", "RSVP refresh interval / loss sweep");
+  flags.add_double("horizon", 3'600.0, "simulated seconds");
+  flags.add_unsigned("seed", 1, "master RNG seed");
+  flags.add_bool("csv", false, "emit CSV");
+  flags.parse(argc, argv);
+  if (flags.help_requested()) {
+    std::cout << flags.help_text();
+    return 0;
+  }
+  const double horizon = flags.get_double("horizon");
+  const auto seed = flags.get_unsigned("seed");
+
+  util::TablePrinter table({"refresh interval (s)", "loss", "refresh msgs/flow/s",
+                            "spuriously expired"});
+  for (const double interval : {5.0, 15.0, 30.0, 60.0}) {
+    for (const double loss : {0.0, 0.05, 0.2}) {
+      const Outcome outcome = run(interval, loss, horizon, seed);
+      table.add_row({util::format_fixed(interval, 0), util::format_fixed(loss, 2),
+                     util::format_fixed(outcome.refresh_messages_per_flow_second, 4),
+                     util::format_fixed(100.0 * outcome.spurious_expiry_fraction, 2) + "%"});
+    }
+    std::cerr << "  interval " << interval << " done\n";
+  }
+  std::cout << (flags.get_bool("csv") ? table.to_csv() : table.to_text());
+  std::cout << "\n(Ablation A8: K = 3 *consecutive* missed refreshes expire a session.\n"
+            << "Short intervals cost signaling linearly AND expire more sessions under\n"
+            << "loss — each period is another chance at a 3-loss streak. With this\n"
+            << "RSVP-style consecutive-loss rule, longer intervals dominate on both\n"
+            << "axes; the real trade-off reappears only when the timeout is a fixed\n"
+            << "wall-clock budget (K x interval), where long intervals react slowly.)\n";
+  return 0;
+}

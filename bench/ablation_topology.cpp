@@ -1,0 +1,116 @@
+// Ablation A6: topology robustness of the Figure-6 ordering.
+//
+// Section 5.2 claims "the conclusions we draw here generally hold for many
+// other cases we have evaluated". This bench re-runs the Figure-6 comparison
+// on structurally different networks (grid, random Waxman, ring) with
+// proportionally placed groups/sources, checking that the qualitative
+// ordering SP <= ED <= WD/D+H <= WD/D+B <= GDI survives the topology swap.
+#include "bench/bench_common.h"
+
+namespace {
+
+using namespace anyqos;
+
+struct Scenario {
+  std::string name;
+  net::Topology topology;
+  std::vector<net::NodeId> sources;
+  std::vector<net::NodeId> members;
+};
+
+std::vector<Scenario> scenarios() {
+  std::vector<Scenario> list;
+  {
+    Scenario s;
+    s.name = "mci";
+    s.topology = net::topologies::mci_backbone();
+    for (net::NodeId id = 1; id < s.topology.router_count(); id += 2) {
+      s.sources.push_back(id);
+    }
+    s.members = {0, 4, 8, 12, 16};
+    list.push_back(std::move(s));
+  }
+  {
+    Scenario s;
+    s.name = "grid4x5";
+    s.topology = net::topologies::grid(4, 5);
+    s.sources = {1, 3, 6, 8, 11, 13, 16, 18};
+    s.members = {0, 4, 9, 10, 19};
+    list.push_back(std::move(s));
+  }
+  {
+    Scenario s;
+    s.name = "waxman24";
+    s.topology = net::topologies::waxman(24, 0.6, 0.5, 42);
+    s.sources = {1, 3, 5, 7, 9, 11, 13, 15};
+    s.members = {0, 6, 12, 18, 23};
+    list.push_back(std::move(s));
+  }
+  {
+    Scenario s;
+    s.name = "ring12";
+    s.topology = net::topologies::ring(12);
+    s.sources = {1, 3, 5, 7, 9, 11};
+    s.members = {0, 4, 8};
+    list.push_back(std::move(s));
+  }
+  return list;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::CliFlags flags("ablation_topology",
+                       "Figure-6 ordering across structurally different topologies");
+  bench::add_run_flags(flags);
+  flags.add_double("lambda", 35.0, "arrival rate used for every topology");
+  flags.parse(argc, argv);
+  if (flags.help_requested()) {
+    std::cout << flags.help_text();
+    return 0;
+  }
+  const double lambda = flags.get_double("lambda");
+  const sim::RunControls controls = bench::run_controls(flags);
+
+  util::TablePrinter table(
+      {"topology", "SP", "<ED,2>", "<WD/D+H,2>", "<WD/D+B,2>", "GDI", "ordering holds"});
+  for (Scenario& scenario : scenarios()) {
+    const auto run = [&](core::SelectionAlgorithm algorithm, std::size_t r, bool gdi) {
+      sim::SimulationConfig config;
+      config.traffic.arrival_rate = lambda;
+      config.traffic.mean_holding_s = 180.0;
+      config.traffic.flow_bandwidth_bps = 64'000.0;
+      config.traffic.sources = scenario.sources;
+      config.group_members = scenario.members;
+      config.anycast_share = 0.2;
+      config.algorithm = algorithm;
+      config.max_tries = r;
+      config.use_gdi = gdi;
+      sim::apply_run_controls(config, controls);
+      sim::Simulation simulation(scenario.topology, config);
+      return simulation.run().admission_probability;
+    };
+    const double sp = run(core::SelectionAlgorithm::kShortestPath, 1, false);
+    const double ed = run(core::SelectionAlgorithm::kEvenDistribution, 2, false);
+    const double wdh = run(core::SelectionAlgorithm::kDistanceHistory, 2, false);
+    const double wdb = run(core::SelectionAlgorithm::kDistanceBandwidth, 2, false);
+    const double gdi = run(core::SelectionAlgorithm::kEvenDistribution, 2, true);
+    const double slack = 0.02;
+    const bool holds = sp <= ed + slack && ed <= wdh + slack && wdh <= wdb + slack &&
+                       wdb <= gdi + slack;
+    table.add_row({scenario.name, util::format_fixed(sp, 4), util::format_fixed(ed, 4),
+                   util::format_fixed(wdh, 4), util::format_fixed(wdb, 4),
+                   util::format_fixed(gdi, 4), holds ? "yes" : "NO"});
+    std::cerr << "  " << scenario.name << " done\n";
+  }
+  std::cout << (flags.get_bool("csv") ? table.to_csv() : table.to_text());
+  std::cout << "\n(Ablation A6 at lambda = " << lambda
+            << ": the paper's \"conclusions generally hold for many other cases\"\n"
+            << "claim, stress-tested across topology families with 0.02 slack between\n"
+            << "adjacent systems. Expect the strict chain on mesh-like backbones (the\n"
+            << "paper's setting); known honest deviations elsewhere: WD/D+H's history\n"
+            << "herding can undercut ED on sparse random graphs, and on a ring SP's\n"
+            << "concentration beats ED's long-detour spreading at heavy load. GDI\n"
+            << "remains the upper bound everywhere.)\n";
+  return 0;
+}

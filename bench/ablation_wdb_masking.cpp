@@ -1,0 +1,54 @@
+// Ablation A4: WD/D+B infeasibility masking.
+//
+// Eq. (12) weights members by B_i/D_i even when B_i is smaller than the flow
+// demand b — such a member can be selected and then fail reservation. The
+// natural refinement (not in the paper) zeroes the weight of members whose
+// probed bottleneck cannot fit b. This bench quantifies what that refinement
+// buys in AP and in saved retries.
+#include "bench/bench_common.h"
+
+int main(int argc, char** argv) {
+  using namespace anyqos;
+  util::CliFlags flags("ablation_wdb_masking",
+                       "WD/D+B with and without infeasible-member masking");
+  bench::add_run_flags(flags);
+  flags.parse(argc, argv);
+  if (flags.help_requested()) {
+    std::cout << flags.help_text();
+    return 0;
+  }
+
+  const sim::ExperimentModel model = sim::paper_model();
+  const sim::RunControls controls = bench::run_controls(flags);
+  const std::vector<double> lambdas = bench::lambda_grid(flags);
+
+  util::TablePrinter table({"lambda", "AP eq.(12)", "AP masked", "tries eq.(12)",
+                            "tries masked"});
+  for (const double lambda : lambdas) {
+    std::vector<std::string> row = {util::format_fixed(lambda, 1)};
+    std::vector<double> ap;
+    std::vector<double> tries;
+    for (const bool mask : {false, true}) {
+      sim::SimulationConfig config = model.base_config(lambda);
+      sim::apply_run_controls(config, controls);
+      config.algorithm = core::SelectionAlgorithm::kDistanceBandwidth;
+      config.max_tries = 2;
+      config.wdb_mask_infeasible = mask;
+      sim::Simulation simulation(model.topology, config);
+      const sim::SimulationResult result = simulation.run();
+      ap.push_back(result.admission_probability);
+      tries.push_back(result.average_attempts);
+    }
+    row.push_back(util::format_fixed(ap[0], 6));
+    row.push_back(util::format_fixed(ap[1], 6));
+    row.push_back(util::format_fixed(tries[0], 4));
+    row.push_back(util::format_fixed(tries[1], 4));
+    table.add_row(std::move(row));
+    std::cerr << "  lambda " << lambda << " done\n";
+  }
+  std::cout << (flags.get_bool("csv") ? table.to_csv() : table.to_text());
+  std::cout << "\n(Ablation A4: masking members whose probed bottleneck < b. Expect\n"
+            << "slightly fewer tries at high load; AP changes little because a masked\n"
+            << "member would have failed reservation anyway and R=2 usually recovers.)\n";
+  return 0;
+}

@@ -1,0 +1,27 @@
+// Figure 3: admission probability of systems <ED,R>, R = 1..5, versus the
+// flow arrival rate. Reproduces the retrial-sensitivity curves: AP rises
+// with R, with the biggest jump from R=1 to R=2 and saturation by R=5 (= K).
+#include "bench/bench_common.h"
+
+int main(int argc, char** argv) {
+  using namespace anyqos;
+  util::CliFlags flags("fig3_ed_sensitivity",
+                       "Figure 3: AP of <ED,R> vs arrival rate, R = 1..5");
+  bench::add_run_flags(flags);
+  flags.parse(argc, argv);
+  if (flags.help_requested()) {
+    std::cout << flags.help_text();
+    return 0;
+  }
+
+  std::vector<bench::SystemColumn> systems;
+  for (std::size_t r = 1; r <= 5; ++r) {
+    systems.push_back({"<ED," + std::to_string(r) + ">", [r](sim::SimulationConfig& config) {
+                         config.algorithm = core::SelectionAlgorithm::kEvenDistribution;
+                         config.max_tries = r;
+                       }});
+  }
+  bench::run_figure(flags, "Figure 3: admission probability of <ED,R>", systems,
+                    [](const sim::SimulationResult& r) { return r.admission_probability; });
+  return 0;
+}

@@ -1,0 +1,33 @@
+// Figure 4: admission probability of systems <WD/D+H,R>, R = 1..5, versus
+// the flow arrival rate. Same shape as Figure 3 but at higher AP levels and
+// with weaker R-sensitivity (informed selection makes fewer first-try
+// mistakes). The history discount alpha is unstated in the paper; we default
+// to 0.5 (see DESIGN.md and bench/ablation_alpha).
+#include "bench/bench_common.h"
+
+int main(int argc, char** argv) {
+  using namespace anyqos;
+  util::CliFlags flags("fig4_wdh_sensitivity",
+                       "Figure 4: AP of <WD/D+H,R> vs arrival rate, R = 1..5");
+  bench::add_run_flags(flags);
+  flags.add_double("alpha", 0.5, "history discount alpha in [0,1]");
+  flags.parse(argc, argv);
+  if (flags.help_requested()) {
+    std::cout << flags.help_text();
+    return 0;
+  }
+  const double alpha = flags.get_double("alpha");
+
+  std::vector<bench::SystemColumn> systems;
+  for (std::size_t r = 1; r <= 5; ++r) {
+    systems.push_back(
+        {"<WD/D+H," + std::to_string(r) + ">", [r, alpha](sim::SimulationConfig& config) {
+           config.algorithm = core::SelectionAlgorithm::kDistanceHistory;
+           config.max_tries = r;
+           config.alpha = alpha;
+         }});
+  }
+  bench::run_figure(flags, "Figure 4: admission probability of <WD/D+H,R>", systems,
+                    [](const sim::SimulationResult& r) { return r.admission_probability; });
+  return 0;
+}

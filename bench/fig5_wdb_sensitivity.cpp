@@ -1,0 +1,29 @@
+// Figure 5: admission probability of systems <WD/D+B,R>, R = 1..5, versus
+// the flow arrival rate. The bandwidth-informed selector has the weakest
+// R-sensitivity of the three (Section 5.2.1 observation 3: systems with
+// higher AP gain less from retries).
+#include "bench/bench_common.h"
+
+int main(int argc, char** argv) {
+  using namespace anyqos;
+  util::CliFlags flags("fig5_wdb_sensitivity",
+                       "Figure 5: AP of <WD/D+B,R> vs arrival rate, R = 1..5");
+  bench::add_run_flags(flags);
+  flags.parse(argc, argv);
+  if (flags.help_requested()) {
+    std::cout << flags.help_text();
+    return 0;
+  }
+
+  std::vector<bench::SystemColumn> systems;
+  for (std::size_t r = 1; r <= 5; ++r) {
+    systems.push_back(
+        {"<WD/D+B," + std::to_string(r) + ">", [r](sim::SimulationConfig& config) {
+           config.algorithm = core::SelectionAlgorithm::kDistanceBandwidth;
+           config.max_tries = r;
+         }});
+  }
+  bench::run_figure(flags, "Figure 5: admission probability of <WD/D+B,R>", systems,
+                    [](const sim::SimulationResult& r) { return r.admission_probability; });
+  return 0;
+}

@@ -1,0 +1,45 @@
+// Figure 6: admission probabilities of <ED,2>, <WD/D+H,2>, <WD/D+B,2> against
+// the SP and GDI baselines, versus the flow arrival rate. The reproduction
+// target is the ordering GDI >= WD/D+B >= WD/D+H >= ED >= SP at moderate and
+// high load, with all systems ~1 at very low rates and the DAC systems close
+// to GDI throughout.
+#include "bench/bench_common.h"
+
+int main(int argc, char** argv) {
+  using namespace anyqos;
+  util::CliFlags flags("fig6_comparison",
+                       "Figure 6: AP of the three <A,2> systems vs SP and GDI");
+  bench::add_run_flags(flags);
+  flags.parse(argc, argv);
+  if (flags.help_requested()) {
+    std::cout << flags.help_text();
+    return 0;
+  }
+
+  const std::vector<bench::SystemColumn> systems = {
+      {"SP",
+       [](sim::SimulationConfig& config) {
+         config.algorithm = core::SelectionAlgorithm::kShortestPath;
+         config.max_tries = 1;
+       }},
+      {"<ED,2>",
+       [](sim::SimulationConfig& config) {
+         config.algorithm = core::SelectionAlgorithm::kEvenDistribution;
+         config.max_tries = 2;
+       }},
+      {"<WD/D+H,2>",
+       [](sim::SimulationConfig& config) {
+         config.algorithm = core::SelectionAlgorithm::kDistanceHistory;
+         config.max_tries = 2;
+       }},
+      {"<WD/D+B,2>",
+       [](sim::SimulationConfig& config) {
+         config.algorithm = core::SelectionAlgorithm::kDistanceBandwidth;
+         config.max_tries = 2;
+       }},
+      {"GDI", [](sim::SimulationConfig& config) { config.use_gdi = true; }},
+  };
+  bench::run_figure(flags, "Figure 6: admission probability comparison", systems,
+                    [](const sim::SimulationResult& r) { return r.admission_probability; });
+  return 0;
+}

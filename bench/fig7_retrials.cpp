@@ -1,0 +1,38 @@
+// Figure 7: average number of retrials of <ED,2>, <WD/D+H,2> and <WD/D+B,2>
+// as a function of the flow arrival rate. Reported as average destinations
+// tried per request (1.0 = always first try). Reproduction target: ED worst
+// (most tries), WD/D+B best, WD/D+H between — Section 5.2.2 observation 3.
+#include "bench/bench_common.h"
+
+int main(int argc, char** argv) {
+  using namespace anyqos;
+  util::CliFlags flags("fig7_retrials",
+                       "Figure 7: average number of tries per request vs arrival rate");
+  bench::add_run_flags(flags);
+  flags.parse(argc, argv);
+  if (flags.help_requested()) {
+    std::cout << flags.help_text();
+    return 0;
+  }
+
+  const std::vector<bench::SystemColumn> systems = {
+      {"<ED,2>",
+       [](sim::SimulationConfig& config) {
+         config.algorithm = core::SelectionAlgorithm::kEvenDistribution;
+         config.max_tries = 2;
+       }},
+      {"<WD/D+H,2>",
+       [](sim::SimulationConfig& config) {
+         config.algorithm = core::SelectionAlgorithm::kDistanceHistory;
+         config.max_tries = 2;
+       }},
+      {"<WD/D+B,2>",
+       [](sim::SimulationConfig& config) {
+         config.algorithm = core::SelectionAlgorithm::kDistanceBandwidth;
+         config.max_tries = 2;
+       }},
+  };
+  bench::run_figure(flags, "Figure 7: average destinations tried per request", systems,
+                    [](const sim::SimulationResult& r) { return r.average_attempts; });
+  return 0;
+}

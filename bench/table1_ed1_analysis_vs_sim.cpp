@@ -1,0 +1,73 @@
+// Table 1: admission probability of system <ED,1> at lambda = 5, 20, 35, 50
+// by mathematical analysis (Appendix A fixed point with UAA link blocking)
+// and by computer simulation. Reproduction target: the two methods agree to
+// within ~0.01 at every rate, as in the paper's Table 1. We additionally
+// print the exact-Erlang-B variant of the analysis as a cross-check.
+#include "bench/bench_common.h"
+#include "src/analysis/ap_analysis.h"
+
+int main(int argc, char** argv) {
+  using namespace anyqos;
+  util::CliFlags flags("table1_ed1_analysis_vs_sim",
+                       "Table 1: <ED,1> analysis vs simulation");
+  bench::add_run_flags(flags);
+  flags.parse(argc, argv);
+  if (flags.help_requested()) {
+    std::cout << flags.help_text();
+    return 0;
+  }
+
+  const sim::ExperimentModel model = sim::paper_model();
+  const sim::RunControls controls = bench::run_controls(flags);
+  // The paper's Table 1 grid unless overridden.
+  std::vector<double> lambdas = {5.0, 20.0, 35.0, 50.0};
+  if (flags.get_string("lambdas") != "5,10,15,20,25,30,35,40,45,50") {
+    lambdas = bench::lambda_grid(flags);
+  }
+
+  std::vector<std::string> header = {"method"};
+  for (const double lambda : lambdas) {
+    header.push_back("lambda=" + util::format_fixed(lambda, 1));
+  }
+  util::TablePrinter table(std::move(header));
+  std::vector<std::string> analytic_row = {"Mathematical Analysis (UAA)"};
+  std::vector<std::string> erlang_row = {"Mathematical Analysis (exact Erlang-B)"};
+  std::vector<std::string> sim_row = {"Computer Simulation"};
+
+  for (const double lambda : lambdas) {
+    analysis::AnalyticModel analytic;
+    analytic.topology = &model.topology;
+    analytic.sources = model.sources;
+    analytic.members = model.group_members;
+    analytic.lambda_total = lambda;
+    analytic.mean_holding_s = model.mean_holding_s;
+    analytic.flow_bandwidth_bps = model.flow_bandwidth_bps;
+    analytic.anycast_share = model.anycast_share;
+
+    analysis::FixedPointOptions uaa;
+    uaa.model = analysis::BlockingModel::kUaa;
+    analytic_row.push_back(
+        util::format_fixed(analysis::analyze_ed1(analytic, uaa).admission_probability, 6));
+    analysis::FixedPointOptions exact;
+    exact.model = analysis::BlockingModel::kErlangB;
+    erlang_row.push_back(
+        util::format_fixed(analysis::analyze_ed1(analytic, exact).admission_probability, 6));
+
+    sim::SimulationConfig config = model.base_config(lambda);
+    sim::apply_run_controls(config, controls);
+    config.algorithm = core::SelectionAlgorithm::kEvenDistribution;
+    config.max_tries = 1;
+    sim::Simulation simulation(model.topology, config);
+    sim_row.push_back(util::format_fixed(simulation.run().admission_probability, 6));
+    std::cerr << "  lambda " << lambda << " done\n";
+  }
+  table.add_row(std::move(analytic_row));
+  table.add_row(std::move(erlang_row));
+  table.add_row(std::move(sim_row));
+  std::cout << (flags.get_bool("csv") ? table.to_csv() : table.to_text());
+  std::cout << "\n(Table 1: AP of <ED,1>. Paper values for its Figure-2 topology:\n"
+            << " analysis 1.000000/0.833933/0.584068/0.435654,\n"
+            << " simulation 1.000000/0.837443/0.591091/0.439993 — our topology is an\n"
+            << " MCI-like substitute, so levels shift; analysis==simulation is the claim.)\n";
+  return 0;
+}

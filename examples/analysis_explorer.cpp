@@ -1,0 +1,102 @@
+// Analytic what-if explorer: the Appendix-A machinery as an operator tool.
+//
+// For a chosen system and arrival rate, prints the reduced-load fixed point's
+// view of the network: per-link offered load and blocking, the worst
+// bottleneck links, per-source route rejection — and the analytic capacity
+// (largest lambda meeting an AP target). No simulation: every number comes
+// from the fixed point in milliseconds, which is exactly why the paper
+// bothered with the analysis.
+//
+//   $ ./analysis_explorer --lambda=35 --system=ED --target=0.9
+#include <algorithm>
+#include <iostream>
+
+#include "src/analysis/capacity.h"
+#include "src/sim/experiment.h"
+#include "src/util/cli.h"
+#include "src/util/strings.h"
+#include "src/util/table.h"
+
+int main(int argc, char** argv) {
+  using namespace anyqos;
+
+  util::CliFlags flags("analysis_explorer", "Appendix-A fixed point as a what-if tool");
+  flags.add_double("lambda", 35.0, "total arrival rate, requests/s");
+  flags.add_string("system", "ED", "ED (= <ED,1>) or SP");
+  flags.add_double("target", 0.9, "AP target for the capacity question");
+  flags.add_unsigned("top", 8, "bottleneck links to list");
+  flags.parse(argc, argv);
+  if (flags.help_requested()) {
+    std::cout << flags.help_text();
+    return 0;
+  }
+
+  const sim::ExperimentModel experiment = sim::paper_model();
+  analysis::AnalyticModel model;
+  model.topology = &experiment.topology;
+  model.sources = experiment.sources;
+  model.members = experiment.group_members;
+  model.lambda_total = flags.get_double("lambda");
+  model.mean_holding_s = experiment.mean_holding_s;
+  model.flow_bandwidth_bps = experiment.flow_bandwidth_bps;
+  model.anycast_share = experiment.anycast_share;
+
+  const bool sp = flags.get_string("system") == "SP";
+  const analysis::FixedPointOptions options;
+  const analysis::ApAnalysis analysis =
+      sp ? analysis::analyze_sp(model, options) : analysis::analyze_ed1(model, options);
+
+  std::cout << "System " << (sp ? "SP" : "<ED,1>") << " at lambda = " << model.lambda_total
+            << "/s on the MCI-like backbone\n"
+            << "Admission probability (analysis): "
+            << util::format_fixed(analysis.admission_probability, 6) << "  (fixed point: "
+            << analysis.fixed_point.iterations << " iterations, "
+            << (analysis.fixed_point.converged ? "converged" : "NOT CONVERGED") << ")\n\n";
+
+  // Bottleneck links by blocking probability.
+  std::vector<net::LinkId> links(experiment.topology.link_count());
+  for (net::LinkId id = 0; id < links.size(); ++id) {
+    links[id] = id;
+  }
+  std::sort(links.begin(), links.end(), [&](net::LinkId a, net::LinkId b) {
+    return analysis.fixed_point.link_blocking[a] > analysis.fixed_point.link_blocking[b];
+  });
+  util::TablePrinter bottlenecks({"link", "offered erlangs", "blocking"});
+  const std::size_t top = std::min<std::size_t>(flags.get_unsigned("top"), links.size());
+  for (std::size_t i = 0; i < top; ++i) {
+    const net::LinkId id = links[i];
+    const net::Arc& arc = experiment.topology.link(id);
+    bottlenecks.add_row({experiment.topology.router_name(arc.from) + "->" +
+                             experiment.topology.router_name(arc.to),
+                         util::format_fixed(analysis.fixed_point.link_reduced_load[id], 1),
+                         util::format_fixed(analysis.fixed_point.link_blocking[id], 4)});
+  }
+  std::cout << "Hottest links (capacity 312 circuits each):\n" << bottlenecks.to_text();
+
+  // Per-source route rejection summary.
+  util::TablePrinter per_source({"source", "best route rejection", "worst route rejection"});
+  const std::size_t k = model.members.size();
+  for (std::size_t s = 0; s < model.sources.size(); ++s) {
+    double best = 1.0;
+    double worst = 0.0;
+    for (std::size_t i = 0; i < k; ++i) {
+      const double rejection = analysis.fixed_point.route_rejection[s * k + i];
+      best = std::min(best, rejection);
+      worst = std::max(worst, rejection);
+    }
+    per_source.add_row({experiment.topology.router_name(model.sources[s]),
+                        util::format_fixed(best, 4), util::format_fixed(worst, 4)});
+  }
+  std::cout << "\nPer-source fixed-route rejection spread:\n" << per_source.to_text();
+
+  // The capacity question, answered analytically.
+  analysis::CapacityQuery query;
+  query.system = sp ? analysis::AnalyzedSystem::kSp : analysis::AnalyzedSystem::kEd1;
+  query.target_ap = flags.get_double("target");
+  const double capacity = analysis::lambda_at_target_ap(model, query);
+  std::cout << "\nLargest lambda with AP >= " << query.target_ap << ": "
+            << util::format_fixed(capacity, 2) << " requests/s ("
+            << util::format_fixed(capacity * model.mean_holding_s, 0)
+            << " erlangs of anycast demand)\n";
+  return 0;
+}

@@ -1,0 +1,213 @@
+// Custom topology + custom selection strategy: extending the library.
+//
+// Demonstrates the two extension points a downstream user needs most:
+//   1. Building their own Topology (here: a two-datacenter dumbbell) instead
+//      of the built-in generators.
+//   2. Plugging a new DestinationSelector into the DAC procedure — here a
+//      "sticky" selector that remembers the last member that worked and keeps
+//      using it until it fails (a common load-balancer heuristic), compared
+//      against the paper's algorithms on the same workload.
+//
+//   $ ./custom_topology --lambda=60
+#include <iostream>
+#include <optional>
+
+#include "src/sim/simulation.h"
+#include "src/util/cli.h"
+#include "src/util/strings.h"
+#include "src/util/table.h"
+
+namespace {
+
+using namespace anyqos;
+
+// Two 4-router sites joined by a thin long-haul pair. Members live in both
+// sites; sources in site A must pick wisely or saturate the dumbbell waist.
+net::Topology dumbbell() {
+  net::Topology topo;
+  for (int i = 0; i < 8; ++i) {
+    topo.add_router(i < 4 ? "A" + std::to_string(i) : "B" + std::to_string(i - 4));
+  }
+  const double lan = 100.0e6;
+  const double wan = 40.0e6;  // thin waist
+  // Site A full mesh-ish.
+  topo.add_duplex_link(0, 1, lan);
+  topo.add_duplex_link(1, 2, lan);
+  topo.add_duplex_link(2, 3, lan);
+  topo.add_duplex_link(0, 3, lan);
+  // Site B.
+  topo.add_duplex_link(4, 5, lan);
+  topo.add_duplex_link(5, 6, lan);
+  topo.add_duplex_link(6, 7, lan);
+  topo.add_duplex_link(4, 7, lan);
+  // The waist.
+  topo.add_duplex_link(2, 4, wan);
+  topo.add_duplex_link(3, 5, wan);
+  return topo;
+}
+
+/// Sticky selector: keep returning the member that last succeeded; on
+/// failure (or at first use) fall back to uniform choice over untried.
+class StickySelector final : public core::DestinationSelector {
+ public:
+  explicit StickySelector(std::size_t group_size) : group_size_(group_size) {}
+
+  std::optional<std::size_t> select(std::span<const bool> tried,
+                                    des::RandomStream& rng) override {
+    if (sticky_.has_value() && !tried[*sticky_]) {
+      return sticky_;
+    }
+    std::vector<double> weights(group_size_, 0.0);
+    bool any = false;
+    for (std::size_t i = 0; i < group_size_; ++i) {
+      if (!tried[i]) {
+        weights[i] = 1.0;
+        any = true;
+      }
+    }
+    if (!any) {
+      return std::nullopt;
+    }
+    return rng.weighted_index(weights);
+  }
+
+  void report(std::size_t index, bool admitted) override {
+    if (admitted) {
+      sticky_ = index;
+    } else if (sticky_ == index) {
+      sticky_.reset();
+    }
+  }
+
+  [[nodiscard]] std::vector<double> weights() const override {
+    std::vector<double> w(group_size_, 0.0);
+    if (sticky_.has_value()) {
+      w[*sticky_] = 1.0;
+    } else {
+      for (double& x : w) {
+        x = 1.0 / static_cast<double>(group_size_);
+      }
+    }
+    return w;
+  }
+
+  [[nodiscard]] std::string name() const override { return "STICKY"; }
+
+ private:
+  std::size_t group_size_;
+  std::optional<std::size_t> sticky_;
+};
+
+// Run one system on the dumbbell by driving AdmissionControllers directly
+// with a Poisson workload (the Simulation class wires built-in algorithms;
+// a custom selector is wired at this level).
+struct RunStats {
+  double ap = 0.0;
+  double avg_tries = 0.0;
+};
+
+RunStats run_custom(const net::Topology& topo, bool sticky,
+                    core::SelectionAlgorithm fallback, double lambda) {
+  const core::AnycastGroup group("anycast://svc", {1, 6});  // one member per site
+  const net::RouteTable routes(topo, group.members());
+  net::BandwidthLedger ledger(topo, 0.5);
+  signaling::MessageCounter counter;
+  signaling::ReservationProtocol rsvp(ledger, counter);
+  signaling::ProbeService probe(ledger, counter);
+  const std::vector<net::NodeId> sources = {0, 2, 3};
+
+  des::SeedSequence seeds(7);
+  des::Simulator simulator;
+  sim::TrafficModel traffic;
+  traffic.arrival_rate = lambda;
+  traffic.mean_holding_s = 60.0;
+  traffic.flow_bandwidth_bps = 256'000.0;  // chunky media flows
+  traffic.sources = sources;
+  sim::ArrivalProcess arrivals(traffic, seeds);
+  des::RandomStream selection = seeds.stream("selection");
+
+  std::vector<std::unique_ptr<core::AdmissionController>> acs(topo.router_count());
+  const auto ac_for = [&](net::NodeId s) -> core::AdmissionController& {
+    if (acs[s] == nullptr) {
+      std::unique_ptr<core::DestinationSelector> selector;
+      if (sticky) {
+        selector = std::make_unique<StickySelector>(group.size());
+      } else {
+        core::SelectorEnvironment env;
+        env.source = s;
+        env.group = &group;
+        env.routes = &routes;
+        env.probe = &probe;
+        env.flow_bandwidth = traffic.flow_bandwidth_bps;
+        selector = core::make_selector(fallback, env);
+      }
+      acs[s] = std::make_unique<core::AdmissionController>(
+          s, group, routes, rsvp, std::move(selector),
+          std::make_unique<core::CounterRetrialPolicy>(2));
+    }
+    return *acs[s];
+  };
+
+  std::uint64_t offered = 0;
+  std::uint64_t admitted = 0;
+  std::uint64_t tries = 0;
+  std::function<void()> arrival = [&] {
+    simulator.schedule_in(arrivals.next_interarrival(), arrival);
+    core::FlowRequest request;
+    request.source = arrivals.draw_source();
+    request.bandwidth_bps = traffic.flow_bandwidth_bps;
+    const auto decision = ac_for(request.source).admit(request, selection);
+    ++offered;
+    tries += decision.attempts;
+    if (decision.admitted) {
+      ++admitted;
+      const net::Path route = decision.route;
+      simulator.schedule_in(arrivals.draw_holding(), [&rsvp, route, &traffic] {
+        rsvp.teardown(route, traffic.flow_bandwidth_bps);
+      });
+    }
+  };
+  simulator.schedule_in(arrivals.next_interarrival(), arrival);
+  simulator.run_until(4'000.0);
+
+  RunStats stats;
+  stats.ap = offered == 0 ? 0.0 : static_cast<double>(admitted) / static_cast<double>(offered);
+  stats.avg_tries = offered == 0 ? 0.0 : static_cast<double>(tries) / static_cast<double>(offered);
+  return stats;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::CliFlags flags("custom_topology",
+                       "Custom dumbbell topology with a user-defined selector");
+  flags.add_double("lambda", 6.0, "requests per second");
+  flags.parse(argc, argv);
+  if (flags.help_requested()) {
+    std::cout << flags.help_text();
+    return 0;
+  }
+  const double lambda = flags.get_double("lambda");
+  const net::Topology topo = dumbbell();
+
+  std::cout << "Dumbbell: two 4-router sites, 40 Mbit/s waist, members in both sites,\n"
+            << "256 kbit/s flows at " << lambda << "/s from site A\n\n";
+
+  util::TablePrinter table({"selector", "admitted", "avg tries"});
+  const RunStats sticky = run_custom(topo, true, core::SelectionAlgorithm::kEvenDistribution,
+                                     lambda);
+  table.add_row({"STICKY (custom plug-in)", util::format_fixed(100.0 * sticky.ap, 1) + "%",
+                 util::format_fixed(sticky.avg_tries, 3)});
+  for (const auto algorithm :
+       {core::SelectionAlgorithm::kEvenDistribution, core::SelectionAlgorithm::kDistanceHistory,
+        core::SelectionAlgorithm::kDistanceBandwidth}) {
+    const RunStats stats = run_custom(topo, false, algorithm, lambda);
+    table.add_row({core::to_string(algorithm), util::format_fixed(100.0 * stats.ap, 1) + "%",
+                   util::format_fixed(stats.avg_tries, 3)});
+  }
+  table.print(std::cout);
+  std::cout << "\nThe sticky heuristic piles flows onto one member until it chokes the\n"
+            << "waist; the paper's randomized/weighted selectors spread them across\n"
+            << "sites. Writing a selector = subclassing DestinationSelector (~30 lines).\n";
+  return 0;
+}

@@ -1,0 +1,172 @@
+// dacsim — the general-purpose simulation front end (ns-style tooling).
+//
+// Runs one fully flag-configured DAC simulation: any built-in or file-loaded
+// topology, any group/source placement, any <A,R> system or baseline, with
+// optional fault injection and a CSV event trace. Prints the aggregate
+// results the paper reports plus this library's extra diagnostics.
+//
+//   $ ./dacsim --algorithm=WD/D+H --retries=2 --lambda=35
+//   $ ./dacsim --topology=grid:4x5 --group=0,7,19 --sources=2,9,12 --lambda=8
+//   $ ./dacsim --topology-file=mynet.topo --gdi --trace=/tmp/events.csv
+#include <fstream>
+#include <iostream>
+
+#include "src/net/topology_io.h"
+#include "src/sim/experiment.h"
+#include "src/sim/faults.h"
+#include "src/util/cli.h"
+#include "src/util/require.h"
+#include "src/util/strings.h"
+#include "src/util/table.h"
+
+namespace {
+
+using namespace anyqos;
+
+std::vector<net::NodeId> parse_nodes(const std::string& text, const char* what) {
+  std::vector<net::NodeId> nodes;
+  for (const std::string& field : util::split(text, ',')) {
+    const auto value = util::parse_unsigned(field);
+    util::require(value.has_value(), std::string(what) + " must be a comma list of node ids");
+    nodes.push_back(static_cast<net::NodeId>(*value));
+  }
+  return nodes;
+}
+
+net::Topology build_topology(const std::string& spec, const std::string& file) {
+  if (!file.empty()) {
+    return net::load_topology(file);
+  }
+  if (spec == "mci") {
+    return net::topologies::mci_backbone();
+  }
+  if (util::starts_with(spec, "line:")) {
+    return net::topologies::line(util::parse_unsigned(spec.substr(5)).value());
+  }
+  if (util::starts_with(spec, "ring:")) {
+    return net::topologies::ring(util::parse_unsigned(spec.substr(5)).value());
+  }
+  if (util::starts_with(spec, "star:")) {
+    return net::topologies::star(util::parse_unsigned(spec.substr(5)).value());
+  }
+  if (util::starts_with(spec, "grid:")) {
+    const auto dims = util::split(spec.substr(5), 'x');
+    util::require(dims.size() == 2, "grid spec is grid:<rows>x<cols>");
+    return net::topologies::grid(util::parse_unsigned(dims[0]).value(),
+                                 util::parse_unsigned(dims[1]).value());
+  }
+  if (util::starts_with(spec, "waxman:")) {
+    const auto parts = util::split(spec.substr(7), 'x');
+    util::require(parts.size() == 2, "waxman spec is waxman:<n>x<seed>");
+    return net::topologies::waxman(util::parse_unsigned(parts[0]).value(), 0.6, 0.5,
+                                   util::parse_unsigned(parts[1]).value());
+  }
+  util::require(false, "unknown topology spec '" + spec +
+                           "' (mci, line:N, ring:N, star:N, grid:RxC, waxman:NxSEED)");
+  util::unreachable("build_topology");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::CliFlags flags("dacsim", "Configurable DAC anycast-flow simulation");
+  flags.add_string("topology", "mci", "mci | line:N | ring:N | star:N | grid:RxC | waxman:NxSEED");
+  flags.add_string("topology-file", "", "load a topology file instead (see topology_io.h)");
+  flags.add_string("group", "0,4,8,12,16", "anycast member routers");
+  flags.add_string("sources", "", "source routers (default: the paper's odd ids)");
+  flags.add_string("algorithm", "ED", "ED | WD/D+H | WD/D+B | SP");
+  flags.add_bool("gdi", false, "run the GDI oracle baseline instead of DAC");
+  flags.add_unsigned("retries", 2, "R, the maximum destinations tried");
+  flags.add_double("alpha", 0.5, "WD/D+H history discount");
+  flags.add_double("lambda", 20.0, "total arrival rate, requests/s");
+  flags.add_double("holding", 180.0, "mean flow lifetime, seconds");
+  flags.add_double("bandwidth", 64'000.0, "per-flow bandwidth, bit/s");
+  flags.add_double("share", 0.2, "fraction of link capacity available to anycast");
+  flags.add_double("warmup", 2'000.0, "warm-up seconds discarded");
+  flags.add_double("measure", 10'000.0, "measured seconds");
+  flags.add_unsigned("seed", 1, "master RNG seed");
+  flags.add_double("fault-rate", 0.0, "per-link failures/s (0 = no faults)");
+  flags.add_double("fault-repair", 300.0, "mean outage duration, seconds");
+  flags.add_string("trace", "", "write a CSV event trace to this file");
+  flags.parse(argc, argv);
+  if (flags.help_requested()) {
+    std::cout << flags.help_text();
+    return 0;
+  }
+
+  const net::Topology topology =
+      build_topology(flags.get_string("topology"), flags.get_string("topology-file"));
+
+  sim::SimulationConfig config;
+  config.traffic.arrival_rate = flags.get_double("lambda");
+  config.traffic.mean_holding_s = flags.get_double("holding");
+  config.traffic.flow_bandwidth_bps = flags.get_double("bandwidth");
+  if (flags.get_string("sources").empty()) {
+    for (net::NodeId id = 1; id < topology.router_count(); id += 2) {
+      config.traffic.sources.push_back(id);
+    }
+  } else {
+    config.traffic.sources = parse_nodes(flags.get_string("sources"), "--sources");
+  }
+  config.group_members = parse_nodes(flags.get_string("group"), "--group");
+  config.anycast_share = flags.get_double("share");
+  config.use_gdi = flags.get_bool("gdi");
+  config.algorithm = core::parse_algorithm(flags.get_string("algorithm"));
+  config.max_tries = flags.get_unsigned("retries");
+  config.alpha = flags.get_double("alpha");
+  config.warmup_s = flags.get_double("warmup");
+  config.measure_s = flags.get_double("measure");
+  config.seed = flags.get_unsigned("seed");
+  if (flags.get_double("fault-rate") > 0.0) {
+    config.faults = sim::random_fault_schedule(
+        topology, config.warmup_s + config.measure_s, flags.get_double("fault-rate"),
+        flags.get_double("fault-repair"), config.seed + 1);
+  }
+
+  std::ofstream trace_file;
+  std::unique_ptr<sim::CsvTraceSink> trace;
+  if (!flags.get_string("trace").empty()) {
+    trace_file.open(flags.get_string("trace"));
+    util::require(trace_file.good(), "cannot open trace file");
+    trace = std::make_unique<sim::CsvTraceSink>(trace_file);
+    config.trace = trace.get();
+  }
+
+  sim::Simulation simulation(topology, config);
+  const sim::SimulationResult result = simulation.run();
+
+  std::cout << "system            " << result.system_label << "\n"
+            << "topology          " << topology.router_count() << " routers, "
+            << topology.duplex_link_count() << " duplex links\n"
+            << "offered           " << result.offered << " requests (lambda "
+            << config.traffic.arrival_rate << "/s over " << config.measure_s << " s)\n"
+            << "admitted          " << result.admitted << "\n"
+            << "admission prob    " << util::format_fixed(result.admission_probability, 6)
+            << "  (95% CI ±" << util::format_fixed(result.admission_ci.half_width, 6) << ")\n"
+            << "avg tries         " << util::format_fixed(result.average_attempts, 4) << "\n"
+            << "msgs/request      " << util::format_fixed(result.average_messages, 2) << "\n"
+            << "avg active flows  " << util::format_fixed(result.average_active_flows, 1) << "\n"
+            << "link utilization  mean " << util::format_fixed(result.mean_link_utilization, 4)
+            << ", max " << util::format_fixed(result.max_link_utilization, 4) << "\n"
+            << "dropped by faults " << result.dropped << "\n";
+
+  util::TablePrinter per_dest({"member router", "admissions"});
+  for (std::size_t i = 0; i < result.per_destination_admissions.size(); ++i) {
+    per_dest.add_row({topology.router_name(config.group_members[i]),
+                      std::to_string(result.per_destination_admissions[i])});
+  }
+  std::cout << "\n" << per_dest.to_text();
+
+  util::TablePrinter msg({"message kind", "link traversals"});
+  using signaling::MessageKind;
+  for (const MessageKind kind :
+       {MessageKind::kPath, MessageKind::kResv, MessageKind::kPathErr, MessageKind::kTear,
+        MessageKind::kProbe, MessageKind::kProbeReply}) {
+    msg.add_row({signaling::to_string(kind), std::to_string(result.messages.by_kind(kind))});
+  }
+  std::cout << "\n" << msg.to_text();
+  if (trace != nullptr) {
+    std::cout << "\ntrace written to " << flags.get_string("trace") << "\n";
+  }
+  return 0;
+}

@@ -1,0 +1,90 @@
+// Mirrored-services scenario: the paper's motivating application. An
+// e-commerce provider runs five mirrored servers behind one anycast address;
+// clients establish QoS flows (e-transactions, downloads) to "the service",
+// not to a specific mirror. This example compares, at one load level, how the
+// choice of DAC destination-selection algorithm affects the fraction of
+// customer sessions the network can accept, how the mirrors share the load,
+// and what the signaling bill is.
+//
+//   $ ./mirrored_services --lambda=35 --measure=20000
+#include <iostream>
+
+#include "src/sim/experiment.h"
+#include "src/util/cli.h"
+#include "src/util/strings.h"
+#include "src/util/table.h"
+
+int main(int argc, char** argv) {
+  using namespace anyqos;
+
+  util::CliFlags flags("mirrored_services",
+                       "Compare DAC policies for a mirrored e-commerce service");
+  flags.add_double("lambda", 35.0, "customer session requests per second");
+  flags.add_double("warmup", 2'000.0, "warm-up seconds discarded");
+  flags.add_double("measure", 10'000.0, "measured seconds");
+  flags.add_unsigned("seed", 1, "master RNG seed");
+  flags.parse(argc, argv);
+  if (flags.help_requested()) {
+    std::cout << flags.help_text();
+    return 0;
+  }
+
+  const sim::ExperimentModel model = sim::paper_model();
+  const double lambda = flags.get_double("lambda");
+
+  struct SystemSpec {
+    std::string label;
+    core::SelectionAlgorithm algorithm;
+    std::size_t max_tries;
+    bool use_gdi;
+  };
+  const std::vector<SystemSpec> systems = {
+      {"SP (always nearest mirror)", core::SelectionAlgorithm::kShortestPath, 1, false},
+      {"<ED,2>", core::SelectionAlgorithm::kEvenDistribution, 2, false},
+      {"<WD/D+H,2>", core::SelectionAlgorithm::kDistanceHistory, 2, false},
+      {"<WD/D+B,2>", core::SelectionAlgorithm::kDistanceBandwidth, 2, false},
+      {"GDI (oracle bound)", core::SelectionAlgorithm::kEvenDistribution, 2, true},
+  };
+
+  std::cout << "Mirrored service: 5 mirrors at routers 0/4/8/12/16, sessions of 64 kbit/s,\n"
+            << "mean lifetime 180 s, total demand " << lambda << " sessions/s\n\n";
+
+  util::TablePrinter table({"system", "accepted", "avg tries", "msgs/request",
+                            "mirror load split (admissions %)"});
+  for (const SystemSpec& spec : systems) {
+    sim::SimulationConfig config = model.base_config(lambda);
+    config.algorithm = spec.algorithm;
+    config.max_tries = spec.max_tries;
+    config.use_gdi = spec.use_gdi;
+    config.warmup_s = flags.get_double("warmup");
+    config.measure_s = flags.get_double("measure");
+    config.seed = flags.get_unsigned("seed");
+    sim::Simulation simulation(model.topology, config);
+    const sim::SimulationResult result = simulation.run();
+
+    std::string split;
+    double total = 0.0;
+    for (const auto c : result.per_destination_admissions) {
+      total += static_cast<double>(c);
+    }
+    for (std::size_t i = 0; i < result.per_destination_admissions.size(); ++i) {
+      if (i > 0) {
+        split += "/";
+      }
+      split += util::format_fixed(
+          total == 0.0
+              ? 0.0
+              : 100.0 * static_cast<double>(result.per_destination_admissions[i]) / total,
+          0);
+    }
+    table.add_row({spec.label, util::format_fixed(100.0 * result.admission_probability, 1) + "%",
+                   util::format_fixed(result.average_attempts, 3),
+                   util::format_fixed(result.average_messages, 1), split});
+  }
+  table.print(std::cout);
+
+  std::cout << "\nReading the table: SP overloads the nearest mirror's routes (worst\n"
+            << "acceptance, most skewed split); randomized DAC selection spreads the\n"
+            << "sessions and approaches the GDI oracle at a fraction of its cost.\n";
+  return 0;
+}

@@ -1,0 +1,96 @@
+// Multiple anycast services sharing one backbone (multi-group extension).
+//
+// Three services with different footprints and flow sizes compete for the
+// same 20% anycast share of the MCI-like backbone: a widely mirrored CDN
+// (5 mirrors, thin flows), a two-site database (fat flows), and a
+// single-node legacy service (unicast degenerate case). Shows how groups
+// interact only through shared links, and how per-group policy choices pay
+// off under contention.
+//
+//   $ ./multi_service --lambda=40
+#include <iostream>
+
+#include "src/net/topologies.h"
+#include "src/sim/multi_group.h"
+#include "src/util/cli.h"
+#include "src/util/strings.h"
+#include "src/util/table.h"
+
+int main(int argc, char** argv) {
+  using namespace anyqos;
+
+  util::CliFlags flags("multi_service", "Three anycast services on one backbone");
+  flags.add_double("lambda", 40.0, "total requests/s across all services");
+  flags.add_double("measure", 8'000.0, "measured seconds");
+  flags.add_unsigned("seed", 1, "master RNG seed");
+  flags.parse(argc, argv);
+  if (flags.help_requested()) {
+    std::cout << flags.help_text();
+    return 0;
+  }
+
+  const net::Topology topology = net::topologies::mci_backbone();
+
+  sim::MultiGroupConfig config;
+  config.total_arrival_rate = flags.get_double("lambda");
+  config.mean_holding_s = 180.0;
+  for (net::NodeId id = 1; id < topology.router_count(); id += 2) {
+    config.sources.push_back(id);
+  }
+  config.anycast_share = 0.2;
+  config.warmup_s = 1'500.0;
+  config.measure_s = flags.get_double("measure");
+  config.seed = flags.get_unsigned("seed");
+
+  sim::GroupSpec cdn;
+  cdn.address = "anycast://cdn";
+  cdn.members = {0, 4, 8, 12, 16};
+  cdn.rate_share = 6.0;                 // most of the traffic
+  cdn.algorithm = core::SelectionAlgorithm::kDistanceHistory;
+  cdn.max_tries = 2;
+  cdn.flow_bandwidth_bps = 64'000.0;
+
+  sim::GroupSpec database;
+  database.address = "anycast://db";
+  database.members = {2, 14};
+  database.rate_share = 1.0;
+  database.algorithm = core::SelectionAlgorithm::kDistanceBandwidth;
+  database.max_tries = 2;
+  database.flow_bandwidth_bps = 512'000.0;  // fat transactional flows
+
+  sim::GroupSpec legacy;
+  legacy.address = "anycast://legacy";
+  legacy.members = {18};                 // unicast: the degenerate K=1 case
+  legacy.rate_share = 1.0;
+  legacy.algorithm = core::SelectionAlgorithm::kShortestPath;
+  legacy.max_tries = 1;
+  legacy.flow_bandwidth_bps = 64'000.0;
+
+  config.groups = {cdn, database, legacy};
+
+  sim::MultiGroupSimulation simulation(topology, config);
+  const sim::MultiGroupResult result = simulation.run();
+
+  std::cout << "Three services sharing the backbone at a combined "
+            << config.total_arrival_rate << " requests/s:\n\n";
+  util::TablePrinter table({"service", "members", "flow kbit/s", "offered", "accepted",
+                            "avg tries"});
+  const std::vector<const sim::GroupSpec*> specs = {&cdn, &database, &legacy};
+  for (std::size_t i = 0; i < result.groups.size(); ++i) {
+    const auto& g = result.groups[i];
+    table.add_row({g.address, std::to_string(specs[i]->members.size()),
+                   util::format_fixed(specs[i]->flow_bandwidth_bps / 1000.0, 0),
+                   std::to_string(g.offered),
+                   util::format_fixed(100.0 * g.admission_probability, 1) + "%",
+                   util::format_fixed(g.average_attempts, 3)});
+  }
+  table.print(std::cout);
+  std::cout << "\naggregate acceptance "
+            << util::format_fixed(100.0 * result.aggregate_admission_probability, 1)
+            << "%, mean link utilization "
+            << util::format_fixed(100.0 * result.mean_link_utilization, 1) << "%\n\n"
+            << "Fat-flow and single-member services block first; the CDN's group\n"
+            << "diversity plus history-weighted selection keeps its acceptance high\n"
+            << "even while sharing every link with the competitors.\n";
+  return 0;
+}

@@ -1,0 +1,80 @@
+// Routing protocol substrate demo: where the paper's "fixed routes" come
+// from, and what happens to them when links fail.
+//
+// Section 3 assumes fixed source->member paths "obtained via the existing
+// routing protocols". This example runs both implemented protocol families —
+// RIP-style distance vector and OSPF-style link state — on the MCI-like
+// backbone, shows that they converge to the same shortest routes the central
+// RouteTable computes, then breaks a link and compares how many protocol
+// rounds each needs to reconverge (the classic DV-vs-LS trade-off).
+//
+//   $ ./routing_protocols
+#include <iostream>
+
+#include "src/net/distance_vector.h"
+#include "src/net/link_state.h"
+#include "src/net/topologies.h"
+#include "src/util/table.h"
+
+int main() {
+  using namespace anyqos;
+
+  const net::Topology topo = net::topologies::mci_backbone();
+  std::cout << "MCI-like backbone: " << topo.router_count() << " routers, "
+            << topo.duplex_link_count() << " duplex links\n\n";
+
+  // 1. Converge both protocols from cold start.
+  net::DistanceVectorProtocol dv(topo);
+  const std::size_t dv_rounds = dv.converge();
+  net::LinkStateProtocol ls(topo);
+  const std::size_t ls_rounds = ls.converge();
+  std::cout << "Cold-start convergence: distance-vector " << dv_rounds
+            << " rounds, link-state flooding " << ls_rounds << " rounds\n";
+
+  // 2. Verify agreement with the centrally computed fixed routes.
+  const net::RouteTable central(topo, {0, 4, 8, 12, 16});
+  std::size_t checked = 0;
+  std::size_t mismatches = 0;
+  for (net::NodeId s = 0; s < topo.router_count(); ++s) {
+    for (std::size_t i = 0; i < central.destination_count(); ++i) {
+      ++checked;
+      const net::NodeId member = central.destinations()[i];
+      const auto dv_path = dv.path(s, member);
+      const auto ls_path = ls.spf_path(s, member);
+      if (!dv_path || dv_path->hops() != central.distance(s, i) ||
+          !ls_path || ls_path->hops() != central.distance(s, i)) {
+        ++mismatches;
+      }
+    }
+  }
+  std::cout << "Route agreement vs central shortest paths: " << (checked - mismatches) << "/"
+            << checked << " source-member pairs\n\n";
+
+  // 3. Fail the busiest core link and compare reconvergence.
+  const net::LinkId broken = *topo.find_link(8, 12);  // CHI-DCA
+  std::cout << "Failing link " << topo.router_name(8) << "-" << topo.router_name(12)
+            << "...\n";
+  dv.fail_duplex_link(broken);
+  const std::size_t dv_reconverge = dv.converge();
+  ls.fail_duplex_link(broken);
+  const std::size_t ls_reconverge = ls.converge();
+
+  util::TablePrinter table({"protocol", "cold start (rounds)", "reconvergence (rounds)",
+                            "CHI->DCA detour (hops)"});
+  const auto dv_detour = dv.path(8, 12);
+  const auto ls_detour = ls.spf_path(8, 12);
+  table.add_row({"distance vector (RIP-style)", std::to_string(dv_rounds),
+                 std::to_string(dv_reconverge),
+                 dv_detour ? std::to_string(dv_detour->hops()) : "-"});
+  table.add_row({"link state (OSPF-style)", std::to_string(ls_rounds),
+                 std::to_string(ls_reconverge),
+                 ls_detour ? std::to_string(ls_detour->hops()) : "-"});
+  table.print(std::cout);
+
+  std::cout << "\nBoth protocols reroute CHI->DCA onto a detour; link-state learns the\n"
+            << "outage in O(diameter) flooding rounds while distance-vector counts\n"
+            << "down neighbour by neighbour. Feed either protocol's paths into the\n"
+            << "DAC admission controllers and the whole evaluation runs on routes a\n"
+            << "distributed protocol actually computed (distance_vector_routes()).\n";
+  return 0;
+}

@@ -1,0 +1,87 @@
+#include "src/analysis/ap_analysis.h"
+
+#include <cmath>
+
+#include "src/util/require.h"
+
+namespace anyqos::analysis {
+
+namespace {
+
+void validate(const AnalyticModel& model) {
+  util::require(model.topology != nullptr, "analytic model needs a topology");
+  util::require(!model.sources.empty(), "analytic model needs sources");
+  util::require(!model.members.empty(), "analytic model needs group members");
+  util::require(model.lambda_total > 0.0, "arrival rate must be positive");
+  util::require(model.mean_holding_s > 0.0, "holding time must be positive");
+  util::require(model.flow_bandwidth_bps > 0.0, "flow bandwidth must be positive");
+  util::require(model.anycast_share > 0.0 && model.anycast_share <= 1.0,
+                "anycast share must be in (0,1]");
+}
+
+ApAnalysis run(const AnalyticModel& model, std::vector<RouteLoad> routes,
+               const FixedPointOptions& options) {
+  ApAnalysis analysis;
+  analysis.fixed_point = solve_fixed_point(model.topology->link_count(),
+                                           model.capacity_circuits(), routes, options);
+  analysis.admission_probability =
+      admission_probability(routes, analysis.fixed_point.route_rejection);
+  analysis.routes = std::move(routes);
+  return analysis;
+}
+
+}  // namespace
+
+std::vector<double> AnalyticModel::capacity_circuits() const {
+  util::require(topology != nullptr, "analytic model needs a topology");
+  std::vector<double> capacities;
+  capacities.reserve(topology->link_count());
+  for (net::LinkId id = 0; id < topology->link_count(); ++id) {
+    capacities.push_back(
+        std::floor(topology->capacity(id) * anycast_share / flow_bandwidth_bps));
+  }
+  return capacities;
+}
+
+double AnalyticModel::per_source_erlangs() const {
+  util::require(!sources.empty(), "analytic model needs sources");
+  return lambda_total / static_cast<double>(sources.size()) * mean_holding_s;
+}
+
+ApAnalysis analyze_ed1(const AnalyticModel& model, const FixedPointOptions& options) {
+  validate(model);
+  const net::RouteTable table(*model.topology, model.members);
+  const double rho_s = model.per_source_erlangs();
+  const double k = static_cast<double>(model.members.size());
+  std::vector<RouteLoad> routes;
+  routes.reserve(model.sources.size() * model.members.size());
+  for (const net::NodeId s : model.sources) {
+    for (std::size_t i = 0; i < model.members.size(); ++i) {
+      RouteLoad load;
+      load.links = table.route(s, i).links;
+      load.offered_erlangs = rho_s / k;  // uniform spreading, eq. before (14)
+      routes.push_back(std::move(load));
+    }
+  }
+  return run(model, std::move(routes), options);
+}
+
+ApAnalysis analyze_sp(const AnalyticModel& model, const FixedPointOptions& options) {
+  validate(model);
+  const net::RouteTable table(*model.topology, model.members);
+  const double rho_s = model.per_source_erlangs();
+  std::vector<RouteLoad> routes;
+  routes.reserve(model.sources.size() * model.members.size());
+  for (const net::NodeId s : model.sources) {
+    const std::size_t nearest = table.shortest_destination(s);
+    for (std::size_t i = 0; i < model.members.size(); ++i) {
+      RouteLoad load;
+      load.links = table.route(s, i).links;
+      load.offered_erlangs = i == nearest ? rho_s : 0.0;  // eq. (14)
+      routes.push_back(std::move(load));
+    }
+  }
+  return run(model, std::move(routes), options);
+}
+
+}  // namespace anyqos::analysis

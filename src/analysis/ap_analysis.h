@@ -1,0 +1,48 @@
+// Admission probability analysis for systems <ED,1> and SP
+// (paper Appendix A.1), built on the reduced-load fixed point.
+#pragma once
+
+#include <vector>
+
+#include "src/analysis/fixed_point.h"
+#include "src/net/routing.h"
+#include "src/net/topology.h"
+
+namespace anyqos::analysis {
+
+/// Static description of the analyzed network + workload, mirroring the
+/// simulation's ExperimentModel (Section 5.1 parameters by default).
+struct AnalyticModel {
+  const net::Topology* topology = nullptr;  ///< must outlive the analysis
+  std::vector<net::NodeId> sources;         ///< request-receiving AC-routers
+  std::vector<net::NodeId> members;         ///< anycast group G(A)
+  double lambda_total = 0.0;                ///< total request rate, flows/s
+  double mean_holding_s = 180.0;            ///< 1/mu
+  net::Bandwidth flow_bandwidth_bps = 64'000.0;  ///< b
+  double anycast_share = 0.2;               ///< fraction of links for anycast
+
+  /// Per-directed-link capacity in circuits: floor(share * raw / b) (a flow
+  /// is indivisible, so fractional circuits are unusable).
+  [[nodiscard]] std::vector<double> capacity_circuits() const;
+
+  /// Per-source offered intensity rho_s = (lambda_total/|S|) * holding:
+  /// the paper draws each request's source uniformly from S.
+  [[nodiscard]] double per_source_erlangs() const;
+};
+
+/// Analysis output for one system.
+struct ApAnalysis {
+  double admission_probability = 0.0;  ///< eq. (15)
+  FixedPointResult fixed_point;        ///< per-link/per-route detail
+  std::vector<RouteLoad> routes;       ///< offered loads used (diagnostics)
+};
+
+/// System <ED,1>: each source spreads rho_s uniformly over its K fixed routes
+/// (rho_{s,r} = rho_s / K), one attempt per request.
+ApAnalysis analyze_ed1(const AnalyticModel& model, const FixedPointOptions& options);
+
+/// System SP: each source offers all of rho_s to its shortest fixed route
+/// (eq. 14).
+ApAnalysis analyze_sp(const AnalyticModel& model, const FixedPointOptions& options);
+
+}  // namespace anyqos::analysis

@@ -1,0 +1,52 @@
+#include "src/analysis/capacity.h"
+
+#include "src/util/require.h"
+
+namespace anyqos::analysis {
+
+double analytic_ap(const AnalyticModel& model, AnalyzedSystem system, std::size_t max_tries,
+                   const FixedPointOptions& options) {
+  switch (system) {
+    case AnalyzedSystem::kEd1:
+      return analyze_ed1(model, options).admission_probability;
+    case AnalyzedSystem::kEdRetry: {
+      RetryAnalysisOptions retry;
+      retry.fixed_point = options;
+      return analyze_ed_retry(model, max_tries, retry).admission_probability;
+    }
+    case AnalyzedSystem::kSp:
+      return analyze_sp(model, options).admission_probability;
+  }
+  util::unreachable("AnalyzedSystem");
+}
+
+double lambda_at_target_ap(AnalyticModel model, const CapacityQuery& query) {
+  util::require(query.target_ap > 0.0 && query.target_ap < 1.0,
+                "target AP must be in (0,1)");
+  util::require(query.lambda_low > 0.0 && query.lambda_high > query.lambda_low,
+                "lambda bracket must be positive and ordered");
+  util::require(query.tolerance > 0.0, "tolerance must be positive");
+
+  const auto ap_at = [&](double lambda) {
+    model.lambda_total = lambda;
+    return analytic_ap(model, query.system, query.max_tries, query.fixed_point);
+  };
+  util::require(ap_at(query.lambda_low) >= query.target_ap,
+                "AP at lambda_low is already below the target");
+  util::require(ap_at(query.lambda_high) < query.target_ap,
+                "AP at lambda_high still meets the target; widen the bracket");
+
+  double lo = query.lambda_low;   // invariant: AP(lo) >= target
+  double hi = query.lambda_high;  // invariant: AP(hi) < target
+  while (hi - lo > query.tolerance) {
+    const double mid = 0.5 * (lo + hi);
+    if (ap_at(mid) >= query.target_ap) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+}  // namespace anyqos::analysis

@@ -1,0 +1,42 @@
+// Analytic capacity solving: invert the AP(lambda) curve.
+//
+// The simulation-side capacity_planning example bisects noisy simulation
+// runs; the fixed-point analysis makes the same question exact and instant
+// for the analyzable systems (<ED,1>, <ED,R>, SP): the largest total arrival
+// rate at which the admission probability still meets a target.
+#pragma once
+
+#include <cstddef>
+
+#include "src/analysis/ap_analysis.h"
+#include "src/analysis/retry_extension.h"
+
+namespace anyqos::analysis {
+
+/// Which analyzable system the capacity question is about.
+enum class AnalyzedSystem {
+  kEd1,     ///< <ED,1>  (Appendix A)
+  kEdRetry, ///< <ED,R>  (retry-extension approximation)
+  kSp,      ///< SP baseline (Appendix A)
+};
+
+struct CapacityQuery {
+  AnalyzedSystem system = AnalyzedSystem::kEd1;
+  std::size_t max_tries = 2;       ///< R, used by kEdRetry only
+  double target_ap = 0.95;         ///< required admission probability, in (0,1)
+  double lambda_low = 0.1;         ///< bracket: AP(low) must be >= target
+  double lambda_high = 200.0;      ///< bracket: AP(high) must be < target
+  double tolerance = 0.01;         ///< bisection width on lambda
+  FixedPointOptions fixed_point;
+};
+
+/// AP of the queried system at a specific rate.
+double analytic_ap(const AnalyticModel& model, AnalyzedSystem system, std::size_t max_tries,
+                   const FixedPointOptions& options);
+
+/// Largest lambda with AP >= target (bisection; AP is monotone decreasing in
+/// lambda for these systems). `model.lambda_total` is ignored. Throws
+/// std::invalid_argument when the bracket does not straddle the target.
+double lambda_at_target_ap(AnalyticModel model, const CapacityQuery& query);
+
+}  // namespace anyqos::analysis

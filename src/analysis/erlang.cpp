@@ -1,0 +1,42 @@
+#include "src/analysis/erlang.h"
+
+#include "src/util/require.h"
+
+namespace anyqos::analysis {
+
+double erlang_b(double offered_erlangs, std::size_t capacity_circuits) {
+  util::require(offered_erlangs >= 0.0, "offered load must be non-negative");
+  if (capacity_circuits == 0) {
+    return 1.0;
+  }
+  if (offered_erlangs == 0.0) {
+    return 0.0;
+  }
+  double blocking = 1.0;
+  for (std::size_t c = 1; c <= capacity_circuits; ++c) {
+    blocking = offered_erlangs * blocking /
+               (static_cast<double>(c) + offered_erlangs * blocking);
+  }
+  return blocking;
+}
+
+std::size_t dimension_capacity(double offered_erlangs, double target_blocking) {
+  util::require(offered_erlangs >= 0.0, "offered load must be non-negative");
+  util::require(target_blocking > 0.0 && target_blocking < 1.0,
+                "target blocking must be in (0,1)");
+  if (offered_erlangs == 0.0) {
+    return 0;  // no traffic, nothing to block
+  }
+  // Same recursion as erlang_b, growing C until the target is met. The loop
+  // terminates because Erlang-B decreases to 0 as capacity grows.
+  double blocking = 1.0;
+  std::size_t c = 0;
+  while (blocking > target_blocking) {
+    ++c;
+    blocking = offered_erlangs * blocking /
+               (static_cast<double>(c) + offered_erlangs * blocking);
+  }
+  return c;
+}
+
+}  // namespace anyqos::analysis

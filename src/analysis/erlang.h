@@ -1,0 +1,24 @@
+// Exact Erlang-B blocking.
+//
+// A link with capacity C circuits offered Poisson load v erlangs with
+// blocked-calls-cleared behaves as an M/M/C/C queue; its blocking
+// probability is the Erlang-B formula. The paper approximates this function
+// with the UAA (see uaa.h); the exact recursion here is the ground truth the
+// tests validate UAA against, and an alternative L() for the fixed point.
+#pragma once
+
+#include <cstddef>
+
+namespace anyqos::analysis {
+
+/// Exact Erlang-B blocking probability B(v, C) via the numerically stable
+/// recursion B_0 = 1, B_c = v B_{c-1} / (c + v B_{c-1}).
+/// `offered_erlangs` >= 0; capacity >= 0 (capacity 0 blocks everything).
+double erlang_b(double offered_erlangs, std::size_t capacity_circuits);
+
+/// Smallest capacity whose Erlang-B blocking is <= `target_blocking` for the
+/// given load (simple dimensioning helper used by the capacity-planning
+/// example). target_blocking in (0,1).
+std::size_t dimension_capacity(double offered_erlangs, double target_blocking);
+
+}  // namespace anyqos::analysis

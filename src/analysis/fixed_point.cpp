@@ -1,0 +1,112 @@
+#include "src/analysis/fixed_point.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/analysis/erlang.h"
+#include "src/analysis/uaa.h"
+#include "src/util/require.h"
+
+namespace anyqos::analysis {
+
+namespace {
+
+double link_blocking(BlockingModel model, double load, double capacity) {
+  switch (model) {
+    case BlockingModel::kUaa:
+      return uaa_blocking(load, capacity);
+    case BlockingModel::kErlangB:
+      return erlang_b(load, static_cast<std::size_t>(std::floor(capacity)));
+  }
+  util::unreachable("BlockingModel");
+}
+
+}  // namespace
+
+FixedPointResult solve_fixed_point(std::size_t link_count,
+                                   const std::vector<double>& capacity_circuits,
+                                   const std::vector<RouteLoad>& routes,
+                                   const FixedPointOptions& options) {
+  util::require(capacity_circuits.size() == link_count,
+                "capacity vector must cover every link");
+  util::require(options.tolerance > 0.0, "tolerance must be positive");
+  util::require(options.damping > 0.0 && options.damping <= 1.0, "damping must be in (0,1]");
+  util::require(options.max_iterations >= 1, "need at least one iteration");
+  for (const double c : capacity_circuits) {
+    util::require(c >= 1.0, "link capacities must be at least one circuit");
+  }
+  for (const RouteLoad& route : routes) {
+    util::require(route.offered_erlangs >= 0.0, "route loads must be non-negative");
+    for (const net::LinkId id : route.links) {
+      util::require(id < link_count, "route references a link out of range");
+    }
+  }
+
+  FixedPointResult result;
+  result.link_blocking.assign(link_count, 0.0);
+  result.link_reduced_load.assign(link_count, 0.0);
+
+  std::vector<double> next_blocking(link_count, 0.0);
+  for (std::size_t iteration = 1; iteration <= options.max_iterations; ++iteration) {
+    // Eq. (18)/(20): reduced loads from current blocking estimates.
+    std::vector<double>& loads = result.link_reduced_load;
+    std::fill(loads.begin(), loads.end(), 0.0);
+    for (const RouteLoad& route : routes) {
+      if (route.offered_erlangs == 0.0) {
+        continue;
+      }
+      // prod over the whole route, divided out per link (guarding B == 1).
+      for (const net::LinkId target : route.links) {
+        double thinned = route.offered_erlangs;
+        for (const net::LinkId other : route.links) {
+          if (other != target) {
+            thinned *= 1.0 - result.link_blocking[other];
+          }
+        }
+        loads[target] += thinned;
+      }
+    }
+    // Eq. (19)/(21): new blocking from reduced loads, with damping.
+    double max_change = 0.0;
+    for (std::size_t l = 0; l < link_count; ++l) {
+      const double fresh = link_blocking(options.model, loads[l], capacity_circuits[l]);
+      const double damped =
+          options.damping * fresh + (1.0 - options.damping) * result.link_blocking[l];
+      max_change = std::max(max_change, std::abs(damped - result.link_blocking[l]));
+      next_blocking[l] = damped;
+    }
+    result.link_blocking.swap(next_blocking);
+    result.iterations = iteration;
+    if (max_change < options.tolerance) {
+      result.converged = true;
+      break;
+    }
+  }
+
+  // Eq. (17): route rejection probabilities under link independence.
+  result.route_rejection.reserve(routes.size());
+  for (const RouteLoad& route : routes) {
+    double pass = 1.0;
+    for (const net::LinkId id : route.links) {
+      pass *= 1.0 - result.link_blocking[id];
+    }
+    result.route_rejection.push_back(1.0 - pass);
+  }
+  return result;
+}
+
+double admission_probability(const std::vector<RouteLoad>& routes,
+                             const std::vector<double>& route_rejection) {
+  util::require(routes.size() == route_rejection.size(),
+                "route rejection vector must align with routes");
+  double admitted = 0.0;
+  double offered = 0.0;
+  for (std::size_t i = 0; i < routes.size(); ++i) {
+    admitted += routes[i].offered_erlangs * (1.0 - route_rejection[i]);
+    offered += routes[i].offered_erlangs;
+  }
+  util::require(offered > 0.0, "admission probability needs positive offered load");
+  return admitted / offered;
+}
+
+}  // namespace anyqos::analysis

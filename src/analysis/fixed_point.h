@@ -1,0 +1,60 @@
+// Reduced-load (Erlang) fixed point solver (paper Appendix A.2, eqs. (18)-(22)).
+//
+// Under the link-independence assumption, the load each route offers a link
+// is "thinned" by the blocking of the route's other links:
+//     v_l = sum_{routes r through l} rho_r * prod_{m in r, m != l} (1 - B_m)
+//     B_l = L(v_l, C_l)
+// iterated (with damping) until convergence. Route rejection then follows
+// eq. (17): L_r = 1 - prod_{l in r} (1 - B_l).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "src/net/graph.h"
+
+namespace anyqos::analysis {
+
+/// One route and the Poisson load (erlangs, in flow units) offered to it.
+struct RouteLoad {
+  std::vector<net::LinkId> links;  ///< directed links the route crosses
+  double offered_erlangs = 0.0;    ///< rho_{s,r}
+};
+
+/// Which L(v, C) the fixed point evaluates.
+enum class BlockingModel {
+  kUaa,      ///< the paper's uniform asymptotic approximation (Appendix A.2)
+  kErlangB,  ///< exact Erlang-B (capacity rounded down to whole circuits)
+};
+
+struct FixedPointOptions {
+  BlockingModel model = BlockingModel::kUaa;
+  double tolerance = 1e-10;        ///< max |B^{i+1} - B^i| to declare convergence
+  std::size_t max_iterations = 20'000;
+  /// New-iterate weight in (0,1]; < 1 damps oscillation of the iteration.
+  double damping = 0.5;
+};
+
+struct FixedPointResult {
+  std::vector<double> link_blocking;      ///< B_l per directed link
+  std::vector<double> link_reduced_load;  ///< v_l per directed link
+  std::vector<double> route_rejection;    ///< L_r per input route (eq. 17)
+  std::size_t iterations = 0;
+  bool converged = false;
+};
+
+/// Solves the fixed point for `link_count` links with per-link capacities (in
+/// circuits, i.e. units of the flow bandwidth) and the given offered routes.
+/// Links never referenced by a route keep B_l = 0.
+FixedPointResult solve_fixed_point(std::size_t link_count,
+                                   const std::vector<double>& capacity_circuits,
+                                   const std::vector<RouteLoad>& routes,
+                                   const FixedPointOptions& options);
+
+/// Network admission probability, eq. (15): the load-weighted average of the
+/// per-route admission probabilities. `route_rejection` must align with
+/// `routes`. Routes with zero offered load contribute nothing.
+double admission_probability(const std::vector<RouteLoad>& routes,
+                             const std::vector<double>& route_rejection);
+
+}  // namespace anyqos::analysis

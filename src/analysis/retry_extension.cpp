@@ -1,0 +1,189 @@
+#include "src/analysis/retry_extension.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/util/require.h"
+
+namespace anyqos::analysis {
+
+double elementary_symmetric_mean(const std::vector<double>& values, std::size_t subset_size) {
+  const std::size_t n = values.size();
+  util::require(subset_size <= n, "subset size exceeds value count");
+  if (subset_size == 0) {
+    return 1.0;
+  }
+  // e_j via incremental polynomial multiplication: after processing value x,
+  // e_j += e_{j-1} * x (descending j to reuse the array in place).
+  std::vector<double> e(subset_size + 1, 0.0);
+  e[0] = 1.0;
+  for (const double x : values) {
+    for (std::size_t j = std::min(subset_size, e.size() - 1); j >= 1; --j) {
+      e[j] += e[j - 1] * x;
+    }
+  }
+  // Divide by C(n, subset_size).
+  double binom = 1.0;
+  for (std::size_t j = 1; j <= subset_size; ++j) {
+    binom *= static_cast<double>(n - subset_size + j) / static_cast<double>(j);
+  }
+  return e[subset_size] / binom;
+}
+
+RetryApAnalysis analyze_ed_retry(const AnalyticModel& model, std::size_t max_tries,
+                                 const RetryAnalysisOptions& options) {
+  util::require(model.topology != nullptr, "analytic model needs a topology");
+  util::require(!model.members.empty(), "analytic model needs group members");
+  util::require(!model.sources.empty(), "analytic model needs sources");
+  const std::size_t k = model.members.size();
+  util::require(max_tries >= 1 && max_tries <= k, "R must be in [1, K]");
+
+  const net::RouteTable table(*model.topology, model.members);
+  const double rho_s = model.per_source_erlangs();
+  const std::size_t num_sources = model.sources.size();
+  const auto capacities = model.capacity_circuits();
+
+  // routes[s*k + i] is source s's fixed route to member i.
+  std::vector<RouteLoad> routes(num_sources * k);
+  for (std::size_t s = 0; s < num_sources; ++s) {
+    for (std::size_t i = 0; i < k; ++i) {
+      routes[s * k + i].links = table.route(model.sources[s], i).links;
+    }
+  }
+
+  std::vector<double> rejection(num_sources * k, 0.0);
+  RetryApAnalysis analysis;
+  for (std::size_t outer = 1; outer <= options.max_outer_iterations; ++outer) {
+    analysis.outer_iterations = outer;
+    // Offered loads implied by the current rejection estimates: route i of
+    // source s is attempted with probability
+    //   A_i = (1/K) sum_{t=1}^{R} esm(L^{(-i)}, t-1).
+    for (std::size_t s = 0; s < num_sources; ++s) {
+      for (std::size_t i = 0; i < k; ++i) {
+        std::vector<double> others;
+        others.reserve(k - 1);
+        for (std::size_t j = 0; j < k; ++j) {
+          if (j != i) {
+            others.push_back(rejection[s * k + j]);
+          }
+        }
+        double attempt_probability = 0.0;
+        for (std::size_t t = 1; t <= max_tries; ++t) {
+          attempt_probability += elementary_symmetric_mean(others, t - 1);
+        }
+        attempt_probability /= static_cast<double>(k);
+        routes[s * k + i].offered_erlangs = rho_s * attempt_probability;
+      }
+    }
+
+    const FixedPointResult fp = solve_fixed_point(model.topology->link_count(), capacities,
+                                                  routes, options.fixed_point);
+    double max_change = 0.0;
+    for (std::size_t r = 0; r < rejection.size(); ++r) {
+      max_change = std::max(max_change, std::abs(fp.route_rejection[r] - rejection[r]));
+      rejection[r] = fp.route_rejection[r];
+    }
+    if (max_change < options.outer_tolerance) {
+      analysis.converged = true;
+      break;
+    }
+  }
+
+  // AP and expected attempts from the converged rejection vector, averaged
+  // over sources (equal per-source rates).
+  double ap_sum = 0.0;
+  double attempts_sum = 0.0;
+  for (std::size_t s = 0; s < num_sources; ++s) {
+    const std::vector<double> fails(rejection.begin() + static_cast<std::ptrdiff_t>(s * k),
+                                    rejection.begin() + static_cast<std::ptrdiff_t>((s + 1) * k));
+    ap_sum += 1.0 - elementary_symmetric_mean(fails, max_tries);
+    for (std::size_t t = 0; t < max_tries; ++t) {
+      attempts_sum += elementary_symmetric_mean(fails, t);
+    }
+  }
+  analysis.admission_probability = ap_sum / static_cast<double>(num_sources);
+  analysis.average_attempts = attempts_sum / static_cast<double>(num_sources);
+  return analysis;
+}
+
+RetryApAnalysis analyze_sp_retry(const AnalyticModel& model, std::size_t max_tries,
+                                 const RetryAnalysisOptions& options) {
+  util::require(model.topology != nullptr, "analytic model needs a topology");
+  util::require(!model.members.empty(), "analytic model needs group members");
+  util::require(!model.sources.empty(), "analytic model needs sources");
+  const std::size_t k = model.members.size();
+  util::require(max_tries >= 1 && max_tries <= k, "R must be in [1, K]");
+
+  const net::RouteTable table(*model.topology, model.members);
+  const double rho_s = model.per_source_erlangs();
+  const std::size_t num_sources = model.sources.size();
+  const auto capacities = model.capacity_circuits();
+
+  // Per source: member indices in the SP try order (distance, then index).
+  std::vector<std::vector<std::size_t>> order(num_sources);
+  std::vector<RouteLoad> routes(num_sources * k);
+  for (std::size_t s = 0; s < num_sources; ++s) {
+    std::vector<std::size_t> ranked(k);
+    for (std::size_t i = 0; i < k; ++i) {
+      ranked[i] = i;
+    }
+    std::stable_sort(ranked.begin(), ranked.end(), [&](std::size_t a, std::size_t b) {
+      return table.distance(model.sources[s], a) < table.distance(model.sources[s], b);
+    });
+    order[s] = std::move(ranked);
+    for (std::size_t i = 0; i < k; ++i) {
+      routes[s * k + i].links = table.route(model.sources[s], i).links;
+    }
+  }
+
+  std::vector<double> rejection(num_sources * k, 0.0);
+  RetryApAnalysis analysis;
+  for (std::size_t outer = 1; outer <= options.max_outer_iterations; ++outer) {
+    analysis.outer_iterations = outer;
+    // Rank-j route sees the load that failed on every nearer rank.
+    for (std::size_t s = 0; s < num_sources; ++s) {
+      double reach = rho_s;  // load reaching the current rank
+      for (std::size_t rank = 0; rank < k; ++rank) {
+        const std::size_t member = order[s][rank];
+        if (rank < max_tries) {
+          routes[s * k + member].offered_erlangs = reach;
+          reach *= rejection[s * k + member];
+        } else {
+          routes[s * k + member].offered_erlangs = 0.0;
+        }
+      }
+    }
+    const FixedPointResult fp = solve_fixed_point(model.topology->link_count(), capacities,
+                                                  routes, options.fixed_point);
+    double max_change = 0.0;
+    for (std::size_t r = 0; r < rejection.size(); ++r) {
+      max_change = std::max(max_change, std::abs(fp.route_rejection[r] - rejection[r]));
+      rejection[r] = fp.route_rejection[r];
+    }
+    if (max_change < options.outer_tolerance) {
+      analysis.converged = true;
+      break;
+    }
+  }
+
+  double ap_sum = 0.0;
+  double attempts_sum = 0.0;
+  for (std::size_t s = 0; s < num_sources; ++s) {
+    double all_fail = 1.0;
+    double attempts = 0.0;
+    double reach_probability = 1.0;  // P(this rank is attempted)
+    for (std::size_t rank = 0; rank < max_tries; ++rank) {
+      const std::size_t member = order[s][rank];
+      attempts += reach_probability;
+      reach_probability *= rejection[s * k + member];
+      all_fail *= rejection[s * k + member];
+    }
+    ap_sum += 1.0 - all_fail;
+    attempts_sum += attempts;
+  }
+  analysis.admission_probability = ap_sum / static_cast<double>(num_sources);
+  analysis.average_attempts = attempts_sum / static_cast<double>(num_sources);
+  return analysis;
+}
+
+}  // namespace anyqos::analysis

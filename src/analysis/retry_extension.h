@@ -1,0 +1,61 @@
+// Approximate analysis of <ED,R> for R > 1 (extension).
+//
+// Appendix A notes the method "can be extended to other systems (under
+// certain approximation assumptions)" without giving the extension; we
+// implement one and validate it against simulation in EXPERIMENTS.md.
+//
+// Approximation assumptions (beyond link independence):
+//  1. Attempt streams stay Poisson: a request's retries contribute extra
+//     offered load to the routes they probe.
+//  2. Route rejections are independent across a request's attempts.
+//  3. Destinations are tried uniformly at random without replacement
+//     (exactly ED's behaviour).
+//
+// Under (2)+(3) the probability that a source-s request is rejected equals
+// the average over all R-subsets T of its K routes of prod_{r in T} L_r —
+// the elementary-symmetric mean of the rejection probabilities. The attempt
+// probability of route i (how much load it sees) follows the same subset
+// calculus restricted to orderings in which every route before i failed.
+// An outer loop alternates these load estimates with the reduced-load fixed
+// point until the rejection vector stabilizes.
+#pragma once
+
+#include "src/analysis/ap_analysis.h"
+
+namespace anyqos::analysis {
+
+struct RetryAnalysisOptions {
+  FixedPointOptions fixed_point;
+  double outer_tolerance = 1e-8;     ///< max |L - L_prev| across routes
+  std::size_t max_outer_iterations = 200;
+};
+
+struct RetryApAnalysis {
+  double admission_probability = 0.0;
+  /// Expected destinations tried per request (the paper's retrial metric).
+  double average_attempts = 0.0;
+  std::size_t outer_iterations = 0;
+  bool converged = false;
+};
+
+/// Approximate AP of system <ED,R> on `model`. R = 1 reduces exactly to
+/// analyze_ed1. Requires 1 <= max_tries <= K.
+RetryApAnalysis analyze_ed_retry(const AnalyticModel& model, std::size_t max_tries,
+                                 const RetryAnalysisOptions& options);
+
+/// Approximate AP of <SP,R>: the SP policy extended with retrials, trying
+/// members in increasing fixed-route distance (ties toward the lower member
+/// index, matching core::ShortestPathSelector). The deterministic try order
+/// makes the calculus exact under the attempt-independence assumption:
+///   attempt load of rank-j route = rho_s * prod_{m<j} L_m,
+///   AP_s = 1 - prod_{j<R} L_j.
+/// R = 1 reduces to analyze_sp. Requires 1 <= max_tries <= K.
+RetryApAnalysis analyze_sp_retry(const AnalyticModel& model, std::size_t max_tries,
+                                 const RetryAnalysisOptions& options);
+
+/// Mean over all `subset_size`-subsets of `values` of the product of the
+/// chosen entries (elementary symmetric polynomial over binomial
+/// coefficient). subset_size == 0 yields 1. Exposed for testing.
+double elementary_symmetric_mean(const std::vector<double>& values, std::size_t subset_size);
+
+}  // namespace anyqos::analysis

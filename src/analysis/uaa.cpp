@@ -1,0 +1,80 @@
+#include "src/analysis/uaa.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/util/require.h"
+
+namespace anyqos::analysis {
+
+namespace {
+
+constexpr double kSqrt2Pi = 2.506628274631000502;
+constexpr double kSqrtPi = 1.772453850905516027;
+
+// Scaled complementary error function erfcx(x) = e^{x^2} erfc(x) for x >= 0.
+// Direct evaluation overflows/underflows past x ~ 26; the asymptotic series
+// erfcx(x) ~ 1/(x sqrt(pi)) * sum (-1)^k (2k-1)!! / (2x^2)^k takes over.
+double erfcx(double x) {
+  if (x > 20.0) {
+    const double inv2 = 1.0 / (2.0 * x * x);
+    double term = 1.0;
+    double sum = 1.0;
+    for (int k = 1; k <= 6; ++k) {
+      term *= -(2.0 * k - 1.0) * inv2;
+      sum += term;
+    }
+    return sum / (x * kSqrtPi);
+  }
+  return std::exp(x * x) * std::erfc(x);
+}
+
+}  // namespace
+
+double uaa_blocking(double offered_erlangs, double capacity_circuits) {
+  util::require(offered_erlangs >= 0.0, "offered load must be non-negative");
+  util::require(capacity_circuits >= 1.0, "UAA requires capacity >= 1 (eq. 23)");
+  const double v = offered_erlangs;
+  const double c = capacity_circuits;
+  if (v == 0.0) {
+    return 0.0;
+  }
+
+  const double z = c / v;          // z*
+  const double delta = 1.0 - z;    // > 0 in overload, < 0 in underload
+  // F(z*) = v(z*-1) - C log z*; always <= 0, clamp rounding noise.
+  const double f = std::min(v * (z - 1.0) - c * std::log(z), 0.0);
+  const double variance = c;       // V(z*) = v z* = C exactly
+
+  double bracket;
+  if (std::abs(delta) < 1e-4) {
+    // Series limit of 1/(sqrt(V) delta) - sign/sqrt(-2F) around z* = 1;
+    // the direct difference cancels catastrophically there.
+    bracket = (2.0 / 3.0 + 5.0 * delta / 12.0) / std::sqrt(v);
+  } else {
+    const double sign = delta > 0.0 ? 1.0 : -1.0;
+    bracket = 1.0 / (std::sqrt(variance) * delta) - sign / std::sqrt(-2.0 * f);
+  }
+
+  double blocking;
+  if (delta >= 0.0) {
+    // Overload / critical: every term of M carries the factor e^{F}, which
+    // underflows long before the answer (B -> 1 - z*) does. Work with the
+    // scaled normalizer M e^{-F} = erfc(x) e^{x^2} / 2 + bracket / sqrt(2pi),
+    // x = sqrt(-F), so B = 1 / (M e^{-F} sqrt(2pi V)).
+    const double x = std::sqrt(-f);
+    const double scaled_m = 0.5 * erfcx(x) + bracket / kSqrt2Pi;
+    util::ensure(scaled_m > 0.0, "UAA normalizer must be positive");
+    blocking = 1.0 / (scaled_m * kSqrt2Pi * std::sqrt(variance));
+  } else {
+    // Underload: M -> 1 and B ~ e^{F} itself; direct evaluation is stable
+    // (if e^{F} underflows, the blocking genuinely is ~0).
+    const double erfc_term = 0.5 * std::erfc(-std::sqrt(-f));
+    const double m = erfc_term + std::exp(f) / kSqrt2Pi * bracket;
+    util::ensure(m > 0.0, "UAA normalizer must be positive");
+    blocking = std::exp(f) / (m * kSqrt2Pi * std::sqrt(variance));
+  }
+  return std::clamp(blocking, 0.0, 1.0);
+}
+
+}  // namespace anyqos::analysis

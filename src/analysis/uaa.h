@@ -1,0 +1,28 @@
+// Uniform Asymptotic Approximation of link blocking (paper Appendix A.2,
+// eqs. (25)-(28)).
+//
+// The link blocking function L() is Erlang-B; the paper evaluates it with the
+// UAA of [17] (Mitra/Morrison style):
+//     F(z) = v(z-1) - C log z,  V(z) = v z,  z* = C/v,
+//     B ≈ e^{F(z*)} / (M sqrt(2π V(z*))),
+//     M = ½ erfc(sgn(1-z*) sqrt(-F(z*)))
+//         + e^{F(z*)}/sqrt(2π) * [ 1/(sqrt(V(z*)) (1-z*)) - sgn(1-z*)/sqrt(-2F(z*)) ]
+// (M is a uniform approximation of the Poisson(v) CDF at C: the numerator is
+// Stirling's approximation of the Poisson pmf, and B = pmf/CDF exactly.)
+//
+// The paper's printed z* = 1 branch of (28) is garbled; we use the exact
+// limit of the z* != 1 branch, derived by series expansion around z* = 1:
+//     bracket -> (2/3 + 5(1-z*)/12) / sqrt(v),
+// which recovers the known P(K <= v) ≈ ½ + 2/(3 sqrt(2π v)) median
+// correction. Tests validate the implementation against exact Erlang-B
+// across underload, critical load, and overload.
+#pragma once
+
+namespace anyqos::analysis {
+
+/// UAA blocking probability for a link with `capacity_circuits` circuits
+/// (need not be integral) offered `offered_erlangs` of Poisson load.
+/// Result is clamped to [0, 1]. Requires capacity >= 1 (eq. (23)).
+double uaa_blocking(double offered_erlangs, double capacity_circuits);
+
+}  // namespace anyqos::analysis

@@ -1,0 +1,111 @@
+#include "src/analysis/wdb_meanfield.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/util/require.h"
+
+namespace anyqos::analysis {
+
+MeanFieldAnalysis analyze_wdb1_meanfield(const AnalyticModel& model,
+                                         const MeanFieldOptions& options) {
+  util::require(model.topology != nullptr, "analytic model needs a topology");
+  util::require(!model.sources.empty(), "analytic model needs sources");
+  util::require(!model.members.empty(), "analytic model needs group members");
+  util::require(model.lambda_total > 0.0, "arrival rate must be positive");
+  util::require(options.damping > 0.0 && options.damping <= 1.0, "damping must be in (0,1]");
+  util::require(options.outer_tolerance > 0.0, "tolerance must be positive");
+
+  const net::RouteTable table(*model.topology, model.members);
+  const std::size_t num_sources = model.sources.size();
+  const std::size_t k = model.members.size();
+  const double rho_s = model.per_source_erlangs();
+  const auto capacities = model.capacity_circuits();
+
+  // Fixed route geometry.
+  std::vector<RouteLoad> routes(num_sources * k);
+  std::vector<double> inv_distance(num_sources * k);
+  for (std::size_t s = 0; s < num_sources; ++s) {
+    for (std::size_t i = 0; i < k; ++i) {
+      const net::Path& path = table.route(model.sources[s], i);
+      routes[s * k + i].links = path.links;
+      inv_distance[s * k + i] =
+          1.0 / static_cast<double>(std::max<std::size_t>(path.hops(), 1));
+    }
+  }
+
+  MeanFieldAnalysis analysis;
+  // Start from pure inverse-distance weights (idle network: all B_i equal).
+  analysis.weights.assign(num_sources * k, 0.0);
+  for (std::size_t s = 0; s < num_sources; ++s) {
+    double total = 0.0;
+    for (std::size_t i = 0; i < k; ++i) {
+      total += inv_distance[s * k + i];
+    }
+    for (std::size_t i = 0; i < k; ++i) {
+      analysis.weights[s * k + i] = inv_distance[s * k + i] / total;
+    }
+  }
+
+  FixedPointResult fp;
+  for (std::size_t outer = 1; outer <= options.max_outer_iterations; ++outer) {
+    analysis.outer_iterations = outer;
+    // Route loads implied by the current stationary weights (single try).
+    for (std::size_t r = 0; r < routes.size(); ++r) {
+      routes[r].offered_erlangs = rho_s * analysis.weights[r];
+    }
+    fp = solve_fixed_point(model.topology->link_count(), capacities, routes,
+                           options.fixed_point);
+
+    // Mean free capacity per link (circuits): C_l - carried_l, where the
+    // carried load is the thinned offered load that was not blocked.
+    std::vector<double> free_capacity(capacities);
+    for (std::size_t l = 0; l < free_capacity.size(); ++l) {
+      const double carried = fp.link_reduced_load[l] * (1.0 - fp.link_blocking[l]);
+      free_capacity[l] = std::max(capacities[l] - carried, 0.0);
+    }
+
+    // New weights from mean route bottlenecks over distance (eq. 12 with
+    // E[B_i] in place of B_i).
+    double max_change = 0.0;
+    for (std::size_t s = 0; s < num_sources; ++s) {
+      std::vector<double> raw(k, 0.0);
+      double total = 0.0;
+      for (std::size_t i = 0; i < k; ++i) {
+        double bottleneck = std::numeric_limits<double>::infinity();
+        for (const net::LinkId l : routes[s * k + i].links) {
+          bottleneck = std::min(bottleneck, free_capacity[l]);
+        }
+        if (!std::isfinite(bottleneck)) {
+          bottleneck = capacities.empty() ? 1.0 : capacities[0];  // empty route
+        }
+        raw[i] = bottleneck * inv_distance[s * k + i];
+        total += raw[i];
+      }
+      for (std::size_t i = 0; i < k; ++i) {
+        const double fresh = total > 0.0 ? raw[i] / total
+                                         : 1.0 / static_cast<double>(k);
+        double& weight = analysis.weights[s * k + i];
+        const double blended = options.damping * fresh + (1.0 - options.damping) * weight;
+        max_change = std::max(max_change, std::abs(blended - weight));
+        weight = blended;
+      }
+    }
+    if (max_change < options.outer_tolerance) {
+      analysis.converged = true;
+      break;
+    }
+  }
+
+  // AP under the converged weights: the request takes one try on route i
+  // with probability w_{s,i} (eq. 15 restricted to single attempts).
+  for (std::size_t r = 0; r < routes.size(); ++r) {
+    routes[r].offered_erlangs = rho_s * analysis.weights[r];
+  }
+  fp = solve_fixed_point(model.topology->link_count(), capacities, routes,
+                         options.fixed_point);
+  analysis.admission_probability = admission_probability(routes, fp.route_rejection);
+  return analysis;
+}
+
+}  // namespace anyqos::analysis

@@ -1,0 +1,44 @@
+// Mean-field analysis of <WD/D+B,1> (heuristic extension).
+//
+// Appendix A covers <ED,1> and SP, whose route loads are load-independent.
+// WD/D+B's weights depend on *instantaneous* route bottlenecks, which a
+// reduced-load model cannot represent exactly. The mean-field approximation
+// replaces the instantaneous weights with their stationary means:
+//
+//   w_{s,i} ∝ E[B_i] / D_i,   E[B_i] ≈ min_l (C_l − carried_l)  (route i)
+//
+// and iterates: weights -> route loads -> Erlang fixed point -> mean free
+// capacity -> weights, until the weights stabilize. The result captures
+// WD/D+B's *static* load rebalancing but not its *dynamic* avoidance of
+// momentarily-full routes, so it systematically lower-bounds the simulated
+// <WD/D+B,1> while upper-bounding <ED,1> — the gap between the two is a
+// measurement of how much the instantaneous bandwidth information is worth
+// (reported in EXPERIMENTS.md).
+#pragma once
+
+#include "src/analysis/ap_analysis.h"
+
+namespace anyqos::analysis {
+
+struct MeanFieldOptions {
+  FixedPointOptions fixed_point;
+  double outer_tolerance = 1e-6;      ///< max weight change between rounds
+  std::size_t max_outer_iterations = 500;
+  /// New-weights blend factor in (0,1]; the weight<->load feedback loop
+  /// oscillates near the saturation knee unless damped well below 1.
+  double damping = 0.15;
+};
+
+struct MeanFieldAnalysis {
+  double admission_probability = 0.0;
+  /// Stationary selection weights, [source-index x member-index] row-major.
+  std::vector<double> weights;
+  std::size_t outer_iterations = 0;
+  bool converged = false;
+};
+
+/// Approximate AP of <WD/D+B,1> on `model`.
+MeanFieldAnalysis analyze_wdb1_meanfield(const AnalyticModel& model,
+                                         const MeanFieldOptions& options);
+
+}  // namespace anyqos::analysis

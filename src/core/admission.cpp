@@ -1,0 +1,104 @@
+#include "src/core/admission.h"
+
+#include <algorithm>
+#include <memory>
+#include <span>
+
+#include "src/util/require.h"
+
+namespace anyqos::core {
+
+AdmissionController::AdmissionController(net::NodeId source, const AnycastGroup& group,
+                                         const net::RouteTable& routes,
+                                         signaling::ReservationProtocol& rsvp,
+                                         std::unique_ptr<DestinationSelector> selector,
+                                         std::unique_ptr<RetrialPolicy> retrial)
+    : source_(source),
+      group_(&group),
+      routes_(&routes),
+      rsvp_(&rsvp),
+      selector_(std::move(selector)),
+      retrial_(std::move(retrial)) {
+  util::require(selector_ != nullptr, "admission controller needs a selector");
+  util::require(retrial_ != nullptr, "admission controller needs a retrial policy");
+  util::require(group.size() == routes.destination_count(),
+                "route table must cover exactly the group members");
+}
+
+AdmissionDecision AdmissionController::admit(const FlowRequest& request, des::RandomStream& rng) {
+  util::require(request.source == source_, "request routed to the wrong AC-router");
+  util::require(request.bandwidth_bps > 0.0, "flow bandwidth must be positive");
+
+  AdmissionDecision decision;
+  // Message accounting by counter delta: reservation walks AND any probes a
+  // selector issues (WD/D+B shares the counter via its ProbeService) are
+  // attributed to this decision — the paper's overhead comparison hinges on
+  // WD/D+B's probe traffic being visible.
+  const std::uint64_t messages_before = rsvp_->counter().total();
+  // std::vector<bool> is bit-packed and cannot view as span<const bool>.
+  const auto tried = std::make_unique<bool[]>(group_->size());
+  std::fill_n(tried.get(), group_->size(), false);
+  const std::span<const bool> tried_view(tried.get(), group_->size());
+  // Figure 1: REPEAT { select; reserve; retry-control } UNTIL rejected.
+  while (true) {
+    const auto index = selector_->select(tried_view, rng);
+    if (!index.has_value()) {
+      break;  // every member tried; exhausted before the retry budget
+    }
+    tried[*index] = true;
+    ++decision.attempts;
+    const net::Path& route = routes_->route(source_, *index);
+    const signaling::ReservationResult result = rsvp_->reserve(route, request.bandwidth_bps);
+    selector_->report(*index, result.admitted);
+    if (result.admitted) {
+      decision.admitted = true;
+      decision.destination_index = *index;
+      decision.route = route;
+      break;
+    }
+    if (!retrial_->keep_going(decision.attempts)) {
+      break;
+    }
+  }
+  decision.messages = rsvp_->counter().total() - messages_before;
+  return decision;
+}
+
+void AdmissionController::release(const AdmissionDecision& decision, net::Bandwidth bandwidth_bps) {
+  util::require(decision.admitted, "only admitted flows can be released");
+  rsvp_->teardown(decision.route, bandwidth_bps);
+}
+
+GlobalAdmissionOracle::GlobalAdmissionOracle(const net::Topology& topology,
+                                             net::BandwidthLedger& ledger,
+                                             const AnycastGroup& group)
+    : topology_(&topology), ledger_(&ledger), group_(&group) {}
+
+AdmissionDecision GlobalAdmissionOracle::admit(const FlowRequest& request) {
+  util::require(request.bandwidth_bps > 0.0, "flow bandwidth must be positive");
+  AdmissionDecision decision;
+  decision.attempts = 1;  // the oracle searches once, globally
+  auto path = net::shortest_feasible_path_to_any(*topology_, *ledger_, request.source,
+                                                 group_->members(), request.bandwidth_bps);
+  if (!path.has_value()) {
+    return decision;
+  }
+  const bool ok = ledger_->reserve(*path, request.bandwidth_bps);
+  util::ensure(ok, "feasible path must admit the reservation");
+  decision.admitted = true;
+  decision.route = std::move(*path);
+  const auto member = std::find(group_->members().begin(), group_->members().end(),
+                                decision.route.destination);
+  util::ensure(member != group_->members().end(), "oracle path must end at a group member");
+  decision.destination_index =
+      static_cast<std::size_t>(member - group_->members().begin());
+  return decision;
+}
+
+void GlobalAdmissionOracle::release(const AdmissionDecision& decision,
+                                    net::Bandwidth bandwidth_bps) {
+  util::require(decision.admitted, "only admitted flows can be released");
+  ledger_->release(decision.route, bandwidth_bps);
+}
+
+}  // namespace anyqos::core

@@ -1,0 +1,93 @@
+// The Distributed Admission Control procedure (paper Figure 1) and the GDI
+// oracle baseline (Section 5.1).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+
+#include "src/core/group.h"
+#include "src/core/retrial.h"
+#include "src/core/selector.h"
+#include "src/des/random.h"
+#include "src/net/routing.h"
+#include "src/signaling/rsvp.h"
+
+namespace anyqos::core {
+
+/// A request to establish one anycast flow with a bandwidth QoS requirement.
+struct FlowRequest {
+  net::NodeId source = net::kInvalidNode;  ///< AC-router receiving the request
+  net::Bandwidth bandwidth_bps = 0.0;      ///< required bandwidth (paper: 64 kbit/s)
+};
+
+/// Outcome of running the DAC procedure for one request.
+struct AdmissionDecision {
+  bool admitted = false;
+  /// Group-member index the flow was pinned to (set iff admitted).
+  std::optional<std::size_t> destination_index;
+  /// The reserved route (set iff admitted); release it at flow departure.
+  net::Path route;
+  /// Destinations tried, 1..R ("number of retrials" in the paper's metric).
+  std::size_t attempts = 0;
+  /// Signaling messages this decision generated.
+  std::uint64_t messages = 0;
+};
+
+/// One AC-router's admission controller for one anycast group: owns the
+/// destination selector state (weights, history) and executes Figure 1's
+/// select -> reserve -> retry loop.
+class AdmissionController {
+ public:
+  /// All referenced objects must outlive the controller. `selector` and
+  /// `retrial` must be non-null.
+  AdmissionController(net::NodeId source, const AnycastGroup& group,
+                      const net::RouteTable& routes, signaling::ReservationProtocol& rsvp,
+                      std::unique_ptr<DestinationSelector> selector,
+                      std::unique_ptr<RetrialPolicy> retrial);
+
+  /// Runs the DAC procedure for `request` (request.source must equal this
+  /// controller's source). On admission the bandwidth is reserved along the
+  /// returned route; the caller must eventually release it (Flow teardown).
+  AdmissionDecision admit(const FlowRequest& request, des::RandomStream& rng);
+
+  /// Releases an admitted flow's reservation (TEAR signaling included).
+  void release(const AdmissionDecision& decision, net::Bandwidth bandwidth_bps);
+
+  [[nodiscard]] net::NodeId source() const { return source_; }
+  [[nodiscard]] const DestinationSelector& selector() const { return *selector_; }
+  [[nodiscard]] const RetrialPolicy& retrial_policy() const { return *retrial_; }
+
+ private:
+  net::NodeId source_;
+  const AnycastGroup* group_;
+  const net::RouteTable* routes_;
+  signaling::ReservationProtocol* rsvp_;
+  std::unique_ptr<DestinationSelector> selector_;
+  std::unique_ptr<RetrialPolicy> retrial_;
+};
+
+/// GDI baseline: perfect global knowledge, free path choice. A request is
+/// admitted iff *some* path with sufficient available bandwidth exists to
+/// *some* group member; we route it on the shortest such path. "Obviously,
+/// its performance is ideal, but it is not realistic" — it exists to bound
+/// the DAC systems from above, so it bypasses signaling (messages = 0).
+class GlobalAdmissionOracle {
+ public:
+  /// References must outlive the oracle.
+  GlobalAdmissionOracle(const net::Topology& topology, net::BandwidthLedger& ledger,
+                        const AnycastGroup& group);
+
+  /// Admits via exhaustive feasible-path search; reserves on success.
+  AdmissionDecision admit(const FlowRequest& request);
+
+  /// Releases an admitted flow's reservation.
+  void release(const AdmissionDecision& decision, net::Bandwidth bandwidth_bps);
+
+ private:
+  const net::Topology* topology_;
+  net::BandwidthLedger* ledger_;
+  const AnycastGroup* group_;
+};
+
+}  // namespace anyqos::core

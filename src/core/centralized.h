@@ -1,0 +1,73 @@
+// Centralized admission control baseline (paper Section 1).
+//
+// The paper motivates DAC by contrast with a *centralized* agency that makes
+// every admission decision: simple and well-informed, but a scalability
+// bottleneck and a single point of failure. This controller realizes that
+// alternative so the trade-off can be measured instead of argued:
+//
+//  - Decision quality: the agency sees the whole ledger, so among the K
+//    *fixed* routes of a request it always picks an admissible one when one
+//    exists (best = feasible with the fewest hops, ties to the widest
+//    bottleneck). It does not invent new paths — that is GDI's privilege —
+//    so CTRL sits between WD/D+B and GDI in admission probability.
+//  - Cost: every request travels to the agency and back
+//    (2 x hops(source, controller) control messages), and the agency's
+//    decision rate is finite; requests beyond `decisions_per_second` queue
+//    and suffer latency (reported, not dropped).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "src/core/group.h"
+#include "src/net/routing.h"
+#include "src/signaling/rsvp.h"
+
+namespace anyqos::core {
+
+/// Outcome of a centralized decision.
+struct CentralizedDecision {
+  bool admitted = false;
+  std::optional<std::size_t> destination_index;
+  net::Path route;
+  /// Control messages: request + response to the agency, plus reservation.
+  std::uint64_t messages = 0;
+  /// Queueing + service delay at the agency, seconds (0 when unloaded).
+  double decision_delay_s = 0.0;
+};
+
+/// The central agency. One instance serves the whole network.
+class CentralizedController {
+ public:
+  /// `controller_node` hosts the agency; `decisions_per_second` bounds its
+  /// throughput (the scalability bottleneck made explicit). References must
+  /// outlive the controller.
+  CentralizedController(const net::Topology& topology, net::BandwidthLedger& ledger,
+                        const AnycastGroup& group, const net::RouteTable& routes,
+                        signaling::ReservationProtocol& rsvp, net::NodeId controller_node,
+                        double decisions_per_second);
+
+  /// Decides (and reserves) for a request arriving at simulated time `now`
+  /// from `source` with demand `bandwidth_bps`.
+  CentralizedDecision admit(double now, net::NodeId source, net::Bandwidth bandwidth_bps);
+
+  /// Releases an admitted flow.
+  void release(const CentralizedDecision& decision, net::Bandwidth bandwidth_bps);
+
+  /// Distance from `source` to the agency (message cost per request).
+  [[nodiscard]] std::size_t control_distance(net::NodeId source) const;
+
+ private:
+  const net::Topology* topology_;
+  net::BandwidthLedger* ledger_;
+  const AnycastGroup* group_;
+  const net::RouteTable* routes_;
+  signaling::ReservationProtocol* rsvp_;
+  net::NodeId controller_node_;
+  double service_time_s_;
+  double busy_until_ = 0.0;  // M/D/1-style single decision server
+  std::vector<std::size_t> control_hops_;  // per source
+};
+
+}  // namespace anyqos::core

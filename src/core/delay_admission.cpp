@@ -1,0 +1,87 @@
+#include "src/core/delay_admission.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "src/util/require.h"
+
+namespace anyqos::core {
+
+DelayAdmissionController::DelayAdmissionController(net::NodeId source,
+                                                   const AnycastGroup& group,
+                                                   const net::RouteTable& routes,
+                                                   signaling::ReservationProtocol& rsvp,
+                                                   SchedulerModel scheduler,
+                                                   std::unique_ptr<RetrialPolicy> retrial)
+    : source_(source),
+      group_(&group),
+      routes_(&routes),
+      rsvp_(&rsvp),
+      scheduler_(scheduler),
+      retrial_(std::move(retrial)) {
+  util::require(retrial_ != nullptr, "controller needs a retrial policy");
+  util::require(group.size() == routes.destination_count(),
+                "route table must cover exactly the group members");
+}
+
+std::optional<net::Bandwidth> DelayAdmissionController::required_rate(
+    const QosRequirement& qos, std::size_t index) const {
+  const net::Path& route = routes_->route(source_, index);
+  // A co-located member (empty route) has no queueing path; only the rate
+  // floor applies.
+  const std::size_t hops = std::max<std::size_t>(route.hops(), 1);
+  return effective_bandwidth(qos, hops, scheduler_);
+}
+
+DelayAdmissionDecision DelayAdmissionController::admit(const DelayFlowRequest& request,
+                                                       des::RandomStream& rng) {
+  util::require(request.source == source_, "request routed to the wrong AC-router");
+  DelayAdmissionDecision decision;
+  const std::uint64_t messages_before = rsvp_->counter().total();
+
+  // Per-member required rates; infeasible members get weight zero.
+  const std::size_t k = group_->size();
+  std::vector<std::optional<net::Bandwidth>> rates(k);
+  for (std::size_t i = 0; i < k; ++i) {
+    rates[i] = required_rate(request.qos, i);
+  }
+  std::vector<bool> tried(k, false);
+
+  while (true) {
+    std::vector<double> weights(k, 0.0);
+    double total = 0.0;
+    for (std::size_t i = 0; i < k; ++i) {
+      if (!tried[i] && rates[i].has_value()) {
+        weights[i] = 1.0 / *rates[i];  // cheaper reservation = heavier weight
+        total += weights[i];
+      }
+    }
+    if (total <= 0.0) {
+      break;  // nothing feasible remains
+    }
+    const std::size_t index = rng.weighted_index(weights);
+    tried[index] = true;
+    ++decision.attempts;
+    const net::Path& route = routes_->route(source_, index);
+    const signaling::ReservationResult result = rsvp_->reserve(route, *rates[index]);
+    if (result.admitted) {
+      decision.admitted = true;
+      decision.destination_index = index;
+      decision.route = route;
+      decision.reserved_bps = *rates[index];
+      break;
+    }
+    if (!retrial_->keep_going(decision.attempts)) {
+      break;
+    }
+  }
+  decision.messages = rsvp_->counter().total() - messages_before;
+  return decision;
+}
+
+void DelayAdmissionController::release(const DelayAdmissionDecision& decision) {
+  util::require(decision.admitted, "only admitted flows can be released");
+  rsvp_->teardown(decision.route, decision.reserved_bps);
+}
+
+}  // namespace anyqos::core

@@ -1,0 +1,75 @@
+// DAC for delay-constrained anycast flows (Section 6 realized end to end).
+//
+// The paper notes that with rate-based schedulers an end-to-end delay bound
+// maps to a bandwidth requirement (src/core/qos.h). For anycast this mapping
+// is per-member: the required rate grows with the route's hop count, so the
+// destination choice changes how much bandwidth must be reserved. This
+// controller runs the Figure-1 loop with that coupling:
+//
+//   - members whose route cannot meet the deadline at any rate are excluded;
+//   - the remaining members are drawn with weight proportional to
+//     1 / required_rate_i (cheaper members preferred — the delay-aware
+//     analogue of eq. (4)'s inverse-distance discrimination);
+//   - reservation uses the member-specific effective bandwidth, and the
+//     decision records it so teardown releases exactly what was reserved.
+#pragma once
+
+#include <memory>
+#include <optional>
+
+#include "src/core/group.h"
+#include "src/core/qos.h"
+#include "src/core/retrial.h"
+#include "src/des/random.h"
+#include "src/net/routing.h"
+#include "src/signaling/rsvp.h"
+
+namespace anyqos::core {
+
+/// A flow request carrying a full QoS requirement instead of a bare rate.
+struct DelayFlowRequest {
+  net::NodeId source = net::kInvalidNode;
+  QosRequirement qos;
+};
+
+/// Outcome of delay-aware admission.
+struct DelayAdmissionDecision {
+  bool admitted = false;
+  std::optional<std::size_t> destination_index;
+  net::Path route;
+  /// The rate actually reserved (member-specific); needed for release.
+  net::Bandwidth reserved_bps = 0.0;
+  std::size_t attempts = 0;
+  std::uint64_t messages = 0;
+};
+
+/// AC-router logic for delay-constrained anycast flows.
+class DelayAdmissionController {
+ public:
+  /// Referenced objects must outlive the controller.
+  DelayAdmissionController(net::NodeId source, const AnycastGroup& group,
+                           const net::RouteTable& routes, signaling::ReservationProtocol& rsvp,
+                           SchedulerModel scheduler, std::unique_ptr<RetrialPolicy> retrial);
+
+  /// Runs the DAC loop; on admission the member-specific effective bandwidth
+  /// is reserved along the returned route.
+  DelayAdmissionDecision admit(const DelayFlowRequest& request, des::RandomStream& rng);
+
+  /// Releases an admitted flow's reservation.
+  void release(const DelayAdmissionDecision& decision);
+
+  /// The effective rate member `index` would need for `qos`, or nullopt when
+  /// its route cannot meet the deadline. Exposed for tests and planning.
+  [[nodiscard]] std::optional<net::Bandwidth> required_rate(const QosRequirement& qos,
+                                                            std::size_t index) const;
+
+ private:
+  net::NodeId source_;
+  const AnycastGroup* group_;
+  const net::RouteTable* routes_;
+  signaling::ReservationProtocol* rsvp_;
+  SchedulerModel scheduler_;
+  std::unique_ptr<RetrialPolicy> retrial_;
+};
+
+}  // namespace anyqos::core

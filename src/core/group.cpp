@@ -1,0 +1,26 @@
+#include "src/core/group.h"
+
+#include <algorithm>
+#include <set>
+
+#include "src/util/require.h"
+
+namespace anyqos::core {
+
+AnycastGroup::AnycastGroup(std::string address, std::vector<net::NodeId> members)
+    : address_(std::move(address)), members_(std::move(members)) {
+  util::require(!members_.empty(), "anycast group must have at least one member");
+  const std::set<net::NodeId> unique(members_.begin(), members_.end());
+  util::require(unique.size() == members_.size(), "anycast group members must be distinct");
+}
+
+net::NodeId AnycastGroup::member(std::size_t index) const {
+  util::require(index < members_.size(), "member index out of range");
+  return members_[index];
+}
+
+bool AnycastGroup::contains(net::NodeId node) const {
+  return std::find(members_.begin(), members_.end(), node) != members_.end();
+}
+
+}  // namespace anyqos::core

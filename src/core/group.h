@@ -1,0 +1,39 @@
+// Anycast groups (paper Section 3): an anycast address A and its set of
+// designated recipients G(A). A flow addressed to A may be delivered to any
+// member, but once the first packet is delivered the destination is fixed
+// for the flow's lifetime (handled by admission pinning a route).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/net/graph.h"
+
+namespace anyqos::core {
+
+/// An anycast address and its recipient group.
+///
+/// Members are identified by the router each recipient host attaches to
+/// (the experiment model attaches exactly one host per router). Member order
+/// is significant: selection algorithms index members by position.
+class AnycastGroup {
+ public:
+  /// `address` is a display label (e.g. "anycast://mirrors").
+  /// `members` must be non-empty and duplicate-free.
+  AnycastGroup(std::string address, std::vector<net::NodeId> members);
+
+  [[nodiscard]] const std::string& address() const { return address_; }
+  [[nodiscard]] const std::vector<net::NodeId>& members() const { return members_; }
+  /// K, the group size.
+  [[nodiscard]] std::size_t size() const { return members_.size(); }
+  /// Router of member `index`.
+  [[nodiscard]] net::NodeId member(std::size_t index) const;
+  /// True when `node` hosts a member.
+  [[nodiscard]] bool contains(net::NodeId node) const;
+
+ private:
+  std::string address_;
+  std::vector<net::NodeId> members_;
+};
+
+}  // namespace anyqos::core

@@ -1,0 +1,74 @@
+#include "src/core/multipath_admission.h"
+
+#include <algorithm>
+
+#include "src/util/require.h"
+
+namespace anyqos::core {
+
+MultiPathAdmissionController::MultiPathAdmissionController(
+    net::NodeId source, const AnycastGroup& group, const net::MultiPathRouteTable& routes,
+    signaling::ReservationProtocol& rsvp, std::unique_ptr<RetrialPolicy> retrial)
+    : source_(source),
+      group_(&group),
+      routes_(&routes),
+      rsvp_(&rsvp),
+      retrial_(std::move(retrial)) {
+  util::require(retrial_ != nullptr, "controller needs a retrial policy");
+  util::require(group.size() == routes.destination_count(),
+                "route table must cover exactly the group members");
+  for (std::size_t index = 0; index < routes.destination_count(); ++index) {
+    for (std::size_t rank = 0; rank < routes.path_count(source, index); ++rank) {
+      Alternative alt;
+      alt.destination_index = index;
+      alt.path_rank = rank;
+      alt.route = &routes.path(source, index, rank);
+      flat_.push_back(alt);
+      base_weights_.push_back(
+          1.0 / static_cast<double>(std::max<std::size_t>(alt.route->hops(), 1)));
+    }
+  }
+  util::ensure(!flat_.empty(), "no alternatives from this source");
+}
+
+MultiPathDecision MultiPathAdmissionController::admit(net::Bandwidth bandwidth_bps,
+                                                      des::RandomStream& rng) {
+  util::require(bandwidth_bps > 0.0, "flow bandwidth must be positive");
+  MultiPathDecision decision;
+  const std::uint64_t messages_before = rsvp_->counter().total();
+  std::vector<double> weights = base_weights_;
+  while (true) {
+    double total = 0.0;
+    for (const double w : weights) {
+      total += w;
+    }
+    if (total <= 0.0) {
+      break;  // every alternative tried
+    }
+    const std::size_t pick = rng.weighted_index(weights);
+    weights[pick] = 0.0;  // without replacement
+    ++decision.attempts;
+    const Alternative& alt = flat_[pick];
+    const signaling::ReservationResult result = rsvp_->reserve(*alt.route, bandwidth_bps);
+    if (result.admitted) {
+      decision.admitted = true;
+      decision.destination_index = alt.destination_index;
+      decision.path_rank = alt.path_rank;
+      decision.route = *alt.route;
+      break;
+    }
+    if (!retrial_->keep_going(decision.attempts)) {
+      break;
+    }
+  }
+  decision.messages = rsvp_->counter().total() - messages_before;
+  return decision;
+}
+
+void MultiPathAdmissionController::release(const MultiPathDecision& decision,
+                                           net::Bandwidth bandwidth_bps) {
+  util::require(decision.admitted, "only admitted flows can be released");
+  rsvp_->teardown(decision.route, bandwidth_bps);
+}
+
+}  // namespace anyqos::core

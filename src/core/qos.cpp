@@ -1,0 +1,44 @@
+#include "src/core/qos.h"
+
+#include <algorithm>
+
+#include "src/util/require.h"
+
+namespace anyqos::core {
+
+double wfq_delay_bound(net::Bandwidth rate_bps, std::size_t hops, const SchedulerModel& model) {
+  util::require(rate_bps > 0.0, "rate must be positive");
+  util::require(hops >= 1, "delay bound needs at least one hop");
+  const double h = static_cast<double>(hops);
+  return h * model.max_packet_bits / rate_bps + h * model.per_hop_latency_s;
+}
+
+std::optional<net::Bandwidth> rate_for_delay(double delay_s, std::size_t hops,
+                                             const SchedulerModel& model) {
+  util::require(delay_s > 0.0, "delay bound must be positive");
+  util::require(hops >= 1, "delay bound needs at least one hop");
+  const double h = static_cast<double>(hops);
+  const double queueing_budget = delay_s - h * model.per_hop_latency_s;
+  if (queueing_budget <= 0.0) {
+    return std::nullopt;  // fixed latency alone already misses the deadline
+  }
+  return h * model.max_packet_bits / queueing_budget;
+}
+
+std::optional<net::Bandwidth> effective_bandwidth(const QosRequirement& qos, std::size_t hops,
+                                                  const SchedulerModel& model) {
+  util::require(qos.min_bandwidth_bps > 0.0 || qos.max_delay_s.has_value(),
+                "QoS requirement must constrain rate or delay");
+  net::Bandwidth rate = qos.min_bandwidth_bps;
+  if (qos.max_delay_s.has_value()) {
+    const auto delay_rate = rate_for_delay(*qos.max_delay_s, hops, model);
+    if (!delay_rate.has_value()) {
+      return std::nullopt;
+    }
+    rate = std::max(rate, *delay_rate);
+  }
+  util::ensure(rate > 0.0, "effective bandwidth must be positive");
+  return rate;
+}
+
+}  // namespace anyqos::core

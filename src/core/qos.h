@@ -1,0 +1,56 @@
+// Delay-to-bandwidth QoS mapping (paper Section 6, "Final Remarks").
+//
+// The paper's admission control handles bandwidth requirements and notes that
+// an end-to-end delay requirement can be converted into a bandwidth
+// requirement in networks with rate-based schedulers (WFQ, Virtual Clock):
+// a flow served at rate g over h hops with maximum packet length L sees a
+// worst-case queueing+transmission delay of roughly
+//     D(g) = h * L / g + propagation,
+// the classic WFQ/PGPS bound with L/g latency per hop. Inverting gives the
+// minimum reservation rate for a delay bound. This module implements that
+// conversion so the DAC procedure can admit delay-constrained anycast flows.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+
+#include "src/net/topology.h"
+
+namespace anyqos::core {
+
+/// Parameters of the rate-based scheduler delay bound.
+struct SchedulerModel {
+  /// Maximum packet length in bits (default: 1500-byte MTU).
+  double max_packet_bits = 1500.0 * 8.0;
+  /// Fixed propagation + processing delay per hop, seconds.
+  double per_hop_latency_s = 0.0;
+};
+
+/// A flow's QoS requirement: a rate floor, an optional end-to-end delay
+/// bound, or both. The effective reservation is the larger of the rate floor
+/// and the rate implied by the delay bound on the candidate route.
+struct QosRequirement {
+  net::Bandwidth min_bandwidth_bps = 0.0;
+  std::optional<double> max_delay_s;  ///< end-to-end deadline
+};
+
+/// Worst-case end-to-end delay of a flow reserved at `rate_bps` across
+/// `hops` hops under `model` (h*L/g + h*per_hop_latency).
+/// Requires rate_bps > 0 and hops >= 1.
+double wfq_delay_bound(net::Bandwidth rate_bps, std::size_t hops, const SchedulerModel& model);
+
+/// Minimum rate meeting `delay_s` over `hops` hops under `model`.
+/// Returns nullopt when the deadline is not achievable at any finite rate
+/// (deadline <= fixed latency).
+std::optional<net::Bandwidth> rate_for_delay(double delay_s, std::size_t hops,
+                                             const SchedulerModel& model);
+
+/// Effective bandwidth to reserve on a route of `hops` hops so that both the
+/// rate floor and the delay bound (if any) hold. Returns nullopt when the
+/// delay bound is infeasible on this route. This is the quantity the DAC
+/// procedure should pass to resource reservation for a delay-constrained
+/// anycast flow; note it grows with hops, so nearer members need less.
+std::optional<net::Bandwidth> effective_bandwidth(const QosRequirement& qos, std::size_t hops,
+                                                  const SchedulerModel& model);
+
+}  // namespace anyqos::core

@@ -1,0 +1,38 @@
+#include "src/core/retrial.h"
+
+#include <algorithm>
+
+#include "src/util/require.h"
+
+namespace anyqos::core {
+
+CounterRetrialPolicy::CounterRetrialPolicy(std::size_t max_tries) : max_tries_(max_tries) {
+  util::require(max_tries >= 1, "retrial bound R must be at least 1");
+}
+
+bool CounterRetrialPolicy::keep_going(std::size_t attempts_made) const {
+  return attempts_made < max_tries_;
+}
+
+std::string CounterRetrialPolicy::name() const {
+  return "counter(R=" + std::to_string(max_tries_) + ")";
+}
+
+BoundedFailureRetrialPolicy::BoundedFailureRetrialPolicy(std::size_t max_tries,
+                                                         std::size_t max_consecutive_failures)
+    : max_tries_(max_tries), max_failures_(max_consecutive_failures) {
+  util::require(max_tries >= 1, "retrial bound must be at least 1");
+  util::require(max_consecutive_failures >= 1, "failure bound must be at least 1");
+}
+
+bool BoundedFailureRetrialPolicy::keep_going(std::size_t attempts_made) const {
+  // In the DAC loop every attempt so far has failed (a success returns
+  // immediately), so attempts_made equals consecutive failures.
+  return attempts_made < std::min(max_tries_, max_failures_);
+}
+
+std::string BoundedFailureRetrialPolicy::name() const {
+  return "bounded(R=" + std::to_string(max_tries_) + ",F=" + std::to_string(max_failures_) + ")";
+}
+
+}  // namespace anyqos::core

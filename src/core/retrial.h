@@ -1,0 +1,61 @@
+// Retrial control (paper Section 4.5).
+//
+// After a failed reservation the DAC procedure consults retrial control to
+// decide whether to try an alternative destination: more tries raise the
+// admission probability but cost more signaling. The paper uses a simple
+// counter bounded by R (the second element of the <A, R> system tuple).
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <string>
+
+namespace anyqos::core {
+
+/// Decides whether the DAC loop may make another attempt.
+class RetrialPolicy {
+ public:
+  virtual ~RetrialPolicy() = default;
+
+  /// `attempts_made` counts destinations already tried for this request
+  /// (>= 1 when consulted). Returns true to keep going.
+  [[nodiscard]] virtual bool keep_going(std::size_t attempts_made) const = 0;
+
+  /// Upper bound on attempts ever allowed (used to size reports).
+  [[nodiscard]] virtual std::size_t max_attempts() const = 0;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+/// The paper's counter-based scheme: allow attempts while c < R.
+/// R == 1 means a single attempt with no retry.
+class CounterRetrialPolicy final : public RetrialPolicy {
+ public:
+  explicit CounterRetrialPolicy(std::size_t max_tries);
+
+  [[nodiscard]] bool keep_going(std::size_t attempts_made) const override;
+  [[nodiscard]] std::size_t max_attempts() const override { return max_tries_; }
+  [[nodiscard]] std::string name() const override;
+
+ private:
+  std::size_t max_tries_;
+};
+
+/// Extension: stop early once the marginal gain is unlikely — allows up to
+/// `max_tries` but stops after `max_consecutive_failures` failures in a row
+/// against *distinct* members (useful on large groups; equivalent to the
+/// counter policy when the two bounds match).
+class BoundedFailureRetrialPolicy final : public RetrialPolicy {
+ public:
+  BoundedFailureRetrialPolicy(std::size_t max_tries, std::size_t max_consecutive_failures);
+
+  [[nodiscard]] bool keep_going(std::size_t attempts_made) const override;
+  [[nodiscard]] std::size_t max_attempts() const override { return max_tries_; }
+  [[nodiscard]] std::string name() const override;
+
+ private:
+  std::size_t max_tries_;
+  std::size_t max_failures_;
+};
+
+}  // namespace anyqos::core

@@ -1,0 +1,150 @@
+#include "src/core/selectors.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "src/util/require.h"
+
+namespace anyqos::core {
+
+namespace {
+
+/// Samples a member index from `weights` restricted to untried members.
+/// Returns nullopt when all members are tried.
+std::optional<std::size_t> sample_masked(const WeightVector& weights, std::span<const bool> tried,
+                                         des::RandomStream& rng) {
+  util::require(tried.size() == weights.size(), "tried mask must match group size");
+  if (std::all_of(tried.begin(), tried.end(), [](bool t) { return t; })) {
+    return std::nullopt;
+  }
+  WeightVector masked = weights.masked(tried);
+  if (masked.is_zero()) {
+    // Every untried member has zero weight (e.g. WD/D+B with all-zero probed
+    // bandwidth after masking). Fall back to uniform over untried members so
+    // the retrial budget can still be spent.
+    std::vector<double> uniform(tried.size(), 0.0);
+    for (std::size_t i = 0; i < tried.size(); ++i) {
+      uniform[i] = tried[i] ? 0.0 : 1.0;
+    }
+    masked = WeightVector::normalized(std::move(uniform));
+  }
+  return rng.weighted_index(masked.values());
+}
+
+std::vector<std::size_t> route_distances(net::NodeId source, const net::RouteTable& routes) {
+  std::vector<std::size_t> distances;
+  distances.reserve(routes.destination_count());
+  for (std::size_t i = 0; i < routes.destination_count(); ++i) {
+    distances.push_back(routes.distance(source, i));
+  }
+  return distances;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------- ED
+
+EvenDistributionSelector::EvenDistributionSelector(std::size_t group_size)
+    : weights_(WeightVector::uniform(group_size)) {}
+
+std::optional<std::size_t> EvenDistributionSelector::select(std::span<const bool> tried,
+                                                            des::RandomStream& rng) {
+  return sample_masked(weights_, tried, rng);
+}
+
+std::vector<double> EvenDistributionSelector::weights() const { return weights_.values(); }
+
+// ---------------------------------------------------------------- WD/D+H
+
+DistanceHistorySelector::DistanceHistorySelector(net::NodeId source,
+                                                 const net::RouteTable& routes, double alpha)
+    : alpha_(alpha),
+      weights_(WeightVector::inverse_distance(route_distances(source, routes))),
+      history_(routes.destination_count()) {
+  util::require(alpha >= 0.0 && alpha <= 1.0, "alpha must be in [0,1]");
+}
+
+std::optional<std::size_t> DistanceHistorySelector::select(std::span<const bool> tried,
+                                                           des::RandomStream& rng) {
+  // "Every time when a destination selection is about to be made, weights
+  // are updated" — the update is persistent, not a per-request scratch copy.
+  weights_ = apply_history(weights_, history_, alpha_);
+  return sample_masked(weights_, tried, rng);
+}
+
+void DistanceHistorySelector::report(std::size_t index, bool admitted) {
+  history_.record(index, admitted);
+}
+
+std::vector<double> DistanceHistorySelector::weights() const { return weights_.values(); }
+
+// ---------------------------------------------------------------- WD/D+B
+
+DistanceBandwidthSelector::DistanceBandwidthSelector(net::NodeId source,
+                                                     const net::RouteTable& routes,
+                                                     signaling::ProbeService& probe,
+                                                     bool mask_infeasible,
+                                                     net::Bandwidth flow_bandwidth)
+    : source_(source),
+      routes_(&routes),
+      probe_(&probe),
+      mask_infeasible_(mask_infeasible),
+      flow_bandwidth_(flow_bandwidth),
+      distances_(route_distances(source, routes)) {
+  if (mask_infeasible_) {
+    util::require(flow_bandwidth_ > 0.0, "infeasibility masking needs the flow bandwidth");
+  }
+}
+
+WeightVector DistanceBandwidthSelector::current_weights() const {
+  std::vector<double> bandwidths;
+  bandwidths.reserve(distances_.size());
+  for (std::size_t i = 0; i < distances_.size(); ++i) {
+    double b = probe_->route_bandwidth(routes_->route(source_, i));
+    if (mask_infeasible_ && b < flow_bandwidth_) {
+      b = 0.0;
+    }
+    bandwidths.push_back(b);
+  }
+  return WeightVector::bandwidth_distance(bandwidths, distances_);
+}
+
+std::optional<std::size_t> DistanceBandwidthSelector::select(std::span<const bool> tried,
+                                                             des::RandomStream& rng) {
+  return sample_masked(current_weights(), tried, rng);
+}
+
+std::vector<double> DistanceBandwidthSelector::weights() const {
+  return current_weights().values();
+}
+
+// ---------------------------------------------------------------- SP
+
+ShortestPathSelector::ShortestPathSelector(net::NodeId source, const net::RouteTable& routes)
+    : group_size_(routes.destination_count()) {
+  order_.resize(group_size_);
+  std::iota(order_.begin(), order_.end(), 0);
+  const auto distances = route_distances(source, routes);
+  std::stable_sort(order_.begin(), order_.end(),
+                   [&](std::size_t a, std::size_t b) { return distances[a] < distances[b]; });
+}
+
+std::optional<std::size_t> ShortestPathSelector::select(std::span<const bool> tried,
+                                                        des::RandomStream& /*rng*/) {
+  util::require(tried.size() == group_size_, "tried mask must match group size");
+  for (const std::size_t index : order_) {
+    if (!tried[index]) {
+      return index;
+    }
+  }
+  return std::nullopt;
+}
+
+std::vector<double> ShortestPathSelector::weights() const {
+  // Deterministic policy: all probability mass on the nearest member.
+  std::vector<double> w(group_size_, 0.0);
+  w[order_.front()] = 1.0;
+  return w;
+}
+
+}  // namespace anyqos::core

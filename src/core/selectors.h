@@ -1,0 +1,87 @@
+// Concrete destination-selection algorithms (paper Sections 4.3.1-4.3.2 and
+// the SP baseline from Section 5.1).
+#pragma once
+
+#include <vector>
+
+#include "src/core/history.h"
+#include "src/core/selector.h"
+#include "src/core/weights.h"
+
+namespace anyqos::core {
+
+/// ED (eq. 2): every member equally likely. Uses no status information
+/// beyond the group size.
+class EvenDistributionSelector final : public DestinationSelector {
+ public:
+  explicit EvenDistributionSelector(std::size_t group_size);
+
+  std::optional<std::size_t> select(std::span<const bool> tried, des::RandomStream& rng) override;
+  [[nodiscard]] std::vector<double> weights() const override;
+  [[nodiscard]] std::string name() const override { return "ED"; }
+
+ private:
+  WeightVector weights_;
+};
+
+/// WD/D+H (eqs. 4-10): inverse-distance base weights, persistently adjusted
+/// by the local admission history before every selection.
+class DistanceHistorySelector final : public DestinationSelector {
+ public:
+  DistanceHistorySelector(net::NodeId source, const net::RouteTable& routes, double alpha);
+
+  std::optional<std::size_t> select(std::span<const bool> tried, des::RandomStream& rng) override;
+  void report(std::size_t index, bool admitted) override;
+  [[nodiscard]] std::vector<double> weights() const override;
+  [[nodiscard]] std::string name() const override { return "WD/D+H"; }
+
+  [[nodiscard]] const AdmissionHistory& history() const { return history_; }
+  [[nodiscard]] double alpha() const { return alpha_; }
+
+ private:
+  double alpha_;
+  WeightVector weights_;       // persistent, evolves with every selection
+  AdmissionHistory history_;
+};
+
+/// WD/D+B (eqs. 11-12): weights recomputed from live route bottleneck
+/// bandwidth (via the probe service) over route distance at every selection.
+class DistanceBandwidthSelector final : public DestinationSelector {
+ public:
+  DistanceBandwidthSelector(net::NodeId source, const net::RouteTable& routes,
+                            signaling::ProbeService& probe, bool mask_infeasible,
+                            net::Bandwidth flow_bandwidth);
+
+  std::optional<std::size_t> select(std::span<const bool> tried, des::RandomStream& rng) override;
+  [[nodiscard]] std::vector<double> weights() const override;
+  [[nodiscard]] std::string name() const override { return "WD/D+B"; }
+
+ private:
+  [[nodiscard]] WeightVector current_weights() const;
+
+  net::NodeId source_;
+  const net::RouteTable* routes_;
+  signaling::ProbeService* probe_;
+  bool mask_infeasible_;
+  net::Bandwidth flow_bandwidth_;
+  std::vector<std::size_t> distances_;
+};
+
+/// SP baseline: deterministically tries members in increasing fixed-route
+/// distance (ties toward the lower member index). With R = 1 this is exactly
+/// the paper's SP system — anycast traffic from one source always goes to the
+/// same nearest member.
+class ShortestPathSelector final : public DestinationSelector {
+ public:
+  ShortestPathSelector(net::NodeId source, const net::RouteTable& routes);
+
+  std::optional<std::size_t> select(std::span<const bool> tried, des::RandomStream& rng) override;
+  [[nodiscard]] std::vector<double> weights() const override;
+  [[nodiscard]] std::string name() const override { return "SP"; }
+
+ private:
+  std::vector<std::size_t> order_;  // member indices sorted by distance
+  std::size_t group_size_;
+};
+
+}  // namespace anyqos::core

@@ -1,0 +1,75 @@
+// Pending-event set for the discrete-event simulator.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+namespace anyqos::des {
+
+/// Opaque handle identifying a scheduled event, usable for cancellation.
+struct EventHandle {
+  std::uint64_t id = 0;
+  [[nodiscard]] bool valid() const { return id != 0; }
+};
+
+/// Min-heap of timestamped callbacks with deterministic FIFO tie-breaking:
+/// two events at the same time fire in the order they were scheduled.
+/// Cancellation is lazy (tombstoned) so it stays O(log n) amortized.
+class EventQueue {
+ public:
+  using Action = std::function<void()>;
+
+  /// Schedules `action` at absolute time `time`; returns a cancellation handle.
+  EventHandle schedule(double time, Action action);
+
+  /// Cancels a pending event. Returns false when the event already fired,
+  /// was already cancelled, or the handle is invalid.
+  bool cancel(EventHandle handle);
+
+  /// True when no live (non-cancelled) events remain.
+  [[nodiscard]] bool empty() const { return live_ == 0; }
+  /// Number of live events.
+  [[nodiscard]] std::size_t size() const { return live_; }
+  /// Timestamp of the earliest live event; requires !empty().
+  [[nodiscard]] double next_time() const;
+
+  /// Removes and returns the earliest live event; requires !empty().
+  struct Fired {
+    double time;
+    std::uint64_t id;
+    Action action;
+  };
+  Fired pop();
+
+ private:
+  struct Entry {
+    double time;
+    std::uint64_t sequence;
+    std::uint64_t id;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.time != b.time) {
+        return a.time > b.time;
+      }
+      return a.sequence > b.sequence;
+    }
+  };
+
+  /// Pops heap entries whose action was cancelled until the top is live.
+  void drop_cancelled() const;
+
+  // Actions live in `pending_` keyed by event id; the heap stores plain
+  // (time, sequence, id) entries, so cancelling is just erasing from the map
+  // and the heap entry becomes a tombstone skipped by drop_cancelled().
+  mutable std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  std::unordered_map<std::uint64_t, Action> pending_;
+  std::uint64_t next_id_ = 1;
+  std::uint64_t next_sequence_ = 0;
+  std::size_t live_ = 0;
+};
+
+}  // namespace anyqos::des

@@ -1,0 +1,81 @@
+#include "src/des/random.h"
+
+#include "src/util/require.h"
+
+namespace anyqos::des {
+
+double RandomStream::uniform01() {
+  return std::uniform_real_distribution<double>(0.0, 1.0)(engine_);
+}
+
+double RandomStream::uniform(double lo, double hi) {
+  util::require(hi > lo, "uniform range must be non-empty");
+  return std::uniform_real_distribution<double>(lo, hi)(engine_);
+}
+
+std::size_t RandomStream::uniform_index(std::size_t n) {
+  util::require(n > 0, "uniform_index requires a non-empty range");
+  return std::uniform_int_distribution<std::size_t>(0, n - 1)(engine_);
+}
+
+double RandomStream::exponential(double mean) {
+  util::require(mean > 0.0, "exponential mean must be positive");
+  return std::exponential_distribution<double>(1.0 / mean)(engine_);
+}
+
+bool RandomStream::bernoulli(double p) {
+  util::require(p >= 0.0 && p <= 1.0, "bernoulli probability must be in [0,1]");
+  return uniform01() < p;
+}
+
+std::size_t RandomStream::weighted_index(std::span<const double> weights) {
+  util::require(!weights.empty(), "weighted_index requires at least one weight");
+  double total = 0.0;
+  for (const double w : weights) {
+    util::require(w >= 0.0, "weights must be non-negative");
+    total += w;
+  }
+  util::require(total > 0.0, "weighted_index requires a positive total weight");
+  const double target = uniform01() * total;
+  double cumulative = 0.0;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    cumulative += weights[i];
+    if (target < cumulative) {
+      return i;
+    }
+  }
+  // Floating-point rounding can leave target marginally above the final
+  // cumulative sum; attribute that mass to the last positive weight.
+  for (std::size_t i = weights.size(); i > 0; --i) {
+    if (weights[i - 1] > 0.0) {
+      return i - 1;
+    }
+  }
+  util::unreachable("weighted_index: positive total with no positive weight");
+}
+
+namespace {
+
+// SplitMix64 finalizer; excellent avalanche, used for seed derivation only.
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+std::uint64_t SeedSequence::derive(std::string_view name) const {
+  std::uint64_t h = mix64(master_seed_ ^ 0xA5A5A5A55A5A5A5AULL);
+  for (const char c : name) {
+    h = mix64(h ^ static_cast<std::uint64_t>(static_cast<unsigned char>(c)));
+  }
+  return h;
+}
+
+RandomStream SeedSequence::stream(std::string_view name) const {
+  return RandomStream(derive(name));
+}
+
+}  // namespace anyqos::des

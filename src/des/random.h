@@ -1,0 +1,64 @@
+// Random number infrastructure for reproducible simulation.
+//
+// The paper's experiments ran on Mesquite CSIM; we replace it with our own
+// engine (see DESIGN.md). Every stochastic component draws from a named
+// RandomStream derived deterministically from a master seed, so that runs are
+// reproducible and changing one component's consumption pattern does not
+// perturb the others (common random numbers across compared systems).
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <span>
+#include <string>
+#include <string_view>
+
+namespace anyqos::des {
+
+/// A self-contained mt19937_64 stream with convenience draws.
+class RandomStream {
+ public:
+  explicit RandomStream(std::uint64_t seed) : engine_(seed) {}
+
+  /// Uniform double in [0, 1).
+  double uniform01();
+  /// Uniform double in [lo, hi); requires hi > lo.
+  double uniform(double lo, double hi);
+  /// Uniform integer in [0, n); requires n > 0.
+  std::size_t uniform_index(std::size_t n);
+  /// Exponential with the given mean; requires mean > 0.
+  double exponential(double mean);
+  /// Bernoulli trial with probability p of true; requires p in [0,1].
+  bool bernoulli(double p);
+
+  /// Samples an index from an unnormalized non-negative weight vector.
+  /// Requires at least one strictly positive weight.
+  std::size_t weighted_index(std::span<const double> weights);
+
+  /// Access to the raw engine for std distributions.
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+/// Derives independent named streams from one master seed.
+///
+/// The derivation hashes (seed, name) with SplitMix64-style mixing, so streams
+/// are stable across runs and uncorrelated for distinct names.
+class SeedSequence {
+ public:
+  explicit SeedSequence(std::uint64_t master_seed) : master_seed_(master_seed) {}
+
+  /// Deterministic sub-seed for `name`.
+  [[nodiscard]] std::uint64_t derive(std::string_view name) const;
+  /// A fresh stream seeded with derive(name).
+  [[nodiscard]] RandomStream stream(std::string_view name) const;
+
+  [[nodiscard]] std::uint64_t master_seed() const { return master_seed_; }
+
+ private:
+  std::uint64_t master_seed_;
+};
+
+}  // namespace anyqos::des

@@ -1,0 +1,43 @@
+#include "src/des/simulator.h"
+
+#include <cmath>
+
+#include "src/util/require.h"
+
+namespace anyqos::des {
+
+EventHandle Simulator::schedule_at(double time, Action action) {
+  util::require(!std::isnan(time), "event time must not be NaN");
+  util::require(time >= now_, "cannot schedule an event in the past");
+  return queue_.schedule(time, std::move(action));
+}
+
+EventHandle Simulator::schedule_in(double delay, Action action) {
+  util::require(!std::isnan(delay) && delay >= 0.0, "event delay must be non-negative");
+  return queue_.schedule(now_ + delay, std::move(action));
+}
+
+bool Simulator::cancel(EventHandle handle) { return queue_.cancel(handle); }
+
+std::size_t Simulator::run_until(double until) {
+  util::require(until >= now_, "run_until target precedes current time");
+  stop_requested_ = false;
+  std::size_t fired = 0;
+  while (!queue_.empty() && !stop_requested_) {
+    if (queue_.next_time() > until) {
+      now_ = until;
+      return fired;
+    }
+    EventQueue::Fired event = queue_.pop();
+    now_ = event.time;
+    event.action();
+    ++dispatched_;
+    ++fired;
+  }
+  if (queue_.empty() && std::isfinite(until)) {
+    now_ = until;
+  }
+  return fired;
+}
+
+}  // namespace anyqos::des

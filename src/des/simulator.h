@@ -1,0 +1,58 @@
+// Event-driven simulation kernel.
+//
+// Replaces the paper's Mesquite CSIM (process-oriented, commercial) with an
+// event-driven core: a virtual clock plus an event queue. Model code
+// schedules closures at absolute or relative virtual times; `run` dispatches
+// them in timestamp order. Single-threaded by design — determinism matters
+// more than parallelism at this model size.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+
+#include "src/des/event_queue.h"
+
+namespace anyqos::des {
+
+/// The simulation kernel: owns the virtual clock and the pending-event set.
+class Simulator {
+ public:
+  using Action = EventQueue::Action;
+
+  /// Current virtual time (seconds). Starts at 0.
+  [[nodiscard]] double now() const { return now_; }
+
+  /// Schedules `action` at absolute virtual time `time` (>= now()).
+  EventHandle schedule_at(double time, Action action);
+  /// Schedules `action` `delay` seconds from now (delay >= 0).
+  EventHandle schedule_in(double delay, Action action);
+  /// Cancels a pending event; returns false if it already fired/cancelled.
+  bool cancel(EventHandle handle);
+
+  /// Dispatches events in timestamp order until the queue is empty or the
+  /// next event is strictly after `until`. The clock ends at
+  /// min(until, last event time) — or `until` exactly when events remain.
+  /// Returns the number of events dispatched.
+  std::size_t run_until(double until);
+
+  /// Runs until the event queue is empty. Returns events dispatched.
+  std::size_t run() { return run_until(std::numeric_limits<double>::infinity()); }
+
+  /// Stops the current run_until loop after the in-flight event completes.
+  /// Pending events stay queued; a later run_until resumes them.
+  void stop() { stop_requested_ = true; }
+
+  /// Live events still queued.
+  [[nodiscard]] std::size_t pending_events() const { return queue_.size(); }
+  /// Total events dispatched over the simulator's lifetime.
+  [[nodiscard]] std::uint64_t dispatched_events() const { return dispatched_; }
+
+ private:
+  EventQueue queue_;
+  double now_ = 0.0;
+  std::uint64_t dispatched_ = 0;
+  bool stop_requested_ = false;
+};
+
+}  // namespace anyqos::des

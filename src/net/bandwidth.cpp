@@ -1,0 +1,132 @@
+#include "src/net/bandwidth.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "src/util/require.h"
+
+namespace anyqos::net {
+
+namespace {
+// Reservations are multiples of the flow bandwidth; a relative epsilon guards
+// the floating-point accumulation in release() underflowing slightly below 0.
+constexpr double kSlack = 1e-6;
+}  // namespace
+
+BandwidthLedger::BandwidthLedger(const Topology& topology, double anycast_share)
+    : topology_(&topology) {
+  util::require(anycast_share > 0.0 && anycast_share <= 1.0,
+                "anycast share must be in (0,1]");
+  const std::size_t n = topology.link_count();
+  capacity_.reserve(n);
+  for (LinkId id = 0; id < n; ++id) {
+    capacity_.push_back(topology.capacity(id) * anycast_share);
+  }
+  available_ = capacity_;
+  nominal_capacity_ = capacity_;
+}
+
+void BandwidthLedger::fail_link(LinkId id) {
+  check_link(id);
+  util::require(!is_failed(id), "link is already failed");
+  util::require(available_[id] >= capacity_[id] - kSlack * (capacity_[id] + 1.0),
+                "cannot fail a link with active reservations");
+  capacity_[id] = 0.0;
+  available_[id] = 0.0;
+}
+
+void BandwidthLedger::restore_link(LinkId id) {
+  check_link(id);
+  util::require(is_failed(id), "only failed links can be restored");
+  capacity_[id] = nominal_capacity_[id];
+  available_[id] = nominal_capacity_[id];
+}
+
+bool BandwidthLedger::is_failed(LinkId id) const {
+  check_link(id);
+  return capacity_[id] == 0.0;
+}
+
+Bandwidth BandwidthLedger::capacity(LinkId id) const {
+  check_link(id);
+  return capacity_[id];
+}
+
+Bandwidth BandwidthLedger::available(LinkId id) const {
+  check_link(id);
+  return available_[id];
+}
+
+Bandwidth BandwidthLedger::reserved(LinkId id) const {
+  check_link(id);
+  return capacity_[id] - available_[id];
+}
+
+double BandwidthLedger::utilization(LinkId id) const {
+  check_link(id);
+  if (capacity_[id] == 0.0) {
+    return 1.0;  // a failed link is fully unusable
+  }
+  return (capacity_[id] - available_[id]) / capacity_[id];
+}
+
+Bandwidth BandwidthLedger::bottleneck(const Path& path) const {
+  Bandwidth minimum = std::numeric_limits<Bandwidth>::infinity();
+  for (const LinkId id : path.links) {
+    check_link(id);
+    minimum = std::min(minimum, available_[id]);
+  }
+  return minimum;
+}
+
+bool BandwidthLedger::can_reserve(const Path& path, Bandwidth amount) const {
+  util::require(amount > 0.0, "reservation amount must be positive");
+  for (const LinkId id : path.links) {
+    check_link(id);
+    if (available_[id] + kSlack * amount < amount) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool BandwidthLedger::reserve(const Path& path, Bandwidth amount) {
+  if (!can_reserve(path, amount)) {
+    return false;
+  }
+  for (const LinkId id : path.links) {
+    available_[id] -= amount;
+    if (available_[id] < 0.0) {  // floating point slack only
+      util::ensure(available_[id] > -kSlack * amount, "reservation drove availability negative");
+      available_[id] = 0.0;
+    }
+  }
+  return true;
+}
+
+void BandwidthLedger::release(const Path& path, Bandwidth amount) {
+  util::require(amount > 0.0, "release amount must be positive");
+  // Validate first so a bad release leaves the ledger untouched.
+  for (const LinkId id : path.links) {
+    check_link(id);
+    util::ensure(available_[id] + amount <= capacity_[id] + kSlack * amount,
+                 "release exceeds reserved bandwidth on a link");
+  }
+  for (const LinkId id : path.links) {
+    available_[id] = std::min(available_[id] + amount, capacity_[id]);
+  }
+}
+
+Bandwidth BandwidthLedger::total_reserved() const {
+  Bandwidth total = 0.0;
+  for (LinkId id = 0; id < available_.size(); ++id) {
+    total += capacity_[id] - available_[id];
+  }
+  return total;
+}
+
+void BandwidthLedger::check_link(LinkId id) const {
+  util::require(id < available_.size(), "link id out of range");
+}
+
+}  // namespace anyqos::net

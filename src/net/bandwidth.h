@@ -1,0 +1,80 @@
+// Bandwidth accounting: tracks the capacity available for anycast flows on
+// every directed link ("Remaining Capacity / Available Bandwidth AB_l" in
+// the paper's Section 3) and performs atomic path reservations.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/net/topology.h"
+
+namespace anyqos::net {
+
+/// Per-link available-bandwidth ledger with atomic path reserve/release.
+///
+/// Constructed with an `anycast_share` in (0,1]: only that fraction of each
+/// raw link capacity is usable by anycast flows (the paper reserves 20% of
+/// each 100 Mbit/s link). The ledger enforces 0 <= available <= capacity as a
+/// hard invariant; violations throw rather than corrupt the simulation.
+class BandwidthLedger {
+ public:
+  /// `topology` must outlive the ledger.
+  BandwidthLedger(const Topology& topology, double anycast_share);
+
+  /// Capacity usable by anycast flows on directed link `id`.
+  [[nodiscard]] Bandwidth capacity(LinkId id) const;
+  /// Bandwidth currently unreserved on directed link `id` (AB_l).
+  [[nodiscard]] Bandwidth available(LinkId id) const;
+  /// Bandwidth currently reserved on directed link `id`.
+  [[nodiscard]] Bandwidth reserved(LinkId id) const;
+  /// reserved/capacity in [0,1].
+  [[nodiscard]] double utilization(LinkId id) const;
+
+  /// Minimum available bandwidth over the links of `path` (the paper's
+  /// route bandwidth B_i, eq. (11)). Empty paths have infinite bottleneck.
+  [[nodiscard]] Bandwidth bottleneck(const Path& path) const;
+
+  /// True when every link of `path` has at least `amount` available.
+  [[nodiscard]] bool can_reserve(const Path& path, Bandwidth amount) const;
+
+  /// Atomically reserves `amount` on every link of `path`. Returns false and
+  /// changes nothing when any link lacks capacity.
+  [[nodiscard]] bool reserve(const Path& path, Bandwidth amount);
+
+  /// Releases a previous reservation of `amount` on every link of `path`.
+  /// Throws InvariantError when releasing more than was reserved.
+  void release(const Path& path, Bandwidth amount);
+
+  /// Number of directed links tracked.
+  [[nodiscard]] std::size_t link_count() const { return available_.size(); }
+  /// The topology this ledger accounts for.
+  [[nodiscard]] const Topology& topology() const { return *topology_; }
+
+  /// Total reserved bandwidth summed over all directed links (diagnostics).
+  [[nodiscard]] Bandwidth total_reserved() const;
+
+  // --- Fault injection (Section 3 notes the no-fault assumption "can be
+  // --- extended"; these hooks support the fault-tolerance extension).
+
+  /// Takes directed link `id` out of service: capacity and availability drop
+  /// to zero, so reservations and feasibility checks treat it as full.
+  /// Requires that no bandwidth is currently reserved on it (terminate the
+  /// flows crossing it first).
+  void fail_link(LinkId id);
+
+  /// Returns a failed link to service at its original capacity, fully idle.
+  void restore_link(LinkId id);
+
+  /// True when the link is currently failed.
+  [[nodiscard]] bool is_failed(LinkId id) const;
+
+ private:
+  void check_link(LinkId id) const;
+
+  const Topology* topology_;
+  std::vector<Bandwidth> capacity_;
+  std::vector<Bandwidth> available_;
+  std::vector<Bandwidth> nominal_capacity_;  // capacity before any failure
+};
+
+}  // namespace anyqos::net

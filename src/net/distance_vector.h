@@ -1,0 +1,89 @@
+// Distributed route computation: distance-vector protocol simulation.
+//
+// Section 3 assumes each source owns a fixed path to every anycast member,
+// "obtained via the existing routing protocols [13, 14]" — i.e. computed by
+// the routers themselves, not by a central oracle. This module simulates a
+// RIP-style distance-vector protocol at the protocol-round level: each round
+// every router advertises its current distance vector to its neighbours, who
+// relax their tables (Bellman-Ford). The result converges to the same
+// hop-count shortest paths RouteTable computes centrally — a property the
+// tests assert — while exposing protocol-level behaviour (convergence round
+// counts, reconvergence after topology changes, count-to-infinity guarded by
+// a hop limit).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "src/net/routing.h"
+#include "src/net/topology.h"
+
+namespace anyqos::net {
+
+/// One router's routing table produced by the protocol: per destination, the
+/// hop distance (kUnreachable when none) and the next-hop link.
+struct RoutingTableEntry {
+  std::size_t distance = kUnreachable;
+  LinkId next_hop = kInvalidLink;
+};
+
+/// Simulates a synchronous distance-vector protocol over a topology.
+///
+/// Rounds are synchronous full exchanges (every router advertises once per
+/// round); `converge` runs rounds until no table changes. The infinity metric
+/// (`max_diameter`) bounds count-to-infinity after failures, mirroring RIP's
+/// metric 16.
+class DistanceVectorProtocol {
+ public:
+  /// `topology` must outlive the protocol. `max_diameter` is the largest
+  /// usable hop distance; anything longer is treated as unreachable.
+  explicit DistanceVectorProtocol(const Topology& topology, std::size_t max_diameter = 32);
+
+  /// Runs one synchronous advertisement round.
+  /// Returns true when any routing-table entry changed.
+  bool step();
+
+  /// Runs rounds until a fixed point (or `max_rounds`); returns the number of
+  /// rounds executed. Converged when a round changes nothing.
+  std::size_t converge(std::size_t max_rounds = 1'000);
+
+  /// True when the last step() changed nothing.
+  [[nodiscard]] bool converged() const { return converged_; }
+
+  /// Current table entry at `router` for `destination`.
+  [[nodiscard]] const RoutingTableEntry& entry(NodeId router, NodeId destination) const;
+
+  /// Extracts the full path `source -> destination` by following next-hops.
+  /// Returns nullopt when the destination is unreachable (or the tables have
+  /// not converged and contain a transient loop longer than max_diameter).
+  [[nodiscard]] std::optional<Path> path(NodeId source, NodeId destination) const;
+
+  /// Marks a directed link (and its reverse) unusable and poisons routes
+  /// through it, as a router pair would after losing keepalives. Call
+  /// converge() afterwards to let the network reroute.
+  void fail_duplex_link(LinkId link);
+
+  /// Returns a previously failed duplex link to service.
+  void restore_duplex_link(LinkId link);
+
+  [[nodiscard]] std::size_t max_diameter() const { return max_diameter_; }
+
+ private:
+  [[nodiscard]] bool link_usable(LinkId link) const;
+  RoutingTableEntry& entry_mut(NodeId router, NodeId destination);
+
+  const Topology* topology_;
+  std::size_t max_diameter_;
+  std::vector<RoutingTableEntry> table_;  // router-major [router][destination]
+  std::vector<char> link_down_;           // per directed link
+  bool converged_ = false;
+};
+
+/// Convenience: converge a protocol instance on `topology` and return a
+/// RouteTable-compatible set of paths to `destinations` from every router.
+/// Throws std::invalid_argument when some pair is disconnected.
+std::vector<Path> distance_vector_routes(const Topology& topology,
+                                         const std::vector<NodeId>& destinations);
+
+}  // namespace anyqos::net

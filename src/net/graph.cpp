@@ -1,0 +1,87 @@
+#include "src/net/graph.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "src/util/require.h"
+
+namespace anyqos::net {
+
+Graph::Graph(std::size_t node_count) : out_(node_count), in_(node_count) {}
+
+NodeId Graph::add_node() {
+  out_.emplace_back();
+  in_.emplace_back();
+  return static_cast<NodeId>(out_.size() - 1);
+}
+
+LinkId Graph::add_arc(NodeId from, NodeId to) {
+  check_node(from);
+  check_node(to);
+  util::require(from != to, "self-loop arcs are not allowed");
+  const auto id = static_cast<LinkId>(arcs_.size());
+  arcs_.push_back(Arc{from, to});
+  out_[from].push_back(id);
+  in_[to].push_back(id);
+  return id;
+}
+
+const Arc& Graph::arc(LinkId id) const {
+  util::require(id < arcs_.size(), "arc id out of range");
+  return arcs_[id];
+}
+
+std::span<const LinkId> Graph::out_arcs(NodeId node) const {
+  check_node(node);
+  return out_[node];
+}
+
+std::span<const LinkId> Graph::in_arcs(NodeId node) const {
+  check_node(node);
+  return in_[node];
+}
+
+LinkId Graph::find_arc(NodeId from, NodeId to) const {
+  check_node(from);
+  check_node(to);
+  for (const LinkId id : out_[from]) {
+    if (arcs_[id].to == to) {
+      return id;
+    }
+  }
+  return kInvalidLink;
+}
+
+bool Graph::strongly_connected() const {
+  if (node_count() <= 1) {
+    return true;
+  }
+  const auto reaches_all = [this](bool forward) {
+    std::vector<char> seen(node_count(), 0);
+    std::queue<NodeId> frontier;
+    frontier.push(0);
+    seen[0] = 1;
+    std::size_t visited = 1;
+    while (!frontier.empty()) {
+      const NodeId u = frontier.front();
+      frontier.pop();
+      const auto& adjacency = forward ? out_[u] : in_[u];
+      for (const LinkId id : adjacency) {
+        const NodeId v = forward ? arcs_[id].to : arcs_[id].from;
+        if (seen[v] == 0) {
+          seen[v] = 1;
+          ++visited;
+          frontier.push(v);
+        }
+      }
+    }
+    return visited == node_count();
+  };
+  return reaches_all(true) && reaches_all(false);
+}
+
+void Graph::check_node(NodeId node) const {
+  util::require(node < out_.size(), "node id out of range");
+}
+
+}  // namespace anyqos::net

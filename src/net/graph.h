@@ -1,0 +1,67 @@
+// Generic directed-graph structure underlying the network topology.
+//
+// Kept separate from Topology so that routing algorithms and connectivity
+// checks can be unit-tested on bare graphs, and so alternative substrates
+// (e.g. overlay graphs) can reuse them.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace anyqos::net {
+
+using NodeId = std::uint32_t;
+using LinkId = std::uint32_t;
+
+/// Sentinel for "no node".
+inline constexpr NodeId kInvalidNode = static_cast<NodeId>(-1);
+/// Sentinel for "no link".
+inline constexpr LinkId kInvalidLink = static_cast<LinkId>(-1);
+
+/// A directed edge. Graph stores arcs; an undirected physical link is two
+/// arcs created together (see Topology::add_duplex_link).
+struct Arc {
+  NodeId from = kInvalidNode;
+  NodeId to = kInvalidNode;
+};
+
+/// Compact directed multigraph with O(1) arc lookup and per-node adjacency.
+///
+/// Arcs are identified by dense LinkIds in insertion order, which the rest of
+/// the library relies on for deterministic iteration.
+class Graph {
+ public:
+  /// Creates `n` isolated nodes with ids 0..n-1.
+  explicit Graph(std::size_t node_count = 0);
+
+  /// Appends one node; returns its id.
+  NodeId add_node();
+  /// Appends a directed arc; both endpoints must exist. Returns its id.
+  LinkId add_arc(NodeId from, NodeId to);
+
+  [[nodiscard]] std::size_t node_count() const { return out_.size(); }
+  [[nodiscard]] std::size_t arc_count() const { return arcs_.size(); }
+
+  /// Endpoints of arc `id`.
+  [[nodiscard]] const Arc& arc(LinkId id) const;
+  /// Outgoing arc ids of `node`, in insertion order.
+  [[nodiscard]] std::span<const LinkId> out_arcs(NodeId node) const;
+  /// Incoming arc ids of `node`, in insertion order.
+  [[nodiscard]] std::span<const LinkId> in_arcs(NodeId node) const;
+
+  /// First arc from `from` to `to`, or kInvalidLink.
+  [[nodiscard]] LinkId find_arc(NodeId from, NodeId to) const;
+
+  /// True when every node can reach every other node along directed arcs.
+  [[nodiscard]] bool strongly_connected() const;
+
+ private:
+  void check_node(NodeId node) const;
+
+  std::vector<Arc> arcs_;
+  std::vector<std::vector<LinkId>> out_;
+  std::vector<std::vector<LinkId>> in_;
+};
+
+}  // namespace anyqos::net

@@ -1,0 +1,154 @@
+#include "src/net/link_state.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "src/util/require.h"
+
+namespace anyqos::net {
+
+LinkStateProtocol::LinkStateProtocol(const Topology& topology)
+    : topology_(&topology),
+      duplex_count_(topology.link_count() / 2),
+      lsdb_(topology.router_count() * (topology.link_count() / 2)),
+      current_sequence_(topology.link_count() / 2, 1),
+      link_up_(topology.link_count() / 2, 1) {
+  // Each router starts with fresh LSAs for its own attached links.
+  for (NodeId r = 0; r < topology.router_count(); ++r) {
+    for (const LinkId out : topology.graph().out_arcs(r)) {
+      LinkStateRecord& rec = record_mut(r, duplex_index(out));
+      rec.sequence = 1;
+      rec.up = true;
+    }
+  }
+}
+
+LinkStateRecord& LinkStateProtocol::record_mut(NodeId router, std::size_t duplex) {
+  return lsdb_[router * duplex_count_ + duplex];
+}
+
+const LinkStateRecord& LinkStateProtocol::record(NodeId router, LinkId link) const {
+  util::require(router < topology_->router_count(), "router out of range");
+  util::require(link < topology_->link_count(), "link out of range");
+  return lsdb_[router * duplex_count_ + duplex_index(link)];
+}
+
+bool LinkStateProtocol::step() {
+  const std::size_t n = topology_->router_count();
+  bool changed = false;
+  const std::vector<LinkStateRecord> snapshot = lsdb_;
+  const auto snap = [&](NodeId router, std::size_t duplex) -> const LinkStateRecord& {
+    return snapshot[router * duplex_count_ + duplex];
+  };
+  for (NodeId r = 0; r < n; ++r) {
+    for (const LinkId out : topology_->graph().out_arcs(r)) {
+      // Flooding only crosses operational links.
+      if (link_up_[duplex_index(out)] == 0) {
+        continue;
+      }
+      const NodeId neighbour = topology_->link(out).to;
+      for (std::size_t d = 0; d < duplex_count_; ++d) {
+        const LinkStateRecord& theirs = snap(neighbour, d);
+        LinkStateRecord& mine = record_mut(r, d);
+        if (theirs.sequence > mine.sequence) {
+          mine = theirs;
+          changed = true;
+        }
+      }
+    }
+  }
+  converged_ = !changed;
+  return changed;
+}
+
+std::size_t LinkStateProtocol::converge(std::size_t max_rounds) {
+  util::require(max_rounds >= 1, "need at least one round");
+  for (std::size_t round = 1; round <= max_rounds; ++round) {
+    if (!step()) {
+      return round;
+    }
+  }
+  return max_rounds;
+}
+
+bool LinkStateProtocol::database_complete(NodeId router) const {
+  util::require(router < topology_->router_count(), "router out of range");
+  for (std::size_t d = 0; d < duplex_count_; ++d) {
+    if (lsdb_[router * duplex_count_ + d].sequence != current_sequence_[d]) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::optional<Path> LinkStateProtocol::spf_path(NodeId router, NodeId destination) const {
+  util::require(router < topology_->router_count(), "router out of range");
+  util::require(destination < topology_->router_count(), "destination out of range");
+  // BFS over the links this router believes are up, visiting out-links in id
+  // order — the same deterministic traversal as net::shortest_path, so with
+  // a complete LSDB the paths match exactly.
+  const std::size_t n = topology_->router_count();
+  std::vector<std::size_t> dist(n, kUnreachable);
+  std::vector<LinkId> parent(n, kInvalidLink);
+  std::queue<NodeId> frontier;
+  dist[router] = 0;
+  frontier.push(router);
+  while (!frontier.empty()) {
+    const NodeId u = frontier.front();
+    frontier.pop();
+    for (const LinkId id : topology_->graph().out_arcs(u)) {
+      const LinkStateRecord& rec = lsdb_[router * duplex_count_ + duplex_index(id)];
+      if (rec.sequence == 0 || !rec.up) {
+        continue;  // unknown or down in this router's view
+      }
+      const NodeId v = topology_->link(id).to;
+      if (dist[v] != kUnreachable) {
+        continue;
+      }
+      dist[v] = dist[u] + 1;
+      parent[v] = id;
+      frontier.push(v);
+    }
+  }
+  if (dist[destination] == kUnreachable) {
+    return std::nullopt;
+  }
+  Path path;
+  path.source = router;
+  path.destination = destination;
+  NodeId at = destination;
+  while (at != router) {
+    const LinkId id = parent[at];
+    path.links.push_back(id);
+    at = topology_->link(id).from;
+  }
+  std::reverse(path.links.begin(), path.links.end());
+  return path;
+}
+
+void LinkStateProtocol::originate(LinkId link, bool up) {
+  const std::size_t d = duplex_index(link);
+  ++current_sequence_[d];
+  link_up_[d] = up ? 1 : 0;
+  const Arc& arc = topology_->link(link);
+  for (const NodeId endpoint : {arc.from, arc.to}) {
+    LinkStateRecord& rec = record_mut(endpoint, d);
+    rec.sequence = current_sequence_[d];
+    rec.up = up;
+  }
+  converged_ = false;
+}
+
+void LinkStateProtocol::fail_duplex_link(LinkId link) {
+  util::require(link < topology_->link_count(), "link out of range");
+  util::require(link_up_[duplex_index(link)] == 1, "link already failed");
+  originate(link, false);
+}
+
+void LinkStateProtocol::restore_duplex_link(LinkId link) {
+  util::require(link < topology_->link_count(), "link out of range");
+  util::require(link_up_[duplex_index(link)] == 0, "link is not failed");
+  originate(link, true);
+}
+
+}  // namespace anyqos::net

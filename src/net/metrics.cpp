@@ -1,0 +1,57 @@
+#include "src/net/metrics.h"
+
+#include <algorithm>
+
+#include "src/net/routing.h"
+#include "src/util/require.h"
+
+namespace anyqos::net {
+
+std::size_t diameter(const Topology& topology) {
+  util::require(topology.router_count() >= 1, "diameter of an empty topology");
+  std::size_t longest = 0;
+  for (NodeId source = 0; source < topology.router_count(); ++source) {
+    const auto dist = hop_distances(topology, source);
+    for (const std::size_t d : dist) {
+      util::require(d != kUnreachable, "diameter requires a connected topology");
+      longest = std::max(longest, d);
+    }
+  }
+  return longest;
+}
+
+std::vector<std::size_t> degrees(const Topology& topology) {
+  std::vector<std::size_t> result(topology.router_count(), 0);
+  for (NodeId node = 0; node < topology.router_count(); ++node) {
+    result[node] = topology.graph().out_arcs(node).size();
+  }
+  return result;
+}
+
+double average_degree(const Topology& topology) {
+  util::require(topology.router_count() >= 1, "average degree of an empty topology");
+  // Each duplex link contributes one outgoing arc at both endpoints.
+  return 2.0 * static_cast<double>(topology.duplex_link_count()) /
+         static_cast<double>(topology.router_count());
+}
+
+double mean_distance(const Topology& topology) {
+  const std::size_t n = topology.router_count();
+  util::require(n >= 2, "mean distance needs at least two routers");
+  double total = 0.0;
+  std::size_t pairs = 0;
+  for (NodeId source = 0; source < n; ++source) {
+    const auto dist = hop_distances(topology, source);
+    for (NodeId dest = 0; dest < n; ++dest) {
+      if (dest == source) {
+        continue;
+      }
+      util::require(dist[dest] != kUnreachable, "mean distance requires connectivity");
+      total += static_cast<double>(dist[dest]);
+      ++pairs;
+    }
+  }
+  return total / static_cast<double>(pairs);
+}
+
+}  // namespace anyqos::net

@@ -1,0 +1,25 @@
+// Structural topology metrics (diameter, degrees) used by reports, examples
+// and the topology-robustness ablation to characterize the networks compared.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "src/net/topology.h"
+
+namespace anyqos::net {
+
+/// Hop-count diameter: the longest shortest path over all router pairs.
+/// Requires a connected topology (throws otherwise).
+std::size_t diameter(const Topology& topology);
+
+/// Mean number of duplex links per router.
+double average_degree(const Topology& topology);
+
+/// Degree (duplex links) of every router, indexed by NodeId.
+std::vector<std::size_t> degrees(const Topology& topology);
+
+/// Average hop distance over all ordered router pairs (connected only).
+double mean_distance(const Topology& topology);
+
+}  // namespace anyqos::net

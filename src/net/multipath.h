@@ -1,0 +1,47 @@
+// Multiple fixed paths per (source, member) pair (extension).
+//
+// The paper fixes ONE route per source-member pair and lets GDI alone use
+// arbitrary paths. A practical midpoint — standard in QoS-routing follow-up
+// work — precomputes k loopless shortest paths per pair (Yen) and lets the
+// DAC procedure retry across paths as well as members. This module provides
+// that route set; core::MultiPathAdmissionController consumes it.
+#pragma once
+
+#include <vector>
+
+#include "src/net/routing.h"
+#include "src/net/topology.h"
+
+namespace anyqos::net {
+
+/// Up to `k` precomputed loopless paths from every router to each
+/// destination, in non-decreasing hop order (pairs closer than k paths keep
+/// what exists; every pair has at least one).
+class MultiPathRouteTable {
+ public:
+  /// Throws std::invalid_argument when some pair is disconnected.
+  MultiPathRouteTable(const Topology& topology, std::vector<NodeId> destinations,
+                      std::size_t paths_per_pair);
+
+  [[nodiscard]] const std::vector<NodeId>& destinations() const { return destinations_; }
+  [[nodiscard]] std::size_t destination_count() const { return destinations_.size(); }
+  [[nodiscard]] std::size_t max_paths_per_pair() const { return k_; }
+
+  /// Number of stored paths for (source, destination index); 1..k.
+  [[nodiscard]] std::size_t path_count(NodeId source, std::size_t index) const;
+  /// The `rank`-th shortest stored path (rank < path_count).
+  [[nodiscard]] const Path& path(NodeId source, std::size_t index, std::size_t rank) const;
+
+  /// Total (member, path) alternatives available from `source`.
+  [[nodiscard]] std::size_t alternatives(NodeId source) const;
+
+ private:
+  [[nodiscard]] const std::vector<Path>& bucket(NodeId source, std::size_t index) const;
+
+  std::vector<NodeId> destinations_;
+  std::size_t k_;
+  std::size_t router_count_;
+  std::vector<std::vector<Path>> paths_;  // [source * D + index] -> ranked paths
+};
+
+}  // namespace anyqos::net

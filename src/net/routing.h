@@ -1,0 +1,79 @@
+// Routing algorithms over Topology.
+//
+// The paper assumes fixed per-(source, member) routes "obtained via the
+// existing routing protocols" (Section 3) — we compute them with hop-count
+// shortest paths and cache them in a RouteTable. The GDI baseline needs a
+// feasibility search over *all* paths, provided by shortest_feasible_path.
+// Widest-path and Yen's k-shortest-paths round out the substrate (used by
+// probes and by ablations over alternative fixed-route sets).
+#pragma once
+
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "src/net/bandwidth.h"
+#include "src/net/topology.h"
+
+namespace anyqos::net {
+
+/// Hop-count shortest path from `source` to `destination` using BFS.
+/// Ties are broken deterministically: nodes are discovered following link-id
+/// order, so the returned path is stable across runs.
+/// Returns nullopt when no path exists.
+std::optional<Path> shortest_path(const Topology& topology, NodeId source, NodeId destination);
+
+/// Hop counts from `source` to every node (kUnreachable when disconnected).
+inline constexpr std::size_t kUnreachable = static_cast<std::size_t>(-1);
+std::vector<std::size_t> hop_distances(const Topology& topology, NodeId source);
+
+/// Shortest path restricted to links with at least `bandwidth` available.
+/// This is the GDI oracle's search: a flow is admissible iff such a path
+/// exists to some group member. Returns nullopt when no feasible path exists.
+std::optional<Path> shortest_feasible_path(const Topology& topology, const BandwidthLedger& ledger,
+                                           NodeId source, NodeId destination, Bandwidth bandwidth);
+
+/// Among `destinations`, returns the feasible path with the fewest hops
+/// (ties broken toward the destination listed first). Nullopt when no
+/// destination is reachable with `bandwidth` available on every link.
+std::optional<Path> shortest_feasible_path_to_any(const Topology& topology,
+                                                  const BandwidthLedger& ledger, NodeId source,
+                                                  std::span<const NodeId> destinations,
+                                                  Bandwidth bandwidth);
+
+/// Maximum-bottleneck ("widest") path via a modified Dijkstra; among paths of
+/// equal bottleneck prefers fewer hops. Returns nullopt when disconnected.
+std::optional<Path> widest_path(const Topology& topology, const BandwidthLedger& ledger,
+                                NodeId source, NodeId destination);
+
+/// Yen's algorithm: up to `k` loopless shortest paths in non-decreasing hop
+/// order. Deterministic. Used by route-set ablations.
+std::vector<Path> k_shortest_paths(const Topology& topology, NodeId source, NodeId destination,
+                                   std::size_t k);
+
+/// Precomputed fixed routes from every node to a set of destinations,
+/// mirroring the paper's fixed source->member route assumption.
+class RouteTable {
+ public:
+  /// Computes routes from all routers to each of `destinations`.
+  /// Throws std::invalid_argument if any pair is disconnected.
+  RouteTable(const Topology& topology, std::vector<NodeId> destinations);
+
+  /// The fixed route from `source` to destinations()[index].
+  [[nodiscard]] const Path& route(NodeId source, std::size_t index) const;
+  /// Hop count of route(source, index) — the paper's D_i.
+  [[nodiscard]] std::size_t distance(NodeId source, std::size_t index) const;
+  [[nodiscard]] const std::vector<NodeId>& destinations() const { return destinations_; }
+  [[nodiscard]] std::size_t destination_count() const { return destinations_.size(); }
+
+  /// Index of the destination with the shortest fixed route from `source`
+  /// (ties toward the lower index) — the SP baseline's choice.
+  [[nodiscard]] std::size_t shortest_destination(NodeId source) const;
+
+ private:
+  std::vector<NodeId> destinations_;
+  std::size_t router_count_;
+  std::vector<Path> routes_;  // router_count x destinations, row-major
+};
+
+}  // namespace anyqos::net

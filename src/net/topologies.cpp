@@ -1,0 +1,137 @@
+#include "src/net/topologies.h"
+
+#include <array>
+#include <cmath>
+#include <utility>
+#include <vector>
+
+#include "src/des/random.h"
+#include "src/util/require.h"
+
+namespace anyqos::net::topologies {
+
+Topology mci_backbone(Bandwidth capacity_bps) {
+  Topology topo;
+  // City labels are cosmetic; ids 0..18 are what the experiment model uses
+  // (sources at odd ids, the anycast group at hosts of 0, 4, 8, 12, 16).
+  static constexpr std::array<const char*, 19> kNames = {
+      "SEA", "SFO", "LAX", "SLC", "DEN", "PHX", "KCY", "HOU", "CHI", "STL",
+      "DFW", "ATL", "DCA", "ORL", "NYC", "BOS", "PIT", "CLE", "RDU"};
+  for (const char* name : kNames) {
+    topo.add_router(name);
+  }
+  // 33 duplex links forming a mesh with average degree ~3.5 and route
+  // lengths 1..6 between the evaluation's sources and group members.
+  static constexpr std::array<std::pair<NodeId, NodeId>, 33> kLinks = {{
+      {0, 1},  {0, 2},   {0, 3},   {1, 4},   {1, 5},   {2, 3},   {2, 6},
+      {3, 4},  {3, 7},   {4, 5},   {4, 8},   {5, 9},   {6, 7},   {6, 10},
+      {7, 8},  {7, 11},  {8, 9},   {8, 12},  {9, 13},  {10, 11}, {10, 14},
+      {11, 12}, {11, 15}, {12, 13}, {12, 16}, {13, 17}, {14, 15}, {14, 18},
+      {15, 16}, {15, 18}, {16, 17}, {16, 18}, {17, 18},
+  }};
+  for (const auto& [a, b] : kLinks) {
+    topo.add_duplex_link(a, b, capacity_bps);
+  }
+  util::ensure(topo.connected(), "MCI backbone must be connected");
+  return topo;
+}
+
+Topology line(std::size_t n, Bandwidth capacity_bps) {
+  util::require(n >= 2, "line needs at least 2 routers");
+  Topology topo;
+  for (std::size_t i = 0; i < n; ++i) {
+    topo.add_router();
+  }
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    topo.add_duplex_link(static_cast<NodeId>(i), static_cast<NodeId>(i + 1), capacity_bps);
+  }
+  return topo;
+}
+
+Topology ring(std::size_t n, Bandwidth capacity_bps) {
+  util::require(n >= 3, "ring needs at least 3 routers");
+  Topology topo;
+  for (std::size_t i = 0; i < n; ++i) {
+    topo.add_router();
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    topo.add_duplex_link(static_cast<NodeId>(i), static_cast<NodeId>((i + 1) % n), capacity_bps);
+  }
+  return topo;
+}
+
+Topology star(std::size_t n, Bandwidth capacity_bps) {
+  util::require(n >= 2, "star needs at least 2 routers");
+  Topology topo;
+  for (std::size_t i = 0; i < n; ++i) {
+    topo.add_router();
+  }
+  for (std::size_t i = 1; i < n; ++i) {
+    topo.add_duplex_link(0, static_cast<NodeId>(i), capacity_bps);
+  }
+  return topo;
+}
+
+Topology grid(std::size_t rows, std::size_t cols, Bandwidth capacity_bps) {
+  util::require(rows >= 1 && cols >= 1 && rows * cols >= 2, "grid needs at least 2 routers");
+  Topology topo;
+  for (std::size_t i = 0; i < rows * cols; ++i) {
+    topo.add_router();
+  }
+  const auto id = [cols](std::size_t r, std::size_t c) {
+    return static_cast<NodeId>(r * cols + c);
+  };
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      if (c + 1 < cols) {
+        topo.add_duplex_link(id(r, c), id(r, c + 1), capacity_bps);
+      }
+      if (r + 1 < rows) {
+        topo.add_duplex_link(id(r, c), id(r + 1, c), capacity_bps);
+      }
+    }
+  }
+  return topo;
+}
+
+Topology waxman(std::size_t n, double alpha, double beta, std::uint64_t seed,
+                Bandwidth capacity_bps) {
+  util::require(n >= 2, "waxman needs at least 2 routers");
+  util::require(alpha > 0.0 && alpha <= 1.0, "waxman alpha must be in (0,1]");
+  util::require(beta > 0.0 && beta <= 1.0, "waxman beta must be in (0,1]");
+  des::RandomStream rng(seed);
+  Topology topo;
+  std::vector<std::pair<double, double>> position;
+  position.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    topo.add_router();
+    position.emplace_back(rng.uniform01(), rng.uniform01());
+  }
+  const auto distance = [&](std::size_t a, std::size_t b) {
+    const double dx = position[a].first - position[b].first;
+    const double dy = position[a].second - position[b].second;
+    return std::sqrt(dx * dx + dy * dy);
+  };
+  // Random spanning tree first: node i attaches to a random earlier node.
+  // Guarantees connectivity regardless of the probabilistic links below.
+  for (std::size_t i = 1; i < n; ++i) {
+    const std::size_t j = rng.uniform_index(i);
+    topo.add_duplex_link(static_cast<NodeId>(j), static_cast<NodeId>(i), capacity_bps);
+  }
+  const double scale = beta * std::sqrt(2.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      if (topo.find_link(static_cast<NodeId>(i), static_cast<NodeId>(j)).has_value()) {
+        continue;
+      }
+      const double p = alpha * std::exp(-distance(i, j) / scale);
+      if (rng.bernoulli(p)) {
+        topo.add_duplex_link(static_cast<NodeId>(i), static_cast<NodeId>(j), capacity_bps);
+      }
+    }
+  }
+  util::ensure(topo.connected(), "waxman construction must yield a connected topology");
+  return topo;
+}
+
+}  // namespace anyqos::net::topologies

@@ -1,0 +1,41 @@
+// Topology builders: the paper's MCI-like evaluation backbone plus standard
+// synthetic families used by tests and ablations.
+#pragma once
+
+#include <cstdint>
+
+#include "src/net/topology.h"
+
+namespace anyqos::net::topologies {
+
+/// Default per-direction raw link capacity: 100 Mbit/s (Section 5.1).
+inline constexpr Bandwidth kDefaultCapacityBps = 100.0e6;
+
+/// The 19-node, 33-duplex-link backbone used for all paper experiments.
+///
+/// Figure 2 of the paper shows the MCI ISP backbone but the figure's edge
+/// list is not recoverable from the text; this builder encodes a 19-node,
+/// 33-link mesh matching the node/link counts of the MCI topology used across
+/// that era's QoS-routing literature (see DESIGN.md, "Substitutions").
+/// Node ids 0..18; every node is a router with one attached host.
+Topology mci_backbone(Bandwidth capacity_bps = kDefaultCapacityBps);
+
+/// n routers in a line: 0-1-2-...-(n-1). n >= 2.
+Topology line(std::size_t n, Bandwidth capacity_bps = kDefaultCapacityBps);
+
+/// n routers in a cycle. n >= 3.
+Topology ring(std::size_t n, Bandwidth capacity_bps = kDefaultCapacityBps);
+
+/// Hub-and-spoke: router 0 is the hub, 1..n-1 are leaves. n >= 2.
+Topology star(std::size_t n, Bandwidth capacity_bps = kDefaultCapacityBps);
+
+/// rows x cols grid with 4-neighbour links. rows, cols >= 1, rows*cols >= 2.
+Topology grid(std::size_t rows, std::size_t cols, Bandwidth capacity_bps = kDefaultCapacityBps);
+
+/// Waxman random graph on n nodes placed uniformly in the unit square:
+/// P(link u,v) = alpha * exp(-d(u,v) / (beta * sqrt(2))). A spanning tree is
+/// added first so the result is always connected. Deterministic in `seed`.
+Topology waxman(std::size_t n, double alpha, double beta, std::uint64_t seed,
+                Bandwidth capacity_bps = kDefaultCapacityBps);
+
+}  // namespace anyqos::net::topologies

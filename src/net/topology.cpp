@@ -1,0 +1,72 @@
+#include "src/net/topology.h"
+
+#include "src/util/require.h"
+
+namespace anyqos::net {
+
+NodeId Topology::add_router(std::string name) {
+  const NodeId id = graph_.add_node();
+  names_.push_back(std::move(name));
+  return id;
+}
+
+std::pair<LinkId, LinkId> Topology::add_duplex_link(NodeId a, NodeId b, Bandwidth capacity_bps) {
+  util::require(capacity_bps > 0.0, "link capacity must be positive");
+  util::require(graph_.find_arc(a, b) == kInvalidLink, "duplicate duplex link");
+  const LinkId forward = graph_.add_arc(a, b);
+  const LinkId backward = graph_.add_arc(b, a);
+  capacity_.push_back(capacity_bps);
+  capacity_.push_back(capacity_bps);
+  reverse_.push_back(backward);
+  reverse_.push_back(forward);
+  return {forward, backward};
+}
+
+Bandwidth Topology::capacity(LinkId id) const {
+  util::require(id < capacity_.size(), "link id out of range");
+  return capacity_[id];
+}
+
+std::string Topology::router_name(NodeId id) const {
+  util::require(id < names_.size(), "router id out of range");
+  if (names_[id].empty()) {
+    // Built as append rather than `"r" + to_string(id)`, which trips GCC 12's
+    // -Wrestrict false positive (libstdc++ PR 105329) under -Werror.
+    std::string name = "r";
+    name += std::to_string(id);
+    return name;
+  }
+  return names_[id];
+}
+
+std::optional<LinkId> Topology::find_link(NodeId a, NodeId b) const {
+  const LinkId id = graph_.find_arc(a, b);
+  if (id == kInvalidLink) {
+    return std::nullopt;
+  }
+  return id;
+}
+
+LinkId Topology::reverse_link(LinkId id) const {
+  util::require(id < reverse_.size(), "link id out of range");
+  return reverse_[id];
+}
+
+void Topology::validate_path(const Path& path) const {
+  util::require(path.source < router_count(), "path source out of range");
+  util::require(path.destination < router_count(), "path destination out of range");
+  if (path.links.empty()) {
+    util::require(path.source == path.destination,
+                  "empty path must have source == destination");
+    return;
+  }
+  NodeId at = path.source;
+  for (const LinkId id : path.links) {
+    const Arc& arc = graph_.arc(id);
+    util::require(arc.from == at, "path links are not contiguous");
+    at = arc.to;
+  }
+  util::require(at == path.destination, "path does not end at its destination");
+}
+
+}  // namespace anyqos::net

@@ -1,0 +1,79 @@
+// Network topology: routers connected by capacity-bearing duplex links.
+//
+// Follows the paper's model (Section 3): nodes are routers (each with one
+// attached host); links have a bandwidth capacity, part of which is set aside
+// for anycast flows (Section 5.1 reserves 20% of 100 Mbit/s links).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/net/graph.h"
+
+namespace anyqos::net {
+
+/// Bits per second.
+using Bandwidth = double;
+
+/// A path through the network: a node sequence realized by directed links.
+struct Path {
+  NodeId source = kInvalidNode;
+  NodeId destination = kInvalidNode;
+  std::vector<LinkId> links;  // consecutive directed links source -> destination
+
+  /// Number of links (the paper's hop-count distance metric).
+  [[nodiscard]] std::size_t hops() const { return links.size(); }
+  [[nodiscard]] bool empty() const { return links.empty(); }
+};
+
+/// An immutable-after-build network of routers and duplex links.
+///
+/// Each duplex link is materialized as two directed arcs with independent
+/// capacity, matching full-duplex transmission. LinkIds refer to directed
+/// arcs throughout the library.
+class Topology {
+ public:
+  Topology() = default;
+
+  /// Adds a router; `name` is for reporting only. Returns its id.
+  NodeId add_router(std::string name = {});
+
+  /// Adds a duplex link between routers `a` and `b` with per-direction
+  /// capacity `capacity_bps`. Returns the two directed link ids (a->b, b->a).
+  std::pair<LinkId, LinkId> add_duplex_link(NodeId a, NodeId b, Bandwidth capacity_bps);
+
+  [[nodiscard]] std::size_t router_count() const { return graph_.node_count(); }
+  /// Number of *directed* links (2x the duplex link count).
+  [[nodiscard]] std::size_t link_count() const { return graph_.arc_count(); }
+  /// Number of duplex links.
+  [[nodiscard]] std::size_t duplex_link_count() const { return link_count() / 2; }
+
+  [[nodiscard]] const Graph& graph() const { return graph_; }
+  [[nodiscard]] const Arc& link(LinkId id) const { return graph_.arc(id); }
+  /// Per-direction raw capacity of directed link `id`.
+  [[nodiscard]] Bandwidth capacity(LinkId id) const;
+  /// Router display name ("r<id>" when not set).
+  [[nodiscard]] std::string router_name(NodeId id) const;
+
+  /// Directed link a->b, if any.
+  [[nodiscard]] std::optional<LinkId> find_link(NodeId a, NodeId b) const;
+  /// The opposite direction of directed link `id`.
+  [[nodiscard]] LinkId reverse_link(LinkId id) const;
+
+  /// Validates that `path` is a contiguous link sequence from path.source to
+  /// path.destination; throws std::invalid_argument when malformed.
+  void validate_path(const Path& path) const;
+
+  /// True when the router graph is connected (it is built from duplex links,
+  /// so strong and weak connectivity coincide).
+  [[nodiscard]] bool connected() const { return graph_.strongly_connected(); }
+
+ private:
+  Graph graph_;
+  std::vector<Bandwidth> capacity_;      // per directed link
+  std::vector<LinkId> reverse_;          // per directed link
+  std::vector<std::string> names_;       // per router
+};
+
+}  // namespace anyqos::net

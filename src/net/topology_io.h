@@ -1,0 +1,44 @@
+// Topology serialization: a small line-oriented text format so users can run
+// the suite on their own edge lists (e.g. the exact MCI Figure-2 topology, if
+// recovered) without recompiling.
+//
+// Format (one record per line, '#' starts a comment):
+//   node <id> [name]
+//   link <a> <b> <capacity_bps>
+// Node ids must be dense and declared before use; links are duplex.
+//
+// Example:
+//   # three routers in a triangle
+//   node 0 SEA
+//   node 1 SFO
+//   node 2 LAX
+//   link 0 1 100000000
+//   link 1 2 100000000
+//   link 2 0 100000000
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "src/net/topology.h"
+
+namespace anyqos::net {
+
+/// Parses the text format; throws std::invalid_argument with a line number
+/// on malformed input.
+Topology parse_topology(std::istream& in);
+
+/// Convenience overload over a string.
+Topology parse_topology_text(const std::string& text);
+
+/// Loads a topology from a file; throws std::invalid_argument when the file
+/// cannot be opened or parsed.
+Topology load_topology(const std::string& path);
+
+/// Serializes a topology in the same format (round-trips through parse).
+std::string topology_to_text(const Topology& topology);
+
+/// Writes topology_to_text to a file; throws on I/O failure.
+void save_topology(const Topology& topology, const std::string& path);
+
+}  // namespace anyqos::net

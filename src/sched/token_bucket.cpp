@@ -1,0 +1,55 @@
+#include "src/sched/token_bucket.h"
+
+#include <algorithm>
+
+#include "src/util/require.h"
+
+namespace anyqos::sched {
+
+TokenBucket::TokenBucket(double rate_bps, double depth_bits)
+    : rate_bps_(rate_bps), depth_bits_(depth_bits), tokens_(depth_bits) {
+  util::require(rate_bps > 0.0, "token rate must be positive");
+  util::require(depth_bits > 0.0, "bucket depth must be positive");
+}
+
+void TokenBucket::advance(double time) {
+  util::require(time >= updated_at_, "token bucket queried backward in time");
+  tokens_ = std::min(depth_bits_, tokens_ + rate_bps_ * (time - updated_at_));
+  updated_at_ = time;
+}
+
+double TokenBucket::tokens_at(double time) const {
+  util::require(time >= updated_at_, "token bucket queried backward in time");
+  return std::min(depth_bits_, tokens_ + rate_bps_ * (time - updated_at_));
+}
+
+bool TokenBucket::conforms(double time, double size_bits) const {
+  util::require(size_bits > 0.0, "packet size must be positive");
+  return tokens_at(time) >= size_bits;
+}
+
+bool TokenBucket::police(double time, double size_bits) {
+  util::require(size_bits > 0.0, "packet size must be positive");
+  advance(time);
+  if (tokens_ < size_bits) {
+    return false;
+  }
+  tokens_ -= size_bits;
+  return true;
+}
+
+double TokenBucket::shape(double time, double size_bits) {
+  util::require(size_bits > 0.0, "packet size must be positive");
+  util::require(size_bits <= depth_bits_,
+                "packet exceeds the bucket depth and can never conform");
+  advance(time);
+  double release = time;
+  if (tokens_ < size_bits) {
+    release = time + (size_bits - tokens_) / rate_bps_;
+    advance(release);
+  }
+  tokens_ -= size_bits;
+  return release;
+}
+
+}  // namespace anyqos::sched

@@ -1,0 +1,52 @@
+// Token-bucket traffic regulation (the IntServ TSpec substrate).
+//
+// The WFQ delay bound that Section 6's delay->bandwidth mapping relies on
+// holds for flows that *conform* to their reservation. In the Integrated
+// Services architecture the paper's RSVP signaling belongs to, conformance is
+// specified by a token bucket (rate r, depth b): a flow may send at most
+// b + r*t bits over any interval of length t. This module provides the
+// regulator: conformance checking for policing, and shaping (earliest
+// conforming release time) for smoothing, both in continuous time.
+#pragma once
+
+namespace anyqos::sched {
+
+/// A continuous-time token bucket.
+///
+/// Tokens accrue at `rate_bps` up to `depth_bits`; sending `n` bits consumes
+/// `n` tokens. The bucket starts full. Query times must be non-decreasing.
+class TokenBucket {
+ public:
+  /// rate_bps > 0, depth_bits > 0. A packet larger than the depth can never
+  /// conform (conforms() is false and shape() rejects it).
+  TokenBucket(double rate_bps, double depth_bits);
+
+  [[nodiscard]] double rate() const { return rate_bps_; }
+  [[nodiscard]] double depth() const { return depth_bits_; }
+
+  /// Tokens available at `time` (without consuming anything).
+  [[nodiscard]] double tokens_at(double time) const;
+
+  /// True when a packet of `size_bits` conforms at `time` (policing view).
+  /// Does not consume tokens.
+  [[nodiscard]] bool conforms(double time, double size_bits) const;
+
+  /// Polices a packet: if it conforms at `time`, consumes tokens and returns
+  /// true; otherwise leaves state untouched and returns false (drop/mark).
+  bool police(double time, double size_bits);
+
+  /// Shapes a packet: returns the earliest instant >= `time` at which
+  /// `size_bits` conform, consuming the tokens at that instant. Throws
+  /// std::invalid_argument when size_bits exceeds the bucket depth.
+  double shape(double time, double size_bits);
+
+ private:
+  void advance(double time);
+
+  double rate_bps_;
+  double depth_bits_;
+  double tokens_;
+  double updated_at_ = 0.0;
+};
+
+}  // namespace anyqos::sched

@@ -1,0 +1,116 @@
+#include "src/sched/wfq.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "src/util/require.h"
+
+namespace anyqos::sched {
+
+RateScheduler::RateScheduler(SchedulerKind kind, double link_rate_bps)
+    : kind_(kind), link_rate_(link_rate_bps) {
+  util::require(link_rate_bps > 0.0, "link rate must be positive");
+}
+
+FlowHandle RateScheduler::add_flow(double rate_bps) {
+  util::require(rate_bps > 0.0, "flow rate must be positive");
+  util::require(reserved_ + rate_bps <= link_rate_ * (1.0 + 1e-9),
+                "reserved rates exceed the link rate");
+  flow_rate_.push_back(rate_bps);
+  reserved_ += rate_bps;
+  return static_cast<FlowHandle>(flow_rate_.size() - 1);
+}
+
+void RateScheduler::enqueue(FlowHandle flow, double size_bits, double time) {
+  util::require(flow < flow_rate_.size(), "unknown flow handle");
+  util::require(size_bits > 0.0, "packet size must be positive");
+  util::require(time >= last_arrival_, "arrival times must be non-decreasing");
+  util::require(!drained_, "scheduler already drained");
+  last_arrival_ = time;
+  Packet packet;
+  packet.flow = flow;
+  packet.size_bits = size_bits;
+  packet.arrival_time = time;
+  packet.sequence = next_sequence_++;
+  pending_.push_back(packet);
+}
+
+std::vector<Departure> RateScheduler::drain() {
+  util::require(!drained_, "scheduler already drained");
+  drained_ = true;
+  std::vector<Departure> departures;
+  if (pending_.empty()) {
+    return departures;
+  }
+  departures.reserve(pending_.size());
+
+  struct EarlierFinish {
+    bool operator()(const Packet& a, const Packet& b) const {
+      if (a.virtual_finish != b.virtual_finish) {
+        return a.virtual_finish > b.virtual_finish;
+      }
+      return a.sequence > b.sequence;
+    }
+  };
+  std::priority_queue<Packet, std::vector<Packet>, EarlierFinish> eligible;
+
+  std::vector<double> last_finish(flow_rate_.size(), 0.0);
+  std::size_t next_pending = 0;  // pending_ is already arrival-ordered
+  double clock = 0.0;            // real time
+  double virtual_time = 0.0;
+  double virtual_updated_at = 0.0;
+  bool busy = false;
+  // dV/dt during busy periods; >= 1 because admission keeps reserved_ <= C.
+  const double v_slope = reserved_ > 0.0 ? link_rate_ / reserved_ : 1.0;
+
+  const auto admit_arrivals_up_to = [&](double now) {
+    while (next_pending < pending_.size() &&
+           pending_[next_pending].arrival_time <= now + 1e-15) {
+      Packet packet = pending_[next_pending++];
+      const double t = packet.arrival_time;
+      double reference;
+      if (kind_ == SchedulerKind::kVirtualClock) {
+        reference = t;
+      } else {
+        if (busy || !eligible.empty()) {
+          virtual_time += v_slope * (t - virtual_updated_at);
+        } else {
+          virtual_time = t;  // idle fluid system: V resynchronizes to real time
+        }
+        virtual_updated_at = t;
+        reference = virtual_time;
+      }
+      const double start = std::max(reference, last_finish[packet.flow]);
+      packet.virtual_finish = start + packet.size_bits / flow_rate_[packet.flow];
+      last_finish[packet.flow] = packet.virtual_finish;
+      eligible.push(packet);
+    }
+  };
+
+  while (next_pending < pending_.size() || !eligible.empty()) {
+    if (eligible.empty()) {
+      // Idle: jump to the next arrival (work conservation).
+      clock = std::max(clock, pending_[next_pending].arrival_time);
+      busy = false;
+    }
+    admit_arrivals_up_to(clock);
+    if (eligible.empty()) {
+      continue;  // the jump above admits at least one next loop
+    }
+    const Packet packet = eligible.top();
+    eligible.pop();
+    busy = true;
+    Departure departure;
+    departure.packet = packet;
+    departure.start_time = std::max(clock, packet.arrival_time);
+    departure.finish_time = departure.start_time + packet.size_bits / link_rate_;
+    clock = departure.finish_time;
+    departures.push_back(departure);
+    // Packets arriving during this transmission become eligible next pick.
+    admit_arrivals_up_to(clock);
+  }
+  pending_.clear();
+  return departures;
+}
+
+}  // namespace anyqos::sched

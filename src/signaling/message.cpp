@@ -1,0 +1,53 @@
+#include "src/signaling/message.h"
+
+#include "src/util/require.h"
+
+namespace anyqos::signaling {
+
+std::string to_string(MessageKind kind) {
+  switch (kind) {
+    case MessageKind::kPath:
+      return "PATH";
+    case MessageKind::kResv:
+      return "RESV";
+    case MessageKind::kPathErr:
+      return "PATH_ERR";
+    case MessageKind::kTear:
+      return "TEAR";
+    case MessageKind::kProbe:
+      return "PROBE";
+    case MessageKind::kProbeReply:
+      return "PROBE_REPLY";
+  }
+  util::unreachable("MessageKind");
+}
+
+void MessageCounter::count(MessageKind kind, std::uint64_t hops) {
+  counts_[static_cast<std::size_t>(kind)] += hops;
+}
+
+std::uint64_t MessageCounter::total() const {
+  std::uint64_t sum = 0;
+  for (const std::uint64_t c : counts_) {
+    sum += c;
+  }
+  return sum;
+}
+
+std::uint64_t MessageCounter::by_kind(MessageKind kind) const {
+  return counts_[static_cast<std::size_t>(kind)];
+}
+
+std::uint64_t MessageCounter::setup_total() const {
+  return total() - by_kind(MessageKind::kTear);
+}
+
+void MessageCounter::reset() { counts_.fill(0); }
+
+void MessageCounter::merge(const MessageCounter& other) {
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    counts_[i] += other.counts_[i];
+  }
+}
+
+}  // namespace anyqos::signaling

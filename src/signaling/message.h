@@ -1,0 +1,54 @@
+// Signaling message taxonomy and accounting.
+//
+// The paper reserves resources "by the standard RSVP protocol" and measures
+// overhead via the number of reservation messages (Section 5.1's second
+// metric is directly proportional to them). We model signaling at message
+// granularity: each hop a control message traverses counts as one message.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+namespace anyqos::signaling {
+
+/// Control message kinds, RSVP-flavoured.
+enum class MessageKind : std::uint8_t {
+  kPath,       // downstream setup probe (RSVP PATH)
+  kResv,       // upstream reservation (RSVP RESV)
+  kPathErr,    // downstream failure unwinding toward the source
+  kTear,       // reservation teardown at flow departure
+  kProbe,      // bandwidth query used by WD/D+B (extended RSVP)
+  kProbeReply, // bandwidth query response
+};
+
+/// Number of distinct MessageKind values.
+inline constexpr std::size_t kMessageKindCount = 6;
+
+/// Human-readable name for reports.
+std::string to_string(MessageKind kind);
+
+/// Per-kind hop-count tallies of control messages.
+///
+/// One unit == one control message traversing one link. This matches the
+/// paper's observation that overhead is proportional to signaling traffic.
+class MessageCounter {
+ public:
+  /// Records `hops` link traversals of a `kind` message.
+  void count(MessageKind kind, std::uint64_t hops);
+
+  [[nodiscard]] std::uint64_t total() const;
+  [[nodiscard]] std::uint64_t by_kind(MessageKind kind) const;
+  /// Sum of setup-time kinds (PATH/RESV/PATH_ERR/PROBE/PROBE_REPLY),
+  /// i.e. everything except teardown.
+  [[nodiscard]] std::uint64_t setup_total() const;
+
+  void reset();
+  /// Adds another counter's tallies into this one.
+  void merge(const MessageCounter& other);
+
+ private:
+  std::array<std::uint64_t, kMessageKindCount> counts_{};
+};
+
+}  // namespace anyqos::signaling

@@ -1,0 +1,45 @@
+#include "src/signaling/rsvp.h"
+
+#include "src/util/require.h"
+
+namespace anyqos::signaling {
+
+ReservationProtocol::ReservationProtocol(net::BandwidthLedger& ledger, MessageCounter& counter)
+    : ledger_(&ledger), counter_(&counter) {}
+
+ReservationResult ReservationProtocol::reserve(const net::Path& route, net::Bandwidth bandwidth) {
+  util::require(bandwidth > 0.0, "reservation bandwidth must be positive");
+  ReservationResult result;
+  // Downstream PATH walk: find the first link that cannot admit the flow.
+  std::uint64_t traversed = 0;
+  for (const net::LinkId id : route.links) {
+    ++traversed;  // the PATH message crosses this link (or dies at its head)
+    if (ledger_->available(id) < bandwidth) {
+      result.blocking_link = id;
+      break;
+    }
+  }
+  counter_->count(MessageKind::kPath, traversed);
+  if (result.blocking_link.has_value()) {
+    // PATH_ERR unwinds to the source over the links already traversed.
+    counter_->count(MessageKind::kPathErr, traversed);
+    result.messages = 2 * traversed;
+    return result;
+  }
+  // Upstream RESV walk installs the reservation. The ledger reserve is
+  // atomic; in this sequential simulation no interleaving request can have
+  // consumed the bandwidth between the PATH check and here.
+  const bool ok = ledger_->reserve(route, bandwidth);
+  util::ensure(ok, "RESV failed after PATH admitted every hop");
+  counter_->count(MessageKind::kResv, route.hops());
+  result.admitted = true;
+  result.messages = 2 * route.hops();
+  return result;
+}
+
+void ReservationProtocol::teardown(const net::Path& route, net::Bandwidth bandwidth) {
+  ledger_->release(route, bandwidth);
+  counter_->count(MessageKind::kTear, route.hops());
+}
+
+}  // namespace anyqos::signaling

@@ -1,0 +1,56 @@
+// RSVP-like hop-by-hop resource reservation (paper Section 4.4).
+//
+// Reservation performs the paper's two tasks: (1) check that every link of
+// the fixed route has enough available bandwidth; (2) reserve it on every
+// link. We simulate the protocol walk — a PATH message travels downstream
+// checking admission hop by hop, then a RESV message travels upstream
+// installing the reservation — and account the control messages each phase
+// generates. Because the simulation kernel is sequential, the two phases are
+// atomic with respect to other requests, which matches RSVP's behaviour of
+// admitting at most the advertised capacity.
+#pragma once
+
+#include <optional>
+
+#include "src/net/bandwidth.h"
+#include "src/signaling/message.h"
+
+namespace anyqos::signaling {
+
+/// Outcome of one reservation attempt.
+struct ReservationResult {
+  bool admitted = false;
+  /// Link where admission failed (set iff !admitted and the route is
+  /// non-empty); the first bottleneck encountered downstream.
+  std::optional<net::LinkId> blocking_link;
+  /// Control messages (link traversals) this attempt generated.
+  std::uint64_t messages = 0;
+};
+
+/// Executes reservations and teardowns against a BandwidthLedger, tallying
+/// signaling messages into a MessageCounter.
+class ReservationProtocol {
+ public:
+  /// Both references must outlive the protocol object.
+  ReservationProtocol(net::BandwidthLedger& ledger, MessageCounter& counter);
+
+  /// Attempts to reserve `bandwidth` along `route`.
+  ///
+  /// Message accounting: the PATH message travels until it is blocked (k
+  /// links) or reaches the destination (hops links); on success the RESV
+  /// message travels the full route back (hops links); on failure a PATH_ERR
+  /// travels back over the k links already traversed.
+  ReservationResult reserve(const net::Path& route, net::Bandwidth bandwidth);
+
+  /// Releases a reservation installed by a successful reserve() with the
+  /// same route and bandwidth; one TEAR message traverses the route.
+  void teardown(const net::Path& route, net::Bandwidth bandwidth);
+
+  [[nodiscard]] const MessageCounter& counter() const { return *counter_; }
+
+ private:
+  net::BandwidthLedger* ledger_;
+  MessageCounter* counter_;
+};
+
+}  // namespace anyqos::signaling

@@ -1,0 +1,81 @@
+#include "src/signaling/soft_state.h"
+
+#include "src/util/require.h"
+
+namespace anyqos::signaling {
+
+SoftStateManager::SoftStateManager(des::Simulator& simulator, net::BandwidthLedger& ledger,
+                                   MessageCounter& counter, des::RandomStream& rng,
+                                   SoftStateOptions options)
+    : simulator_(&simulator),
+      ledger_(&ledger),
+      counter_(&counter),
+      rng_(&rng),
+      options_(options) {
+  util::require(options.refresh_interval_s > 0.0, "refresh interval must be positive");
+  util::require(options.lifetime_refreshes >= 1, "lifetime must be at least one refresh");
+  util::require(options.refresh_loss_probability >= 0.0 &&
+                    options.refresh_loss_probability < 1.0,
+                "refresh loss probability must be in [0,1)");
+}
+
+SessionId SoftStateManager::install(net::Path route, net::Bandwidth bandwidth_bps,
+                                    ExpiryCallback on_expiry) {
+  util::require(bandwidth_bps > 0.0, "session bandwidth must be positive");
+  const SessionId id = next_id_++;
+  Session session;
+  session.route = std::move(route);
+  session.bandwidth = bandwidth_bps;
+  session.on_expiry = std::move(on_expiry);
+  sessions_.emplace(id, std::move(session));
+  schedule_refresh(id);
+  return id;
+}
+
+void SoftStateManager::schedule_refresh(SessionId id) {
+  Session& session = sessions_.at(id);
+  session.timer =
+      simulator_->schedule_in(options_.refresh_interval_s, [this, id] { refresh(id); });
+}
+
+void SoftStateManager::refresh(SessionId id) {
+  const auto it = sessions_.find(id);
+  util::ensure(it != sessions_.end(), "refresh fired for a dead session");
+  Session& session = it->second;
+  if (rng_->bernoulli(options_.refresh_loss_probability)) {
+    ++session.missed;
+    if (session.missed >= options_.lifetime_refreshes) {
+      // Cleanup timeout: routers silently drop the state; no TEAR travels.
+      ledger_->release(session.route, session.bandwidth);
+      const ExpiryCallback callback = std::move(session.on_expiry);
+      sessions_.erase(it);
+      ++expired_;
+      if (callback) {
+        callback(id);
+      }
+      return;
+    }
+  } else {
+    session.missed = 0;
+    // A successful refresh re-walks the route: PATH downstream, RESV back.
+    counter_->count(MessageKind::kPath, session.route.hops());
+    counter_->count(MessageKind::kResv, session.route.hops());
+  }
+  schedule_refresh(id);
+}
+
+void SoftStateManager::remove(SessionId id) {
+  const auto it = sessions_.find(id);
+  util::require(it != sessions_.end(), "unknown or expired session");
+  Session& session = it->second;
+  simulator_->cancel(session.timer);
+  ledger_->release(session.route, session.bandwidth);
+  counter_->count(MessageKind::kTear, session.route.hops());
+  sessions_.erase(it);
+}
+
+bool SoftStateManager::alive(SessionId id) const {
+  return sessions_.find(id) != sessions_.end();
+}
+
+}  // namespace anyqos::signaling

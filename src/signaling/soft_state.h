@@ -1,0 +1,87 @@
+// RSVP soft state: periodic refresh, loss tolerance, and expiry.
+//
+// The paper reserves resources "by the standard RSVP protocol"; standard
+// RSVP state is *soft* — it persists only while PATH/RESV refreshes keep
+// arriving, and evaporates K missed refreshes later. The two-pass walk in
+// rsvp.h models admission; this module models the lifetime side: each
+// installed session refreshes every `refresh_interval_s` (charging PATH+RESV
+// messages per refresh), refreshes may be lost with a configurable
+// probability, and `lifetime_refreshes` consecutive losses expire the
+// session, releasing its bandwidth and notifying the owner. This makes the
+// refresh-overhead / state-robustness trade-off measurable.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+
+#include "src/des/random.h"
+#include "src/des/simulator.h"
+#include "src/net/bandwidth.h"
+#include "src/signaling/message.h"
+
+namespace anyqos::signaling {
+
+using SessionId = std::uint64_t;
+
+/// Configuration of the soft-state machinery.
+struct SoftStateOptions {
+  double refresh_interval_s = 30.0;   ///< RSVP's R (default refresh period)
+  std::size_t lifetime_refreshes = 3; ///< K: missed refreshes before expiry
+  double refresh_loss_probability = 0.0;  ///< per-refresh loss (network loss model)
+};
+
+/// Manages refresh timers and expiry for installed reservations.
+///
+/// The manager does not perform admission — install() records an
+/// already-reserved (route, bandwidth) pair, takes over its lifecycle, and
+/// releases the bandwidth on expiry or explicit removal.
+class SoftStateManager {
+ public:
+  using ExpiryCallback = std::function<void(SessionId)>;
+
+  /// All references must outlive the manager. `rng` drives refresh loss.
+  SoftStateManager(des::Simulator& simulator, net::BandwidthLedger& ledger,
+                   MessageCounter& counter, des::RandomStream& rng,
+                   SoftStateOptions options);
+
+  /// Starts managing a reservation previously installed on `ledger`.
+  /// `on_expiry` (optional) fires if the session times out.
+  SessionId install(net::Path route, net::Bandwidth bandwidth_bps,
+                    ExpiryCallback on_expiry = {});
+
+  /// Gracefully removes a session (TEAR signaling, bandwidth released).
+  /// Throws std::invalid_argument when the session is gone (e.g. expired).
+  void remove(SessionId id);
+
+  /// True while the session holds its reservation.
+  [[nodiscard]] bool alive(SessionId id) const;
+
+  /// Sessions currently alive.
+  [[nodiscard]] std::size_t session_count() const { return sessions_.size(); }
+  /// Sessions that timed out over the manager's lifetime.
+  [[nodiscard]] std::uint64_t expired_count() const { return expired_; }
+
+ private:
+  struct Session {
+    net::Path route;
+    net::Bandwidth bandwidth = 0.0;
+    std::size_t missed = 0;
+    des::EventHandle timer;
+    ExpiryCallback on_expiry;
+  };
+
+  void schedule_refresh(SessionId id);
+  void refresh(SessionId id);
+
+  des::Simulator* simulator_;
+  net::BandwidthLedger* ledger_;
+  MessageCounter* counter_;
+  des::RandomStream* rng_;
+  SoftStateOptions options_;
+  std::unordered_map<SessionId, Session> sessions_;
+  SessionId next_id_ = 1;
+  std::uint64_t expired_ = 0;
+};
+
+}  // namespace anyqos::signaling

@@ -1,0 +1,61 @@
+#include "src/sim/experiment.h"
+
+#include "src/util/require.h"
+
+namespace anyqos::sim {
+
+SimulationConfig ExperimentModel::base_config(double lambda) const {
+  util::require(lambda > 0.0, "arrival rate must be positive");
+  SimulationConfig config;
+  config.traffic.arrival_rate = lambda;
+  config.traffic.mean_holding_s = mean_holding_s;
+  config.traffic.flow_bandwidth_bps = flow_bandwidth_bps;
+  config.traffic.sources = sources;
+  config.group_members = group_members;
+  config.anycast_share = anycast_share;
+  return config;
+}
+
+ExperimentModel paper_model() {
+  ExperimentModel model;
+  model.topology = net::topologies::mci_backbone();
+  // "Sources of anycast flows are chosen randomly among those hosts that
+  // attach the routers with the odd identification numbers."
+  for (net::NodeId id = 1; id < model.topology.router_count(); id += 2) {
+    model.sources.push_back(id);
+  }
+  // "There is an anycast group that consists of 5 members ... hosts which
+  // attach to router 0, 4, 8, 12, and 16."
+  model.group_members = {0, 4, 8, 12, 16};
+  return model;
+}
+
+std::vector<SweepPoint> sweep_lambda(
+    const ExperimentModel& model, const std::vector<double>& lambdas,
+    const std::function<void(SimulationConfig&)>& configure) {
+  util::require(!lambdas.empty(), "sweep needs at least one rate");
+  std::vector<SweepPoint> points;
+  points.reserve(lambdas.size());
+  for (const double lambda : lambdas) {
+    SimulationConfig config = model.base_config(lambda);
+    if (configure) {
+      configure(config);
+    }
+    Simulation simulation(model.topology, config);
+    points.push_back(SweepPoint{lambda, simulation.run()});
+  }
+  return points;
+}
+
+std::vector<double> default_lambda_grid() {
+  return {5.0, 10.0, 15.0, 20.0, 25.0, 30.0, 35.0, 40.0, 45.0, 50.0};
+}
+
+void apply_run_controls(SimulationConfig& config, const RunControls& controls) {
+  util::require(controls.measure_s > 0.0, "measurement window must be positive");
+  config.warmup_s = controls.warmup_s;
+  config.measure_s = controls.measure_s;
+  config.seed = controls.seed;
+}
+
+}  // namespace anyqos::sim

@@ -1,0 +1,60 @@
+// The paper's experimental model (Section 5.1) and sweep harness shared by
+// all benchmark binaries and integration tests.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/net/topologies.h"
+#include "src/sim/simulation.h"
+
+namespace anyqos::sim {
+
+/// The evaluation setup of Section 5.1, bundled so every bench/test uses
+/// identical parameters: MCI-like backbone, 100 Mbit/s links with 20% for
+/// anycast, sources at odd routers, group members at routers 0/4/8/12/16,
+/// 64 kbit/s flows with mean lifetime 180 s.
+struct ExperimentModel {
+  net::Topology topology;
+  std::vector<net::NodeId> sources;
+  std::vector<net::NodeId> group_members;
+  net::Bandwidth flow_bandwidth_bps = 64'000.0;
+  double mean_holding_s = 180.0;
+  double anycast_share = 0.2;
+
+  /// A SimulationConfig preset with this model's workload at rate `lambda`
+  /// (total requests/s) and the given run-control defaults.
+  [[nodiscard]] SimulationConfig base_config(double lambda) const;
+};
+
+/// Builds the Section 5.1 model on the MCI-like backbone.
+ExperimentModel paper_model();
+
+/// One row of a lambda sweep.
+struct SweepPoint {
+  double lambda = 0.0;
+  SimulationResult result;
+};
+
+/// Runs `configure(base_config(lambda))` for every rate in `lambdas`.
+///
+/// All points share the same master seed (common random numbers): comparing
+/// systems at equal lambda sees identical arrival processes, which sharpens
+/// the ordering comparisons the paper makes in Figures 6-7.
+std::vector<SweepPoint> sweep_lambda(
+    const ExperimentModel& model, const std::vector<double>& lambdas,
+    const std::function<void(SimulationConfig&)>& configure);
+
+/// The arrival-rate grid used by the figure benches (5, 10, ..., 50).
+std::vector<double> default_lambda_grid();
+
+/// Applies run-length overrides commonly exposed as bench flags.
+struct RunControls {
+  double warmup_s = 2'000.0;
+  double measure_s = 20'000.0;
+  std::uint64_t seed = 1;
+};
+void apply_run_controls(SimulationConfig& config, const RunControls& controls);
+
+}  // namespace anyqos::sim

@@ -1,0 +1,46 @@
+#include "src/sim/faults.h"
+
+#include <algorithm>
+
+#include "src/des/random.h"
+#include "src/util/require.h"
+
+namespace anyqos::sim {
+
+LinkFault single_fault(net::NodeId a, net::NodeId b, double fail_at, double repair_at) {
+  util::require(repair_at > fail_at, "repair must follow failure");
+  util::require(fail_at >= 0.0, "failure time must be non-negative");
+  LinkFault fault;
+  fault.a = a;
+  fault.b = b;
+  fault.fail_at = fail_at;
+  fault.repair_at = repair_at;
+  return fault;
+}
+
+std::vector<LinkFault> random_fault_schedule(const net::Topology& topology, double horizon_s,
+                                             double failure_rate, double mean_repair_s,
+                                             std::uint64_t seed) {
+  util::require(horizon_s > 0.0, "horizon must be positive");
+  util::require(failure_rate > 0.0, "failure rate must be positive");
+  util::require(mean_repair_s > 0.0, "mean repair time must be positive");
+  des::RandomStream rng(seed);
+  std::vector<LinkFault> schedule;
+  // Each duplex link is represented once by its even (first-direction) id.
+  for (net::LinkId id = 0; id < topology.link_count(); id += 2) {
+    const net::Arc& arc = topology.link(id);
+    double t = rng.exponential(1.0 / failure_rate);
+    while (t < horizon_s) {
+      const double down_for = rng.exponential(mean_repair_s);
+      const double repair = std::min(t + down_for, horizon_s + mean_repair_s);
+      schedule.push_back(single_fault(arc.from, arc.to, t, repair));
+      // Next failure can only begin after the repair completes.
+      t = repair + rng.exponential(1.0 / failure_rate);
+    }
+  }
+  std::sort(schedule.begin(), schedule.end(),
+            [](const LinkFault& x, const LinkFault& y) { return x.fail_at < y.fail_at; });
+  return schedule;
+}
+
+}  // namespace anyqos::sim

@@ -1,0 +1,29 @@
+// Fault-schedule generators (extension).
+//
+// Section 3 assumes a fault-free network and notes the approach "can be
+// extended to deal with the situation when this assumption does not hold";
+// these helpers produce LinkFault schedules so that extension can be
+// exercised by tests and the fault ablation example.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/net/topology.h"
+#include "src/sim/simulation.h"
+
+namespace anyqos::sim {
+
+/// A single outage of the duplex link between `a` and `b`.
+LinkFault single_fault(net::NodeId a, net::NodeId b, double fail_at, double repair_at);
+
+/// Random outage schedule: over [0, horizon), each duplex link independently
+/// fails as a Poisson process with rate `failure_rate` (per second) and each
+/// outage lasts exponential(mean_repair_s). Deterministic in `seed`.
+/// Overlapping outages of the same link are merged away (a link that is
+/// already down cannot fail again until repaired).
+std::vector<LinkFault> random_fault_schedule(const net::Topology& topology, double horizon_s,
+                                             double failure_rate, double mean_repair_s,
+                                             std::uint64_t seed);
+
+}  // namespace anyqos::sim

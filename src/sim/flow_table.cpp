@@ -1,0 +1,56 @@
+#include "src/sim/flow_table.h"
+
+#include <algorithm>
+
+#include "src/util/require.h"
+
+namespace anyqos::sim {
+
+FlowId FlowTable::insert(ActiveFlow flow) {
+  const FlowId id = next_id_++;
+  flow.id = id;
+  flows_.emplace(id, std::move(flow));
+  return id;
+}
+
+ActiveFlow FlowTable::take(FlowId id) {
+  const auto it = flows_.find(id);
+  util::require(it != flows_.end(), "flow not active: " + std::to_string(id));
+  ActiveFlow flow = std::move(it->second);
+  flows_.erase(it);
+  return flow;
+}
+
+bool FlowTable::contains(FlowId id) const { return flows_.find(id) != flows_.end(); }
+
+const ActiveFlow& FlowTable::get(FlowId id) const {
+  const auto it = flows_.find(id);
+  util::require(it != flows_.end(), "flow not active: " + std::to_string(id));
+  return it->second;
+}
+
+std::vector<FlowId> FlowTable::flows_using_link(net::LinkId link) const {
+  std::vector<FlowId> ids;
+  for (const auto& [id, flow] : flows_) {
+    if (std::find(flow.route.links.begin(), flow.route.links.end(), link) !=
+        flow.route.links.end()) {
+      ids.push_back(id);
+    }
+  }
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+void FlowTable::for_each(const std::function<void(const ActiveFlow&)>& visit) const {
+  std::vector<FlowId> ids;
+  ids.reserve(flows_.size());
+  for (const auto& [id, flow] : flows_) {
+    ids.push_back(id);
+  }
+  std::sort(ids.begin(), ids.end());
+  for (const FlowId id : ids) {
+    visit(flows_.at(id));
+  }
+}
+
+}  // namespace anyqos::sim

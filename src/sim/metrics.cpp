@@ -1,0 +1,68 @@
+#include "src/sim/metrics.h"
+
+#include "src/util/require.h"
+
+namespace anyqos::sim {
+
+MetricsCollector::MetricsCollector(std::size_t group_size, std::size_t batch_count)
+    : admission_batches_(batch_count), per_destination_(group_size, 0) {
+  util::require(group_size >= 1, "metrics need a positive group size");
+}
+
+void MetricsCollector::begin_measurement(double now) {
+  util::require(!measuring_, "measurement already started");
+  measuring_ = true;
+  active_flows_.restart(now);
+}
+
+void MetricsCollector::record_decision(bool admitted, std::size_t attempts,
+                                       std::uint64_t messages, std::size_t destination_index) {
+  if (!measuring_) {
+    return;
+  }
+  util::require(attempts >= 1, "a decision involves at least one attempt");
+  ++offered_;
+  admission_batches_.add(admitted ? 1.0 : 0.0);
+  attempts_.add(attempts);
+  messages_.add(static_cast<double>(messages));
+  if (admitted) {
+    ++admitted_;
+    util::require(destination_index < per_destination_.size(),
+                  "destination index out of range");
+    ++per_destination_[destination_index];
+  }
+}
+
+void MetricsCollector::record_active_flows(double now, std::size_t active) {
+  active_flows_.update(now, static_cast<double>(active));
+}
+
+void MetricsCollector::record_dropped_flow() {
+  if (measuring_) {
+    ++dropped_;
+  }
+}
+
+double MetricsCollector::admission_probability() const {
+  return offered_ == 0 ? 0.0
+                       : static_cast<double>(admitted_) / static_cast<double>(offered_);
+}
+
+stats::ConfidenceInterval MetricsCollector::admission_ci(double level) const {
+  if (!admission_batches_.ready()) {
+    stats::ConfidenceInterval ci;
+    ci.mean = admission_probability();
+    return ci;
+  }
+  return admission_batches_.confidence(level);
+}
+
+double MetricsCollector::average_attempts() const { return attempts_.mean(); }
+
+double MetricsCollector::average_messages() const { return messages_.mean(); }
+
+double MetricsCollector::average_active_flows(double now) const {
+  return active_flows_.mean(now);
+}
+
+}  // namespace anyqos::sim

@@ -1,0 +1,71 @@
+// Measurement collection for simulation runs (paper Section 5.1's metrics:
+// admission probability and average number of retrials, plus the signaling
+// and utilization diagnostics this library adds).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/stats/accumulator.h"
+#include "src/stats/confidence.h"
+#include "src/stats/histogram.h"
+#include "src/stats/time_weighted.h"
+
+namespace anyqos::sim {
+
+/// Streaming collector fed by the simulation; ignores everything recorded
+/// before `begin_measurement` is called (warm-up deletion).
+class MetricsCollector {
+ public:
+  /// `group_size` sizes the per-destination admission tally;
+  /// `batch_count` configures the batch-means CI for admission probability.
+  MetricsCollector(std::size_t group_size, std::size_t batch_count = 20);
+
+  /// Starts the measurement window at simulated time `now` — prior samples
+  /// are discarded, the active-flow integral restarts.
+  void begin_measurement(double now);
+  [[nodiscard]] bool measuring() const { return measuring_; }
+
+  /// Records one admission decision: outcome, destinations tried, signaling
+  /// messages spent, and (when admitted) the pinned destination index.
+  void record_decision(bool admitted, std::size_t attempts, std::uint64_t messages,
+                       std::size_t destination_index);
+  /// Records the active-flow count after it changed at time `now`.
+  void record_active_flows(double now, std::size_t active);
+  /// Records a flow torn down by a link failure (fault extension).
+  void record_dropped_flow();
+
+  // --- Results (valid once measuring) ---
+  [[nodiscard]] std::uint64_t offered() const { return offered_; }
+  [[nodiscard]] std::uint64_t admitted() const { return admitted_; }
+  /// Point estimate of the admission probability.
+  [[nodiscard]] double admission_probability() const;
+  /// Batch-means CI for the admission probability at `level`.
+  [[nodiscard]] stats::ConfidenceInterval admission_ci(double level) const;
+  /// Mean destinations tried per request (the paper's retrial metric).
+  [[nodiscard]] double average_attempts() const;
+  /// Distribution of destinations tried per request.
+  [[nodiscard]] const stats::CountHistogram& attempts_histogram() const { return attempts_; }
+  /// Mean signaling messages per request.
+  [[nodiscard]] double average_messages() const;
+  /// Admissions pinned to each group member.
+  [[nodiscard]] const std::vector<std::uint64_t>& per_destination_admissions() const {
+    return per_destination_;
+  }
+  /// Time-averaged number of active flows over the measurement window.
+  [[nodiscard]] double average_active_flows(double now) const;
+  [[nodiscard]] std::uint64_t dropped_flows() const { return dropped_; }
+
+ private:
+  bool measuring_ = false;
+  std::uint64_t offered_ = 0;
+  std::uint64_t admitted_ = 0;
+  std::uint64_t dropped_ = 0;
+  stats::BatchMeans admission_batches_;
+  stats::CountHistogram attempts_;
+  stats::Accumulator messages_;
+  std::vector<std::uint64_t> per_destination_;
+  stats::TimeWeighted active_flows_;
+};
+
+}  // namespace anyqos::sim

@@ -1,0 +1,145 @@
+#include "src/sim/multi_group.h"
+
+#include "src/core/retrial.h"
+#include "src/stats/accumulator.h"
+#include "src/util/require.h"
+
+namespace anyqos::sim {
+
+MultiGroupSimulation::MultiGroupSimulation(const net::Topology& topology,
+                                           MultiGroupConfig config)
+    : topology_(&topology),
+      config_(std::move(config)),
+      ledger_(topology, config_.anycast_share),
+      rsvp_(ledger_, counter_),
+      probe_(ledger_, counter_),
+      seeds_(config_.seed),
+      arrival_rng_(seeds_.stream("arrivals")),
+      source_rng_(seeds_.stream("sources")),
+      holding_rng_(seeds_.stream("holding")),
+      group_rng_(seeds_.stream("groups")),
+      selection_rng_(seeds_.stream("selection")) {
+  util::require(config_.total_arrival_rate > 0.0, "arrival rate must be positive");
+  util::require(config_.mean_holding_s > 0.0, "holding time must be positive");
+  util::require(!config_.sources.empty(), "need at least one source");
+  util::require(!config_.groups.empty(), "need at least one group");
+  util::require(config_.measure_s > 0.0, "measurement window must be positive");
+  for (const net::NodeId s : config_.sources) {
+    util::require(s < topology.router_count(), "source router out of range");
+  }
+  double share_total = 0.0;
+  for (const GroupSpec& spec : config_.groups) {
+    util::require(spec.rate_share > 0.0, "group rate shares must be positive");
+    util::require(spec.flow_bandwidth_bps > 0.0, "group flow bandwidth must be positive");
+    share_total += spec.rate_share;
+  }
+  util::ensure(share_total > 0.0, "total share must be positive");
+  for (const GroupSpec& spec : config_.groups) {
+    group_shares_.push_back(spec.rate_share / share_total);
+    GroupRuntime runtime;
+    runtime.spec = spec;
+    runtime.group = std::make_unique<core::AnycastGroup>(spec.address, spec.members);
+    runtime.routes = std::make_unique<net::RouteTable>(topology, spec.members);
+    runtime.controllers.resize(topology.router_count());
+    runtimes_.push_back(std::move(runtime));
+  }
+}
+
+core::AdmissionController& MultiGroupSimulation::controller_for(GroupRuntime& runtime,
+                                                                net::NodeId source) {
+  auto& slot = runtime.controllers[source];
+  if (slot == nullptr) {
+    core::SelectorEnvironment env;
+    env.source = source;
+    env.group = runtime.group.get();
+    env.routes = runtime.routes.get();
+    env.probe = &probe_;
+    env.alpha = runtime.spec.alpha;
+    env.flow_bandwidth = runtime.spec.flow_bandwidth_bps;
+    slot = std::make_unique<core::AdmissionController>(
+        source, *runtime.group, *runtime.routes, rsvp_,
+        core::make_selector(runtime.spec.algorithm, env),
+        std::make_unique<core::CounterRetrialPolicy>(runtime.spec.max_tries));
+  }
+  return *slot;
+}
+
+void MultiGroupSimulation::schedule_next_arrival() {
+  simulator_.schedule_in(arrival_rng_.exponential(1.0 / config_.total_arrival_rate),
+                         [this] { handle_arrival(); });
+}
+
+void MultiGroupSimulation::handle_arrival() {
+  schedule_next_arrival();
+  const std::size_t group_index = group_rng_.weighted_index(group_shares_);
+  GroupRuntime& runtime = runtimes_[group_index];
+
+  core::FlowRequest request;
+  request.source = config_.sources[source_rng_.uniform_index(config_.sources.size())];
+  request.bandwidth_bps = runtime.spec.flow_bandwidth_bps;
+  const core::AdmissionDecision decision =
+      controller_for(runtime, request.source).admit(request, selection_rng_);
+
+  if (measuring_) {
+    ++runtime.offered;
+    runtime.attempts += decision.attempts;
+    if (decision.admitted) {
+      ++runtime.admitted;
+    }
+  }
+  if (!decision.admitted) {
+    return;
+  }
+  ActiveFlow flow;
+  flow.source = request.source;
+  flow.destination_index = *decision.destination_index;
+  flow.route = decision.route;
+  flow.bandwidth_bps = request.bandwidth_bps;
+  flow.admitted_at = simulator_.now();
+  const FlowId id = flows_.insert(std::move(flow));
+  simulator_.schedule_in(holding_rng_.exponential(config_.mean_holding_s), [this, id] {
+    const ActiveFlow flow = flows_.take(id);
+    rsvp_.teardown(flow.route, flow.bandwidth_bps);
+  });
+}
+
+MultiGroupResult MultiGroupSimulation::run() {
+  util::require(!ran_, "a MultiGroupSimulation instance runs once");
+  ran_ = true;
+  schedule_next_arrival();
+  simulator_.run_until(config_.warmup_s);
+  measuring_ = true;
+  simulator_.run_until(config_.warmup_s + config_.measure_s);
+
+  MultiGroupResult result;
+  std::uint64_t total_offered = 0;
+  std::uint64_t total_admitted = 0;
+  for (const GroupRuntime& runtime : runtimes_) {
+    MultiGroupResult::PerGroup per;
+    per.address = runtime.spec.address;
+    per.offered = runtime.offered;
+    per.admitted = runtime.admitted;
+    per.admission_probability =
+        runtime.offered == 0
+            ? 0.0
+            : static_cast<double>(runtime.admitted) / static_cast<double>(runtime.offered);
+    per.average_attempts = runtime.offered == 0 ? 0.0
+                                                : static_cast<double>(runtime.attempts) /
+                                                      static_cast<double>(runtime.offered);
+    total_offered += runtime.offered;
+    total_admitted += runtime.admitted;
+    result.groups.push_back(std::move(per));
+  }
+  result.aggregate_admission_probability =
+      total_offered == 0 ? 0.0
+                         : static_cast<double>(total_admitted) /
+                               static_cast<double>(total_offered);
+  stats::Accumulator utilization;
+  for (net::LinkId id = 0; id < topology_->link_count(); ++id) {
+    utilization.add(ledger_.utilization(id));
+  }
+  result.mean_link_utilization = utilization.mean();
+  return result;
+}
+
+}  // namespace anyqos::sim

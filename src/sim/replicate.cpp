@@ -1,0 +1,46 @@
+#include "src/sim/replicate.h"
+
+#include "src/stats/accumulator.h"
+#include "src/util/require.h"
+
+namespace anyqos::sim {
+
+namespace {
+
+ReplicatedMetric aggregate(const stats::Accumulator& acc, double level) {
+  ReplicatedMetric metric;
+  metric.mean = acc.mean();
+  metric.ci = stats::mean_confidence(acc, level);
+  metric.min = acc.min();
+  metric.max = acc.max();
+  return metric;
+}
+
+}  // namespace
+
+ReplicatedResult replicate(const net::Topology& topology, SimulationConfig config,
+                           std::size_t replications, double confidence_level) {
+  util::require(replications >= 1, "need at least one replication");
+  util::require(confidence_level > 0.0 && confidence_level < 1.0,
+                "confidence level must be in (0,1)");
+  stats::Accumulator ap;
+  stats::Accumulator attempts;
+  stats::Accumulator messages;
+  const std::uint64_t base_seed = config.seed;
+  for (std::size_t r = 0; r < replications; ++r) {
+    config.seed = base_seed + r;
+    Simulation simulation(topology, config);
+    const SimulationResult result = simulation.run();
+    ap.add(result.admission_probability);
+    attempts.add(result.average_attempts);
+    messages.add(result.average_messages);
+  }
+  ReplicatedResult result;
+  result.replications = replications;
+  result.admission_probability = aggregate(ap, confidence_level);
+  result.average_attempts = aggregate(attempts, confidence_level);
+  result.average_messages = aggregate(messages, confidence_level);
+  return result;
+}
+
+}  // namespace anyqos::sim

@@ -1,0 +1,38 @@
+// Independent replications: the standard simulation-methodology wrapper.
+//
+// A single run's batch-means CI captures within-run variance only; fully
+// independent replications (same configuration, different master seeds) also
+// capture initialization and seed sensitivity. The figure benches accept a
+// --replications flag built on this runner.
+#pragma once
+
+#include <cstddef>
+
+#include "src/sim/simulation.h"
+#include "src/stats/confidence.h"
+
+namespace anyqos::sim {
+
+/// Aggregate of one scalar metric across replications.
+struct ReplicatedMetric {
+  double mean = 0.0;
+  stats::ConfidenceInterval ci;  ///< Student-t CI across replications
+  double min = 0.0;
+  double max = 0.0;
+};
+
+/// Results of `replications` independent runs of one configuration.
+struct ReplicatedResult {
+  std::size_t replications = 0;
+  ReplicatedMetric admission_probability;
+  ReplicatedMetric average_attempts;
+  ReplicatedMetric average_messages;
+};
+
+/// Runs `config` `replications` times with master seeds seed, seed+1, ...
+/// and aggregates the headline metrics at the given confidence level.
+/// replications >= 1; with 1 the CI half-width is 0.
+ReplicatedResult replicate(const net::Topology& topology, SimulationConfig config,
+                           std::size_t replications, double confidence_level = 0.95);
+
+}  // namespace anyqos::sim

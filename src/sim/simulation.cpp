@@ -1,0 +1,295 @@
+#include "src/sim/simulation.h"
+
+#include <algorithm>
+
+#include "src/core/retrial.h"
+#include "src/util/require.h"
+
+namespace anyqos::sim {
+
+namespace {
+
+std::vector<net::NodeId> checked_members(const std::vector<net::NodeId>& members) {
+  util::require(!members.empty(), "simulation needs a non-empty anycast group");
+  return members;
+}
+
+}  // namespace
+
+Simulation::Simulation(const net::Topology& topology, SimulationConfig config)
+    : topology_(&topology),
+      config_(std::move(config)),
+      group_("anycast://sim", checked_members(config_.group_members)),
+      ledger_(topology, config_.anycast_share),
+      routes_(topology, config_.group_members),
+      rsvp_(ledger_, counter_),
+      probe_(ledger_, counter_),
+      seeds_(config_.seed),
+      arrivals_(config_.traffic, seeds_),
+      selection_rng_(seeds_.stream("selection")),
+      metrics_(group_.size(), config_.ci_batches),
+      link_utilization_(topology.link_count()) {
+  util::require(config_.warmup_s >= 0.0, "warmup must be non-negative");
+  util::require(config_.measure_s > 0.0, "measurement window must be positive");
+  for (const net::NodeId s : config_.traffic.sources) {
+    util::require(s < topology.router_count(), "source router out of range");
+  }
+  for (const net::NodeId m : config_.group_members) {
+    util::require(m < topology.router_count(), "group member out of range");
+  }
+  for (const LinkFault& fault : config_.faults) {
+    util::require(topology.find_link(fault.a, fault.b).has_value(),
+                  "fault references a non-existent link");
+    util::require(fault.repair_at > fault.fail_at, "fault repair must follow failure");
+  }
+
+  util::require(!(config_.use_gdi && config_.use_centralized),
+                "GDI and centralized baselines are mutually exclusive");
+  if (config_.use_gdi) {
+    oracle_ = std::make_unique<core::GlobalAdmissionOracle>(topology, ledger_, group_);
+  } else if (config_.use_centralized) {
+    central_ = std::make_unique<core::CentralizedController>(
+        topology, ledger_, group_, routes_, rsvp_, config_.controller_node,
+        config_.controller_rate);
+  } else {
+    // One AC-router (controller) per distinct source, each with its own
+    // selector state — weights and history are local per the paper.
+    controllers_.resize(topology.router_count());
+  }
+}
+
+core::AdmissionController& Simulation::controller_for(net::NodeId source) {
+  util::ensure(!config_.use_gdi, "GDI runs have no per-source controllers");
+  auto& slot = controllers_[source];
+  if (slot == nullptr) {
+    core::SelectorEnvironment env;
+    env.source = source;
+    env.group = &group_;
+    env.routes = &routes_;
+    env.probe = &probe_;
+    env.alpha = config_.alpha;
+    env.wdb_mask_infeasible = config_.wdb_mask_infeasible;
+    env.flow_bandwidth = config_.traffic.flow_bandwidth_bps;
+    slot = std::make_unique<core::AdmissionController>(
+        source, group_, routes_, rsvp_,
+        core::make_selector(config_.algorithm, env),
+        std::make_unique<core::CounterRetrialPolicy>(config_.max_tries));
+  }
+  return *slot;
+}
+
+void Simulation::emit_trace(TraceEventKind kind, net::NodeId source,
+                            net::NodeId destination, std::size_t attempts) {
+  if (config_.trace == nullptr) {
+    return;
+  }
+  TraceEvent event;
+  event.time = simulator_.now();
+  event.kind = kind;
+  event.source = source;
+  event.destination = destination;
+  event.attempts = attempts;
+  event.active_flows = flows_.size();
+  config_.trace->record(event);
+}
+
+void Simulation::touch_links(const net::Path& path) {
+  const double now = simulator_.now();
+  for (const net::LinkId id : path.links) {
+    link_utilization_[id].update(now, ledger_.utilization(id));
+  }
+}
+
+void Simulation::schedule_next_arrival() {
+  simulator_.schedule_in(arrivals_.next_interarrival(), [this] { handle_arrival(); });
+}
+
+void Simulation::handle_arrival() {
+  schedule_next_arrival();
+
+  core::FlowRequest request;
+  request.source = arrivals_.draw_source();
+  request.bandwidth_bps = config_.traffic.flow_bandwidth_bps;
+
+  core::AdmissionDecision decision;
+  if (config_.use_gdi) {
+    decision = oracle_->admit(request);
+  } else if (config_.use_centralized) {
+    const core::CentralizedDecision central =
+        central_->admit(simulator_.now(), request.source, request.bandwidth_bps);
+    decision.admitted = central.admitted;
+    decision.destination_index = central.destination_index;
+    decision.route = central.route;
+    decision.attempts = 1;  // the agency decides in one shot
+    decision.messages = central.messages;
+    if (metrics_.measuring()) {
+      decision_delay_.add(central.decision_delay_s);
+    }
+  } else {
+    decision = controller_for(request.source).admit(request, selection_rng_);
+  }
+  metrics_.record_decision(decision.admitted, decision.attempts, decision.messages,
+                           decision.destination_index.value_or(0));
+  if (metrics_.measuring() && config_.signaling_hop_delay_s > 0.0) {
+    // Message walks are sequential within one request, so the setup delay is
+    // the hop count of all its signaling traversals times the per-hop latency.
+    const double delay =
+        static_cast<double>(decision.messages) * config_.signaling_hop_delay_s;
+    setup_delay_.add(delay);
+    setup_delay_p95_.add(delay);
+  }
+  if (!decision.admitted) {
+    emit_trace(TraceEventKind::kRejected, request.source, net::kInvalidNode,
+               decision.attempts);
+    return;
+  }
+
+  touch_links(decision.route);
+  ActiveFlow flow;
+  flow.source = request.source;
+  flow.destination_index = *decision.destination_index;
+  flow.route = decision.route;
+  flow.bandwidth_bps = request.bandwidth_bps;
+  flow.admitted_at = simulator_.now();
+  const FlowId id = flows_.insert(std::move(flow));
+  metrics_.record_active_flows(simulator_.now(), flows_.size());
+  emit_trace(TraceEventKind::kAdmitted, request.source,
+             group_.member(*decision.destination_index), decision.attempts);
+
+  simulator_.schedule_in(arrivals_.draw_holding(), [this, id] { handle_departure(id); });
+}
+
+void Simulation::handle_departure(FlowId id) {
+  if (!flows_.contains(id)) {
+    return;  // the flow was torn down earlier by a link failure
+  }
+  const ActiveFlow flow = flows_.take(id);
+  if (config_.use_gdi) {
+    ledger_.release(flow.route, flow.bandwidth_bps);
+  } else {
+    rsvp_.teardown(flow.route, flow.bandwidth_bps);  // CTRL also tears via RSVP
+  }
+  touch_links(flow.route);
+  metrics_.record_active_flows(simulator_.now(), flows_.size());
+  emit_trace(TraceEventKind::kDeparted, flow.source, group_.member(flow.destination_index),
+             0);
+}
+
+void Simulation::drop_flows_on_link(net::LinkId link) {
+  for (const FlowId id : flows_.flows_using_link(link)) {
+    const ActiveFlow flow = flows_.take(id);
+    if (config_.use_gdi) {
+      ledger_.release(flow.route, flow.bandwidth_bps);
+    } else {
+      rsvp_.teardown(flow.route, flow.bandwidth_bps);
+    }
+    touch_links(flow.route);
+    metrics_.record_dropped_flow();
+    emit_trace(TraceEventKind::kDropped, flow.source, group_.member(flow.destination_index),
+               0);
+  }
+  metrics_.record_active_flows(simulator_.now(), flows_.size());
+}
+
+void Simulation::apply_fault(const LinkFault& fault) {
+  const net::LinkId forward = *topology_->find_link(fault.a, fault.b);
+  const net::LinkId backward = topology_->reverse_link(forward);
+  drop_flows_on_link(forward);
+  drop_flows_on_link(backward);
+  ledger_.fail_link(forward);
+  ledger_.fail_link(backward);
+  const double now = simulator_.now();
+  link_utilization_[forward].update(now, 1.0);
+  link_utilization_[backward].update(now, 1.0);
+  emit_trace(TraceEventKind::kLinkDown, fault.a, fault.b, 0);
+}
+
+void Simulation::repair_fault(const LinkFault& fault) {
+  const net::LinkId forward = *topology_->find_link(fault.a, fault.b);
+  const net::LinkId backward = topology_->reverse_link(forward);
+  ledger_.restore_link(forward);
+  ledger_.restore_link(backward);
+  const double now = simulator_.now();
+  link_utilization_[forward].update(now, 0.0);
+  link_utilization_[backward].update(now, 0.0);
+  emit_trace(TraceEventKind::kLinkUp, fault.a, fault.b, 0);
+}
+
+std::string Simulation::system_label(const SimulationConfig& config) {
+  if (config.use_gdi) {
+    return "GDI";
+  }
+  if (config.use_centralized) {
+    std::string label = "CTRL@";  // append form: GCC 12 -Wrestrict, PR 105329
+    label += std::to_string(config.controller_node);
+    return label;
+  }
+  if (config.algorithm == core::SelectionAlgorithm::kShortestPath && config.max_tries == 1) {
+    return "SP";
+  }
+  std::string label = "<";
+  label += core::to_string(config.algorithm);
+  label += ',';
+  label += std::to_string(config.max_tries);
+  label += '>';
+  return label;
+}
+
+SimulationResult Simulation::run() {
+  util::require(!ran_, "a Simulation instance runs once; construct a fresh one");
+  ran_ = true;
+
+  // Seed the event calendar.
+  schedule_next_arrival();
+  for (const LinkFault& fault : config_.faults) {
+    simulator_.schedule_at(fault.fail_at, [this, fault] { apply_fault(fault); });
+    simulator_.schedule_at(fault.repair_at, [this, fault] { repair_fault(fault); });
+  }
+  // Initialize utilization tracking at t = 0 so time averages cover the run.
+  for (net::LinkId id = 0; id < topology_->link_count(); ++id) {
+    link_utilization_[id].update(0.0, 0.0);
+  }
+
+  // Warm-up: run, then discard counters and restart integrals.
+  simulator_.run_until(config_.warmup_s);
+  counter_.reset();
+  metrics_.begin_measurement(simulator_.now());
+  metrics_.record_active_flows(simulator_.now(), flows_.size());
+  for (net::LinkId id = 0; id < topology_->link_count(); ++id) {
+    link_utilization_[id].restart(simulator_.now());
+    link_utilization_[id].update(simulator_.now(), ledger_.utilization(id));
+  }
+
+  const double end_time = config_.warmup_s + config_.measure_s;
+  simulator_.run_until(end_time);
+
+  SimulationResult result;
+  result.system_label = system_label(config_);
+  result.admission_probability = metrics_.admission_probability();
+  result.admission_ci = metrics_.admission_ci(0.95);
+  result.average_attempts = metrics_.average_attempts();
+  result.attempts_histogram = metrics_.attempts_histogram();
+  result.average_messages = metrics_.average_messages();
+  result.offered = metrics_.offered();
+  result.admitted = metrics_.admitted();
+  result.dropped = metrics_.dropped_flows();
+  result.per_destination_admissions = metrics_.per_destination_admissions();
+  result.average_active_flows = metrics_.average_active_flows(end_time);
+  result.messages = counter_;
+  result.average_decision_delay_s = decision_delay_.mean();
+  result.average_setup_delay_s = setup_delay_.mean();
+  result.p95_setup_delay_s = setup_delay_.count() > 0 ? setup_delay_p95_.value() : 0.0;
+
+  stats::Accumulator utilization;
+  double max_util = 0.0;
+  for (net::LinkId id = 0; id < topology_->link_count(); ++id) {
+    const double u = link_utilization_[id].mean(end_time);
+    utilization.add(u);
+    max_util = std::max(max_util, u);
+  }
+  result.mean_link_utilization = utilization.mean();
+  result.max_link_utilization = max_util;
+  return result;
+}
+
+}  // namespace anyqos::sim

@@ -1,0 +1,161 @@
+// Flow-level discrete-event simulation of a DAC system (paper Section 5).
+//
+// One Simulation instance evaluates one system <A, R> (or a baseline) on one
+// topology under one traffic model: Poisson request arrivals run through the
+// admission procedure; admitted flows hold bandwidth for an exponential
+// lifetime and then release it. Warm-up is discarded before measuring.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "src/core/admission.h"
+#include "src/core/centralized.h"
+#include "src/core/selector.h"
+#include "src/des/simulator.h"
+#include "src/net/bandwidth.h"
+#include "src/net/routing.h"
+#include "src/net/topologies.h"
+#include "src/sim/flow_table.h"
+#include "src/sim/metrics.h"
+#include "src/sim/trace.h"
+#include "src/sim/traffic.h"
+#include "src/signaling/probe.h"
+#include "src/signaling/rsvp.h"
+#include "src/stats/quantile.h"
+#include "src/stats/time_weighted.h"
+
+namespace anyqos::sim {
+
+/// A scheduled duplex-link outage (fault-tolerance extension; see faults.h
+/// for generators). Flows routed over the link when it fails are torn down.
+struct LinkFault {
+  net::NodeId a = net::kInvalidNode;  ///< duplex link endpoint
+  net::NodeId b = net::kInvalidNode;  ///< duplex link endpoint
+  double fail_at = 0.0;               ///< outage start (simulated seconds)
+  double repair_at = 0.0;             ///< outage end; must exceed fail_at
+};
+
+/// Full description of one simulation run.
+struct SimulationConfig {
+  // --- Workload ---
+  TrafficModel traffic;                      ///< arrivals, holding, bandwidth, sources
+  std::vector<net::NodeId> group_members;    ///< the anycast group G(A)
+  double anycast_share = 0.2;                ///< link fraction usable by anycast
+
+  // --- System under test (the paper's <A, R> tuple, or a baseline) ---
+  bool use_gdi = false;                      ///< run the GDI oracle instead of DAC
+  /// Run the centralized-agency baseline (Section 1's alternative) instead
+  /// of DAC. Mutually exclusive with use_gdi.
+  bool use_centralized = false;
+  net::NodeId controller_node = 0;           ///< where the central agency lives
+  double controller_rate = 1.0e6;            ///< agency decisions per second
+  core::SelectionAlgorithm algorithm = core::SelectionAlgorithm::kEvenDistribution;
+  std::size_t max_tries = 2;                 ///< R: destinations tried per request
+  double alpha = 0.5;                        ///< WD/D+H history discount
+  bool wdb_mask_infeasible = false;          ///< WD/D+B masking ablation
+
+  // --- Run control ---
+  double warmup_s = 2'000.0;                 ///< discarded transient
+  double measure_s = 20'000.0;               ///< measurement window length
+  std::uint64_t seed = 1;                    ///< master seed (common random numbers)
+  /// One-way per-hop latency of a signaling message, seconds. Setup delay of
+  /// a request = its sequential message walks x this (paper Section 5.1:
+  /// admission delay is proportional to the reservation messages). 0 keeps
+  /// the delay metric silent.
+  double signaling_hop_delay_s = 0.0;
+  std::size_t ci_batches = 20;               ///< batch-means batches for the AP CI
+  std::vector<LinkFault> faults;             ///< optional outage schedule
+  /// Optional flow-event observer (must outlive the simulation). Receives
+  /// every event including warm-up; aggregate metrics stay warm-up-filtered.
+  TraceSink* trace = nullptr;
+};
+
+/// Aggregated outcome of a run (measurement window only).
+struct SimulationResult {
+  std::string system_label;                  ///< e.g. "<ED,2>", "GDI"
+  double admission_probability = 0.0;        ///< paper's AP metric
+  stats::ConfidenceInterval admission_ci;    ///< 95% batch-means CI on AP
+  double average_attempts = 0.0;             ///< paper's retrial metric
+  stats::CountHistogram attempts_histogram;  ///< tries-per-request distribution
+  double average_messages = 0.0;             ///< signaling messages per request
+  std::uint64_t offered = 0;
+  std::uint64_t admitted = 0;
+  std::uint64_t dropped = 0;                 ///< torn down by faults
+  std::vector<std::uint64_t> per_destination_admissions;
+  double average_active_flows = 0.0;
+  double mean_link_utilization = 0.0;        ///< time-avg, then mean over links
+  double max_link_utilization = 0.0;         ///< time-avg, then max over links
+  signaling::MessageCounter messages;        ///< per-kind tallies
+  /// Mean queueing+service delay at the central agency per request, seconds
+  /// (0 for DAC/GDI runs — their decisions are local).
+  double average_decision_delay_s = 0.0;
+  /// Signaling setup delay per request (messages x per-hop latency):
+  /// mean and 95th percentile. Zero when signaling_hop_delay_s is 0.
+  double average_setup_delay_s = 0.0;
+  double p95_setup_delay_s = 0.0;
+};
+
+/// Runs one configured system to completion.
+class Simulation {
+ public:
+  /// `topology` must outlive the simulation.
+  Simulation(const net::Topology& topology, SimulationConfig config);
+
+  /// Executes warm-up plus measurement and returns the results.
+  /// May be called once per instance.
+  SimulationResult run();
+
+  /// Read access for tests/examples (valid after run()).
+  [[nodiscard]] const net::BandwidthLedger& ledger() const { return ledger_; }
+  [[nodiscard]] const net::RouteTable& routes() const { return routes_; }
+  [[nodiscard]] const core::AnycastGroup& group() const { return group_; }
+
+  /// The simulation kernel — exposed so instrumentation (e.g.
+  /// TimeSeriesProbe) can be attached *before* run(). Scheduling model
+  /// events here yourself voids the results.
+  [[nodiscard]] des::Simulator& simulator() { return simulator_; }
+  /// Currently active (admitted, undeparted) flows.
+  [[nodiscard]] std::size_t active_flows() const { return flows_.size(); }
+
+  /// "<A,R>" label for this configuration (e.g. "<WD/D+H,2>", "GDI").
+  [[nodiscard]] static std::string system_label(const SimulationConfig& config);
+
+ private:
+  void schedule_next_arrival();
+  void handle_arrival();
+  void handle_departure(FlowId id);
+  void apply_fault(const LinkFault& fault);
+  void repair_fault(const LinkFault& fault);
+  void drop_flows_on_link(net::LinkId link);
+  void touch_links(const net::Path& path);
+  void emit_trace(TraceEventKind kind, net::NodeId source, net::NodeId destination,
+                  std::size_t attempts);
+  core::AdmissionController& controller_for(net::NodeId source);
+
+  const net::Topology* topology_;
+  SimulationConfig config_;
+  core::AnycastGroup group_;
+  net::BandwidthLedger ledger_;
+  net::RouteTable routes_;
+  signaling::MessageCounter counter_;
+  signaling::ReservationProtocol rsvp_;
+  signaling::ProbeService probe_;
+  des::SeedSequence seeds_;
+  des::Simulator simulator_;
+  ArrivalProcess arrivals_;
+  des::RandomStream selection_rng_;
+  std::vector<std::unique_ptr<core::AdmissionController>> controllers_;  // by source index
+  std::unique_ptr<core::GlobalAdmissionOracle> oracle_;
+  std::unique_ptr<core::CentralizedController> central_;
+  stats::Accumulator decision_delay_;
+  stats::Accumulator setup_delay_;
+  stats::P2Quantile setup_delay_p95_{0.95};
+  FlowTable flows_;
+  MetricsCollector metrics_;
+  std::vector<stats::TimeWeighted> link_utilization_;
+  bool ran_ = false;
+};
+
+}  // namespace anyqos::sim

@@ -1,0 +1,53 @@
+#include "src/sim/timeseries.h"
+
+#include "src/util/require.h"
+
+namespace anyqos::sim {
+
+TimeSeriesProbe::TimeSeriesProbe(des::Simulator& simulator, double start, double period)
+    : simulator_(&simulator), start_(start), period_(period) {
+  util::require(period > 0.0, "sampling period must be positive");
+  util::require(start >= simulator.now(), "sampling cannot start in the past");
+}
+
+void TimeSeriesProbe::add_gauge(std::string name, Gauge gauge) {
+  util::require(!armed_, "gauges must be registered before arming");
+  util::require(static_cast<bool>(gauge), "gauge must be callable");
+  gauges_.push_back(std::move(gauge));
+  TimeSeries ts;
+  ts.name = std::move(name);
+  series_.push_back(std::move(ts));
+}
+
+void TimeSeriesProbe::arm() {
+  util::require(!armed_, "probe already armed");
+  util::require(!gauges_.empty(), "no gauges registered");
+  armed_ = true;
+  simulator_->schedule_at(start_, [this] { sample(); });
+}
+
+void TimeSeriesProbe::disarm() { stopped_ = true; }
+
+void TimeSeriesProbe::sample() {
+  if (stopped_) {
+    return;
+  }
+  const double now = simulator_->now();
+  for (std::size_t i = 0; i < gauges_.size(); ++i) {
+    series_[i].times.push_back(now);
+    series_[i].values.push_back(gauges_[i]());
+  }
+  simulator_->schedule_in(period_, [this] { sample(); });
+}
+
+const TimeSeries& TimeSeriesProbe::series(const std::string& name) const {
+  for (const TimeSeries& ts : series_) {
+    if (ts.name == name) {
+      return ts;
+    }
+  }
+  util::require(false, "no such series: " + name);
+  util::unreachable("series lookup");
+}
+
+}  // namespace anyqos::sim

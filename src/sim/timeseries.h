@@ -1,0 +1,61 @@
+// Periodic time-series sampling of simulation state.
+//
+// Attaches to the DES kernel and samples user-supplied gauges every `period`
+// simulated seconds — the standard way to plot active-flow population or
+// link utilization over time (e.g. around a fault) rather than as one
+// end-of-run average.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/des/simulator.h"
+
+namespace anyqos::sim {
+
+/// One sampled series: name + (time, value) points.
+struct TimeSeries {
+  std::string name;
+  std::vector<double> times;
+  std::vector<double> values;
+
+  [[nodiscard]] std::size_t size() const { return times.size(); }
+};
+
+/// Samples registered gauges on a fixed simulated-time period.
+class TimeSeriesProbe {
+ public:
+  using Gauge = std::function<double()>;
+
+  /// Sampling starts at `start` and repeats every `period` (> 0) seconds
+  /// until the simulator runs out of its horizon. `simulator` must outlive
+  /// the probe, and the probe must outlive the simulation run.
+  TimeSeriesProbe(des::Simulator& simulator, double start, double period);
+
+  /// Registers a gauge evaluated at every sample instant.
+  void add_gauge(std::string name, Gauge gauge);
+
+  /// Begins the periodic sampling (call once, before running).
+  void arm();
+
+  /// Stops future sampling (already-recorded points remain).
+  void disarm();
+
+  [[nodiscard]] const std::vector<TimeSeries>& series() const { return series_; }
+  /// Series by name; throws std::invalid_argument when absent.
+  [[nodiscard]] const TimeSeries& series(const std::string& name) const;
+
+ private:
+  void sample();
+
+  des::Simulator* simulator_;
+  double start_;
+  double period_;
+  bool armed_ = false;
+  bool stopped_ = false;
+  std::vector<Gauge> gauges_;
+  std::vector<TimeSeries> series_;
+};
+
+}  // namespace anyqos::sim

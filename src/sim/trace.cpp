@@ -1,0 +1,54 @@
+#include "src/sim/trace.h"
+
+#include <algorithm>
+#include <ostream>
+
+#include "src/util/require.h"
+
+namespace anyqos::sim {
+
+std::string to_string(TraceEventKind kind) {
+  switch (kind) {
+    case TraceEventKind::kAdmitted:
+      return "ADMITTED";
+    case TraceEventKind::kRejected:
+      return "REJECTED";
+    case TraceEventKind::kDeparted:
+      return "DEPARTED";
+    case TraceEventKind::kDropped:
+      return "DROPPED";
+    case TraceEventKind::kLinkDown:
+      return "LINK_DOWN";
+    case TraceEventKind::kLinkUp:
+      return "LINK_UP";
+  }
+  util::unreachable("TraceEventKind");
+}
+
+std::size_t MemoryTraceSink::count(TraceEventKind kind) const {
+  return static_cast<std::size_t>(
+      std::count_if(events_.begin(), events_.end(),
+                    [kind](const TraceEvent& e) { return e.kind == kind; }));
+}
+
+CsvTraceSink::CsvTraceSink(std::ostream& out) : out_(&out) {
+  *out_ << "time,kind,source,destination,attempts,active\n";
+}
+
+void CsvTraceSink::record(const TraceEvent& event) {
+  *out_ << event.time << ',' << to_string(event.kind) << ',';
+  if (event.source == net::kInvalidNode) {
+    *out_ << '-';
+  } else {
+    *out_ << event.source;
+  }
+  *out_ << ',';
+  if (event.destination == net::kInvalidNode) {
+    *out_ << '-';
+  } else {
+    *out_ << event.destination;
+  }
+  *out_ << ',' << event.attempts << ',' << event.active_flows << '\n';
+}
+
+}  // namespace anyqos::sim

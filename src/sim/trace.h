@@ -1,0 +1,71 @@
+// Flow-event tracing: an optional observer stream of everything that happens
+// to flows during a run (ns-style trace file), for debugging, plotting
+// time series, and validating burst behaviour beyond aggregate metrics.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "src/net/graph.h"
+
+namespace anyqos::sim {
+
+/// What happened to a flow request / active flow.
+enum class TraceEventKind : std::uint8_t {
+  kAdmitted,   // request admitted and reserved
+  kRejected,   // request rejected after its retry budget
+  kDeparted,   // flow completed normally and released
+  kDropped,    // flow torn down by a link failure
+  kLinkDown,   // a fault took a duplex link out
+  kLinkUp,     // a fault repaired
+};
+
+std::string to_string(TraceEventKind kind);
+
+/// One trace record. Fields not applicable to the kind are left at defaults
+/// (e.g. destination for kLinkDown).
+struct TraceEvent {
+  double time = 0.0;
+  TraceEventKind kind = TraceEventKind::kAdmitted;
+  net::NodeId source = net::kInvalidNode;       ///< request source / link endpoint a
+  net::NodeId destination = net::kInvalidNode;  ///< member router / link endpoint b
+  std::size_t attempts = 0;                     ///< destinations tried (admission events)
+  std::size_t active_flows = 0;                 ///< population after the event
+};
+
+/// Receives trace events; implementations must tolerate high event rates.
+class TraceSink {
+ public:
+  virtual ~TraceSink() = default;
+  virtual void record(const TraceEvent& event) = 0;
+};
+
+/// Buffers every event in memory; the workhorse for tests and small runs.
+class MemoryTraceSink final : public TraceSink {
+ public:
+  void record(const TraceEvent& event) override { events_.push_back(event); }
+
+  [[nodiscard]] const std::vector<TraceEvent>& events() const { return events_; }
+  [[nodiscard]] std::size_t count(TraceEventKind kind) const;
+  void clear() { events_.clear(); }
+
+ private:
+  std::vector<TraceEvent> events_;
+};
+
+/// Streams events as CSV rows (`time,kind,source,destination,attempts,
+/// active`) with a header, suitable for any plotting tool.
+class CsvTraceSink final : public TraceSink {
+ public:
+  /// `out` must outlive the sink.
+  explicit CsvTraceSink(std::ostream& out);
+
+  void record(const TraceEvent& event) override;
+
+ private:
+  std::ostream* out_;
+};
+
+}  // namespace anyqos::sim

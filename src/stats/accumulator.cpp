@@ -1,0 +1,71 @@
+#include "src/stats/accumulator.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace anyqos::stats {
+
+void Accumulator::add(double value) {
+  ++count_;
+  const double delta = value - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  const double delta2 = value - mean_;
+  m2_ += delta * delta2;
+  min_ = std::min(min_, value);
+  max_ = std::max(max_, value);
+}
+
+void Accumulator::merge(const Accumulator& other) {
+  if (other.count_ == 0) {
+    return;
+  }
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  const double na = static_cast<double>(count_);
+  const double nb = static_cast<double>(other.count_);
+  const double delta = other.mean_ - mean_;
+  const double total = na + nb;
+  mean_ += delta * nb / total;
+  m2_ += other.m2_ + delta * delta * na * nb / total;
+  count_ += other.count_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double Accumulator::mean() const { return count_ == 0 ? 0.0 : mean_; }
+
+double Accumulator::variance() const {
+  if (count_ < 2) {
+    return 0.0;
+  }
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double Accumulator::stddev() const { return std::sqrt(variance()); }
+
+void Accumulator::reset() { *this = Accumulator{}; }
+
+void ProportionAccumulator::add(bool success) {
+  ++trials_;
+  if (success) {
+    ++successes_;
+  }
+}
+
+double ProportionAccumulator::proportion() const {
+  return trials_ == 0 ? 0.0 : static_cast<double>(successes_) / static_cast<double>(trials_);
+}
+
+double ProportionAccumulator::standard_error() const {
+  if (trials_ < 2) {
+    return 0.0;
+  }
+  const double p = proportion();
+  return std::sqrt(p * (1.0 - p) / static_cast<double>(trials_));
+}
+
+void ProportionAccumulator::reset() { *this = ProportionAccumulator{}; }
+
+}  // namespace anyqos::stats

@@ -1,0 +1,71 @@
+// Streaming moment accumulators (Welford's algorithm).
+#pragma once
+
+#include <cstddef>
+#include <limits>
+
+namespace anyqos::stats {
+
+/// Numerically stable streaming mean/variance/min/max accumulator.
+///
+/// Uses Welford's online algorithm, so adding millions of samples keeps full
+/// double precision for the variance. All queries are O(1).
+class Accumulator {
+ public:
+  /// Adds one observation.
+  void add(double value);
+
+  /// Merges another accumulator into this one (parallel-friendly; Chan et al.).
+  void merge(const Accumulator& other);
+
+  /// Number of observations added.
+  [[nodiscard]] std::size_t count() const { return count_; }
+  /// Arithmetic mean; 0 when empty.
+  [[nodiscard]] double mean() const;
+  /// Unbiased sample variance (n-1 denominator); 0 for fewer than 2 samples.
+  [[nodiscard]] double variance() const;
+  /// sqrt(variance()).
+  [[nodiscard]] double stddev() const;
+  /// Sum of all observations.
+  [[nodiscard]] double sum() const { return mean_ * static_cast<double>(count_); }
+  /// Smallest observation; +inf when empty.
+  [[nodiscard]] double min() const { return min_; }
+  /// Largest observation; -inf when empty.
+  [[nodiscard]] double max() const { return max_; }
+  [[nodiscard]] bool empty() const { return count_ == 0; }
+
+  /// Resets to the freshly constructed state.
+  void reset();
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Streaming ratio estimator for Bernoulli outcomes (e.g. admitted / offered).
+///
+/// Thin wrapper that keeps success and trial counts and exposes the sample
+/// proportion plus the Wald standard error used by confidence interval code.
+class ProportionAccumulator {
+ public:
+  /// Records one trial with the given outcome.
+  void add(bool success);
+
+  [[nodiscard]] std::size_t trials() const { return trials_; }
+  [[nodiscard]] std::size_t successes() const { return successes_; }
+  /// Sample proportion; 0 when no trials recorded.
+  [[nodiscard]] double proportion() const;
+  /// Wald standard error sqrt(p(1-p)/n); 0 when fewer than 2 trials.
+  [[nodiscard]] double standard_error() const;
+
+  void reset();
+
+ private:
+  std::size_t trials_ = 0;
+  std::size_t successes_ = 0;
+};
+
+}  // namespace anyqos::stats

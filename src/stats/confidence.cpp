@@ -1,0 +1,128 @@
+#include "src/stats/confidence.h"
+
+#include <array>
+#include <cmath>
+
+#include "src/util/require.h"
+
+namespace anyqos::stats {
+
+bool ConfidenceInterval::contains(double value) const {
+  return value >= lower() && value <= upper();
+}
+
+namespace {
+
+// Acklam's rational approximation to the standard normal inverse CDF.
+double normal_quantile(double p) {
+  util::require(p > 0.0 && p < 1.0, "normal quantile requires p in (0,1)");
+  static constexpr std::array<double, 6> a = {-3.969683028665376e+01, 2.209460984245205e+02,
+                                              -2.759285104469687e+02, 1.383577518672690e+02,
+                                              -3.066479806614716e+01, 2.506628277459239e+00};
+  static constexpr std::array<double, 5> b = {-5.447609879822406e+01, 1.615858368580409e+02,
+                                              -1.556989798598866e+02, 6.680131188771972e+01,
+                                              -1.328068155288572e+01};
+  static constexpr std::array<double, 6> c = {-7.784894002430293e-03, -3.223964580411365e-01,
+                                              -2.400758277161838e+00, -2.549732539343734e+00,
+                                              4.374664141464968e+00,  2.938163982698783e+00};
+  static constexpr std::array<double, 4> d = {7.784695709041462e-03, 3.224671290700398e-01,
+                                              2.445134137142996e+00, 3.754408661907416e+00};
+  constexpr double p_low = 0.02425;
+  constexpr double p_high = 1.0 - p_low;
+  if (p < p_low) {
+    const double q = std::sqrt(-2.0 * std::log(p));
+    return (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) /
+           ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+  }
+  if (p <= p_high) {
+    const double q = p - 0.5;
+    const double r = q * q;
+    return (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r + a[5]) * q /
+           (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r + 1.0);
+  }
+  const double q = std::sqrt(-2.0 * std::log(1.0 - p));
+  return -(((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) /
+         ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+}
+
+}  // namespace
+
+double normal_critical(double level) {
+  util::require(level > 0.0 && level < 1.0, "confidence level must be in (0,1)");
+  return normal_quantile(0.5 * (1.0 + level));
+}
+
+double student_t_critical(std::size_t dof, double level) {
+  util::require(dof >= 1, "t critical value requires dof >= 1");
+  const double z = normal_critical(level);
+  // Exact two-sided 95% values for small dof; used when the caller asks for
+  // the customary 0.95 level where table accuracy matters most.
+  static constexpr std::array<double, 30> t95 = {
+      12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228,
+      2.201,  2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086,
+      2.080,  2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045, 2.042};
+  if (level > 0.9499 && level < 0.9501 && dof <= t95.size()) {
+    return t95[dof - 1];
+  }
+  // Peiser's expansion of t in terms of the normal quantile. Good to ~1e-3
+  // for dof >= 3 at common confidence levels.
+  const double n = static_cast<double>(dof);
+  const double z3 = z * z * z;
+  const double z5 = z3 * z * z;
+  const double z7 = z5 * z * z;
+  return z + (z3 + z) / (4.0 * n) + (5.0 * z5 + 16.0 * z3 + 3.0 * z) / (96.0 * n * n) +
+         (3.0 * z7 + 19.0 * z5 + 17.0 * z3 - 15.0 * z) / (384.0 * n * n * n);
+}
+
+ConfidenceInterval mean_confidence(const Accumulator& acc, double level) {
+  ConfidenceInterval ci;
+  ci.mean = acc.mean();
+  if (acc.count() < 2) {
+    return ci;
+  }
+  const double se = acc.stddev() / std::sqrt(static_cast<double>(acc.count()));
+  ci.half_width = student_t_critical(acc.count() - 1, level) * se;
+  return ci;
+}
+
+ConfidenceInterval proportion_confidence(const ProportionAccumulator& acc, double level) {
+  ConfidenceInterval ci;
+  ci.mean = acc.proportion();
+  if (acc.trials() < 2) {
+    return ci;
+  }
+  ci.half_width = normal_critical(level) * acc.standard_error();
+  return ci;
+}
+
+BatchMeans::BatchMeans(std::size_t batches) : batches_(batches) {
+  util::require(batches >= 2, "batch means requires at least 2 batches");
+}
+
+void BatchMeans::add(double value) { values_.push_back(value); }
+
+bool BatchMeans::ready() const { return values_.size() >= batches_; }
+
+double BatchMeans::mean() const {
+  Accumulator acc;
+  for (const double v : values_) {
+    acc.add(v);
+  }
+  return acc.mean();
+}
+
+ConfidenceInterval BatchMeans::confidence(double level) const {
+  util::require(ready(), "batch means needs at least one sample per batch");
+  const std::size_t batch_len = values_.size() / batches_;
+  Accumulator batch_means;
+  for (std::size_t b = 0; b < batches_; ++b) {
+    Accumulator batch;
+    for (std::size_t i = b * batch_len; i < (b + 1) * batch_len; ++i) {
+      batch.add(values_[i]);
+    }
+    batch_means.add(batch.mean());
+  }
+  return mean_confidence(batch_means, level);
+}
+
+}  // namespace anyqos::stats

@@ -1,0 +1,65 @@
+// Confidence intervals for simulation output analysis.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "src/stats/accumulator.h"
+
+namespace anyqos::stats {
+
+/// A symmetric confidence interval [mean - half_width, mean + half_width].
+struct ConfidenceInterval {
+  double mean = 0.0;
+  double half_width = 0.0;
+
+  [[nodiscard]] double lower() const { return mean - half_width; }
+  [[nodiscard]] double upper() const { return mean + half_width; }
+  /// True when `value` lies inside the interval (inclusive).
+  [[nodiscard]] bool contains(double value) const;
+};
+
+/// Two-sided critical value of Student's t distribution with `dof` degrees of
+/// freedom at confidence `level` (e.g. 0.95). Uses tabulated values for small
+/// dof and the normal approximation with a Cornish-Fisher-style correction
+/// above; accurate to ~1e-3 which is ample for reporting simulation CIs.
+double student_t_critical(std::size_t dof, double level);
+
+/// Standard normal two-sided critical value (inverse CDF of (1+level)/2),
+/// via the Acklam rational approximation (|error| < 1.2e-8).
+double normal_critical(double level);
+
+/// CI for the mean of i.i.d.-ish samples in `acc` at confidence `level`.
+ConfidenceInterval mean_confidence(const Accumulator& acc, double level);
+
+/// Wald CI for a Bernoulli proportion at confidence `level`.
+ConfidenceInterval proportion_confidence(const ProportionAccumulator& acc, double level);
+
+/// Batch-means estimator for autocorrelated simulation output.
+///
+/// Observations are buffered; `confidence` splits them into `batches`
+/// contiguous, equal-length batches (discarding up to batches-1 trailing
+/// samples) and builds a Student-t CI from the batch means. Contiguity is what
+/// makes the batch means approximately independent for a stationary series.
+class BatchMeans {
+ public:
+  /// `batches` must be >= 2; 10..30 is customary.
+  explicit BatchMeans(std::size_t batches);
+
+  /// Adds one (possibly autocorrelated) observation.
+  void add(double value);
+
+  /// True once there is at least one full observation per batch.
+  [[nodiscard]] bool ready() const;
+  [[nodiscard]] std::size_t count() const { return values_.size(); }
+  /// Overall mean of all observations.
+  [[nodiscard]] double mean() const;
+  /// CI of the batch means at confidence `level`; requires ready().
+  [[nodiscard]] ConfidenceInterval confidence(double level) const;
+
+ private:
+  std::size_t batches_;
+  std::vector<double> values_;
+};
+
+}  // namespace anyqos::stats

@@ -1,0 +1,29 @@
+#include "src/stats/fairness.h"
+
+#include <vector>
+
+#include "src/util/require.h"
+
+namespace anyqos::stats {
+
+double jain_index(std::span<const double> values) {
+  util::require(!values.empty(), "fairness of an empty allocation");
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (const double x : values) {
+    util::require(x >= 0.0, "allocations must be non-negative");
+    sum += x;
+    sum_sq += x * x;
+  }
+  if (sum_sq == 0.0) {
+    return 1.0;  // nothing allocated anywhere: vacuously fair
+  }
+  return sum * sum / (static_cast<double>(values.size()) * sum_sq);
+}
+
+double jain_index(std::span<const std::uint64_t> values) {
+  std::vector<double> as_double(values.begin(), values.end());
+  return jain_index(as_double);
+}
+
+}  // namespace anyqos::stats

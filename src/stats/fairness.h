@@ -1,0 +1,18 @@
+// Allocation fairness metrics.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace anyqos::stats {
+
+/// Jain's fairness index: (sum x)^2 / (n * sum x^2), in (0, 1].
+/// 1 = perfectly even allocation, 1/n = everything on one member. Used to
+/// summarize how admission spreads flows across anycast group members.
+/// Values must be non-negative; an all-zero vector yields 1 (vacuously fair).
+double jain_index(std::span<const double> values);
+
+/// Convenience overload for integer tallies (e.g. per-member admissions).
+double jain_index(std::span<const std::uint64_t> values);
+
+}  // namespace anyqos::stats

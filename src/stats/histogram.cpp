@@ -1,0 +1,89 @@
+#include "src/stats/histogram.h"
+
+#include <cmath>
+#include <sstream>
+
+#include "src/util/require.h"
+#include "src/util/strings.h"
+
+namespace anyqos::stats {
+
+void CountHistogram::add(std::size_t value) {
+  if (value >= bins_.size()) {
+    bins_.resize(value + 1, 0);
+  }
+  ++bins_[value];
+  ++total_;
+  sum_ += static_cast<double>(value);
+}
+
+std::size_t CountHistogram::count(std::size_t value) const {
+  return value < bins_.size() ? bins_[value] : 0;
+}
+
+std::size_t CountHistogram::max_value() const {
+  for (std::size_t i = bins_.size(); i > 0; --i) {
+    if (bins_[i - 1] != 0) {
+      return i - 1;
+    }
+  }
+  return 0;
+}
+
+double CountHistogram::mean() const {
+  return total_ == 0 ? 0.0 : sum_ / static_cast<double>(total_);
+}
+
+double CountHistogram::fraction(std::size_t value) const {
+  return total_ == 0 ? 0.0 : static_cast<double>(count(value)) / static_cast<double>(total_);
+}
+
+std::string CountHistogram::to_string() const {
+  std::ostringstream out;
+  for (std::size_t v = 0; v < bins_.size(); ++v) {
+    if (bins_[v] == 0) {
+      continue;
+    }
+    out << v << ": " << bins_[v] << " (" << util::format_fixed(100.0 * fraction(v), 2) << "%)\n";
+  }
+  return out.str();
+}
+
+RangeHistogram::RangeHistogram(double lo, double hi, std::size_t bins) : lo_(lo), hi_(hi) {
+  util::require(hi > lo, "histogram range must be non-empty");
+  util::require(bins >= 1, "histogram needs at least one bin");
+  counts_.assign(bins, 0);
+}
+
+void RangeHistogram::add(double value) {
+  ++total_;
+  if (value < lo_) {
+    ++underflow_;
+    ++counts_.front();
+    return;
+  }
+  if (value >= hi_) {
+    ++overflow_;
+    ++counts_.back();
+    return;
+  }
+  const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+  auto bin = static_cast<std::size_t>((value - lo_) / width);
+  if (bin >= counts_.size()) {  // guards FP edge at value ~= hi
+    bin = counts_.size() - 1;
+  }
+  ++counts_[bin];
+}
+
+std::size_t RangeHistogram::bin_count(std::size_t bin) const {
+  util::require(bin < counts_.size(), "histogram bin out of range");
+  return counts_[bin];
+}
+
+double RangeHistogram::bin_lower(std::size_t bin) const {
+  util::require(bin < counts_.size(), "histogram bin out of range");
+  const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+  return lo_ + width * static_cast<double>(bin);
+}
+
+}  // namespace anyqos::stats

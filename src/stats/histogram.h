@@ -1,0 +1,63 @@
+// Fixed-bin and integer-count histograms for retrial/overhead metrics.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace anyqos::stats {
+
+/// Histogram over small non-negative integers (e.g. number of tries per
+/// flow request, 0..R). Out-of-range values extend the support automatically.
+class CountHistogram {
+ public:
+  /// Records one observation of `value`.
+  void add(std::size_t value);
+
+  /// Number of observations equal to `value`.
+  [[nodiscard]] std::size_t count(std::size_t value) const;
+  /// Total observations recorded.
+  [[nodiscard]] std::size_t total() const { return total_; }
+  /// Largest value observed (0 when empty).
+  [[nodiscard]] std::size_t max_value() const;
+  /// Mean of the recorded values.
+  [[nodiscard]] double mean() const;
+  /// Fraction of observations equal to `value`.
+  [[nodiscard]] double fraction(std::size_t value) const;
+
+  /// One line per non-empty bin: "value: count (fraction%)".
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  std::vector<std::size_t> bins_;
+  std::size_t total_ = 0;
+  double sum_ = 0.0;
+};
+
+/// Equal-width histogram over a fixed [lo, hi) range with `bins` buckets.
+/// Observations outside the range are clamped into the first/last bucket and
+/// counted in underflow()/overflow() so no data is silently lost.
+class RangeHistogram {
+ public:
+  RangeHistogram(double lo, double hi, std::size_t bins);
+
+  void add(double value);
+
+  [[nodiscard]] std::size_t bins() const { return counts_.size(); }
+  [[nodiscard]] std::size_t bin_count(std::size_t bin) const;
+  /// Inclusive lower edge of `bin`.
+  [[nodiscard]] double bin_lower(std::size_t bin) const;
+  [[nodiscard]] std::size_t total() const { return total_; }
+  [[nodiscard]] std::size_t underflow() const { return underflow_; }
+  [[nodiscard]] std::size_t overflow() const { return overflow_; }
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+  std::size_t underflow_ = 0;
+  std::size_t overflow_ = 0;
+};
+
+}  // namespace anyqos::stats

@@ -1,0 +1,97 @@
+#include "src/stats/quantile.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/util/require.h"
+
+namespace anyqos::stats {
+
+P2Quantile::P2Quantile(double quantile) : quantile_(quantile) {
+  util::require(quantile > 0.0 && quantile < 1.0, "quantile must be in (0,1)");
+}
+
+void P2Quantile::initialize() {
+  // First five samples live in heights_ (kept sorted by add()).
+  positions_ = {1.0, 2.0, 3.0, 4.0, 5.0};
+  desired_ = {1.0, 1.0 + 2.0 * quantile_, 1.0 + 4.0 * quantile_, 3.0 + 2.0 * quantile_, 5.0};
+  increments_ = {0.0, quantile_ / 2.0, quantile_, (1.0 + quantile_) / 2.0, 1.0};
+  initialized_ = true;
+}
+
+void P2Quantile::add(double value) {
+  util::require(std::isfinite(value), "observations must be finite");
+  if (count_ < 5) {
+    heights_[count_] = value;
+    ++count_;
+    std::sort(heights_.begin(), heights_.begin() + static_cast<std::ptrdiff_t>(count_));
+    if (count_ == 5) {
+      initialize();
+    }
+    return;
+  }
+  ++count_;
+
+  // Locate the cell k containing the new observation; clamp extremes.
+  std::size_t k;
+  if (value < heights_[0]) {
+    heights_[0] = value;
+    k = 0;
+  } else if (value >= heights_[4]) {
+    heights_[4] = value;
+    k = 3;
+  } else {
+    k = 0;
+    while (k < 3 && value >= heights_[k + 1]) {
+      ++k;
+    }
+  }
+  for (std::size_t i = k + 1; i < 5; ++i) {
+    positions_[i] += 1.0;
+  }
+  for (std::size_t i = 0; i < 5; ++i) {
+    desired_[i] += increments_[i];
+  }
+
+  // Adjust interior markers toward their desired positions.
+  for (std::size_t i = 1; i <= 3; ++i) {
+    const double offset = desired_[i] - positions_[i];
+    const bool move_right = offset >= 1.0 && positions_[i + 1] - positions_[i] > 1.0;
+    const bool move_left = offset <= -1.0 && positions_[i - 1] - positions_[i] < -1.0;
+    if (!move_right && !move_left) {
+      continue;
+    }
+    const double d = move_right ? 1.0 : -1.0;
+    // Piecewise-parabolic (P²) prediction of the marker height.
+    const double np = positions_[i + 1];
+    const double nm = positions_[i - 1];
+    const double n = positions_[i];
+    const double qp = heights_[i + 1];
+    const double qm = heights_[i - 1];
+    const double q = heights_[i];
+    double candidate = q + d / (np - nm) *
+                               ((n - nm + d) * (qp - q) / (np - n) +
+                                (np - n - d) * (q - qm) / (n - nm));
+    if (candidate <= qm || candidate >= qp) {
+      // Parabolic step would break monotonicity; use the linear fallback.
+      const double neighbour = d > 0.0 ? qp : qm;
+      const double neighbour_pos = d > 0.0 ? np : nm;
+      candidate = q + d * (neighbour - q) / (neighbour_pos - n);
+    }
+    heights_[i] = candidate;
+    positions_[i] += d;
+  }
+}
+
+double P2Quantile::value() const {
+  util::require(count_ >= 1, "quantile of an empty stream");
+  if (count_ < 5) {
+    // Nearest-rank on the exact stored samples.
+    const auto rank = static_cast<std::size_t>(
+        std::ceil(quantile_ * static_cast<double>(count_)));
+    return heights_[std::min(count_ - 1, std::max<std::size_t>(rank, 1) - 1)];
+  }
+  return heights_[2];
+}
+
+}  // namespace anyqos::stats

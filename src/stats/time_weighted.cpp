@@ -1,0 +1,43 @@
+#include "src/stats/time_weighted.h"
+
+#include <algorithm>
+
+#include "src/util/require.h"
+
+namespace anyqos::stats {
+
+void TimeWeighted::update(double time, double value) {
+  if (!started_) {
+    started_ = true;
+    start_time_ = time;
+    last_time_ = time;
+    value_ = value;
+    max_ = value;
+    return;
+  }
+  util::require(time >= last_time_, "time-weighted updates must be non-decreasing in time");
+  integral_ += value_ * (time - last_time_);
+  last_time_ = time;
+  value_ = value;
+  max_ = std::max(max_, value);
+}
+
+double TimeWeighted::mean(double now) const {
+  if (!started_ || now <= start_time_) {
+    return 0.0;
+  }
+  util::require(now >= last_time_, "query time precedes last update");
+  const double total = integral_ + value_ * (now - last_time_);
+  return total / (now - start_time_);
+}
+
+void TimeWeighted::restart(double time) {
+  const double value = value_;
+  const bool started = started_;
+  *this = TimeWeighted{};
+  if (started) {
+    update(time, value);
+  }
+}
+
+}  // namespace anyqos::stats

@@ -1,0 +1,38 @@
+// Time-weighted statistics for piecewise-constant processes
+// (e.g. number of active flows, reserved bandwidth on a link).
+#pragma once
+
+namespace anyqos::stats {
+
+/// Tracks the time-average of a piecewise-constant signal.
+///
+/// Call `update(t, v)` whenever the signal changes to value `v` at time `t`;
+/// the value is held until the next update. `mean(t)` integrates up to `t`.
+/// Times must be non-decreasing.
+class TimeWeighted {
+ public:
+  /// Records that the signal takes value `value` from time `time` onward.
+  void update(double time, double value);
+
+  /// Time average over [first update, `now`]; 0 before any update.
+  [[nodiscard]] double mean(double now) const;
+  /// Largest value the signal has taken; 0 before any update.
+  [[nodiscard]] double max() const { return max_; }
+  /// Current value of the signal.
+  [[nodiscard]] double current() const { return value_; }
+  [[nodiscard]] bool started() const { return started_; }
+
+  /// Forgets history but keeps the current value, restarting the
+  /// integration window at `time` (used to discard simulation warm-up).
+  void restart(double time);
+
+ private:
+  bool started_ = false;
+  double start_time_ = 0.0;
+  double last_time_ = 0.0;
+  double value_ = 0.0;
+  double integral_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace anyqos::stats

@@ -1,0 +1,71 @@
+// Minimal command-line flag parser for example and benchmark binaries.
+//
+// Supports `--name=value`, `--name value`, and boolean `--name` forms. Flags
+// are declared up front with defaults and help text; `parse` validates that
+// every argument matches a declared flag so typos fail fast instead of being
+// silently ignored.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace anyqos::util {
+
+/// Declarative command-line flag set.
+///
+/// Usage:
+///   CliFlags flags("fig6_comparison", "Regenerates Figure 6");
+///   flags.add_double("lambda-max", 50.0, "largest arrival rate swept");
+///   flags.parse(argc, argv);           // throws std::invalid_argument on bad input
+///   double m = flags.get_double("lambda-max");
+class CliFlags {
+ public:
+  CliFlags(std::string program, std::string description);
+
+  /// Declares a double-valued flag. Name must be unique across all types.
+  void add_double(std::string name, double default_value, std::string help);
+  /// Declares an unsigned-integer-valued flag.
+  void add_unsigned(std::string name, unsigned long long default_value, std::string help);
+  /// Declares a string-valued flag.
+  void add_string(std::string name, std::string default_value, std::string help);
+  /// Declares a boolean flag (present => true, or --name=false).
+  void add_bool(std::string name, bool default_value, std::string help);
+
+  /// Parses argv. Throws std::invalid_argument on unknown flags or
+  /// malformed values. Recognizes --help and sets help_requested().
+  void parse(int argc, const char* const* argv);
+
+  [[nodiscard]] bool help_requested() const { return help_requested_; }
+  /// Renders the flag table for --help output.
+  [[nodiscard]] std::string help_text() const;
+
+  [[nodiscard]] double get_double(std::string_view name) const;
+  [[nodiscard]] unsigned long long get_unsigned(std::string_view name) const;
+  [[nodiscard]] const std::string& get_string(std::string_view name) const;
+  [[nodiscard]] bool get_bool(std::string_view name) const;
+
+ private:
+  enum class Kind { kDouble, kUnsigned, kString, kBool };
+  struct Flag {
+    Kind kind;
+    std::string help;
+    double as_double = 0.0;
+    unsigned long long as_unsigned = 0;
+    std::string as_string;
+    bool as_bool = false;
+  };
+
+  void declare(std::string name, Flag flag);
+  [[nodiscard]] const Flag& find(std::string_view name, Kind kind) const;
+  void assign(const std::string& name, std::string_view value);
+
+  std::string program_;
+  std::string description_;
+  std::map<std::string, Flag, std::less<>> flags_;
+  bool help_requested_ = false;
+};
+
+}  // namespace anyqos::util

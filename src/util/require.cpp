@@ -1,0 +1,21 @@
+#include "src/util/require.h"
+
+namespace anyqos::util {
+
+void require(bool condition, std::string_view message) {
+  if (!condition) {
+    throw std::invalid_argument(std::string(message));
+  }
+}
+
+void ensure(bool condition, std::string_view message) {
+  if (!condition) {
+    throw InvariantError(std::string(message));
+  }
+}
+
+void unreachable(std::string_view message) {
+  throw InvariantError("unreachable: " + std::string(message));
+}
+
+}  // namespace anyqos::util

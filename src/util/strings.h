@@ -1,0 +1,30 @@
+// Small string helpers used by CLI parsing and report formatting.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace anyqos::util {
+
+/// Splits `text` on `sep`, keeping empty fields ("a,,b" -> {"a","","b"}).
+std::vector<std::string> split(std::string_view text, char sep);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view trim(std::string_view text);
+
+/// Parses a decimal double; returns nullopt on any trailing garbage.
+std::optional<double> parse_double(std::string_view text);
+
+/// Parses a decimal non-negative integer; returns nullopt on any trailing
+/// garbage or a minus sign.
+std::optional<unsigned long long> parse_unsigned(std::string_view text);
+
+/// True when `text` begins with `prefix`.
+bool starts_with(std::string_view text, std::string_view prefix);
+
+/// Formats `value` with `digits` digits after the decimal point.
+std::string format_fixed(double value, int digits);
+
+}  // namespace anyqos::util

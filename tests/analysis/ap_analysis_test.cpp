@@ -1,0 +1,127 @@
+#include "src/analysis/ap_analysis.h"
+
+#include <gtest/gtest.h>
+
+#include "src/net/topologies.h"
+
+namespace anyqos::analysis {
+namespace {
+
+AnalyticModel paper_like(const net::Topology& topo, double lambda) {
+  AnalyticModel model;
+  model.topology = &topo;
+  for (net::NodeId id = 1; id < topo.router_count(); id += 2) {
+    model.sources.push_back(id);
+  }
+  model.members = {0, 4, 8, 12, 16};
+  model.lambda_total = lambda;
+  return model;
+}
+
+TEST(AnalyticModel, CapacityCircuitsFloors) {
+  const net::Topology topo = net::topologies::mci_backbone();
+  AnalyticModel model = paper_like(topo, 10.0);
+  const auto capacities = model.capacity_circuits();
+  ASSERT_EQ(capacities.size(), topo.link_count());
+  // 100 Mbit * 0.2 / 64 kbit = 312.5 -> 312 whole circuits.
+  for (const double c : capacities) {
+    EXPECT_DOUBLE_EQ(c, 312.0);
+  }
+}
+
+TEST(AnalyticModel, PerSourceErlangs) {
+  const net::Topology topo = net::topologies::mci_backbone();
+  AnalyticModel model = paper_like(topo, 18.0);
+  // 9 sources: each gets rate 2/s, intensity 2 * 180 = 360 erlangs.
+  EXPECT_DOUBLE_EQ(model.per_source_erlangs(), 360.0);
+}
+
+TEST(AnalyzeEd1, LowLoadAdmitsEverything) {
+  const net::Topology topo = net::topologies::mci_backbone();
+  const auto analysis = analyze_ed1(paper_like(topo, 5.0), FixedPointOptions{});
+  EXPECT_GT(analysis.admission_probability, 0.9999);
+  EXPECT_TRUE(analysis.fixed_point.converged);
+}
+
+TEST(AnalyzeEd1, ApDecreasesWithLoad) {
+  const net::Topology topo = net::topologies::mci_backbone();
+  double previous = 1.1;
+  for (const double lambda : {5.0, 20.0, 35.0, 50.0}) {
+    const auto analysis = analyze_ed1(paper_like(topo, lambda), FixedPointOptions{});
+    EXPECT_LT(analysis.admission_probability, previous);
+    previous = analysis.admission_probability;
+  }
+  // At the paper's top rate blocking is substantial (Table 1 reports 0.44).
+  EXPECT_LT(previous, 0.8);
+  EXPECT_GT(previous, 0.2);
+}
+
+TEST(AnalyzeEd1, RouteLoadsAreUniformPerSource) {
+  const net::Topology topo = net::topologies::mci_backbone();
+  const auto analysis = analyze_ed1(paper_like(topo, 18.0), FixedPointOptions{});
+  // 9 sources x 5 members = 45 routes, each with rho_s / 5 = 72 erlangs.
+  ASSERT_EQ(analysis.routes.size(), 45u);
+  for (const auto& route : analysis.routes) {
+    EXPECT_DOUBLE_EQ(route.offered_erlangs, 72.0);
+  }
+}
+
+TEST(AnalyzeSp, AllLoadOnShortestRoute) {
+  const net::Topology topo = net::topologies::mci_backbone();
+  const auto analysis = analyze_sp(paper_like(topo, 18.0), FixedPointOptions{});
+  ASSERT_EQ(analysis.routes.size(), 45u);
+  // Per source: exactly one route with the full 360 erlangs, four with zero.
+  for (std::size_t s = 0; s < 9; ++s) {
+    int loaded = 0;
+    for (std::size_t i = 0; i < 5; ++i) {
+      const double rho = analysis.routes[s * 5 + i].offered_erlangs;
+      if (rho > 0.0) {
+        ++loaded;
+        EXPECT_DOUBLE_EQ(rho, 360.0);
+      }
+    }
+    EXPECT_EQ(loaded, 1);
+  }
+}
+
+TEST(AnalyzeSp, WorseThanEd1UnderLoad) {
+  // The paper's central qualitative claim for the baselines (Figure 6):
+  // concentrating traffic on shortest paths congests them.
+  const net::Topology topo = net::topologies::mci_backbone();
+  for (const double lambda : {25.0, 35.0, 50.0}) {
+    const double ed = analyze_ed1(paper_like(topo, lambda), FixedPointOptions{})
+                          .admission_probability;
+    const double sp = analyze_sp(paper_like(topo, lambda), FixedPointOptions{})
+                          .admission_probability;
+    EXPECT_LT(sp, ed) << "lambda=" << lambda;
+  }
+}
+
+TEST(AnalyzeBoth, ErlangAndUaaModelsAgree) {
+  const net::Topology topo = net::topologies::mci_backbone();
+  FixedPointOptions uaa;
+  uaa.model = BlockingModel::kUaa;
+  FixedPointOptions exact;
+  exact.model = BlockingModel::kErlangB;
+  for (const double lambda : {20.0, 35.0}) {
+    const double a = analyze_ed1(paper_like(topo, lambda), uaa).admission_probability;
+    const double b = analyze_ed1(paper_like(topo, lambda), exact).admission_probability;
+    EXPECT_NEAR(a, b, 0.01) << "lambda=" << lambda;
+  }
+}
+
+TEST(AnalyzeBoth, Validation) {
+  const net::Topology topo = net::topologies::mci_backbone();
+  AnalyticModel model = paper_like(topo, 10.0);
+  model.lambda_total = 0.0;
+  EXPECT_THROW(analyze_ed1(model, FixedPointOptions{}), std::invalid_argument);
+  model = paper_like(topo, 10.0);
+  model.sources.clear();
+  EXPECT_THROW(analyze_sp(model, FixedPointOptions{}), std::invalid_argument);
+  model = paper_like(topo, 10.0);
+  model.topology = nullptr;
+  EXPECT_THROW(analyze_ed1(model, FixedPointOptions{}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace anyqos::analysis

@@ -1,0 +1,105 @@
+#include "src/analysis/capacity.h"
+
+#include <gtest/gtest.h>
+
+#include "src/net/topologies.h"
+
+namespace anyqos::analysis {
+namespace {
+
+AnalyticModel paper_like(const net::Topology& topo) {
+  AnalyticModel model;
+  model.topology = &topo;
+  for (net::NodeId id = 1; id < topo.router_count(); id += 2) {
+    model.sources.push_back(id);
+  }
+  model.members = {0, 4, 8, 12, 16};
+  model.lambda_total = 1.0;  // ignored by the solver
+  return model;
+}
+
+TEST(AnalyticCapacity, SolvesToTargetWithinTolerance) {
+  const net::Topology topo = net::topologies::mci_backbone();
+  AnalyticModel model = paper_like(topo);
+  CapacityQuery query;
+  query.system = AnalyzedSystem::kEd1;
+  query.target_ap = 0.95;
+  const double lambda = lambda_at_target_ap(model, query);
+  // Verify the solution brackets the target.
+  model.lambda_total = lambda;
+  EXPECT_GE(analyze_ed1(model, query.fixed_point).admission_probability, 0.95);
+  model.lambda_total = lambda + 2.0 * query.tolerance;
+  EXPECT_LT(analyze_ed1(model, query.fixed_point).admission_probability, 0.95);
+}
+
+TEST(AnalyticCapacity, RetriesRaiseCapacity) {
+  const net::Topology topo = net::topologies::mci_backbone();
+  const AnalyticModel model = paper_like(topo);
+  CapacityQuery ed1;
+  ed1.system = AnalyzedSystem::kEd1;
+  ed1.target_ap = 0.9;
+  CapacityQuery ed2 = ed1;
+  ed2.system = AnalyzedSystem::kEdRetry;
+  ed2.max_tries = 2;
+  const double lambda1 = lambda_at_target_ap(model, ed1);
+  const double lambda2 = lambda_at_target_ap(model, ed2);
+  EXPECT_GT(lambda2, lambda1 + 0.5);  // a retry buys real capacity
+}
+
+TEST(AnalyticCapacity, Ed1VsSpCrossoverIsWhereFigure6PutsIt) {
+  // On this backbone ED,1 wastes capacity on long routes, so SP carries MORE
+  // demand at loose loads (high AP targets) and ED,1 wins once the short
+  // routes congest — the crossover Figure 6 shows around AP ~ 0.7.
+  const net::Topology topo = net::topologies::mci_backbone();
+  const AnalyticModel model = paper_like(topo);
+  const auto capacity = [&](AnalyzedSystem system, double target) {
+    CapacityQuery query;
+    query.system = system;
+    query.target_ap = target;
+    return lambda_at_target_ap(model, query);
+  };
+  EXPECT_GT(capacity(AnalyzedSystem::kSp, 0.9), capacity(AnalyzedSystem::kEd1, 0.9));
+  EXPECT_LT(capacity(AnalyzedSystem::kSp, 0.5), capacity(AnalyzedSystem::kEd1, 0.5));
+}
+
+TEST(AnalyticCapacity, StricterTargetsLowerCapacity) {
+  const net::Topology topo = net::topologies::mci_backbone();
+  const AnalyticModel model = paper_like(topo);
+  CapacityQuery loose;
+  loose.system = AnalyzedSystem::kEd1;
+  loose.target_ap = 0.8;
+  CapacityQuery strict = loose;
+  strict.target_ap = 0.99;
+  EXPECT_LT(lambda_at_target_ap(model, strict), lambda_at_target_ap(model, loose));
+}
+
+TEST(AnalyticCapacity, BadBracketsRejected) {
+  const net::Topology topo = net::topologies::mci_backbone();
+  const AnalyticModel model = paper_like(topo);
+  CapacityQuery query;
+  query.target_ap = 0.95;
+  query.lambda_low = 100.0;  // already over capacity at the low end
+  query.lambda_high = 200.0;
+  EXPECT_THROW(lambda_at_target_ap(model, query), std::invalid_argument);
+  query.lambda_low = 0.1;
+  query.lambda_high = 0.2;  // still under target at the high end
+  EXPECT_THROW(lambda_at_target_ap(model, query), std::invalid_argument);
+  query.lambda_high = 100.0;
+  query.target_ap = 1.5;
+  EXPECT_THROW(lambda_at_target_ap(model, query), std::invalid_argument);
+}
+
+TEST(AnalyticCapacity, AnalyticApDispatchesAllSystems) {
+  const net::Topology topo = net::topologies::mci_backbone();
+  AnalyticModel model = paper_like(topo);
+  model.lambda_total = 35.0;
+  const FixedPointOptions options;
+  const double ed1 = analytic_ap(model, AnalyzedSystem::kEd1, 1, options);
+  const double ed2 = analytic_ap(model, AnalyzedSystem::kEdRetry, 2, options);
+  const double sp = analytic_ap(model, AnalyzedSystem::kSp, 1, options);
+  EXPECT_GT(ed2, ed1);
+  EXPECT_GT(ed1, sp);
+}
+
+}  // namespace
+}  // namespace anyqos::analysis

@@ -1,0 +1,82 @@
+#include "src/analysis/erlang.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace anyqos::analysis {
+namespace {
+
+TEST(ErlangB, ClosedFormSmallCases) {
+  // B(a, 1) = a / (1 + a).
+  EXPECT_NEAR(erlang_b(1.0, 1), 0.5, 1e-12);
+  EXPECT_NEAR(erlang_b(2.0, 1), 2.0 / 3.0, 1e-12);
+  // B(a, 2) = (a^2/2) / (1 + a + a^2/2).
+  EXPECT_NEAR(erlang_b(1.0, 2), 0.5 / 2.5, 1e-12);
+  EXPECT_NEAR(erlang_b(2.0, 2), 2.0 / 5.0, 1e-12);
+}
+
+TEST(ErlangB, TextbookValues) {
+  // Classic traffic-engineering table entries.
+  EXPECT_NEAR(erlang_b(10.0, 10), 0.21460, 1e-4);
+  EXPECT_NEAR(erlang_b(20.0, 30), 0.00846, 1e-4);
+  EXPECT_NEAR(erlang_b(100.0, 100), 0.07570, 1e-4);
+}
+
+TEST(ErlangB, BoundaryBehaviour) {
+  EXPECT_DOUBLE_EQ(erlang_b(0.0, 10), 0.0);
+  EXPECT_DOUBLE_EQ(erlang_b(5.0, 0), 1.0);
+  EXPECT_THROW(erlang_b(-1.0, 3), std::invalid_argument);
+}
+
+TEST(ErlangB, MonotoneIncreasingInLoad) {
+  double previous = 0.0;
+  for (double v = 1.0; v <= 500.0; v += 7.0) {
+    const double b = erlang_b(v, 312);
+    EXPECT_GE(b, previous);
+    previous = b;
+  }
+}
+
+TEST(ErlangB, MonotoneDecreasingInCapacity) {
+  double previous = 1.0;
+  for (std::size_t c = 1; c <= 400; c += 13) {
+    const double b = erlang_b(200.0, c);
+    EXPECT_LE(b, previous);
+    previous = b;
+  }
+}
+
+TEST(ErlangB, DeepOverloadLimit) {
+  // For v >> C, B -> 1 - C/v.
+  EXPECT_NEAR(erlang_b(3120.0, 312), 1.0 - 312.0 / 3120.0, 1e-2);
+}
+
+TEST(ErlangB, StableAtHugeCapacity) {
+  // The recursion must not overflow or lose accuracy at large C.
+  const double b = erlang_b(10'000.0, 10'000);
+  EXPECT_GT(b, 0.0);
+  EXPECT_LT(b, 0.02);
+  EXPECT_TRUE(std::isfinite(b));
+}
+
+TEST(DimensionCapacity, FindsMinimalCapacity) {
+  const std::size_t c = dimension_capacity(10.0, 0.01);
+  // Known: 10 erlangs at 1% blocking needs 18 circuits.
+  EXPECT_EQ(c, 18u);
+  EXPECT_LE(erlang_b(10.0, c), 0.01);
+  EXPECT_GT(erlang_b(10.0, c - 1), 0.01);
+}
+
+TEST(DimensionCapacity, ZeroLoadNeedsNothing) {
+  EXPECT_EQ(dimension_capacity(0.0, 0.01), 0u);
+}
+
+TEST(DimensionCapacity, Validation) {
+  EXPECT_THROW(dimension_capacity(10.0, 0.0), std::invalid_argument);
+  EXPECT_THROW(dimension_capacity(10.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(dimension_capacity(-1.0, 0.5), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace anyqos::analysis

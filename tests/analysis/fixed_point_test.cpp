@@ -1,0 +1,174 @@
+#include "src/analysis/fixed_point.h"
+
+#include <gtest/gtest.h>
+
+#include "src/analysis/erlang.h"
+
+namespace anyqos::analysis {
+namespace {
+
+FixedPointOptions exact_options() {
+  FixedPointOptions options;
+  options.model = BlockingModel::kErlangB;
+  return options;
+}
+
+TEST(FixedPoint, SingleLinkReducesToErlangB) {
+  // One route over one link: no thinning, B must equal Erlang-B directly.
+  std::vector<RouteLoad> routes(1);
+  routes[0].links = {0};
+  routes[0].offered_erlangs = 300.0;
+  const auto result = solve_fixed_point(1, {312.0}, routes, exact_options());
+  EXPECT_TRUE(result.converged);
+  EXPECT_NEAR(result.link_blocking[0], erlang_b(300.0, 312), 1e-8);
+  EXPECT_NEAR(result.route_rejection[0], result.link_blocking[0], 1e-12);
+  EXPECT_NEAR(result.link_reduced_load[0], 300.0, 1e-9);
+}
+
+TEST(FixedPoint, UnloadedLinksStayUnblocked) {
+  std::vector<RouteLoad> routes(1);
+  routes[0].links = {1};
+  routes[0].offered_erlangs = 100.0;
+  const auto result = solve_fixed_point(3, {312.0, 312.0, 312.0}, routes, exact_options());
+  EXPECT_DOUBLE_EQ(result.link_blocking[0], 0.0);
+  EXPECT_DOUBLE_EQ(result.link_blocking[2], 0.0);
+}
+
+TEST(FixedPoint, TwoHopRouteRejectionFollowsEq17) {
+  std::vector<RouteLoad> routes(1);
+  routes[0].links = {0, 1};
+  routes[0].offered_erlangs = 300.0;
+  const auto result = solve_fixed_point(2, {312.0, 312.0}, routes, exact_options());
+  EXPECT_TRUE(result.converged);
+  const double b0 = result.link_blocking[0];
+  const double b1 = result.link_blocking[1];
+  EXPECT_NEAR(result.route_rejection[0], 1.0 - (1.0 - b0) * (1.0 - b1), 1e-12);
+  // Symmetric links must block identically.
+  EXPECT_NEAR(b0, b1, 1e-9);
+  // Thinning: each link sees less than the raw offered load.
+  EXPECT_LT(result.link_reduced_load[0], 300.0);
+}
+
+TEST(FixedPoint, ThinningSelfConsistency) {
+  // v_l = rho * (1 - B_other) must hold at the fixed point.
+  std::vector<RouteLoad> routes(1);
+  routes[0].links = {0, 1};
+  routes[0].offered_erlangs = 320.0;
+  const auto result = solve_fixed_point(2, {312.0, 312.0}, routes, exact_options());
+  const double expected_load = 320.0 * (1.0 - result.link_blocking[1]);
+  EXPECT_NEAR(result.link_reduced_load[0], expected_load, 1e-6);
+}
+
+TEST(FixedPoint, SharedBottleneckCouplesRoutes) {
+  // Routes A: {0,1}, B: {0,2}. Link 0 carries both; its blocking must exceed
+  // that of the leaf links.
+  std::vector<RouteLoad> routes(2);
+  routes[0].links = {0, 1};
+  routes[0].offered_erlangs = 200.0;
+  routes[1].links = {0, 2};
+  routes[1].offered_erlangs = 200.0;
+  const auto result = solve_fixed_point(3, {312.0, 312.0, 312.0}, routes, exact_options());
+  EXPECT_GT(result.link_blocking[0], result.link_blocking[1]);
+  EXPECT_GT(result.route_rejection[0], 0.0);
+  EXPECT_NEAR(result.route_rejection[0], result.route_rejection[1], 1e-9);
+}
+
+TEST(FixedPoint, UaaAndErlangAgreeAtScale) {
+  std::vector<RouteLoad> routes(2);
+  routes[0].links = {0, 1};
+  routes[0].offered_erlangs = 250.0;
+  routes[1].links = {1};
+  routes[1].offered_erlangs = 100.0;
+  FixedPointOptions uaa = exact_options();
+  uaa.model = BlockingModel::kUaa;
+  const auto exact = solve_fixed_point(2, {312.0, 312.0}, routes, exact_options());
+  const auto approx = solve_fixed_point(2, {312.0, 312.0}, routes, uaa);
+  for (int l = 0; l < 2; ++l) {
+    EXPECT_NEAR(approx.link_blocking[static_cast<std::size_t>(l)],
+                exact.link_blocking[static_cast<std::size_t>(l)], 0.01);
+  }
+}
+
+TEST(FixedPoint, ZeroLoadEverywhereGivesZeroBlocking) {
+  std::vector<RouteLoad> routes(1);
+  routes[0].links = {0};
+  routes[0].offered_erlangs = 0.0;
+  const auto result = solve_fixed_point(1, {312.0}, routes, exact_options());
+  EXPECT_TRUE(result.converged);
+  EXPECT_DOUBLE_EQ(result.link_blocking[0], 0.0);
+  EXPECT_DOUBLE_EQ(result.route_rejection[0], 0.0);
+}
+
+TEST(FixedPoint, DampingVariantsConverge) {
+  std::vector<RouteLoad> routes(2);
+  routes[0].links = {0, 1};
+  routes[0].offered_erlangs = 400.0;
+  routes[1].links = {1, 0};
+  routes[1].offered_erlangs = 400.0;
+  for (const double damping : {0.1, 0.5, 1.0}) {
+    FixedPointOptions options = exact_options();
+    options.damping = damping;
+    const auto result = solve_fixed_point(2, {312.0, 312.0}, routes, options);
+    EXPECT_TRUE(result.converged) << "damping=" << damping;
+    EXPECT_GT(result.link_blocking[0], 0.1);
+  }
+}
+
+TEST(FixedPoint, SolutionIndependentOfDamping) {
+  std::vector<RouteLoad> routes(1);
+  routes[0].links = {0, 1};
+  routes[0].offered_erlangs = 350.0;
+  FixedPointOptions a = exact_options();
+  a.damping = 1.0;
+  FixedPointOptions b = exact_options();
+  b.damping = 0.2;
+  const auto ra = solve_fixed_point(2, {312.0, 312.0}, routes, a);
+  const auto rb = solve_fixed_point(2, {312.0, 312.0}, routes, b);
+  EXPECT_NEAR(ra.link_blocking[0], rb.link_blocking[0], 1e-6);
+}
+
+TEST(FixedPoint, Validation) {
+  std::vector<RouteLoad> routes(1);
+  routes[0].links = {5};
+  routes[0].offered_erlangs = 1.0;
+  EXPECT_THROW(solve_fixed_point(1, {312.0}, routes, exact_options()),
+               std::invalid_argument);
+  routes[0].links = {0};
+  routes[0].offered_erlangs = -1.0;
+  EXPECT_THROW(solve_fixed_point(1, {312.0}, routes, exact_options()),
+               std::invalid_argument);
+  routes[0].offered_erlangs = 1.0;
+  EXPECT_THROW(solve_fixed_point(2, {312.0}, routes, exact_options()),
+               std::invalid_argument);  // capacity vector too short
+  FixedPointOptions bad = exact_options();
+  bad.damping = 0.0;
+  EXPECT_THROW(solve_fixed_point(1, {312.0}, routes, bad), std::invalid_argument);
+}
+
+TEST(AdmissionProbabilityEq15, LoadWeightedAverage) {
+  std::vector<RouteLoad> routes(2);
+  routes[0].offered_erlangs = 30.0;
+  routes[1].offered_erlangs = 10.0;
+  const std::vector<double> rejection = {0.2, 0.4};
+  // AP = (30*0.8 + 10*0.6) / 40 = 0.75.
+  EXPECT_NEAR(admission_probability(routes, rejection), 0.75, 1e-12);
+}
+
+TEST(AdmissionProbabilityEq15, ZeroLoadRoutesIgnored) {
+  std::vector<RouteLoad> routes(2);
+  routes[0].offered_erlangs = 10.0;
+  routes[1].offered_erlangs = 0.0;
+  const std::vector<double> rejection = {0.1, 1.0};
+  EXPECT_NEAR(admission_probability(routes, rejection), 0.9, 1e-12);
+}
+
+TEST(AdmissionProbabilityEq15, Validation) {
+  std::vector<RouteLoad> routes(1);
+  routes[0].offered_erlangs = 0.0;
+  EXPECT_THROW(admission_probability(routes, {0.5}), std::invalid_argument);
+  routes[0].offered_erlangs = 1.0;
+  EXPECT_THROW(admission_probability(routes, {0.5, 0.5}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace anyqos::analysis

@@ -1,0 +1,168 @@
+#include "src/analysis/retry_extension.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/net/topologies.h"
+
+namespace anyqos::analysis {
+namespace {
+
+AnalyticModel paper_like(const net::Topology& topo, double lambda) {
+  AnalyticModel model;
+  model.topology = &topo;
+  for (net::NodeId id = 1; id < topo.router_count(); id += 2) {
+    model.sources.push_back(id);
+  }
+  model.members = {0, 4, 8, 12, 16};
+  model.lambda_total = lambda;
+  return model;
+}
+
+TEST(ElementarySymmetricMean, KnownValues) {
+  const std::vector<double> v = {0.1, 0.2, 0.3};
+  EXPECT_DOUBLE_EQ(elementary_symmetric_mean(v, 0), 1.0);
+  EXPECT_NEAR(elementary_symmetric_mean(v, 1), 0.2, 1e-12);  // mean
+  // e_2 = 0.1*0.2 + 0.1*0.3 + 0.2*0.3 = 0.11; / C(3,2)=3.
+  EXPECT_NEAR(elementary_symmetric_mean(v, 2), 0.11 / 3.0, 1e-12);
+  // e_3 = product.
+  EXPECT_NEAR(elementary_symmetric_mean(v, 3), 0.006, 1e-12);
+}
+
+TEST(ElementarySymmetricMean, EqualValuesGivePowers) {
+  const std::vector<double> v(5, 0.4);
+  for (std::size_t j = 0; j <= 5; ++j) {
+    EXPECT_NEAR(elementary_symmetric_mean(v, j), std::pow(0.4, static_cast<double>(j)),
+                1e-12);
+  }
+}
+
+TEST(ElementarySymmetricMean, SubsetTooLargeThrows) {
+  EXPECT_THROW(elementary_symmetric_mean({0.5}, 2), std::invalid_argument);
+}
+
+TEST(RetryAnalysis, R1MatchesEd1Analysis) {
+  const net::Topology topo = net::topologies::mci_backbone();
+  const AnalyticModel model = paper_like(topo, 35.0);
+  const auto direct = analyze_ed1(model, FixedPointOptions{});
+  RetryAnalysisOptions options;
+  const auto retry = analyze_ed_retry(model, 1, options);
+  EXPECT_TRUE(retry.converged);
+  EXPECT_NEAR(retry.admission_probability, direct.admission_probability, 1e-3);
+  EXPECT_DOUBLE_EQ(retry.average_attempts, 1.0);
+}
+
+TEST(RetryAnalysis, ApIncreasesWithR) {
+  const net::Topology topo = net::topologies::mci_backbone();
+  const AnalyticModel model = paper_like(topo, 35.0);
+  RetryAnalysisOptions options;
+  double previous = 0.0;
+  for (std::size_t r = 1; r <= 5; ++r) {
+    const auto result = analyze_ed_retry(model, r, options);
+    EXPECT_TRUE(result.converged) << "R=" << r;
+    EXPECT_GE(result.admission_probability, previous - 1e-9) << "R=" << r;
+    previous = result.admission_probability;
+  }
+}
+
+TEST(RetryAnalysis, GainShrinksWithR) {
+  // Figure 3's observation: the 1->2 jump dominates, by 5 it's flat.
+  const net::Topology topo = net::topologies::mci_backbone();
+  const AnalyticModel model = paper_like(topo, 35.0);
+  RetryAnalysisOptions options;
+  std::vector<double> ap;
+  for (std::size_t r = 1; r <= 5; ++r) {
+    ap.push_back(analyze_ed_retry(model, r, options).admission_probability);
+  }
+  const double gain12 = ap[1] - ap[0];
+  const double gain45 = ap[4] - ap[3];
+  EXPECT_GT(gain12, gain45);
+  EXPECT_GT(gain12, 0.01);
+  EXPECT_LT(gain45, 0.02);
+}
+
+TEST(RetryAnalysis, AttemptsBetweenOneAndR) {
+  const net::Topology topo = net::topologies::mci_backbone();
+  const AnalyticModel model = paper_like(topo, 50.0);
+  RetryAnalysisOptions options;
+  const auto result = analyze_ed_retry(model, 3, options);
+  EXPECT_GT(result.average_attempts, 1.0);
+  EXPECT_LT(result.average_attempts, 3.0);
+}
+
+TEST(RetryAnalysis, LowLoadNeedsNoRetries) {
+  const net::Topology topo = net::topologies::mci_backbone();
+  const AnalyticModel model = paper_like(topo, 5.0);
+  RetryAnalysisOptions options;
+  const auto result = analyze_ed_retry(model, 3, options);
+  EXPECT_GT(result.admission_probability, 0.9999);
+  EXPECT_NEAR(result.average_attempts, 1.0, 1e-3);
+}
+
+TEST(RetryAnalysis, UaaAndErlangModelsAgree) {
+  // The retry calculus sits on top of the link-blocking model; swapping UAA
+  // for exact Erlang-B must not move the answer at C = 312.
+  const net::Topology topo = net::topologies::mci_backbone();
+  const AnalyticModel model = paper_like(topo, 35.0);
+  RetryAnalysisOptions uaa;
+  uaa.fixed_point.model = BlockingModel::kUaa;
+  RetryAnalysisOptions exact;
+  exact.fixed_point.model = BlockingModel::kErlangB;
+  const auto a = analyze_ed_retry(model, 2, uaa);
+  const auto b = analyze_ed_retry(model, 2, exact);
+  EXPECT_NEAR(a.admission_probability, b.admission_probability, 0.002);
+  EXPECT_NEAR(a.average_attempts, b.average_attempts, 0.005);
+}
+
+TEST(SpRetryAnalysis, R1MatchesSpAnalysis) {
+  const net::Topology topo = net::topologies::mci_backbone();
+  const AnalyticModel model = paper_like(topo, 35.0);
+  const auto direct = analyze_sp(model, FixedPointOptions{});
+  RetryAnalysisOptions options;
+  const auto retry = analyze_sp_retry(model, 1, options);
+  EXPECT_TRUE(retry.converged);
+  EXPECT_NEAR(retry.admission_probability, direct.admission_probability, 1e-3);
+  EXPECT_DOUBLE_EQ(retry.average_attempts, 1.0);
+}
+
+TEST(SpRetryAnalysis, RetriesLiftSpSubstantially) {
+  // SP,1 is the paper's worst system; letting it fall back to the 2nd-nearest
+  // member recovers a large share of ED,2's advantage.
+  const net::Topology topo = net::topologies::mci_backbone();
+  const AnalyticModel model = paper_like(topo, 35.0);
+  RetryAnalysisOptions options;
+  const double sp1 = analyze_sp_retry(model, 1, options).admission_probability;
+  const double sp2 = analyze_sp_retry(model, 2, options).admission_probability;
+  const double sp5 = analyze_sp_retry(model, 5, options).admission_probability;
+  EXPECT_GT(sp2, sp1 + 0.03);
+  EXPECT_GE(sp5, sp2 - 1e-9);
+}
+
+TEST(SpRetryAnalysis, AttemptsBetweenOneAndR) {
+  const net::Topology topo = net::topologies::mci_backbone();
+  const AnalyticModel model = paper_like(topo, 50.0);
+  RetryAnalysisOptions options;
+  const auto result = analyze_sp_retry(model, 3, options);
+  EXPECT_GT(result.average_attempts, 1.0);
+  EXPECT_LT(result.average_attempts, 3.0);
+}
+
+TEST(SpRetryAnalysis, BoundsValidated) {
+  const net::Topology topo = net::topologies::mci_backbone();
+  const AnalyticModel model = paper_like(topo, 20.0);
+  RetryAnalysisOptions options;
+  EXPECT_THROW(analyze_sp_retry(model, 0, options), std::invalid_argument);
+  EXPECT_THROW(analyze_sp_retry(model, 6, options), std::invalid_argument);
+}
+
+TEST(RetryAnalysis, RBoundsValidated) {
+  const net::Topology topo = net::topologies::mci_backbone();
+  const AnalyticModel model = paper_like(topo, 20.0);
+  RetryAnalysisOptions options;
+  EXPECT_THROW(analyze_ed_retry(model, 0, options), std::invalid_argument);
+  EXPECT_THROW(analyze_ed_retry(model, 6, options), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace anyqos::analysis

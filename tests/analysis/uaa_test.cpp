@@ -1,0 +1,99 @@
+#include "src/analysis/uaa.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/analysis/erlang.h"
+
+namespace anyqos::analysis {
+namespace {
+
+TEST(Uaa, BoundariesAndValidation) {
+  EXPECT_DOUBLE_EQ(uaa_blocking(0.0, 312.0), 0.0);
+  EXPECT_THROW(uaa_blocking(-1.0, 10.0), std::invalid_argument);
+  EXPECT_THROW(uaa_blocking(5.0, 0.5), std::invalid_argument);  // eq. (23)
+}
+
+TEST(Uaa, ResultAlwaysInUnitInterval) {
+  for (double v = 0.5; v < 2000.0; v *= 1.7) {
+    for (double c = 1.0; c <= 1024.0; c *= 2.0) {
+      const double b = uaa_blocking(v, c);
+      EXPECT_GE(b, 0.0) << "v=" << v << " c=" << c;
+      EXPECT_LE(b, 1.0) << "v=" << v << " c=" << c;
+    }
+  }
+}
+
+TEST(Uaa, CriticalLoadMatchesExactErlang) {
+  // z* = 1 exactly — the branch the paper's printed formula garbles.
+  for (const double c : {50.0, 100.0, 312.0, 1000.0}) {
+    const double exact = erlang_b(c, static_cast<std::size_t>(c));
+    const double approx = uaa_blocking(c, c);
+    EXPECT_NEAR(approx / exact, 1.0, 0.02) << "C=" << c;
+  }
+}
+
+TEST(Uaa, NearCriticalSeriesBranchIsContinuous) {
+  // The series branch (|1-z*| < 1e-4) must join the direct branch smoothly.
+  const double c = 312.0;
+  const double inside = uaa_blocking(c / (1.0 - 0.5e-4), c);
+  const double outside = uaa_blocking(c / (1.0 - 2.0e-4), c);
+  EXPECT_NEAR(inside / outside, 1.0, 0.01);
+}
+
+TEST(Uaa, DeepOverloadLimit) {
+  // B -> 1 - C/v for v >> C.
+  EXPECT_NEAR(uaa_blocking(3120.0, 312.0), 1.0 - 0.1, 0.01);
+  EXPECT_NEAR(uaa_blocking(1000.0, 100.0), 0.9, 0.01);
+}
+
+TEST(Uaa, LightLoadVanishes) {
+  EXPECT_LT(uaa_blocking(10.0, 312.0), 1e-100);
+  EXPECT_LT(uaa_blocking(200.0, 312.0), 1e-3);
+}
+
+// --- Property sweep: UAA tracks exact Erlang-B across the operating range
+// --- the paper's fixed point visits (C = 312, loads around capacity).
+
+class UaaAccuracy : public ::testing::TestWithParam<double> {};
+
+TEST_P(UaaAccuracy, CloseToExactErlangAtPaperCapacity) {
+  const double load_ratio = GetParam();  // v / C
+  const double c = 312.0;
+  const double v = load_ratio * c;
+  const double exact = erlang_b(v, 312);
+  const double approx = uaa_blocking(v, c);
+  if (exact < 1e-12) {
+    EXPECT_LT(approx, 1e-9);
+  } else {
+    // Relative accuracy: UAA is an O(1/C) approximation; 3% is ample at C=312
+    // and is far below the effect sizes in Tables 1-2.
+    EXPECT_NEAR(approx / exact, 1.0, 0.03) << "v/C=" << load_ratio;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(LoadRatios, UaaAccuracy,
+                         ::testing::Values(0.8, 0.9, 0.95, 1.0, 1.05, 1.1, 1.25, 1.5,
+                                           2.0, 3.0));
+
+class UaaAccuracyAcrossCapacities : public ::testing::TestWithParam<double> {};
+
+TEST_P(UaaAccuracyAcrossCapacities, CloseToExactErlangAtCriticalAndOverload) {
+  const double c = GetParam();
+  for (const double ratio : {1.0, 1.2, 2.0}) {
+    const double v = ratio * c;
+    const double exact = erlang_b(v, static_cast<std::size_t>(c));
+    const double approx = uaa_blocking(v, c);
+    // Accuracy degrades as C shrinks (it is an asymptotic method); allow a
+    // looser envelope for tiny capacities.
+    const double tolerance = c >= 64.0 ? 0.03 : 0.15;
+    EXPECT_NEAR(approx / exact, 1.0, tolerance) << "C=" << c << " ratio=" << ratio;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Capacities, UaaAccuracyAcrossCapacities,
+                         ::testing::Values(16.0, 64.0, 128.0, 312.0, 625.0, 1000.0));
+
+}  // namespace
+}  // namespace anyqos::analysis

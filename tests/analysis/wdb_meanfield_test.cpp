@@ -1,0 +1,112 @@
+#include "src/analysis/wdb_meanfield.h"
+
+#include <gtest/gtest.h>
+
+#include "src/net/topologies.h"
+#include "src/sim/experiment.h"
+
+namespace anyqos::analysis {
+namespace {
+
+AnalyticModel paper_like(const net::Topology& topo, double lambda) {
+  AnalyticModel model;
+  model.topology = &topo;
+  for (net::NodeId id = 1; id < topo.router_count(); id += 2) {
+    model.sources.push_back(id);
+  }
+  model.members = {0, 4, 8, 12, 16};
+  model.lambda_total = lambda;
+  return model;
+}
+
+TEST(WdbMeanField, ConvergesAcrossThePaperRateRange) {
+  const net::Topology topo = net::topologies::mci_backbone();
+  for (const double lambda : {10.0, 20.0, 35.0, 50.0}) {
+    const auto mf = analyze_wdb1_meanfield(paper_like(topo, lambda), MeanFieldOptions{});
+    EXPECT_TRUE(mf.converged) << "lambda=" << lambda;
+    EXPECT_GE(mf.admission_probability, 0.0);
+    EXPECT_LE(mf.admission_probability, 1.0);
+  }
+}
+
+TEST(WdbMeanField, WeightsAreNormalizedPerSource) {
+  const net::Topology topo = net::topologies::mci_backbone();
+  const auto mf = analyze_wdb1_meanfield(paper_like(topo, 35.0), MeanFieldOptions{});
+  const std::size_t k = 5;
+  for (std::size_t s = 0; s < 9; ++s) {
+    double total = 0.0;
+    for (std::size_t i = 0; i < k; ++i) {
+      const double w = mf.weights[s * k + i];
+      EXPECT_GE(w, 0.0);
+      total += w;
+    }
+    EXPECT_NEAR(total, 1.0, 1e-6);
+  }
+}
+
+TEST(WdbMeanField, BeatsEd1ByRebalancingLoad) {
+  // The static-rebalancing share of WD/D+B's advantage: the mean-field AP
+  // must exceed <ED,1>'s at loaded rates.
+  const net::Topology topo = net::topologies::mci_backbone();
+  for (const double lambda : {20.0, 35.0, 50.0}) {
+    const AnalyticModel model = paper_like(topo, lambda);
+    const double mf = analyze_wdb1_meanfield(model, MeanFieldOptions{}).admission_probability;
+    const double ed1 = analyze_ed1(model, FixedPointOptions{}).admission_probability;
+    EXPECT_GT(mf, ed1) << "lambda=" << lambda;
+  }
+}
+
+TEST(WdbMeanField, TracksSimulatedWdb1Closely) {
+  // The headline validation: mean-field vs the simulated <WD/D+B,1> system.
+  const sim::ExperimentModel experiment = sim::paper_model();
+  for (const double lambda : {20.0, 35.0}) {
+    const double mf =
+        analyze_wdb1_meanfield(paper_like(experiment.topology, lambda), MeanFieldOptions{})
+            .admission_probability;
+    sim::SimulationConfig config = experiment.base_config(lambda);
+    config.algorithm = core::SelectionAlgorithm::kDistanceBandwidth;
+    config.max_tries = 1;
+    config.warmup_s = 1'000.0;
+    config.measure_s = 6'000.0;
+    config.seed = 2;
+    sim::Simulation simulation(experiment.topology, config);
+    const double simulated = simulation.run().admission_probability;
+    // The approximation omits instantaneous avoidance, so it may sit a bit
+    // below the simulation; 0.03 absolute covers both bias and noise here.
+    EXPECT_NEAR(mf, simulated, 0.03) << "lambda=" << lambda;
+    EXPECT_LE(mf, simulated + 0.01) << "mean-field should not beat the real system";
+  }
+}
+
+TEST(WdbMeanField, IdleNetworkKeepsInverseDistanceWeights) {
+  // At negligible load every route has full free capacity, so the weights
+  // must stay at the inverse-distance profile (eq. 12 with equal B_i).
+  const net::Topology topo = net::topologies::mci_backbone();
+  const auto mf = analyze_wdb1_meanfield(paper_like(topo, 0.1), MeanFieldOptions{});
+  const net::RouteTable table(topo, {0, 4, 8, 12, 16});
+  const std::size_t k = 5;
+  // Compare source 1's weights with plain 1/D normalization.
+  double total = 0.0;
+  std::vector<double> expected(k);
+  for (std::size_t i = 0; i < k; ++i) {
+    expected[i] = 1.0 / static_cast<double>(std::max<std::size_t>(table.distance(1, i), 1));
+    total += expected[i];
+  }
+  for (std::size_t i = 0; i < k; ++i) {
+    EXPECT_NEAR(mf.weights[0 * k + i], expected[i] / total, 0.01);
+  }
+}
+
+TEST(WdbMeanField, Validation) {
+  const net::Topology topo = net::topologies::mci_backbone();
+  AnalyticModel model = paper_like(topo, 20.0);
+  MeanFieldOptions options;
+  options.damping = 0.0;
+  EXPECT_THROW(analyze_wdb1_meanfield(model, options), std::invalid_argument);
+  options = MeanFieldOptions{};
+  model.lambda_total = 0.0;
+  EXPECT_THROW(analyze_wdb1_meanfield(model, options), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace anyqos::analysis

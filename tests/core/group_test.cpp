@@ -1,0 +1,52 @@
+#include "src/core/group.h"
+
+#include <gtest/gtest.h>
+
+namespace anyqos::core {
+namespace {
+
+TEST(AnycastGroup, BasicAccessors) {
+  const AnycastGroup group("anycast://g", {0, 4, 8});
+  EXPECT_EQ(group.address(), "anycast://g");
+  EXPECT_EQ(group.size(), 3u);
+  EXPECT_EQ(group.member(0), 0u);
+  EXPECT_EQ(group.member(2), 8u);
+  EXPECT_EQ(group.members().size(), 3u);
+}
+
+TEST(AnycastGroup, ContainsChecksMembership) {
+  const AnycastGroup group("g", {1, 3});
+  EXPECT_TRUE(group.contains(1));
+  EXPECT_TRUE(group.contains(3));
+  EXPECT_FALSE(group.contains(2));
+}
+
+TEST(AnycastGroup, UnicastIsGroupOfOne) {
+  // "Traditional unicast flow is a special case of anycast flow."
+  const AnycastGroup group("g", {7});
+  EXPECT_EQ(group.size(), 1u);
+  EXPECT_TRUE(group.contains(7));
+}
+
+TEST(AnycastGroup, EmptyGroupRejected) {
+  EXPECT_THROW(AnycastGroup("g", {}), std::invalid_argument);
+}
+
+TEST(AnycastGroup, DuplicateMembersRejected) {
+  EXPECT_THROW(AnycastGroup("g", {1, 2, 1}), std::invalid_argument);
+}
+
+TEST(AnycastGroup, MemberIndexOutOfRangeRejected) {
+  const AnycastGroup group("g", {1});
+  EXPECT_THROW(group.member(1), std::invalid_argument);
+}
+
+TEST(AnycastGroup, MemberOrderIsPreserved) {
+  const AnycastGroup group("g", {16, 0, 8});
+  EXPECT_EQ(group.member(0), 16u);
+  EXPECT_EQ(group.member(1), 0u);
+  EXPECT_EQ(group.member(2), 8u);
+}
+
+}  // namespace
+}  // namespace anyqos::core

@@ -1,0 +1,115 @@
+#include "src/core/qos.h"
+
+#include <gtest/gtest.h>
+
+namespace anyqos::core {
+namespace {
+
+TEST(WfqDelayBound, ScalesWithHopsAndInverseRate) {
+  SchedulerModel model;
+  model.max_packet_bits = 12'000.0;  // 1500 bytes
+  model.per_hop_latency_s = 0.0;
+  EXPECT_DOUBLE_EQ(wfq_delay_bound(64'000.0, 1, model), 12'000.0 / 64'000.0);
+  EXPECT_DOUBLE_EQ(wfq_delay_bound(64'000.0, 4, model), 4.0 * 12'000.0 / 64'000.0);
+  EXPECT_DOUBLE_EQ(wfq_delay_bound(128'000.0, 4, model),
+                   wfq_delay_bound(64'000.0, 4, model) / 2.0);
+}
+
+TEST(WfqDelayBound, IncludesFixedLatency) {
+  SchedulerModel model;
+  model.max_packet_bits = 8'000.0;
+  model.per_hop_latency_s = 0.010;
+  EXPECT_DOUBLE_EQ(wfq_delay_bound(8'000.0, 3, model), 3.0 * 1.0 + 0.030);
+}
+
+TEST(WfqDelayBound, Validation) {
+  const SchedulerModel model;
+  EXPECT_THROW(wfq_delay_bound(0.0, 1, model), std::invalid_argument);
+  EXPECT_THROW(wfq_delay_bound(1.0, 0, model), std::invalid_argument);
+}
+
+TEST(RateForDelay, InvertsTheBound) {
+  SchedulerModel model;
+  model.max_packet_bits = 12'000.0;
+  const auto rate = rate_for_delay(0.5, 4, model);
+  ASSERT_TRUE(rate.has_value());
+  // Plugging the rate back in meets the deadline exactly.
+  EXPECT_NEAR(wfq_delay_bound(*rate, 4, model), 0.5, 1e-12);
+}
+
+TEST(RateForDelay, InfeasibleDeadlineReturnsNullopt) {
+  SchedulerModel model;
+  model.per_hop_latency_s = 0.1;
+  // 3 hops of fixed latency = 0.3 s > 0.2 s deadline.
+  EXPECT_FALSE(rate_for_delay(0.2, 3, model).has_value());
+}
+
+TEST(RateForDelay, TighterDeadlineNeedsMoreRate) {
+  const SchedulerModel model;
+  const auto loose = rate_for_delay(1.0, 3, model);
+  const auto tight = rate_for_delay(0.1, 3, model);
+  ASSERT_TRUE(loose && tight);
+  EXPECT_GT(*tight, *loose);
+}
+
+TEST(EffectiveBandwidth, RateFloorDominatesLooseDeadline) {
+  const SchedulerModel model;  // 12 kbit packets
+  QosRequirement qos;
+  qos.min_bandwidth_bps = 64'000.0;
+  qos.max_delay_s = 100.0;  // trivially loose
+  const auto bw = effective_bandwidth(qos, 4, model);
+  ASSERT_TRUE(bw.has_value());
+  EXPECT_DOUBLE_EQ(*bw, 64'000.0);
+}
+
+TEST(EffectiveBandwidth, DeadlineDominatesWhenTight) {
+  const SchedulerModel model;
+  QosRequirement qos;
+  qos.min_bandwidth_bps = 64'000.0;
+  qos.max_delay_s = 0.05;
+  const auto bw = effective_bandwidth(qos, 4, model);
+  ASSERT_TRUE(bw.has_value());
+  EXPECT_GT(*bw, 64'000.0);
+  EXPECT_DOUBLE_EQ(*bw, 4.0 * model.max_packet_bits / 0.05);
+}
+
+TEST(EffectiveBandwidth, GrowsWithRouteLength) {
+  // The anycast angle: a nearer member needs a smaller reservation for the
+  // same deadline, so destination selection interacts with delay QoS.
+  const SchedulerModel model;
+  QosRequirement qos;
+  qos.min_bandwidth_bps = 1.0;
+  qos.max_delay_s = 0.1;
+  const auto near = effective_bandwidth(qos, 1, model);
+  const auto far = effective_bandwidth(qos, 5, model);
+  ASSERT_TRUE(near && far);
+  EXPECT_GT(*far, *near);
+  EXPECT_NEAR(*far / *near, 5.0, 1e-9);
+}
+
+TEST(EffectiveBandwidth, PureRateRequirementPassesThrough) {
+  const SchedulerModel model;
+  QosRequirement qos;
+  qos.min_bandwidth_bps = 42'000.0;
+  const auto bw = effective_bandwidth(qos, 3, model);
+  ASSERT_TRUE(bw.has_value());
+  EXPECT_DOUBLE_EQ(*bw, 42'000.0);
+}
+
+TEST(EffectiveBandwidth, InfeasibleDeadlinePropagates) {
+  SchedulerModel model;
+  model.per_hop_latency_s = 1.0;
+  QosRequirement qos;
+  qos.min_bandwidth_bps = 1'000.0;
+  qos.max_delay_s = 0.5;
+  EXPECT_FALSE(effective_bandwidth(qos, 2, model).has_value());
+}
+
+TEST(EffectiveBandwidth, UnconstrainedRequirementRejected) {
+  const SchedulerModel model;
+  const QosRequirement qos;  // neither rate nor delay
+  EXPECT_THROW(effective_bandwidth(qos, 1, model), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace anyqos::core

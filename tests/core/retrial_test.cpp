@@ -1,0 +1,65 @@
+#include "src/core/retrial.h"
+
+#include <gtest/gtest.h>
+
+namespace anyqos::core {
+namespace {
+
+TEST(CounterRetrial, R1MeansSingleAttempt) {
+  const CounterRetrialPolicy policy(1);
+  EXPECT_FALSE(policy.keep_going(1));
+  EXPECT_EQ(policy.max_attempts(), 1u);
+}
+
+TEST(CounterRetrial, AllowsExactlyRAttempts) {
+  const CounterRetrialPolicy policy(3);
+  EXPECT_TRUE(policy.keep_going(1));
+  EXPECT_TRUE(policy.keep_going(2));
+  EXPECT_FALSE(policy.keep_going(3));
+  EXPECT_FALSE(policy.keep_going(4));
+}
+
+TEST(CounterRetrial, ZeroRejected) {
+  EXPECT_THROW(CounterRetrialPolicy(0), std::invalid_argument);
+}
+
+TEST(CounterRetrial, NameEncodesR) {
+  EXPECT_EQ(CounterRetrialPolicy(2).name(), "counter(R=2)");
+}
+
+TEST(BoundedFailureRetrial, MinOfBothBoundsApplies) {
+  const BoundedFailureRetrialPolicy policy(5, 2);
+  EXPECT_TRUE(policy.keep_going(1));
+  EXPECT_FALSE(policy.keep_going(2));  // failure bound hit first
+  EXPECT_EQ(policy.max_attempts(), 5u);
+}
+
+TEST(BoundedFailureRetrial, EquivalentToCounterWhenBoundsMatch) {
+  const BoundedFailureRetrialPolicy bounded(3, 3);
+  const CounterRetrialPolicy counter(3);
+  for (std::size_t attempts = 1; attempts <= 5; ++attempts) {
+    EXPECT_EQ(bounded.keep_going(attempts), counter.keep_going(attempts));
+  }
+}
+
+TEST(BoundedFailureRetrial, Validation) {
+  EXPECT_THROW(BoundedFailureRetrialPolicy(0, 1), std::invalid_argument);
+  EXPECT_THROW(BoundedFailureRetrialPolicy(1, 0), std::invalid_argument);
+}
+
+class CounterSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(CounterSweep, AttemptsBoundedByR) {
+  const std::size_t r = GetParam();
+  const CounterRetrialPolicy policy(r);
+  std::size_t attempts = 1;  // the DAC loop always makes one attempt
+  while (policy.keep_going(attempts)) {
+    ++attempts;
+  }
+  EXPECT_EQ(attempts, r);
+}
+
+INSTANTIATE_TEST_SUITE_P(RValues, CounterSweep, ::testing::Values(1, 2, 3, 4, 5, 10));
+
+}  // namespace
+}  // namespace anyqos::core

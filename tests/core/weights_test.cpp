@@ -1,0 +1,161 @@
+#include "src/core/weights.h"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <numeric>
+#include <vector>
+
+namespace anyqos::core {
+namespace {
+
+constexpr double kTol = 1e-12;
+
+TEST(WeightVector, UniformSatisfiesEq2) {
+  const WeightVector w = WeightVector::uniform(5);
+  ASSERT_EQ(w.size(), 5u);
+  for (std::size_t i = 0; i < 5; ++i) {
+    EXPECT_NEAR(w.at(i), 0.2, kTol);  // W_i = 1/K
+  }
+  EXPECT_TRUE(w.normalized_within(kTol));
+}
+
+TEST(WeightVector, UniformRejectsEmpty) {
+  EXPECT_THROW(WeightVector::uniform(0), std::invalid_argument);
+}
+
+TEST(WeightVector, InverseDistanceMatchesEq4) {
+  const std::array<std::size_t, 3> distances = {1, 2, 4};
+  const WeightVector w = WeightVector::inverse_distance(distances);
+  // 1/D_i normalized: (1, 1/2, 1/4) / 1.75.
+  EXPECT_NEAR(w.at(0), 1.0 / 1.75, kTol);
+  EXPECT_NEAR(w.at(1), 0.5 / 1.75, kTol);
+  EXPECT_NEAR(w.at(2), 0.25 / 1.75, kTol);
+  EXPECT_TRUE(w.normalized_within(kTol));
+}
+
+TEST(WeightVector, InverseDistanceShorterIsHeavier) {
+  const std::array<std::size_t, 4> distances = {5, 1, 3, 2};
+  const WeightVector w = WeightVector::inverse_distance(distances);
+  EXPECT_GT(w.at(1), w.at(3));
+  EXPECT_GT(w.at(3), w.at(2));
+  EXPECT_GT(w.at(2), w.at(0));
+}
+
+TEST(WeightVector, ZeroDistanceTreatedAsOne) {
+  // Co-located member: weight stays finite and maximal.
+  const std::array<std::size_t, 2> distances = {0, 2};
+  const WeightVector w = WeightVector::inverse_distance(distances);
+  EXPECT_NEAR(w.at(0), 1.0 / 1.5, kTol);
+  EXPECT_GT(w.at(0), w.at(1));
+}
+
+TEST(WeightVector, BandwidthDistanceMatchesEq12) {
+  const std::array<double, 3> bandwidths = {10.0e6, 5.0e6, 20.0e6};
+  const std::array<std::size_t, 3> distances = {2, 1, 4};
+  const WeightVector w = WeightVector::bandwidth_distance(bandwidths, distances);
+  const double raw0 = 10.0e6 / 2;
+  const double raw1 = 5.0e6 / 1;
+  const double raw2 = 20.0e6 / 4;
+  const double total = raw0 + raw1 + raw2;
+  EXPECT_NEAR(w.at(0), raw0 / total, kTol);
+  EXPECT_NEAR(w.at(1), raw1 / total, kTol);
+  EXPECT_NEAR(w.at(2), raw2 / total, kTol);
+}
+
+TEST(WeightVector, AllZeroBandwidthFallsBackToDistance) {
+  const std::array<double, 2> bandwidths = {0.0, 0.0};
+  const std::array<std::size_t, 2> distances = {1, 3};
+  const WeightVector w = WeightVector::bandwidth_distance(bandwidths, distances);
+  const WeightVector expect = WeightVector::inverse_distance(distances);
+  EXPECT_NEAR(w.at(0), expect.at(0), kTol);
+  EXPECT_NEAR(w.at(1), expect.at(1), kTol);
+}
+
+TEST(WeightVector, MismatchedLengthsRejected) {
+  const std::array<double, 2> bandwidths = {1.0, 2.0};
+  const std::array<std::size_t, 3> distances = {1, 2, 3};
+  EXPECT_THROW(WeightVector::bandwidth_distance(bandwidths, distances), std::invalid_argument);
+}
+
+TEST(WeightVector, NormalizedScalesArbitraryInput) {
+  const WeightVector w = WeightVector::normalized({2.0, 6.0});
+  EXPECT_NEAR(w.at(0), 0.25, kTol);
+  EXPECT_NEAR(w.at(1), 0.75, kTol);
+}
+
+TEST(WeightVector, NormalizedRejectsBadInput) {
+  EXPECT_THROW(WeightVector::normalized({}), std::invalid_argument);
+  EXPECT_THROW(WeightVector::normalized({0.0, 0.0}), std::invalid_argument);
+  EXPECT_THROW(WeightVector::normalized({-1.0, 2.0}), std::invalid_argument);
+}
+
+TEST(WeightVector, MaskedRenormalizes) {
+  const WeightVector w = WeightVector::normalized({1.0, 2.0, 1.0});
+  const std::array<bool, 3> mask = {false, true, false};
+  const WeightVector m = w.masked(mask);
+  EXPECT_NEAR(m.at(0), 0.5, kTol);
+  EXPECT_DOUBLE_EQ(m.at(1), 0.0);
+  EXPECT_NEAR(m.at(2), 0.5, kTol);
+  EXPECT_TRUE(m.normalized_within(kTol));
+}
+
+TEST(WeightVector, MaskedAllExcludedIsZero) {
+  const WeightVector w = WeightVector::uniform(2);
+  const std::array<bool, 2> mask = {true, true};
+  const WeightVector m = w.masked(mask);
+  EXPECT_TRUE(m.is_zero());
+  EXPECT_FALSE(w.is_zero());
+}
+
+TEST(WeightVector, MaskedMismatchedLengthRejected) {
+  const WeightVector w = WeightVector::uniform(3);
+  const std::array<bool, 2> mask = {false, false};
+  EXPECT_THROW(w.masked(mask), std::invalid_argument);
+}
+
+// --- Property sweep: constraint (1) holds for every construction across
+// --- many shapes (the paper's invariant sum W_i = 1).
+
+class WeightNormalizationProperty : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(WeightNormalizationProperty, AllConstructionsSumToOne) {
+  const std::size_t k = GetParam();
+  EXPECT_TRUE(WeightVector::uniform(k).normalized_within(kTol));
+
+  std::vector<std::size_t> distances(k);
+  for (std::size_t i = 0; i < k; ++i) {
+    distances[i] = (i * 7 + 1) % 9 + 1;
+  }
+  EXPECT_TRUE(WeightVector::inverse_distance(distances).normalized_within(kTol));
+
+  std::vector<double> bandwidths(k);
+  for (std::size_t i = 0; i < k; ++i) {
+    bandwidths[i] = static_cast<double>((i * 13) % 5) * 1.0e6;  // some zeros
+  }
+  EXPECT_TRUE(WeightVector::bandwidth_distance(bandwidths, distances).normalized_within(kTol));
+
+  // Masking any single member keeps the rest normalized.
+  const WeightVector w = WeightVector::inverse_distance(distances);
+  for (std::size_t excluded = 0; excluded < k; ++excluded) {
+    std::vector<bool> mask_bits(k, false);
+    mask_bits[excluded] = true;
+    std::unique_ptr<bool[]> mask(new bool[k]);
+    for (std::size_t i = 0; i < k; ++i) {
+      mask[i] = mask_bits[i];
+    }
+    const WeightVector m = w.masked(std::span<const bool>(mask.get(), k));
+    if (k > 1) {
+      EXPECT_TRUE(m.normalized_within(kTol));
+      EXPECT_DOUBLE_EQ(m.at(excluded), 0.0);
+    } else {
+      EXPECT_TRUE(m.is_zero());
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(GroupSizes, WeightNormalizationProperty,
+                         ::testing::Values(1, 2, 3, 5, 8, 16, 64));
+
+}  // namespace
+}  // namespace anyqos::core

@@ -1,0 +1,116 @@
+// Randomized differential test: EventQueue against a trivially correct
+// reference (a sorted multimap with FIFO buckets), over long random
+// schedule/cancel/pop workloads.
+#include <gtest/gtest.h>
+
+#include <deque>
+#include <map>
+#include <random>
+
+#include "src/des/event_queue.h"
+
+namespace anyqos::des {
+namespace {
+
+class ReferenceQueue {
+ public:
+  std::uint64_t schedule(double time) {
+    const std::uint64_t id = next_id_++;
+    buckets_[time].push_back(id);
+    ++live_;
+    return id;
+  }
+
+  bool cancel(std::uint64_t id) {
+    for (auto& [time, bucket] : buckets_) {
+      for (auto it = bucket.begin(); it != bucket.end(); ++it) {
+        if (*it == id) {
+          bucket.erase(it);
+          --live_;
+          return true;
+        }
+      }
+    }
+    return false;
+  }
+
+  std::pair<double, std::uint64_t> pop() {
+    auto it = buckets_.begin();
+    while (it->second.empty()) {
+      it = buckets_.erase(it);
+    }
+    const double time = it->first;
+    const std::uint64_t id = it->second.front();
+    it->second.pop_front();
+    --live_;
+    return {time, id};
+  }
+
+  [[nodiscard]] std::size_t size() const { return live_; }
+
+ private:
+  std::map<double, std::deque<std::uint64_t>> buckets_;
+  std::uint64_t next_id_ = 0;
+  std::size_t live_ = 0;
+};
+
+class EventQueueDifferential : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(EventQueueDifferential, MatchesReferenceUnderRandomWorkload) {
+  std::mt19937_64 rng(GetParam());
+  std::uniform_real_distribution<double> time_dist(0.0, 100.0);
+  EventQueue queue;
+  ReferenceQueue reference;
+  // Map reference ids -> (handle, fired order tag) for cancellation pairing.
+  std::vector<std::pair<std::uint64_t, EventHandle>> live;  // (ref id, handle)
+  std::vector<std::uint64_t> fired_real;
+  std::vector<std::uint64_t> fired_ref;
+
+  for (int step = 0; step < 20'000; ++step) {
+    const double action = std::uniform_real_distribution<double>(0.0, 1.0)(rng);
+    if (action < 0.5 || queue.empty()) {
+      // Schedule; the action records which reference id fired.
+      const double t = time_dist(rng);
+      const std::uint64_t ref_id = reference.schedule(t);
+      const EventHandle handle =
+          queue.schedule(t, [&fired_real, ref_id] { fired_real.push_back(ref_id); });
+      live.emplace_back(ref_id, handle);
+    } else if (action < 0.65 && !live.empty()) {
+      // Cancel a random live event in both queues.
+      const std::size_t pick =
+          std::uniform_int_distribution<std::size_t>(0, live.size() - 1)(rng);
+      const auto [ref_id, handle] = live[pick];
+      live.erase(live.begin() + static_cast<std::ptrdiff_t>(pick));
+      const bool cancelled_real = queue.cancel(handle);
+      const bool cancelled_ref = reference.cancel(ref_id);
+      ASSERT_EQ(cancelled_real, cancelled_ref);
+    } else {
+      // Pop from both; same event must fire.
+      const auto fired = queue.pop();
+      fired.action();
+      const auto [ref_time, ref_id] = reference.pop();
+      fired_ref.push_back(ref_id);
+      ASSERT_DOUBLE_EQ(fired.time, ref_time);
+      ASSERT_EQ(fired_real.back(), ref_id) << "at step " << step;
+      // Drop the fired event from the live list.
+      for (auto it = live.begin(); it != live.end(); ++it) {
+        if (it->first == ref_id) {
+          live.erase(it);
+          break;
+        }
+      }
+    }
+    ASSERT_EQ(queue.size(), reference.size());
+  }
+  // Drain completely; full sequences must match.
+  while (!queue.empty()) {
+    queue.pop().action();
+    fired_ref.push_back(reference.pop().second);
+  }
+  EXPECT_EQ(fired_real, fired_ref);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EventQueueDifferential, ::testing::Values(1u, 2u, 3u, 7u));
+
+}  // namespace
+}  // namespace anyqos::des

@@ -1,0 +1,125 @@
+#include "src/des/event_queue.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace anyqos::des {
+namespace {
+
+TEST(EventQueue, StartsEmpty) {
+  EventQueue queue;
+  EXPECT_TRUE(queue.empty());
+  EXPECT_EQ(queue.size(), 0u);
+  EXPECT_THROW(queue.next_time(), std::invalid_argument);
+  EXPECT_THROW(queue.pop(), std::invalid_argument);
+}
+
+TEST(EventQueue, PopsInTimeOrder) {
+  EventQueue queue;
+  std::vector<int> order;
+  queue.schedule(3.0, [&] { order.push_back(3); });
+  queue.schedule(1.0, [&] { order.push_back(1); });
+  queue.schedule(2.0, [&] { order.push_back(2); });
+  while (!queue.empty()) {
+    queue.pop().action();
+  }
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, TiesBreakFifo) {
+  EventQueue queue;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    queue.schedule(5.0, [&order, i] { order.push_back(i); });
+  }
+  while (!queue.empty()) {
+    queue.pop().action();
+  }
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+  }
+}
+
+TEST(EventQueue, NextTimeReportsEarliest) {
+  EventQueue queue;
+  queue.schedule(7.0, [] {});
+  queue.schedule(2.0, [] {});
+  EXPECT_DOUBLE_EQ(queue.next_time(), 2.0);
+}
+
+TEST(EventQueue, CancelPreventsExecution) {
+  EventQueue queue;
+  bool fired = false;
+  const EventHandle handle = queue.schedule(1.0, [&] { fired = true; });
+  EXPECT_TRUE(queue.cancel(handle));
+  EXPECT_TRUE(queue.empty());
+  EXPECT_FALSE(fired);
+}
+
+TEST(EventQueue, CancelledEventSkippedByPop) {
+  EventQueue queue;
+  std::vector<int> order;
+  queue.schedule(1.0, [&] { order.push_back(1); });
+  const EventHandle second = queue.schedule(2.0, [&] { order.push_back(2); });
+  queue.schedule(3.0, [&] { order.push_back(3); });
+  queue.cancel(second);
+  while (!queue.empty()) {
+    queue.pop().action();
+  }
+  EXPECT_EQ(order, (std::vector<int>{1, 3}));
+}
+
+TEST(EventQueue, DoubleCancelReturnsFalse) {
+  EventQueue queue;
+  const EventHandle handle = queue.schedule(1.0, [] {});
+  EXPECT_TRUE(queue.cancel(handle));
+  EXPECT_FALSE(queue.cancel(handle));
+}
+
+TEST(EventQueue, CancelAfterFireReturnsFalse) {
+  EventQueue queue;
+  const EventHandle handle = queue.schedule(1.0, [] {});
+  queue.pop().action();
+  EXPECT_FALSE(queue.cancel(handle));
+}
+
+TEST(EventQueue, InvalidHandleCancelReturnsFalse) {
+  EventQueue queue;
+  EXPECT_FALSE(queue.cancel(EventHandle{}));
+}
+
+TEST(EventQueue, SizeTracksLiveEventsOnly) {
+  EventQueue queue;
+  const EventHandle a = queue.schedule(1.0, [] {});
+  queue.schedule(2.0, [] {});
+  EXPECT_EQ(queue.size(), 2u);
+  queue.cancel(a);
+  EXPECT_EQ(queue.size(), 1u);
+  EXPECT_DOUBLE_EQ(queue.next_time(), 2.0);  // tombstone skipped
+}
+
+TEST(EventQueue, EmptyActionRejected) {
+  EventQueue queue;
+  EXPECT_THROW(queue.schedule(1.0, EventQueue::Action{}), std::invalid_argument);
+}
+
+TEST(EventQueue, ManyEventsStressOrdering) {
+  EventQueue queue;
+  std::vector<double> fired;
+  // Pseudo-random times, deterministic pattern.
+  for (int i = 0; i < 5000; ++i) {
+    const double t = static_cast<double>((i * 2654435761u) % 100'000) / 1000.0;
+    queue.schedule(t, [&fired, t] { fired.push_back(t); });
+  }
+  while (!queue.empty()) {
+    queue.pop().action();
+  }
+  ASSERT_EQ(fired.size(), 5000u);
+  for (std::size_t i = 1; i < fired.size(); ++i) {
+    EXPECT_LE(fired[i - 1], fired[i]);
+  }
+}
+
+}  // namespace
+}  // namespace anyqos::des

@@ -1,0 +1,157 @@
+#include "src/des/random.h"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+#include <set>
+
+namespace anyqos::des {
+namespace {
+
+TEST(RandomStream, Uniform01StaysInRange) {
+  RandomStream rng(1);
+  for (int i = 0; i < 10'000; ++i) {
+    const double u = rng.uniform01();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(RandomStream, Uniform01MeanIsHalf) {
+  RandomStream rng(2);
+  double sum = 0.0;
+  const int n = 100'000;
+  for (int i = 0; i < n; ++i) {
+    sum += rng.uniform01();
+  }
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(RandomStream, UniformRespectsBounds) {
+  RandomStream rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(-2.0, 3.0);
+    EXPECT_GE(u, -2.0);
+    EXPECT_LT(u, 3.0);
+  }
+  EXPECT_THROW(rng.uniform(1.0, 1.0), std::invalid_argument);
+}
+
+TEST(RandomStream, UniformIndexCoversRange) {
+  RandomStream rng(4);
+  std::set<std::size_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const std::size_t idx = rng.uniform_index(5);
+    EXPECT_LT(idx, 5u);
+    seen.insert(idx);
+  }
+  EXPECT_EQ(seen.size(), 5u);
+  EXPECT_THROW(rng.uniform_index(0), std::invalid_argument);
+}
+
+TEST(RandomStream, ExponentialMeanMatches) {
+  RandomStream rng(5);
+  double sum = 0.0;
+  const int n = 200'000;
+  for (int i = 0; i < n; ++i) {
+    sum += rng.exponential(180.0);
+  }
+  EXPECT_NEAR(sum / n, 180.0, 2.0);
+  EXPECT_THROW(rng.exponential(0.0), std::invalid_argument);
+}
+
+TEST(RandomStream, ExponentialMemorylessTail) {
+  // P(X > mean) = 1/e for an exponential.
+  RandomStream rng(6);
+  int above = 0;
+  const int n = 100'000;
+  for (int i = 0; i < n; ++i) {
+    if (rng.exponential(10.0) > 10.0) {
+      ++above;
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(above) / n, std::exp(-1.0), 0.01);
+}
+
+TEST(RandomStream, BernoulliFrequency) {
+  RandomStream rng(7);
+  int hits = 0;
+  const int n = 100'000;
+  for (int i = 0; i < n; ++i) {
+    if (rng.bernoulli(0.3)) {
+      ++hits;
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+  EXPECT_THROW(rng.bernoulli(1.5), std::invalid_argument);
+}
+
+TEST(RandomStream, WeightedIndexMatchesWeights) {
+  RandomStream rng(8);
+  const std::array<double, 3> weights = {1.0, 2.0, 7.0};
+  std::array<int, 3> counts{};
+  const int n = 100'000;
+  for (int i = 0; i < n; ++i) {
+    ++counts[rng.weighted_index(weights)];
+  }
+  EXPECT_NEAR(counts[0] / static_cast<double>(n), 0.1, 0.01);
+  EXPECT_NEAR(counts[1] / static_cast<double>(n), 0.2, 0.01);
+  EXPECT_NEAR(counts[2] / static_cast<double>(n), 0.7, 0.01);
+}
+
+TEST(RandomStream, WeightedIndexNeverPicksZeroWeight) {
+  RandomStream rng(9);
+  const std::array<double, 4> weights = {0.0, 1.0, 0.0, 1.0};
+  for (int i = 0; i < 10'000; ++i) {
+    const std::size_t idx = rng.weighted_index(weights);
+    EXPECT_TRUE(idx == 1 || idx == 3);
+  }
+}
+
+TEST(RandomStream, WeightedIndexRejectsDegenerateInput) {
+  RandomStream rng(10);
+  EXPECT_THROW(rng.weighted_index(std::array<double, 0>{}), std::invalid_argument);
+  EXPECT_THROW(rng.weighted_index(std::array<double, 2>{0.0, 0.0}), std::invalid_argument);
+  EXPECT_THROW(rng.weighted_index(std::array<double, 2>{-1.0, 2.0}), std::invalid_argument);
+}
+
+TEST(SeedSequence, SameNameSameSeed) {
+  const SeedSequence seeds(99);
+  EXPECT_EQ(seeds.derive("arrivals"), seeds.derive("arrivals"));
+}
+
+TEST(SeedSequence, DifferentNamesDifferentSeeds) {
+  const SeedSequence seeds(99);
+  EXPECT_NE(seeds.derive("arrivals"), seeds.derive("holding"));
+  EXPECT_NE(seeds.derive("a"), seeds.derive("b"));
+}
+
+TEST(SeedSequence, DifferentMastersDifferentSeeds) {
+  EXPECT_NE(SeedSequence(1).derive("x"), SeedSequence(2).derive("x"));
+}
+
+TEST(SeedSequence, StreamsAreReproducible) {
+  const SeedSequence seeds(7);
+  RandomStream a = seeds.stream("s");
+  RandomStream b = seeds.stream("s");
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(a.uniform01(), b.uniform01());
+  }
+}
+
+TEST(SeedSequence, StreamsWithDistinctNamesDecorrelate) {
+  const SeedSequence seeds(7);
+  RandomStream a = seeds.stream("one");
+  RandomStream b = seeds.stream("two");
+  int equal = 0;
+  for (int i = 0; i < 1000; ++i) {
+    if (a.uniform01() == b.uniform01()) {
+      ++equal;
+    }
+  }
+  EXPECT_EQ(equal, 0);
+}
+
+}  // namespace
+}  // namespace anyqos::des

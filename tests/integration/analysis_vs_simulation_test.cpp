@@ -1,0 +1,96 @@
+// Appendix A.3 reproduced as a test: the fixed-point/UAA analysis and the
+// discrete-event simulation must agree on the admission probability of
+// systems <ED,1> and SP ("the values ... are almost identical").
+#include <gtest/gtest.h>
+
+#include "src/analysis/ap_analysis.h"
+#include "src/analysis/retry_extension.h"
+#include "src/sim/experiment.h"
+
+namespace anyqos {
+namespace {
+
+analysis::AnalyticModel to_analytic(const sim::ExperimentModel& model, double lambda) {
+  analysis::AnalyticModel analytic;
+  analytic.topology = &model.topology;
+  analytic.sources = model.sources;
+  analytic.members = model.group_members;
+  analytic.lambda_total = lambda;
+  analytic.mean_holding_s = model.mean_holding_s;
+  analytic.flow_bandwidth_bps = model.flow_bandwidth_bps;
+  analytic.anycast_share = model.anycast_share;
+  return analytic;
+}
+
+sim::SimulationResult simulate(const sim::ExperimentModel& model, double lambda,
+                               core::SelectionAlgorithm algorithm, std::size_t r) {
+  sim::SimulationConfig config = model.base_config(lambda);
+  config.algorithm = algorithm;
+  config.max_tries = r;
+  config.warmup_s = 1'500.0;
+  config.measure_s = 9'000.0;
+  config.seed = 31;
+  sim::Simulation simulation(model.topology, config);
+  return simulation.run();
+}
+
+class AnalysisVsSimulation : public ::testing::TestWithParam<double> {
+ protected:
+  sim::ExperimentModel model_ = sim::paper_model();
+};
+
+TEST_P(AnalysisVsSimulation, Ed1AgreesWithinTolerance) {
+  const double lambda = GetParam();
+  const double analytic =
+      analysis::analyze_ed1(to_analytic(model_, lambda), analysis::FixedPointOptions{})
+          .admission_probability;
+  const sim::SimulationResult simulated =
+      simulate(model_, lambda, core::SelectionAlgorithm::kEvenDistribution, 1);
+  // Paper Table 1 shows agreement to ~0.01; allow 0.02 at our run lengths.
+  EXPECT_NEAR(simulated.admission_probability, analytic, 0.02) << "lambda=" << lambda;
+}
+
+TEST_P(AnalysisVsSimulation, SpAgreesWithinTolerance) {
+  const double lambda = GetParam();
+  const double analytic =
+      analysis::analyze_sp(to_analytic(model_, lambda), analysis::FixedPointOptions{})
+          .admission_probability;
+  const sim::SimulationResult simulated =
+      simulate(model_, lambda, core::SelectionAlgorithm::kShortestPath, 1);
+  // Paper Table 2 agreement tolerance as above.
+  EXPECT_NEAR(simulated.admission_probability, analytic, 0.02) << "lambda=" << lambda;
+}
+
+INSTANTIATE_TEST_SUITE_P(PaperRates, AnalysisVsSimulation,
+                         ::testing::Values(5.0, 20.0, 35.0, 50.0));
+
+TEST(RetryExtensionVsSimulation, Sp2ApproximationTracksSimulation) {
+  // <SP,R>: the ShortestPathSelector walks members in distance order, which
+  // is exactly what analyze_sp_retry models — the agreement should be tight.
+  const sim::ExperimentModel model = sim::paper_model();
+  const double lambda = 35.0;
+  analysis::RetryAnalysisOptions options;
+  const auto analytic = analysis::analyze_sp_retry(to_analytic(model, lambda), 2, options);
+  const sim::SimulationResult simulated =
+      simulate(model, lambda, core::SelectionAlgorithm::kShortestPath, 2);
+  EXPECT_TRUE(analytic.converged);
+  EXPECT_NEAR(simulated.admission_probability, analytic.admission_probability, 0.04);
+  EXPECT_NEAR(simulated.average_attempts, analytic.average_attempts, 0.1);
+}
+
+TEST(RetryExtensionVsSimulation, Ed2ApproximationTracksSimulation) {
+  // Our documented extension beyond the paper: <ED,R> analysis. Validate the
+  // approximation stays within a few percent of simulation at a loaded point.
+  const sim::ExperimentModel model = sim::paper_model();
+  const double lambda = 35.0;
+  analysis::RetryAnalysisOptions options;
+  const auto analytic = analysis::analyze_ed_retry(to_analytic(model, lambda), 2, options);
+  const sim::SimulationResult simulated =
+      simulate(model, lambda, core::SelectionAlgorithm::kEvenDistribution, 2);
+  EXPECT_TRUE(analytic.converged);
+  EXPECT_NEAR(simulated.admission_probability, analytic.admission_probability, 0.04);
+  EXPECT_NEAR(simulated.average_attempts, analytic.average_attempts, 0.1);
+}
+
+}  // namespace
+}  // namespace anyqos

@@ -1,0 +1,103 @@
+// Cross-module validation: the discrete-event simulator reproduces textbook
+// Erlang-B blocking on a single link, tying the des/sim stack to the
+// analysis stack through independent mathematics.
+#include <gtest/gtest.h>
+
+#include "src/analysis/erlang.h"
+#include "src/net/topologies.h"
+#include "src/sim/simulation.h"
+
+namespace anyqos {
+namespace {
+
+// Two routers, one duplex link; the anycast "group" is the far router, so
+// every flow is a unicast M/M/C/C customer of that link.
+struct SingleLink {
+  net::Topology topo;
+  SingleLink() {
+    topo.add_router();
+    topo.add_router();
+    topo.add_duplex_link(0, 1, 100.0e6);
+  }
+};
+
+class ErlangValidation : public ::testing::TestWithParam<double> {};
+
+TEST_P(ErlangValidation, SimulatedBlockingMatchesErlangB) {
+  const double offered_erlangs = GetParam();
+  SingleLink net;
+  sim::SimulationConfig config;
+  // 20% share of 100 Mbit at 64 kbit flows = 312 circuits.
+  config.anycast_share = 0.2;
+  config.traffic.flow_bandwidth_bps = 64'000.0;
+  config.traffic.mean_holding_s = 100.0;
+  config.traffic.arrival_rate = offered_erlangs / config.traffic.mean_holding_s;
+  config.traffic.sources = {0};
+  config.group_members = {1};
+  config.max_tries = 1;
+  config.warmup_s = 1'000.0;
+  config.measure_s = 30'000.0;
+  config.seed = 99;
+  sim::Simulation simulation(net.topo, config);
+  const sim::SimulationResult result = simulation.run();
+
+  const double expected_blocking = analysis::erlang_b(offered_erlangs, 312);
+  const double simulated_blocking = 1.0 - result.admission_probability;
+  // Absolute tolerance: three sigma-ish at these run lengths.
+  EXPECT_NEAR(simulated_blocking, expected_blocking, 0.01)
+      << "offered=" << offered_erlangs;
+}
+
+INSTANTIATE_TEST_SUITE_P(OfferedLoads, ErlangValidation,
+                         ::testing::Values(250.0, 312.0, 400.0, 600.0));
+
+TEST(ErlangValidationLittle, LittlesLawHoldsOnTheSimulatedLink) {
+  // L = lambda_effective * W: average active flows must equal the admitted
+  // throughput times the mean holding time.
+  SingleLink net;
+  sim::SimulationConfig config;
+  config.anycast_share = 0.2;
+  config.traffic.flow_bandwidth_bps = 64'000.0;
+  config.traffic.mean_holding_s = 50.0;
+  config.traffic.arrival_rate = 5.0;
+  config.traffic.sources = {0};
+  config.group_members = {1};
+  config.max_tries = 1;
+  config.warmup_s = 1'000.0;
+  config.measure_s = 20'000.0;
+  config.seed = 7;
+  sim::Simulation simulation(net.topo, config);
+  const sim::SimulationResult result = simulation.run();
+  const double admitted_rate =
+      static_cast<double>(result.admitted) / config.measure_s;
+  const double little_l = admitted_rate * config.traffic.mean_holding_s;
+  EXPECT_NEAR(result.average_active_flows / little_l, 1.0, 0.03);
+}
+
+TEST(ErlangValidationPasta, InsensitivityToHoldingScale) {
+  // Erlang-B depends only on the offered load v = lambda/mu, not on the
+  // holding-time scale. Halving the holding time while doubling the rate
+  // must leave blocking unchanged (within noise).
+  SingleLink net;
+  const auto run = [&](double rate, double holding) {
+    sim::SimulationConfig config;
+    config.anycast_share = 0.2;
+    config.traffic.flow_bandwidth_bps = 64'000.0;
+    config.traffic.mean_holding_s = holding;
+    config.traffic.arrival_rate = rate;
+    config.traffic.sources = {0};
+    config.group_members = {1};
+    config.max_tries = 1;
+    config.warmup_s = 500.0;
+    config.measure_s = 20'000.0;
+    config.seed = 3;
+    sim::Simulation simulation(net.topo, config);
+    return simulation.run().admission_probability;
+  };
+  const double slow = run(4.0, 100.0);   // 400 erlangs
+  const double fast = run(8.0, 50.0);    // 400 erlangs
+  EXPECT_NEAR(slow, fast, 0.01);
+}
+
+}  // namespace
+}  // namespace anyqos

@@ -1,0 +1,82 @@
+// Fault-tolerance extension exercised on the full experiment model
+// (Section 3 assumes no faults and notes the approach extends; we verify the
+// DAC procedure degrades gracefully and recovers).
+#include <gtest/gtest.h>
+
+#include "src/sim/experiment.h"
+#include "src/sim/faults.h"
+
+namespace anyqos::sim {
+namespace {
+
+class FaultTolerance : public ::testing::Test {
+ protected:
+  ExperimentModel model_ = paper_model();
+
+  SimulationConfig config(double lambda) {
+    SimulationConfig c = model_.base_config(lambda);
+    c.algorithm = core::SelectionAlgorithm::kDistanceHistory;
+    c.max_tries = 2;
+    c.warmup_s = 1'000.0;
+    c.measure_s = 5'000.0;
+    c.seed = 9;
+    return c;
+  }
+};
+
+TEST_F(FaultTolerance, SingleLinkOutageOnlyDentsAdmission) {
+  // Fail one backbone link for a quarter of the measurement window. The
+  // anycast group's redundancy plus retrials must keep AP high.
+  SimulationConfig faulty = config(15.0);
+  faulty.faults.push_back(single_fault(8, 12, 2'000.0, 3'250.0));
+  Simulation with_fault(model_.topology, faulty);
+  const SimulationResult result = with_fault.run();
+  EXPECT_GT(result.dropped, 0u);          // flows crossing the link died
+  EXPECT_GT(result.admission_probability, 0.9);  // but the system held up
+}
+
+TEST_F(FaultTolerance, OutageIsWorseThanNoOutage) {
+  const SimulationResult clean = [&] {
+    Simulation sim(model_.topology, config(30.0));
+    return sim.run();
+  }();
+  SimulationConfig faulty = config(30.0);
+  faulty.faults.push_back(single_fault(8, 12, 1'500.0, 6'000.0));
+  faulty.faults.push_back(single_fault(7, 8, 1'500.0, 6'000.0));
+  Simulation sim(model_.topology, faulty);
+  const SimulationResult result = sim.run();
+  EXPECT_LT(result.admission_probability, clean.admission_probability);
+}
+
+TEST_F(FaultTolerance, HistorySelectorRoutesAroundDeadMember) {
+  // Isolate member router 16 by failing all its links: WD/D+H must learn to
+  // stop selecting it, keeping AP near the 4-member level.
+  SimulationConfig faulty = config(10.0);
+  for (const auto [a, b] : {std::pair{12, 16}, std::pair{15, 16}, std::pair{16, 17},
+                            std::pair{16, 18}}) {
+    faulty.faults.push_back(single_fault(static_cast<net::NodeId>(a),
+                                         static_cast<net::NodeId>(b), 500.0, 7'000.0));
+  }
+  Simulation sim(model_.topology, faulty);
+  const SimulationResult result = sim.run();
+  // Member index 4 is router 16.
+  const auto& per_dest = result.per_destination_admissions;
+  ASSERT_EQ(per_dest.size(), 5u);
+  EXPECT_EQ(per_dest[4], 0u);  // unreachable member admitted nothing
+  EXPECT_GT(result.admission_probability, 0.85);
+}
+
+TEST_F(FaultTolerance, RandomOutageScheduleRunsToCompletion) {
+  SimulationConfig faulty = config(20.0);
+  faulty.faults =
+      random_fault_schedule(model_.topology, 6'000.0, 5e-5, 300.0, 42);
+  ASSERT_FALSE(faulty.faults.empty());
+  Simulation sim(model_.topology, faulty);
+  const SimulationResult result = sim.run();
+  EXPECT_GT(result.offered, 0u);
+  EXPECT_GT(result.admission_probability, 0.5);
+  EXPECT_LE(result.admission_probability, 1.0);
+}
+
+}  // namespace
+}  // namespace anyqos::sim

@@ -1,0 +1,190 @@
+#include "src/net/bandwidth.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/util/require.h"
+
+namespace anyqos::net {
+namespace {
+
+Topology line3() {
+  Topology topo;
+  topo.add_router();
+  topo.add_router();
+  topo.add_router();
+  topo.add_duplex_link(0, 1, 100.0e6);
+  topo.add_duplex_link(1, 2, 100.0e6);
+  return topo;
+}
+
+Path path_0_to_2(const Topology& topo) {
+  Path path;
+  path.source = 0;
+  path.destination = 2;
+  path.links = {*topo.find_link(0, 1), *topo.find_link(1, 2)};
+  return path;
+}
+
+TEST(BandwidthLedger, AppliesAnycastShare) {
+  const Topology topo = line3();
+  const BandwidthLedger ledger(topo, 0.2);
+  for (LinkId id = 0; id < topo.link_count(); ++id) {
+    EXPECT_DOUBLE_EQ(ledger.capacity(id), 20.0e6);
+    EXPECT_DOUBLE_EQ(ledger.available(id), 20.0e6);
+    EXPECT_DOUBLE_EQ(ledger.reserved(id), 0.0);
+    EXPECT_DOUBLE_EQ(ledger.utilization(id), 0.0);
+  }
+}
+
+TEST(BandwidthLedger, ShareMustBeInRange) {
+  const Topology topo = line3();
+  EXPECT_THROW(BandwidthLedger(topo, 0.0), std::invalid_argument);
+  EXPECT_THROW(BandwidthLedger(topo, 1.5), std::invalid_argument);
+  EXPECT_NO_THROW(BandwidthLedger(topo, 1.0));
+}
+
+TEST(BandwidthLedger, ReserveConsumesEveryPathLink) {
+  const Topology topo = line3();
+  BandwidthLedger ledger(topo, 0.2);
+  const Path path = path_0_to_2(topo);
+  ASSERT_TRUE(ledger.reserve(path, 64'000.0));
+  EXPECT_DOUBLE_EQ(ledger.available(path.links[0]), 20.0e6 - 64'000.0);
+  EXPECT_DOUBLE_EQ(ledger.available(path.links[1]), 20.0e6 - 64'000.0);
+  // The reverse directions are untouched.
+  EXPECT_DOUBLE_EQ(ledger.available(topo.reverse_link(path.links[0])), 20.0e6);
+}
+
+TEST(BandwidthLedger, ReserveIsAtomicOnFailure) {
+  const Topology topo = line3();
+  BandwidthLedger ledger(topo, 0.2);
+  const Path path = path_0_to_2(topo);
+  // Saturate only the second link.
+  Path second_only;
+  second_only.source = 1;
+  second_only.destination = 2;
+  second_only.links = {path.links[1]};
+  ASSERT_TRUE(ledger.reserve(second_only, 20.0e6));
+  // Now the full path must fail and leave the first link untouched.
+  EXPECT_FALSE(ledger.reserve(path, 64'000.0));
+  EXPECT_DOUBLE_EQ(ledger.available(path.links[0]), 20.0e6);
+}
+
+TEST(BandwidthLedger, CapacityIsExactlyExhaustible) {
+  const Topology topo = line3();
+  BandwidthLedger ledger(topo, 0.2);
+  Path one_link;
+  one_link.source = 0;
+  one_link.destination = 1;
+  one_link.links = {*topo.find_link(0, 1)};
+  // 20 Mbit / 64 kbit = 312.5 -> exactly 312 whole flows fit.
+  for (int i = 0; i < 312; ++i) {
+    ASSERT_TRUE(ledger.reserve(one_link, 64'000.0)) << "flow " << i;
+  }
+  EXPECT_FALSE(ledger.reserve(one_link, 64'000.0));
+  EXPECT_TRUE(ledger.can_reserve(one_link, 32'000.0));  // half flow still fits
+}
+
+TEST(BandwidthLedger, ReleaseRestoresAvailability) {
+  const Topology topo = line3();
+  BandwidthLedger ledger(topo, 0.2);
+  const Path path = path_0_to_2(topo);
+  ASSERT_TRUE(ledger.reserve(path, 64'000.0));
+  ledger.release(path, 64'000.0);
+  EXPECT_DOUBLE_EQ(ledger.available(path.links[0]), 20.0e6);
+  EXPECT_DOUBLE_EQ(ledger.total_reserved(), 0.0);
+}
+
+TEST(BandwidthLedger, OverReleaseThrowsAndChangesNothing) {
+  const Topology topo = line3();
+  BandwidthLedger ledger(topo, 0.2);
+  const Path path = path_0_to_2(topo);
+  EXPECT_THROW(ledger.release(path, 64'000.0), util::InvariantError);
+  EXPECT_DOUBLE_EQ(ledger.available(path.links[0]), 20.0e6);
+}
+
+TEST(BandwidthLedger, ManyReserveReleaseCyclesStayExact) {
+  // Floating-point drift must not leak capacity over millions of operations.
+  const Topology topo = line3();
+  BandwidthLedger ledger(topo, 0.2);
+  const Path path = path_0_to_2(topo);
+  for (int i = 0; i < 100'000; ++i) {
+    ASSERT_TRUE(ledger.reserve(path, 64'000.0));
+    ledger.release(path, 64'000.0);
+  }
+  EXPECT_DOUBLE_EQ(ledger.available(path.links[0]), 20.0e6);
+}
+
+TEST(BandwidthLedger, BottleneckIsPathMinimum) {
+  const Topology topo = line3();
+  BandwidthLedger ledger(topo, 0.2);
+  const Path path = path_0_to_2(topo);
+  Path second_only;
+  second_only.source = 1;
+  second_only.destination = 2;
+  second_only.links = {path.links[1]};
+  ASSERT_TRUE(ledger.reserve(second_only, 5.0e6));
+  EXPECT_DOUBLE_EQ(ledger.bottleneck(path), 15.0e6);
+  const Path empty;
+  EXPECT_TRUE(std::isinf(ledger.bottleneck(empty)));
+}
+
+TEST(BandwidthLedger, EmptyPathReservationIsTrivial) {
+  const Topology topo = line3();
+  BandwidthLedger ledger(topo, 0.2);
+  Path empty;
+  empty.source = 0;
+  empty.destination = 0;
+  EXPECT_TRUE(ledger.reserve(empty, 64'000.0));
+  EXPECT_DOUBLE_EQ(ledger.total_reserved(), 0.0);
+}
+
+TEST(BandwidthLedger, FailAndRestoreLink) {
+  const Topology topo = line3();
+  BandwidthLedger ledger(topo, 0.2);
+  const LinkId link = *topo.find_link(0, 1);
+  ledger.fail_link(link);
+  EXPECT_TRUE(ledger.is_failed(link));
+  EXPECT_DOUBLE_EQ(ledger.available(link), 0.0);
+  EXPECT_DOUBLE_EQ(ledger.utilization(link), 1.0);
+  Path one_link;
+  one_link.source = 0;
+  one_link.destination = 1;
+  one_link.links = {link};
+  EXPECT_FALSE(ledger.reserve(one_link, 64'000.0));
+  ledger.restore_link(link);
+  EXPECT_FALSE(ledger.is_failed(link));
+  EXPECT_DOUBLE_EQ(ledger.available(link), 20.0e6);
+  EXPECT_TRUE(ledger.reserve(one_link, 64'000.0));
+}
+
+TEST(BandwidthLedger, FailWithReservationsRejected) {
+  const Topology topo = line3();
+  BandwidthLedger ledger(topo, 0.2);
+  const Path path = path_0_to_2(topo);
+  ASSERT_TRUE(ledger.reserve(path, 64'000.0));
+  EXPECT_THROW(ledger.fail_link(path.links[0]), std::invalid_argument);
+}
+
+TEST(BandwidthLedger, DoubleFailAndBadRestoreRejected) {
+  const Topology topo = line3();
+  BandwidthLedger ledger(topo, 0.2);
+  const LinkId link = *topo.find_link(0, 1);
+  ledger.fail_link(link);
+  EXPECT_THROW(ledger.fail_link(link), std::invalid_argument);
+  ledger.restore_link(link);
+  EXPECT_THROW(ledger.restore_link(link), std::invalid_argument);
+}
+
+TEST(BandwidthLedger, NonPositiveAmountsRejected) {
+  const Topology topo = line3();
+  BandwidthLedger ledger(topo, 0.2);
+  const Path path = path_0_to_2(topo);
+  EXPECT_THROW((void)ledger.reserve(path, 0.0), std::invalid_argument);
+  EXPECT_THROW(ledger.release(path, -1.0), std::invalid_argument);
+  EXPECT_THROW((void)ledger.can_reserve(path, 0.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace anyqos::net

@@ -1,0 +1,167 @@
+#include "src/net/distance_vector.h"
+
+#include <gtest/gtest.h>
+
+#include "src/net/topologies.h"
+
+namespace anyqos::net {
+namespace {
+
+TEST(DistanceVector, SeedsSelfRoutes) {
+  const Topology topo = topologies::line(3);
+  DistanceVectorProtocol protocol(topo);
+  for (NodeId r = 0; r < 3; ++r) {
+    EXPECT_EQ(protocol.entry(r, r).distance, 0u);
+  }
+  EXPECT_EQ(protocol.entry(0, 2).distance, kUnreachable);
+}
+
+TEST(DistanceVector, ConvergesOnLine) {
+  const Topology topo = topologies::line(5);
+  DistanceVectorProtocol protocol(topo);
+  const std::size_t rounds = protocol.converge();
+  EXPECT_TRUE(protocol.converged());
+  // Information travels one hop per round: distance-4 routes need 4 rounds
+  // plus the final no-change round.
+  EXPECT_EQ(rounds, 5u);
+  EXPECT_EQ(protocol.entry(0, 4).distance, 4u);
+  EXPECT_EQ(protocol.entry(4, 0).distance, 4u);
+}
+
+TEST(DistanceVector, MatchesCentralizedShortestPathsOnMci) {
+  const Topology topo = topologies::mci_backbone();
+  DistanceVectorProtocol protocol(topo);
+  protocol.converge();
+  for (NodeId s = 0; s < topo.router_count(); ++s) {
+    const auto central = hop_distances(topo, s);
+    for (NodeId d = 0; d < topo.router_count(); ++d) {
+      EXPECT_EQ(protocol.entry(s, d).distance, central[d]) << s << "->" << d;
+    }
+  }
+}
+
+TEST(DistanceVector, PathsAreValidAndShortest) {
+  const Topology topo = topologies::mci_backbone();
+  DistanceVectorProtocol protocol(topo);
+  protocol.converge();
+  for (NodeId s = 0; s < topo.router_count(); ++s) {
+    for (NodeId d = 0; d < topo.router_count(); ++d) {
+      const auto path = protocol.path(s, d);
+      ASSERT_TRUE(path.has_value());
+      topo.validate_path(*path);
+      EXPECT_EQ(path->hops(), hop_distances(topo, s)[d]);
+    }
+  }
+}
+
+TEST(DistanceVector, DistanceVectorRoutesHelper) {
+  const Topology topo = topologies::mci_backbone();
+  const std::vector<NodeId> members = {0, 4, 8, 12, 16};
+  const auto routes = distance_vector_routes(topo, members);
+  const RouteTable central(topo, members);
+  ASSERT_EQ(routes.size(), topo.router_count() * members.size());
+  for (NodeId s = 0; s < topo.router_count(); ++s) {
+    for (std::size_t i = 0; i < members.size(); ++i) {
+      // Hop counts must agree with the centrally computed fixed routes (the
+      // concrete links may differ when several shortest paths exist).
+      EXPECT_EQ(routes[s * members.size() + i].hops(), central.distance(s, i));
+    }
+  }
+}
+
+TEST(DistanceVector, ReconvergesAfterLinkFailure) {
+  const Topology topo = topologies::ring(6);
+  DistanceVectorProtocol protocol(topo);
+  protocol.converge();
+  EXPECT_EQ(protocol.entry(0, 3).distance, 3u);
+  // Fail the 0-1 link: reaching 3 must flip to the other direction (0-5-4-3).
+  const LinkId link = *topo.find_link(0, 1);
+  protocol.fail_duplex_link(link);
+  protocol.converge();
+  EXPECT_TRUE(protocol.converged());
+  EXPECT_EQ(protocol.entry(0, 1).distance, 5u);  // long way round
+  EXPECT_EQ(protocol.entry(0, 3).distance, 3u);  // unchanged (other arc)
+  const auto path = protocol.path(0, 1);
+  ASSERT_TRUE(path.has_value());
+  EXPECT_EQ(path->hops(), 5u);
+}
+
+TEST(DistanceVector, RestoreBringsShortRoutesBack) {
+  const Topology topo = topologies::ring(6);
+  DistanceVectorProtocol protocol(topo);
+  protocol.converge();
+  const LinkId link = *topo.find_link(0, 1);
+  protocol.fail_duplex_link(link);
+  protocol.converge();
+  protocol.restore_duplex_link(link);
+  protocol.converge();
+  EXPECT_EQ(protocol.entry(0, 1).distance, 1u);
+}
+
+TEST(DistanceVector, CountToInfinityBoundedByDiameterCap) {
+  // Partition a line: the far side must become unreachable rather than
+  // counting up forever (RIP's metric-16 behaviour).
+  const Topology topo = topologies::line(4);
+  DistanceVectorProtocol protocol(topo, /*max_diameter=*/8);
+  protocol.converge();
+  const LinkId link = *topo.find_link(1, 2);
+  protocol.fail_duplex_link(link);
+  const std::size_t rounds = protocol.converge(200);
+  EXPECT_TRUE(protocol.converged());
+  EXPECT_LE(rounds, 20u);  // bounded count-down, not 200
+  EXPECT_EQ(protocol.entry(0, 3).distance, kUnreachable);
+  EXPECT_FALSE(protocol.path(0, 3).has_value());
+}
+
+TEST(DistanceVector, FailureValidation) {
+  const Topology topo = topologies::line(3);
+  DistanceVectorProtocol protocol(topo);
+  const LinkId link = *topo.find_link(0, 1);
+  protocol.fail_duplex_link(link);
+  EXPECT_THROW(protocol.fail_duplex_link(link), std::invalid_argument);
+  protocol.restore_duplex_link(link);
+  EXPECT_THROW(protocol.restore_duplex_link(link), std::invalid_argument);
+  EXPECT_THROW(protocol.fail_duplex_link(999), std::invalid_argument);
+}
+
+TEST(DistanceVector, QueriesValidated) {
+  const Topology topo = topologies::line(3);
+  const DistanceVectorProtocol protocol(topo);
+  EXPECT_THROW(protocol.entry(5, 0), std::invalid_argument);
+  EXPECT_THROW(protocol.path(0, 9), std::invalid_argument);
+  EXPECT_THROW(DistanceVectorProtocol(topo, 0), std::invalid_argument);
+}
+
+// Property: on every topology family, converged distances equal BFS.
+class DvEquivalence : public ::testing::TestWithParam<int> {};
+
+TEST_P(DvEquivalence, ConvergedTablesMatchBfs) {
+  Topology topo = [&]() -> Topology {
+    switch (GetParam()) {
+      case 0:
+        return topologies::line(7);
+      case 1:
+        return topologies::ring(8);
+      case 2:
+        return topologies::star(9);
+      case 3:
+        return topologies::grid(3, 4);
+      default:
+        return topologies::waxman(20, 0.5, 0.5, 77);
+    }
+  }();
+  DistanceVectorProtocol protocol(topo);
+  protocol.converge();
+  ASSERT_TRUE(protocol.converged());
+  for (NodeId s = 0; s < topo.router_count(); ++s) {
+    const auto central = hop_distances(topo, s);
+    for (NodeId d = 0; d < topo.router_count(); ++d) {
+      EXPECT_EQ(protocol.entry(s, d).distance, central[d]);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Topologies, DvEquivalence, ::testing::Values(0, 1, 2, 3, 4));
+
+}  // namespace
+}  // namespace anyqos::net

@@ -1,0 +1,91 @@
+#include "src/net/graph.h"
+
+#include <gtest/gtest.h>
+
+namespace anyqos::net {
+namespace {
+
+TEST(Graph, StartsWithRequestedNodes) {
+  Graph g(3);
+  EXPECT_EQ(g.node_count(), 3u);
+  EXPECT_EQ(g.arc_count(), 0u);
+}
+
+TEST(Graph, AddNodeReturnsSequentialIds) {
+  Graph g;
+  EXPECT_EQ(g.add_node(), 0u);
+  EXPECT_EQ(g.add_node(), 1u);
+  EXPECT_EQ(g.add_node(), 2u);
+}
+
+TEST(Graph, AddArcTracksEndpointsAndAdjacency) {
+  Graph g(3);
+  const LinkId a = g.add_arc(0, 1);
+  const LinkId b = g.add_arc(1, 2);
+  EXPECT_EQ(g.arc(a).from, 0u);
+  EXPECT_EQ(g.arc(a).to, 1u);
+  ASSERT_EQ(g.out_arcs(0).size(), 1u);
+  EXPECT_EQ(g.out_arcs(0)[0], a);
+  ASSERT_EQ(g.in_arcs(2).size(), 1u);
+  EXPECT_EQ(g.in_arcs(2)[0], b);
+  EXPECT_TRUE(g.out_arcs(2).empty());
+}
+
+TEST(Graph, SelfLoopRejected) {
+  Graph g(2);
+  EXPECT_THROW(g.add_arc(1, 1), std::invalid_argument);
+}
+
+TEST(Graph, OutOfRangeNodesRejected) {
+  Graph g(2);
+  EXPECT_THROW(g.add_arc(0, 5), std::invalid_argument);
+  EXPECT_THROW(g.out_arcs(9), std::invalid_argument);
+  EXPECT_THROW(g.arc(0), std::invalid_argument);
+}
+
+TEST(Graph, FindArcLocatesFirstMatch) {
+  Graph g(3);
+  const LinkId a = g.add_arc(0, 1);
+  g.add_arc(0, 2);
+  EXPECT_EQ(g.find_arc(0, 1), a);
+  EXPECT_EQ(g.find_arc(1, 0), kInvalidLink);
+}
+
+TEST(Graph, ParallelArcsAllowed) {
+  Graph g(2);
+  const LinkId first = g.add_arc(0, 1);
+  const LinkId second = g.add_arc(0, 1);
+  EXPECT_NE(first, second);
+  EXPECT_EQ(g.out_arcs(0).size(), 2u);
+  EXPECT_EQ(g.find_arc(0, 1), first);  // first match wins
+}
+
+TEST(Graph, StronglyConnectedTrivialCases) {
+  EXPECT_TRUE(Graph(0).strongly_connected());
+  EXPECT_TRUE(Graph(1).strongly_connected());
+}
+
+TEST(Graph, DirectedCycleIsStronglyConnected) {
+  Graph g(3);
+  g.add_arc(0, 1);
+  g.add_arc(1, 2);
+  g.add_arc(2, 0);
+  EXPECT_TRUE(g.strongly_connected());
+}
+
+TEST(Graph, OneWayChainIsNotStronglyConnected) {
+  Graph g(3);
+  g.add_arc(0, 1);
+  g.add_arc(1, 2);
+  EXPECT_FALSE(g.strongly_connected());
+}
+
+TEST(Graph, IsolatedNodeBreaksConnectivity) {
+  Graph g(3);
+  g.add_arc(0, 1);
+  g.add_arc(1, 0);
+  EXPECT_FALSE(g.strongly_connected());
+}
+
+}  // namespace
+}  // namespace anyqos::net

@@ -1,0 +1,160 @@
+#include "src/net/link_state.h"
+
+#include <gtest/gtest.h>
+
+#include "src/net/topologies.h"
+
+namespace anyqos::net {
+namespace {
+
+TEST(LinkState, StartsWithLocalKnowledgeOnly) {
+  const Topology topo = topologies::line(4);
+  LinkStateProtocol protocol(topo);
+  // Router 0 knows its own link, not the far one.
+  EXPECT_EQ(protocol.record(0, *topo.find_link(0, 1)).sequence, 1u);
+  EXPECT_EQ(protocol.record(0, *topo.find_link(2, 3)).sequence, 0u);
+  EXPECT_FALSE(protocol.database_complete(0));
+}
+
+TEST(LinkState, FloodingCompletesInDiameterRounds) {
+  const Topology topo = topologies::line(5);  // diameter 4
+  LinkStateProtocol protocol(topo);
+  const std::size_t rounds = protocol.converge();
+  EXPECT_TRUE(protocol.converged());
+  // An LSA at one end needs diameter-1 forwarding rounds to reach the other
+  // end, plus the final no-change round.
+  EXPECT_LE(rounds, 5u);
+  for (NodeId r = 0; r < topo.router_count(); ++r) {
+    EXPECT_TRUE(protocol.database_complete(r)) << "router " << r;
+  }
+}
+
+TEST(LinkState, SpfMatchesCentralShortestPathExactly) {
+  const Topology topo = topologies::mci_backbone();
+  LinkStateProtocol protocol(topo);
+  protocol.converge();
+  for (NodeId s = 0; s < topo.router_count(); ++s) {
+    ASSERT_TRUE(protocol.database_complete(s));
+    for (NodeId d = 0; d < topo.router_count(); ++d) {
+      const auto spf = protocol.spf_path(s, d);
+      const auto central = shortest_path(topo, s, d);
+      ASSERT_TRUE(spf.has_value());
+      ASSERT_TRUE(central.has_value());
+      // Same deterministic traversal => identical link sequences.
+      EXPECT_EQ(spf->links, central->links) << s << "->" << d;
+    }
+  }
+}
+
+TEST(LinkState, PartialDatabaseGivesPartialReachability) {
+  const Topology topo = topologies::line(4);
+  LinkStateProtocol protocol(topo);
+  // No flooding yet: router 0 only sees its own link.
+  EXPECT_TRUE(protocol.spf_path(0, 1).has_value());
+  EXPECT_FALSE(protocol.spf_path(0, 3).has_value());
+  protocol.step();  // one round: learns 1's links
+  EXPECT_TRUE(protocol.spf_path(0, 2).has_value());
+  EXPECT_FALSE(protocol.spf_path(0, 3).has_value());
+}
+
+TEST(LinkState, FailureRefloodsAndReroutes) {
+  const Topology topo = topologies::ring(6);
+  LinkStateProtocol protocol(topo);
+  protocol.converge();
+  const LinkId link = *topo.find_link(0, 1);
+  protocol.fail_duplex_link(link);
+  protocol.converge();
+  EXPECT_TRUE(protocol.converged());
+  const auto rerouted = protocol.spf_path(0, 1);
+  ASSERT_TRUE(rerouted.has_value());
+  EXPECT_EQ(rerouted->hops(), 5u);  // around the ring
+  // Every router agrees the link is down.
+  for (NodeId r = 0; r < topo.router_count(); ++r) {
+    EXPECT_FALSE(protocol.record(r, link).up) << "router " << r;
+  }
+}
+
+TEST(LinkState, RestoreRefloodsUpLsa) {
+  const Topology topo = topologies::ring(6);
+  LinkStateProtocol protocol(topo);
+  protocol.converge();
+  const LinkId link = *topo.find_link(0, 1);
+  protocol.fail_duplex_link(link);
+  protocol.converge();
+  protocol.restore_duplex_link(link);
+  protocol.converge();
+  const auto path = protocol.spf_path(0, 1);
+  ASSERT_TRUE(path.has_value());
+  EXPECT_EQ(path->hops(), 1u);
+  EXPECT_TRUE(protocol.record(3, link).up);
+  EXPECT_EQ(protocol.record(3, link).sequence, 3u);  // up, down, up again
+}
+
+TEST(LinkState, PartitionIsolatesLsas) {
+  // Failing the middle link partitions a line: new LSAs cannot cross, so the
+  // sides keep stale views of each other's links (a real link-state
+  // property) while their own sides stay correct.
+  const Topology topo = topologies::line(4);
+  LinkStateProtocol protocol(topo);
+  protocol.converge();
+  const LinkId middle = *topo.find_link(1, 2);
+  protocol.fail_duplex_link(middle);
+  protocol.converge();
+  EXPECT_FALSE(protocol.spf_path(0, 3).has_value());
+  // Now fail 2-3 too: routers 0 and 1 never learn (flooding can't cross the
+  // dead middle link), router 2's view updates.
+  const LinkId far = *topo.find_link(2, 3);
+  protocol.fail_duplex_link(far);
+  protocol.converge();
+  EXPECT_TRUE(protocol.record(0, far).up);    // stale view on the cut-off side
+  EXPECT_FALSE(protocol.record(2, far).up);   // fresh view locally
+}
+
+TEST(LinkState, FailureValidation) {
+  const Topology topo = topologies::line(3);
+  LinkStateProtocol protocol(topo);
+  const LinkId link = *topo.find_link(0, 1);
+  protocol.fail_duplex_link(link);
+  EXPECT_THROW(protocol.fail_duplex_link(link), std::invalid_argument);
+  protocol.restore_duplex_link(link);
+  EXPECT_THROW(protocol.restore_duplex_link(link), std::invalid_argument);
+  EXPECT_THROW(protocol.record(0, 999), std::invalid_argument);
+  EXPECT_THROW(protocol.spf_path(9, 0), std::invalid_argument);
+}
+
+// Property: flooding always completes on connected topologies, and SPF then
+// agrees with central BFS distances.
+class LsEquivalence : public ::testing::TestWithParam<int> {};
+
+TEST_P(LsEquivalence, FloodedSpfMatchesBfs) {
+  Topology topo = [&]() -> Topology {
+    switch (GetParam()) {
+      case 0:
+        return topologies::line(6);
+      case 1:
+        return topologies::ring(7);
+      case 2:
+        return topologies::star(8);
+      case 3:
+        return topologies::grid(4, 3);
+      default:
+        return topologies::waxman(18, 0.6, 0.5, 3);
+    }
+  }();
+  LinkStateProtocol protocol(topo);
+  protocol.converge();
+  for (NodeId s = 0; s < topo.router_count(); ++s) {
+    EXPECT_TRUE(protocol.database_complete(s));
+    const auto central = hop_distances(topo, s);
+    for (NodeId d = 0; d < topo.router_count(); ++d) {
+      const auto path = protocol.spf_path(s, d);
+      ASSERT_TRUE(path.has_value());
+      EXPECT_EQ(path->hops(), central[d]);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Topologies, LsEquivalence, ::testing::Values(0, 1, 2, 3, 4));
+
+}  // namespace
+}  // namespace anyqos::net

@@ -1,0 +1,70 @@
+#include "src/net/multipath.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/net/topologies.h"
+
+namespace anyqos::net {
+namespace {
+
+TEST(MultiPathRouteTable, FirstRankEqualsShortestPathLength) {
+  const Topology topo = topologies::mci_backbone();
+  const MultiPathRouteTable multi(topo, {0, 4, 8, 12, 16}, 3);
+  const RouteTable single(topo, {0, 4, 8, 12, 16});
+  for (NodeId s = 0; s < topo.router_count(); ++s) {
+    for (std::size_t i = 0; i < 5; ++i) {
+      EXPECT_EQ(multi.path(s, i, 0).hops(), single.distance(s, i));
+    }
+  }
+}
+
+TEST(MultiPathRouteTable, RanksAreNonDecreasingAndDistinct) {
+  const Topology topo = topologies::mci_backbone();
+  const MultiPathRouteTable multi(topo, {16}, 4);
+  for (NodeId s = 0; s < topo.router_count(); ++s) {
+    std::set<std::vector<LinkId>> seen;
+    for (std::size_t rank = 0; rank < multi.path_count(s, 0); ++rank) {
+      const Path& p = multi.path(s, 0, rank);
+      topo.validate_path(p);
+      EXPECT_TRUE(seen.insert(p.links).second);
+      if (rank > 0) {
+        EXPECT_GE(p.hops(), multi.path(s, 0, rank - 1).hops());
+      }
+    }
+  }
+}
+
+TEST(MultiPathRouteTable, PathCountCappedByTopology) {
+  // A line has exactly one loopless path per pair regardless of k.
+  const Topology topo = topologies::line(5);
+  const MultiPathRouteTable multi(topo, {4}, 5);
+  for (NodeId s = 0; s < 4; ++s) {
+    EXPECT_EQ(multi.path_count(s, 0), 1u);
+  }
+  EXPECT_EQ(multi.alternatives(0), 1u);
+}
+
+TEST(MultiPathRouteTable, AlternativesSumAcrossMembers) {
+  const Topology topo = topologies::ring(6);
+  // A ring has exactly two loopless paths between distinct nodes.
+  const MultiPathRouteTable multi(topo, {0, 3}, 4);
+  EXPECT_EQ(multi.alternatives(1), 4u);  // 2 members x 2 ring paths
+}
+
+TEST(MultiPathRouteTable, Validation) {
+  const Topology topo = topologies::line(3);
+  EXPECT_THROW(MultiPathRouteTable(topo, {}, 2), std::invalid_argument);
+  EXPECT_THROW(MultiPathRouteTable(topo, {1}, 0), std::invalid_argument);
+  const MultiPathRouteTable multi(topo, {2}, 2);
+  EXPECT_THROW(multi.path(0, 0, 5), std::invalid_argument);
+  EXPECT_THROW(multi.path(9, 0, 0), std::invalid_argument);
+  Topology split;
+  split.add_router();
+  split.add_router();
+  EXPECT_THROW(MultiPathRouteTable(split, {1}, 2), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace anyqos::net

@@ -1,0 +1,126 @@
+#include "src/net/topologies.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "src/net/routing.h"
+
+namespace anyqos::net::topologies {
+namespace {
+
+TEST(MciBackbone, HasPaperScale) {
+  const Topology topo = mci_backbone();
+  EXPECT_EQ(topo.router_count(), 19u);       // "There are 19 nodes"
+  EXPECT_EQ(topo.duplex_link_count(), 33u);  // MCI-era backbone link count
+  EXPECT_TRUE(topo.connected());
+}
+
+TEST(MciBackbone, DefaultCapacityIs100Mbps) {
+  const Topology topo = mci_backbone();
+  for (LinkId id = 0; id < topo.link_count(); ++id) {
+    EXPECT_DOUBLE_EQ(topo.capacity(id), 100.0e6);
+  }
+}
+
+TEST(MciBackbone, CustomCapacityApplies) {
+  const Topology topo = mci_backbone(10.0e6);
+  EXPECT_DOUBLE_EQ(topo.capacity(0), 10.0e6);
+}
+
+TEST(MciBackbone, RouteLengthsAreHeterogeneous) {
+  // The evaluation depends on sources having members at different distances;
+  // check the group members {0,4,8,12,16} span several hop counts from a
+  // corner source.
+  const Topology topo = mci_backbone();
+  const RouteTable table(topo, {0, 4, 8, 12, 16});
+  std::size_t min_d = 100;
+  std::size_t max_d = 0;
+  for (std::size_t i = 0; i < 5; ++i) {
+    min_d = std::min(min_d, table.distance(1, i));
+    max_d = std::max(max_d, table.distance(1, i));
+  }
+  EXPECT_LE(min_d, 2u);
+  EXPECT_GE(max_d, 3u);
+}
+
+TEST(MciBackbone, NamesAreCities) {
+  const Topology topo = mci_backbone();
+  EXPECT_EQ(topo.router_name(0), "SEA");
+  EXPECT_EQ(topo.router_name(18), "RDU");
+}
+
+TEST(Line, StructureAndBounds) {
+  const Topology topo = line(5);
+  EXPECT_EQ(topo.router_count(), 5u);
+  EXPECT_EQ(topo.duplex_link_count(), 4u);
+  EXPECT_TRUE(topo.connected());
+  const auto dist = hop_distances(topo, 0);
+  EXPECT_EQ(dist[4], 4u);
+  EXPECT_THROW(line(1), std::invalid_argument);
+}
+
+TEST(Ring, StructureAndBounds) {
+  const Topology topo = ring(6);
+  EXPECT_EQ(topo.router_count(), 6u);
+  EXPECT_EQ(topo.duplex_link_count(), 6u);
+  EXPECT_TRUE(topo.connected());
+  const auto dist = hop_distances(topo, 0);
+  EXPECT_EQ(dist[3], 3u);  // halfway around
+  EXPECT_EQ(dist[5], 1u);  // wraps
+  EXPECT_THROW(ring(2), std::invalid_argument);
+}
+
+TEST(Star, StructureAndBounds) {
+  const Topology topo = star(7);
+  EXPECT_EQ(topo.router_count(), 7u);
+  EXPECT_EQ(topo.duplex_link_count(), 6u);
+  const auto dist = hop_distances(topo, 1);
+  EXPECT_EQ(dist[0], 1u);
+  EXPECT_EQ(dist[6], 2u);  // leaf to leaf via hub
+  EXPECT_THROW(star(1), std::invalid_argument);
+}
+
+TEST(Grid, StructureAndDistances) {
+  const Topology topo = grid(3, 4);
+  EXPECT_EQ(topo.router_count(), 12u);
+  // 3*3 horizontal + 2*4 vertical = 17 duplex links.
+  EXPECT_EQ(topo.duplex_link_count(), 17u);
+  EXPECT_TRUE(topo.connected());
+  const auto dist = hop_distances(topo, 0);
+  EXPECT_EQ(dist[11], 5u);  // Manhattan distance corner to corner
+  EXPECT_THROW(grid(1, 1), std::invalid_argument);
+}
+
+TEST(Waxman, ConnectedAndDeterministic) {
+  const Topology a = waxman(30, 0.6, 0.4, 17);
+  const Topology b = waxman(30, 0.6, 0.4, 17);
+  EXPECT_TRUE(a.connected());
+  EXPECT_EQ(a.router_count(), 30u);
+  EXPECT_EQ(a.duplex_link_count(), b.duplex_link_count());
+  // The spanning tree guarantees at least n-1 links.
+  EXPECT_GE(a.duplex_link_count(), 29u);
+}
+
+TEST(Waxman, DifferentSeedsDiffer) {
+  const Topology a = waxman(30, 0.6, 0.4, 1);
+  const Topology b = waxman(30, 0.6, 0.4, 2);
+  // Overwhelmingly likely to differ in link count.
+  EXPECT_TRUE(a.duplex_link_count() != b.duplex_link_count() ||
+              a.find_link(0, 5).has_value() != b.find_link(0, 5).has_value());
+}
+
+TEST(Waxman, HigherAlphaDensifies) {
+  const Topology sparse = waxman(40, 0.1, 0.3, 5);
+  const Topology dense = waxman(40, 0.9, 0.9, 5);
+  EXPECT_GT(dense.duplex_link_count(), sparse.duplex_link_count());
+}
+
+TEST(Waxman, ParameterValidation) {
+  EXPECT_THROW(waxman(1, 0.5, 0.5, 1), std::invalid_argument);
+  EXPECT_THROW(waxman(10, 0.0, 0.5, 1), std::invalid_argument);
+  EXPECT_THROW(waxman(10, 0.5, 1.5, 1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace anyqos::net::topologies

@@ -1,0 +1,108 @@
+#include "src/net/topology_io.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "src/net/bandwidth.h"
+#include "src/net/routing.h"
+#include "src/net/topologies.h"
+
+namespace anyqos::net {
+namespace {
+
+constexpr const char* kTriangle = R"(# a comment
+node 0 SEA
+node 1 SFO
+node 2
+
+link 0 1 100000000
+link 1 2 50000000
+link 2 0 25000000
+)";
+
+TEST(TopologyIo, ParsesNodesLinksAndComments) {
+  const Topology topo = parse_topology_text(kTriangle);
+  EXPECT_EQ(topo.router_count(), 3u);
+  EXPECT_EQ(topo.duplex_link_count(), 3u);
+  EXPECT_EQ(topo.router_name(0), "SEA");
+  EXPECT_EQ(topo.router_name(2), "r2");  // unnamed
+  EXPECT_DOUBLE_EQ(topo.capacity(*topo.find_link(1, 2)), 50.0e6);
+}
+
+TEST(TopologyIo, RoundTripsThroughText) {
+  const Topology original = topologies::mci_backbone();
+  const std::string text = topology_to_text(original);
+  const Topology parsed = parse_topology_text(text);
+  EXPECT_EQ(parsed.router_count(), original.router_count());
+  EXPECT_EQ(parsed.duplex_link_count(), original.duplex_link_count());
+  for (NodeId id = 0; id < original.router_count(); ++id) {
+    EXPECT_EQ(parsed.router_name(id), original.router_name(id));
+  }
+  for (LinkId id = 0; id < original.link_count(); ++id) {
+    const Arc& arc = original.link(id);
+    const auto found = parsed.find_link(arc.from, arc.to);
+    ASSERT_TRUE(found.has_value());
+    EXPECT_DOUBLE_EQ(parsed.capacity(*found), original.capacity(id));
+  }
+}
+
+TEST(TopologyIo, RejectsOutOfOrderNodeIds) {
+  EXPECT_THROW(parse_topology_text("node 1\n"), std::invalid_argument);
+  EXPECT_THROW(parse_topology_text("node 0\nnode 0\n"), std::invalid_argument);
+}
+
+TEST(TopologyIo, RejectsMalformedRecords) {
+  EXPECT_THROW(parse_topology_text("node\n"), std::invalid_argument);
+  EXPECT_THROW(parse_topology_text("node 0\nlink 0\n"), std::invalid_argument);
+  EXPECT_THROW(parse_topology_text("node 0\nnode 1\nlink 0 1\n"), std::invalid_argument);
+  EXPECT_THROW(parse_topology_text("frobnicate 1 2\n"), std::invalid_argument);
+}
+
+TEST(TopologyIo, RejectsSemanticErrors) {
+  EXPECT_THROW(parse_topology_text("node 0\nnode 1\nlink 0 5 1000\n"),
+               std::invalid_argument);  // undeclared node
+  EXPECT_THROW(parse_topology_text("node 0\nnode 1\nlink 0 1 0\n"),
+               std::invalid_argument);  // zero capacity
+  EXPECT_THROW(parse_topology_text("node 0\nnode 1\nlink 0 1 10 junk\n"),
+               std::invalid_argument);  // trailing garbage
+  EXPECT_THROW(parse_topology_text("node 0\nnode 1\nlink 0 1 10\nlink 1 0 10\n"),
+               std::invalid_argument);  // duplicate duplex link
+  EXPECT_THROW(parse_topology_text("# only comments\n"), std::invalid_argument);
+}
+
+TEST(TopologyIo, ErrorMessagesCarryLineNumbers) {
+  try {
+    parse_topology_text("node 0\nnode 1\nlink 0 9 100\n");
+    FAIL() << "expected parse error";
+  } catch (const std::invalid_argument& error) {
+    EXPECT_NE(std::string(error.what()).find("line 3"), std::string::npos);
+  }
+}
+
+TEST(TopologyIo, SaveAndLoadFile) {
+  const Topology original = topologies::grid(2, 3);
+  const std::string path = ::testing::TempDir() + "/anyqos_topo_test.txt";
+  save_topology(original, path);
+  const Topology loaded = load_topology(path);
+  EXPECT_EQ(loaded.router_count(), original.router_count());
+  EXPECT_EQ(loaded.duplex_link_count(), original.duplex_link_count());
+  std::remove(path.c_str());
+}
+
+TEST(TopologyIo, LoadMissingFileThrows) {
+  EXPECT_THROW(load_topology("/nonexistent/path/topo.txt"), std::invalid_argument);
+}
+
+TEST(TopologyIo, ParsedTopologyIsFullyFunctional) {
+  // A loaded topology must drive the whole stack: routes + ledger.
+  const Topology topo = parse_topology_text(kTriangle);
+  const RouteTable routes(topo, {2});
+  EXPECT_EQ(routes.distance(0, 0), 1u);
+  BandwidthLedger ledger(topo, 0.5);
+  EXPECT_TRUE(ledger.reserve(routes.route(0, 0), 64'000.0));
+}
+
+}  // namespace
+}  // namespace anyqos::net

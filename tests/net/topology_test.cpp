@@ -1,0 +1,132 @@
+#include "src/net/topology.h"
+
+#include <gtest/gtest.h>
+
+namespace anyqos::net {
+namespace {
+
+Topology triangle() {
+  Topology topo;
+  topo.add_router("A");
+  topo.add_router("B");
+  topo.add_router();
+  topo.add_duplex_link(0, 1, 100.0e6);
+  topo.add_duplex_link(1, 2, 50.0e6);
+  topo.add_duplex_link(2, 0, 25.0e6);
+  return topo;
+}
+
+TEST(Topology, CountsRoutersAndLinks) {
+  const Topology topo = triangle();
+  EXPECT_EQ(topo.router_count(), 3u);
+  EXPECT_EQ(topo.link_count(), 6u);          // directed
+  EXPECT_EQ(topo.duplex_link_count(), 3u);
+}
+
+TEST(Topology, DuplexLinkCreatesBothDirections) {
+  Topology topo;
+  topo.add_router();
+  topo.add_router();
+  const auto [fwd, bwd] = topo.add_duplex_link(0, 1, 1.0e6);
+  EXPECT_EQ(topo.link(fwd).from, 0u);
+  EXPECT_EQ(topo.link(fwd).to, 1u);
+  EXPECT_EQ(topo.link(bwd).from, 1u);
+  EXPECT_EQ(topo.link(bwd).to, 0u);
+  EXPECT_EQ(topo.reverse_link(fwd), bwd);
+  EXPECT_EQ(topo.reverse_link(bwd), fwd);
+}
+
+TEST(Topology, CapacityPerDirection) {
+  const Topology topo = triangle();
+  const LinkId ab = *topo.find_link(0, 1);
+  const LinkId ba = *topo.find_link(1, 0);
+  EXPECT_DOUBLE_EQ(topo.capacity(ab), 100.0e6);
+  EXPECT_DOUBLE_EQ(topo.capacity(ba), 100.0e6);
+}
+
+TEST(Topology, RouterNamesFallBackToIds) {
+  const Topology topo = triangle();
+  EXPECT_EQ(topo.router_name(0), "A");
+  EXPECT_EQ(topo.router_name(2), "r2");
+  EXPECT_THROW(topo.router_name(9), std::invalid_argument);
+}
+
+TEST(Topology, FindLinkIsDirectional) {
+  const Topology topo = triangle();
+  EXPECT_TRUE(topo.find_link(0, 1).has_value());
+  EXPECT_TRUE(topo.find_link(1, 0).has_value());
+  EXPECT_NE(*topo.find_link(0, 1), *topo.find_link(1, 0));
+  Topology two;
+  two.add_router();
+  two.add_router();
+  EXPECT_FALSE(two.find_link(0, 1).has_value());
+}
+
+TEST(Topology, DuplicateDuplexLinkRejected) {
+  Topology topo;
+  topo.add_router();
+  topo.add_router();
+  topo.add_duplex_link(0, 1, 1.0e6);
+  EXPECT_THROW(topo.add_duplex_link(0, 1, 1.0e6), std::invalid_argument);
+  EXPECT_THROW(topo.add_duplex_link(1, 0, 1.0e6), std::invalid_argument);
+}
+
+TEST(Topology, NonPositiveCapacityRejected) {
+  Topology topo;
+  topo.add_router();
+  topo.add_router();
+  EXPECT_THROW(topo.add_duplex_link(0, 1, 0.0), std::invalid_argument);
+  EXPECT_THROW(topo.add_duplex_link(0, 1, -5.0), std::invalid_argument);
+}
+
+TEST(Topology, ValidatePathAcceptsContiguousRoute) {
+  const Topology topo = triangle();
+  Path path;
+  path.source = 0;
+  path.destination = 2;
+  path.links = {*topo.find_link(0, 1), *topo.find_link(1, 2)};
+  EXPECT_NO_THROW(topo.validate_path(path));
+  EXPECT_EQ(path.hops(), 2u);
+}
+
+TEST(Topology, ValidatePathRejectsGapsAndWrongEndpoints) {
+  const Topology topo = triangle();
+  Path gap;
+  gap.source = 0;
+  gap.destination = 2;
+  gap.links = {*topo.find_link(0, 1), *topo.find_link(2, 0)};  // not contiguous
+  EXPECT_THROW(topo.validate_path(gap), std::invalid_argument);
+
+  Path wrong_end;
+  wrong_end.source = 0;
+  wrong_end.destination = 2;
+  wrong_end.links = {*topo.find_link(0, 1)};
+  EXPECT_THROW(topo.validate_path(wrong_end), std::invalid_argument);
+}
+
+TEST(Topology, EmptyPathRequiresSameEndpoints) {
+  const Topology topo = triangle();
+  Path loop;
+  loop.source = 1;
+  loop.destination = 1;
+  EXPECT_NO_THROW(topo.validate_path(loop));
+  EXPECT_TRUE(loop.empty());
+  Path broken;
+  broken.source = 0;
+  broken.destination = 1;
+  EXPECT_THROW(topo.validate_path(broken), std::invalid_argument);
+}
+
+TEST(Topology, TriangleIsConnected) { EXPECT_TRUE(triangle().connected()); }
+
+TEST(Topology, DisconnectedDetected) {
+  Topology topo;
+  topo.add_router();
+  topo.add_router();
+  topo.add_router();
+  topo.add_duplex_link(0, 1, 1.0e6);
+  EXPECT_FALSE(topo.connected());
+}
+
+}  // namespace
+}  // namespace anyqos::net

@@ -1,0 +1,224 @@
+#include "src/sched/wfq.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+
+#include "src/core/qos.h"
+#include "src/des/random.h"
+
+namespace anyqos::sched {
+namespace {
+
+TEST(RateScheduler, Validation) {
+  EXPECT_THROW(RateScheduler(SchedulerKind::kWfq, 0.0), std::invalid_argument);
+  RateScheduler sched(SchedulerKind::kWfq, 1'000.0);
+  EXPECT_THROW(sched.add_flow(0.0), std::invalid_argument);
+  const FlowHandle f = sched.add_flow(600.0);
+  EXPECT_THROW(sched.add_flow(600.0), std::invalid_argument);  // over capacity
+  EXPECT_THROW(sched.enqueue(9, 100.0, 0.0), std::invalid_argument);
+  sched.enqueue(f, 100.0, 5.0);
+  EXPECT_THROW(sched.enqueue(f, 100.0, 4.0), std::invalid_argument);  // time goes back
+  (void)sched.drain();
+  EXPECT_THROW(sched.drain(), std::invalid_argument);  // single-shot
+}
+
+TEST(RateScheduler, SinglePacketTransmitsImmediately) {
+  for (const SchedulerKind kind : {SchedulerKind::kWfq, SchedulerKind::kVirtualClock}) {
+    RateScheduler sched(kind, 1'000.0);
+    const FlowHandle f = sched.add_flow(500.0);
+    sched.enqueue(f, 100.0, 2.0);
+    const auto departures = sched.drain();
+    ASSERT_EQ(departures.size(), 1u);
+    EXPECT_DOUBLE_EQ(departures[0].start_time, 2.0);
+    EXPECT_DOUBLE_EQ(departures[0].finish_time, 2.0 + 100.0 / 1'000.0);
+  }
+}
+
+TEST(RateScheduler, WorkConservingAcrossIdleGaps) {
+  RateScheduler sched(SchedulerKind::kWfq, 1'000.0);
+  const FlowHandle f = sched.add_flow(1'000.0);
+  sched.enqueue(f, 500.0, 0.0);   // busy 0..0.5
+  sched.enqueue(f, 500.0, 10.0);  // idle gap, then busy 10..10.5
+  const auto departures = sched.drain();
+  ASSERT_EQ(departures.size(), 2u);
+  EXPECT_DOUBLE_EQ(departures[0].finish_time, 0.5);
+  EXPECT_DOUBLE_EQ(departures[1].start_time, 10.0);
+}
+
+TEST(RateScheduler, FifoWithinAFlow) {
+  RateScheduler sched(SchedulerKind::kWfq, 1'000.0);
+  const FlowHandle f = sched.add_flow(1'000.0);
+  for (int i = 0; i < 10; ++i) {
+    sched.enqueue(f, 100.0, 0.0);
+  }
+  const auto departures = sched.drain();
+  ASSERT_EQ(departures.size(), 10u);
+  for (std::size_t i = 1; i < departures.size(); ++i) {
+    EXPECT_LT(departures[i - 1].packet.sequence, departures[i].packet.sequence);
+  }
+}
+
+TEST(RateScheduler, GreedyFlowsShareInProportionToRates) {
+  // Two permanently backlogged flows with rates 3:1 must receive service in
+  // ~3:1 proportion under both schedulers.
+  for (const SchedulerKind kind : {SchedulerKind::kWfq, SchedulerKind::kVirtualClock}) {
+    RateScheduler sched(kind, 4'000.0);
+    const FlowHandle heavy = sched.add_flow(3'000.0);
+    const FlowHandle light = sched.add_flow(1'000.0);
+    // Both dump their whole burst at t = 0.
+    for (int i = 0; i < 400; ++i) {
+      sched.enqueue(heavy, 1'000.0, 0.0);
+      sched.enqueue(light, 1'000.0, 0.0);
+    }
+    const auto departures = sched.drain();
+    // Look at the first half of the schedule (both still backlogged).
+    std::map<FlowHandle, int> served;
+    for (std::size_t i = 0; i < departures.size() / 2; ++i) {
+      ++served[departures[i].packet.flow];
+    }
+    const double ratio = static_cast<double>(served[heavy]) /
+                         static_cast<double>(std::max(served[light], 1));
+    EXPECT_NEAR(ratio, 3.0, 0.35) << "kind=" << static_cast<int>(kind);
+  }
+}
+
+TEST(RateScheduler, ConformingFlowMeetsWfqDelayBoundUnderAttack) {
+  // The Section-6 guarantee: a flow sending within its reserved rate keeps
+  // its delay bound no matter how the competing flows misbehave.
+  RateScheduler sched(SchedulerKind::kWfq, 10'000.0);
+  const double reserved = 2'000.0;
+  const double packet_bits = 400.0;
+  const FlowHandle good = sched.add_flow(reserved);
+  const FlowHandle attacker = sched.add_flow(8'000.0);
+
+  // Attacker floods; the conforming flow sends exactly at its rate.
+  des::RandomStream rng(4);
+  double attack_t = 0.0;
+  double good_t = 0.05;
+  std::vector<std::pair<double, FlowHandle>> arrivals;
+  while (attack_t < 20.0) {
+    arrivals.emplace_back(attack_t, attacker);
+    attack_t += 1'000.0 / 8'000.0 * 0.25;  // 4x its reserved rate
+  }
+  while (good_t < 20.0) {
+    arrivals.emplace_back(good_t, good);
+    good_t += packet_bits / reserved;  // exactly conforming
+  }
+  std::sort(arrivals.begin(), arrivals.end());
+  for (const auto& [t, flow] : arrivals) {
+    sched.enqueue(flow, flow == good ? packet_bits : 1'000.0, t);
+  }
+
+  const auto departures = sched.drain();
+  double worst = 0.0;
+  for (const Departure& d : departures) {
+    if (d.packet.flow == good) {
+      worst = std::max(worst, d.delay());
+    }
+  }
+  // Single-hop PGPS bound: L/r + Lmax/C.
+  core::SchedulerModel model;
+  model.max_packet_bits = packet_bits;
+  model.per_hop_latency_s = 0.0;
+  const double bound =
+      core::wfq_delay_bound(reserved, 1, model) + 1'000.0 / 10'000.0;
+  EXPECT_LE(worst, bound + 1e-9);
+  EXPECT_GT(worst, 0.0);
+}
+
+TEST(RateScheduler, VirtualClockAlsoProtectsConformingFlow) {
+  RateScheduler sched(SchedulerKind::kVirtualClock, 10'000.0);
+  const double reserved = 2'000.0;
+  const double packet_bits = 400.0;
+  const FlowHandle good = sched.add_flow(reserved);
+  const FlowHandle attacker = sched.add_flow(8'000.0);
+  std::vector<std::pair<double, FlowHandle>> arrivals;
+  for (double t = 0.0; t < 20.0; t += 0.03125) {
+    arrivals.emplace_back(t, attacker);
+  }
+  for (double t = 0.05; t < 20.0; t += packet_bits / reserved) {
+    arrivals.emplace_back(t, good);
+  }
+  std::sort(arrivals.begin(), arrivals.end());
+  for (const auto& [t, flow] : arrivals) {
+    sched.enqueue(flow, flow == good ? packet_bits : 1'000.0, t);
+  }
+  const auto departures = sched.drain();
+  double worst = 0.0;
+  for (const Departure& d : departures) {
+    if (d.packet.flow == good) {
+      worst = std::max(worst, d.delay());
+    }
+  }
+  const double bound = packet_bits / reserved + 1'000.0 / 10'000.0;
+  EXPECT_LE(worst, bound + 1e-9);
+}
+
+TEST(RateScheduler, DrainOutputIsTimeOrderedAndComplete) {
+  RateScheduler sched(SchedulerKind::kWfq, 5'000.0);
+  const FlowHandle a = sched.add_flow(2'000.0);
+  const FlowHandle b = sched.add_flow(3'000.0);
+  des::RandomStream rng(9);
+  double t = 0.0;
+  const int n = 500;
+  for (int i = 0; i < n; ++i) {
+    t += rng.exponential(0.01);
+    sched.enqueue(rng.bernoulli(0.5) ? a : b, rng.uniform(100.0, 1'500.0), t);
+  }
+  EXPECT_EQ(sched.backlog(), static_cast<std::size_t>(n));
+  const auto departures = sched.drain();
+  ASSERT_EQ(departures.size(), static_cast<std::size_t>(n));
+  for (std::size_t i = 1; i < departures.size(); ++i) {
+    EXPECT_GE(departures[i].start_time, departures[i - 1].finish_time - 1e-12);
+  }
+  for (const Departure& d : departures) {
+    EXPECT_GE(d.start_time, d.packet.arrival_time);  // causality
+  }
+}
+
+// Property sweep: the delay bound holds across reservation levels.
+class WfqBoundSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(WfqBoundSweep, ConformingDelayWithinBound) {
+  const double reserved_fraction = GetParam();
+  const double link = 10'000.0;
+  const double reserved = reserved_fraction * link;
+  RateScheduler sched(SchedulerKind::kWfq, link);
+  const double packet_bits = 500.0;
+  const FlowHandle good = sched.add_flow(reserved);
+  FlowHandle cross = 0;
+  const double cross_rate = link - reserved;
+  const bool has_cross = cross_rate > 0.0;
+  if (has_cross) {
+    cross = sched.add_flow(cross_rate);
+  }
+  std::vector<std::pair<double, FlowHandle>> arrivals;
+  for (double t = 0.01; t < 30.0; t += packet_bits / reserved) {
+    arrivals.emplace_back(t, good);
+  }
+  if (has_cross) {
+    for (double t = 0.0; t < 30.0; t += 1'000.0 / cross_rate * 0.5) {  // 2x greedy
+      arrivals.emplace_back(t, cross);
+    }
+  }
+  std::sort(arrivals.begin(), arrivals.end());
+  for (const auto& [t, flow] : arrivals) {
+    sched.enqueue(flow, flow == good ? packet_bits : 1'000.0, t);
+  }
+  double worst = 0.0;
+  for (const Departure& d : sched.drain()) {
+    if (d.packet.flow == good) {
+      worst = std::max(worst, d.delay());
+    }
+  }
+  const double bound = packet_bits / reserved + 1'000.0 / link;
+  EXPECT_LE(worst, bound + 1e-9) << "fraction=" << reserved_fraction;
+}
+
+INSTANTIATE_TEST_SUITE_P(ReservedFractions, WfqBoundSweep,
+                         ::testing::Values(0.1, 0.2, 0.5, 0.8, 1.0));
+
+}  // namespace
+}  // namespace anyqos::sched

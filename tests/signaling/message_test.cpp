@@ -1,0 +1,62 @@
+#include "src/signaling/message.h"
+
+#include <gtest/gtest.h>
+
+namespace anyqos::signaling {
+namespace {
+
+TEST(MessageCounter, StartsAtZero) {
+  const MessageCounter counter;
+  EXPECT_EQ(counter.total(), 0u);
+  EXPECT_EQ(counter.setup_total(), 0u);
+  EXPECT_EQ(counter.by_kind(MessageKind::kPath), 0u);
+}
+
+TEST(MessageCounter, CountsPerKind) {
+  MessageCounter counter;
+  counter.count(MessageKind::kPath, 3);
+  counter.count(MessageKind::kResv, 3);
+  counter.count(MessageKind::kPath, 2);
+  EXPECT_EQ(counter.by_kind(MessageKind::kPath), 5u);
+  EXPECT_EQ(counter.by_kind(MessageKind::kResv), 3u);
+  EXPECT_EQ(counter.total(), 8u);
+}
+
+TEST(MessageCounter, SetupTotalExcludesTeardown) {
+  MessageCounter counter;
+  counter.count(MessageKind::kPath, 4);
+  counter.count(MessageKind::kTear, 4);
+  counter.count(MessageKind::kProbe, 2);
+  EXPECT_EQ(counter.total(), 10u);
+  EXPECT_EQ(counter.setup_total(), 6u);
+}
+
+TEST(MessageCounter, ResetClears) {
+  MessageCounter counter;
+  counter.count(MessageKind::kResv, 9);
+  counter.reset();
+  EXPECT_EQ(counter.total(), 0u);
+}
+
+TEST(MessageCounter, MergeAddsTallies) {
+  MessageCounter a;
+  MessageCounter b;
+  a.count(MessageKind::kPath, 1);
+  b.count(MessageKind::kPath, 2);
+  b.count(MessageKind::kProbeReply, 5);
+  a.merge(b);
+  EXPECT_EQ(a.by_kind(MessageKind::kPath), 3u);
+  EXPECT_EQ(a.by_kind(MessageKind::kProbeReply), 5u);
+}
+
+TEST(MessageKindNames, AllDistinct) {
+  EXPECT_EQ(to_string(MessageKind::kPath), "PATH");
+  EXPECT_EQ(to_string(MessageKind::kResv), "RESV");
+  EXPECT_EQ(to_string(MessageKind::kPathErr), "PATH_ERR");
+  EXPECT_EQ(to_string(MessageKind::kTear), "TEAR");
+  EXPECT_EQ(to_string(MessageKind::kProbe), "PROBE");
+  EXPECT_EQ(to_string(MessageKind::kProbeReply), "PROBE_REPLY");
+}
+
+}  // namespace
+}  // namespace anyqos::signaling

@@ -1,0 +1,57 @@
+#include "src/signaling/probe.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace anyqos::signaling {
+namespace {
+
+TEST(ProbeService, ReturnsBottleneckAndCharges) {
+  net::Topology topo;
+  for (int i = 0; i < 3; ++i) {
+    topo.add_router();
+  }
+  topo.add_duplex_link(0, 1, 100.0e6);
+  topo.add_duplex_link(1, 2, 100.0e6);
+  net::BandwidthLedger ledger(topo, 0.2);
+  MessageCounter counter;
+  ProbeService probe(ledger, counter);
+
+  net::Path route;
+  route.source = 0;
+  route.destination = 2;
+  route.links = {*topo.find_link(0, 1), *topo.find_link(1, 2)};
+
+  // Consume some bandwidth on the second link to create a bottleneck.
+  net::Path second;
+  second.source = 1;
+  second.destination = 2;
+  second.links = {route.links[1]};
+  ASSERT_TRUE(ledger.reserve(second, 5.0e6));
+
+  EXPECT_DOUBLE_EQ(probe.route_bandwidth(route), 15.0e6);
+  EXPECT_EQ(counter.by_kind(MessageKind::kProbe), 2u);
+  EXPECT_EQ(counter.by_kind(MessageKind::kProbeReply), 2u);
+  EXPECT_EQ(counter.total(), 4u);
+
+  // Each probe charges again — the WD/D+B overhead the paper warns about.
+  probe.route_bandwidth(route);
+  EXPECT_EQ(counter.total(), 8u);
+}
+
+TEST(ProbeService, EmptyRouteCostsNothing) {
+  net::Topology topo;
+  topo.add_router();
+  net::BandwidthLedger ledger(topo, 0.2);
+  MessageCounter counter;
+  ProbeService probe(ledger, counter);
+  net::Path empty;
+  empty.source = 0;
+  empty.destination = 0;
+  EXPECT_TRUE(std::isinf(probe.route_bandwidth(empty)));
+  EXPECT_EQ(counter.total(), 0u);
+}
+
+}  // namespace
+}  // namespace anyqos::signaling

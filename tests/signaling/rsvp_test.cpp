@@ -1,0 +1,129 @@
+#include "src/signaling/rsvp.h"
+
+#include <gtest/gtest.h>
+
+namespace anyqos::signaling {
+namespace {
+
+struct Fixture {
+  net::Topology topo;
+  net::Path path;  // 0 -> 1 -> 2 -> 3
+
+  Fixture() {
+    for (int i = 0; i < 4; ++i) {
+      topo.add_router();
+    }
+    topo.add_duplex_link(0, 1, 100.0e6);
+    topo.add_duplex_link(1, 2, 100.0e6);
+    topo.add_duplex_link(2, 3, 100.0e6);
+    path.source = 0;
+    path.destination = 3;
+    path.links = {*topo.find_link(0, 1), *topo.find_link(1, 2), *topo.find_link(2, 3)};
+  }
+};
+
+TEST(ReservationProtocol, SuccessfulReservationChargesPathAndResv) {
+  Fixture f;
+  net::BandwidthLedger ledger(f.topo, 0.2);
+  MessageCounter counter;
+  ReservationProtocol rsvp(ledger, counter);
+  const ReservationResult result = rsvp.reserve(f.path, 64'000.0);
+  EXPECT_TRUE(result.admitted);
+  EXPECT_FALSE(result.blocking_link.has_value());
+  EXPECT_EQ(result.messages, 6u);  // 3 PATH + 3 RESV
+  EXPECT_EQ(counter.by_kind(MessageKind::kPath), 3u);
+  EXPECT_EQ(counter.by_kind(MessageKind::kResv), 3u);
+  EXPECT_EQ(counter.by_kind(MessageKind::kPathErr), 0u);
+  EXPECT_DOUBLE_EQ(ledger.available(f.path.links[0]), 20.0e6 - 64'000.0);
+}
+
+TEST(ReservationProtocol, BlockedAtFirstLink) {
+  Fixture f;
+  net::BandwidthLedger ledger(f.topo, 0.2);
+  MessageCounter counter;
+  ReservationProtocol rsvp(ledger, counter);
+  // Saturate the first link.
+  net::Path first;
+  first.source = 0;
+  first.destination = 1;
+  first.links = {f.path.links[0]};
+  ASSERT_TRUE(ledger.reserve(first, 20.0e6));
+  const ReservationResult result = rsvp.reserve(f.path, 64'000.0);
+  EXPECT_FALSE(result.admitted);
+  ASSERT_TRUE(result.blocking_link.has_value());
+  EXPECT_EQ(*result.blocking_link, f.path.links[0]);
+  // PATH dies at hop 1, PATH_ERR returns over 1 link.
+  EXPECT_EQ(result.messages, 2u);
+  EXPECT_EQ(counter.by_kind(MessageKind::kPath), 1u);
+  EXPECT_EQ(counter.by_kind(MessageKind::kPathErr), 1u);
+  // Downstream links untouched.
+  EXPECT_DOUBLE_EQ(ledger.available(f.path.links[1]), 20.0e6);
+}
+
+TEST(ReservationProtocol, BlockedMidPathUnwindsExactly) {
+  Fixture f;
+  net::BandwidthLedger ledger(f.topo, 0.2);
+  MessageCounter counter;
+  ReservationProtocol rsvp(ledger, counter);
+  net::Path middle;
+  middle.source = 1;
+  middle.destination = 2;
+  middle.links = {f.path.links[1]};
+  ASSERT_TRUE(ledger.reserve(middle, 20.0e6));
+  const ReservationResult result = rsvp.reserve(f.path, 64'000.0);
+  EXPECT_FALSE(result.admitted);
+  EXPECT_EQ(*result.blocking_link, f.path.links[1]);
+  EXPECT_EQ(result.messages, 4u);  // 2 PATH out + 2 PATH_ERR back
+  // Nothing stays reserved anywhere on the path.
+  EXPECT_DOUBLE_EQ(ledger.available(f.path.links[0]), 20.0e6);
+  EXPECT_DOUBLE_EQ(ledger.available(f.path.links[2]), 20.0e6);
+}
+
+TEST(ReservationProtocol, TeardownReleasesAndCounts) {
+  Fixture f;
+  net::BandwidthLedger ledger(f.topo, 0.2);
+  MessageCounter counter;
+  ReservationProtocol rsvp(ledger, counter);
+  ASSERT_TRUE(rsvp.reserve(f.path, 64'000.0).admitted);
+  rsvp.teardown(f.path, 64'000.0);
+  EXPECT_EQ(counter.by_kind(MessageKind::kTear), 3u);
+  EXPECT_DOUBLE_EQ(ledger.total_reserved(), 0.0);
+}
+
+TEST(ReservationProtocol, FillsLinkToExactCapacity) {
+  Fixture f;
+  net::BandwidthLedger ledger(f.topo, 0.2);
+  MessageCounter counter;
+  ReservationProtocol rsvp(ledger, counter);
+  int admitted = 0;
+  for (int i = 0; i < 400; ++i) {
+    if (rsvp.reserve(f.path, 64'000.0).admitted) {
+      ++admitted;
+    }
+  }
+  EXPECT_EQ(admitted, 312);  // floor(20 Mbit / 64 kbit)
+}
+
+TEST(ReservationProtocol, EmptyRouteAdmitsWithZeroMessages) {
+  Fixture f;
+  net::BandwidthLedger ledger(f.topo, 0.2);
+  MessageCounter counter;
+  ReservationProtocol rsvp(ledger, counter);
+  net::Path empty;
+  empty.source = 2;
+  empty.destination = 2;
+  const ReservationResult result = rsvp.reserve(empty, 64'000.0);
+  EXPECT_TRUE(result.admitted);
+  EXPECT_EQ(result.messages, 0u);
+}
+
+TEST(ReservationProtocol, NonPositiveBandwidthRejected) {
+  Fixture f;
+  net::BandwidthLedger ledger(f.topo, 0.2);
+  MessageCounter counter;
+  ReservationProtocol rsvp(ledger, counter);
+  EXPECT_THROW(rsvp.reserve(f.path, 0.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace anyqos::signaling

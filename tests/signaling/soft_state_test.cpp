@@ -1,0 +1,152 @@
+#include "src/signaling/soft_state.h"
+
+#include <gtest/gtest.h>
+
+#include "src/net/topologies.h"
+#include "src/signaling/rsvp.h"
+
+namespace anyqos::signaling {
+namespace {
+
+struct Fixture {
+  net::Topology topo = net::topologies::line(4);
+  net::BandwidthLedger ledger{topo, 0.2};
+  MessageCounter counter;
+  ReservationProtocol rsvp{ledger, counter};
+  des::Simulator simulator;
+  des::RandomStream rng{77};
+
+  net::Path route() {
+    net::Path p;
+    p.source = 0;
+    p.destination = 3;
+    p.links = {*topo.find_link(0, 1), *topo.find_link(1, 2), *topo.find_link(2, 3)};
+    return p;
+  }
+
+  SessionId install(SoftStateManager& manager, SoftStateManager::ExpiryCallback cb = {}) {
+    const net::Path r = route();
+    EXPECT_TRUE(rsvp.reserve(r, 64'000.0).admitted);
+    return manager.install(r, 64'000.0, std::move(cb));
+  }
+};
+
+SoftStateOptions lossless() {
+  SoftStateOptions options;
+  options.refresh_interval_s = 30.0;
+  options.lifetime_refreshes = 3;
+  options.refresh_loss_probability = 0.0;
+  return options;
+}
+
+TEST(SoftState, RefreshesChargeMessagesPeriodically) {
+  Fixture f;
+  SoftStateManager manager(f.simulator, f.ledger, f.counter, f.rng, lossless());
+  (void)f.install(manager);
+  const auto path_before = f.counter.by_kind(MessageKind::kPath);
+  f.simulator.run_until(301.0);  // 10 refresh periods
+  // Each refresh re-walks the 3-hop route with PATH and RESV.
+  EXPECT_EQ(f.counter.by_kind(MessageKind::kPath) - path_before, 30u);
+  EXPECT_EQ(manager.session_count(), 1u);
+  EXPECT_EQ(manager.expired_count(), 0u);
+}
+
+TEST(SoftState, RemoveReleasesAndStopsRefreshing) {
+  Fixture f;
+  SoftStateManager manager(f.simulator, f.ledger, f.counter, f.rng, lossless());
+  const SessionId id = f.install(manager);
+  f.simulator.run_until(100.0);
+  manager.remove(id);
+  EXPECT_FALSE(manager.alive(id));
+  EXPECT_DOUBLE_EQ(f.ledger.total_reserved(), 0.0);
+  const auto messages_after_remove = f.counter.total();
+  f.simulator.run_until(1'000.0);
+  EXPECT_EQ(f.counter.total(), messages_after_remove);  // no more refreshes
+  EXPECT_THROW(manager.remove(id), std::invalid_argument);
+}
+
+TEST(SoftState, LostRefreshesExpireTheSession) {
+  Fixture f;
+  SoftStateOptions options = lossless();
+  options.refresh_loss_probability = 0.999999;  // effectively always lost
+  SoftStateManager manager(f.simulator, f.ledger, f.counter, f.rng, options);
+  bool expired = false;
+  const SessionId id = f.install(manager, [&](SessionId) { expired = true; });
+  // 3 consecutive losses at t = 30, 60, 90 expire the session.
+  f.simulator.run_until(91.0);
+  EXPECT_TRUE(expired);
+  EXPECT_FALSE(manager.alive(id));
+  EXPECT_EQ(manager.expired_count(), 1u);
+  EXPECT_DOUBLE_EQ(f.ledger.total_reserved(), 0.0);
+  // Expiry is a timeout, not a teardown — no TEAR messages.
+  EXPECT_EQ(f.counter.by_kind(MessageKind::kTear), 0u);
+}
+
+TEST(SoftState, OccasionalLossIsAbsorbed) {
+  // With K=3 and moderate loss, sporadic misses never accumulate to expiry.
+  Fixture f;
+  SoftStateOptions options = lossless();
+  options.refresh_loss_probability = 0.2;
+  SoftStateManager manager(f.simulator, f.ledger, f.counter, f.rng, options);
+  (void)f.install(manager);
+  f.simulator.run_until(30.0 * 200.0);  // 200 refresh opportunities
+  // P(3 consecutive losses somewhere in 200 trials) ≈ 1 - (1-0.008)^198 ≈ 0.8
+  // ... so this COULD expire; assert only the bookkeeping stays consistent.
+  if (manager.session_count() == 1) {
+    EXPECT_EQ(manager.expired_count(), 0u);
+    EXPECT_GT(f.ledger.total_reserved(), 0.0);
+  } else {
+    EXPECT_EQ(manager.expired_count(), 1u);
+    EXPECT_DOUBLE_EQ(f.ledger.total_reserved(), 0.0);
+  }
+}
+
+TEST(SoftState, SuccessfulRefreshResetsMissCounter) {
+  // Deterministic alternating loss: with K = 3, loss-success alternation
+  // never expires. Drive loss pattern via a crafted probability: use 0.5 and
+  // a fixed seed — instead verify over many periods the session usually
+  // survives far longer than the 3-consecutive bound would suggest if
+  // misses accumulated without reset.
+  Fixture f;
+  SoftStateOptions options = lossless();
+  options.refresh_loss_probability = 0.4;
+  options.lifetime_refreshes = 5;
+  SoftStateManager manager(f.simulator, f.ledger, f.counter, f.rng, options);
+  (void)f.install(manager);
+  // Without reset, 5 total misses would occur within ~13 periods whp. With
+  // reset, P(5 consecutive) = 0.4^5 ≈ 1% per window; 30 periods survive whp.
+  f.simulator.run_until(30.0 * 30.0);
+  EXPECT_EQ(manager.session_count(), 1u);
+}
+
+TEST(SoftState, MultipleSessionsIndependent) {
+  Fixture f;
+  SoftStateManager manager(f.simulator, f.ledger, f.counter, f.rng, lossless());
+  const SessionId a = f.install(manager);
+  const SessionId b = f.install(manager);
+  EXPECT_EQ(manager.session_count(), 2u);
+  f.simulator.run_until(50.0);
+  manager.remove(a);
+  EXPECT_FALSE(manager.alive(a));
+  EXPECT_TRUE(manager.alive(b));
+  EXPECT_DOUBLE_EQ(f.ledger.total_reserved(), 3.0 * 64'000.0);  // b holds 3 links
+}
+
+TEST(SoftState, OptionsValidated) {
+  Fixture f;
+  SoftStateOptions bad = lossless();
+  bad.refresh_interval_s = 0.0;
+  EXPECT_THROW(SoftStateManager(f.simulator, f.ledger, f.counter, f.rng, bad),
+               std::invalid_argument);
+  bad = lossless();
+  bad.lifetime_refreshes = 0;
+  EXPECT_THROW(SoftStateManager(f.simulator, f.ledger, f.counter, f.rng, bad),
+               std::invalid_argument);
+  bad = lossless();
+  bad.refresh_loss_probability = 1.0;
+  EXPECT_THROW(SoftStateManager(f.simulator, f.ledger, f.counter, f.rng, bad),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace anyqos::signaling

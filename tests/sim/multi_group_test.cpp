@@ -1,0 +1,138 @@
+#include "src/sim/multi_group.h"
+
+#include <gtest/gtest.h>
+
+#include "src/net/topologies.h"
+
+namespace anyqos::sim {
+namespace {
+
+MultiGroupConfig base_config(double lambda) {
+  MultiGroupConfig config;
+  config.total_arrival_rate = lambda;
+  config.mean_holding_s = 60.0;
+  config.sources = {1, 3, 5, 7, 9};
+  config.anycast_share = 0.2;
+  config.warmup_s = 200.0;
+  config.measure_s = 1'000.0;
+  config.seed = 17;
+  return config;
+}
+
+GroupSpec group(std::string address, std::vector<net::NodeId> members, double share) {
+  GroupSpec spec;
+  spec.address = std::move(address);
+  spec.members = std::move(members);
+  spec.rate_share = share;
+  return spec;
+}
+
+TEST(MultiGroup, SingleGroupBehavesLikeBasicSimulation) {
+  const net::Topology topo = net::topologies::mci_backbone();
+  MultiGroupConfig config = base_config(10.0);
+  config.groups.push_back(group("svc", {0, 4, 8, 12, 16}, 1.0));
+  MultiGroupSimulation sim(topo, config);
+  const MultiGroupResult result = sim.run();
+  ASSERT_EQ(result.groups.size(), 1u);
+  EXPECT_GT(result.groups[0].offered, 1'000u);
+  EXPECT_GT(result.aggregate_admission_probability, 0.99);  // light load
+}
+
+TEST(MultiGroup, SharesSplitTraffic) {
+  const net::Topology topo = net::topologies::mci_backbone();
+  MultiGroupConfig config = base_config(20.0);
+  config.groups.push_back(group("big", {0, 4, 8}, 3.0));
+  config.groups.push_back(group("small", {12, 16}, 1.0));
+  MultiGroupSimulation sim(topo, config);
+  const MultiGroupResult result = sim.run();
+  ASSERT_EQ(result.groups.size(), 2u);
+  const double ratio = static_cast<double>(result.groups[0].offered) /
+                       static_cast<double>(result.groups[1].offered);
+  EXPECT_NEAR(ratio, 3.0, 0.3);
+}
+
+TEST(MultiGroup, GroupsContendForSharedLinks) {
+  // A group alone admits more than the same group sharing the network with a
+  // second heavy group.
+  const net::Topology topo = net::topologies::mci_backbone();
+  MultiGroupConfig alone = base_config(40.0);
+  alone.groups.push_back(group("svc", {0, 4, 8, 12, 16}, 1.0));
+  MultiGroupSimulation sim_alone(topo, alone);
+  const double ap_alone = sim_alone.run().groups[0].admission_probability;
+
+  MultiGroupConfig shared = base_config(80.0);  // same svc rate + equal competitor
+  shared.groups.push_back(group("svc", {0, 4, 8, 12, 16}, 1.0));
+  shared.groups.push_back(group("rival", {2, 10, 18}, 1.0));
+  MultiGroupSimulation sim_shared(topo, shared);
+  const MultiGroupResult result = sim_shared.run();
+  const double ap_shared = result.groups[0].admission_probability;
+  EXPECT_LT(ap_shared, ap_alone - 0.02);
+}
+
+TEST(MultiGroup, PerGroupAlgorithmsApply) {
+  const net::Topology topo = net::topologies::mci_backbone();
+  MultiGroupConfig config = base_config(60.0);
+  GroupSpec ed = group("ed", {0, 4, 8, 12, 16}, 1.0);
+  ed.algorithm = core::SelectionAlgorithm::kEvenDistribution;
+  GroupSpec wdb = group("wdb", {0, 4, 8, 12, 16}, 1.0);
+  wdb.algorithm = core::SelectionAlgorithm::kDistanceBandwidth;
+  config.groups = {ed, wdb};
+  MultiGroupSimulation sim(topo, config);
+  const MultiGroupResult result = sim.run();
+  // Identical members/demand: the informed selector needs fewer tries.
+  EXPECT_LT(result.groups[1].average_attempts, result.groups[0].average_attempts + 1e-9);
+}
+
+TEST(MultiGroup, HeterogeneousBandwidths) {
+  const net::Topology topo = net::topologies::mci_backbone();
+  MultiGroupConfig config = base_config(30.0);
+  GroupSpec thin = group("thin", {0, 8, 16}, 1.0);
+  thin.flow_bandwidth_bps = 64'000.0;
+  GroupSpec fat = group("fat", {4, 12}, 1.0);
+  fat.flow_bandwidth_bps = 1'000'000.0;  // 1 Mbit flows block much earlier
+  config.groups = {thin, fat};
+  MultiGroupSimulation sim(topo, config);
+  const MultiGroupResult result = sim.run();
+  EXPECT_LT(result.groups[1].admission_probability,
+            result.groups[0].admission_probability);
+  EXPECT_GT(result.mean_link_utilization, 0.0);
+}
+
+TEST(MultiGroup, AggregateIsOfferWeighted) {
+  const net::Topology topo = net::topologies::mci_backbone();
+  MultiGroupConfig config = base_config(30.0);
+  config.groups.push_back(group("a", {0, 4, 8, 12, 16}, 1.0));
+  config.groups.push_back(group("b", {2, 10, 18}, 1.0));
+  MultiGroupSimulation sim(topo, config);
+  const MultiGroupResult result = sim.run();
+  const double expected =
+      (static_cast<double>(result.groups[0].admitted) +
+       static_cast<double>(result.groups[1].admitted)) /
+      (static_cast<double>(result.groups[0].offered) +
+       static_cast<double>(result.groups[1].offered));
+  EXPECT_NEAR(result.aggregate_admission_probability, expected, 1e-12);
+}
+
+TEST(MultiGroup, Validation) {
+  const net::Topology topo = net::topologies::mci_backbone();
+  MultiGroupConfig config = base_config(10.0);
+  EXPECT_THROW(MultiGroupSimulation(topo, config), std::invalid_argument);  // no groups
+  config.groups.push_back(group("svc", {0}, 0.0));  // zero share
+  EXPECT_THROW(MultiGroupSimulation(topo, config), std::invalid_argument);
+  config.groups[0].rate_share = 1.0;
+  config.total_arrival_rate = 0.0;
+  EXPECT_THROW(MultiGroupSimulation(topo, config), std::invalid_argument);
+}
+
+TEST(MultiGroup, RunsOnce) {
+  const net::Topology topo = net::topologies::ring(5);
+  MultiGroupConfig config = base_config(2.0);
+  config.sources = {1, 2};
+  config.groups.push_back(group("svc", {0}, 1.0));
+  MultiGroupSimulation sim(topo, config);
+  (void)sim.run();
+  EXPECT_THROW(sim.run(), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace anyqos::sim

@@ -1,0 +1,66 @@
+#include "src/sim/replicate.h"
+
+#include <gtest/gtest.h>
+
+#include "src/net/topologies.h"
+
+namespace anyqos::sim {
+namespace {
+
+SimulationConfig quick_config(double lambda) {
+  SimulationConfig config;
+  config.traffic.arrival_rate = lambda;
+  config.traffic.mean_holding_s = 30.0;
+  config.traffic.flow_bandwidth_bps = 64'000.0;
+  config.traffic.sources = {1, 2, 5};
+  config.group_members = {0, 3};
+  config.warmup_s = 100.0;
+  config.measure_s = 400.0;
+  config.seed = 10;
+  return config;
+}
+
+TEST(Replicate, SingleReplicationIsDegenerate) {
+  const net::Topology topo = net::topologies::ring(6);
+  const auto result = replicate(topo, quick_config(50.0), 1);
+  EXPECT_EQ(result.replications, 1u);
+  EXPECT_DOUBLE_EQ(result.admission_probability.ci.half_width, 0.0);
+  EXPECT_DOUBLE_EQ(result.admission_probability.min,
+                   result.admission_probability.max);
+}
+
+TEST(Replicate, CiCoversEveryReplicationMeanRange) {
+  const net::Topology topo = net::topologies::ring(6);
+  const auto result = replicate(topo, quick_config(100.0), 5);
+  EXPECT_EQ(result.replications, 5u);
+  EXPECT_LT(result.admission_probability.min, result.admission_probability.max);
+  EXPECT_GE(result.admission_probability.mean, result.admission_probability.min);
+  EXPECT_LE(result.admission_probability.mean, result.admission_probability.max);
+  EXPECT_GT(result.admission_probability.ci.half_width, 0.0);
+  // The seed-to-seed spread at this run length stays small.
+  EXPECT_LT(result.admission_probability.max - result.admission_probability.min, 0.1);
+}
+
+TEST(Replicate, SeedsAdvancePerReplication) {
+  // Replication must not reuse the seed: min != max at heavy load whp.
+  const net::Topology topo = net::topologies::ring(6);
+  const auto result = replicate(topo, quick_config(150.0), 3);
+  EXPECT_NE(result.admission_probability.min, result.admission_probability.max);
+}
+
+TEST(Replicate, MetricsAreMutuallyConsistent) {
+  const net::Topology topo = net::topologies::ring(6);
+  const auto result = replicate(topo, quick_config(120.0), 3);
+  EXPECT_GE(result.average_attempts.mean, 1.0);
+  EXPECT_LE(result.average_attempts.mean, 2.0);  // R = 2 default
+  EXPECT_GT(result.average_messages.mean, 0.0);
+}
+
+TEST(Replicate, Validation) {
+  const net::Topology topo = net::topologies::ring(6);
+  EXPECT_THROW(replicate(topo, quick_config(10.0), 0), std::invalid_argument);
+  EXPECT_THROW(replicate(topo, quick_config(10.0), 2, 1.5), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace anyqos::sim

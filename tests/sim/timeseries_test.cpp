@@ -1,0 +1,70 @@
+#include "src/sim/timeseries.h"
+
+#include <gtest/gtest.h>
+
+namespace anyqos::sim {
+namespace {
+
+TEST(TimeSeriesProbe, SamplesOnSchedule) {
+  des::Simulator sim;
+  double gauge_value = 0.0;
+  TimeSeriesProbe probe(sim, 10.0, 5.0);
+  probe.add_gauge("load", [&] { return gauge_value; });
+  probe.arm();
+  sim.schedule_at(12.0, [&] { gauge_value = 3.0; });
+  sim.schedule_at(22.0, [&] { gauge_value = 7.0; });
+  sim.run_until(30.0);
+
+  const TimeSeries& series = probe.series("load");
+  // Samples at t = 10, 15, 20, 25, 30.
+  ASSERT_EQ(series.size(), 5u);
+  EXPECT_DOUBLE_EQ(series.times[0], 10.0);
+  EXPECT_DOUBLE_EQ(series.values[0], 0.0);
+  EXPECT_DOUBLE_EQ(series.values[1], 3.0);   // t=15, after the 12.0 change
+  EXPECT_DOUBLE_EQ(series.values[4], 7.0);   // t=30
+}
+
+TEST(TimeSeriesProbe, MultipleGauges) {
+  des::Simulator sim;
+  TimeSeriesProbe probe(sim, 0.0, 1.0);
+  probe.add_gauge("time", [&] { return sim.now(); });
+  probe.add_gauge("const", [] { return 42.0; });
+  probe.arm();
+  sim.run_until(3.0);
+  EXPECT_EQ(probe.series().size(), 2u);
+  const TimeSeries& t = probe.series("time");
+  ASSERT_EQ(t.size(), 4u);  // 0,1,2,3
+  EXPECT_DOUBLE_EQ(t.values[2], 2.0);
+  EXPECT_DOUBLE_EQ(probe.series("const").values[3], 42.0);
+}
+
+TEST(TimeSeriesProbe, DisarmStopsSampling) {
+  des::Simulator sim;
+  TimeSeriesProbe probe(sim, 0.0, 1.0);
+  probe.add_gauge("g", [] { return 1.0; });
+  probe.arm();
+  sim.schedule_at(2.5, [&] { probe.disarm(); });
+  sim.run_until(10.0);
+  EXPECT_EQ(probe.series("g").size(), 3u);  // 0, 1, 2
+}
+
+TEST(TimeSeriesProbe, Validation) {
+  des::Simulator sim;
+  EXPECT_THROW(TimeSeriesProbe(sim, 0.0, 0.0), std::invalid_argument);
+  TimeSeriesProbe probe(sim, 0.0, 1.0);
+  EXPECT_THROW(probe.arm(), std::invalid_argument);  // no gauges
+  probe.add_gauge("g", [] { return 0.0; });
+  probe.arm();
+  EXPECT_THROW(probe.arm(), std::invalid_argument);  // double arm
+  EXPECT_THROW(probe.add_gauge("late", [] { return 0.0; }), std::invalid_argument);
+  EXPECT_THROW(probe.series("missing"), std::invalid_argument);
+}
+
+TEST(TimeSeriesProbe, StartInPastRejected) {
+  des::Simulator sim;
+  sim.run_until(5.0);
+  EXPECT_THROW(TimeSeriesProbe(sim, 1.0, 1.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace anyqos::sim

@@ -1,0 +1,125 @@
+#include "src/stats/accumulator.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+
+namespace anyqos::stats {
+namespace {
+
+TEST(Accumulator, EmptyStateIsSane) {
+  Accumulator acc;
+  EXPECT_TRUE(acc.empty());
+  EXPECT_EQ(acc.count(), 0u);
+  EXPECT_DOUBLE_EQ(acc.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(acc.variance(), 0.0);
+}
+
+TEST(Accumulator, SingleValue) {
+  Accumulator acc;
+  acc.add(3.5);
+  EXPECT_EQ(acc.count(), 1u);
+  EXPECT_DOUBLE_EQ(acc.mean(), 3.5);
+  EXPECT_DOUBLE_EQ(acc.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(acc.min(), 3.5);
+  EXPECT_DOUBLE_EQ(acc.max(), 3.5);
+}
+
+TEST(Accumulator, KnownMeanAndVariance) {
+  Accumulator acc;
+  for (const double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) {
+    acc.add(v);
+  }
+  EXPECT_DOUBLE_EQ(acc.mean(), 5.0);
+  // Sample variance with n-1: sum of squared deviations = 32, /7.
+  EXPECT_NEAR(acc.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_NEAR(acc.stddev(), std::sqrt(32.0 / 7.0), 1e-12);
+  EXPECT_DOUBLE_EQ(acc.sum(), 40.0);
+  EXPECT_DOUBLE_EQ(acc.min(), 2.0);
+  EXPECT_DOUBLE_EQ(acc.max(), 9.0);
+}
+
+TEST(Accumulator, NumericallyStableForLargeOffsets) {
+  // Classic catastrophic-cancellation case: tiny variance on a huge mean.
+  Accumulator acc;
+  const double base = 1.0e9;
+  for (const double v : {base + 1.0, base + 2.0, base + 3.0}) {
+    acc.add(v);
+  }
+  EXPECT_NEAR(acc.variance(), 1.0, 1e-6);
+}
+
+TEST(Accumulator, MergeMatchesSequentialFeed) {
+  std::mt19937_64 rng(7);
+  std::uniform_real_distribution<double> dist(-5.0, 5.0);
+  Accumulator all;
+  Accumulator left;
+  Accumulator right;
+  for (int i = 0; i < 1000; ++i) {
+    const double v = dist(rng);
+    all.add(v);
+    (i % 2 == 0 ? left : right).add(v);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.count(), all.count());
+  EXPECT_NEAR(left.mean(), all.mean(), 1e-12);
+  EXPECT_NEAR(left.variance(), all.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(left.min(), all.min());
+  EXPECT_DOUBLE_EQ(left.max(), all.max());
+}
+
+TEST(Accumulator, MergeWithEmptySidesIsIdentity) {
+  Accumulator filled;
+  filled.add(1.0);
+  filled.add(2.0);
+  Accumulator empty;
+  Accumulator copy = filled;
+  copy.merge(empty);
+  EXPECT_EQ(copy.count(), 2u);
+  EXPECT_DOUBLE_EQ(copy.mean(), 1.5);
+  empty.merge(filled);
+  EXPECT_EQ(empty.count(), 2u);
+  EXPECT_DOUBLE_EQ(empty.mean(), 1.5);
+}
+
+TEST(Accumulator, ResetClearsEverything) {
+  Accumulator acc;
+  acc.add(10.0);
+  acc.reset();
+  EXPECT_TRUE(acc.empty());
+  EXPECT_DOUBLE_EQ(acc.mean(), 0.0);
+}
+
+TEST(ProportionAccumulator, CountsSuccessesAndTrials) {
+  ProportionAccumulator acc;
+  acc.add(true);
+  acc.add(false);
+  acc.add(true);
+  acc.add(true);
+  EXPECT_EQ(acc.trials(), 4u);
+  EXPECT_EQ(acc.successes(), 3u);
+  EXPECT_DOUBLE_EQ(acc.proportion(), 0.75);
+}
+
+TEST(ProportionAccumulator, StandardErrorFormula) {
+  ProportionAccumulator acc;
+  for (int i = 0; i < 50; ++i) {
+    acc.add(i < 20);
+  }
+  const double p = 0.4;
+  EXPECT_NEAR(acc.standard_error(), std::sqrt(p * (1 - p) / 50.0), 1e-12);
+}
+
+TEST(ProportionAccumulator, EmptyAndDegenerate) {
+  ProportionAccumulator acc;
+  EXPECT_DOUBLE_EQ(acc.proportion(), 0.0);
+  EXPECT_DOUBLE_EQ(acc.standard_error(), 0.0);
+  acc.add(true);
+  EXPECT_DOUBLE_EQ(acc.standard_error(), 0.0);  // <2 trials
+  acc.reset();
+  EXPECT_EQ(acc.trials(), 0u);
+}
+
+}  // namespace
+}  // namespace anyqos::stats

@@ -1,0 +1,142 @@
+#include "src/stats/confidence.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+
+namespace anyqos::stats {
+namespace {
+
+TEST(NormalCritical, MatchesKnownQuantiles) {
+  EXPECT_NEAR(normal_critical(0.95), 1.959964, 1e-4);
+  EXPECT_NEAR(normal_critical(0.90), 1.644854, 1e-4);
+  EXPECT_NEAR(normal_critical(0.99), 2.575829, 1e-4);
+}
+
+TEST(NormalCritical, RejectsBadLevels) {
+  EXPECT_THROW(normal_critical(0.0), std::invalid_argument);
+  EXPECT_THROW(normal_critical(1.0), std::invalid_argument);
+  EXPECT_THROW(normal_critical(-0.5), std::invalid_argument);
+}
+
+TEST(StudentT, MatchesTablesAt95) {
+  EXPECT_NEAR(student_t_critical(1, 0.95), 12.706, 1e-3);
+  EXPECT_NEAR(student_t_critical(5, 0.95), 2.571, 1e-3);
+  EXPECT_NEAR(student_t_critical(10, 0.95), 2.228, 1e-3);
+  EXPECT_NEAR(student_t_critical(30, 0.95), 2.042, 1e-3);
+}
+
+TEST(StudentT, ApproachesNormalForLargeDof) {
+  EXPECT_NEAR(student_t_critical(10'000, 0.95), normal_critical(0.95), 1e-3);
+}
+
+TEST(StudentT, LargeDofNon95LevelsUseExpansion) {
+  // t_{0.99, 60} = 2.660 from tables.
+  EXPECT_NEAR(student_t_critical(60, 0.99), 2.660, 5e-3);
+}
+
+TEST(ConfidenceInterval, BoundsAndContainment) {
+  ConfidenceInterval ci;
+  ci.mean = 10.0;
+  ci.half_width = 2.0;
+  EXPECT_DOUBLE_EQ(ci.lower(), 8.0);
+  EXPECT_DOUBLE_EQ(ci.upper(), 12.0);
+  EXPECT_TRUE(ci.contains(8.0));
+  EXPECT_TRUE(ci.contains(12.0));
+  EXPECT_FALSE(ci.contains(7.999));
+  EXPECT_FALSE(ci.contains(12.001));
+}
+
+TEST(MeanConfidence, DegenerateForFewSamples) {
+  Accumulator acc;
+  acc.add(5.0);
+  const auto ci = mean_confidence(acc, 0.95);
+  EXPECT_DOUBLE_EQ(ci.mean, 5.0);
+  EXPECT_DOUBLE_EQ(ci.half_width, 0.0);
+}
+
+TEST(MeanConfidence, CoversTrueMeanAtRoughlyNominalRate) {
+  // Property check: ~95% of CIs over repeated N(0,1) samples contain 0.
+  std::mt19937_64 rng(42);
+  std::normal_distribution<double> dist(0.0, 1.0);
+  int covered = 0;
+  const int reps = 400;
+  for (int r = 0; r < reps; ++r) {
+    Accumulator acc;
+    for (int i = 0; i < 30; ++i) {
+      acc.add(dist(rng));
+    }
+    if (mean_confidence(acc, 0.95).contains(0.0)) {
+      ++covered;
+    }
+  }
+  const double rate = static_cast<double>(covered) / reps;
+  EXPECT_GT(rate, 0.90);
+  EXPECT_LT(rate, 0.99);
+}
+
+TEST(ProportionConfidence, WaldFormula) {
+  ProportionAccumulator acc;
+  for (int i = 0; i < 100; ++i) {
+    acc.add(i < 30);
+  }
+  const auto ci = proportion_confidence(acc, 0.95);
+  EXPECT_DOUBLE_EQ(ci.mean, 0.3);
+  EXPECT_NEAR(ci.half_width, 1.959964 * std::sqrt(0.3 * 0.7 / 100.0), 1e-6);
+}
+
+TEST(BatchMeans, RequiresAtLeastTwoBatches) {
+  EXPECT_THROW(BatchMeans(1), std::invalid_argument);
+}
+
+TEST(BatchMeans, NotReadyUntilOnePerBatch) {
+  BatchMeans bm(4);
+  bm.add(1.0);
+  bm.add(2.0);
+  bm.add(3.0);
+  EXPECT_FALSE(bm.ready());
+  bm.add(4.0);
+  EXPECT_TRUE(bm.ready());
+  EXPECT_THROW(BatchMeans(4).confidence(0.95), std::invalid_argument);
+}
+
+TEST(BatchMeans, MeanMatchesOverallMean) {
+  BatchMeans bm(5);
+  for (int i = 1; i <= 100; ++i) {
+    bm.add(static_cast<double>(i));
+  }
+  EXPECT_NEAR(bm.mean(), 50.5, 1e-12);
+  EXPECT_EQ(bm.count(), 100u);
+}
+
+TEST(BatchMeans, TightIntervalForConstantSeries) {
+  BatchMeans bm(10);
+  for (int i = 0; i < 200; ++i) {
+    bm.add(7.0);
+  }
+  const auto ci = bm.confidence(0.95);
+  EXPECT_DOUBLE_EQ(ci.mean, 7.0);
+  EXPECT_NEAR(ci.half_width, 0.0, 1e-12);
+}
+
+TEST(BatchMeans, WiderIntervalForCorrelatedSeries) {
+  // AR(1)-ish series: batch means must see the long-range variability that a
+  // naive i.i.d. CI would underestimate.
+  std::mt19937_64 rng(3);
+  std::normal_distribution<double> noise(0.0, 1.0);
+  BatchMeans bm(10);
+  Accumulator naive;
+  double x = 0.0;
+  for (int i = 0; i < 20'000; ++i) {
+    x = 0.99 * x + noise(rng);
+    bm.add(x);
+    naive.add(x);
+  }
+  const double batch_hw = bm.confidence(0.95).half_width;
+  const double naive_hw = mean_confidence(naive, 0.95).half_width;
+  EXPECT_GT(batch_hw, 3.0 * naive_hw);
+}
+
+}  // namespace
+}  // namespace anyqos::stats

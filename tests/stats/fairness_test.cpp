@@ -1,0 +1,57 @@
+#include "src/stats/fairness.h"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <vector>
+
+namespace anyqos::stats {
+namespace {
+
+TEST(JainIndex, PerfectlyEvenIsOne) {
+  const std::array<double, 4> even = {5.0, 5.0, 5.0, 5.0};
+  EXPECT_DOUBLE_EQ(jain_index(even), 1.0);
+}
+
+TEST(JainIndex, FullyConcentratedIsOneOverN) {
+  const std::array<double, 5> skewed = {10.0, 0.0, 0.0, 0.0, 0.0};
+  EXPECT_DOUBLE_EQ(jain_index(skewed), 0.2);
+}
+
+TEST(JainIndex, KnownIntermediateValue) {
+  // x = (1, 2, 3): (6)^2 / (3 * 14) = 36/42.
+  const std::array<double, 3> mixed = {1.0, 2.0, 3.0};
+  EXPECT_NEAR(jain_index(mixed), 36.0 / 42.0, 1e-12);
+}
+
+TEST(JainIndex, ScaleInvariant) {
+  const std::array<double, 3> base = {1.0, 2.0, 3.0};
+  const std::array<double, 3> scaled = {100.0, 200.0, 300.0};
+  EXPECT_NEAR(jain_index(base), jain_index(scaled), 1e-12);
+}
+
+TEST(JainIndex, AllZeroIsVacuouslyFair) {
+  const std::array<double, 3> zeros = {0.0, 0.0, 0.0};
+  EXPECT_DOUBLE_EQ(jain_index(zeros), 1.0);
+}
+
+TEST(JainIndex, SingleMemberIsAlwaysOne) {
+  const std::array<double, 1> one = {7.0};
+  EXPECT_DOUBLE_EQ(jain_index(one), 1.0);
+}
+
+TEST(JainIndex, IntegerOverloadMatchesDouble) {
+  const std::vector<std::uint64_t> tallies = {120, 80, 100, 95, 105};
+  std::vector<double> as_double(tallies.begin(), tallies.end());
+  EXPECT_DOUBLE_EQ(jain_index(tallies), jain_index(std::span<const double>(as_double)));
+  EXPECT_GT(jain_index(tallies), 0.95);  // nearly even
+}
+
+TEST(JainIndex, Validation) {
+  EXPECT_THROW(jain_index(std::span<const double>{}), std::invalid_argument);
+  const std::array<double, 2> negative = {1.0, -1.0};
+  EXPECT_THROW(jain_index(negative), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace anyqos::stats

@@ -1,0 +1,91 @@
+#include "src/stats/histogram.h"
+
+#include <gtest/gtest.h>
+
+namespace anyqos::stats {
+namespace {
+
+TEST(CountHistogram, EmptyState) {
+  CountHistogram hist;
+  EXPECT_EQ(hist.total(), 0u);
+  EXPECT_EQ(hist.count(3), 0u);
+  EXPECT_DOUBLE_EQ(hist.mean(), 0.0);
+  EXPECT_EQ(hist.max_value(), 0u);
+}
+
+TEST(CountHistogram, CountsAndFractions) {
+  CountHistogram hist;
+  hist.add(1);
+  hist.add(1);
+  hist.add(2);
+  hist.add(5);
+  EXPECT_EQ(hist.total(), 4u);
+  EXPECT_EQ(hist.count(1), 2u);
+  EXPECT_EQ(hist.count(2), 1u);
+  EXPECT_EQ(hist.count(3), 0u);
+  EXPECT_EQ(hist.count(5), 1u);
+  EXPECT_DOUBLE_EQ(hist.fraction(1), 0.5);
+  EXPECT_EQ(hist.max_value(), 5u);
+  EXPECT_DOUBLE_EQ(hist.mean(), (1 + 1 + 2 + 5) / 4.0);
+}
+
+TEST(CountHistogram, SupportGrowsAutomatically) {
+  CountHistogram hist;
+  hist.add(100);
+  EXPECT_EQ(hist.count(100), 1u);
+  EXPECT_EQ(hist.count(99), 0u);
+}
+
+TEST(CountHistogram, ToStringListsNonEmptyBins) {
+  CountHistogram hist;
+  hist.add(0);
+  hist.add(2);
+  const std::string text = hist.to_string();
+  EXPECT_NE(text.find("0: 1"), std::string::npos);
+  EXPECT_NE(text.find("2: 1"), std::string::npos);
+  EXPECT_EQ(text.find("1: "), std::string::npos);
+}
+
+TEST(RangeHistogram, BinsValuesUniformly) {
+  RangeHistogram hist(0.0, 10.0, 5);
+  hist.add(0.0);   // bin 0
+  hist.add(1.99);  // bin 0
+  hist.add(2.0);   // bin 1
+  hist.add(9.99);  // bin 4
+  EXPECT_EQ(hist.bin_count(0), 2u);
+  EXPECT_EQ(hist.bin_count(1), 1u);
+  EXPECT_EQ(hist.bin_count(4), 1u);
+  EXPECT_EQ(hist.total(), 4u);
+}
+
+TEST(RangeHistogram, BinEdges) {
+  RangeHistogram hist(1.0, 3.0, 4);
+  EXPECT_DOUBLE_EQ(hist.bin_lower(0), 1.0);
+  EXPECT_DOUBLE_EQ(hist.bin_lower(1), 1.5);
+  EXPECT_DOUBLE_EQ(hist.bin_lower(3), 2.5);
+}
+
+TEST(RangeHistogram, OutOfRangeClampedAndCounted) {
+  RangeHistogram hist(0.0, 1.0, 2);
+  hist.add(-5.0);
+  hist.add(2.0);
+  EXPECT_EQ(hist.underflow(), 1u);
+  EXPECT_EQ(hist.overflow(), 1u);
+  EXPECT_EQ(hist.bin_count(0), 1u);
+  EXPECT_EQ(hist.bin_count(1), 1u);
+  EXPECT_EQ(hist.total(), 2u);
+}
+
+TEST(RangeHistogram, RejectsBadConstruction) {
+  EXPECT_THROW(RangeHistogram(1.0, 1.0, 4), std::invalid_argument);
+  EXPECT_THROW(RangeHistogram(0.0, 1.0, 0), std::invalid_argument);
+}
+
+TEST(RangeHistogram, BinIndexOutOfRangeThrows) {
+  RangeHistogram hist(0.0, 1.0, 2);
+  EXPECT_THROW(hist.bin_count(2), std::invalid_argument);
+  EXPECT_THROW(hist.bin_lower(2), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace anyqos::stats

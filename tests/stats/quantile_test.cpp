@@ -1,0 +1,100 @@
+#include "src/stats/quantile.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <random>
+#include <vector>
+
+namespace anyqos::stats {
+namespace {
+
+double exact_quantile(std::vector<double> values, double q) {
+  std::sort(values.begin(), values.end());
+  const auto rank = static_cast<std::size_t>(
+      std::ceil(q * static_cast<double>(values.size())));
+  return values[std::max<std::size_t>(rank, 1) - 1];
+}
+
+TEST(P2Quantile, RejectsBadParameters) {
+  EXPECT_THROW(P2Quantile(0.0), std::invalid_argument);
+  EXPECT_THROW(P2Quantile(1.0), std::invalid_argument);
+  P2Quantile p(0.5);
+  EXPECT_THROW(p.value(), std::invalid_argument);  // empty stream
+  EXPECT_THROW(p.add(std::numeric_limits<double>::infinity()), std::invalid_argument);
+}
+
+TEST(P2Quantile, ExactForFewSamples) {
+  P2Quantile median(0.5);
+  median.add(5.0);
+  EXPECT_DOUBLE_EQ(median.value(), 5.0);
+  median.add(1.0);
+  median.add(9.0);
+  EXPECT_DOUBLE_EQ(median.value(), 5.0);  // exact median of {1,5,9}
+  EXPECT_EQ(median.count(), 3u);
+}
+
+TEST(P2Quantile, MedianOfUniform) {
+  P2Quantile median(0.5);
+  std::mt19937_64 rng(1);
+  std::uniform_real_distribution<double> dist(0.0, 100.0);
+  for (int i = 0; i < 50'000; ++i) {
+    median.add(dist(rng));
+  }
+  EXPECT_NEAR(median.value(), 50.0, 1.5);
+}
+
+TEST(P2Quantile, TailQuantileOfExponential) {
+  P2Quantile p95(0.95);
+  std::mt19937_64 rng(2);
+  std::exponential_distribution<double> dist(1.0);
+  std::vector<double> all;
+  for (int i = 0; i < 100'000; ++i) {
+    const double v = dist(rng);
+    p95.add(v);
+    all.push_back(v);
+  }
+  const double exact = exact_quantile(all, 0.95);
+  EXPECT_NEAR(p95.value() / exact, 1.0, 0.05);
+  // Theory: the 95th percentile of Exp(1) is -ln(0.05) ≈ 2.996.
+  EXPECT_NEAR(p95.value(), 2.996, 0.15);
+}
+
+TEST(P2Quantile, MonotoneShiftTracksDistribution) {
+  // Feed a low block then a high block: the estimate must move up.
+  P2Quantile median(0.5);
+  for (int i = 0; i < 1'000; ++i) {
+    median.add(1.0);
+  }
+  const double before = median.value();
+  for (int i = 0; i < 10'000; ++i) {
+    median.add(100.0);
+  }
+  EXPECT_LT(before, 2.0);
+  EXPECT_GT(median.value(), 50.0);
+}
+
+class P2Accuracy : public ::testing::TestWithParam<double> {};
+
+TEST_P(P2Accuracy, WithinFivePercentOfExactOnNormal) {
+  const double q = GetParam();
+  P2Quantile estimator(q);
+  std::mt19937_64 rng(7);
+  std::normal_distribution<double> dist(10.0, 2.0);
+  std::vector<double> all;
+  for (int i = 0; i < 50'000; ++i) {
+    const double v = dist(rng);
+    estimator.add(v);
+    all.push_back(v);
+  }
+  const double exact = exact_quantile(all, q);
+  EXPECT_NEAR(estimator.value() / exact, 1.0, 0.05) << "q=" << q;
+}
+
+INSTANTIATE_TEST_SUITE_P(Quantiles, P2Accuracy,
+                         ::testing::Values(0.1, 0.25, 0.5, 0.75, 0.9, 0.99));
+
+}  // namespace
+}  // namespace anyqos::stats

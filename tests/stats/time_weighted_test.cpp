@@ -1,0 +1,75 @@
+#include "src/stats/time_weighted.h"
+
+#include <gtest/gtest.h>
+
+namespace anyqos::stats {
+namespace {
+
+TEST(TimeWeighted, ZeroBeforeAnyUpdate) {
+  TimeWeighted tw;
+  EXPECT_FALSE(tw.started());
+  EXPECT_DOUBLE_EQ(tw.mean(10.0), 0.0);
+  EXPECT_DOUBLE_EQ(tw.max(), 0.0);
+}
+
+TEST(TimeWeighted, ConstantSignal) {
+  TimeWeighted tw;
+  tw.update(0.0, 4.0);
+  EXPECT_DOUBLE_EQ(tw.mean(10.0), 4.0);
+  EXPECT_DOUBLE_EQ(tw.current(), 4.0);
+}
+
+TEST(TimeWeighted, PiecewiseConstantAverage) {
+  TimeWeighted tw;
+  tw.update(0.0, 0.0);
+  tw.update(2.0, 10.0);   // 0 for [0,2), 10 for [2,6)
+  EXPECT_DOUBLE_EQ(tw.mean(6.0), (0.0 * 2.0 + 10.0 * 4.0) / 6.0);
+}
+
+TEST(TimeWeighted, MaxTracksPeak) {
+  TimeWeighted tw;
+  tw.update(0.0, 1.0);
+  tw.update(1.0, 9.0);
+  tw.update(2.0, 3.0);
+  EXPECT_DOUBLE_EQ(tw.max(), 9.0);
+}
+
+TEST(TimeWeighted, SameTimeUpdateOverrides) {
+  TimeWeighted tw;
+  tw.update(0.0, 1.0);
+  tw.update(5.0, 2.0);
+  tw.update(5.0, 3.0);  // zero-width interval at value 2
+  EXPECT_DOUBLE_EQ(tw.mean(10.0), (1.0 * 5.0 + 3.0 * 5.0) / 10.0);
+}
+
+TEST(TimeWeighted, DecreasingTimeThrows) {
+  TimeWeighted tw;
+  tw.update(5.0, 1.0);
+  EXPECT_THROW(tw.update(4.0, 2.0), std::invalid_argument);
+}
+
+TEST(TimeWeighted, QueryBeforeLastUpdateThrows) {
+  TimeWeighted tw;
+  tw.update(0.0, 1.0);
+  tw.update(5.0, 2.0);
+  EXPECT_THROW(tw.mean(4.0), std::invalid_argument);
+}
+
+TEST(TimeWeighted, RestartKeepsValueDiscardsHistory) {
+  TimeWeighted tw;
+  tw.update(0.0, 100.0);   // would dominate the mean if kept
+  tw.update(10.0, 2.0);
+  tw.restart(10.0);
+  EXPECT_DOUBLE_EQ(tw.mean(20.0), 2.0);
+  EXPECT_DOUBLE_EQ(tw.current(), 2.0);
+  EXPECT_DOUBLE_EQ(tw.max(), 2.0);  // peak history forgotten too
+}
+
+TEST(TimeWeighted, RestartOnFreshObjectIsNoop) {
+  TimeWeighted tw;
+  tw.restart(5.0);
+  EXPECT_FALSE(tw.started());
+}
+
+}  // namespace
+}  // namespace anyqos::stats

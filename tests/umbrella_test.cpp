@@ -1,0 +1,37 @@
+// The umbrella header must compile standalone and expose every layer.
+#include "src/anyqos.h"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+TEST(Umbrella, EveryLayerIsReachable) {
+  using namespace anyqos;
+  const net::Topology topo = net::topologies::ring(4);
+  net::BandwidthLedger ledger(topo, 0.5);
+  const core::AnycastGroup group("g", {2});
+  const net::RouteTable routes(topo, group.members());
+  signaling::MessageCounter counter;
+  signaling::ReservationProtocol rsvp(ledger, counter);
+  des::RandomStream rng(1);
+  core::SelectorEnvironment env;
+  env.source = 0;
+  env.group = &group;
+  env.routes = &routes;
+  core::AdmissionController ac(0, group, routes, rsvp,
+                               core::make_selector(core::SelectionAlgorithm::kEvenDistribution, env),
+                               std::make_unique<core::CounterRetrialPolicy>(1));
+  core::FlowRequest request;
+  request.source = 0;
+  request.bandwidth_bps = 1'000.0;
+  const core::AdmissionDecision decision = ac.admit(request, rng);
+  EXPECT_TRUE(decision.admitted);
+  EXPECT_GT(analysis::erlang_b(10.0, 10), 0.0);
+  stats::Accumulator acc;
+  acc.add(1.0);
+  EXPECT_DOUBLE_EQ(acc.mean(), 1.0);
+  sched::RateScheduler scheduler(sched::SchedulerKind::kWfq, 1'000.0);
+  EXPECT_DOUBLE_EQ(scheduler.link_rate(), 1'000.0);
+}
+
+}  // namespace

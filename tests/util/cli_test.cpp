@@ -1,0 +1,111 @@
+#include "src/util/cli.h"
+
+#include <gtest/gtest.h>
+
+namespace anyqos::util {
+namespace {
+
+CliFlags standard_flags() {
+  CliFlags flags("prog", "test program");
+  flags.add_double("rate", 1.5, "a rate");
+  flags.add_unsigned("count", 7, "a count");
+  flags.add_string("label", "x", "a label");
+  flags.add_bool("verbose", false, "a switch");
+  return flags;
+}
+
+void parse(CliFlags& flags, std::initializer_list<const char*> args) {
+  std::vector<const char*> argv{"prog"};
+  argv.insert(argv.end(), args.begin(), args.end());
+  flags.parse(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(CliFlags, DefaultsApplyWithoutArguments) {
+  CliFlags flags = standard_flags();
+  parse(flags, {});
+  EXPECT_DOUBLE_EQ(flags.get_double("rate"), 1.5);
+  EXPECT_EQ(flags.get_unsigned("count"), 7u);
+  EXPECT_EQ(flags.get_string("label"), "x");
+  EXPECT_FALSE(flags.get_bool("verbose"));
+}
+
+TEST(CliFlags, EqualsFormParsesAllTypes) {
+  CliFlags flags = standard_flags();
+  parse(flags, {"--rate=2.25", "--count=42", "--label=hello", "--verbose=true"});
+  EXPECT_DOUBLE_EQ(flags.get_double("rate"), 2.25);
+  EXPECT_EQ(flags.get_unsigned("count"), 42u);
+  EXPECT_EQ(flags.get_string("label"), "hello");
+  EXPECT_TRUE(flags.get_bool("verbose"));
+}
+
+TEST(CliFlags, SpaceSeparatedFormParses) {
+  CliFlags flags = standard_flags();
+  parse(flags, {"--rate", "0.5", "--label", "abc"});
+  EXPECT_DOUBLE_EQ(flags.get_double("rate"), 0.5);
+  EXPECT_EQ(flags.get_string("label"), "abc");
+}
+
+TEST(CliFlags, BareBoolFlagSetsTrue) {
+  CliFlags flags = standard_flags();
+  parse(flags, {"--verbose"});
+  EXPECT_TRUE(flags.get_bool("verbose"));
+}
+
+TEST(CliFlags, BoolFalseLiteral) {
+  CliFlags flags("p", "d");
+  flags.add_bool("on", true, "switch");
+  parse(flags, {"--on=false"});
+  EXPECT_FALSE(flags.get_bool("on"));
+}
+
+TEST(CliFlags, UnknownFlagThrows) {
+  CliFlags flags = standard_flags();
+  EXPECT_THROW(parse(flags, {"--nope=1"}), std::invalid_argument);
+}
+
+TEST(CliFlags, MalformedNumberThrows) {
+  CliFlags flags = standard_flags();
+  EXPECT_THROW(parse(flags, {"--rate=abc"}), std::invalid_argument);
+  EXPECT_THROW(parse(flags, {"--count=-3"}), std::invalid_argument);
+}
+
+TEST(CliFlags, MissingValueThrows) {
+  CliFlags flags = standard_flags();
+  EXPECT_THROW(parse(flags, {"--rate"}), std::invalid_argument);
+}
+
+TEST(CliFlags, NonFlagArgumentThrows) {
+  CliFlags flags = standard_flags();
+  EXPECT_THROW(parse(flags, {"positional"}), std::invalid_argument);
+}
+
+TEST(CliFlags, HelpIsDetected) {
+  CliFlags flags = standard_flags();
+  parse(flags, {"--help"});
+  EXPECT_TRUE(flags.help_requested());
+}
+
+TEST(CliFlags, HelpTextMentionsEveryFlag) {
+  const CliFlags flags = standard_flags();
+  const std::string help = flags.help_text();
+  EXPECT_NE(help.find("--rate"), std::string::npos);
+  EXPECT_NE(help.find("--count"), std::string::npos);
+  EXPECT_NE(help.find("--label"), std::string::npos);
+  EXPECT_NE(help.find("--verbose"), std::string::npos);
+}
+
+TEST(CliFlags, WrongTypeAccessThrows) {
+  CliFlags flags = standard_flags();
+  parse(flags, {});
+  EXPECT_THROW(flags.get_double("count"), std::invalid_argument);
+  EXPECT_THROW(flags.get_bool("rate"), std::invalid_argument);
+}
+
+TEST(CliFlags, DuplicateDeclarationThrows) {
+  CliFlags flags("p", "d");
+  flags.add_double("x", 0, "first");
+  EXPECT_THROW(flags.add_string("x", "", "second"), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace anyqos::util

@@ -1,0 +1,45 @@
+#include "src/util/require.h"
+
+#include <gtest/gtest.h>
+
+namespace anyqos::util {
+namespace {
+
+TEST(Require, PassesOnTrue) { EXPECT_NO_THROW(require(true, "fine")); }
+
+TEST(Require, ThrowsInvalidArgumentOnFalse) {
+  EXPECT_THROW(require(false, "bad input"), std::invalid_argument);
+}
+
+TEST(Require, MessageIsPreserved) {
+  try {
+    require(false, "specific message");
+    FAIL() << "require should have thrown";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_STREQ(e.what(), "specific message");
+  }
+}
+
+TEST(Ensure, PassesOnTrue) { EXPECT_NO_THROW(ensure(true, "fine")); }
+
+TEST(Ensure, ThrowsInvariantErrorOnFalse) {
+  EXPECT_THROW(ensure(false, "broken invariant"), InvariantError);
+}
+
+TEST(Ensure, InvariantErrorIsALogicError) {
+  EXPECT_THROW(ensure(false, "broken"), std::logic_error);
+}
+
+TEST(Unreachable, AlwaysThrows) { EXPECT_THROW(unreachable("spot"), InvariantError); }
+
+TEST(Unreachable, MentionsLocation) {
+  try {
+    unreachable("switch arm");
+    FAIL() << "unreachable should have thrown";
+  } catch (const InvariantError& e) {
+    EXPECT_NE(std::string(e.what()).find("switch arm"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace anyqos::util

@@ -1,0 +1,78 @@
+#include "src/util/strings.h"
+
+#include <gtest/gtest.h>
+
+namespace anyqos::util {
+namespace {
+
+TEST(Split, SplitsOnSeparator) {
+  const auto fields = split("a,b,c", ',');
+  ASSERT_EQ(fields.size(), 3u);
+  EXPECT_EQ(fields[0], "a");
+  EXPECT_EQ(fields[1], "b");
+  EXPECT_EQ(fields[2], "c");
+}
+
+TEST(Split, KeepsEmptyFields) {
+  const auto fields = split("a,,c,", ',');
+  ASSERT_EQ(fields.size(), 4u);
+  EXPECT_EQ(fields[1], "");
+  EXPECT_EQ(fields[3], "");
+}
+
+TEST(Split, SingleFieldWithoutSeparator) {
+  const auto fields = split("plain", ',');
+  ASSERT_EQ(fields.size(), 1u);
+  EXPECT_EQ(fields[0], "plain");
+}
+
+TEST(Split, EmptyInputGivesOneEmptyField) {
+  const auto fields = split("", ',');
+  ASSERT_EQ(fields.size(), 1u);
+  EXPECT_EQ(fields[0], "");
+}
+
+TEST(Trim, RemovesSurroundingWhitespace) {
+  EXPECT_EQ(trim("  x  "), "x");
+  EXPECT_EQ(trim("\t a b \n"), "a b");
+}
+
+TEST(Trim, AllWhitespaceBecomesEmpty) {
+  EXPECT_EQ(trim("   "), "");
+  EXPECT_EQ(trim(""), "");
+}
+
+TEST(ParseDouble, ParsesPlainAndNegativeNumbers) {
+  EXPECT_DOUBLE_EQ(parse_double("3.25").value(), 3.25);
+  EXPECT_DOUBLE_EQ(parse_double("-1.5").value(), -1.5);
+  EXPECT_DOUBLE_EQ(parse_double(" 42 ").value(), 42.0);
+}
+
+TEST(ParseDouble, RejectsGarbage) {
+  EXPECT_FALSE(parse_double("abc").has_value());
+  EXPECT_FALSE(parse_double("1.5x").has_value());
+  EXPECT_FALSE(parse_double("").has_value());
+}
+
+TEST(ParseUnsigned, ParsesAndRejectsSigns) {
+  EXPECT_EQ(parse_unsigned("17").value(), 17ull);
+  EXPECT_EQ(parse_unsigned("0").value(), 0ull);
+  EXPECT_FALSE(parse_unsigned("-1").has_value());
+  EXPECT_FALSE(parse_unsigned("+1").has_value());
+  EXPECT_FALSE(parse_unsigned("12.5").has_value());
+}
+
+TEST(StartsWith, MatchesPrefixes) {
+  EXPECT_TRUE(starts_with("--flag", "--"));
+  EXPECT_FALSE(starts_with("-", "--"));
+  EXPECT_TRUE(starts_with("abc", ""));
+}
+
+TEST(FormatFixed, FormatsRequestedDigits) {
+  EXPECT_EQ(format_fixed(0.8379, 2), "0.84");
+  EXPECT_EQ(format_fixed(1.0, 6), "1.000000");
+  EXPECT_EQ(format_fixed(-2.5, 1), "-2.5");
+}
+
+}  // namespace
+}  // namespace anyqos::util

@@ -1,0 +1,76 @@
+#include "src/util/table.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace anyqos::util {
+namespace {
+
+TEST(TablePrinter, RendersHeaderAndRows) {
+  TablePrinter table({"lambda", "AP"});
+  table.add_row({"5", "1.000"});
+  table.add_row({"20", "0.834"});
+  const std::string text = table.to_text();
+  EXPECT_NE(text.find("lambda"), std::string::npos);
+  EXPECT_NE(text.find("0.834"), std::string::npos);
+  EXPECT_EQ(table.row_count(), 2u);
+  EXPECT_EQ(table.column_count(), 2u);
+}
+
+TEST(TablePrinter, ColumnsAreAligned) {
+  TablePrinter table({"a", "long-header"});
+  table.add_row({"wide-value", "x"});
+  const std::string text = table.to_text();
+  // Every line must be equally long (trailing padding keeps columns square).
+  std::istringstream lines(text);
+  std::string first;
+  std::getline(lines, first);
+  std::string line;
+  while (std::getline(lines, line)) {
+    EXPECT_EQ(line.size(), first.size());
+  }
+}
+
+TEST(TablePrinter, RowWidthMismatchThrows) {
+  TablePrinter table({"a", "b"});
+  EXPECT_THROW(table.add_row({"only-one"}), std::invalid_argument);
+}
+
+TEST(TablePrinter, EmptyHeaderThrows) {
+  EXPECT_THROW(TablePrinter({}), std::invalid_argument);
+}
+
+TEST(TablePrinter, NumericRowFormatting) {
+  TablePrinter table({"x", "y"});
+  table.add_numeric_row({1.23456, 2.0}, 3);
+  const std::string text = table.to_text();
+  EXPECT_NE(text.find("1.235"), std::string::npos);
+  EXPECT_NE(text.find("2.000"), std::string::npos);
+}
+
+TEST(TablePrinter, CsvBasic) {
+  TablePrinter table({"a", "b"});
+  table.add_row({"1", "2"});
+  EXPECT_EQ(table.to_csv(), "a,b\n1,2\n");
+}
+
+TEST(TablePrinter, CsvEscapesCommasAndQuotes) {
+  TablePrinter table({"name"});
+  table.add_row({"a,b"});
+  table.add_row({"say \"hi\""});
+  const std::string csv = table.to_csv();
+  EXPECT_NE(csv.find("\"a,b\""), std::string::npos);
+  EXPECT_NE(csv.find("\"say \"\"hi\"\"\""), std::string::npos);
+}
+
+TEST(TablePrinter, PrintWritesToStream) {
+  TablePrinter table({"h"});
+  table.add_row({"v"});
+  std::ostringstream out;
+  table.print(out);
+  EXPECT_EQ(out.str(), table.to_text());
+}
+
+}  // namespace
+}  // namespace anyqos::util
