@@ -50,7 +50,7 @@ Outcome run(double refresh_interval, double loss, double horizon, std::uint64_t 
     const std::size_t member = arrivals.uniform_index(model.group_members.size());
     const net::Path& route = routes.route(source, member);
     if (rsvp.reserve(route, model.flow_bandwidth_bps).admitted) {
-      manager.install(route, model.flow_bandwidth_bps);
+      static_cast<void>(manager.install(route, model.flow_bandwidth_bps));
       ++installed;
     }
     if (simulator.now() < horizon / 10.0) {

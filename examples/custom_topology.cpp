@@ -26,7 +26,9 @@ using namespace anyqos;
 net::Topology dumbbell() {
   net::Topology topo;
   for (int i = 0; i < 8; ++i) {
-    topo.add_router(i < 4 ? "A" + std::to_string(i) : "B" + std::to_string(i - 4));
+    std::string name(i < 4 ? "A" : "B");  // append form: GCC 12 -Wrestrict, PR 105329
+    name += std::to_string(i < 4 ? i : i - 4);
+    topo.add_router(name);
   }
   const double lan = 100.0e6;
   const double wan = 40.0e6;  // thin waist

@@ -11,6 +11,7 @@
 #include <fstream>
 #include <iostream>
 
+#include "src/audit/auditor.h"
 #include "src/net/topology_io.h"
 #include "src/sim/experiment.h"
 #include "src/sim/faults.h"
@@ -88,6 +89,8 @@ int main(int argc, char** argv) {
   flags.add_double("fault-rate", 0.0, "per-link failures/s (0 = no faults)");
   flags.add_double("fault-repair", 300.0, "mean outage duration, seconds");
   flags.add_string("trace", "", "write a CSV event trace to this file");
+  flags.add_bool("audit", true, "attach the runtime invariant auditor");
+  flags.add_double("audit-interval", 100.0, "seconds between audit checkpoints");
   flags.parse(argc, argv);
   if (flags.help_requested()) {
     std::cout << flags.help_text();
@@ -133,6 +136,15 @@ int main(int argc, char** argv) {
   }
 
   sim::Simulation simulation(topology, config);
+  // The auditor escalates the first invariant violation as InvariantError,
+  // so a corrupted run aborts loudly instead of printing plausible numbers.
+  std::unique_ptr<audit::InvariantAuditor> auditor;
+  if (flags.get_bool("audit")) {
+    audit::AuditorOptions audit_options;
+    audit_options.checkpoint_interval_s = flags.get_double("audit-interval");
+    auditor = std::make_unique<audit::InvariantAuditor>(audit_options);
+    auditor->attach(simulation);
+  }
   const sim::SimulationResult result = simulation.run();
 
   std::cout << "system            " << result.system_label << "\n"
@@ -149,6 +161,11 @@ int main(int argc, char** argv) {
             << "link utilization  mean " << util::format_fixed(result.mean_link_utilization, 4)
             << ", max " << util::format_fixed(result.max_link_utilization, 4) << "\n"
             << "dropped by faults " << result.dropped << "\n";
+  if (auditor != nullptr) {
+    std::cout << "audit violations  " << auditor->log().size()
+              << " (ledger conservation/pairing, weight norm, retrial, checkpoints every "
+              << util::format_fixed(flags.get_double("audit-interval"), 0) << " s)\n";
+  }
 
   util::TablePrinter per_dest({"member router", "admissions"});
   for (std::size_t i = 0; i < result.per_destination_admissions.size(); ++i) {

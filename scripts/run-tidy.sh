@@ -1,0 +1,74 @@
+#!/usr/bin/env bash
+# Run clang-tidy over every library source with the project .clang-tidy.
+#
+#   scripts/run-tidy.sh              # best effort: skip (exit 0) if clang-tidy
+#                                    # is not installed
+#   scripts/run-tidy.sh --strict     # CI mode: missing clang-tidy is an error
+#   scripts/run-tidy.sh --fix        # apply suggested fixes in place
+#
+# A compile_commands.json is produced on demand in build/tidy/ so the script
+# works from a pristine checkout.
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+build_dir="${repo_root}/build/tidy"
+strict=0
+fix_args=()
+for arg in "$@"; do
+  case "${arg}" in
+    --strict) strict=1 ;;
+    --fix) fix_args=(--fix --fix-errors) ;;
+    *)
+      echo "usage: scripts/run-tidy.sh [--strict] [--fix]" >&2
+      exit 2
+      ;;
+  esac
+done
+
+# Find clang-tidy: plain name first, then versioned installs (newest wins).
+tidy=""
+if command -v clang-tidy >/dev/null 2>&1; then
+  tidy="clang-tidy"
+else
+  for version in 20 19 18 17 16 15 14; do
+    if command -v "clang-tidy-${version}" >/dev/null 2>&1; then
+      tidy="clang-tidy-${version}"
+      break
+    fi
+  done
+fi
+if [[ -z "${tidy}" ]]; then
+  if [[ "${strict}" -eq 1 ]]; then
+    echo "run-tidy: clang-tidy not found and --strict was given" >&2
+    exit 1
+  fi
+  echo "run-tidy: SKIPPED (clang-tidy not installed; install LLVM or run in CI)"
+  exit 0
+fi
+
+if [[ ! -f "${build_dir}/compile_commands.json" ]]; then
+  cmake -S "${repo_root}" -B "${build_dir}" \
+    -DCMAKE_BUILD_TYPE=Release \
+    -DCMAKE_EXPORT_COMPILE_COMMANDS=ON \
+    -DANYQOS_BUILD_BENCH=OFF >/dev/null
+fi
+
+# The library sources are the contract surface; tests and benches follow the
+# same style but are checked indirectly through the headers they include.
+mapfile -t sources < <(cd "${repo_root}" && find src -name '*.cpp' | sort)
+
+echo "run-tidy: ${tidy} over ${#sources[@]} files (config: .clang-tidy)"
+status=0
+for source in "${sources[@]}"; do
+  if ! "${tidy}" -p "${build_dir}" --quiet "${fix_args[@]}" \
+      "${repo_root}/${source}"; then
+    status=1
+    echo "run-tidy: FAILED ${source}" >&2
+  fi
+done
+
+if [[ "${status}" -ne 0 ]]; then
+  echo "run-tidy: violations found (see above)" >&2
+  exit 1
+fi
+echo "run-tidy: clean"

@@ -16,6 +16,7 @@
 //   anyqos::core       the DAC procedure, selectors, baselines, QoS mapping
 //   anyqos::sim        flow-level simulation, metrics, faults, experiments
 //   anyqos::analysis   Erlang fixed point, UAA, AP analysis, capacity
+//   anyqos::audit      runtime invariant auditing (ledger, weights, retrials)
 //
 // Start with examples/quickstart.cpp for the canonical wiring.
 #pragma once
@@ -27,6 +28,8 @@
 #include "src/analysis/retry_extension.h"
 #include "src/analysis/uaa.h"
 #include "src/analysis/wdb_meanfield.h"
+#include "src/audit/auditor.h"
+#include "src/audit/violation.h"
 #include "src/core/admission.h"
 #include "src/core/centralized.h"
 #include "src/core/delay_admission.h"

@@ -1,0 +1,43 @@
+#include "src/audit/violation.h"
+
+#include <algorithm>
+
+#include "src/util/require.h"
+#include "src/util/strings.h"
+
+namespace anyqos::audit {
+
+std::string to_string(AuditCheck check) {
+  switch (check) {
+    case AuditCheck::kLedgerConservation:
+      return "ledger-conservation";
+    case AuditCheck::kLedgerPairing:
+      return "ledger-pairing";
+    case AuditCheck::kWeightNormalization:
+      return "weight-normalization";
+    case AuditCheck::kRetrialDisjointness:
+      return "retrial-disjointness";
+    case AuditCheck::kSoftStateExpiry:
+      return "soft-state-expiry";
+  }
+  util::unreachable("AuditCheck");
+}
+
+void ViolationLog::add(Violation violation) { violations_.push_back(std::move(violation)); }
+
+std::size_t ViolationLog::count(AuditCheck check) const {
+  return static_cast<std::size_t>(
+      std::count_if(violations_.begin(), violations_.end(),
+                    [check](const Violation& v) { return v.check == check; }));
+}
+
+std::string ViolationLog::to_text() const {
+  std::string text;
+  for (const Violation& violation : violations_) {
+    text += "t=" + util::format_fixed(violation.sim_time, 3) + ' ' +
+            to_string(violation.check) + ": " + violation.detail + '\n';
+  }
+  return text;
+}
+
+}  // namespace anyqos::audit

@@ -1,0 +1,53 @@
+// Structured invariant-violation records (the audit subsystem's output).
+//
+// Every check the InvariantAuditor performs is named by an AuditCheck; a
+// failed check produces one Violation carrying the simulated time and a
+// human-readable detail line. The log is the machine-checkable artifact:
+// tests assert on counts per check, tools print to_text().
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace anyqos::audit {
+
+/// Which paper invariant a violation record refers to.
+enum class AuditCheck : std::uint8_t {
+  kLedgerConservation,   // per-link 0 <= reserved <= capacity, shadow match
+  kLedgerPairing,        // every release matches a prior reserve
+  kWeightNormalization,  // constraint (1): |sum W_i - 1| < epsilon
+  kRetrialDisjointness,  // no destination tried twice per request, c <= R
+  kSoftStateExpiry,      // soft-state sessions consistent with their ledger
+};
+
+std::string to_string(AuditCheck check);
+
+/// One detected invariant violation.
+struct Violation {
+  AuditCheck check = AuditCheck::kLedgerConservation;
+  double sim_time = 0.0;   ///< simulator clock when detected (0 outside a sim)
+  std::string detail;      ///< human-readable description of the failure
+};
+
+/// Append-only collection of violations with per-check tallies.
+class ViolationLog {
+ public:
+  void add(Violation violation);
+
+  [[nodiscard]] bool empty() const { return violations_.empty(); }
+  [[nodiscard]] std::size_t size() const { return violations_.size(); }
+  [[nodiscard]] const std::vector<Violation>& entries() const { return violations_; }
+  /// Violations recorded against one specific check.
+  [[nodiscard]] std::size_t count(AuditCheck check) const;
+
+  /// One line per violation: "t=<time> <check>: <detail>".
+  [[nodiscard]] std::string to_text() const;
+
+  void clear() { violations_.clear(); }
+
+ private:
+  std::vector<Violation> violations_;
+};
+
+}  // namespace anyqos::audit

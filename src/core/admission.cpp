@@ -30,6 +30,9 @@ AdmissionDecision AdmissionController::admit(const FlowRequest& request, des::Ra
   util::require(request.bandwidth_bps > 0.0, "flow bandwidth must be positive");
 
   AdmissionDecision decision;
+  if (observer_ != nullptr) {
+    observer_->on_request_begin(source_);
+  }
   // Message accounting by counter delta: reservation walks AND any probes a
   // selector issues (WD/D+B shares the counter via its ProbeService) are
   // attributed to this decision — the paper's overhead comparison hinges on
@@ -47,6 +50,9 @@ AdmissionDecision AdmissionController::admit(const FlowRequest& request, des::Ra
     }
     tried[*index] = true;
     ++decision.attempts;
+    if (observer_ != nullptr) {
+      observer_->on_attempt(source_, *index);
+    }
     const net::Path& route = routes_->route(source_, *index);
     const signaling::ReservationResult result = rsvp_->reserve(route, request.bandwidth_bps);
     selector_->report(*index, result.admitted);
@@ -61,6 +67,9 @@ AdmissionDecision AdmissionController::admit(const FlowRequest& request, des::Ra
     }
   }
   decision.messages = rsvp_->counter().total() - messages_before;
+  if (observer_ != nullptr) {
+    observer_->on_decision(source_, decision, retrial_->max_attempts(), group_->size());
+  }
   return decision;
 }
 

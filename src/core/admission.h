@@ -34,6 +34,23 @@ struct AdmissionDecision {
   std::uint64_t messages = 0;
 };
 
+/// Observes the DAC loop attempt by attempt. Implemented by instrumentation
+/// such as audit::InvariantAuditor to verify retrial-control invariants
+/// (no destination tried twice per request, attempts <= R).
+class AdmissionObserver {
+ public:
+  virtual ~AdmissionObserver() = default;
+
+  /// A new request entered the Figure 1 loop at AC-router `source`.
+  virtual void on_request_begin(net::NodeId source) = 0;
+  /// The loop is about to try group member `member_index`.
+  virtual void on_attempt(net::NodeId source, std::size_t member_index) = 0;
+  /// The loop finished; `max_attempts` is the retrial policy's bound R and
+  /// `group_size` the number of members K.
+  virtual void on_decision(net::NodeId source, const AdmissionDecision& decision,
+                           std::size_t max_attempts, std::size_t group_size) = 0;
+};
+
 /// One AC-router's admission controller for one anycast group: owns the
 /// destination selector state (weights, history) and executes Figure 1's
 /// select -> reserve -> retry loop.
@@ -49,10 +66,16 @@ class AdmissionController {
   /// Runs the DAC procedure for `request` (request.source must equal this
   /// controller's source). On admission the bandwidth is reserved along the
   /// returned route; the caller must eventually release it (Flow teardown).
-  AdmissionDecision admit(const FlowRequest& request, des::RandomStream& rng);
+  /// Discarding the result leaks the reservation, hence [[nodiscard]].
+  [[nodiscard]] AdmissionDecision admit(const FlowRequest& request, des::RandomStream& rng);
 
   /// Releases an admitted flow's reservation (TEAR signaling included).
   void release(const AdmissionDecision& decision, net::Bandwidth bandwidth_bps);
+
+  /// Registers `observer` to see every subsequent admit() loop (nullptr
+  /// detaches). At most one observer; it must outlive the controller or be
+  /// detached first.
+  void set_observer(AdmissionObserver* observer) { observer_ = observer; }
 
   [[nodiscard]] net::NodeId source() const { return source_; }
   [[nodiscard]] const DestinationSelector& selector() const { return *selector_; }
@@ -65,6 +88,7 @@ class AdmissionController {
   signaling::ReservationProtocol* rsvp_;
   std::unique_ptr<DestinationSelector> selector_;
   std::unique_ptr<RetrialPolicy> retrial_;
+  AdmissionObserver* observer_ = nullptr;
 };
 
 /// GDI baseline: perfect global knowledge, free path choice. A request is
@@ -79,7 +103,8 @@ class GlobalAdmissionOracle {
                         const AnycastGroup& group);
 
   /// Admits via exhaustive feasible-path search; reserves on success.
-  AdmissionDecision admit(const FlowRequest& request);
+  /// Discarding the result leaks the reservation, hence [[nodiscard]].
+  [[nodiscard]] AdmissionDecision admit(const FlowRequest& request);
 
   /// Releases an admitted flow's reservation.
   void release(const AdmissionDecision& decision, net::Bandwidth bandwidth_bps);

@@ -33,6 +33,9 @@ void BandwidthLedger::fail_link(LinkId id) {
                 "cannot fail a link with active reservations");
   capacity_[id] = 0.0;
   available_[id] = 0.0;
+  if (observer_ != nullptr) {
+    observer_->on_link_failed(id);
+  }
 }
 
 void BandwidthLedger::restore_link(LinkId id) {
@@ -40,6 +43,9 @@ void BandwidthLedger::restore_link(LinkId id) {
   util::require(is_failed(id), "only failed links can be restored");
   capacity_[id] = nominal_capacity_[id];
   available_[id] = nominal_capacity_[id];
+  if (observer_ != nullptr) {
+    observer_->on_link_restored(id);
+  }
 }
 
 bool BandwidthLedger::is_failed(LinkId id) const {
@@ -101,6 +107,9 @@ bool BandwidthLedger::reserve(const Path& path, Bandwidth amount) {
       available_[id] = 0.0;
     }
   }
+  if (observer_ != nullptr) {
+    observer_->on_reserve(path, amount);
+  }
   return true;
 }
 
@@ -111,6 +120,9 @@ void BandwidthLedger::release(const Path& path, Bandwidth amount) {
     check_link(id);
     util::ensure(available_[id] + amount <= capacity_[id] + kSlack * amount,
                  "release exceeds reserved bandwidth on a link");
+  }
+  if (observer_ != nullptr) {
+    observer_->on_release(path, amount);  // may throw; ledger still untouched
   }
   for (const LinkId id : path.links) {
     available_[id] = std::min(available_[id] + amount, capacity_[id]);

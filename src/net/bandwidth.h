@@ -10,6 +10,25 @@
 
 namespace anyqos::net {
 
+/// Observes every mutation of a BandwidthLedger. Implemented by
+/// instrumentation such as audit::InvariantAuditor to shadow the ledger's
+/// state; observers must not mutate the ledger from inside a callback.
+class LedgerObserver {
+ public:
+  virtual ~LedgerObserver() = default;
+
+  /// A successful reserve() committed `amount` on every link of `path`.
+  virtual void on_reserve(const Path& path, Bandwidth amount) = 0;
+  /// A release() of `amount` on every link of `path` is about to commit
+  /// (the ledger has validated its own bounds but not yet mutated, so a
+  /// throwing observer leaves the ledger untouched).
+  virtual void on_release(const Path& path, Bandwidth amount) = 0;
+  /// Directed link `id` was taken out of service.
+  virtual void on_link_failed(LinkId /*id*/) {}
+  /// Directed link `id` was returned to service.
+  virtual void on_link_restored(LinkId /*id*/) {}
+};
+
 /// Per-link available-bandwidth ledger with atomic path reserve/release.
 ///
 /// Constructed with an `anycast_share` in (0,1]: only that fraction of each
@@ -68,6 +87,12 @@ class BandwidthLedger {
   /// True when the link is currently failed.
   [[nodiscard]] bool is_failed(LinkId id) const;
 
+  /// Registers `observer` to see every subsequent mutation (nullptr
+  /// detaches). At most one observer; `observer` must outlive the ledger or
+  /// be detached first.
+  void set_observer(LedgerObserver* observer) { observer_ = observer; }
+  [[nodiscard]] LedgerObserver* observer() const { return observer_; }
+
  private:
   void check_link(LinkId id) const;
 
@@ -75,6 +100,7 @@ class BandwidthLedger {
   std::vector<Bandwidth> capacity_;
   std::vector<Bandwidth> available_;
   std::vector<Bandwidth> nominal_capacity_;  // capacity before any failure
+  LedgerObserver* observer_ = nullptr;
 };
 
 }  // namespace anyqos::net

@@ -40,7 +40,9 @@ class ReservationProtocol {
   /// links) or reaches the destination (hops links); on success the RESV
   /// message travels the full route back (hops links); on failure a PATH_ERR
   /// travels back over the k links already traversed.
-  ReservationResult reserve(const net::Path& route, net::Bandwidth bandwidth);
+  /// Discarding the result loses the only record that bandwidth was
+  /// committed, hence [[nodiscard]].
+  [[nodiscard]] ReservationResult reserve(const net::Path& route, net::Bandwidth bandwidth);
 
   /// Releases a reservation installed by a successful reserve() with the
   /// same route and bandwidth; one TEAR message traverses the route.

@@ -78,4 +78,16 @@ bool SoftStateManager::alive(SessionId id) const {
   return sessions_.find(id) != sessions_.end();
 }
 
+void SoftStateManager::for_each_session(
+    const std::function<void(const SessionView&)>& fn) const {
+  for (const auto& [id, session] : sessions_) {
+    SessionView view;
+    view.id = id;
+    view.route = &session.route;
+    view.bandwidth = session.bandwidth;
+    view.missed = session.missed;
+    fn(view);
+  }
+}
+
 }  // namespace anyqos::signaling

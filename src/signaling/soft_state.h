@@ -45,10 +45,19 @@ class SoftStateManager {
                    MessageCounter& counter, des::RandomStream& rng,
                    SoftStateOptions options);
 
+  /// Read-only view of one managed session, for monitoring and auditing.
+  struct SessionView {
+    SessionId id = 0;
+    const net::Path* route = nullptr;
+    net::Bandwidth bandwidth = 0.0;
+    std::size_t missed = 0;  ///< consecutive refreshes lost so far
+  };
+
   /// Starts managing a reservation previously installed on `ledger`.
-  /// `on_expiry` (optional) fires if the session times out.
-  SessionId install(net::Path route, net::Bandwidth bandwidth_bps,
-                    ExpiryCallback on_expiry = {});
+  /// `on_expiry` (optional) fires if the session times out. Discarding the
+  /// id strands the session (it can never be remove()d), hence [[nodiscard]].
+  [[nodiscard]] SessionId install(net::Path route, net::Bandwidth bandwidth_bps,
+                                  ExpiryCallback on_expiry = {});
 
   /// Gracefully removes a session (TEAR signaling, bandwidth released).
   /// Throws std::invalid_argument when the session is gone (e.g. expired).
@@ -61,6 +70,13 @@ class SoftStateManager {
   [[nodiscard]] std::size_t session_count() const { return sessions_.size(); }
   /// Sessions that timed out over the manager's lifetime.
   [[nodiscard]] std::uint64_t expired_count() const { return expired_; }
+
+  /// Invokes `fn` once per live session (iteration order unspecified).
+  /// `fn` must not install or remove sessions.
+  void for_each_session(const std::function<void(const SessionView&)>& fn) const;
+
+  /// The configuration this manager runs under.
+  [[nodiscard]] const SoftStateOptions& options() const { return options_; }
 
  private:
   struct Session {

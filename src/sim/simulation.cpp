@@ -74,8 +74,29 @@ core::AdmissionController& Simulation::controller_for(net::NodeId source) {
         source, group_, routes_, rsvp_,
         core::make_selector(config_.algorithm, env),
         std::make_unique<core::CounterRetrialPolicy>(config_.max_tries));
+    slot->set_observer(admission_observer_);
   }
   return *slot;
+}
+
+void Simulation::set_admission_observer(core::AdmissionObserver* observer) {
+  admission_observer_ = observer;
+  for (auto& controller : controllers_) {
+    if (controller != nullptr) {
+      controller->set_observer(observer);
+    }
+  }
+}
+
+std::vector<std::pair<net::NodeId, const core::DestinationSelector*>>
+Simulation::active_selectors() const {
+  std::vector<std::pair<net::NodeId, const core::DestinationSelector*>> selectors;
+  for (const auto& controller : controllers_) {
+    if (controller != nullptr) {
+      selectors.emplace_back(controller->source(), &controller->selector());
+    }
+  }
+  return selectors;
 }
 
 void Simulation::emit_trace(TraceEventKind kind, net::NodeId source,

@@ -8,6 +8,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <utility>
 #include <vector>
 
 #include "src/core/admission.h"
@@ -109,8 +110,21 @@ class Simulation {
 
   /// Read access for tests/examples (valid after run()).
   [[nodiscard]] const net::BandwidthLedger& ledger() const { return ledger_; }
+  /// Mutable ledger access for instrumentation (observer registration).
+  /// Reserving or releasing bandwidth here yourself voids the results.
+  [[nodiscard]] net::BandwidthLedger& ledger() { return ledger_; }
   [[nodiscard]] const net::RouteTable& routes() const { return routes_; }
   [[nodiscard]] const core::AnycastGroup& group() const { return group_; }
+
+  /// Registers `observer` on every AC-router controller, existing and
+  /// lazily created later (nullptr detaches). DAC runs only — GDI and the
+  /// centralized baseline have no per-source controllers to observe.
+  void set_admission_observer(core::AdmissionObserver* observer);
+
+  /// The per-source selectors instantiated so far (DAC runs only; lazily
+  /// created on first request from a source). For monitoring and auditing.
+  [[nodiscard]] std::vector<std::pair<net::NodeId, const core::DestinationSelector*>>
+  active_selectors() const;
 
   /// The simulation kernel — exposed so instrumentation (e.g.
   /// TimeSeriesProbe) can be attached *before* run(). Scheduling model
@@ -147,6 +161,7 @@ class Simulation {
   ArrivalProcess arrivals_;
   des::RandomStream selection_rng_;
   std::vector<std::unique_ptr<core::AdmissionController>> controllers_;  // by source index
+  core::AdmissionObserver* admission_observer_ = nullptr;
   std::unique_ptr<core::GlobalAdmissionOracle> oracle_;
   std::unique_ptr<core::CentralizedController> central_;
   stats::Accumulator decision_delay_;

@@ -1,0 +1,231 @@
+#include "src/audit/auditor.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "src/audit/violation.h"
+#include "src/des/random.h"
+#include "src/des/simulator.h"
+#include "src/net/bandwidth.h"
+#include "src/net/topology.h"
+#include "src/signaling/message.h"
+#include "src/signaling/soft_state.h"
+#include "src/util/require.h"
+
+namespace anyqos::audit {
+namespace {
+
+net::Topology line3() {
+  net::Topology topo;
+  topo.add_router();
+  topo.add_router();
+  topo.add_router();
+  topo.add_duplex_link(0, 1, 100.0e6);
+  topo.add_duplex_link(1, 2, 100.0e6);
+  return topo;
+}
+
+net::Path one_link(const net::Topology& topo, net::NodeId a, net::NodeId b) {
+  net::Path path;
+  path.source = a;
+  path.destination = b;
+  path.links = {*topo.find_link(a, b)};
+  return path;
+}
+
+net::Path path_0_to_2(const net::Topology& topo) {
+  net::Path path;
+  path.source = 0;
+  path.destination = 2;
+  path.links = {*topo.find_link(0, 1), *topo.find_link(1, 2)};
+  return path;
+}
+
+AuditorOptions lenient() {
+  AuditorOptions options;
+  options.throw_on_violation = false;
+  return options;
+}
+
+TEST(ViolationLog, RecordsAndCounts) {
+  ViolationLog log;
+  EXPECT_TRUE(log.empty());
+  log.add({AuditCheck::kLedgerPairing, 1.5, "first"});
+  log.add({AuditCheck::kWeightNormalization, 2.0, "second"});
+  log.add({AuditCheck::kLedgerPairing, 3.0, "third"});
+  EXPECT_EQ(log.size(), 3u);
+  EXPECT_EQ(log.count(AuditCheck::kLedgerPairing), 2u);
+  EXPECT_EQ(log.count(AuditCheck::kSoftStateExpiry), 0u);
+  const std::string text = log.to_text();
+  EXPECT_NE(text.find("ledger-pairing: first"), std::string::npos);
+  EXPECT_NE(text.find("weight-normalization: second"), std::string::npos);
+  log.clear();
+  EXPECT_TRUE(log.empty());
+}
+
+TEST(ViolationLog, EveryCheckHasAName) {
+  for (const AuditCheck check :
+       {AuditCheck::kLedgerConservation, AuditCheck::kLedgerPairing,
+        AuditCheck::kWeightNormalization, AuditCheck::kRetrialDisjointness,
+        AuditCheck::kSoftStateExpiry}) {
+    EXPECT_FALSE(to_string(check).empty());
+  }
+}
+
+TEST(InvariantAuditor, CleanReserveReleaseCycleStaysQuiet) {
+  const net::Topology topo = line3();
+  net::BandwidthLedger ledger(topo, 0.2);
+  InvariantAuditor auditor;
+  auditor.watch_ledger(ledger);
+  const net::Path path = path_0_to_2(topo);
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(ledger.reserve(path, 64'000.0));
+  }
+  EXPECT_EQ(auditor.open_reservations(), 100u);
+  for (int i = 0; i < 100; ++i) {
+    ledger.release(path, 64'000.0);
+  }
+  EXPECT_EQ(auditor.open_reservations(), 0u);
+  EXPECT_EQ(auditor.checkpoint(0.0), 0u);
+  EXPECT_TRUE(auditor.log().empty());
+}
+
+TEST(InvariantAuditor, WatchRequiresIdleLedger) {
+  const net::Topology topo = line3();
+  net::BandwidthLedger ledger(topo, 0.2);
+  ASSERT_TRUE(ledger.reserve(path_0_to_2(topo), 64'000.0));
+  InvariantAuditor auditor;
+  EXPECT_THROW(auditor.watch_ledger(ledger), std::invalid_argument);
+}
+
+// The death/regression test for the tentpole: a double release that the
+// ledger's own bounds checks CANNOT see (another flow's reservation masks
+// it) must still produce an InvariantError plus a structured record.
+TEST(InvariantAuditor, MaskedDoubleReleaseIsDetected) {
+  const net::Topology topo = line3();
+  net::BandwidthLedger ledger(topo, 0.2);
+  InvariantAuditor auditor;
+  auditor.watch_ledger(ledger);
+  const net::Path flow_a = one_link(topo, 0, 1);   // 0->1 only
+  const net::Path flow_b = path_0_to_2(topo);      // 0->1->2, shares link 0->1
+  ASSERT_TRUE(ledger.reserve(flow_a, 64'000.0));
+  ASSERT_TRUE(ledger.reserve(flow_b, 64'000.0));
+  ledger.release(flow_a, 64'000.0);
+  // Flow B still holds 64 kbit/s on the shared link, so the ledger itself
+  // accepts this corrupt second release...
+  EXPECT_THROW(ledger.release(flow_a, 64'000.0), util::InvariantError);
+  // ...but the auditor caught it, logged it, and left the ledger untouched.
+  ASSERT_EQ(auditor.log().count(AuditCheck::kLedgerPairing), 1u);
+  EXPECT_NE(auditor.log().entries().front().detail.find("double release"),
+            std::string::npos);
+  EXPECT_DOUBLE_EQ(ledger.reserved(flow_a.links[0]), 64'000.0);
+  // The untouched ledger still balances against the shadow account.
+  ledger.release(flow_b, 64'000.0);
+  EXPECT_EQ(auditor.log().size(), 1u);  // no further findings
+}
+
+TEST(InvariantAuditor, NonThrowingModeOnlyLogs) {
+  const net::Topology topo = line3();
+  net::BandwidthLedger ledger(topo, 0.2);
+  InvariantAuditor auditor(lenient());
+  auditor.watch_ledger(ledger);
+  const net::Path path = one_link(topo, 0, 1);
+  ASSERT_TRUE(ledger.reserve(path, 64'000.0));
+  ASSERT_TRUE(ledger.reserve(path_0_to_2(topo), 64'000.0));
+  ledger.release(path, 64'000.0);
+  EXPECT_NO_THROW(ledger.release(path, 64'000.0));  // logged, not escalated
+  EXPECT_EQ(auditor.log().count(AuditCheck::kLedgerPairing), 1u);
+}
+
+TEST(InvariantAuditor, CheckpointDetectsUnobservedDrift) {
+  const net::Topology topo = line3();
+  net::BandwidthLedger ledger(topo, 0.2);
+  InvariantAuditor auditor(lenient());
+  auditor.watch_ledger(ledger);
+  // Detach the observer and smuggle a reservation past the shadow account —
+  // models any state mutation that bypasses the audited interface.
+  ledger.set_observer(nullptr);
+  ASSERT_TRUE(ledger.reserve(one_link(topo, 0, 1), 1.0e6));
+  ledger.set_observer(&auditor);
+  EXPECT_GE(auditor.checkpoint(0.0), 1u);
+  EXPECT_GE(auditor.log().count(AuditCheck::kLedgerConservation), 1u);
+  EXPECT_NE(auditor.log().entries().front().detail.find("drift"), std::string::npos);
+}
+
+TEST(InvariantAuditor, RetrialDuplicateAttemptIsDetected) {
+  InvariantAuditor auditor(lenient());
+  auditor.on_request_begin(3);
+  auditor.on_attempt(3, 0);
+  auditor.on_attempt(3, 1);
+  auditor.on_attempt(3, 0);  // the same destination retried
+  EXPECT_EQ(auditor.log().count(AuditCheck::kRetrialDisjointness), 1u);
+}
+
+TEST(InvariantAuditor, AttemptBudgetOverrunIsDetected) {
+  InvariantAuditor auditor(lenient());
+  core::AdmissionDecision decision;
+  decision.attempts = 3;
+  auditor.on_request_begin(3);
+  auditor.on_decision(3, decision, /*max_attempts=*/2, /*group_size=*/5);
+  EXPECT_EQ(auditor.log().count(AuditCheck::kRetrialDisjointness), 1u);
+  // Attempts beyond the group size is a second, distinct finding.
+  InvariantAuditor auditor2(lenient());
+  decision.attempts = 6;
+  auditor2.on_decision(3, decision, /*max_attempts=*/8, /*group_size=*/5);
+  EXPECT_EQ(auditor2.log().count(AuditCheck::kRetrialDisjointness), 1u);
+}
+
+TEST(InvariantAuditor, DisjointAttemptsAcrossRequestsAreFine) {
+  InvariantAuditor auditor;  // throwing mode: any violation would throw
+  core::AdmissionDecision decision;
+  decision.attempts = 2;
+  for (int request = 0; request < 3; ++request) {
+    auditor.on_request_begin(3);
+    auditor.on_attempt(3, 0);  // same member every request — legal across requests
+    auditor.on_attempt(3, 1);
+    auditor.on_decision(3, decision, 2, 5);
+  }
+  EXPECT_TRUE(auditor.log().empty());
+}
+
+TEST(InvariantAuditor, SoftStateSessionsAreCheckedAgainstLedger) {
+  const net::Topology topo = line3();
+  net::BandwidthLedger ledger(topo, 0.2);
+  des::Simulator simulator;
+  signaling::MessageCounter counter;
+  des::RandomStream rng(7);
+  signaling::SoftStateManager manager(simulator, ledger, counter, rng, {});
+
+  InvariantAuditor auditor(lenient());
+  auditor.watch_ledger(ledger);
+  auditor.watch_soft_state(manager);
+
+  const net::Path route = path_0_to_2(topo);
+  ASSERT_TRUE(ledger.reserve(route, 64'000.0));
+  const signaling::SessionId id = manager.install(route, 64'000.0);
+  EXPECT_EQ(auditor.checkpoint(simulator.now()), 0u);
+
+  // Corrupt the world: the session's bandwidth evaporates from the ledger
+  // while the session stays alive. Expiry consistency must flag it.
+  ledger.release(route, 64'000.0);
+  EXPECT_GE(auditor.checkpoint(simulator.now()), 1u);
+  EXPECT_GE(auditor.log().count(AuditCheck::kSoftStateExpiry), 1u);
+  EXPECT_TRUE(manager.alive(id));
+}
+
+TEST(InvariantAuditor, DetachesFromLedgerOnDestruction) {
+  const net::Topology topo = line3();
+  net::BandwidthLedger ledger(topo, 0.2);
+  {
+    InvariantAuditor auditor;
+    auditor.watch_ledger(ledger);
+    EXPECT_EQ(ledger.observer(), &auditor);
+  }
+  EXPECT_EQ(ledger.observer(), nullptr);
+  // The ledger keeps working without its observer.
+  EXPECT_TRUE(ledger.reserve(one_link(topo, 0, 1), 64'000.0));
+}
+
+}  // namespace
+}  // namespace anyqos::audit

@@ -38,7 +38,7 @@ TEST(AnycastGroup, DuplicateMembersRejected) {
 
 TEST(AnycastGroup, MemberIndexOutOfRangeRejected) {
   const AnycastGroup group("g", {1});
-  EXPECT_THROW(group.member(1), std::invalid_argument);
+  EXPECT_THROW(static_cast<void>(group.member(1)), std::invalid_argument);
 }
 
 TEST(AnycastGroup, MemberOrderIsPreserved) {

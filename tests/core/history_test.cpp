@@ -45,7 +45,7 @@ TEST(AdmissionHistory, ResetClearsAll) {
 TEST(AdmissionHistory, BoundsChecked) {
   AdmissionHistory h(2);
   EXPECT_THROW(h.record(2, true), std::invalid_argument);
-  EXPECT_THROW(h.consecutive_failures(5), std::invalid_argument);
+  EXPECT_THROW(static_cast<void>(h.consecutive_failures(5)), std::invalid_argument);
   EXPECT_THROW(AdmissionHistory(0), std::invalid_argument);
 }
 

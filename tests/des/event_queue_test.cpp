@@ -11,7 +11,7 @@ TEST(EventQueue, StartsEmpty) {
   EventQueue queue;
   EXPECT_TRUE(queue.empty());
   EXPECT_EQ(queue.size(), 0u);
-  EXPECT_THROW(queue.next_time(), std::invalid_argument);
+  EXPECT_THROW(static_cast<void>(queue.next_time()), std::invalid_argument);
   EXPECT_THROW(queue.pop(), std::invalid_argument);
 }
 

@@ -52,7 +52,7 @@ TEST_F(FaultTolerance, HistorySelectorRoutesAroundDeadMember) {
   // Isolate member router 16 by failing all its links: WD/D+H must learn to
   // stop selecting it, keeping AP near the 4-member level.
   SimulationConfig faulty = config(10.0);
-  for (const auto [a, b] : {std::pair{12, 16}, std::pair{15, 16}, std::pair{16, 17},
+  for (const auto& [a, b] : {std::pair{12, 16}, std::pair{15, 16}, std::pair{16, 17},
                             std::pair{16, 18}}) {
     faulty.faults.push_back(single_fault(static_cast<net::NodeId>(a),
                                          static_cast<net::NodeId>(b), 500.0, 7'000.0));

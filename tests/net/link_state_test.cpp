@@ -118,7 +118,7 @@ TEST(LinkState, FailureValidation) {
   EXPECT_THROW(protocol.fail_duplex_link(link), std::invalid_argument);
   protocol.restore_duplex_link(link);
   EXPECT_THROW(protocol.restore_duplex_link(link), std::invalid_argument);
-  EXPECT_THROW(protocol.record(0, 999), std::invalid_argument);
+  EXPECT_THROW(static_cast<void>(protocol.record(0, 999)), std::invalid_argument);
   EXPECT_THROW(protocol.spf_path(9, 0), std::invalid_argument);
 }
 

@@ -58,8 +58,8 @@ TEST(MultiPathRouteTable, Validation) {
   EXPECT_THROW(MultiPathRouteTable(topo, {}, 2), std::invalid_argument);
   EXPECT_THROW(MultiPathRouteTable(topo, {1}, 0), std::invalid_argument);
   const MultiPathRouteTable multi(topo, {2}, 2);
-  EXPECT_THROW(multi.path(0, 0, 5), std::invalid_argument);
-  EXPECT_THROW(multi.path(9, 0, 0), std::invalid_argument);
+  EXPECT_THROW(static_cast<void>(multi.path(0, 0, 5)), std::invalid_argument);
+  EXPECT_THROW(static_cast<void>(multi.path(9, 0, 0)), std::invalid_argument);
   Topology split;
   split.add_router();
   split.add_router();

@@ -36,7 +36,7 @@ TEST(ProbeService, ReturnsBottleneckAndCharges) {
   EXPECT_EQ(counter.total(), 4u);
 
   // Each probe charges again — the WD/D+B overhead the paper warns about.
-  probe.route_bandwidth(route);
+  static_cast<void>(probe.route_bandwidth(route));
   EXPECT_EQ(counter.total(), 8u);
 }
 

@@ -122,7 +122,7 @@ TEST(ReservationProtocol, NonPositiveBandwidthRejected) {
   net::BandwidthLedger ledger(f.topo, 0.2);
   MessageCounter counter;
   ReservationProtocol rsvp(ledger, counter);
-  EXPECT_THROW(rsvp.reserve(f.path, 0.0), std::invalid_argument);
+  EXPECT_THROW(static_cast<void>(rsvp.reserve(f.path, 0.0)), std::invalid_argument);
 }
 
 }  // namespace

@@ -57,7 +57,7 @@ TEST(TimeSeriesProbe, Validation) {
   probe.arm();
   EXPECT_THROW(probe.arm(), std::invalid_argument);  // double arm
   EXPECT_THROW(probe.add_gauge("late", [] { return 0.0; }), std::invalid_argument);
-  EXPECT_THROW(probe.series("missing"), std::invalid_argument);
+  EXPECT_THROW(static_cast<void>(probe.series("missing")), std::invalid_argument);
 }
 
 TEST(TimeSeriesProbe, StartInPastRejected) {

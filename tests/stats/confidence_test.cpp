@@ -98,7 +98,7 @@ TEST(BatchMeans, NotReadyUntilOnePerBatch) {
   EXPECT_FALSE(bm.ready());
   bm.add(4.0);
   EXPECT_TRUE(bm.ready());
-  EXPECT_THROW(BatchMeans(4).confidence(0.95), std::invalid_argument);
+  EXPECT_THROW(static_cast<void>(BatchMeans(4).confidence(0.95)), std::invalid_argument);
 }
 
 TEST(BatchMeans, MeanMatchesOverallMean) {

@@ -52,7 +52,7 @@ TEST(TimeWeighted, QueryBeforeLastUpdateThrows) {
   TimeWeighted tw;
   tw.update(0.0, 1.0);
   tw.update(5.0, 2.0);
-  EXPECT_THROW(tw.mean(4.0), std::invalid_argument);
+  EXPECT_THROW(static_cast<void>(tw.mean(4.0)), std::invalid_argument);
 }
 
 TEST(TimeWeighted, RestartKeepsValueDiscardsHistory) {

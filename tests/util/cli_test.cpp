@@ -97,8 +97,8 @@ TEST(CliFlags, HelpTextMentionsEveryFlag) {
 TEST(CliFlags, WrongTypeAccessThrows) {
   CliFlags flags = standard_flags();
   parse(flags, {});
-  EXPECT_THROW(flags.get_double("count"), std::invalid_argument);
-  EXPECT_THROW(flags.get_bool("rate"), std::invalid_argument);
+  EXPECT_THROW(static_cast<void>(flags.get_double("count")), std::invalid_argument);
+  EXPECT_THROW(static_cast<void>(flags.get_bool("rate")), std::invalid_argument);
 }
 
 TEST(CliFlags, DuplicateDeclarationThrows) {

@@ -20,6 +20,20 @@ TEST(Require, MessageIsPreserved) {
   }
 }
 
+TEST(Require, DistinctFromInvariantError) {
+  // A precondition failure is the caller's fault, not a library invariant:
+  // it must NOT be catchable as InvariantError.
+  EXPECT_THROW(
+      {
+        try {
+          require(false, "caller error");
+        } catch (const InvariantError&) {
+          FAIL() << "require must not throw InvariantError";
+        }
+      },
+      std::invalid_argument);
+}
+
 TEST(Ensure, PassesOnTrue) { EXPECT_NO_THROW(ensure(true, "fine")); }
 
 TEST(Ensure, ThrowsInvariantErrorOnFalse) {
@@ -28,6 +42,34 @@ TEST(Ensure, ThrowsInvariantErrorOnFalse) {
 
 TEST(Ensure, InvariantErrorIsALogicError) {
   EXPECT_THROW(ensure(false, "broken"), std::logic_error);
+}
+
+TEST(Ensure, MessageIsPreserved) {
+  try {
+    ensure(false, "ledger out of balance");
+    FAIL() << "ensure should have thrown";
+  } catch (const InvariantError& e) {
+    EXPECT_STREQ(e.what(), "ledger out of balance");
+  }
+}
+
+TEST(Ensure, CatchableAsLogicErrorWithMessage) {
+  try {
+    ensure(false, "specific invariant");
+    FAIL() << "ensure should have thrown";
+  } catch (const std::logic_error& e) {  // the documented base-class contract
+    EXPECT_STREQ(e.what(), "specific invariant");
+  }
+}
+
+TEST(InvariantErrorType, ConstructibleAndCatchableAsLogicError) {
+  const InvariantError error("direct construction");
+  EXPECT_STREQ(error.what(), "direct construction");
+  try {
+    throw InvariantError("thrown directly");
+  } catch (const std::logic_error& e) {
+    EXPECT_STREQ(e.what(), "thrown directly");
+  }
 }
 
 TEST(Unreachable, AlwaysThrows) { EXPECT_THROW(unreachable("spot"), InvariantError); }
