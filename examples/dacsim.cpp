@@ -8,11 +8,16 @@
 //   $ ./dacsim --algorithm=WD/D+H --retries=2 --lambda=35
 //   $ ./dacsim --topology=grid:4x5 --group=0,7,19 --sources=2,9,12 --lambda=8
 //   $ ./dacsim --topology-file=mynet.topo --gdi --trace=/tmp/events.csv
+//   $ ./dacsim --metrics-out=run.prom --spans-out=spans.jsonl --profile
 #include <fstream>
 #include <iostream>
 
 #include "src/audit/auditor.h"
 #include "src/net/topology_io.h"
+#include "src/obs/profiler.h"
+#include "src/obs/registry.h"
+#include "src/obs/span.h"
+#include "src/sim/metrics_export.h"
 #include "src/sim/experiment.h"
 #include "src/sim/faults.h"
 #include "src/util/cli.h"
@@ -91,6 +96,12 @@ int main(int argc, char** argv) {
   flags.add_string("trace", "", "write a CSV event trace to this file");
   flags.add_bool("audit", true, "attach the runtime invariant auditor");
   flags.add_double("audit-interval", 100.0, "seconds between audit checkpoints");
+  flags.add_string("metrics-out", "",
+                   "write run metrics here (.prom = Prometheus text, else JSONL)");
+  flags.add_string("spans-out", "", "write admission-decision spans here (JSONL)");
+  flags.add_bool("profile", false, "print engine profiling summary after the run");
+  flags.add_string("profile-out", "", "write the profiling summary + samples as JSON");
+  flags.add_double("profile-interval", 50.0, "sim seconds between profiler checkpoints");
   flags.parse(argc, argv);
   if (flags.help_requested()) {
     std::cout << flags.help_text();
@@ -133,6 +144,24 @@ int main(int argc, char** argv) {
     util::require(trace_file.good(), "cannot open trace file");
     trace = std::make_unique<sim::CsvTraceSink>(trace_file);
     config.trace = trace.get();
+  }
+
+  std::ofstream spans_file;
+  std::unique_ptr<obs::JsonlSpanSink> span_sink;
+  obs::DecisionTracer tracer;
+  if (!flags.get_string("spans-out").empty()) {
+    util::require(!config.use_gdi, "--spans-out requires a DAC run (not --gdi)");
+    spans_file.open(flags.get_string("spans-out"));
+    util::require(spans_file.good(), "cannot open spans file");
+    span_sink = std::make_unique<obs::JsonlSpanSink>(spans_file);
+    tracer.set_sink(span_sink.get());
+    config.tracer = &tracer;
+  }
+
+  obs::EngineProfiler profiler(flags.get_double("profile-interval"));
+  const bool profiling = flags.get_bool("profile") || !flags.get_string("profile-out").empty();
+  if (profiling) {
+    config.profiler = &profiler;
   }
 
   sim::Simulation simulation(topology, config);
@@ -184,6 +213,47 @@ int main(int argc, char** argv) {
   std::cout << "\n" << msg.to_text();
   if (trace != nullptr) {
     std::cout << "\ntrace written to " << flags.get_string("trace") << "\n";
+  }
+
+  if (!flags.get_string("metrics-out").empty()) {
+    obs::MetricsRegistry registry;
+    sim::export_metrics(simulation, config, result, registry);
+    if (profiling) {
+      profiler.export_to(registry);
+    }
+    const std::string& path = flags.get_string("metrics-out");
+    std::ofstream metrics_file(path);
+    util::require(metrics_file.good(), "cannot open metrics file");
+    if (util::ends_with(path, ".prom")) {
+      registry.write_prometheus(metrics_file);
+    } else {
+      registry.write_jsonl(metrics_file);
+    }
+    std::cout << "\nmetrics written to " << path << " (" << registry.series_count()
+              << " series)\n";
+  }
+  if (span_sink != nullptr) {
+    std::cout << "spans written to " << flags.get_string("spans-out") << " ("
+              << tracer.spans_emitted() << " spans)\n";
+  }
+  if (profiling) {
+    const obs::ProfileSummary summary = profiler.summary();
+    std::cout << "\nengine profile    " << summary.events << " events in "
+              << util::format_fixed(summary.wall_seconds, 3) << " s wall ("
+              << util::format_fixed(summary.events_per_second / 1e6, 3) << " M events/s, "
+              << util::format_fixed(summary.sim_seconds_per_wall_second, 0)
+              << " sim-s per wall-s)\n"
+              << "peak queue depth  " << summary.peak_queue_depth << "\n"
+              << "peak active flows " << summary.peak_active_flows << "\n"
+              << "phases            warmup "
+              << util::format_fixed(profiler.phase_seconds("warmup"), 3) << " s, measure "
+              << util::format_fixed(profiler.phase_seconds("measure"), 3) << " s\n";
+    if (!flags.get_string("profile-out").empty()) {
+      std::ofstream profile_file(flags.get_string("profile-out"));
+      util::require(profile_file.good(), "cannot open profile file");
+      profiler.write_json(profile_file);
+      std::cout << "profile written to " << flags.get_string("profile-out") << "\n";
+    }
   }
   return 0;
 }

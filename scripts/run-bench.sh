@@ -1,0 +1,67 @@
+#!/usr/bin/env bash
+# Engine performance snapshot: runs the google-benchmark kernel microbench
+# plus one small figure bench with --perf-out, and folds both into a single
+# BENCH_engine.json (schema anyqos-bench-engine/1).
+#
+#   scripts/run-bench.sh [BUILD_DIR] [OUT]
+#
+# BUILD_DIR defaults to ./build, OUT to ./BENCH_engine.json. Exits non-zero
+# if either bench fails or the combined record is empty/malformed.
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+OUT="${2:-BENCH_engine.json}"
+
+MICRO="${BUILD_DIR}/bench/micro_engine"
+FIG="${BUILD_DIR}/bench/fig3_ed_sensitivity"
+for bin in "$MICRO" "$FIG"; do
+  if [[ ! -x "$bin" ]]; then
+    echo "run-bench.sh: missing benchmark binary $bin (build first)" >&2
+    exit 1
+  fi
+done
+
+workdir="$(mktemp -d)"
+trap 'rm -rf "$workdir"' EXIT
+
+echo "== micro_engine (google-benchmark, short run) ==" >&2
+"$MICRO" --benchmark_min_time=0.01 \
+         --benchmark_format=json >"$workdir/micro.json"
+
+echo "== fig3_ed_sensitivity (DES engine throughput) ==" >&2
+"$FIG" --lambdas=20,35 --warmup=200 --measure=1000 \
+       --perf-out="$workdir/engine.json" >/dev/null
+
+for part in micro.json engine.json; do
+  if [[ ! -s "$workdir/$part" ]]; then
+    echo "run-bench.sh: $part is empty" >&2
+    exit 1
+  fi
+done
+
+# Assemble {"schema":...,"engine":{...},"microbench":{...}} without extra
+# tooling: both parts are self-produced JSON objects.
+{
+  printf '{"schema":"anyqos-bench-engine/1","engine":'
+  tr -d '\n' <"$workdir/engine.json"
+  printf ',"microbench":'
+  tr -d '\n' <"$workdir/micro.json"
+  printf '}\n'
+} >"$OUT"
+
+grep -q '"events_per_second":' "$OUT" || {
+  echo "run-bench.sh: $OUT lacks events_per_second" >&2
+  exit 1
+}
+grep -q '"benchmarks":' "$OUT" || {
+  echo "run-bench.sh: $OUT lacks microbench results" >&2
+  exit 1
+}
+if command -v python3 >/dev/null 2>&1; then
+  python3 -m json.tool "$OUT" >/dev/null || {
+    echo "run-bench.sh: $OUT is not valid JSON" >&2
+    exit 1
+  }
+fi
+
+echo "wrote $OUT" >&2

@@ -11,6 +11,7 @@
 //   anyqos::stats      accumulators, confidence intervals, quantiles
 //   anyqos::des        discrete-event kernel + reproducible RNG streams
 //   anyqos::net        topology, bandwidth ledger, routing (+DV/LS protocols)
+//   anyqos::obs        metrics registry, decision spans, engine profiler
 //   anyqos::sched      WFQ / Virtual Clock packet schedulers
 //   anyqos::signaling  RSVP-like reservation, probes, soft state
 //   anyqos::core       the DAC procedure, selectors, baselines, QoS mapping
@@ -54,6 +55,9 @@
 #include "src/net/topologies.h"
 #include "src/net/topology.h"
 #include "src/net/topology_io.h"
+#include "src/obs/profiler.h"
+#include "src/obs/registry.h"
+#include "src/obs/span.h"
 #include "src/sched/token_bucket.h"
 #include "src/sched/wfq.h"
 #include "src/signaling/message.h"
@@ -64,6 +68,7 @@
 #include "src/sim/faults.h"
 #include "src/sim/flow_table.h"
 #include "src/sim/metrics.h"
+#include "src/sim/metrics_export.h"
 #include "src/sim/multi_group.h"
 #include "src/sim/replicate.h"
 #include "src/sim/simulation.h"

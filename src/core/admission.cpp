@@ -33,6 +33,14 @@ AdmissionDecision AdmissionController::admit(const FlowRequest& request, des::Ra
   if (observer_ != nullptr) {
     observer_->on_request_begin(source_);
   }
+  // Tracing is all-or-nothing per request: resolve the sink check once so
+  // the loop below spends nothing (no snapshots, no allocation) untraced.
+  obs::DecisionTracer* const tracer =
+      (tracer_ != nullptr && tracer_->active()) ? tracer_ : nullptr;
+  if (tracer != nullptr) {
+    tracer->begin_request(request.request_id, source_, request.bandwidth_bps,
+                          selector_->name(), retrial_->max_attempts(), group_->size());
+  }
   // Message accounting by counter delta: reservation walks AND any probes a
   // selector issues (WD/D+B shares the counter via its ProbeService) are
   // attributed to this decision — the paper's overhead comparison hinges on
@@ -53,9 +61,22 @@ AdmissionDecision AdmissionController::admit(const FlowRequest& request, des::Ra
     if (observer_ != nullptr) {
       observer_->on_attempt(source_, *index);
     }
+    // Snapshot the weight vector the selection just drew from, before
+    // report() lets the selector learn from the outcome.
+    std::vector<double> weight_snapshot;
+    if (tracer != nullptr) {
+      weight_snapshot = selector_->weights();
+    }
     const net::Path& route = routes_->route(source_, *index);
     const signaling::ReservationResult result = rsvp_->reserve(route, request.bandwidth_bps);
     selector_->report(*index, result.admitted);
+    if (tracer != nullptr) {
+      const std::size_t budget = retrial_->max_attempts();
+      tracer->record_attempt(*index, group_->member(*index), std::move(weight_snapshot),
+                             route.hops(), result.bottleneck_bps, result.admitted,
+                             result.blocking_link, result.messages,
+                             budget > decision.attempts ? budget - decision.attempts : 0);
+    }
     if (result.admitted) {
       decision.admitted = true;
       decision.destination_index = *index;
@@ -67,6 +88,9 @@ AdmissionDecision AdmissionController::admit(const FlowRequest& request, des::Ra
     }
   }
   decision.messages = rsvp_->counter().total() - messages_before;
+  if (tracer != nullptr) {
+    tracer->end_request(decision.admitted, decision.destination_index, decision.messages);
+  }
   if (observer_ != nullptr) {
     observer_->on_decision(source_, decision, retrial_->max_attempts(), group_->size());
   }

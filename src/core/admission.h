@@ -11,6 +11,7 @@
 #include "src/core/selector.h"
 #include "src/des/random.h"
 #include "src/net/routing.h"
+#include "src/obs/span.h"
 #include "src/signaling/rsvp.h"
 
 namespace anyqos::core {
@@ -19,6 +20,9 @@ namespace anyqos::core {
 struct FlowRequest {
   net::NodeId source = net::kInvalidNode;  ///< AC-router receiving the request
   net::Bandwidth bandwidth_bps = 0.0;      ///< required bandwidth (paper: 64 kbit/s)
+  /// Caller-assigned correlation id propagated into decision spans and flow
+  /// traces (the simulation stamps its arrival sequence number; 0 = unset).
+  std::uint64_t request_id = 0;
 };
 
 /// Outcome of running the DAC procedure for one request.
@@ -77,6 +81,13 @@ class AdmissionController {
   /// detached first.
   void set_observer(AdmissionObserver* observer) { observer_ = observer; }
 
+  /// Registers `tracer` to receive a DecisionSpan (with per-attempt child
+  /// spans) for every subsequent admit() (nullptr detaches). Collection is
+  /// skipped entirely — no snapshots, no allocation — while the tracer has
+  /// no sink attached. The tracer must outlive the controller or be
+  /// detached first.
+  void set_tracer(obs::DecisionTracer* tracer) { tracer_ = tracer; }
+
   [[nodiscard]] net::NodeId source() const { return source_; }
   [[nodiscard]] const DestinationSelector& selector() const { return *selector_; }
   [[nodiscard]] const RetrialPolicy& retrial_policy() const { return *retrial_; }
@@ -89,6 +100,7 @@ class AdmissionController {
   std::unique_ptr<DestinationSelector> selector_;
   std::unique_ptr<RetrialPolicy> retrial_;
   AdmissionObserver* observer_ = nullptr;
+  obs::DecisionTracer* tracer_ = nullptr;
 };
 
 /// GDI baseline: perfect global knowledge, free path choice. A request is

@@ -1,5 +1,6 @@
 #include "src/des/simulator.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "src/util/require.h"
@@ -9,12 +10,16 @@ namespace anyqos::des {
 EventHandle Simulator::schedule_at(double time, Action action) {
   util::require(!std::isnan(time), "event time must not be NaN");
   util::require(time >= now_, "cannot schedule an event in the past");
-  return queue_.schedule(time, std::move(action));
+  EventHandle handle = queue_.schedule(time, std::move(action));
+  peak_pending_ = std::max(peak_pending_, queue_.size());
+  return handle;
 }
 
 EventHandle Simulator::schedule_in(double delay, Action action) {
   util::require(!std::isnan(delay) && delay >= 0.0, "event delay must be non-negative");
-  return queue_.schedule(now_ + delay, std::move(action));
+  EventHandle handle = queue_.schedule(now_ + delay, std::move(action));
+  peak_pending_ = std::max(peak_pending_, queue_.size());
+  return handle;
 }
 
 bool Simulator::cancel(EventHandle handle) { return queue_.cancel(handle); }

@@ -47,11 +47,15 @@ class Simulator {
   [[nodiscard]] std::size_t pending_events() const { return queue_.size(); }
   /// Total events dispatched over the simulator's lifetime.
   [[nodiscard]] std::uint64_t dispatched_events() const { return dispatched_; }
+  /// High-water mark of the pending-event set over the simulator's lifetime
+  /// (engine profiling: how deep the calendar actually got).
+  [[nodiscard]] std::size_t peak_pending_events() const { return peak_pending_; }
 
  private:
   EventQueue queue_;
   double now_ = 0.0;
   std::uint64_t dispatched_ = 0;
+  std::size_t peak_pending_ = 0;
   bool stop_requested_ = false;
 };
 

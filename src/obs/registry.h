@@ -1,0 +1,137 @@
+// Unified metrics registry (observability layer 1).
+//
+// Typed counters, gauges, and histograms with labels, registered once and
+// exported through two writers: a Prometheus-style text exposition and a
+// JSONL snapshot (one series per line) for offline tooling. The registry is
+// the single funnel every module reports through — simulation results,
+// engine throughput, and signaling tallies all land here so one scrape or
+// one file covers a run (see DESIGN.md "Observability").
+//
+// Series identity is (family name, sorted label set). Looking up the same
+// identity twice returns the same instrument, so call sites can re-resolve
+// cheaply instead of caching pointers. Families are type-stable: registering
+// a name as a counter and later as a gauge throws.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace anyqos::obs {
+
+/// One label key=value pair attached to a series.
+struct Label {
+  std::string key;
+  std::string value;
+};
+
+/// Label sets are sorted by key for identity; duplicate keys are rejected.
+using Labels = std::vector<Label>;
+
+/// Monotone event tally.
+class Counter {
+ public:
+  void increment(std::uint64_t by = 1) { value_ += by; }
+  [[nodiscard]] std::uint64_t value() const { return value_; }
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
+/// Point-in-time measurement.
+class Gauge {
+ public:
+  void set(double value) { value_ = value; }
+  void add(double delta) { value_ += delta; }
+  [[nodiscard]] double value() const { return value_; }
+
+ private:
+  double value_ = 0.0;
+};
+
+/// Fixed-boundary histogram. A value lands in the first bucket whose upper
+/// bound is >= value (Prometheus `le` semantics); values above the last
+/// bound go to the implicit +Inf bucket.
+class Histogram {
+ public:
+  /// `bounds` must be non-empty and strictly increasing.
+  explicit Histogram(std::vector<double> bounds);
+
+  void observe(double value) { observe(value, 1); }
+  /// Records `count` observations of `value` in one step (used when
+  /// replaying pre-aggregated data such as a CountHistogram).
+  void observe(double value, std::uint64_t count);
+
+  [[nodiscard]] const std::vector<double>& bounds() const { return bounds_; }
+  /// Observations in bucket `i` alone (not cumulative); index bounds().size()
+  /// is the +Inf bucket.
+  [[nodiscard]] std::uint64_t bucket_count(std::size_t i) const;
+  /// Observations with value <= bounds()[i] (cumulative, Prometheus-style);
+  /// index bounds().size() equals count().
+  [[nodiscard]] std::uint64_t cumulative_count(std::size_t i) const;
+  [[nodiscard]] std::uint64_t count() const { return count_; }
+  [[nodiscard]] double sum() const { return sum_; }
+
+ private:
+  std::vector<double> bounds_;
+  std::vector<std::uint64_t> buckets_;  // bounds().size() + 1 (+Inf last)
+  std::uint64_t count_ = 0;
+  double sum_ = 0.0;
+};
+
+/// The instrument types a family can hold.
+enum class MetricType : std::uint8_t { kCounter, kGauge, kHistogram };
+
+std::string to_string(MetricType type);
+
+/// Registry of metric families; see the file comment for identity rules.
+class MetricsRegistry {
+ public:
+  /// Resolves (registering on first use) the counter `name` with `labels`.
+  Counter& counter(const std::string& name, const std::string& help, Labels labels = {});
+  /// Resolves (registering on first use) the gauge `name` with `labels`.
+  Gauge& gauge(const std::string& name, const std::string& help, Labels labels = {});
+  /// Resolves the histogram `name` with `labels`. `bounds` applies on first
+  /// registration of the series; later lookups must pass identical bounds.
+  Histogram& histogram(const std::string& name, const std::string& help,
+                       std::vector<double> bounds, Labels labels = {});
+
+  /// Number of registered families.
+  [[nodiscard]] std::size_t family_count() const { return families_.size(); }
+  /// Number of label-distinct series under `name` (0 when unregistered) —
+  /// the family's label cardinality.
+  [[nodiscard]] std::size_t cardinality(const std::string& name) const;
+  /// Series across all families.
+  [[nodiscard]] std::size_t series_count() const;
+
+  /// Prometheus text exposition (# HELP / # TYPE plus one line per series),
+  /// families in name order, series in label order.
+  void write_prometheus(std::ostream& out) const;
+  /// One JSON object per series per line:
+  ///   {"name":...,"type":...,"labels":{...},"value":...} for counter/gauge,
+  ///   buckets/sum/count for histograms. Deterministic order, valid JSONL.
+  void write_jsonl(std::ostream& out) const;
+
+ private:
+  struct Series {
+    Labels labels;  // sorted by key
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+  struct Family {
+    std::string help;
+    MetricType type = MetricType::kCounter;
+    std::map<std::string, Series> series;  // keyed by canonical label text
+  };
+
+  Family& family_for(const std::string& name, const std::string& help, MetricType type);
+  Series& series_for(Family& family, Labels labels);
+
+  std::map<std::string, Family> families_;
+};
+
+}  // namespace anyqos::obs

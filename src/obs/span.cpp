@@ -1,0 +1,136 @@
+#include "src/obs/span.h"
+
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+
+#include "src/util/require.h"
+#include "src/util/strings.h"
+
+namespace anyqos::obs {
+
+namespace {
+
+void write_number(std::ostream& out, double value) {
+  if (!std::isfinite(value)) {
+    out << "null";
+    return;
+  }
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.17g", value);
+  out << buffer;
+}
+
+}  // namespace
+
+std::vector<AttemptSpan> MemorySpanSink::attempts_for(std::uint64_t request_id) const {
+  std::vector<AttemptSpan> children;
+  for (const AttemptSpan& span : attempts_) {
+    if (span.request_id == request_id) {
+      children.push_back(span);
+    }
+  }
+  return children;
+}
+
+void MemorySpanSink::clear() {
+  attempts_.clear();
+  decisions_.clear();
+}
+
+JsonlSpanSink::JsonlSpanSink(std::ostream& out) : out_(&out) {}
+
+void JsonlSpanSink::on_attempt(const AttemptSpan& span) {
+  *out_ << "{\"span\":\"attempt\",\"request\":" << span.request_id
+        << ",\"id\":" << span.span_id << ",\"attempt\":" << span.attempt_number
+        << ",\"time\":";
+  write_number(*out_, span.time);
+  *out_ << ",\"member\":" << span.member_index << ",\"node\":" << span.member_node
+        << ",\"weights\":[";
+  for (std::size_t i = 0; i < span.weights.size(); ++i) {
+    if (i > 0) {
+      *out_ << ',';
+    }
+    write_number(*out_, span.weights[i]);
+  }
+  *out_ << "],\"hops\":" << span.route_hops << ",\"bottleneck_bps\":";
+  write_number(*out_, span.bottleneck_bps);
+  *out_ << ",\"admitted\":" << (span.admitted ? "true" : "false") << ",\"blocking_link\":";
+  if (span.blocking_link.has_value()) {
+    *out_ << *span.blocking_link;
+  } else {
+    *out_ << "null";
+  }
+  *out_ << ",\"messages\":" << span.messages
+        << ",\"retries_remaining\":" << span.retries_remaining << "}\n";
+}
+
+void JsonlSpanSink::on_decision(const DecisionSpan& span) {
+  *out_ << "{\"span\":\"decision\",\"request\":" << span.request_id << ",\"time\":";
+  write_number(*out_, span.start_time);
+  *out_ << ",\"source\":" << span.source << ",\"bandwidth_bps\":";
+  write_number(*out_, span.bandwidth_bps);
+  *out_ << ",\"algorithm\":\"" << util::json_escape(span.algorithm)
+        << "\",\"admitted\":" << (span.admitted ? "true" : "false") << ",\"destination\":";
+  if (span.destination_index.has_value()) {
+    *out_ << *span.destination_index;
+  } else {
+    *out_ << "null";
+  }
+  *out_ << ",\"attempts\":" << span.attempts << ",\"messages\":" << span.messages
+        << ",\"max_attempts\":" << span.max_attempts << ",\"group_size\":" << span.group_size
+        << "}\n";
+}
+
+void DecisionTracer::begin_request(std::uint64_t request_id, net::NodeId source,
+                                   net::Bandwidth bandwidth_bps, std::string algorithm,
+                                   std::size_t max_attempts, std::size_t group_size) {
+  util::require(sink_ != nullptr, "tracer calls require an attached sink");
+  util::require(!in_request_, "previous request span still open");
+  in_request_ = true;
+  current_ = DecisionSpan{};
+  current_.request_id = request_id;
+  current_.start_time = now();
+  current_.source = source;
+  current_.bandwidth_bps = bandwidth_bps;
+  current_.algorithm = std::move(algorithm);
+  current_.max_attempts = max_attempts;
+  current_.group_size = group_size;
+}
+
+void DecisionTracer::record_attempt(std::size_t member_index, net::NodeId member_node,
+                                    std::vector<double> weights, std::size_t route_hops,
+                                    net::Bandwidth bottleneck_bps, bool admitted,
+                                    std::optional<net::LinkId> blocking_link,
+                                    std::uint64_t messages, std::size_t retries_remaining) {
+  util::require(in_request_, "attempt span outside a request span");
+  AttemptSpan span;
+  span.request_id = current_.request_id;
+  span.span_id = next_span_id_++;
+  span.attempt_number = ++current_.attempts;
+  span.time = now();
+  span.member_index = member_index;
+  span.member_node = member_node;
+  span.weights = std::move(weights);
+  span.route_hops = route_hops;
+  span.bottleneck_bps = bottleneck_bps;
+  span.admitted = admitted;
+  span.blocking_link = blocking_link;
+  span.messages = messages;
+  span.retries_remaining = retries_remaining;
+  sink_->on_attempt(span);
+  ++spans_emitted_;
+}
+
+void DecisionTracer::end_request(bool admitted, std::optional<std::size_t> destination_index,
+                                 std::uint64_t messages) {
+  util::require(in_request_, "decision span closed twice");
+  in_request_ = false;
+  current_.admitted = admitted;
+  current_.destination_index = destination_index;
+  current_.messages = messages;
+  sink_->on_decision(current_);
+  ++spans_emitted_;
+}
+
+}  // namespace anyqos::obs

@@ -1,5 +1,7 @@
 #include "src/signaling/rsvp.h"
 
+#include <algorithm>
+
 #include "src/util/require.h"
 
 namespace anyqos::signaling {
@@ -14,6 +16,7 @@ ReservationResult ReservationProtocol::reserve(const net::Path& route, net::Band
   std::uint64_t traversed = 0;
   for (const net::LinkId id : route.links) {
     ++traversed;  // the PATH message crosses this link (or dies at its head)
+    result.bottleneck_bps = std::min(result.bottleneck_bps, ledger_->available(id));
     if (ledger_->available(id) < bandwidth) {
       result.blocking_link = id;
       break;

@@ -10,6 +10,7 @@
 // admitting at most the advertised capacity.
 #pragma once
 
+#include <limits>
 #include <optional>
 
 #include "src/net/bandwidth.h"
@@ -25,6 +26,11 @@ struct ReservationResult {
   std::optional<net::LinkId> blocking_link;
   /// Control messages (link traversals) this attempt generated.
   std::uint64_t messages = 0;
+  /// Minimum available bandwidth the PATH walk observed over the links it
+  /// inspected, pre-reservation (the paper's route bandwidth B_i over the
+  /// traversed prefix). Infinite for 0-hop routes. Diagnostic: decision
+  /// spans record it so per-attempt bottlenecks are visible in traces.
+  net::Bandwidth bottleneck_bps = std::numeric_limits<net::Bandwidth>::infinity();
 };
 
 /// Executes reservations and teardowns against a BandwidthLedger, tallying

@@ -15,6 +15,8 @@ using FlowId = std::uint64_t;
 /// One admitted flow currently holding bandwidth.
 struct ActiveFlow {
   FlowId id = 0;
+  /// The admission request that created the flow (trace/span join key).
+  std::uint64_t request_id = 0;
   net::NodeId source = net::kInvalidNode;
   std::size_t destination_index = 0;  ///< index into the anycast group
   net::Path route;                    ///< links holding the reservation

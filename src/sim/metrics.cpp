@@ -17,18 +17,22 @@ void MetricsCollector::begin_measurement(double now) {
 
 void MetricsCollector::record_decision(bool admitted, std::size_t attempts,
                                        std::uint64_t messages, std::size_t destination_index) {
+  // Validate every argument before the first mutation so a bad call leaves
+  // the collector untouched (no half-recorded decision). The destination
+  // bound is checked even for rejections: callers pass an index either way,
+  // and an out-of-range one signals a corrupted decision upstream.
+  util::require(attempts >= 1, "a decision involves at least one attempt");
+  util::require(destination_index < per_destination_.size(),
+                "destination index out of range");
   if (!measuring_) {
     return;
   }
-  util::require(attempts >= 1, "a decision involves at least one attempt");
   ++offered_;
   admission_batches_.add(admitted ? 1.0 : 0.0);
   attempts_.add(attempts);
   messages_.add(static_cast<double>(messages));
   if (admitted) {
     ++admitted_;
-    util::require(destination_index < per_destination_.size(),
-                  "destination index out of range");
     ++per_destination_[destination_index];
   }
 }

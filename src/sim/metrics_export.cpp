@@ -1,0 +1,113 @@
+#include "src/sim/metrics_export.h"
+
+#include <algorithm>
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "src/net/topology.h"
+#include "src/signaling/message.h"
+
+namespace anyqos::sim {
+
+void export_metrics(const Simulation& simulation, const SimulationConfig& config,
+                    const SimulationResult& result, obs::MetricsRegistry& registry) {
+  const obs::Labels system{{"system", result.system_label}};
+
+  auto outcome_counter = [&](const char* outcome, std::uint64_t value) {
+    obs::Counter& counter =
+        registry.counter("anyqos_requests_total", "Flow requests by final outcome.",
+                         {{"system", result.system_label}, {"outcome", outcome}});
+    counter.increment(value);
+  };
+  outcome_counter("admitted", result.admitted);
+  outcome_counter("rejected", result.offered - result.admitted);
+
+  registry
+      .counter("anyqos_flows_dropped_total",
+               "Admitted flows torn down early by link faults.", system)
+      .increment(result.dropped);
+
+  registry
+      .gauge("anyqos_admission_probability",
+             "Fraction of offered requests admitted (paper's AP metric).", system)
+      .set(result.admission_probability);
+  registry
+      .gauge("anyqos_admission_probability_ci_halfwidth",
+             "95% batch-means confidence-interval half-width on AP.", system)
+      .set(result.admission_ci.half_width);
+
+  // Replay the integer tries-per-request distribution into a le-bucketed
+  // histogram; one bucket per possible attempt count keeps it lossless.
+  const std::size_t max_attempts =
+      std::max<std::size_t>({result.attempts_histogram.max_value(), config.max_tries,
+                             std::size_t{1}});
+  std::vector<double> bounds;
+  bounds.reserve(max_attempts);
+  for (std::size_t i = 1; i <= max_attempts; ++i) {
+    bounds.push_back(static_cast<double>(i));
+  }
+  obs::Histogram& attempts = registry.histogram(
+      "anyqos_attempts_per_request",
+      "Reservation attempts needed per request (paper's retrial metric).", bounds, system);
+  for (std::size_t v = 0; v <= result.attempts_histogram.max_value(); ++v) {
+    const std::size_t n = result.attempts_histogram.count(v);
+    if (n > 0) {
+      attempts.observe(static_cast<double>(v), static_cast<std::uint64_t>(n));
+    }
+  }
+
+  registry
+      .gauge("anyqos_messages_per_request_mean",
+             "Mean signaling messages (hop traversals) per request.", system)
+      .set(result.average_messages);
+
+  for (std::size_t k = 0; k < signaling::kMessageKindCount; ++k) {
+    const auto kind = static_cast<signaling::MessageKind>(k);
+    registry
+        .counter("anyqos_signaling_messages_total",
+                 "Signaling hop traversals by message kind.",
+                 {{"system", result.system_label},
+                  {"kind", signaling::to_string(kind)}})
+        .increment(result.messages.by_kind(kind));
+  }
+
+  const net::Topology& topology = simulation.ledger().topology();
+  const core::AnycastGroup& group = simulation.group();
+  for (std::size_t i = 0; i < result.per_destination_admissions.size(); ++i) {
+    const std::string member = i < group.size()
+                                   ? topology.router_name(group.member(i))
+                                   : "member" + std::to_string(i);
+    registry
+        .counter("anyqos_admissions_total", "Admitted flows by anycast group member.",
+                 {{"system", result.system_label}, {"member", member}})
+        .increment(result.per_destination_admissions[i]);
+  }
+
+  registry
+      .gauge("anyqos_active_flows_avg",
+             "Time-averaged number of concurrently active flows.", system)
+      .set(result.average_active_flows);
+  registry
+      .gauge("anyqos_link_utilization_mean",
+             "Time-averaged utilization, mean over all links.", system)
+      .set(result.mean_link_utilization);
+  registry
+      .gauge("anyqos_link_utilization_max",
+             "Time-averaged utilization of the most loaded link.", system)
+      .set(result.max_link_utilization);
+
+  // Instantaneous (end-of-run) per-link anycast utilization from the ledger.
+  for (net::LinkId id = 0; id < topology.link_count(); ++id) {
+    const net::Arc& arc = topology.link(id);
+    const std::string label =
+        topology.router_name(arc.from) + "->" + topology.router_name(arc.to);
+    registry
+        .gauge("anyqos_link_utilization",
+               "Anycast-share utilization per directed link at end of run.",
+               {{"system", result.system_label}, {"link", label}})
+        .set(simulation.ledger().utilization(id));
+  }
+}
+
+}  // namespace anyqos::sim

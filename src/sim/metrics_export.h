@@ -1,0 +1,20 @@
+// Bridges simulation results into the obs::MetricsRegistry: one call turns a
+// finished run into labelled counters, gauges, and histograms (per-member
+// admissions, per-kind signaling traffic, per-link utilization) that the
+// registry's Prometheus/JSONL writers can export. Kept out of Simulation
+// itself so runs without a registry pay nothing.
+#pragma once
+
+#include "src/obs/registry.h"
+#include "src/sim/simulation.h"
+
+namespace anyqos::sim {
+
+/// Registers `result` (from `simulation`, configured by `config`) into
+/// `registry`. Every family carries a `system` label with the run's
+/// "<A,R>" label, so several systems can share one registry side by side.
+/// Per-link utilization gauges reflect the ledger at call time (end of run).
+void export_metrics(const Simulation& simulation, const SimulationConfig& config,
+                    const SimulationResult& result, obs::MetricsRegistry& registry);
+
+}  // namespace anyqos::sim

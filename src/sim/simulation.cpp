@@ -1,6 +1,7 @@
 #include "src/sim/simulation.h"
 
 #include <algorithm>
+#include <optional>
 
 #include "src/core/retrial.h"
 #include "src/util/require.h"
@@ -45,6 +46,9 @@ Simulation::Simulation(const net::Topology& topology, SimulationConfig config)
 
   util::require(!(config_.use_gdi && config_.use_centralized),
                 "GDI and centralized baselines are mutually exclusive");
+  if (config_.tracer != nullptr) {
+    config_.tracer->set_clock([this] { return simulator_.now(); });
+  }
   if (config_.use_gdi) {
     oracle_ = std::make_unique<core::GlobalAdmissionOracle>(topology, ledger_, group_);
   } else if (config_.use_centralized) {
@@ -75,6 +79,7 @@ core::AdmissionController& Simulation::controller_for(net::NodeId source) {
         core::make_selector(config_.algorithm, env),
         std::make_unique<core::CounterRetrialPolicy>(config_.max_tries));
     slot->set_observer(admission_observer_);
+    slot->set_tracer(config_.tracer);
   }
   return *slot;
 }
@@ -99,17 +104,20 @@ Simulation::active_selectors() const {
   return selectors;
 }
 
-void Simulation::emit_trace(TraceEventKind kind, net::NodeId source,
-                            net::NodeId destination, std::size_t attempts) {
+void Simulation::emit_trace(TraceEventKind kind, std::uint64_t flow, net::NodeId source,
+                            net::NodeId destination, std::size_t attempts,
+                            double bandwidth_bps) {
   if (config_.trace == nullptr) {
     return;
   }
   TraceEvent event;
   event.time = simulator_.now();
   event.kind = kind;
+  event.flow = flow;
   event.source = source;
   event.destination = destination;
   event.attempts = attempts;
+  event.bandwidth_bps = bandwidth_bps;
   event.active_flows = flows_.size();
   config_.trace->record(event);
 }
@@ -131,6 +139,7 @@ void Simulation::handle_arrival() {
   core::FlowRequest request;
   request.source = arrivals_.draw_source();
   request.bandwidth_bps = config_.traffic.flow_bandwidth_bps;
+  request.request_id = ++next_request_id_;
 
   core::AdmissionDecision decision;
   if (config_.use_gdi) {
@@ -160,13 +169,14 @@ void Simulation::handle_arrival() {
     setup_delay_p95_.add(delay);
   }
   if (!decision.admitted) {
-    emit_trace(TraceEventKind::kRejected, request.source, net::kInvalidNode,
-               decision.attempts);
+    emit_trace(TraceEventKind::kRejected, request.request_id, request.source,
+               net::kInvalidNode, decision.attempts, request.bandwidth_bps);
     return;
   }
 
   touch_links(decision.route);
   ActiveFlow flow;
+  flow.request_id = request.request_id;
   flow.source = request.source;
   flow.destination_index = *decision.destination_index;
   flow.route = decision.route;
@@ -174,8 +184,9 @@ void Simulation::handle_arrival() {
   flow.admitted_at = simulator_.now();
   const FlowId id = flows_.insert(std::move(flow));
   metrics_.record_active_flows(simulator_.now(), flows_.size());
-  emit_trace(TraceEventKind::kAdmitted, request.source,
-             group_.member(*decision.destination_index), decision.attempts);
+  emit_trace(TraceEventKind::kAdmitted, request.request_id, request.source,
+             group_.member(*decision.destination_index), decision.attempts,
+             request.bandwidth_bps);
 
   simulator_.schedule_in(arrivals_.draw_holding(), [this, id] { handle_departure(id); });
 }
@@ -192,8 +203,8 @@ void Simulation::handle_departure(FlowId id) {
   }
   touch_links(flow.route);
   metrics_.record_active_flows(simulator_.now(), flows_.size());
-  emit_trace(TraceEventKind::kDeparted, flow.source, group_.member(flow.destination_index),
-             0);
+  emit_trace(TraceEventKind::kDeparted, flow.request_id, flow.source,
+             group_.member(flow.destination_index), 0, flow.bandwidth_bps);
 }
 
 void Simulation::drop_flows_on_link(net::LinkId link) {
@@ -206,8 +217,8 @@ void Simulation::drop_flows_on_link(net::LinkId link) {
     }
     touch_links(flow.route);
     metrics_.record_dropped_flow();
-    emit_trace(TraceEventKind::kDropped, flow.source, group_.member(flow.destination_index),
-               0);
+    emit_trace(TraceEventKind::kDropped, flow.request_id, flow.source,
+               group_.member(flow.destination_index), 0, flow.bandwidth_bps);
   }
   metrics_.record_active_flows(simulator_.now(), flows_.size());
 }
@@ -222,7 +233,7 @@ void Simulation::apply_fault(const LinkFault& fault) {
   const double now = simulator_.now();
   link_utilization_[forward].update(now, 1.0);
   link_utilization_[backward].update(now, 1.0);
-  emit_trace(TraceEventKind::kLinkDown, fault.a, fault.b, 0);
+  emit_trace(TraceEventKind::kLinkDown, 0, fault.a, fault.b, 0, 0.0);
 }
 
 void Simulation::repair_fault(const LinkFault& fault) {
@@ -233,7 +244,7 @@ void Simulation::repair_fault(const LinkFault& fault) {
   const double now = simulator_.now();
   link_utilization_[forward].update(now, 0.0);
   link_utilization_[backward].update(now, 0.0);
-  emit_trace(TraceEventKind::kLinkUp, fault.a, fault.b, 0);
+  emit_trace(TraceEventKind::kLinkUp, 0, fault.a, fault.b, 0, 0.0);
 }
 
 std::string Simulation::system_label(const SimulationConfig& config) {
@@ -260,6 +271,9 @@ SimulationResult Simulation::run() {
   util::require(!ran_, "a Simulation instance runs once; construct a fresh one");
   ran_ = true;
 
+  if (config_.profiler != nullptr) {
+    config_.profiler->attach(simulator_, [this] { return flows_.size(); });
+  }
   // Seed the event calendar.
   schedule_next_arrival();
   for (const LinkFault& fault : config_.faults) {
@@ -272,7 +286,13 @@ SimulationResult Simulation::run() {
   }
 
   // Warm-up: run, then discard counters and restart integrals.
-  simulator_.run_until(config_.warmup_s);
+  {
+    std::optional<obs::EngineProfiler::PhaseScope> timed;
+    if (config_.profiler != nullptr) {
+      timed.emplace(config_.profiler->phase("warmup"));
+    }
+    simulator_.run_until(config_.warmup_s);
+  }
   counter_.reset();
   metrics_.begin_measurement(simulator_.now());
   metrics_.record_active_flows(simulator_.now(), flows_.size());
@@ -282,7 +302,13 @@ SimulationResult Simulation::run() {
   }
 
   const double end_time = config_.warmup_s + config_.measure_s;
-  simulator_.run_until(end_time);
+  {
+    std::optional<obs::EngineProfiler::PhaseScope> timed;
+    if (config_.profiler != nullptr) {
+      timed.emplace(config_.profiler->phase("measure"));
+    }
+    simulator_.run_until(end_time);
+  }
 
   SimulationResult result;
   result.system_label = system_label(config_);

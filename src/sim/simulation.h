@@ -16,6 +16,8 @@
 #include "src/core/selector.h"
 #include "src/des/simulator.h"
 #include "src/net/bandwidth.h"
+#include "src/obs/profiler.h"
+#include "src/obs/span.h"
 #include "src/net/routing.h"
 #include "src/net/topologies.h"
 #include "src/sim/flow_table.h"
@@ -71,6 +73,14 @@ struct SimulationConfig {
   /// Optional flow-event observer (must outlive the simulation). Receives
   /// every event including warm-up; aggregate metrics stay warm-up-filtered.
   TraceSink* trace = nullptr;
+  /// Optional admission-decision tracer (must outlive the simulation). DAC
+  /// runs only; wired into every AC-router controller with the kernel clock
+  /// installed. Spans cover warm-up too (request ids start at 1).
+  obs::DecisionTracer* tracer = nullptr;
+  /// Optional engine profiler (must outlive the simulation). run() attaches
+  /// it to the kernel before the first event and brackets the warm-up and
+  /// measurement phases with wall-clock timers.
+  obs::EngineProfiler* profiler = nullptr;
 };
 
 /// Aggregated outcome of a run (measurement window only).
@@ -144,8 +154,8 @@ class Simulation {
   void repair_fault(const LinkFault& fault);
   void drop_flows_on_link(net::LinkId link);
   void touch_links(const net::Path& path);
-  void emit_trace(TraceEventKind kind, net::NodeId source, net::NodeId destination,
-                  std::size_t attempts);
+  void emit_trace(TraceEventKind kind, std::uint64_t flow, net::NodeId source,
+                  net::NodeId destination, std::size_t attempts, double bandwidth_bps);
   core::AdmissionController& controller_for(net::NodeId source);
 
   const net::Topology* topology_;
@@ -170,6 +180,7 @@ class Simulation {
   FlowTable flows_;
   MetricsCollector metrics_;
   std::vector<stats::TimeWeighted> link_utilization_;
+  std::uint64_t next_request_id_ = 0;  // arrival sequence; span/trace join key
   bool ran_ = false;
 };
 

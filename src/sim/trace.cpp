@@ -32,11 +32,17 @@ std::size_t MemoryTraceSink::count(TraceEventKind kind) const {
 }
 
 CsvTraceSink::CsvTraceSink(std::ostream& out) : out_(&out) {
-  *out_ << "time,kind,source,destination,attempts,active\n";
+  *out_ << "time,kind,flow,source,destination,attempts,bandwidth_bps,active\n";
 }
 
 void CsvTraceSink::record(const TraceEvent& event) {
   *out_ << event.time << ',' << to_string(event.kind) << ',';
+  if (event.flow == 0) {
+    *out_ << '-';  // link events carry no request id
+  } else {
+    *out_ << event.flow;
+  }
+  *out_ << ',';
   if (event.source == net::kInvalidNode) {
     *out_ << '-';
   } else {
@@ -48,7 +54,8 @@ void CsvTraceSink::record(const TraceEvent& event) {
   } else {
     *out_ << event.destination;
   }
-  *out_ << ',' << event.attempts << ',' << event.active_flows << '\n';
+  *out_ << ',' << event.attempts << ',' << event.bandwidth_bps << ',' << event.active_flows
+        << '\n';
 }
 
 }  // namespace anyqos::sim

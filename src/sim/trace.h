@@ -29,9 +29,14 @@ std::string to_string(TraceEventKind kind);
 struct TraceEvent {
   double time = 0.0;
   TraceEventKind kind = TraceEventKind::kAdmitted;
+  /// Request correlation id (the simulation's arrival sequence number; the
+  /// same id keys the request's obs::DecisionSpan, so flow traces join
+  /// against decision spans). 0 for link events.
+  std::uint64_t flow = 0;
   net::NodeId source = net::kInvalidNode;       ///< request source / link endpoint a
   net::NodeId destination = net::kInvalidNode;  ///< member router / link endpoint b
   std::size_t attempts = 0;                     ///< destinations tried (admission events)
+  double bandwidth_bps = 0.0;                   ///< requested bandwidth (0 for link events)
   std::size_t active_flows = 0;                 ///< population after the event
 };
 
@@ -55,8 +60,8 @@ class MemoryTraceSink final : public TraceSink {
   std::vector<TraceEvent> events_;
 };
 
-/// Streams events as CSV rows (`time,kind,source,destination,attempts,
-/// active`) with a header, suitable for any plotting tool.
+/// Streams events as CSV rows (`time,kind,flow,source,destination,attempts,
+/// bandwidth_bps,active`) with a header, suitable for any plotting tool.
 class CsvTraceSink final : public TraceSink {
  public:
   /// `out` must outlive the sink.

@@ -39,6 +39,8 @@ class CliFlags {
   void parse(int argc, const char* const* argv);
 
   [[nodiscard]] bool help_requested() const { return help_requested_; }
+  /// The program name given at construction (e.g. for perf-record labels).
+  [[nodiscard]] const std::string& program() const { return program_; }
   /// Renders the flag table for --help output.
   [[nodiscard]] std::string help_text() const;
 

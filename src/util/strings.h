@@ -24,7 +24,14 @@ std::optional<unsigned long long> parse_unsigned(std::string_view text);
 /// True when `text` begins with `prefix`.
 bool starts_with(std::string_view text, std::string_view prefix);
 
+/// True when `text` ends with `suffix`.
+bool ends_with(std::string_view text, std::string_view suffix);
+
 /// Formats `value` with `digits` digits after the decimal point.
 std::string format_fixed(double value, int digits);
+
+/// Escapes `text` for embedding inside a JSON string literal: backslash,
+/// double quote, and control characters (\b \f \n \r \t, \u00XX otherwise).
+std::string json_escape(std::string_view text);
 
 }  // namespace anyqos::util

@@ -1,0 +1,207 @@
+// End-to-end reconciliation of the observability layers: decision spans,
+// the CSV/flow trace, the metrics registry, and the engine profiler must
+// all describe the same run, exactly.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <sstream>
+
+#include "src/net/topologies.h"
+#include "src/obs/profiler.h"
+#include "src/obs/registry.h"
+#include "src/obs/span.h"
+#include "src/sim/faults.h"
+#include "src/sim/metrics_export.h"
+#include "src/sim/simulation.h"
+#include "src/sim/trace.h"
+
+namespace anyqos {
+namespace {
+
+sim::SimulationConfig small_mci_config() {
+  sim::SimulationConfig config;
+  config.traffic.arrival_rate = 20.0;
+  config.traffic.mean_holding_s = 60.0;
+  config.traffic.flow_bandwidth_bps = 64'000.0;
+  config.traffic.sources = {1, 3, 5, 7, 9, 11, 13, 15, 17};
+  config.group_members = {0, 4, 8, 12, 16};
+  config.algorithm = core::SelectionAlgorithm::kEvenDistribution;
+  config.max_tries = 2;
+  // No warm-up: spans cover every request, so span-derived statistics must
+  // reconcile exactly with the measured aggregates.
+  config.warmup_s = 0.0;
+  config.measure_s = 400.0;
+  config.seed = 21;
+  return config;
+}
+
+TEST(ObservabilityIntegration, SpansReconcileExactlyWithMetrics) {
+  const net::Topology topo = net::topologies::mci_backbone();
+  sim::SimulationConfig config = small_mci_config();
+  obs::MemorySpanSink spans;
+  obs::DecisionTracer tracer;
+  tracer.set_sink(&spans);
+  config.tracer = &tracer;
+  sim::MemoryTraceSink trace;
+  config.trace = &trace;
+
+  sim::Simulation simulation(topo, config);
+  const sim::SimulationResult result = simulation.run();
+  ASSERT_GT(result.offered, 100u);
+
+  // One root span per offered request, each with its children accounted for.
+  ASSERT_EQ(spans.decisions().size(), result.offered);
+  std::uint64_t admitted = 0;
+  std::uint64_t attempts_sum = 0;
+  std::map<std::size_t, std::uint64_t> admissions_by_member;
+  std::set<std::uint64_t> request_ids;
+  for (const obs::DecisionSpan& root : spans.decisions()) {
+    EXPECT_TRUE(request_ids.insert(root.request_id).second);
+    EXPECT_GE(root.attempts, 1u);
+    EXPECT_LE(root.attempts, config.max_tries);
+    EXPECT_EQ(spans.attempts_for(root.request_id).size(), root.attempts);
+    attempts_sum += root.attempts;
+    if (root.admitted) {
+      ++admitted;
+      ASSERT_TRUE(root.destination_index.has_value());
+      ++admissions_by_member[*root.destination_index];
+    } else {
+      EXPECT_FALSE(root.destination_index.has_value());
+    }
+  }
+
+  // Exact agreement with the collector's aggregates.
+  EXPECT_EQ(admitted, result.admitted);
+  EXPECT_DOUBLE_EQ(static_cast<double>(admitted) / static_cast<double>(result.offered),
+                   result.admission_probability);
+  EXPECT_DOUBLE_EQ(static_cast<double>(attempts_sum) / static_cast<double>(result.offered),
+                   result.average_attempts);
+  for (std::size_t i = 0; i < result.per_destination_admissions.size(); ++i) {
+    EXPECT_EQ(admissions_by_member[i], result.per_destination_admissions[i])
+        << "member " << i;
+  }
+
+  // The flow trace joins against spans: every flow event's request id names
+  // a decision span, and admitted/rejected counts line up.
+  std::size_t traced_admitted = 0;
+  std::size_t traced_rejected = 0;
+  for (const sim::TraceEvent& event : trace.events()) {
+    switch (event.kind) {
+      case sim::TraceEventKind::kAdmitted:
+        ++traced_admitted;
+        EXPECT_EQ(request_ids.count(event.flow), 1u);
+        break;
+      case sim::TraceEventKind::kRejected:
+        ++traced_rejected;
+        EXPECT_EQ(request_ids.count(event.flow), 1u);
+        break;
+      case sim::TraceEventKind::kDeparted:
+      case sim::TraceEventKind::kDropped:
+        EXPECT_EQ(request_ids.count(event.flow), 1u);
+        break;
+      case sim::TraceEventKind::kLinkDown:
+      case sim::TraceEventKind::kLinkUp:
+        break;
+    }
+  }
+  EXPECT_EQ(traced_admitted, result.admitted);
+  EXPECT_EQ(traced_admitted + traced_rejected, result.offered);
+
+  // The exported registry repeats the same numbers.
+  obs::MetricsRegistry registry;
+  sim::export_metrics(simulation, config, result, registry);
+  EXPECT_DOUBLE_EQ(
+      registry.gauge("anyqos_admission_probability", "", {{"system", result.system_label}})
+          .value(),
+      result.admission_probability);
+  EXPECT_EQ(registry
+                .counter("anyqos_requests_total", "",
+                         {{"system", result.system_label}, {"outcome", "admitted"}})
+                .value(),
+            result.admitted);
+  EXPECT_EQ(registry.cardinality("anyqos_admissions_total"), config.group_members.size());
+  EXPECT_EQ(registry.cardinality("anyqos_link_utilization"), topo.link_count());
+  // The attempts histogram replay preserves count and mean.
+  std::ostringstream prom;
+  registry.write_prometheus(prom);
+  EXPECT_NE(prom.str().find("anyqos_attempts_per_request_count"), std::string::npos);
+}
+
+TEST(ObservabilityIntegration, SpanIntegritySurvivesFaultInducedDrops) {
+  const net::Topology topo = net::topologies::mci_backbone();
+  sim::SimulationConfig config = small_mci_config();
+  config.faults = sim::random_fault_schedule(topo, config.measure_s, 0.001, 50.0,
+                                             config.seed + 1);
+  obs::MemorySpanSink spans;
+  obs::DecisionTracer tracer;
+  tracer.set_sink(&spans);
+  config.tracer = &tracer;
+  sim::MemoryTraceSink trace;
+  config.trace = &trace;
+
+  sim::Simulation simulation(topo, config);
+  const sim::SimulationResult result = simulation.run();
+  ASSERT_EQ(spans.decisions().size(), result.offered);
+
+  // Parent/child integrity holds even when faults tear flows down and drive
+  // retrial exhaustion: children sum to the parents' attempt counts and no
+  // span id repeats.
+  std::set<std::uint64_t> span_ids;
+  std::size_t attempts_total = 0;
+  std::set<std::uint64_t> admitted_requests;
+  for (const obs::DecisionSpan& root : spans.decisions()) {
+    const auto children = spans.attempts_for(root.request_id);
+    ASSERT_EQ(children.size(), root.attempts);
+    for (std::size_t i = 0; i < children.size(); ++i) {
+      EXPECT_EQ(children[i].attempt_number, i + 1);
+      EXPECT_TRUE(span_ids.insert(children[i].span_id).second);
+      ++attempts_total;
+    }
+    if (root.admitted) {
+      admitted_requests.insert(root.request_id);
+    }
+  }
+  EXPECT_EQ(spans.attempts().size(), attempts_total);
+
+  // Every dropped flow in the trace refers back to an admitted decision.
+  std::size_t dropped = 0;
+  for (const sim::TraceEvent& event : trace.events()) {
+    if (event.kind == sim::TraceEventKind::kDropped) {
+      ++dropped;
+      EXPECT_EQ(admitted_requests.count(event.flow), 1u);
+    }
+  }
+  EXPECT_EQ(dropped, result.dropped);
+}
+
+TEST(ObservabilityIntegration, ProfilerObservesTheRunWithoutPerturbingIt) {
+  const net::Topology topo = net::topologies::mci_backbone();
+  sim::SimulationConfig config = small_mci_config();
+  sim::Simulation plain(topo, config);
+  const sim::SimulationResult baseline = plain.run();
+
+  obs::EngineProfiler profiler(50.0);
+  config.profiler = &profiler;
+  sim::Simulation profiled(topo, config);
+  const sim::SimulationResult observed = profiled.run();
+
+  // Profiling is wall-clock-only: virtual-time results are unchanged.
+  EXPECT_EQ(observed.offered, baseline.offered);
+  EXPECT_EQ(observed.admitted, baseline.admitted);
+  EXPECT_DOUBLE_EQ(observed.admission_probability, baseline.admission_probability);
+  EXPECT_DOUBLE_EQ(observed.average_attempts, baseline.average_attempts);
+
+  const obs::ProfileSummary summary = profiler.summary();
+  EXPECT_GT(summary.events, 0u);
+  EXPECT_GT(summary.events_per_second, 0.0);
+  EXPECT_EQ(summary.checkpoints, 8u);  // 400 s / 50 s
+  EXPECT_GT(summary.peak_queue_depth, 0u);
+  EXPECT_GT(summary.peak_active_flows, 0u);
+  EXPECT_GT(profiler.phase_seconds("measure"), 0.0);
+  // warmup_s is 0, so the warmup phase is timed but essentially empty.
+  EXPECT_LT(profiler.phase_seconds("warmup"), profiler.phase_seconds("measure"));
+}
+
+}  // namespace
+}  // namespace anyqos

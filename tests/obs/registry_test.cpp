@@ -1,0 +1,159 @@
+#include "src/obs/registry.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace anyqos::obs {
+namespace {
+
+TEST(MetricsRegistry, SameIdentityReturnsSameInstrument) {
+  MetricsRegistry registry;
+  Counter& a = registry.counter("requests", "help", {{"system", "<ED,2>"}});
+  a.increment(3);
+  // Label order must not matter: identity is the sorted label set.
+  Counter& b = registry.counter("requests", "help", {{"system", "<ED,2>"}});
+  EXPECT_EQ(&a, &b);
+  EXPECT_EQ(b.value(), 3u);
+  Counter& two_labels =
+      registry.counter("requests", "help", {{"b", "2"}, {"a", "1"}});
+  Counter& two_labels_reordered =
+      registry.counter("requests", "help", {{"a", "1"}, {"b", "2"}});
+  EXPECT_EQ(&two_labels, &two_labels_reordered);
+}
+
+TEST(MetricsRegistry, CardinalityCountsDistinctLabelSets) {
+  MetricsRegistry registry;
+  EXPECT_EQ(registry.cardinality("admissions"), 0u);
+  registry.counter("admissions", "help", {{"member", "Ra"}});
+  registry.counter("admissions", "help", {{"member", "Rb"}});
+  registry.counter("admissions", "help", {{"member", "Ra"}});  // same series
+  registry.counter("admissions", "help", {});                  // unlabelled series
+  EXPECT_EQ(registry.cardinality("admissions"), 3u);
+  EXPECT_EQ(registry.family_count(), 1u);
+  registry.gauge("ap", "help");
+  EXPECT_EQ(registry.family_count(), 2u);
+  EXPECT_EQ(registry.series_count(), 4u);
+}
+
+TEST(MetricsRegistry, FamiliesAreTypeStable) {
+  MetricsRegistry registry;
+  registry.counter("requests", "help");
+  EXPECT_THROW(registry.gauge("requests", "help"), std::invalid_argument);
+  EXPECT_THROW(registry.histogram("requests", "help", {1.0}), std::invalid_argument);
+  registry.gauge("ap", "help");
+  EXPECT_THROW(registry.counter("ap", "help"), std::invalid_argument);
+}
+
+TEST(MetricsRegistry, RejectsDuplicateLabelKeys) {
+  MetricsRegistry registry;
+  EXPECT_THROW(registry.counter("x", "help", {{"k", "1"}, {"k", "2"}}),
+               std::invalid_argument);
+}
+
+TEST(Histogram, BucketBoundariesUseLeSemantics) {
+  Histogram h({1.0, 2.0, 5.0});
+  h.observe(0.5);   // <= 1
+  h.observe(1.0);   // exactly on a boundary: belongs to the le=1 bucket
+  h.observe(1.001); // <= 2
+  h.observe(2.0);   // <= 2 (boundary again)
+  h.observe(4.9);   // <= 5
+  h.observe(5.1);   // +Inf
+  h.observe(100.0); // +Inf
+  EXPECT_EQ(h.bucket_count(0), 2u);
+  EXPECT_EQ(h.bucket_count(1), 2u);
+  EXPECT_EQ(h.bucket_count(2), 1u);
+  EXPECT_EQ(h.bucket_count(3), 2u);  // +Inf bucket
+  EXPECT_EQ(h.cumulative_count(0), 2u);
+  EXPECT_EQ(h.cumulative_count(1), 4u);
+  EXPECT_EQ(h.cumulative_count(2), 5u);
+  EXPECT_EQ(h.cumulative_count(3), 7u);
+  EXPECT_EQ(h.count(), 7u);
+  EXPECT_DOUBLE_EQ(h.sum(), 0.5 + 1.0 + 1.001 + 2.0 + 4.9 + 5.1 + 100.0);
+}
+
+TEST(Histogram, WeightedObserveReplaysAggregates) {
+  Histogram h({1.0, 2.0});
+  h.observe(1.0, 10);
+  h.observe(2.0, 4);
+  EXPECT_EQ(h.bucket_count(0), 10u);
+  EXPECT_EQ(h.bucket_count(1), 4u);
+  EXPECT_EQ(h.count(), 14u);
+  EXPECT_DOUBLE_EQ(h.sum(), 10.0 + 8.0);
+}
+
+TEST(Histogram, RejectsBadBounds) {
+  EXPECT_THROW(Histogram(std::vector<double>{}), std::invalid_argument);
+  EXPECT_THROW(Histogram({1.0, 1.0}), std::invalid_argument);
+  EXPECT_THROW(Histogram({2.0, 1.0}), std::invalid_argument);
+}
+
+TEST(MetricsRegistry, HistogramBoundsMustMatchOnRelookup) {
+  MetricsRegistry registry;
+  registry.histogram("tries", "help", {1.0, 2.0});
+  EXPECT_NO_THROW(registry.histogram("tries", "help", {1.0, 2.0}));
+  EXPECT_THROW(registry.histogram("tries", "help", {1.0, 3.0}), std::invalid_argument);
+}
+
+TEST(MetricsRegistry, PrometheusTextFormat) {
+  MetricsRegistry registry;
+  registry.counter("anyqos_requests_total", "Requests seen.", {{"system", "<ED,2>"}})
+      .increment(7);
+  registry.gauge("anyqos_ap", "Admission probability.").set(0.5);
+  registry.histogram("anyqos_tries", "Tries.", {1.0, 2.0}).observe(1.0, 3);
+
+  std::ostringstream out;
+  registry.write_prometheus(out);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("# HELP anyqos_requests_total Requests seen.\n"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE anyqos_requests_total counter\n"), std::string::npos);
+  EXPECT_NE(text.find("anyqos_requests_total{system=\"<ED,2>\"} 7\n"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE anyqos_ap gauge\n"), std::string::npos);
+  EXPECT_NE(text.find("anyqos_ap 0.5\n"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE anyqos_tries histogram\n"), std::string::npos);
+  EXPECT_NE(text.find("anyqos_tries_bucket{le=\"1\"} 3\n"), std::string::npos);
+  EXPECT_NE(text.find("anyqos_tries_bucket{le=\"2\"} 3\n"), std::string::npos);
+  EXPECT_NE(text.find("anyqos_tries_bucket{le=\"+Inf\"} 3\n"), std::string::npos);
+  EXPECT_NE(text.find("anyqos_tries_sum 3\n"), std::string::npos);
+  EXPECT_NE(text.find("anyqos_tries_count 3\n"), std::string::npos);
+}
+
+TEST(MetricsRegistry, PrometheusEscapesLabelValues) {
+  MetricsRegistry registry;
+  registry.counter("m", "help", {{"k", "a\\b\"c\nd"}}).increment();
+  std::ostringstream out;
+  registry.write_prometheus(out);
+  // Backslash, double quote, and newline must be escaped in label values.
+  EXPECT_NE(out.str().find("m{k=\"a\\\\b\\\"c\\nd\"} 1\n"), std::string::npos);
+}
+
+TEST(MetricsRegistry, JsonlSnapshotIsOneObjectPerLine) {
+  MetricsRegistry registry;
+  registry.counter("c", "help", {{"k", "v"}}).increment(2);
+  registry.gauge("g", "help").set(1.5);
+  registry.histogram("h", "help", {1.0}).observe(0.5);
+  std::ostringstream out;
+  registry.write_jsonl(out);
+  const std::string text = out.str();
+  std::size_t lines = 0;
+  std::istringstream in(text);
+  for (std::string line; std::getline(in, line);) {
+    ++lines;
+    ASSERT_FALSE(line.empty());
+    EXPECT_EQ(line.front(), '{');
+    EXPECT_EQ(line.back(), '}');
+  }
+  EXPECT_EQ(lines, 3u);
+  EXPECT_NE(text.find("\"name\":\"c\""), std::string::npos);
+  EXPECT_NE(text.find("\"type\":\"counter\""), std::string::npos);
+  EXPECT_NE(text.find("\"labels\":{\"k\":\"v\"}"), std::string::npos);
+  EXPECT_NE(text.find("\"value\":2"), std::string::npos);
+  EXPECT_NE(text.find("\"type\":\"histogram\""), std::string::npos);
+  EXPECT_NE(text.find("\"count\":1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace anyqos::obs

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <stdexcept>
+
 namespace anyqos::sim {
 namespace {
 
@@ -14,6 +16,24 @@ TEST(MetricsCollector, IgnoresEverythingBeforeMeasurement) {
   metrics.record_decision(true, 1, 4, 2);
   EXPECT_EQ(metrics.offered(), 1u);
   EXPECT_EQ(metrics.admitted(), 1u);
+}
+
+TEST(MetricsCollector, RejectsOutOfRangeDestinationIndex) {
+  MetricsCollector metrics(3);
+  metrics.begin_measurement(0.0);
+  metrics.record_decision(true, 1, 4, 1);
+  // destination_index must index the group, for admissions and rejections
+  // alike; a bad call must leave the collector untouched.
+  EXPECT_THROW(metrics.record_decision(true, 1, 4, 3), std::invalid_argument);
+  EXPECT_THROW(metrics.record_decision(false, 2, 8, 99), std::invalid_argument);
+  EXPECT_EQ(metrics.offered(), 1u);
+  EXPECT_EQ(metrics.admitted(), 1u);
+  EXPECT_EQ(metrics.per_destination_admissions()[1], 1u);
+  // The guard also applies before measurement starts (fail fast, not
+  // fail-only-when-measuring).
+  MetricsCollector warmup(2);
+  EXPECT_THROW(warmup.record_decision(true, 1, 2, 5), std::invalid_argument);
+  EXPECT_THROW(warmup.record_decision(true, 0, 2, 0), std::invalid_argument);
 }
 
 TEST(MetricsCollector, AdmissionProbability) {

@@ -42,9 +42,11 @@ TEST(CsvTraceSink, WritesHeaderAndRows) {
   TraceEvent event;
   event.time = 1.5;
   event.kind = TraceEventKind::kAdmitted;
+  event.flow = 17;
   event.source = 3;
   event.destination = 8;
   event.attempts = 2;
+  event.bandwidth_bps = 64000;
   event.active_flows = 41;
   sink.record(event);
   TraceEvent fault;
@@ -54,9 +56,53 @@ TEST(CsvTraceSink, WritesHeaderAndRows) {
   fault.destination = 1;
   sink.record(fault);
   const std::string text = out.str();
-  EXPECT_NE(text.find("time,kind,source,destination,attempts,active\n"), std::string::npos);
-  EXPECT_NE(text.find("1.5,ADMITTED,3,8,2,41"), std::string::npos);
-  EXPECT_NE(text.find("2,LINK_DOWN,0,1,0,0"), std::string::npos);
+  EXPECT_NE(text.find("time,kind,flow,source,destination,attempts,bandwidth_bps,active\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("1.5,ADMITTED,17,3,8,2,64000,41"), std::string::npos);
+  // Link events carry no request id or bandwidth.
+  EXPECT_NE(text.find("2,LINK_DOWN,-,0,1,0,0,0"), std::string::npos);
+}
+
+TEST(SimulationTracing, FlowEventsCarryRequestIdAndBandwidth) {
+  const net::Topology topo = net::topologies::ring(6);
+  SimulationConfig config;
+  config.traffic.arrival_rate = 5.0;
+  config.traffic.mean_holding_s = 30.0;
+  config.traffic.flow_bandwidth_bps = 64'000.0;
+  config.traffic.sources = {1, 2};
+  config.group_members = {0, 3};
+  config.warmup_s = 0.0;
+  config.measure_s = 100.0;
+  config.seed = 7;
+  MemoryTraceSink sink;
+  config.trace = &sink;
+  Simulation sim(topo, config);
+  (void)sim.run();
+
+  std::uint64_t last_arrival_id = 0;
+  for (const TraceEvent& event : sink.events()) {
+    switch (event.kind) {
+      case TraceEventKind::kAdmitted:
+      case TraceEventKind::kRejected:
+        // Arrival sequence numbers start at 1 and strictly increase.
+        EXPECT_EQ(event.flow, last_arrival_id + 1);
+        last_arrival_id = event.flow;
+        EXPECT_DOUBLE_EQ(event.bandwidth_bps, 64'000.0);
+        break;
+      case TraceEventKind::kDeparted:
+      case TraceEventKind::kDropped:
+        // Departures reference a previously seen arrival.
+        EXPECT_GE(event.flow, 1u);
+        EXPECT_LE(event.flow, last_arrival_id);
+        EXPECT_DOUBLE_EQ(event.bandwidth_bps, 64'000.0);
+        break;
+      case TraceEventKind::kLinkDown:
+      case TraceEventKind::kLinkUp:
+        EXPECT_EQ(event.flow, 0u);
+        break;
+    }
+  }
+  EXPECT_GT(last_arrival_id, 0u);
 }
 
 TEST(SimulationTracing, EventStreamIsConsistent) {
