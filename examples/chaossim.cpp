@@ -1,0 +1,245 @@
+// chaossim — chaos harness for the resilient signaling plane.
+//
+// Sweeps a fault matrix — control-message loss x injected hop delay x member
+// churn x link faults — and runs every cell to quiescence (arrivals stop
+// after the measurement window, the calendar runs dry) under a non-throwing
+// InvariantAuditor. A cell passes when it ends with an empty flow table,
+// zero reserved bandwidth, zero pending orphans, a clean audit log, and —
+// for probe-free runs started without warm-up — a signaling hop tally that
+// reconciles exactly with the MessageCounter. Exits nonzero if any cell
+// fails, which makes the binary a CI gate.
+//
+//   $ ./chaossim
+//   $ ./chaossim --losses=0,0.1,0.3 --churn-rates=0,0.005 --fault-rate=1e-4
+//   $ ./chaossim --topology=grid:3x3 --group=0,8 --measure=2000 --out=chaos.csv
+#include <fstream>
+#include <iostream>
+#include <vector>
+
+#include "src/audit/auditor.h"
+#include "src/net/topologies.h"
+#include "src/sim/churn.h"
+#include "src/sim/faults.h"
+#include "src/sim/simulation.h"
+#include "src/util/cli.h"
+#include "src/util/require.h"
+#include "src/util/strings.h"
+#include "src/util/table.h"
+
+namespace {
+
+using namespace anyqos;
+
+std::vector<net::NodeId> parse_nodes(const std::string& text, const char* what) {
+  std::vector<net::NodeId> nodes;
+  for (const std::string& field : util::split(text, ',')) {
+    const auto value = util::parse_unsigned(field);
+    util::require(value.has_value(), std::string(what) + " must be a comma list of node ids");
+    nodes.push_back(static_cast<net::NodeId>(*value));
+  }
+  return nodes;
+}
+
+std::vector<double> parse_probabilities(const std::string& text, const char* what) {
+  std::vector<double> values;
+  for (const std::string& field : util::split(text, ',')) {
+    const auto value = util::parse_double(field);
+    util::require(value.has_value() && *value >= 0.0 && *value <= 1.0,
+                  std::string(what) + " must be a comma list of probabilities in [0,1]");
+    values.push_back(*value);
+  }
+  util::require(!values.empty(), std::string(what) + " must not be empty");
+  return values;
+}
+
+std::vector<double> parse_rates(const std::string& text, const char* what) {
+  std::vector<double> values;
+  for (const std::string& field : util::split(text, ',')) {
+    const auto value = util::parse_double(field);
+    util::require(value.has_value() && *value >= 0.0,
+                  std::string(what) + " must be a comma list of non-negative rates");
+    values.push_back(*value);
+  }
+  util::require(!values.empty(), std::string(what) + " must not be empty");
+  return values;
+}
+
+net::Topology build_topology(const std::string& spec) {
+  if (spec == "mci") {
+    return net::topologies::mci_backbone();
+  }
+  if (util::starts_with(spec, "line:")) {
+    return net::topologies::line(util::parse_unsigned(spec.substr(5)).value());
+  }
+  if (util::starts_with(spec, "ring:")) {
+    return net::topologies::ring(util::parse_unsigned(spec.substr(5)).value());
+  }
+  if (util::starts_with(spec, "grid:")) {
+    const auto dims = util::split(spec.substr(5), 'x');
+    util::require(dims.size() == 2, "grid spec is grid:<rows>x<cols>");
+    return net::topologies::grid(util::parse_unsigned(dims[0]).value(),
+                                 util::parse_unsigned(dims[1]).value());
+  }
+  util::require(false, "unknown topology spec '" + spec + "' (mci, line:N, ring:N, grid:RxC)");
+  util::unreachable("build_topology");
+}
+
+struct CellVerdict {
+  bool leaked = false;          // reserved bandwidth or orphans survived the drain
+  bool violations = false;      // the auditor logged at least one finding
+  bool unreconciled = false;    // hop mirror != MessageCounter (when checkable)
+  [[nodiscard]] bool clean() const { return !leaked && !violations && !unreconciled; }
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::CliFlags flags("chaossim",
+                       "Chaos matrix for the resilient signaling plane (CI gate)");
+  flags.add_string("topology", "ring:8", "mci | line:N | ring:N | grid:RxC");
+  flags.add_string("group", "0,4", "anycast member routers");
+  flags.add_string("sources", "1,3,5,7", "source routers");
+  flags.add_string("losses", "0,0.05,0.2", "comma list of loss probabilities to sweep");
+  flags.add_string("churn-rates", "0,0.002", "comma list of per-member outage rates/s");
+  flags.add_duration("hop-delay", 0.0005, "injected control-plane delay per hop, seconds");
+  flags.add_double("fault-rate", 2e-4, "per-link failures/s for the faults-on half");
+  flags.add_duration("fault-repair", 150.0, "mean link outage duration, seconds");
+  flags.add_duration("churn-downtime", 120.0, "mean member outage duration, seconds");
+  flags.add_duration("retransmit-timeout", 0.5, "wait before the first PATH retransmit");
+  flags.add_unsigned("max-retransmits", 2, "PATH re-sends before giving up");
+  flags.add_duration("orphan-hold", 20.0, "soft-state hold before orphan reclaim, seconds");
+  flags.add_double("lambda", 8.0, "total arrival rate, requests/s");
+  flags.add_duration("holding", 40.0, "mean flow lifetime, seconds");
+  flags.add_double("bandwidth", 64'000.0, "per-flow bandwidth, bit/s");
+  flags.add_duration("measure", 1'000.0, "measured seconds per cell (warm-up is zero so the"
+                                         " message reconciliation stays exact)");
+  flags.add_unsigned("seed", 101, "master RNG seed (each cell offsets it)");
+  flags.add_string("out", "", "also write the matrix as CSV to this file");
+  flags.parse(argc, argv);
+  if (flags.help_requested()) {
+    std::cout << flags.help_text();
+    return 0;
+  }
+
+  const net::Topology topology = build_topology(flags.get_string("topology"));
+  const std::vector<double> losses =
+      parse_probabilities(flags.get_string("losses"), "--losses");
+  const std::vector<double> churn_rates =
+      parse_rates(flags.get_string("churn-rates"), "--churn-rates");
+
+  util::TablePrinter table({"loss", "churn/s", "faults", "AP", "retx", "orphans", "dropped",
+                            "failover", "verdict"});
+  std::ostringstream csv;
+  csv << "loss,churn_rate,faults,admission_probability,retransmits,orphans_reclaimed,"
+         "dropped_by_fault,dropped_by_churn,failover_admitted,failover_attempts,leaked,"
+         "violations,unreconciled\n";
+
+  std::size_t failures = 0;
+  std::uint64_t cell = 0;
+  for (const double loss : losses) {
+    for (const double churn_rate : churn_rates) {
+      for (const bool faults_on : {false, true}) {
+        ++cell;
+        sim::SimulationConfig config;
+        config.traffic.arrival_rate = flags.get_double("lambda");
+        config.traffic.mean_holding_s = flags.get_double("holding");
+        config.traffic.flow_bandwidth_bps = flags.get_double("bandwidth");
+        config.traffic.sources = parse_nodes(flags.get_string("sources"), "--sources");
+        config.group_members = parse_nodes(flags.get_string("group"), "--group");
+        config.algorithm = core::SelectionAlgorithm::kEvenDistribution;  // probe-free
+        config.max_tries = 2;
+        // Zero warm-up: the MessageCounter is never reset mid-run, so the
+        // resilient protocol's hop mirror must match it exactly.
+        config.warmup_s = 0.0;
+        config.measure_s = flags.get_double("measure");
+        config.seed = flags.get_unsigned("seed") + cell;
+        config.drain_to_quiescence = true;
+
+        signaling::ResilienceOptions resilience;
+        resilience.faults.loss_probability = loss;
+        resilience.faults.hop_delay_s = flags.get_double("hop-delay");
+        resilience.retransmit_timeout_s = flags.get_double("retransmit-timeout");
+        resilience.max_retransmits = flags.get_unsigned("max-retransmits");
+        resilience.orphan_hold_s = flags.get_double("orphan-hold");
+        config.resilience = resilience;
+
+        if (churn_rate > 0.0) {
+          config.churn = sim::random_churn_schedule(config.group_members.size(),
+                                                    config.measure_s, churn_rate,
+                                                    flags.get_double("churn-downtime"),
+                                                    config.seed + 1);
+        }
+        if (faults_on) {
+          config.faults = sim::random_fault_schedule(topology, config.measure_s,
+                                                     flags.get_double("fault-rate"),
+                                                     flags.get_double("fault-repair"),
+                                                     config.seed + 2);
+        }
+
+        sim::Simulation simulation(topology, config);
+        audit::AuditorOptions audit_options;
+        audit_options.throw_on_violation = false;  // survey the whole matrix
+        audit_options.checkpoint_interval_s = 50.0;
+        audit::InvariantAuditor auditor(audit_options);
+        auditor.attach(simulation);
+        const sim::SimulationResult result = simulation.run();
+
+        CellVerdict verdict;
+        auto* resilient = simulation.resilient();
+        util::ensure(resilient != nullptr, "chaos cells always run resilient");
+        if (simulation.ledger().total_reserved() > 0.0 || simulation.active_flows() > 0 ||
+            resilient->pending_orphans() > 0) {
+          verdict.leaked = true;
+          // Documented leak repair: reclaim whatever soft state survived the
+          // drain so the next cell's numbers are not polluted. The cell still
+          // fails — a drained run must not need this.
+          (void)resilient->reclaim_pending();
+        }
+        verdict.violations = !auditor.log().empty();
+        verdict.unreconciled =
+            result.resilience.hops_counted != result.messages.total();
+        if (!verdict.clean()) {
+          ++failures;
+        }
+
+        std::ostringstream drops;
+        drops << result.dropped_by_fault << "/" << result.dropped_by_churn;
+        std::ostringstream failover;
+        failover << result.failover_admitted << "/" << result.failover_attempts;
+        table.add_row({util::format_fixed(loss, 2), util::format_fixed(churn_rate, 4),
+                       faults_on ? "on" : "off",
+                       util::format_fixed(result.admission_probability, 4),
+                       std::to_string(result.resilience.retransmits),
+                       std::to_string(result.resilience.orphans_reclaimed), drops.str(),
+                       failover.str(),
+                       verdict.clean() ? "clean"
+                                       : (std::string(verdict.leaked ? " leak" : "") +
+                                          (verdict.violations ? " audit" : "") +
+                                          (verdict.unreconciled ? " msgs" : ""))});
+        csv << loss << ',' << churn_rate << ',' << (faults_on ? 1 : 0) << ','
+            << result.admission_probability << ',' << result.resilience.retransmits << ','
+            << result.resilience.orphans_reclaimed << ',' << result.dropped_by_fault << ','
+            << result.dropped_by_churn << ',' << result.failover_admitted << ','
+            << result.failover_attempts << ',' << (verdict.leaked ? 1 : 0) << ','
+            << (verdict.violations ? 1 : 0) << ',' << (verdict.unreconciled ? 1 : 0) << "\n";
+        if (verdict.violations) {
+          std::cerr << "audit findings (loss=" << loss << " churn=" << churn_rate
+                    << " faults=" << (faults_on ? "on" : "off") << "):\n"
+                    << auditor.log().to_text();
+        }
+      }
+    }
+  }
+
+  std::cout << table.to_text() << "\n"
+            << cell << " cells, " << failures << " failed ("
+            << losses.size() << " loss x " << churn_rates.size()
+            << " churn x 2 fault settings; drained to quiescence, audited)\n";
+  if (!flags.get_string("out").empty()) {
+    std::ofstream out(flags.get_string("out"));
+    util::require(out.good(), "cannot open --out file");
+    out << csv.str();
+    std::cout << "matrix written to " << flags.get_string("out") << "\n";
+  }
+  return failures == 0 ? 0 : 1;
+}

@@ -93,6 +93,16 @@ int main(int argc, char** argv) {
   flags.add_unsigned("seed", 1, "master RNG seed");
   flags.add_double("fault-rate", 0.0, "per-link failures/s (0 = no faults)");
   flags.add_double("fault-repair", 300.0, "mean outage duration, seconds");
+  flags.add_bool("resilient", false, "use the resilient signaling plane even at zero loss");
+  flags.add_probability("loss", 0.0, "control-message loss probability (implies --resilient)");
+  flags.add_duration("hop-delay", 0.0, "injected control-plane delay per hop, seconds");
+  flags.add_duration("retransmit-timeout", 1.0, "wait before the first PATH retransmit, seconds");
+  flags.add_unsigned("max-retransmits", 3, "PATH re-sends before giving up");
+  flags.add_duration("orphan-hold", 30.0, "soft-state hold before orphan reclaim, seconds");
+  flags.add_double("churn-rate", 0.0, "per-member outages/s (0 = no churn)");
+  flags.add_duration("churn-downtime", 300.0, "mean member outage duration, seconds");
+  flags.add_bool("failover", true, "re-admit flows displaced by member churn");
+  flags.add_bool("drain", false, "drain to quiescence after the measurement window");
   flags.add_string("trace", "", "write a CSV event trace to this file");
   flags.add_bool("audit", true, "attach the runtime invariant auditor");
   flags.add_double("audit-interval", 100.0, "seconds between audit checkpoints");
@@ -136,6 +146,23 @@ int main(int argc, char** argv) {
         topology, config.warmup_s + config.measure_s, flags.get_double("fault-rate"),
         flags.get_double("fault-repair"), config.seed + 1);
   }
+  if (flags.get_bool("resilient") || flags.get_double("loss") > 0.0 ||
+      flags.get_double("hop-delay") > 0.0) {
+    signaling::ResilienceOptions resilience;
+    resilience.faults.loss_probability = flags.get_double("loss");
+    resilience.faults.hop_delay_s = flags.get_double("hop-delay");
+    resilience.retransmit_timeout_s = flags.get_double("retransmit-timeout");
+    resilience.max_retransmits = flags.get_unsigned("max-retransmits");
+    resilience.orphan_hold_s = flags.get_double("orphan-hold");
+    config.resilience = resilience;
+  }
+  if (flags.get_double("churn-rate") > 0.0) {
+    config.churn = sim::random_churn_schedule(
+        config.group_members.size(), config.warmup_s + config.measure_s,
+        flags.get_double("churn-rate"), flags.get_double("churn-downtime"), config.seed + 2);
+  }
+  config.failover_readmit = flags.get_bool("failover");
+  config.drain_to_quiescence = flags.get_bool("drain");
 
   std::ofstream trace_file;
   std::unique_ptr<sim::CsvTraceSink> trace;
@@ -189,7 +216,21 @@ int main(int argc, char** argv) {
             << "avg active flows  " << util::format_fixed(result.average_active_flows, 1) << "\n"
             << "link utilization  mean " << util::format_fixed(result.mean_link_utilization, 4)
             << ", max " << util::format_fixed(result.max_link_utilization, 4) << "\n"
-            << "dropped by faults " << result.dropped << "\n";
+            << "dropped flows     " << result.dropped << " (faults " << result.dropped_by_fault
+            << ", churn " << result.dropped_by_churn << ")\n";
+  if (!config.churn.empty()) {
+    std::cout << "churn events      " << config.churn.size() << " outages, failover "
+              << result.failover_admitted << "/" << result.failover_attempts
+              << " re-admitted\n";
+  }
+  if (config.resilience.has_value()) {
+    std::cout << "control plane     " << result.resilience.retransmits << " retransmits, "
+              << result.resilience.give_ups << " give-ups, "
+              << result.resilience.messages_lost << " lost, "
+              << result.resilience.orphans_reclaimed << " orphans reclaimed ("
+              << util::format_fixed(result.resilience.orphaned_bandwidth_reclaimed_bps / 1e6, 2)
+              << " Mbit/s)\n";
+  }
   if (auditor != nullptr) {
     std::cout << "audit violations  " << auditor->log().size()
               << " (ledger conservation/pairing, weight norm, retrial, checkpoints every "

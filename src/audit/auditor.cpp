@@ -76,7 +76,12 @@ void InvariantAuditor::schedule_checkpoint() {
   // event at all times, so run_until() leaves it parked past the horizon.
   simulation_->simulator().schedule_in(options_.checkpoint_interval_s, [this] {
     checkpoint(now());
-    schedule_checkpoint();
+    // A draining run (drain_to_quiescence) ends when the calendar empties;
+    // parking another checkpoint would keep it spinning forever. The final
+    // checkpoint above still audits the drain in progress.
+    if (!simulation_->draining()) {
+      schedule_checkpoint();
+    }
   });
 }
 

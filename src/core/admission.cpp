@@ -47,8 +47,15 @@ AdmissionDecision AdmissionController::admit(const FlowRequest& request, des::Ra
   // WD/D+B's probe traffic being visible.
   const std::uint64_t messages_before = rsvp_->counter().total();
   // std::vector<bool> is bit-packed and cannot view as span<const bool>.
+  // Down members (churn extension) enter the loop pre-marked as tried: the
+  // selector never picks them and its masking machinery redistributes their
+  // weight over the live members, exactly as it does for retried ones. When
+  // every member is down, select() returns nullopt immediately and the
+  // request is rejected with zero attempts.
   const auto tried = std::make_unique<bool[]>(group_->size());
-  std::fill_n(tried.get(), group_->size(), false);
+  for (std::size_t i = 0; i < group_->size(); ++i) {
+    tried[i] = !group_->is_up(i);
+  }
   const std::span<const bool> tried_view(tried.get(), group_->size());
   // Figure 1: REPEAT { select; reserve; retry-control } UNTIL rejected.
   while (true) {
@@ -74,7 +81,7 @@ AdmissionDecision AdmissionController::admit(const FlowRequest& request, des::Ra
       const std::size_t budget = retrial_->max_attempts();
       tracer->record_attempt(*index, group_->member(*index), std::move(weight_snapshot),
                              route.hops(), result.bottleneck_bps, result.admitted,
-                             result.blocking_link, result.messages,
+                             result.blocking_link, result.messages, result.retransmits,
                              budget > decision.attempts ? budget - decision.attempts : 0);
     }
     if (result.admitted) {

@@ -12,6 +12,26 @@ AnycastGroup::AnycastGroup(std::string address, std::vector<net::NodeId> members
   util::require(!members_.empty(), "anycast group must have at least one member");
   const std::set<net::NodeId> unique(members_.begin(), members_.end());
   util::require(unique.size() == members_.size(), "anycast group members must be distinct");
+  up_.assign(members_.size(), 1);
+  up_count_ = members_.size();
+}
+
+bool AnycastGroup::is_up(std::size_t index) const {
+  util::require(index < members_.size(), "member index out of range");
+  return up_[index] != 0;
+}
+
+void AnycastGroup::set_member_up(std::size_t index, bool up) {
+  util::require(index < members_.size(), "member index out of range");
+  if ((up_[index] != 0) == up) {
+    return;  // no transition
+  }
+  up_[index] = up ? 1 : 0;
+  if (up) {
+    ++up_count_;
+  } else {
+    --up_count_;
+  }
 }
 
 net::NodeId AnycastGroup::member(std::size_t index) const {

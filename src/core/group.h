@@ -16,24 +16,39 @@ namespace anyqos::core {
 /// Members are identified by the router each recipient host attaches to
 /// (the experiment model attaches exactly one host per router). Member order
 /// is significant: selection algorithms index members by position.
+///
+/// Membership is dynamic (churn extension): each member carries an up/down
+/// flag. The member list itself never changes — indices stay stable so
+/// selector state (weights, history) survives churn — but admission skips
+/// down members, and flows pinned to a member that goes down are torn down
+/// by the simulation.
 class AnycastGroup {
  public:
   /// `address` is a display label (e.g. "anycast://mirrors").
-  /// `members` must be non-empty and duplicate-free.
+  /// `members` must be non-empty and duplicate-free. All members start up.
   AnycastGroup(std::string address, std::vector<net::NodeId> members);
 
   [[nodiscard]] const std::string& address() const { return address_; }
   [[nodiscard]] const std::vector<net::NodeId>& members() const { return members_; }
-  /// K, the group size.
+  /// K, the group size (up and down members alike).
   [[nodiscard]] std::size_t size() const { return members_.size(); }
   /// Router of member `index`.
   [[nodiscard]] net::NodeId member(std::size_t index) const;
-  /// True when `node` hosts a member.
+  /// True when `node` hosts a member (up or down).
   [[nodiscard]] bool contains(net::NodeId node) const;
+
+  /// True while member `index` is in service and eligible for selection.
+  [[nodiscard]] bool is_up(std::size_t index) const;
+  /// Marks member `index` up (true) or down (false).
+  void set_member_up(std::size_t index, bool up);
+  /// Members currently up.
+  [[nodiscard]] std::size_t up_count() const { return up_count_; }
 
  private:
   std::string address_;
   std::vector<net::NodeId> members_;
+  std::vector<char> up_;  // vector<bool> is bit-packed; keep it addressable
+  std::size_t up_count_ = 0;
 };
 
 }  // namespace anyqos::core

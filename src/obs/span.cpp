@@ -61,7 +61,7 @@ void JsonlSpanSink::on_attempt(const AttemptSpan& span) {
   } else {
     *out_ << "null";
   }
-  *out_ << ",\"messages\":" << span.messages
+  *out_ << ",\"messages\":" << span.messages << ",\"retransmits\":" << span.retransmits
         << ",\"retries_remaining\":" << span.retries_remaining << "}\n";
 }
 
@@ -102,7 +102,8 @@ void DecisionTracer::record_attempt(std::size_t member_index, net::NodeId member
                                     std::vector<double> weights, std::size_t route_hops,
                                     net::Bandwidth bottleneck_bps, bool admitted,
                                     std::optional<net::LinkId> blocking_link,
-                                    std::uint64_t messages, std::size_t retries_remaining) {
+                                    std::uint64_t messages, std::uint64_t retransmits,
+                                    std::size_t retries_remaining) {
   util::require(in_request_, "attempt span outside a request span");
   AttemptSpan span;
   span.request_id = current_.request_id;
@@ -117,6 +118,7 @@ void DecisionTracer::record_attempt(std::size_t member_index, net::NodeId member
   span.admitted = admitted;
   span.blocking_link = blocking_link;
   span.messages = messages;
+  span.retransmits = retransmits;
   span.retries_remaining = retries_remaining;
   sink_->on_attempt(span);
   ++spans_emitted_;

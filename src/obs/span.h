@@ -42,6 +42,9 @@ struct AttemptSpan {
   bool admitted = false;              ///< per-hop reservation outcome
   std::optional<net::LinkId> blocking_link;  ///< hop that failed admission
   std::uint64_t messages = 0;         ///< signaling traversals this attempt
+  /// PATH retransmissions the reservation needed (resilient signaling only;
+  /// 0 under the fault-free protocol). Makes retry storms visible per span.
+  std::uint64_t retransmits = 0;
   std::size_t retries_remaining = 0;  ///< retry-counter budget left (R - c)
 };
 
@@ -126,7 +129,7 @@ class DecisionTracer {
                       std::vector<double> weights, std::size_t route_hops,
                       net::Bandwidth bottleneck_bps, bool admitted,
                       std::optional<net::LinkId> blocking_link, std::uint64_t messages,
-                      std::size_t retries_remaining);
+                      std::uint64_t retransmits, std::size_t retries_remaining);
   void end_request(bool admitted, std::optional<std::size_t> destination_index,
                    std::uint64_t messages);
 

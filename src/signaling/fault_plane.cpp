@@ -1,0 +1,38 @@
+#include "src/signaling/fault_plane.h"
+
+#include "src/util/require.h"
+
+namespace anyqos::signaling {
+
+FaultPlane::FaultPlane(const net::BandwidthLedger& ledger, des::RandomStream& rng,
+                       FaultPlaneOptions options)
+    : ledger_(&ledger), rng_(&rng), options_(options) {
+  util::require(options.loss_probability >= 0.0 && options.loss_probability <= 1.0,
+                "message loss probability must be in [0,1]");
+  util::require(options.hop_delay_s >= 0.0, "hop delay must be non-negative");
+  util::require(options.hop_jitter_s >= 0.0, "hop jitter must be non-negative");
+}
+
+HopOutcome FaultPlane::traverse(net::LinkId link) {
+  if (ledger_->is_failed(link)) {
+    ++killed_;
+    return HopOutcome::kLinkDown;
+  }
+  if (options_.loss_probability > 0.0 && rng_->bernoulli(options_.loss_probability)) {
+    ++lost_;
+    return HopOutcome::kLost;
+  }
+  double delay = options_.hop_delay_s;
+  if (options_.hop_jitter_s > 0.0) {
+    delay += rng_->uniform(0.0, options_.hop_jitter_s);
+  }
+  delay_injected_s_ += delay;
+  return HopOutcome::kDelivered;
+}
+
+bool FaultPlane::perfect() const {
+  return options_.loss_probability == 0.0 && options_.hop_delay_s == 0.0 &&
+         options_.hop_jitter_s == 0.0;
+}
+
+}  // namespace anyqos::signaling

@@ -1,0 +1,73 @@
+// Control-plane fault injection (robustness extension).
+//
+// Section 3 assumes the signaling network is fault-free; the FaultPlane is
+// the single point where that assumption is broken on purpose. Every control
+// message the resilient protocol moves (PATH/RESV/TEAR/PATH_ERR) consults it
+// hop by hop: a hop may silently drop the message (per-hop Bernoulli loss),
+// delay it (per-hop latency plus jitter), or kill it outright because the
+// directed link it would cross is out of service (outage awareness — a dead
+// link delivers nothing, it does not politely return an error).
+//
+// The plane is pure policy: it owns no timers and mutates no ledger. It
+// tallies what it injected so chaos runs can reconcile "messages lost" with
+// "retransmits sent" exactly.
+#pragma once
+
+#include <cstdint>
+
+#include "src/des/random.h"
+#include "src/net/bandwidth.h"
+
+namespace anyqos::signaling {
+
+/// Knobs for control-message fault injection. All-defaults means a perfect
+/// network (nothing dropped, nothing delayed) — the paper's Section 3 model.
+struct FaultPlaneOptions {
+  /// Probability that any one hop traversal silently loses the message.
+  double loss_probability = 0.0;
+  /// Deterministic one-way latency a message spends crossing one hop.
+  double hop_delay_s = 0.0;
+  /// Uniform extra delay in [0, jitter] added per hop on top of hop_delay_s.
+  double hop_jitter_s = 0.0;
+};
+
+/// What happened to one hop traversal.
+enum class HopOutcome : std::uint8_t {
+  kDelivered,  // the message crossed the hop
+  kLost,       // random loss swallowed it
+  kLinkDown,   // the directed link is out of service
+};
+
+/// Per-hop fault decisions for control messages.
+class FaultPlane {
+ public:
+  /// `ledger` supplies link up/down state and `rng` drives loss and jitter;
+  /// both must outlive the plane.
+  FaultPlane(const net::BandwidthLedger& ledger, des::RandomStream& rng,
+             FaultPlaneOptions options);
+
+  /// Decides the fate of a message about to cross directed link `link`.
+  /// Loss and outage are tallied; delay accrues into delay_injected_s().
+  HopOutcome traverse(net::LinkId link);
+
+  /// True when every knob is at its fault-free default.
+  [[nodiscard]] bool perfect() const;
+
+  [[nodiscard]] const FaultPlaneOptions& options() const { return options_; }
+  /// Hop traversals that lost a message to random loss.
+  [[nodiscard]] std::uint64_t messages_lost() const { return lost_; }
+  /// Hop traversals that died on an out-of-service link.
+  [[nodiscard]] std::uint64_t messages_killed_by_outage() const { return killed_; }
+  /// Total injected latency over the plane's lifetime, simulated seconds.
+  [[nodiscard]] double delay_injected_s() const { return delay_injected_s_; }
+
+ private:
+  const net::BandwidthLedger* ledger_;
+  des::RandomStream* rng_;
+  FaultPlaneOptions options_;
+  std::uint64_t lost_ = 0;
+  std::uint64_t killed_ = 0;
+  double delay_injected_s_ = 0.0;
+};
+
+}  // namespace anyqos::signaling

@@ -22,10 +22,10 @@ ReservationResult ReservationProtocol::reserve(const net::Path& route, net::Band
       break;
     }
   }
-  counter_->count(MessageKind::kPath, traversed);
+  count_hops(MessageKind::kPath, traversed);
   if (result.blocking_link.has_value()) {
     // PATH_ERR unwinds to the source over the links already traversed.
-    counter_->count(MessageKind::kPathErr, traversed);
+    count_hops(MessageKind::kPathErr, traversed);
     result.messages = 2 * traversed;
     return result;
   }
@@ -34,15 +34,23 @@ ReservationResult ReservationProtocol::reserve(const net::Path& route, net::Band
   // consumed the bandwidth between the PATH check and here.
   const bool ok = ledger_->reserve(route, bandwidth);
   util::ensure(ok, "RESV failed after PATH admitted every hop");
-  counter_->count(MessageKind::kResv, route.hops());
+  count_hops(MessageKind::kResv, route.hops());
   result.admitted = true;
   result.messages = 2 * route.hops();
   return result;
 }
 
 void ReservationProtocol::teardown(const net::Path& route, net::Bandwidth bandwidth) {
+  force_teardown(route, bandwidth);
+}
+
+void ReservationProtocol::force_teardown(const net::Path& route, net::Bandwidth bandwidth) {
   ledger_->release(route, bandwidth);
-  counter_->count(MessageKind::kTear, route.hops());
+  count_hops(MessageKind::kTear, route.hops());
+}
+
+void ReservationProtocol::count_hops(MessageKind kind, std::uint64_t hops) {
+  counter_->count(kind, hops);
 }
 
 }  // namespace anyqos::signaling

@@ -26,6 +26,10 @@ struct ReservationResult {
   std::optional<net::LinkId> blocking_link;
   /// Control messages (link traversals) this attempt generated.
   std::uint64_t messages = 0;
+  /// PATH retransmissions this attempt needed (always 0 for the lossless
+  /// base protocol; the resilient protocol counts every timeout-driven
+  /// re-send so decision spans expose retry storms).
+  std::uint64_t retransmits = 0;
   /// Minimum available bandwidth the PATH walk observed over the links it
   /// inspected, pre-reservation (the paper's route bandwidth B_i over the
   /// traversed prefix). Infinite for 0-hop routes. Diagnostic: decision
@@ -35,10 +39,18 @@ struct ReservationResult {
 
 /// Executes reservations and teardowns against a BandwidthLedger, tallying
 /// signaling messages into a MessageCounter.
+///
+/// The base class is the paper's fault-free instantaneous walk; reserve()
+/// and teardown() are virtual so a failure-aware variant (see resilient.h)
+/// can slot into AdmissionController and Simulation unchanged.
 class ReservationProtocol {
  public:
   /// Both references must outlive the protocol object.
   ReservationProtocol(net::BandwidthLedger& ledger, MessageCounter& counter);
+  virtual ~ReservationProtocol() = default;
+
+  ReservationProtocol(const ReservationProtocol&) = delete;
+  ReservationProtocol& operator=(const ReservationProtocol&) = delete;
 
   /// Attempts to reserve `bandwidth` along `route`.
   ///
@@ -48,13 +60,44 @@ class ReservationProtocol {
   /// travels back over the k links already traversed.
   /// Discarding the result loses the only record that bandwidth was
   /// committed, hence [[nodiscard]].
-  [[nodiscard]] ReservationResult reserve(const net::Path& route, net::Bandwidth bandwidth);
+  [[nodiscard]] virtual ReservationResult reserve(const net::Path& route,
+                                                  net::Bandwidth bandwidth);
 
   /// Releases a reservation installed by a successful reserve() with the
   /// same route and bandwidth; one TEAR message traverses the route.
-  void teardown(const net::Path& route, net::Bandwidth bandwidth);
+  /// A failure-aware protocol may lose the TEAR and defer the release to
+  /// soft-state reclamation, so the ledger is not guaranteed to reflect the
+  /// release on return — use force_teardown() where it must.
+  virtual void teardown(const net::Path& route, net::Bandwidth bandwidth);
+
+  /// Unconditional, immediate teardown: the release always commits before
+  /// returning (TEAR signaling counted). Used when the network itself
+  /// invalidates the reservation — e.g. a link on the route failed and the
+  /// ledger requires the link idle before taking it out of service.
+  void force_teardown(const net::Path& route, net::Bandwidth bandwidth);
+
+  /// Hook invoked by the simulation just before directed link `id` is taken
+  /// out of service, while reservations on it are still releasable. The
+  /// resilient protocol reclaims orphaned state crossing the link here.
+  virtual void on_link_failing(net::LinkId /*id*/) {}
+
+  /// Simulated seconds of control-plane waiting (timeout + backoff) accrued
+  /// since the last call; the base protocol never waits. The simulation
+  /// drains this after every decision into its setup-delay statistics.
+  [[nodiscard]] virtual double consume_pending_wait() { return 0.0; }
 
   [[nodiscard]] const MessageCounter& counter() const { return *counter_; }
+
+ protected:
+  [[nodiscard]] net::BandwidthLedger& ledger() { return *ledger_; }
+  [[nodiscard]] MessageCounter& message_counter() { return *counter_; }
+
+  /// Single funnel for charging hop traversals to the MessageCounter. Every
+  /// walk — including the non-virtual force_teardown() — charges through it,
+  /// so a derived protocol that mirrors its own contribution (the resilient
+  /// protocol's hops_counted reconciliation tally) overrides this once
+  /// instead of shadowing each walk.
+  virtual void count_hops(MessageKind kind, std::uint64_t hops);
 
  private:
   net::BandwidthLedger* ledger_;

@@ -1,0 +1,51 @@
+#include "src/sim/churn.h"
+
+#include <algorithm>
+
+#include "src/des/random.h"
+#include "src/util/require.h"
+
+namespace anyqos::sim {
+
+MemberChurnEvent single_churn(std::size_t member_index, double down_at, double up_at) {
+  util::require(down_at >= 0.0, "churn down time must be non-negative");
+  util::require(up_at > down_at, "member recovery must follow the outage");
+  MemberChurnEvent event;
+  event.member_index = member_index;
+  event.down_at = down_at;
+  event.up_at = up_at;
+  return event;
+}
+
+std::vector<MemberChurnEvent> random_churn_schedule(std::size_t group_size, double horizon_s,
+                                                    double churn_rate, double mean_downtime_s,
+                                                    std::uint64_t seed) {
+  util::require(group_size >= 1, "churn schedule needs a non-empty group");
+  util::require(horizon_s >= 0.0, "horizon must be non-negative");
+  util::require(churn_rate >= 0.0, "churn rate must be non-negative");
+  std::vector<MemberChurnEvent> schedule;
+  if (horizon_s == 0.0 || churn_rate == 0.0) {
+    return schedule;  // degenerate but well-defined: nobody churns
+  }
+  util::require(mean_downtime_s > 0.0, "mean downtime must be positive");
+  des::RandomStream rng(seed);
+  for (std::size_t member = 0; member < group_size; ++member) {
+    double t = rng.exponential(1.0 / churn_rate);
+    while (t < horizon_s) {
+      const double down_for = rng.exponential(mean_downtime_s);
+      // Cap recoveries so a run that drains past the horizon still sees the
+      // member come back within one mean downtime of the horizon.
+      const double up = std::min(t + down_for, horizon_s + mean_downtime_s);
+      schedule.push_back(single_churn(member, t, up));
+      // The member can only fail again once it has recovered.
+      t = up + rng.exponential(1.0 / churn_rate);
+    }
+  }
+  std::sort(schedule.begin(), schedule.end(),
+            [](const MemberChurnEvent& x, const MemberChurnEvent& y) {
+              return x.down_at < y.down_at;
+            });
+  return schedule;
+}
+
+}  // namespace anyqos::sim

@@ -1,0 +1,36 @@
+// Member-churn schedules (robustness extension).
+//
+// The paper fixes the recipient group G(A) for a run; real anycast member
+// sets churn (maintenance, crashes, scale-down). These helpers produce
+// MemberChurnEvent schedules — bounded outages of individual group members —
+// that the simulation replays: a down member is excluded from selection,
+// flows pinned to it are torn down (and optionally failed over), and on
+// recovery it rejoins the selector's candidate set.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace anyqos::sim {
+
+/// A single outage of one anycast group member.
+struct MemberChurnEvent {
+  std::size_t member_index = 0;  ///< index into the anycast group
+  double down_at = 0.0;          ///< outage start (simulated seconds)
+  double up_at = 0.0;            ///< recovery; must exceed down_at
+};
+
+/// A single member outage with validated times.
+MemberChurnEvent single_churn(std::size_t member_index, double down_at, double up_at);
+
+/// Random churn schedule: over [0, horizon), each of `group_size` members
+/// independently goes down as a Poisson process with rate `churn_rate` (per
+/// second) and stays down for exponential(mean_downtime_s). Deterministic in
+/// `seed`. A member that is already down cannot fail again until it has
+/// recovered, so per-member outages never overlap. Zero rate or zero horizon
+/// yields an empty schedule. Events are sorted by down_at.
+std::vector<MemberChurnEvent> random_churn_schedule(std::size_t group_size, double horizon_s,
+                                                    double churn_rate, double mean_downtime_s,
+                                                    std::uint64_t seed);
+
+}  // namespace anyqos::sim

@@ -21,11 +21,14 @@ LinkFault single_fault(net::NodeId a, net::NodeId b, double fail_at, double repa
 std::vector<LinkFault> random_fault_schedule(const net::Topology& topology, double horizon_s,
                                              double failure_rate, double mean_repair_s,
                                              std::uint64_t seed) {
-  util::require(horizon_s > 0.0, "horizon must be positive");
-  util::require(failure_rate > 0.0, "failure rate must be positive");
+  util::require(horizon_s >= 0.0, "horizon must be non-negative");
+  util::require(failure_rate >= 0.0, "failure rate must be non-negative");
+  std::vector<LinkFault> schedule;
+  if (horizon_s == 0.0 || failure_rate == 0.0) {
+    return schedule;  // degenerate but well-defined: nothing ever fails
+  }
   util::require(mean_repair_s > 0.0, "mean repair time must be positive");
   des::RandomStream rng(seed);
-  std::vector<LinkFault> schedule;
   // Each duplex link is represented once by its even (first-direction) id.
   for (net::LinkId id = 0; id < topology.link_count(); id += 2) {
     const net::Arc& arc = topology.link(id);

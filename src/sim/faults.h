@@ -21,7 +21,8 @@ LinkFault single_fault(net::NodeId a, net::NodeId b, double fail_at, double repa
 /// fails as a Poisson process with rate `failure_rate` (per second) and each
 /// outage lasts exponential(mean_repair_s). Deterministic in `seed`.
 /// Overlapping outages of the same link are merged away (a link that is
-/// already down cannot fail again until repaired).
+/// already down cannot fail again until repaired). Zero rate or zero horizon
+/// yields an empty schedule.
 std::vector<LinkFault> random_fault_schedule(const net::Topology& topology, double horizon_s,
                                              double failure_rate, double mean_repair_s,
                                              std::uint64_t seed);

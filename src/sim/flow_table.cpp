@@ -41,6 +41,17 @@ std::vector<FlowId> FlowTable::flows_using_link(net::LinkId link) const {
   return ids;
 }
 
+std::vector<FlowId> FlowTable::flows_to_member(std::size_t destination_index) const {
+  std::vector<FlowId> ids;
+  for (const auto& [id, flow] : flows_) {
+    if (flow.destination_index == destination_index) {
+      ids.push_back(id);
+    }
+  }
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
 void FlowTable::for_each(const std::function<void(const ActiveFlow&)>& visit) const {
   std::vector<FlowId> ids;
   ids.reserve(flows_.size());

@@ -44,6 +44,10 @@ class FlowTable {
   /// order (deterministic fault processing).
   [[nodiscard]] std::vector<FlowId> flows_using_link(net::LinkId link) const;
 
+  /// Ids of flows pinned to group member `destination_index`, in ascending id
+  /// order (deterministic churn processing).
+  [[nodiscard]] std::vector<FlowId> flows_to_member(std::size_t destination_index) const;
+
   /// Applies `visit` to every active flow in ascending id order.
   void for_each(const std::function<void(const ActiveFlow&)>& visit) const;
 

@@ -21,7 +21,10 @@ void MetricsCollector::record_decision(bool admitted, std::size_t attempts,
   // the collector untouched (no half-recorded decision). The destination
   // bound is checked even for rejections: callers pass an index either way,
   // and an out-of-range one signals a corrupted decision upstream.
-  util::require(attempts >= 1, "a decision involves at least one attempt");
+  // Zero attempts is legal only for rejections: with every group member down
+  // (churn) there is nobody to try and the request bounces immediately.
+  util::require(admitted ? attempts >= 1 : true,
+                "an admission involves at least one attempt");
   util::require(destination_index < per_destination_.size(),
                 "destination index out of range");
   if (!measuring_) {
@@ -41,10 +44,34 @@ void MetricsCollector::record_active_flows(double now, std::size_t active) {
   active_flows_.update(now, static_cast<double>(active));
 }
 
-void MetricsCollector::record_dropped_flow() {
-  if (measuring_) {
-    ++dropped_;
+void MetricsCollector::record_dropped_flow() { record_teardown(TeardownCause::kLinkFault); }
+
+void MetricsCollector::record_teardown(TeardownCause cause) {
+  const auto index = static_cast<std::size_t>(cause);
+  util::require(index < kTeardownCauseCount, "unknown teardown cause");
+  if (!measuring_) {
+    return;
   }
+  ++teardowns_[index];
+  if (cause != TeardownCause::kExplicit) {
+    ++dropped_;  // involuntary teardowns are the paper-facing "dropped" tally
+  }
+}
+
+void MetricsCollector::record_failover(bool admitted) {
+  if (!measuring_) {
+    return;
+  }
+  ++failover_attempts_;
+  if (admitted) {
+    ++failover_admitted_;
+  }
+}
+
+std::uint64_t MetricsCollector::teardowns(TeardownCause cause) const {
+  const auto index = static_cast<std::size_t>(cause);
+  util::require(index < kTeardownCauseCount, "unknown teardown cause");
+  return teardowns_[index];
 }
 
 double MetricsCollector::admission_probability() const {

@@ -13,6 +13,18 @@
 
 namespace anyqos::sim {
 
+/// Why an active flow's reservation was torn down (robustness extension).
+/// Orphan reclaims are *not* teardowns of active flows — they release state
+/// the signaling plane lost track of — and are counted by the resilient
+/// protocol itself (signaling::ResilienceStats::orphans_reclaimed).
+enum class TeardownCause : std::uint8_t {
+  kExplicit,   ///< flow departed normally at the end of its holding time
+  kLinkFault,  ///< a link on the flow's route failed
+  kChurn,      ///< the group member the flow was pinned to went down
+};
+
+inline constexpr std::size_t kTeardownCauseCount = 3;
+
 /// Streaming collector fed by the simulation; ignores everything recorded
 /// before `begin_measurement` is called (warm-up deletion).
 class MetricsCollector {
@@ -33,7 +45,14 @@ class MetricsCollector {
   /// Records the active-flow count after it changed at time `now`.
   void record_active_flows(double now, std::size_t active);
   /// Records a flow torn down by a link failure (fault extension).
+  /// Equivalent to record_teardown(TeardownCause::kLinkFault).
   void record_dropped_flow();
+  /// Records one flow teardown attributed to `cause`. Fault and churn
+  /// teardowns also count as dropped flows.
+  void record_teardown(TeardownCause cause);
+  /// Records one failover re-admission attempt for a flow displaced by
+  /// churn, and whether the network re-admitted it.
+  void record_failover(bool admitted);
 
   // --- Results (valid once measuring) ---
   [[nodiscard]] std::uint64_t offered() const { return offered_; }
@@ -54,13 +73,21 @@ class MetricsCollector {
   }
   /// Time-averaged number of active flows over the measurement window.
   [[nodiscard]] double average_active_flows(double now) const;
+  /// Flows torn down involuntarily (link faults + member churn).
   [[nodiscard]] std::uint64_t dropped_flows() const { return dropped_; }
+  /// Teardown tally attributed to `cause`.
+  [[nodiscard]] std::uint64_t teardowns(TeardownCause cause) const;
+  [[nodiscard]] std::uint64_t failover_attempts() const { return failover_attempts_; }
+  [[nodiscard]] std::uint64_t failover_admitted() const { return failover_admitted_; }
 
  private:
   bool measuring_ = false;
   std::uint64_t offered_ = 0;
   std::uint64_t admitted_ = 0;
   std::uint64_t dropped_ = 0;
+  std::uint64_t teardowns_[kTeardownCauseCount] = {0, 0, 0};
+  std::uint64_t failover_attempts_ = 0;
+  std::uint64_t failover_admitted_ = 0;
   stats::BatchMeans admission_batches_;
   stats::CountHistogram attempts_;
   stats::Accumulator messages_;

@@ -25,8 +25,48 @@ void export_metrics(const Simulation& simulation, const SimulationConfig& config
 
   registry
       .counter("anyqos_flows_dropped_total",
-               "Admitted flows torn down early by link faults.", system)
+               "Admitted flows torn down early by link faults or member churn.", system)
       .increment(result.dropped);
+
+  auto teardown_counter = [&](const char* cause, std::uint64_t value) {
+    registry
+        .counter("anyqos_teardowns_total", "Flow teardowns by cause.",
+                 {{"system", result.system_label}, {"cause", cause}})
+        .increment(value);
+  };
+  teardown_counter("explicit", result.explicit_teardowns);
+  teardown_counter("link_fault", result.dropped_by_fault);
+  teardown_counter("churn", result.dropped_by_churn);
+  teardown_counter("orphan_reclaim", result.resilience.orphans_reclaimed);
+
+  auto failover_counter = [&](const char* outcome, std::uint64_t value) {
+    registry
+        .counter("anyqos_failover_total",
+                 "Churn-displaced flows re-offered to the surviving members.",
+                 {{"system", result.system_label}, {"outcome", outcome}})
+        .increment(value);
+  };
+  failover_counter("admitted", result.failover_admitted);
+  failover_counter("rejected", result.failover_attempts - result.failover_admitted);
+
+  auto recovery_counter = [&](const char* event, std::uint64_t value) {
+    registry
+        .counter("anyqos_signaling_recovery_total",
+                 "Resilient control-plane recovery events.",
+                 {{"system", result.system_label}, {"event", event}})
+        .increment(value);
+  };
+  recovery_counter("timeout", result.resilience.timeouts);
+  recovery_counter("retransmit", result.resilience.retransmits);
+  recovery_counter("give_up", result.resilience.give_ups);
+  recovery_counter("resv_orphan", result.resilience.resv_orphans);
+  recovery_counter("tear_orphan", result.resilience.tear_orphans);
+  recovery_counter("message_lost", result.resilience.messages_lost);
+  recovery_counter("message_killed_by_outage", result.resilience.messages_killed_by_outage);
+  registry
+      .gauge("anyqos_orphaned_bandwidth_reclaimed_bps",
+             "Bandwidth released by soft-state orphan reclamation, summed.", system)
+      .set(result.resilience.orphaned_bandwidth_reclaimed_bps);
 
   registry
       .gauge("anyqos_admission_probability",

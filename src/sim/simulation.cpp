@@ -23,9 +23,9 @@ Simulation::Simulation(const net::Topology& topology, SimulationConfig config)
       group_("anycast://sim", checked_members(config_.group_members)),
       ledger_(topology, config_.anycast_share),
       routes_(topology, config_.group_members),
-      rsvp_(ledger_, counter_),
-      probe_(ledger_, counter_),
       seeds_(config_.seed),
+      control_rng_(seeds_.stream("control-plane")),
+      probe_(ledger_, counter_),
       arrivals_(config_.traffic, seeds_),
       selection_rng_(seeds_.stream("selection")),
       metrics_(group_.size(), config_.ci_batches),
@@ -43,9 +43,25 @@ Simulation::Simulation(const net::Topology& topology, SimulationConfig config)
                   "fault references a non-existent link");
     util::require(fault.repair_at > fault.fail_at, "fault repair must follow failure");
   }
+  for (const MemberChurnEvent& event : config_.churn) {
+    util::require(event.member_index < group_.size(),
+                  "churn event references a member outside the group");
+    util::require(event.up_at > event.down_at, "member recovery must follow the outage");
+  }
 
   util::require(!(config_.use_gdi && config_.use_centralized),
                 "GDI and centralized baselines are mutually exclusive");
+  const bool is_dac = !config_.use_gdi && !config_.use_centralized;
+  util::require(is_dac || !config_.resilience.has_value(),
+                "resilient signaling applies to DAC runs only");
+  util::require(is_dac || config_.churn.empty(), "member churn applies to DAC runs only");
+  if (config_.resilience.has_value()) {
+    rsvp_ = std::make_unique<signaling::ResilientReservationProtocol>(
+        ledger_, counter_, simulator_, control_rng_, *config_.resilience);
+    resilient_ = static_cast<signaling::ResilientReservationProtocol*>(rsvp_.get());
+  } else {
+    rsvp_ = std::make_unique<signaling::ReservationProtocol>(ledger_, counter_);
+  }
   if (config_.tracer != nullptr) {
     config_.tracer->set_clock([this] { return simulator_.now(); });
   }
@@ -53,7 +69,7 @@ Simulation::Simulation(const net::Topology& topology, SimulationConfig config)
     oracle_ = std::make_unique<core::GlobalAdmissionOracle>(topology, ledger_, group_);
   } else if (config_.use_centralized) {
     central_ = std::make_unique<core::CentralizedController>(
-        topology, ledger_, group_, routes_, rsvp_, config_.controller_node,
+        topology, ledger_, group_, routes_, *rsvp_, config_.controller_node,
         config_.controller_rate);
   } else {
     // One AC-router (controller) per distinct source, each with its own
@@ -75,7 +91,7 @@ core::AdmissionController& Simulation::controller_for(net::NodeId source) {
     env.wdb_mask_infeasible = config_.wdb_mask_infeasible;
     env.flow_bandwidth = config_.traffic.flow_bandwidth_bps;
     slot = std::make_unique<core::AdmissionController>(
-        source, group_, routes_, rsvp_,
+        source, group_, routes_, *rsvp_,
         core::make_selector(config_.algorithm, env),
         std::make_unique<core::CounterRetrialPolicy>(config_.max_tries));
     slot->set_observer(admission_observer_);
@@ -134,6 +150,9 @@ void Simulation::schedule_next_arrival() {
 }
 
 void Simulation::handle_arrival() {
+  if (draining_) {
+    return;  // quiescence drain: the offered-load process has stopped
+  }
   schedule_next_arrival();
 
   core::FlowRequest request;
@@ -160,11 +179,17 @@ void Simulation::handle_arrival() {
   }
   metrics_.record_decision(decision.admitted, decision.attempts, decision.messages,
                            decision.destination_index.value_or(0));
-  if (metrics_.measuring() && config_.signaling_hop_delay_s > 0.0) {
+  // Drain control-plane waiting unconditionally so warm-up waits never leak
+  // into the first measured request's delay.
+  const double control_wait = rsvp_->consume_pending_wait();
+  if (metrics_.measuring() && (config_.signaling_hop_delay_s > 0.0 || control_wait > 0.0)) {
     // Message walks are sequential within one request, so the setup delay is
-    // the hop count of all its signaling traversals times the per-hop latency.
+    // the hop count of all its signaling traversals times the per-hop
+    // latency, plus whatever the resilient control plane spent waiting
+    // (retransmission timeouts, backoff, injected hop delay).
     const double delay =
-        static_cast<double>(decision.messages) * config_.signaling_hop_delay_s;
+        static_cast<double>(decision.messages) * config_.signaling_hop_delay_s +
+        control_wait;
     setup_delay_.add(delay);
     setup_delay_p95_.add(delay);
   }
@@ -199,8 +224,11 @@ void Simulation::handle_departure(FlowId id) {
   if (config_.use_gdi) {
     ledger_.release(flow.route, flow.bandwidth_bps);
   } else {
-    rsvp_.teardown(flow.route, flow.bandwidth_bps);  // CTRL also tears via RSVP
+    // CTRL also tears via RSVP. Under the resilient protocol the TEAR may be
+    // lost, deferring the release to soft-state orphan reclamation.
+    rsvp_->teardown(flow.route, flow.bandwidth_bps);
   }
+  metrics_.record_teardown(TeardownCause::kExplicit);
   touch_links(flow.route);
   metrics_.record_active_flows(simulator_.now(), flows_.size());
   emit_trace(TraceEventKind::kDeparted, flow.request_id, flow.source,
@@ -213,7 +241,10 @@ void Simulation::drop_flows_on_link(net::LinkId link) {
     if (config_.use_gdi) {
       ledger_.release(flow.route, flow.bandwidth_bps);
     } else {
-      rsvp_.teardown(flow.route, flow.bandwidth_bps);
+      // The link is about to be taken out of service and the ledger requires
+      // it idle, so the release must commit now — a lossy TEAR would leave
+      // bandwidth reserved on a failed link.
+      rsvp_->force_teardown(flow.route, flow.bandwidth_bps);
     }
     touch_links(flow.route);
     metrics_.record_dropped_flow();
@@ -228,6 +259,9 @@ void Simulation::apply_fault(const LinkFault& fault) {
   const net::LinkId backward = topology_->reverse_link(forward);
   drop_flows_on_link(forward);
   drop_flows_on_link(backward);
+  // Orphaned (soft-state) reservations crossing the link vanish with it.
+  rsvp_->on_link_failing(forward);
+  rsvp_->on_link_failing(backward);
   ledger_.fail_link(forward);
   ledger_.fail_link(backward);
   const double now = simulator_.now();
@@ -245,6 +279,71 @@ void Simulation::repair_fault(const LinkFault& fault) {
   link_utilization_[forward].update(now, 0.0);
   link_utilization_[backward].update(now, 0.0);
   emit_trace(TraceEventKind::kLinkUp, 0, fault.a, fault.b, 0, 0.0);
+}
+
+void Simulation::apply_member_down(std::size_t member) {
+  if (!group_.is_up(member)) {
+    return;  // overlapping schedules: already down
+  }
+  // Exclude the member from selection *before* tearing flows down so any
+  // failover re-admission can only land on the surviving members.
+  group_.set_member_up(member, false);
+  emit_trace(TraceEventKind::kMemberDown, 0, group_.member(member), net::kInvalidNode, 0, 0.0);
+  for (const FlowId id : flows_.flows_to_member(member)) {
+    const ActiveFlow flow = flows_.take(id);
+    // The route's links are all still in service — only the endpoint died —
+    // so the normal (possibly lossy) TEAR path applies; a lost TEAR becomes
+    // an orphan that soft-state expiry reclaims.
+    rsvp_->teardown(flow.route, flow.bandwidth_bps);
+    touch_links(flow.route);
+    metrics_.record_teardown(TeardownCause::kChurn);
+    emit_trace(TraceEventKind::kDropped, flow.request_id, flow.source,
+               group_.member(flow.destination_index), 0, flow.bandwidth_bps);
+    if (config_.failover_readmit && !draining_) {
+      attempt_failover(flow);
+    }
+  }
+  metrics_.record_active_flows(simulator_.now(), flows_.size());
+}
+
+void Simulation::apply_member_up(std::size_t member) {
+  if (group_.is_up(member)) {
+    return;
+  }
+  group_.set_member_up(member, true);
+  emit_trace(TraceEventKind::kMemberUp, 0, group_.member(member), net::kInvalidNode, 0, 0.0);
+}
+
+void Simulation::attempt_failover(const ActiveFlow& displaced) {
+  // Re-offer the displaced flow through the normal admission procedure as a
+  // fresh request: new id (it gets its own decision span), and — holding
+  // times being exponential, hence memoryless — a fresh holding draw.
+  core::FlowRequest request;
+  request.source = displaced.source;
+  request.bandwidth_bps = displaced.bandwidth_bps;
+  request.request_id = ++next_request_id_;
+  const core::AdmissionDecision decision =
+      controller_for(request.source).admit(request, selection_rng_);
+  metrics_.record_failover(decision.admitted);
+  // Failover is not offered load: its control-plane waiting stays out of the
+  // per-request setup-delay statistics, but must still be drained.
+  (void)rsvp_->consume_pending_wait();
+  if (!decision.admitted) {
+    return;
+  }
+  touch_links(decision.route);
+  ActiveFlow flow;
+  flow.request_id = request.request_id;
+  flow.source = request.source;
+  flow.destination_index = *decision.destination_index;
+  flow.route = decision.route;
+  flow.bandwidth_bps = request.bandwidth_bps;
+  flow.admitted_at = simulator_.now();
+  const FlowId id = flows_.insert(std::move(flow));
+  emit_trace(TraceEventKind::kFailover, request.request_id, request.source,
+             group_.member(*decision.destination_index), decision.attempts,
+             request.bandwidth_bps);
+  simulator_.schedule_in(arrivals_.draw_holding(), [this, id] { handle_departure(id); });
 }
 
 std::string Simulation::system_label(const SimulationConfig& config) {
@@ -280,6 +379,12 @@ SimulationResult Simulation::run() {
     simulator_.schedule_at(fault.fail_at, [this, fault] { apply_fault(fault); });
     simulator_.schedule_at(fault.repair_at, [this, fault] { repair_fault(fault); });
   }
+  for (const MemberChurnEvent& event : config_.churn) {
+    simulator_.schedule_at(event.down_at,
+                           [this, event] { apply_member_down(event.member_index); });
+    simulator_.schedule_at(event.up_at,
+                           [this, event] { apply_member_up(event.member_index); });
+  }
   // Initialize utilization tracking at t = 0 so time averages cover the run.
   for (net::LinkId id = 0; id < topology_->link_count(); ++id) {
     link_utilization_[id].update(0.0, 0.0);
@@ -309,6 +414,20 @@ SimulationResult Simulation::run() {
     }
     simulator_.run_until(end_time);
   }
+  if (config_.drain_to_quiescence) {
+    // Stop offering new flows and run the calendar dry: departures, orphan
+    // reclaims, link repairs, and member recoveries all complete. A clean
+    // run ends with zero reserved bandwidth everywhere.
+    std::optional<obs::EngineProfiler::PhaseScope> timed;
+    if (config_.profiler != nullptr) {
+      timed.emplace(config_.profiler->phase("drain"));
+    }
+    draining_ = true;
+    simulator_.run();
+  }
+  // Drained runs extend past the nominal window; time averages must cover
+  // the extension or the integrals would double-count the tail.
+  const double horizon = std::max(end_time, simulator_.now());
 
   SimulationResult result;
   result.system_label = system_label(config_);
@@ -320,8 +439,16 @@ SimulationResult Simulation::run() {
   result.offered = metrics_.offered();
   result.admitted = metrics_.admitted();
   result.dropped = metrics_.dropped_flows();
+  result.dropped_by_fault = metrics_.teardowns(TeardownCause::kLinkFault);
+  result.dropped_by_churn = metrics_.teardowns(TeardownCause::kChurn);
+  result.explicit_teardowns = metrics_.teardowns(TeardownCause::kExplicit);
+  result.failover_attempts = metrics_.failover_attempts();
+  result.failover_admitted = metrics_.failover_admitted();
+  if (resilient_ != nullptr) {
+    result.resilience = resilient_->stats();
+  }
   result.per_destination_admissions = metrics_.per_destination_admissions();
-  result.average_active_flows = metrics_.average_active_flows(end_time);
+  result.average_active_flows = metrics_.average_active_flows(horizon);
   result.messages = counter_;
   result.average_decision_delay_s = decision_delay_.mean();
   result.average_setup_delay_s = setup_delay_.mean();
@@ -330,7 +457,7 @@ SimulationResult Simulation::run() {
   stats::Accumulator utilization;
   double max_util = 0.0;
   for (net::LinkId id = 0; id < topology_->link_count(); ++id) {
-    const double u = link_utilization_[id].mean(end_time);
+    const double u = link_utilization_[id].mean(horizon);
     utilization.add(u);
     max_util = std::max(max_util, u);
   }

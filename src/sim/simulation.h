@@ -8,6 +8,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <utility>
 #include <vector>
 
@@ -20,11 +21,13 @@
 #include "src/obs/span.h"
 #include "src/net/routing.h"
 #include "src/net/topologies.h"
+#include "src/sim/churn.h"
 #include "src/sim/flow_table.h"
 #include "src/sim/metrics.h"
 #include "src/sim/trace.h"
 #include "src/sim/traffic.h"
 #include "src/signaling/probe.h"
+#include "src/signaling/resilient.h"
 #include "src/signaling/rsvp.h"
 #include "src/stats/quantile.h"
 #include "src/stats/time_weighted.h"
@@ -70,6 +73,26 @@ struct SimulationConfig {
   double signaling_hop_delay_s = 0.0;
   std::size_t ci_batches = 20;               ///< batch-means batches for the AP CI
   std::vector<LinkFault> faults;             ///< optional outage schedule
+
+  // --- Robustness extension (DAC runs only) ---
+  /// When set, the run uses the ResilientReservationProtocol: control
+  /// messages traverse a FaultPlane (loss / delay / outage kills) and the
+  /// source recovers with timeouts, bounded retransmission with backoff, and
+  /// soft-state orphan reclamation. Unset keeps the paper's fault-free walk.
+  std::optional<signaling::ResilienceOptions> resilience;
+  /// Member outages replayed during the run (see churn.h for generators).
+  /// While a member is down it is excluded from selection and flows pinned
+  /// to it are torn down.
+  std::vector<MemberChurnEvent> churn;
+  /// Re-admit flows displaced by member churn through the normal admission
+  /// procedure (fresh request, remaining members only). Counted separately
+  /// from offered traffic as failover attempts/admissions.
+  bool failover_readmit = true;
+  /// After the measurement window, stop offering new flows and run the
+  /// calendar dry (departures, orphan reclaims, repairs, recoveries). With
+  /// this set a clean run ends with zero reserved bandwidth everywhere —
+  /// the chaos harness's leak check.
+  bool drain_to_quiescence = false;
   /// Optional flow-event observer (must outlive the simulation). Receives
   /// every event including warm-up; aggregate metrics stay warm-up-filtered.
   TraceSink* trace = nullptr;
@@ -93,7 +116,14 @@ struct SimulationResult {
   double average_messages = 0.0;             ///< signaling messages per request
   std::uint64_t offered = 0;
   std::uint64_t admitted = 0;
-  std::uint64_t dropped = 0;                 ///< torn down by faults
+  std::uint64_t dropped = 0;                 ///< torn down involuntarily (faults + churn)
+  std::uint64_t dropped_by_fault = 0;        ///< teardowns caused by link outages
+  std::uint64_t dropped_by_churn = 0;        ///< teardowns caused by member churn
+  std::uint64_t explicit_teardowns = 0;      ///< normal end-of-holding releases
+  std::uint64_t failover_attempts = 0;       ///< churn-displaced flows re-offered
+  std::uint64_t failover_admitted = 0;       ///< ... of which the network re-admitted
+  /// Control-plane recovery tallies (all zero unless config.resilience set).
+  signaling::ResilienceStats resilience;
   std::vector<std::uint64_t> per_destination_admissions;
   double average_active_flows = 0.0;
   double mean_link_utilization = 0.0;        ///< time-avg, then mean over links
@@ -142,6 +172,19 @@ class Simulation {
   [[nodiscard]] des::Simulator& simulator() { return simulator_; }
   /// Currently active (admitted, undeparted) flows.
   [[nodiscard]] std::size_t active_flows() const { return flows_.size(); }
+  /// True once the post-measurement drain has begun (drain_to_quiescence).
+  /// Periodic self-rescheduling instrumentation (auditor checkpoints,
+  /// time-series probes) must stop re-arming once this is set, or the
+  /// run-to-empty drain never finds an empty calendar.
+  [[nodiscard]] bool draining() const { return draining_; }
+
+  /// The resilient signaling plane, or nullptr for fault-free runs. Exposed
+  /// so the chaos harness can inspect recovery state and repair leaks
+  /// (reclaim_pending) after a drained run.
+  [[nodiscard]] signaling::ResilientReservationProtocol* resilient() { return resilient_; }
+  [[nodiscard]] const signaling::ResilientReservationProtocol* resilient() const {
+    return resilient_;
+  }
 
   /// "<A,R>" label for this configuration (e.g. "<WD/D+H,2>", "GDI").
   [[nodiscard]] static std::string system_label(const SimulationConfig& config);
@@ -153,6 +196,9 @@ class Simulation {
   void apply_fault(const LinkFault& fault);
   void repair_fault(const LinkFault& fault);
   void drop_flows_on_link(net::LinkId link);
+  void apply_member_down(std::size_t member);
+  void apply_member_up(std::size_t member);
+  void attempt_failover(const ActiveFlow& displaced);
   void touch_links(const net::Path& path);
   void emit_trace(TraceEventKind kind, std::uint64_t flow, net::NodeId source,
                   net::NodeId destination, std::size_t attempts, double bandwidth_bps);
@@ -164,10 +210,14 @@ class Simulation {
   net::BandwidthLedger ledger_;
   net::RouteTable routes_;
   signaling::MessageCounter counter_;
-  signaling::ReservationProtocol rsvp_;
-  signaling::ProbeService probe_;
   des::SeedSequence seeds_;
   des::Simulator simulator_;
+  /// Loss, jitter, and backoff draws for the resilient signaling plane.
+  /// Declared (and therefore constructed) before rsvp_, which captures it.
+  des::RandomStream control_rng_;
+  std::unique_ptr<signaling::ReservationProtocol> rsvp_;
+  signaling::ResilientReservationProtocol* resilient_ = nullptr;  // rsvp_ downcast or null
+  signaling::ProbeService probe_;
   ArrivalProcess arrivals_;
   des::RandomStream selection_rng_;
   std::vector<std::unique_ptr<core::AdmissionController>> controllers_;  // by source index
@@ -182,6 +232,7 @@ class Simulation {
   std::vector<stats::TimeWeighted> link_utilization_;
   std::uint64_t next_request_id_ = 0;  // arrival sequence; span/trace join key
   bool ran_ = false;
+  bool draining_ = false;  // drain_to_quiescence: arrivals stop, calendar runs dry
 };
 
 }  // namespace anyqos::sim

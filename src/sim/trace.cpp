@@ -21,6 +21,12 @@ std::string to_string(TraceEventKind kind) {
       return "LINK_DOWN";
     case TraceEventKind::kLinkUp:
       return "LINK_UP";
+    case TraceEventKind::kMemberDown:
+      return "MEMBER_DOWN";
+    case TraceEventKind::kMemberUp:
+      return "MEMBER_UP";
+    case TraceEventKind::kFailover:
+      return "FAILOVER";
   }
   util::unreachable("TraceEventKind");
 }

@@ -17,9 +17,12 @@ enum class TraceEventKind : std::uint8_t {
   kAdmitted,   // request admitted and reserved
   kRejected,   // request rejected after its retry budget
   kDeparted,   // flow completed normally and released
-  kDropped,    // flow torn down by a link failure
+  kDropped,    // flow torn down by a link failure or member churn
   kLinkDown,   // a fault took a duplex link out
   kLinkUp,     // a fault repaired
+  kMemberDown, // churn took a group member out of service
+  kMemberUp,   // a churned member recovered
+  kFailover,   // a displaced flow was re-admitted to another member
 };
 
 std::string to_string(TraceEventKind kind);

@@ -24,6 +24,31 @@ void CliFlags::add_double(std::string name, double default_value, std::string he
   declare(std::move(name), std::move(flag));
 }
 
+void CliFlags::add_probability(std::string name, double default_value, std::string help) {
+  require(default_value >= 0.0 && default_value <= 1.0,
+          "default for probability flag --" + name + " must be in [0,1]");
+  Flag flag;
+  flag.kind = Kind::kDouble;
+  flag.help = std::move(help);
+  flag.as_double = default_value;
+  flag.min_value = 0.0;
+  flag.max_value = 1.0;
+  flag.value_desc = "a probability in [0,1]";
+  declare(std::move(name), std::move(flag));
+}
+
+void CliFlags::add_duration(std::string name, double default_value, std::string help) {
+  require(default_value >= 0.0,
+          "default for duration flag --" + name + " must be non-negative");
+  Flag flag;
+  flag.kind = Kind::kDouble;
+  flag.help = std::move(help);
+  flag.as_double = default_value;
+  flag.min_value = 0.0;
+  flag.value_desc = "a non-negative duration in seconds";
+  declare(std::move(name), std::move(flag));
+}
+
 void CliFlags::add_unsigned(std::string name, unsigned long long default_value, std::string help) {
   Flag flag;
   flag.kind = Kind::kUnsigned;
@@ -54,8 +79,15 @@ void CliFlags::assign(const std::string& name, std::string_view value) {
   Flag& flag = it->second;
   switch (flag.kind) {
     case Kind::kDouble: {
+      const std::string expects =
+          flag.value_desc.empty() ? std::string("a number") : flag.value_desc;
       const auto parsed = parse_double(value);
-      require(parsed.has_value(), "flag --" + name + " expects a number, got '" + std::string(value) + "'");
+      require(parsed.has_value(),
+              "flag --" + name + " expects " + expects + ", got '" + std::string(value) + "'");
+      require(!flag.min_value.has_value() || *parsed >= *flag.min_value,
+              "flag --" + name + " expects " + expects + ", got " + std::string(value));
+      require(!flag.max_value.has_value() || *parsed <= *flag.max_value,
+              "flag --" + name + " expects " + expects + ", got " + std::string(value));
       flag.as_double = *parsed;
       return;
     }
@@ -115,7 +147,13 @@ std::string CliFlags::help_text() const {
     out << "  --" << name;
     switch (flag.kind) {
       case Kind::kDouble:
-        out << " (double, default " << flag.as_double << ")";
+        out << " (double";
+        if (flag.min_value.has_value() && flag.max_value.has_value()) {
+          out << " in [" << *flag.min_value << "," << *flag.max_value << "]";
+        } else if (flag.min_value.has_value()) {
+          out << " >= " << *flag.min_value;
+        }
+        out << ", default " << flag.as_double << ")";
         break;
       case Kind::kUnsigned:
         out << " (uint, default " << flag.as_unsigned << ")";

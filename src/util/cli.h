@@ -27,6 +27,14 @@ class CliFlags {
 
   /// Declares a double-valued flag. Name must be unique across all types.
   void add_double(std::string name, double default_value, std::string help);
+  /// Declares a probability flag: a double constrained to [0, 1]. Values
+  /// outside the range are rejected at parse time with a clear error.
+  /// Read it back with get_double.
+  void add_probability(std::string name, double default_value, std::string help);
+  /// Declares a duration flag (seconds): a double constrained to be
+  /// non-negative. Negative values are rejected at parse time with a clear
+  /// error. Read it back with get_double.
+  void add_duration(std::string name, double default_value, std::string help);
   /// Declares an unsigned-integer-valued flag.
   void add_unsigned(std::string name, unsigned long long default_value, std::string help);
   /// Declares a string-valued flag.
@@ -58,6 +66,11 @@ class CliFlags {
     unsigned long long as_unsigned = 0;
     std::string as_string;
     bool as_bool = false;
+    /// Inclusive range constraint for kDouble flags (probability/duration).
+    std::optional<double> min_value;
+    std::optional<double> max_value;
+    /// What the flag expects, for error messages ("a probability in [0,1]").
+    std::string value_desc;
   };
 
   void declare(std::string name, Flag flag);

@@ -1,0 +1,182 @@
+// Chaos matrix: loss x churn x link faults, every run drained to quiescence
+// under a throwing InvariantAuditor. The acceptance bar for the resilient
+// signaling plane: whatever the fault mix, a drained run ends with an empty
+// flow table, zero reserved bandwidth, zero pending orphans, a clean audit
+// log, and — when messages can be lost — nonzero retransmission and
+// orphan-reclaim activity whose hop tally reconciles exactly with the
+// MessageCounter.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "src/audit/auditor.h"
+#include "src/net/topologies.h"
+#include "src/sim/churn.h"
+#include "src/sim/faults.h"
+#include "src/sim/simulation.h"
+
+namespace anyqos::sim {
+namespace {
+
+SimulationConfig chaos_config(double loss) {
+  SimulationConfig config;
+  config.traffic.arrival_rate = 5.0;
+  config.traffic.mean_holding_s = 30.0;
+  config.traffic.flow_bandwidth_bps = 64'000.0;
+  config.traffic.sources = {1, 2, 5};
+  config.group_members = {0, 3};
+  config.algorithm = core::SelectionAlgorithm::kEvenDistribution;  // probe-free
+  config.max_tries = 2;
+  config.warmup_s = 100.0;
+  config.measure_s = 600.0;
+  config.seed = 31;
+  config.drain_to_quiescence = true;
+
+  signaling::ResilienceOptions resilience;
+  resilience.faults.loss_probability = loss;
+  resilience.retransmit_timeout_s = 0.5;
+  resilience.max_retransmits = 2;
+  resilience.orphan_hold_s = 20.0;
+  config.resilience = resilience;
+  return config;
+}
+
+void add_churn(SimulationConfig& config) {
+  config.churn.push_back(single_churn(0, 250.0, 350.0));
+  config.churn.push_back(single_churn(1, 450.0, 520.0));
+}
+
+void add_faults(SimulationConfig& config) {
+  config.faults.push_back(single_fault(1, 2, 300.0, 450.0));
+}
+
+TEST(ChaosMatrix, EveryCellDrainsCleanUnderAudit) {
+  const net::Topology topo = net::topologies::ring(6);
+  const double losses[] = {0.0, 0.05, 0.2};
+  for (const double loss : losses) {
+    for (const bool churn : {false, true}) {
+      for (const bool faults : {false, true}) {
+        std::ostringstream label;
+        label << "loss=" << loss << " churn=" << churn << " faults=" << faults;
+        SCOPED_TRACE(label.str());
+
+        SimulationConfig config = chaos_config(loss);
+        if (churn) {
+          add_churn(config);
+        }
+        if (faults) {
+          add_faults(config);
+        }
+        Simulation sim(topo, config);
+        audit::AuditorOptions audit_options;
+        audit_options.checkpoint_interval_s = 50.0;
+        audit::InvariantAuditor auditor(audit_options);  // throwing mode
+        auditor.attach(sim);
+        const SimulationResult result = sim.run();
+
+        // Quiescence: nothing live, nothing leaked, nothing pending.
+        EXPECT_EQ(sim.active_flows(), 0u);
+        EXPECT_DOUBLE_EQ(sim.ledger().total_reserved(), 0.0);
+        ASSERT_NE(sim.resilient(), nullptr);
+        EXPECT_EQ(sim.resilient()->pending_orphans(), 0u);
+        EXPECT_EQ(sim.resilient()->reclaim_pending(), 0u);  // nothing to repair
+        EXPECT_TRUE(auditor.log().empty()) << auditor.log().to_text();
+        EXPECT_EQ(auditor.open_reservations(), 0u);
+
+        EXPECT_GT(result.offered, 1'000u);
+        EXPECT_GT(result.admission_probability, 0.0);
+        if (loss > 0.0) {
+          // Lost messages must be visible as recovery work.
+          EXPECT_GT(result.resilience.messages_lost, 0u);
+          EXPECT_GT(result.resilience.retransmits, 0u);
+          EXPECT_GT(result.resilience.timeouts, 0u);
+          EXPECT_GT(result.resilience.orphans_reclaimed, 0u);
+          EXPECT_GT(result.resilience.orphaned_bandwidth_reclaimed_bps, 0.0);
+        } else {
+          // Zero random loss: the only way to lose a message is a link
+          // outage swallowing it, so without faults recovery is silent.
+          EXPECT_EQ(result.resilience.messages_lost, 0u);
+          if (!faults) {
+            EXPECT_EQ(result.resilience.messages_killed_by_outage, 0u);
+            EXPECT_EQ(result.resilience.retransmits, 0u);
+            EXPECT_EQ(result.resilience.resv_orphans, 0u);
+            EXPECT_EQ(result.resilience.tear_orphans, 0u);
+          } else {
+            EXPECT_GT(result.resilience.messages_killed_by_outage, 0u);
+          }
+        }
+        if (churn) {
+          EXPECT_GT(result.dropped_by_churn, 0u);
+          EXPECT_EQ(result.failover_attempts, result.dropped_by_churn);
+          EXPECT_GT(result.failover_admitted, 0u);
+        } else {
+          EXPECT_EQ(result.dropped_by_churn, 0u);
+          EXPECT_EQ(result.failover_attempts, 0u);
+        }
+        if (faults) {
+          EXPECT_GT(result.dropped_by_fault, 0u);
+        } else {
+          EXPECT_EQ(result.dropped_by_fault, 0u);
+        }
+      }
+    }
+  }
+}
+
+TEST(ChaosMatrix, RecoveryHopsReconcileExactlyWithTheMessageCounter) {
+  // With zero warm-up the MessageCounter is never reset mid-run, and under
+  // ED no probe traffic shares it — so the resilient protocol's own hop
+  // mirror must equal the counter's total to the last hop, retries, error
+  // unwinds, churn teardowns, and forced fault teardowns included.
+  const net::Topology topo = net::topologies::ring(6);
+  SimulationConfig config = chaos_config(0.15);
+  config.warmup_s = 0.0;
+  add_churn(config);
+  add_faults(config);
+  Simulation sim(topo, config);
+  const SimulationResult result = sim.run();
+
+  EXPECT_GT(result.resilience.retransmits, 0u);
+  EXPECT_GT(result.resilience.orphans_reclaimed, 0u);
+  EXPECT_EQ(result.resilience.hops_counted, result.messages.total());
+  EXPECT_DOUBLE_EQ(sim.ledger().total_reserved(), 0.0);
+}
+
+TEST(ChaosMatrix, PerfectResilientPlaneMatchesTheBaseProtocolRun) {
+  // Zero-loss resilience is the paper's fault-free walk in disguise: at
+  // equal seed the run must be bit-identical to the non-resilient baseline.
+  const net::Topology topo = net::topologies::ring(6);
+  SimulationConfig config = chaos_config(0.0);
+  Simulation resilient(topo, config);
+  const SimulationResult a = resilient.run();
+
+  config.resilience.reset();
+  Simulation baseline(topo, config);
+  const SimulationResult b = baseline.run();
+
+  EXPECT_EQ(a.offered, b.offered);
+  EXPECT_EQ(a.admitted, b.admitted);
+  EXPECT_EQ(a.messages.total(), b.messages.total());
+  EXPECT_DOUBLE_EQ(a.admission_probability, b.admission_probability);
+  EXPECT_DOUBLE_EQ(a.average_attempts, b.average_attempts);
+}
+
+TEST(ChaosMatrix, AuditedDrainTerminates) {
+  // Regression: the auditor's self-rescheduling checkpoint must stop
+  // re-arming once the drain begins, or run-to-empty never returns.
+  const net::Topology topo = net::topologies::ring(6);
+  SimulationConfig config = chaos_config(0.1);
+  config.measure_s = 200.0;
+  Simulation sim(topo, config);
+  audit::AuditorOptions audit_options;
+  audit_options.checkpoint_interval_s = 10.0;  // many parked checkpoints
+  audit::InvariantAuditor auditor(audit_options);
+  auditor.attach(sim);
+  const SimulationResult result = sim.run();
+  EXPECT_GT(result.offered, 0u);
+  EXPECT_TRUE(auditor.log().empty()) << auditor.log().to_text();
+  EXPECT_EQ(sim.active_flows(), 0u);
+}
+
+}  // namespace
+}  // namespace anyqos::sim

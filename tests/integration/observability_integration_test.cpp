@@ -100,8 +100,13 @@ TEST(ObservabilityIntegration, SpansReconcileExactlyWithMetrics) {
       case sim::TraceEventKind::kDropped:
         EXPECT_EQ(request_ids.count(event.flow), 1u);
         break;
+      case sim::TraceEventKind::kFailover:
+        EXPECT_EQ(request_ids.count(event.flow), 1u);
+        break;
       case sim::TraceEventKind::kLinkDown:
       case sim::TraceEventKind::kLinkUp:
+      case sim::TraceEventKind::kMemberDown:
+      case sim::TraceEventKind::kMemberUp:
         break;
     }
   }

@@ -150,7 +150,7 @@ TEST(DecisionTracer, StateMachineRejectsMisuse) {
   DecisionTracer tracer;
   tracer.set_sink(&sink);
   EXPECT_THROW(tracer.end_request(false, std::nullopt, 0), std::invalid_argument);
-  EXPECT_THROW(tracer.record_attempt(0, 0, {}, 1, 0.0, false, std::nullopt, 0, 0),
+  EXPECT_THROW(tracer.record_attempt(0, 0, {}, 1, 0.0, false, std::nullopt, 0, 0, 0),
                std::invalid_argument);
   tracer.begin_request(1, 0, 1.0, "ED", 2, 2);
   EXPECT_THROW(tracer.begin_request(2, 0, 1.0, "ED", 2, 2), std::invalid_argument);
@@ -166,7 +166,7 @@ TEST(DecisionTracer, ClockStampsSpans) {
   tracer.set_clock([&now] { return now; });
   tracer.begin_request(1, 0, 1.0, "ED", 2, 2);
   now = 13.0;
-  tracer.record_attempt(0, 0, {0.5, 0.5}, 1, 1e6, true, std::nullopt, 2, 1);
+  tracer.record_attempt(0, 0, {0.5, 0.5}, 1, 1e6, true, std::nullopt, 2, 0, 1);
   tracer.end_request(true, 0, 2);
   EXPECT_DOUBLE_EQ(sink.decisions().front().start_time, 12.5);
   EXPECT_DOUBLE_EQ(sink.attempts().front().time, 13.0);
@@ -178,8 +178,8 @@ TEST(JsonlSpanSink, OneTaggedLinePerSpan) {
   DecisionTracer tracer;
   tracer.set_sink(&sink);
   tracer.begin_request(5, 3, 64'000.0, "WD/D+H", 2, 3);
-  tracer.record_attempt(1, 4, {0.25, 0.5, 0.25}, 2, 1.5e6, false, net::LinkId{7}, 4, 1);
-  tracer.record_attempt(0, 1, {0.25, 0.5, 0.25}, 1, 2e6, true, std::nullopt, 3, 0);
+  tracer.record_attempt(1, 4, {0.25, 0.5, 0.25}, 2, 1.5e6, false, net::LinkId{7}, 4, 1, 1);
+  tracer.record_attempt(0, 1, {0.25, 0.5, 0.25}, 1, 2e6, true, std::nullopt, 3, 0, 0);
   tracer.end_request(true, 0, 7);
   EXPECT_EQ(tracer.spans_emitted(), 3u);
 
@@ -193,7 +193,9 @@ TEST(JsonlSpanSink, OneTaggedLinePerSpan) {
   EXPECT_NE(lines[0].find("\"span\":\"attempt\""), std::string::npos);
   EXPECT_NE(lines[0].find("\"request\":5"), std::string::npos);
   EXPECT_NE(lines[0].find("\"blocking_link\":7"), std::string::npos);
+  EXPECT_NE(lines[0].find("\"retransmits\":1"), std::string::npos);
   EXPECT_NE(lines[1].find("\"span\":\"attempt\""), std::string::npos);
+  EXPECT_NE(lines[1].find("\"retransmits\":0"), std::string::npos);
   EXPECT_NE(lines[1].find("\"blocking_link\":null"), std::string::npos);
   EXPECT_NE(lines[2].find("\"span\":\"decision\""), std::string::npos);
   EXPECT_NE(lines[2].find("\"algorithm\":\"WD/D+H\""), std::string::npos);

@@ -1,0 +1,118 @@
+#include "src/signaling/fault_plane.h"
+
+#include <gtest/gtest.h>
+
+#include "src/net/topologies.h"
+
+namespace anyqos::signaling {
+namespace {
+
+struct Fixture {
+  net::Topology topo = net::topologies::line(3);
+  net::BandwidthLedger ledger{topo, 0.2};
+  des::RandomStream rng{99};
+  net::LinkId link01 = *topo.find_link(0, 1);
+  net::LinkId link12 = *topo.find_link(1, 2);
+};
+
+TEST(FaultPlane, PerfectPlaneDeliversEverything) {
+  Fixture f;
+  FaultPlane plane(f.ledger, f.rng, {});
+  EXPECT_TRUE(plane.perfect());
+  for (int i = 0; i < 1'000; ++i) {
+    EXPECT_EQ(plane.traverse(f.link01), HopOutcome::kDelivered);
+  }
+  EXPECT_EQ(plane.messages_lost(), 0u);
+  EXPECT_EQ(plane.messages_killed_by_outage(), 0u);
+  EXPECT_DOUBLE_EQ(plane.delay_injected_s(), 0.0);
+}
+
+TEST(FaultPlane, CertainLossDropsEverything) {
+  Fixture f;
+  FaultPlaneOptions options;
+  options.loss_probability = 1.0;
+  FaultPlane plane(f.ledger, f.rng, options);
+  EXPECT_FALSE(plane.perfect());
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(plane.traverse(f.link01), HopOutcome::kLost);
+  }
+  EXPECT_EQ(plane.messages_lost(), 100u);
+}
+
+TEST(FaultPlane, LossRateIsRoughlyHonoured) {
+  Fixture f;
+  FaultPlaneOptions options;
+  options.loss_probability = 0.3;
+  FaultPlane plane(f.ledger, f.rng, options);
+  int lost = 0;
+  const int trials = 20'000;
+  for (int i = 0; i < trials; ++i) {
+    if (plane.traverse(f.link01) == HopOutcome::kLost) {
+      ++lost;
+    }
+  }
+  const double rate = static_cast<double>(lost) / trials;
+  EXPECT_NEAR(rate, 0.3, 0.02);
+  EXPECT_EQ(plane.messages_lost(), static_cast<std::uint64_t>(lost));
+}
+
+TEST(FaultPlane, OutageKillsBeforeLossIsEvenRolled) {
+  Fixture f;
+  FaultPlaneOptions options;
+  options.loss_probability = 0.5;
+  FaultPlane plane(f.ledger, f.rng, options);
+  f.ledger.fail_link(f.link01);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(plane.traverse(f.link01), HopOutcome::kLinkDown);
+  }
+  EXPECT_EQ(plane.messages_killed_by_outage(), 50u);
+  EXPECT_EQ(plane.messages_lost(), 0u);  // the RNG never consulted for loss
+  // The other link still behaves normally.
+  f.ledger.restore_link(f.link01);
+  EXPECT_NE(plane.traverse(f.link12), HopOutcome::kLinkDown);
+}
+
+TEST(FaultPlane, DeterministicDelayAccrues) {
+  Fixture f;
+  FaultPlaneOptions options;
+  options.hop_delay_s = 0.01;
+  FaultPlane plane(f.ledger, f.rng, options);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(plane.traverse(f.link01), HopOutcome::kDelivered);
+  }
+  EXPECT_DOUBLE_EQ(plane.delay_injected_s(), 0.1);
+}
+
+TEST(FaultPlane, JitterStaysWithinItsBound) {
+  Fixture f;
+  FaultPlaneOptions options;
+  options.hop_delay_s = 0.01;
+  options.hop_jitter_s = 0.005;
+  FaultPlane plane(f.ledger, f.rng, options);
+  double previous = 0.0;
+  for (int i = 1; i <= 1'000; ++i) {
+    EXPECT_EQ(plane.traverse(f.link01), HopOutcome::kDelivered);
+    const double injected = plane.delay_injected_s() - previous;
+    previous = plane.delay_injected_s();
+    EXPECT_GE(injected, 0.01);
+    EXPECT_LT(injected, 0.015);
+  }
+}
+
+TEST(FaultPlane, OptionsValidated) {
+  Fixture f;
+  FaultPlaneOptions bad;
+  bad.loss_probability = -0.1;
+  EXPECT_THROW(FaultPlane(f.ledger, f.rng, bad), std::invalid_argument);
+  bad.loss_probability = 1.1;
+  EXPECT_THROW(FaultPlane(f.ledger, f.rng, bad), std::invalid_argument);
+  bad = FaultPlaneOptions{};
+  bad.hop_delay_s = -1.0;
+  EXPECT_THROW(FaultPlane(f.ledger, f.rng, bad), std::invalid_argument);
+  bad = FaultPlaneOptions{};
+  bad.hop_jitter_s = -0.5;
+  EXPECT_THROW(FaultPlane(f.ledger, f.rng, bad), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace anyqos::signaling

@@ -1,0 +1,294 @@
+#include "src/signaling/resilient.h"
+
+#include <gtest/gtest.h>
+
+#include "src/net/topologies.h"
+
+namespace anyqos::signaling {
+namespace {
+
+struct Fixture {
+  net::Topology topo = net::topologies::line(4);
+  net::BandwidthLedger ledger{topo, 0.2};
+  MessageCounter counter;
+  des::Simulator simulator;
+  des::RandomStream rng{2024};
+
+  net::Path route3() {
+    net::Path p;
+    p.source = 0;
+    p.destination = 3;
+    p.links = {*topo.find_link(0, 1), *topo.find_link(1, 2), *topo.find_link(2, 3)};
+    return p;
+  }
+
+  net::Path route1() {
+    net::Path p;
+    p.source = 0;
+    p.destination = 1;
+    p.links = {*topo.find_link(0, 1)};
+    return p;
+  }
+};
+
+ResilienceOptions perfect_network() {
+  ResilienceOptions options;  // FaultPlane defaults are lossless
+  options.backoff_jitter = 0.0;
+  return options;
+}
+
+TEST(ResilientProtocol, PerfectNetworkMatchesTheBaseProtocol) {
+  Fixture f;
+  ResilientReservationProtocol rsvp(f.ledger, f.counter, f.simulator, f.rng,
+                                    perfect_network());
+  const ReservationResult result = rsvp.reserve(f.route3(), 64'000.0);
+  EXPECT_TRUE(result.admitted);
+  EXPECT_EQ(result.retransmits, 0u);
+  EXPECT_EQ(result.messages, 6u);  // PATH 3 hops down + RESV 3 hops back
+  EXPECT_EQ(f.counter.by_kind(MessageKind::kPath), 3u);
+  EXPECT_EQ(f.counter.by_kind(MessageKind::kResv), 3u);
+  EXPECT_DOUBLE_EQ(f.ledger.total_reserved(), 3.0 * 64'000.0);
+
+  rsvp.teardown(f.route3(), 64'000.0);
+  EXPECT_EQ(f.counter.by_kind(MessageKind::kTear), 3u);
+  EXPECT_DOUBLE_EQ(f.ledger.total_reserved(), 0.0);
+
+  const ResilienceStats stats = rsvp.stats();
+  EXPECT_EQ(stats.timeouts, 0u);
+  EXPECT_EQ(stats.retransmits, 0u);
+  EXPECT_EQ(stats.messages_lost, 0u);
+  EXPECT_EQ(stats.hops_counted, f.counter.total());
+  EXPECT_DOUBLE_EQ(rsvp.consume_pending_wait(), 0.0);
+}
+
+TEST(ResilientProtocol, TotalLossExhaustsTheRetransmitBudget) {
+  Fixture f;
+  ResilienceOptions options = perfect_network();
+  options.faults.loss_probability = 1.0;
+  options.max_retransmits = 3;
+  ResilientReservationProtocol rsvp(f.ledger, f.counter, f.simulator, f.rng, options);
+  const ReservationResult result = rsvp.reserve(f.route3(), 64'000.0);
+  EXPECT_FALSE(result.admitted);
+  EXPECT_EQ(result.retransmits, 3u);
+  // Every PATH dies on its first hop: 4 sends x 1 charged hop each.
+  EXPECT_EQ(result.messages, 4u);
+  EXPECT_EQ(f.counter.by_kind(MessageKind::kPath), 4u);
+  EXPECT_DOUBLE_EQ(f.ledger.total_reserved(), 0.0);
+
+  const ResilienceStats stats = rsvp.stats();
+  EXPECT_EQ(stats.timeouts, 4u);
+  EXPECT_EQ(stats.retransmits, 3u);
+  EXPECT_EQ(stats.give_ups, 1u);
+  EXPECT_EQ(stats.messages_lost, 4u);
+  EXPECT_EQ(stats.hops_counted, f.counter.total());
+}
+
+TEST(ResilientProtocol, BackoffAccruesExponentialWait) {
+  Fixture f;
+  ResilienceOptions options = perfect_network();
+  options.faults.loss_probability = 1.0;
+  options.retransmit_timeout_s = 1.0;
+  options.backoff_factor = 2.0;
+  options.backoff_jitter = 0.0;
+  options.max_retransmits = 3;
+  ResilientReservationProtocol rsvp(f.ledger, f.counter, f.simulator, f.rng, options);
+  (void)rsvp.reserve(f.route3(), 64'000.0);
+  // Timeouts 1 + 2 + 4 + 8 for the original send and three retransmits.
+  EXPECT_DOUBLE_EQ(rsvp.consume_pending_wait(), 15.0);
+  EXPECT_DOUBLE_EQ(rsvp.consume_pending_wait(), 0.0);  // drained
+}
+
+TEST(ResilientProtocol, JitterBoundsTheBackoffWait) {
+  Fixture f;
+  ResilienceOptions options = perfect_network();
+  options.faults.loss_probability = 1.0;
+  options.retransmit_timeout_s = 1.0;
+  options.backoff_factor = 2.0;
+  options.backoff_jitter = 0.25;
+  options.max_retransmits = 2;
+  ResilientReservationProtocol rsvp(f.ledger, f.counter, f.simulator, f.rng, options);
+  (void)rsvp.reserve(f.route3(), 64'000.0);
+  const double wait = rsvp.consume_pending_wait();
+  // Base 1 + 2 + 4 = 7, each inflated by [1, 1.25).
+  EXPECT_GE(wait, 7.0);
+  EXPECT_LT(wait, 7.0 * 1.25);
+}
+
+TEST(ResilientProtocol, LostResvOrphansTheReservationUntilSoftStateExpiry) {
+  Fixture f;
+  // Kill the RESV deterministically: its upstream hop (1 -> 0) is down. The
+  // PATH (0 -> 1) is unaffected, so every send installs a reservation whose
+  // confirmation then dies — an orphan per send.
+  f.ledger.fail_link(f.topo.reverse_link(*f.topo.find_link(0, 1)));
+  ResilienceOptions options = perfect_network();
+  options.max_retransmits = 2;
+  options.orphan_hold_s = 30.0;
+  ResilientReservationProtocol rsvp(f.ledger, f.counter, f.simulator, f.rng, options);
+  const ReservationResult result = rsvp.reserve(f.route1(), 64'000.0);
+  EXPECT_FALSE(result.admitted);
+  EXPECT_EQ(rsvp.pending_orphans(), 3u);  // one per send
+  EXPECT_DOUBLE_EQ(rsvp.orphaned_bandwidth_bps(), 3.0 * 64'000.0);
+  EXPECT_DOUBLE_EQ(f.ledger.total_reserved(), 3.0 * 64'000.0);
+
+  const ResilienceStats mid = rsvp.stats();
+  EXPECT_EQ(mid.resv_orphans, 3u);
+  EXPECT_EQ(mid.messages_killed_by_outage, 3u);
+  EXPECT_EQ(mid.give_ups, 1u);
+
+  // Soft-state expiry reclaims all three, silently (no TEAR).
+  f.simulator.run_until(31.0);
+  EXPECT_EQ(rsvp.pending_orphans(), 0u);
+  EXPECT_DOUBLE_EQ(f.ledger.total_reserved(), 0.0);
+  EXPECT_EQ(f.counter.by_kind(MessageKind::kTear), 0u);
+  const ResilienceStats stats = rsvp.stats();
+  EXPECT_EQ(stats.orphans_reclaimed, 3u);
+  EXPECT_DOUBLE_EQ(stats.orphaned_bandwidth_reclaimed_bps, 3.0 * 64'000.0);
+  EXPECT_EQ(stats.hops_counted, f.counter.total());
+}
+
+TEST(ResilientProtocol, LostTearLeaksUntilReclaimed) {
+  Fixture f;
+  ResilienceOptions options = perfect_network();
+  options.orphan_hold_s = 10.0;
+  ResilientReservationProtocol rsvp(f.ledger, f.counter, f.simulator, f.rng, options);
+  ASSERT_TRUE(rsvp.reserve(f.route3(), 64'000.0).admitted);
+
+  // Now lose every message: the TEAR dies in flight and the bandwidth leaks.
+  ResilienceOptions lossy = options;
+  lossy.faults.loss_probability = 1.0;
+  ResilientReservationProtocol lossy_rsvp(f.ledger, f.counter, f.simulator, f.rng, lossy);
+  lossy_rsvp.teardown(f.route3(), 64'000.0);
+  EXPECT_DOUBLE_EQ(f.ledger.total_reserved(), 3.0 * 64'000.0);  // still held
+  EXPECT_EQ(lossy_rsvp.pending_orphans(), 1u);
+  EXPECT_EQ(lossy_rsvp.stats().tear_orphans, 1u);
+
+  f.simulator.run_until(11.0);
+  EXPECT_EQ(lossy_rsvp.pending_orphans(), 0u);
+  EXPECT_DOUBLE_EQ(f.ledger.total_reserved(), 0.0);
+  EXPECT_EQ(lossy_rsvp.stats().orphans_reclaimed, 1u);
+}
+
+TEST(ResilientProtocol, LinkFailureReclaimsOrphansCrossingIt) {
+  Fixture f;
+  const net::LinkId forward = *f.topo.find_link(0, 1);
+  f.ledger.fail_link(f.topo.reverse_link(forward));
+  ResilienceOptions options = perfect_network();
+  options.max_retransmits = 0;
+  ResilientReservationProtocol rsvp(f.ledger, f.counter, f.simulator, f.rng, options);
+  EXPECT_FALSE(rsvp.reserve(f.route1(), 64'000.0).admitted);
+  ASSERT_EQ(rsvp.pending_orphans(), 1u);
+
+  // The forward link is about to fail; its orphan must be reclaimed first so
+  // the ledger's fail_link precondition (nothing reserved) holds.
+  rsvp.on_link_failing(forward);
+  EXPECT_EQ(rsvp.pending_orphans(), 0u);
+  EXPECT_DOUBLE_EQ(f.ledger.total_reserved(), 0.0);
+  f.ledger.fail_link(forward);  // would throw if bandwidth were still held
+
+  // The cancelled timer must not fire a second reclaim.
+  f.simulator.run_until(1'000.0);
+  EXPECT_EQ(rsvp.stats().orphans_reclaimed, 1u);
+}
+
+TEST(ResilientProtocol, ReclaimPendingRepairsAllLeaks) {
+  Fixture f;
+  f.ledger.fail_link(f.topo.reverse_link(*f.topo.find_link(0, 1)));
+  ResilienceOptions options = perfect_network();
+  options.max_retransmits = 1;
+  ResilientReservationProtocol rsvp(f.ledger, f.counter, f.simulator, f.rng, options);
+  EXPECT_FALSE(rsvp.reserve(f.route1(), 64'000.0).admitted);
+  ASSERT_EQ(rsvp.pending_orphans(), 2u);
+  EXPECT_EQ(rsvp.reclaim_pending(), 2u);
+  EXPECT_EQ(rsvp.pending_orphans(), 0u);
+  EXPECT_DOUBLE_EQ(f.ledger.total_reserved(), 0.0);
+  f.simulator.run_until(1'000.0);  // cancelled timers stay cancelled
+  EXPECT_EQ(rsvp.stats().orphans_reclaimed, 2u);
+}
+
+TEST(ResilientProtocol, BlockedRouteStillRejectsDefinitively) {
+  Fixture f;
+  // Saturate the middle link so the PATH is blocked there; with a perfect
+  // network the PATH_ERR always returns and no retransmission happens.
+  const net::LinkId middle = *f.topo.find_link(1, 2);
+  net::Path hog;
+  hog.source = 1;
+  hog.destination = 2;
+  hog.links = {middle};
+  ASSERT_TRUE(f.ledger.reserve(hog, f.ledger.capacity(middle)));
+  ResilientReservationProtocol rsvp(f.ledger, f.counter, f.simulator, f.rng,
+                                    perfect_network());
+  const ReservationResult result = rsvp.reserve(f.route3(), 64'000.0);
+  EXPECT_FALSE(result.admitted);
+  EXPECT_EQ(result.retransmits, 0u);
+  ASSERT_TRUE(result.blocking_link.has_value());
+  EXPECT_EQ(*result.blocking_link, middle);
+  // PATH walked 2 hops (blocked on the 2nd), PATH_ERR returned over 2 hops.
+  EXPECT_EQ(result.messages, 4u);
+  EXPECT_EQ(f.counter.by_kind(MessageKind::kPathErr), 2u);
+  EXPECT_EQ(rsvp.stats().give_ups, 0u);
+}
+
+TEST(ResilientProtocol, ForcedTeardownIsMirroredInHopsCounted) {
+  // force_teardown is non-virtual (it must always release immediately), but
+  // its TEAR hops still have to appear in the reconciliation mirror.
+  Fixture f;
+  ResilientReservationProtocol rsvp(f.ledger, f.counter, f.simulator, f.rng,
+                                    perfect_network());
+  ASSERT_TRUE(rsvp.reserve(f.route3(), 64'000.0).admitted);
+  rsvp.force_teardown(f.route3(), 64'000.0);
+  EXPECT_DOUBLE_EQ(f.ledger.total_reserved(), 0.0);
+  EXPECT_EQ(f.counter.by_kind(MessageKind::kTear), 3u);
+  EXPECT_EQ(rsvp.stats().hops_counted, f.counter.total());
+}
+
+TEST(ResilientProtocol, HopsCountedReconcilesWithTheSharedCounterUnderLoss) {
+  Fixture f;
+  ResilienceOptions options = perfect_network();
+  options.faults.loss_probability = 0.2;
+  options.max_retransmits = 4;
+  ResilientReservationProtocol rsvp(f.ledger, f.counter, f.simulator, f.rng, options);
+  for (int i = 0; i < 200; ++i) {
+    const ReservationResult result = rsvp.reserve(f.route3(), 1'000.0);
+    if (result.admitted) {
+      rsvp.teardown(f.route3(), 1'000.0);
+    }
+  }
+  f.simulator.run();  // let orphan reclaims finish
+  // Nothing else shares the counter, so the mirror must match exactly.
+  EXPECT_EQ(rsvp.stats().hops_counted, f.counter.total());
+  EXPECT_GT(rsvp.stats().retransmits, 0u);
+  EXPECT_DOUBLE_EQ(f.ledger.total_reserved(), 0.0);
+  EXPECT_EQ(rsvp.pending_orphans(), 0u);
+}
+
+TEST(ResilientProtocol, OptionsValidated) {
+  Fixture f;
+  ResilienceOptions bad = perfect_network();
+  bad.retransmit_timeout_s = 0.0;
+  EXPECT_THROW(
+      ResilientReservationProtocol(f.ledger, f.counter, f.simulator, f.rng, bad),
+      std::invalid_argument);
+  bad = perfect_network();
+  bad.backoff_factor = 0.5;
+  EXPECT_THROW(
+      ResilientReservationProtocol(f.ledger, f.counter, f.simulator, f.rng, bad),
+      std::invalid_argument);
+  bad = perfect_network();
+  bad.backoff_jitter = -0.1;
+  EXPECT_THROW(
+      ResilientReservationProtocol(f.ledger, f.counter, f.simulator, f.rng, bad),
+      std::invalid_argument);
+  bad = perfect_network();
+  bad.orphan_hold_s = 0.0;
+  EXPECT_THROW(
+      ResilientReservationProtocol(f.ledger, f.counter, f.simulator, f.rng, bad),
+      std::invalid_argument);
+  bad = perfect_network();
+  bad.faults.loss_probability = 2.0;
+  EXPECT_THROW(
+      ResilientReservationProtocol(f.ledger, f.counter, f.simulator, f.rng, bad),
+      std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace anyqos::signaling

@@ -132,6 +132,100 @@ TEST(SoftState, MultipleSessionsIndependent) {
   EXPECT_DOUBLE_EQ(f.ledger.total_reserved(), 3.0 * 64'000.0);  // b holds 3 links
 }
 
+TEST(SoftState, RemoveOfExpiredSessionInsideItsOwnExpiryCallbackThrows) {
+  // The expiry callback sees a session that is already gone: the manager
+  // erases state *before* notifying, so a confused owner calling remove(id)
+  // from inside the callback gets the documented invalid_argument, not a
+  // double release or a crash.
+  Fixture f;
+  SoftStateOptions options = lossless();
+  options.refresh_loss_probability = 0.999999;
+  SoftStateManager manager(f.simulator, f.ledger, f.counter, f.rng, options);
+  bool callback_ran = false;
+  (void)f.install(manager, [&](SessionId id) {
+    callback_ran = true;
+    EXPECT_FALSE(manager.alive(id));
+    EXPECT_THROW(manager.remove(id), std::invalid_argument);
+  });
+  f.simulator.run_until(91.0);
+  EXPECT_TRUE(callback_ran);
+  EXPECT_EQ(manager.session_count(), 0u);
+  EXPECT_DOUBLE_EQ(f.ledger.total_reserved(), 0.0);
+}
+
+TEST(SoftState, RemoveOfAnotherSessionInsideExpiryCallbackWorks) {
+  // A owns both sessions; when the first expires it tears the second down
+  // from inside the callback. The manager must tolerate map mutation while
+  // an expiry is being delivered.
+  Fixture f;
+  SoftStateOptions options = lossless();
+  options.refresh_loss_probability = 0.999999;
+  SoftStateManager manager(f.simulator, f.ledger, f.counter, f.rng, options);
+  SessionId second = 0;
+  (void)f.install(manager, [&](SessionId) {
+    if (manager.alive(second)) {
+      manager.remove(second);
+    }
+  });
+  second = f.install(manager);
+  f.simulator.run_until(91.0);
+  EXPECT_EQ(manager.session_count(), 0u);
+  EXPECT_DOUBLE_EQ(f.ledger.total_reserved(), 0.0);
+}
+
+TEST(SoftState, InstallInsideExpiryCallbackIsSafe) {
+  // Re-establishment: the owner reacts to an expiry by reserving and
+  // installing a replacement session from inside the callback.
+  Fixture f;
+  SoftStateOptions options = lossless();
+  options.refresh_loss_probability = 0.999999;
+  SoftStateManager manager(f.simulator, f.ledger, f.counter, f.rng, options);
+  SessionId replacement = 0;
+  bool reinstalled = false;
+  (void)f.install(manager, [&](SessionId) {
+    if (reinstalled) {
+      return;  // let the replacement expire without another round
+    }
+    reinstalled = true;
+    const net::Path r = f.route();
+    EXPECT_TRUE(f.rsvp.reserve(r, 64'000.0).admitted);
+    replacement = manager.install(r, 64'000.0);
+  });
+  f.simulator.run_until(91.0);
+  EXPECT_TRUE(reinstalled);
+  EXPECT_TRUE(manager.alive(replacement));
+  EXPECT_EQ(manager.session_count(), 1u);
+  EXPECT_DOUBLE_EQ(f.ledger.total_reserved(), 3.0 * 64'000.0);
+  // The replacement keeps its own refresh schedule running.
+  f.simulator.run_until(92.0 + 3.0 * 30.0);
+  EXPECT_FALSE(manager.alive(replacement));  // it too expires under total loss
+  EXPECT_DOUBLE_EQ(f.ledger.total_reserved(), 0.0);
+}
+
+TEST(SoftState, SimultaneousMissedRefreshesExpireInInstallOrder) {
+  // Three sessions installed at t = 0 miss every refresh; all three cross
+  // the K-miss threshold at the same simulated instant (t = 3 x 30). The
+  // kernel breaks timestamp ties FIFO, so expiries are delivered in install
+  // order — deterministic teardown ordering is what makes chaos runs
+  // reproducible.
+  Fixture f;
+  SoftStateOptions options = lossless();
+  options.refresh_loss_probability = 0.999999;
+  SoftStateManager manager(f.simulator, f.ledger, f.counter, f.rng, options);
+  std::vector<SessionId> expired_order;
+  const auto record = [&](SessionId id) { expired_order.push_back(id); };
+  const SessionId a = f.install(manager, record);
+  const SessionId b = f.install(manager, record);
+  const SessionId c = f.install(manager, record);
+  f.simulator.run_until(91.0);
+  ASSERT_EQ(expired_order.size(), 3u);
+  EXPECT_EQ(expired_order[0], a);
+  EXPECT_EQ(expired_order[1], b);
+  EXPECT_EQ(expired_order[2], c);
+  EXPECT_EQ(manager.expired_count(), 3u);
+  EXPECT_DOUBLE_EQ(f.ledger.total_reserved(), 0.0);
+}
+
 TEST(SoftState, OptionsValidated) {
   Fixture f;
   SoftStateOptions bad = lossless();

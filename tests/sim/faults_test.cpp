@@ -49,9 +49,19 @@ TEST(RandomFaultSchedule, NoOverlapPerLink) {
 
 TEST(RandomFaultSchedule, ValidatesParameters) {
   const net::Topology topo = net::topologies::ring(6);
-  EXPECT_THROW(random_fault_schedule(topo, 0.0, 1e-3, 100.0, 1), std::invalid_argument);
-  EXPECT_THROW(random_fault_schedule(topo, 100.0, 0.0, 100.0, 1), std::invalid_argument);
+  EXPECT_THROW(random_fault_schedule(topo, -1.0, 1e-3, 100.0, 1), std::invalid_argument);
+  EXPECT_THROW(random_fault_schedule(topo, 100.0, -1.0, 100.0, 1), std::invalid_argument);
   EXPECT_THROW(random_fault_schedule(topo, 100.0, 1e-3, 0.0, 1), std::invalid_argument);
+  EXPECT_THROW(random_fault_schedule(topo, 100.0, 1e-3, -5.0, 1), std::invalid_argument);
+}
+
+TEST(RandomFaultSchedule, ZeroRateOrHorizonYieldsEmptySchedule) {
+  const net::Topology topo = net::topologies::ring(6);
+  // Degenerate-but-valid corners: nothing can fail, so nothing does, and the
+  // (unused) repair-time parameter is not validated.
+  EXPECT_TRUE(random_fault_schedule(topo, 0.0, 1e-3, 100.0, 1).empty());
+  EXPECT_TRUE(random_fault_schedule(topo, 100.0, 0.0, 100.0, 1).empty());
+  EXPECT_TRUE(random_fault_schedule(topo, 0.0, 0.0, 0.0, 1).empty());
 }
 
 TEST(FaultedSimulation, DropsFlowsAndRecovers) {

@@ -113,6 +113,46 @@ TEST(MetricsCollector, DroppedFlowsCounted) {
   EXPECT_EQ(metrics.dropped_flows(), 2u);
 }
 
+TEST(MetricsCollector, ZeroAttemptRejectionIsLegal) {
+  // With every group member down (churn), a request is rejected without a
+  // single destination attempt; the collector must accept that shape.
+  MetricsCollector metrics(2);
+  metrics.begin_measurement(0.0);
+  metrics.record_decision(false, 0, 0, 0);
+  EXPECT_EQ(metrics.offered(), 1u);
+  EXPECT_EQ(metrics.admitted(), 0u);
+  EXPECT_EQ(metrics.attempts_histogram().count(0), 1u);
+  EXPECT_DOUBLE_EQ(metrics.average_attempts(), 0.0);
+}
+
+TEST(MetricsCollector, TeardownCausesCountedSeparately) {
+  MetricsCollector metrics(1);
+  metrics.record_teardown(TeardownCause::kChurn);  // pre-measurement: ignored
+  metrics.begin_measurement(0.0);
+  metrics.record_teardown(TeardownCause::kExplicit);
+  metrics.record_teardown(TeardownCause::kExplicit);
+  metrics.record_teardown(TeardownCause::kLinkFault);
+  metrics.record_teardown(TeardownCause::kChurn);
+  metrics.record_teardown(TeardownCause::kChurn);
+  metrics.record_teardown(TeardownCause::kChurn);
+  EXPECT_EQ(metrics.teardowns(TeardownCause::kExplicit), 2u);
+  EXPECT_EQ(metrics.teardowns(TeardownCause::kLinkFault), 1u);
+  EXPECT_EQ(metrics.teardowns(TeardownCause::kChurn), 3u);
+  // Only involuntary teardowns feed the paper-facing dropped tally.
+  EXPECT_EQ(metrics.dropped_flows(), 4u);
+}
+
+TEST(MetricsCollector, FailoverTalliedWhileMeasuringOnly) {
+  MetricsCollector metrics(1);
+  metrics.record_failover(true);  // pre-measurement: ignored
+  metrics.begin_measurement(0.0);
+  metrics.record_failover(true);
+  metrics.record_failover(false);
+  metrics.record_failover(true);
+  EXPECT_EQ(metrics.failover_attempts(), 3u);
+  EXPECT_EQ(metrics.failover_admitted(), 2u);
+}
+
 TEST(MetricsCollector, Validation) {
   EXPECT_THROW(MetricsCollector(0), std::invalid_argument);
   MetricsCollector metrics(2);

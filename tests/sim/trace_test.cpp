@@ -98,7 +98,13 @@ TEST(SimulationTracing, FlowEventsCarryRequestIdAndBandwidth) {
         break;
       case TraceEventKind::kLinkDown:
       case TraceEventKind::kLinkUp:
+      case TraceEventKind::kMemberDown:
+      case TraceEventKind::kMemberUp:
         EXPECT_EQ(event.flow, 0u);
+        break;
+      case TraceEventKind::kFailover:
+        EXPECT_GE(event.flow, 1u);
+        EXPECT_DOUBLE_EQ(event.bandwidth_bps, 64'000.0);
         break;
     }
   }

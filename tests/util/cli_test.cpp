@@ -107,5 +107,77 @@ TEST(CliFlags, DuplicateDeclarationThrows) {
   EXPECT_THROW(flags.add_string("x", "", "second"), std::invalid_argument);
 }
 
+CliFlags constrained_flags() {
+  CliFlags flags("p", "d");
+  flags.add_probability("loss", 0.0, "message loss probability");
+  flags.add_duration("timeout", 1.0, "retransmit timeout");
+  return flags;
+}
+
+TEST(CliFlags, ProbabilityAcceptsTheFullClosedRange) {
+  for (const char* value : {"0", "0.5", "1", "1.0"}) {
+    CliFlags flags = constrained_flags();
+    parse(flags, {"--loss", value});
+    EXPECT_GE(flags.get_double("loss"), 0.0);
+    EXPECT_LE(flags.get_double("loss"), 1.0);
+  }
+}
+
+TEST(CliFlags, ProbabilityRejectsOutOfRangeValues) {
+  for (const char* value : {"-0.1", "1.01", "2", "-1", "nan"}) {
+    CliFlags flags = constrained_flags();
+    EXPECT_THROW(parse(flags, {"--loss", value}), std::invalid_argument) << value;
+  }
+}
+
+TEST(CliFlags, ProbabilityErrorNamesTheExpectedRange) {
+  CliFlags flags = constrained_flags();
+  try {
+    parse(flags, {"--loss=1.5"});
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& error) {
+    const std::string message = error.what();
+    EXPECT_NE(message.find("--loss"), std::string::npos);
+    EXPECT_NE(message.find("[0,1]"), std::string::npos);
+    EXPECT_NE(message.find("1.5"), std::string::npos);
+  }
+}
+
+TEST(CliFlags, DurationRejectsNegativeValues) {
+  for (const char* value : {"-1", "-0.001", "nan"}) {
+    CliFlags flags = constrained_flags();
+    EXPECT_THROW(parse(flags, {"--timeout", value}), std::invalid_argument) << value;
+  }
+  CliFlags flags = constrained_flags();
+  try {
+    parse(flags, {"--timeout=-3"});
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& error) {
+    const std::string message = error.what();
+    EXPECT_NE(message.find("--timeout"), std::string::npos);
+    EXPECT_NE(message.find("non-negative"), std::string::npos);
+  }
+}
+
+TEST(CliFlags, DurationAcceptsZeroAndPositive) {
+  CliFlags flags = constrained_flags();
+  parse(flags, {"--timeout=0", "--loss=0.25"});
+  EXPECT_DOUBLE_EQ(flags.get_double("timeout"), 0.0);
+  EXPECT_DOUBLE_EQ(flags.get_double("loss"), 0.25);
+}
+
+TEST(CliFlags, ConstrainedDefaultsAreValidated) {
+  CliFlags flags("p", "d");
+  EXPECT_THROW(flags.add_probability("bad", 1.5, "oops"), std::invalid_argument);
+  EXPECT_THROW(flags.add_duration("worse", -1.0, "oops"), std::invalid_argument);
+}
+
+TEST(CliFlags, ConstrainedHelpShowsTheRange) {
+  const CliFlags flags = constrained_flags();
+  const std::string help = flags.help_text();
+  EXPECT_NE(help.find("[0,1]"), std::string::npos);
+  EXPECT_NE(help.find(">= 0"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace anyqos::util
