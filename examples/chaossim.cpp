@@ -12,14 +12,27 @@
 //   $ ./chaossim
 //   $ ./chaossim --losses=0,0.1,0.3 --churn-rates=0,0.005 --fault-rate=1e-4
 //   $ ./chaossim --topology=grid:3x3 --group=0,8 --measure=2000 --out=chaos.csv
+//   $ ./chaossim --metrics-out=chaos.prom --spans-out=spans.jsonl --flight-prefix=/tmp/flight
+//
+// Every cell runs with a flight recorder by default: when a link fault,
+// member churn, or audit finding fires, the cell's bounded causal snapshot
+// is written to <flight-prefix>-cell<N>.jsonl (cells without a trigger write
+// nothing).
 #include <fstream>
 #include <iostream>
+#include <memory>
+#include <sstream>
+#include <string>
 #include <vector>
 
 #include "src/audit/auditor.h"
 #include "src/net/topologies.h"
+#include "src/obs/flight_recorder.h"
+#include "src/obs/registry.h"
+#include "src/obs/span.h"
 #include "src/sim/churn.h"
 #include "src/sim/faults.h"
+#include "src/sim/metrics_export.h"
 #include "src/sim/simulation.h"
 #include "src/util/cli.h"
 #include "src/util/require.h"
@@ -115,6 +128,14 @@ int main(int argc, char** argv) {
                                          " message reconciliation stays exact)");
   flags.add_unsigned("seed", 101, "master RNG seed (each cell offsets it)");
   flags.add_string("out", "", "also write the matrix as CSV to this file");
+  flags.add_string("metrics-out", "",
+                   "write per-cell metrics here (.prom = Prometheus text, else JSONL); every"
+                   " series carries a cell=<n> label");
+  flags.add_string("spans-out", "", "write every cell's admission-decision spans here (JSONL)");
+  flags.add_bool("flight-recorder", true, "arm a per-cell fault-triggered flight recorder");
+  flags.add_string("flight-prefix", "chaos-flight",
+                   "flight snapshots go to <prefix>-cell<N>.jsonl");
+  flags.add_unsigned("flight-depth", 256, "flight-recorder ring capacity, entries");
   flags.parse(argc, argv);
   if (flags.help_requested()) {
     std::cout << flags.help_text();
@@ -126,6 +147,22 @@ int main(int argc, char** argv) {
       parse_probabilities(flags.get_string("losses"), "--losses");
   const std::vector<double> churn_rates =
       parse_rates(flags.get_string("churn-rates"), "--churn-rates");
+
+  const bool flight_on = flags.get_bool("flight-recorder");
+  std::ofstream spans_file;
+  std::unique_ptr<obs::JsonlSpanSink> shared_spans;
+  if (!flags.get_string("spans-out").empty()) {
+    spans_file.open(flags.get_string("spans-out"));
+    util::require(spans_file.good(), "cannot open spans file");
+    shared_spans = std::make_unique<obs::JsonlSpanSink>(spans_file);
+  }
+  std::unique_ptr<obs::MetricsRegistry> registry;
+  if (!flags.get_string("metrics-out").empty()) {
+    registry = std::make_unique<obs::MetricsRegistry>();
+  }
+  std::vector<std::string> flight_files;
+  std::uint64_t flight_triggers = 0;
+  std::uint64_t spans_emitted = 0;
 
   util::TablePrinter table({"loss", "churn/s", "faults", "AP", "retx", "orphans", "dropped",
                             "failover", "verdict"});
@@ -176,13 +213,39 @@ int main(int argc, char** argv) {
                                                      config.seed + 2);
         }
 
+        // Arm the per-cell flight recorder: spans land in its ring (teeing to
+        // the shared spans file when one is open) and snapshots buffer in
+        // memory — the file is created only if this cell actually triggers.
+        obs::DecisionTracer tracer;
+        std::ostringstream flight_buffer;
+        std::unique_ptr<obs::FlightRecorder> recorder;
+        if (flight_on) {
+          obs::FlightRecorderOptions flight_options;
+          flight_options.depth = flags.get_unsigned("flight-depth");
+          recorder = std::make_unique<obs::FlightRecorder>(flight_options);
+          recorder->set_output(&flight_buffer);
+          recorder->set_forward(shared_spans.get());  // nullptr detaches
+          tracer.set_sink(&recorder->span_sink());
+          config.tracer = &tracer;
+          config.flight_recorder = recorder.get();
+        } else if (shared_spans != nullptr) {
+          tracer.set_sink(shared_spans.get());
+          config.tracer = &tracer;
+        }
+
         sim::Simulation simulation(topology, config);
         audit::AuditorOptions audit_options;
         audit_options.throw_on_violation = false;  // survey the whole matrix
         audit_options.checkpoint_interval_s = 50.0;
         audit::InvariantAuditor auditor(audit_options);
         auditor.attach(simulation);
+        if (recorder != nullptr) {
+          auditor.set_violation_hook([&recorder](const audit::Violation& violation) {
+            recorder->trigger(violation.sim_time, "audit " + audit::to_string(violation.check));
+          });
+        }
         const sim::SimulationResult result = simulation.run();
+        spans_emitted += tracer.spans_emitted();
 
         CellVerdict verdict;
         auto* resilient = simulation.resilient();
@@ -227,6 +290,23 @@ int main(int argc, char** argv) {
                     << " faults=" << (faults_on ? "on" : "off") << "):\n"
                     << auditor.log().to_text();
         }
+        if (registry != nullptr) {
+          sim::export_metrics(simulation, config, result, *registry,
+                              {{"cell", std::to_string(cell)}});
+        }
+        if (recorder != nullptr) {
+          flight_triggers += recorder->triggers();
+          if (recorder->dumps_written() > 0) {
+            std::string path = flags.get_string("flight-prefix");
+            path += "-cell";
+            path += std::to_string(cell);
+            path += ".jsonl";
+            std::ofstream dump(path);
+            util::require(dump.good(), "cannot open flight dump file");
+            dump << flight_buffer.str();
+            flight_files.push_back(std::move(path));
+          }
+        }
       }
     }
   }
@@ -240,6 +320,30 @@ int main(int argc, char** argv) {
     util::require(out.good(), "cannot open --out file");
     out << csv.str();
     std::cout << "matrix written to " << flags.get_string("out") << "\n";
+  }
+  if (registry != nullptr) {
+    const std::string& path = flags.get_string("metrics-out");
+    std::ofstream metrics_file(path);
+    util::require(metrics_file.good(), "cannot open metrics file");
+    if (util::ends_with(path, ".prom")) {
+      registry->write_prometheus(metrics_file);
+    } else {
+      registry->write_jsonl(metrics_file);
+    }
+    std::cout << "metrics written to " << path << " (" << registry->series_count()
+              << " series)\n";
+  }
+  if (shared_spans != nullptr) {
+    std::cout << "spans written to " << flags.get_string("spans-out") << " (" << spans_emitted
+              << " spans)\n";
+  }
+  if (flight_on) {
+    std::cout << "flight recorder   " << flight_triggers << " triggers, "
+              << flight_files.size() << " cells dumped";
+    for (const std::string& path : flight_files) {
+      std::cout << " " << path;
+    }
+    std::cout << "\n";
   }
   return failures == 0 ? 0 : 1;
 }

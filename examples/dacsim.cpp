@@ -9,14 +9,17 @@
 //   $ ./dacsim --topology=grid:4x5 --group=0,7,19 --sources=2,9,12 --lambda=8
 //   $ ./dacsim --topology-file=mynet.topo --gdi --trace=/tmp/events.csv
 //   $ ./dacsim --metrics-out=run.prom --spans-out=spans.jsonl --profile
+//   $ ./dacsim --timeline-out=tl.csv --flight-recorder=flight.jsonl --fault-rate=1e-4
 #include <fstream>
 #include <iostream>
 
 #include "src/audit/auditor.h"
 #include "src/net/topology_io.h"
+#include "src/obs/flight_recorder.h"
 #include "src/obs/profiler.h"
 #include "src/obs/registry.h"
 #include "src/obs/span.h"
+#include "src/obs/timeline.h"
 #include "src/sim/metrics_export.h"
 #include "src/sim/experiment.h"
 #include "src/sim/faults.h"
@@ -109,6 +112,12 @@ int main(int argc, char** argv) {
   flags.add_string("metrics-out", "",
                    "write run metrics here (.prom = Prometheus text, else JSONL)");
   flags.add_string("spans-out", "", "write admission-decision spans here (JSONL)");
+  flags.add_string("timeline-out", "",
+                   "write the windowed telemetry timeline here (.csv = wide CSV, else JSONL)");
+  flags.add_double("timeline-interval", 50.0, "simulated seconds between timeline samples");
+  flags.add_string("flight-recorder", "",
+                   "dump fault-triggered flight snapshots to this file (JSONL)");
+  flags.add_unsigned("flight-depth", 256, "flight-recorder ring capacity, entries");
   flags.add_bool("profile", false, "print engine profiling summary after the run");
   flags.add_string("profile-out", "", "write the profiling summary + samples as JSON");
   flags.add_double("profile-interval", 50.0, "sim seconds between profiler checkpoints");
@@ -185,6 +194,34 @@ int main(int argc, char** argv) {
     config.tracer = &tracer;
   }
 
+  std::unique_ptr<obs::Timeline> timeline;
+  if (!flags.get_string("timeline-out").empty()) {
+    obs::TimelineOptions timeline_options;
+    timeline_options.interval_s = flags.get_double("timeline-interval");
+    timeline = std::make_unique<obs::Timeline>(timeline_options);
+    config.timeline = timeline.get();
+  }
+
+  std::ofstream flight_file;
+  std::unique_ptr<obs::FlightRecorder> recorder;
+  if (!flags.get_string("flight-recorder").empty()) {
+    obs::FlightRecorderOptions flight_options;
+    flight_options.depth = flags.get_unsigned("flight-depth");
+    recorder = std::make_unique<obs::FlightRecorder>(flight_options);
+    flight_file.open(flags.get_string("flight-recorder"));
+    util::require(flight_file.good(), "cannot open flight-recorder file");
+    recorder->set_output(&flight_file);
+    config.flight_recorder = recorder.get();
+    if (!config.use_gdi) {
+      // Decision spans land in the ring; when --spans-out is also set the
+      // ring tees every span on to the JSONL file, so both artifacts come
+      // from the one tracer.
+      recorder->set_forward(span_sink.get());  // nullptr detaches: ring only
+      tracer.set_sink(&recorder->span_sink());
+      config.tracer = &tracer;
+    }
+  }
+
   obs::EngineProfiler profiler(flags.get_double("profile-interval"));
   const bool profiling = flags.get_bool("profile") || !flags.get_string("profile-out").empty();
   if (profiling) {
@@ -200,6 +237,12 @@ int main(int argc, char** argv) {
     audit_options.checkpoint_interval_s = flags.get_double("audit-interval");
     auditor = std::make_unique<audit::InvariantAuditor>(audit_options);
     auditor->attach(simulation);
+    if (recorder != nullptr) {
+      // A violation dumps the causal window before throw_on_violation aborts.
+      auditor->set_violation_hook([&recorder](const audit::Violation& violation) {
+        recorder->trigger(violation.sim_time, "audit " + audit::to_string(violation.check));
+      });
+    }
   }
   const sim::SimulationResult result = simulation.run();
 
@@ -276,6 +319,23 @@ int main(int argc, char** argv) {
   if (span_sink != nullptr) {
     std::cout << "spans written to " << flags.get_string("spans-out") << " ("
               << tracer.spans_emitted() << " spans)\n";
+  }
+  if (timeline != nullptr) {
+    const std::string& path = flags.get_string("timeline-out");
+    std::ofstream timeline_file(path);
+    util::require(timeline_file.good(), "cannot open timeline file");
+    if (util::ends_with(path, ".csv")) {
+      timeline->write_csv(timeline_file);
+    } else {
+      timeline->write_jsonl(timeline_file);
+    }
+    std::cout << "timeline written to " << path << " (" << timeline->samples().size()
+              << " samples x " << timeline->columns().size() << " columns)\n";
+  }
+  if (recorder != nullptr) {
+    std::cout << "flight recorder   " << recorder->triggers() << " triggers, "
+              << recorder->dumps_written() << " snapshots -> "
+              << flags.get_string("flight-recorder") << "\n";
   }
   if (profiling) {
     const obs::ProfileSummary summary = profiler.summary();

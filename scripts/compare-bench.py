@@ -1,0 +1,95 @@
+#!/usr/bin/env python3
+"""Compare a fresh BENCH_engine.json against a committed baseline.
+
+Two signals are diffed, both from the anyqos-bench-engine/1 schema:
+
+  * engine.events_per_second  -- DES engine throughput (higher is better)
+  * microbench.benchmarks[].real_time, keyed by name (lower is better)
+
+Regressions beyond --tolerance are reported. The default mode is warn-only
+(exit 0 regardless) because CI runners have noisy clocks; pass --strict to
+turn regressions into a nonzero exit for local A/B runs on quiet machines.
+
+  scripts/compare-bench.py --baseline bench/BENCH_baseline.json \
+      --current BENCH_engine.json [--tolerance 0.25] [--strict]
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_record(path):
+    with open(path) as f:
+        record = json.load(f)
+    schema = record.get("schema", "")
+    if schema != "anyqos-bench-engine/1":
+        raise ValueError(f"{path}: unexpected schema {schema!r}")
+    return record
+
+
+def microbench_times(record):
+    """name -> real_time (ns) for plain benchmarks (skip aggregates)."""
+    times = {}
+    for bench in record["microbench"]["benchmarks"]:
+        if bench.get("run_type", "iteration") != "iteration":
+            continue
+        times[bench["name"]] = float(bench["real_time"])
+    return times
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--baseline", required=True, help="committed BENCH_baseline.json")
+    parser.add_argument("--current", required=True, help="freshly produced BENCH_engine.json")
+    parser.add_argument("--tolerance", type=float, default=0.25,
+                        help="relative slack before a delta counts as a regression "
+                             "(default 0.25 = 25%%)")
+    parser.add_argument("--strict", action="store_true",
+                        help="exit 1 on regressions instead of warning")
+    args = parser.parse_args()
+    if args.tolerance < 0:
+        parser.error("--tolerance must be non-negative")
+
+    baseline = load_record(args.baseline)
+    current = load_record(args.current)
+    regressions = []
+
+    base_eps = float(baseline["engine"]["events_per_second"])
+    cur_eps = float(current["engine"]["events_per_second"])
+    delta = (cur_eps - base_eps) / base_eps
+    print(f"engine events_per_second: {base_eps:,.0f} -> {cur_eps:,.0f} ({delta:+.1%})")
+    if delta < -args.tolerance:
+        regressions.append(f"engine throughput fell {-delta:.1%} "
+                           f"(tolerance {args.tolerance:.0%})")
+
+    base_times = microbench_times(baseline)
+    cur_times = microbench_times(current)
+    for name in sorted(base_times):
+        if name not in cur_times:
+            print(f"microbench {name}: missing from current run")
+            regressions.append(f"{name} missing from current run")
+            continue
+        delta = (cur_times[name] - base_times[name]) / base_times[name]
+        print(f"microbench {name}: {base_times[name]:.1f} -> "
+              f"{cur_times[name]:.1f} ns ({delta:+.1%})")
+        if delta > args.tolerance:
+            regressions.append(f"{name} slowed {delta:.1%} "
+                               f"(tolerance {args.tolerance:.0%})")
+    for name in sorted(set(cur_times) - set(base_times)):
+        print(f"microbench {name}: new (no baseline)")
+
+    if not regressions:
+        print("bench comparison: OK (within tolerance)")
+        return 0
+    for item in regressions:
+        print(f"REGRESSION: {item}", file=sys.stderr)
+    if args.strict:
+        return 1
+    print("warn-only mode: not failing the build (use --strict to enforce)",
+          file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

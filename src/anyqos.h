@@ -55,9 +55,11 @@
 #include "src/net/topologies.h"
 #include "src/net/topology.h"
 #include "src/net/topology_io.h"
+#include "src/obs/flight_recorder.h"
 #include "src/obs/profiler.h"
 #include "src/obs/registry.h"
 #include "src/obs/span.h"
+#include "src/obs/timeline.h"
 #include "src/sched/token_bucket.h"
 #include "src/sched/wfq.h"
 #include "src/signaling/message.h"

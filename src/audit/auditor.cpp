@@ -95,6 +95,9 @@ void InvariantAuditor::report(AuditCheck check, std::string detail) {
   violation.sim_time = now();
   violation.detail = std::move(detail);
   log_.add(violation);
+  if (violation_hook_ != nullptr) {
+    violation_hook_(log_.entries().back());
+  }
   if (options_.throw_on_violation) {
     const Violation& recorded = log_.entries().back();
     throw util::InvariantError("invariant audit [" + to_string(recorded.check) +

@@ -24,6 +24,7 @@
 #pragma once
 
 #include <cstddef>
+#include <functional>
 #include <map>
 #include <unordered_map>
 #include <unordered_set>
@@ -89,6 +90,15 @@ class InvariantAuditor final : public net::LedgerObserver, public core::Admissio
   /// Everything found so far (never cleared by the auditor itself).
   [[nodiscard]] const ViolationLog& log() const { return log_; }
 
+  /// Registers a callback fired for every violation, after it is logged and
+  /// *before* any throw_on_violation escalation — the hook observes the
+  /// failure even when the run is about to abort. Used to trigger the
+  /// flight recorder so a violation dumps its causal snapshot. nullptr
+  /// detaches; the hook must not mutate the audited simulation.
+  void set_violation_hook(std::function<void(const Violation&)> hook) {
+    violation_hook_ = std::move(hook);
+  }
+
   /// Reserve/release pairs currently open in the shadow account.
   [[nodiscard]] std::size_t open_reservations() const;
 
@@ -123,6 +133,7 @@ class InvariantAuditor final : public net::LedgerObserver, public core::Admissio
 
   AuditorOptions options_;
   ViolationLog log_;
+  std::function<void(const Violation&)> violation_hook_;
 
   net::BandwidthLedger* ledger_ = nullptr;
   std::vector<net::Bandwidth> shadow_reserved_;         // per directed link

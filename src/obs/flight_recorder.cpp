@@ -1,0 +1,112 @@
+#include "src/obs/flight_recorder.h"
+
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+#include <utility>
+
+#include "src/util/require.h"
+#include "src/util/strings.h"
+
+namespace anyqos::obs {
+
+namespace {
+
+void write_number(std::ostream& out, double value) {
+  if (!std::isfinite(value)) {
+    out << "null";
+    return;
+  }
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.17g", value);
+  out << buffer;
+}
+
+}  // namespace
+
+FlightRecorder::FlightRecorder(FlightRecorderOptions options) : options_(options) {
+  util::require(options_.depth > 0, "flight recorder depth must be positive");
+}
+
+void FlightRecorder::RingSink::on_attempt(const AttemptSpan& span) {
+  owner_->push(span);
+  if (owner_->forward_ != nullptr) {
+    owner_->forward_->on_attempt(span);
+  }
+}
+
+void FlightRecorder::RingSink::on_decision(const DecisionSpan& span) {
+  owner_->push(span);
+  if (owner_->forward_ != nullptr) {
+    owner_->forward_->on_decision(span);
+  }
+}
+
+void FlightRecorder::note(double time, std::string_view kind, std::string_view detail) {
+  FlightNote event;
+  event.time = time;
+  event.kind = std::string(kind);
+  event.detail = std::string(detail);
+  push(std::move(event));
+}
+
+void FlightRecorder::push(Entry entry) {
+  if (ring_.size() < options_.depth) {
+    ring_.push_back(std::move(entry));
+    return;
+  }
+  ring_[next_] = std::move(entry);
+  next_ = (next_ + 1) % options_.depth;
+  wrapped_ = true;
+}
+
+template <typename Fn>
+void FlightRecorder::for_each_entry(Fn&& fn) const {
+  if (!wrapped_ && next_ == 0) {
+    for (const Entry& entry : ring_) {
+      fn(entry);
+    }
+    return;
+  }
+  // The ring has wrapped (or rotated): next_ indexes the oldest entry.
+  for (std::size_t i = 0; i < ring_.size(); ++i) {
+    fn(ring_[(next_ + i) % ring_.size()]);
+  }
+}
+
+std::size_t FlightRecorder::trigger(double time, std::string_view reason) {
+  ++triggers_;
+  if (out_ == nullptr || dumps_written_ >= options_.max_dumps) {
+    return 0;
+  }
+  ++dumps_written_;
+  *out_ << "{\"flight\":\"snapshot\",\"reason\":\"" << util::json_escape(reason)
+        << "\",\"t\":";
+  write_number(*out_, time);
+  *out_ << ",\"seq\":" << dumps_written_ << ",\"entries\":" << ring_.size() << "}\n";
+  JsonlSpanSink spans(*out_);
+  std::size_t dumped = 0;
+  for_each_entry([&](const Entry& entry) {
+    ++dumped;
+    if (const auto* attempt = std::get_if<AttemptSpan>(&entry)) {
+      spans.on_attempt(*attempt);
+    } else if (const auto* decision = std::get_if<DecisionSpan>(&entry)) {
+      spans.on_decision(*decision);
+    } else {
+      const FlightNote& note = std::get<FlightNote>(entry);
+      *out_ << "{\"flight\":\"event\",\"t\":";
+      write_number(*out_, note.time);
+      *out_ << ",\"kind\":\"" << util::json_escape(note.kind) << "\",\"detail\":\""
+            << util::json_escape(note.detail) << "\"}\n";
+    }
+  });
+  return dumped;
+}
+
+void FlightRecorder::clear() {
+  ring_.clear();
+  next_ = 0;
+  wrapped_ = false;
+}
+
+}  // namespace anyqos::obs

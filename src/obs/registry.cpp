@@ -56,7 +56,16 @@ std::string prometheus_escape_help(std::string_view text) {
 // Renders a number for exposition: integers without a decimal point, other
 // values with enough digits to round-trip.
 std::string render_number(double value) {
-  if (std::isfinite(value) && value == std::floor(value) && std::abs(value) < 1e15) {
+  // The Prometheus exposition format spells non-finite values +Inf/-Inf/NaN
+  // (%.17g would print "inf"/"nan", which scrapers reject). JSON writers
+  // bypass this via write_number_json, which maps them to null.
+  if (std::isnan(value)) {
+    return "NaN";
+  }
+  if (std::isinf(value)) {
+    return value > 0.0 ? "+Inf" : "-Inf";
+  }
+  if (value == std::floor(value) && std::abs(value) < 1e15) {
     return std::to_string(static_cast<long long>(value));
   }
   char buffer[64];
@@ -286,8 +295,9 @@ void MetricsRegistry::write_jsonl(std::ostream& out) const {
             if (i > 0) {
               out << ',';
             }
-            out << "{\"le\":" << render_number(h.bounds()[i])
-                << ",\"count\":" << h.cumulative_count(i) << '}';
+            out << "{\"le\":";
+            write_number_json(out, h.bounds()[i]);
+            out << ",\"count\":" << h.cumulative_count(i) << '}';
           }
           out << "],\"sum\":";
           write_number_json(out, h.sum());

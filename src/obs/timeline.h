@@ -1,0 +1,151 @@
+// Windowed time-series telemetry (observability layer 4).
+//
+// The registry (layer 1) answers "what happened over the whole run"; the
+// Timeline answers "when". A self-rescheduling sample event on the DES
+// kernel reads registered probes every `interval_s` simulated seconds and
+// records one row per window: point samples for gauges, per-window rates
+// for cumulative counters, and within-window peaks for watermarks that the
+// hot path feeds between samples. This is the lens anycast load-management
+// evaluations reason with — utilization and admission rate as functions of
+// time, not end-of-run averages — so fault transients and re-convergence
+// become visible instead of being averaged away.
+//
+// Warm-up handling: mark_measurement_start() stamps the boundary, flags
+// earlier samples as warm-up, and re-baselines every counter column so a
+// counter reset at the boundary (the simulation resets its MessageCounter
+// there) cannot produce a negative rate.
+//
+// Cost discipline: like the no-sink span path, an unattached Timeline costs
+// nothing — the simulation checks its config pointer before wiring any
+// probe or noting any watermark, and note() itself is a bounds-checked
+// max() on a plain double.
+//
+// Determinism contract: sampling runs in virtual time and probes read only
+// model state, so two runs with the same seed and config produce
+// byte-identical write_jsonl()/write_csv() artifacts (numbers are rendered
+// with round-trip precision, never from wall time).
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace anyqos::des {
+class Simulator;
+}  // namespace anyqos::des
+
+namespace anyqos::obs {
+
+/// Tuning knobs for the sampler.
+struct TimelineOptions {
+  /// Simulated seconds between samples; must be positive.
+  double interval_s = 50.0;
+};
+
+/// How a column turns probe readings into per-window values.
+enum class TimelineColumnKind : std::uint8_t {
+  kGauge,      ///< point sample of the probe at the window end
+  kRate,       ///< (cumulative probe delta) / window length, per second
+  kWatermark,  ///< max of note()d values and the probe over the window
+};
+
+std::string to_string(TimelineColumnKind kind);
+
+/// One recorded row: every column evaluated at the same instant.
+struct TimelineSample {
+  double time = 0.0;      ///< virtual clock at the sample
+  double window_s = 0.0;  ///< length of the window this row covers
+  bool warmup = false;    ///< taken before mark_measurement_start()
+  std::vector<double> values;  ///< aligned with Timeline::columns()
+};
+
+/// Windowed sampler; see the file comment for the full contract. One
+/// instance records one run — construct fresh per simulation.
+class Timeline {
+ public:
+  using Probe = std::function<double()>;
+  /// Index into columns() and values; returned by the add_* registrars.
+  using ColumnId = std::size_t;
+
+  explicit Timeline(TimelineOptions options = {});
+
+  // --- Registration (before attach()) ---
+  /// Point-sampled column; `probe` is read once per window.
+  ColumnId add_gauge(std::string name, Probe probe);
+  /// Cumulative-counter column; the recorded value is the probe's
+  /// per-window delta divided by the window length (a rate per second).
+  /// Negative deltas clamp to zero (a counter reset between re-baselines).
+  ColumnId add_counter(std::string name, Probe probe);
+  /// Peak-tracking column: the recorded value is the maximum of every
+  /// note() since the previous sample and the probe at the window end, so
+  /// spikes between samples survive. `probe` doubles as the floor when no
+  /// note arrives in a window.
+  ColumnId add_watermark(std::string name, Probe probe);
+
+  /// Hot-path feed for a watermark column (no-op before attach()).
+  void note(ColumnId column, double value) {
+    if (attached_ && value > columns_[column].noted) {
+      columns_[column].noted = value;
+    }
+  }
+
+  // --- Run control ---
+  /// Installs the self-rescheduling sample event (first sample one interval
+  /// from now). `stop_rearming` — when supplied — is consulted after each
+  /// sample; once it returns true no further event is parked, so a
+  /// drain-to-quiescence run can empty its calendar (the same contract as
+  /// the auditor's checkpoint event). `simulator` must outlive this.
+  void attach(des::Simulator& simulator, std::function<bool()> stop_rearming = {});
+
+  /// Stamps the warm-up boundary: samples so far stay flagged warm-up,
+  /// counter columns re-baseline to their current probe values, and the
+  /// window in progress restarts at `now`.
+  void mark_measurement_start(double now);
+
+  /// Takes one sample immediately (requires a prior attach()).
+  void sample();
+
+  /// True once attach()ed; callers skip all wiring work when a Timeline is
+  /// absent, mirroring DecisionTracer::active().
+  [[nodiscard]] bool active() const { return attached_; }
+
+  // --- Results ---
+  struct Column {
+    std::string name;
+    TimelineColumnKind kind = TimelineColumnKind::kGauge;
+    Probe probe;
+    double last = 0.0;   // counter baseline
+    double noted = 0.0;  // watermark accumulator (reset per window)
+    bool has_note = false;
+  };
+
+  [[nodiscard]] const std::vector<Column>& columns() const { return columns_; }
+  [[nodiscard]] const std::vector<TimelineSample>& samples() const { return samples_; }
+  [[nodiscard]] const TimelineOptions& options() const { return options_; }
+  /// Simulated time of the warm-up boundary (unset before it is marked).
+  [[nodiscard]] std::optional<double> measurement_start() const { return measurement_start_; }
+
+  /// One header object (columns, interval, warm-up boundary) then one JSON
+  /// object per sample per line. Deterministic: same samples, same bytes.
+  void write_jsonl(std::ostream& out) const;
+  /// Wide CSV: `time,window_s,warmup,<column names...>`, one row per sample.
+  void write_csv(std::ostream& out) const;
+
+ private:
+  ColumnId add_column(std::string name, TimelineColumnKind kind, Probe probe);
+  void schedule_sample();
+
+  TimelineOptions options_;
+  des::Simulator* simulator_ = nullptr;
+  std::function<bool()> stop_rearming_;
+  bool attached_ = false;
+  std::optional<double> measurement_start_;
+  double window_start_ = 0.0;
+  std::vector<Column> columns_;
+  std::vector<TimelineSample> samples_;
+};
+
+}  // namespace anyqos::obs

@@ -27,6 +27,11 @@ void MetricsCollector::record_decision(bool admitted, std::size_t attempts,
                 "an admission involves at least one attempt");
   util::require(destination_index < per_destination_.size(),
                 "destination index out of range");
+  ++lifetime_offered_;
+  lifetime_attempts_ += attempts;
+  if (admitted) {
+    ++lifetime_admitted_;
+  }
   if (!measuring_) {
     return;
   }
@@ -49,6 +54,7 @@ void MetricsCollector::record_dropped_flow() { record_teardown(TeardownCause::kL
 void MetricsCollector::record_teardown(TeardownCause cause) {
   const auto index = static_cast<std::size_t>(cause);
   util::require(index < kTeardownCauseCount, "unknown teardown cause");
+  ++lifetime_teardowns_[index];
   if (!measuring_) {
     return;
   }
@@ -59,6 +65,10 @@ void MetricsCollector::record_teardown(TeardownCause cause) {
 }
 
 void MetricsCollector::record_failover(bool admitted) {
+  ++lifetime_failover_attempts_;
+  if (admitted) {
+    ++lifetime_failover_admitted_;
+  }
   if (!measuring_) {
     return;
   }
@@ -72,6 +82,12 @@ std::uint64_t MetricsCollector::teardowns(TeardownCause cause) const {
   const auto index = static_cast<std::size_t>(cause);
   util::require(index < kTeardownCauseCount, "unknown teardown cause");
   return teardowns_[index];
+}
+
+std::uint64_t MetricsCollector::lifetime_teardowns(TeardownCause cause) const {
+  const auto index = static_cast<std::size_t>(cause);
+  util::require(index < kTeardownCauseCount, "unknown teardown cause");
+  return lifetime_teardowns_[index];
 }
 
 double MetricsCollector::admission_probability() const {

@@ -80,6 +80,25 @@ class MetricsCollector {
   [[nodiscard]] std::uint64_t failover_attempts() const { return failover_attempts_; }
   [[nodiscard]] std::uint64_t failover_admitted() const { return failover_admitted_; }
 
+  // --- Lifetime tallies (warm-up included) ---
+  // The timeline sampler computes windowed rates from cumulative counters,
+  // and its windows cover warm-up too (annotated, not discarded), so these
+  // run from t = 0 and are never reset by begin_measurement.
+  [[nodiscard]] std::uint64_t lifetime_offered() const { return lifetime_offered_; }
+  [[nodiscard]] std::uint64_t lifetime_admitted() const { return lifetime_admitted_; }
+  [[nodiscard]] std::uint64_t lifetime_rejected() const {
+    return lifetime_offered_ - lifetime_admitted_;
+  }
+  /// Destinations tried summed over every request seen.
+  [[nodiscard]] std::uint64_t lifetime_attempts() const { return lifetime_attempts_; }
+  [[nodiscard]] std::uint64_t lifetime_teardowns(TeardownCause cause) const;
+  [[nodiscard]] std::uint64_t lifetime_failover_attempts() const {
+    return lifetime_failover_attempts_;
+  }
+  [[nodiscard]] std::uint64_t lifetime_failover_admitted() const {
+    return lifetime_failover_admitted_;
+  }
+
  private:
   bool measuring_ = false;
   std::uint64_t offered_ = 0;
@@ -88,6 +107,12 @@ class MetricsCollector {
   std::uint64_t teardowns_[kTeardownCauseCount] = {0, 0, 0};
   std::uint64_t failover_attempts_ = 0;
   std::uint64_t failover_admitted_ = 0;
+  std::uint64_t lifetime_offered_ = 0;
+  std::uint64_t lifetime_admitted_ = 0;
+  std::uint64_t lifetime_attempts_ = 0;
+  std::uint64_t lifetime_teardowns_[kTeardownCauseCount] = {0, 0, 0};
+  std::uint64_t lifetime_failover_attempts_ = 0;
+  std::uint64_t lifetime_failover_admitted_ = 0;
   stats::BatchMeans admission_batches_;
   stats::CountHistogram attempts_;
   stats::Accumulator messages_;

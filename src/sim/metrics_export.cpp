@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstddef>
+#include <initializer_list>
 #include <string>
 #include <vector>
 
@@ -11,13 +12,22 @@
 namespace anyqos::sim {
 
 void export_metrics(const Simulation& simulation, const SimulationConfig& config,
-                    const SimulationResult& result, obs::MetricsRegistry& registry) {
-  const obs::Labels system{{"system", result.system_label}};
+                    const SimulationResult& result, obs::MetricsRegistry& registry,
+                    const obs::Labels& extra) {
+  // Base label set shared by every family: the system label plus whatever the
+  // caller appends (e.g. the chaos cell index).
+  obs::Labels system{{"system", result.system_label}};
+  system.insert(system.end(), extra.begin(), extra.end());
+  const auto with = [&system](std::initializer_list<obs::Label> more) {
+    obs::Labels labels = system;
+    labels.insert(labels.end(), more.begin(), more.end());
+    return labels;
+  };
 
   auto outcome_counter = [&](const char* outcome, std::uint64_t value) {
     obs::Counter& counter =
         registry.counter("anyqos_requests_total", "Flow requests by final outcome.",
-                         {{"system", result.system_label}, {"outcome", outcome}});
+                         with({{"outcome", outcome}}));
     counter.increment(value);
   };
   outcome_counter("admitted", result.admitted);
@@ -31,7 +41,7 @@ void export_metrics(const Simulation& simulation, const SimulationConfig& config
   auto teardown_counter = [&](const char* cause, std::uint64_t value) {
     registry
         .counter("anyqos_teardowns_total", "Flow teardowns by cause.",
-                 {{"system", result.system_label}, {"cause", cause}})
+                 with({{"cause", cause}}))
         .increment(value);
   };
   teardown_counter("explicit", result.explicit_teardowns);
@@ -43,7 +53,7 @@ void export_metrics(const Simulation& simulation, const SimulationConfig& config
     registry
         .counter("anyqos_failover_total",
                  "Churn-displaced flows re-offered to the surviving members.",
-                 {{"system", result.system_label}, {"outcome", outcome}})
+                 with({{"outcome", outcome}}))
         .increment(value);
   };
   failover_counter("admitted", result.failover_admitted);
@@ -53,7 +63,7 @@ void export_metrics(const Simulation& simulation, const SimulationConfig& config
     registry
         .counter("anyqos_signaling_recovery_total",
                  "Resilient control-plane recovery events.",
-                 {{"system", result.system_label}, {"event", event}})
+                 with({{"event", event}}))
         .increment(value);
   };
   recovery_counter("timeout", result.resilience.timeouts);
@@ -107,8 +117,7 @@ void export_metrics(const Simulation& simulation, const SimulationConfig& config
     registry
         .counter("anyqos_signaling_messages_total",
                  "Signaling hop traversals by message kind.",
-                 {{"system", result.system_label},
-                  {"kind", signaling::to_string(kind)}})
+                 with({{"kind", signaling::to_string(kind)}}))
         .increment(result.messages.by_kind(kind));
   }
 
@@ -120,7 +129,7 @@ void export_metrics(const Simulation& simulation, const SimulationConfig& config
                                    : "member" + std::to_string(i);
     registry
         .counter("anyqos_admissions_total", "Admitted flows by anycast group member.",
-                 {{"system", result.system_label}, {"member", member}})
+                 with({{"member", member}}))
         .increment(result.per_destination_admissions[i]);
   }
 
@@ -145,7 +154,7 @@ void export_metrics(const Simulation& simulation, const SimulationConfig& config
     registry
         .gauge("anyqos_link_utilization",
                "Anycast-share utilization per directed link at end of run.",
-               {{"system", result.system_label}, {"link", label}})
+               with({{"link", label}}))
         .set(simulation.ledger().utilization(id));
   }
 }

@@ -13,8 +13,11 @@ namespace anyqos::sim {
 /// Registers `result` (from `simulation`, configured by `config`) into
 /// `registry`. Every family carries a `system` label with the run's
 /// "<A,R>" label, so several systems can share one registry side by side.
+/// `extra` labels are appended to every series — chaos-matrix cells pass
+/// {{"cell", "<n>"}} so runs with identical system labels stay distinct.
 /// Per-link utilization gauges reflect the ledger at call time (end of run).
 void export_metrics(const Simulation& simulation, const SimulationConfig& config,
-                    const SimulationResult& result, obs::MetricsRegistry& registry);
+                    const SimulationResult& result, obs::MetricsRegistry& registry,
+                    const obs::Labels& extra = {});
 
 }  // namespace anyqos::sim

@@ -5,6 +5,7 @@
 
 #include "src/core/retrial.h"
 #include "src/util/require.h"
+#include "src/util/strings.h"
 
 namespace anyqos::sim {
 
@@ -65,6 +66,10 @@ Simulation::Simulation(const net::Topology& topology, SimulationConfig config)
   if (config_.tracer != nullptr) {
     config_.tracer->set_clock([this] { return simulator_.now(); });
   }
+  // Hot-path copies: emit_trace and touch_links check these every event, so
+  // keep the nullptr test a member load rather than a config indirection.
+  timeline_ = config_.timeline;
+  flight_ = config_.flight_recorder;
   if (config_.use_gdi) {
     oracle_ = std::make_unique<core::GlobalAdmissionOracle>(topology, ledger_, group_);
   } else if (config_.use_centralized) {
@@ -123,7 +128,7 @@ Simulation::active_selectors() const {
 void Simulation::emit_trace(TraceEventKind kind, std::uint64_t flow, net::NodeId source,
                             net::NodeId destination, std::size_t attempts,
                             double bandwidth_bps) {
-  if (config_.trace == nullptr) {
+  if (config_.trace == nullptr && flight_ == nullptr) {
     return;
   }
   TraceEvent event;
@@ -135,13 +140,107 @@ void Simulation::emit_trace(TraceEventKind kind, std::uint64_t flow, net::NodeId
   event.attempts = attempts;
   event.bandwidth_bps = bandwidth_bps;
   event.active_flows = flows_.size();
-  config_.trace->record(event);
+  if (config_.trace != nullptr) {
+    config_.trace->record(event);
+  }
+  if (flight_ != nullptr) {
+    std::string detail = "flow=";
+    detail += std::to_string(event.flow);
+    detail += " src=";
+    detail += std::to_string(event.source);
+    detail += " dst=";
+    if (event.destination == net::kInvalidNode) {
+      detail += '-';
+    } else {
+      detail += std::to_string(event.destination);
+    }
+    detail += " attempts=";
+    detail += std::to_string(event.attempts);
+    detail += " bw_bps=";
+    detail += util::format_fixed(event.bandwidth_bps, 0);
+    detail += " active=";
+    detail += std::to_string(event.active_flows);
+    flight_->note(event.time, to_string(kind), detail);
+  }
 }
 
 void Simulation::touch_links(const net::Path& path) {
   const double now = simulator_.now();
   for (const net::LinkId id : path.links) {
-    link_utilization_[id].update(now, ledger_.utilization(id));
+    const double utilization = ledger_.utilization(id);
+    link_utilization_[id].update(now, utilization);
+    if (timeline_ != nullptr) {
+      // Feed the per-link high-water mark so a peak between two samples
+      // survives into the window's row even after the flow departs.
+      timeline_->note(link_hwm_columns_[id], utilization);
+    }
+  }
+}
+
+void Simulation::wire_timeline() {
+  obs::Timeline& tl = *timeline_;
+  tl.add_gauge("active_flows", [this] { return static_cast<double>(flows_.size()); });
+  tl.add_gauge("reserved_total_bps", [this] { return ledger_.total_reserved(); });
+  tl.add_counter("offered_per_s",
+                 [this] { return static_cast<double>(metrics_.lifetime_offered()); });
+  tl.add_counter("admitted_per_s",
+                 [this] { return static_cast<double>(metrics_.lifetime_admitted()); });
+  tl.add_counter("rejected_per_s",
+                 [this] { return static_cast<double>(metrics_.lifetime_rejected()); });
+  tl.add_counter("attempts_per_s",
+                 [this] { return static_cast<double>(metrics_.lifetime_attempts()); });
+  tl.add_counter("messages_per_s", [this] { return static_cast<double>(counter_.total()); });
+  tl.add_counter("retransmits_per_s", [this] {
+    return resilient_ != nullptr ? static_cast<double>(resilient_->stats().retransmits) : 0.0;
+  });
+  tl.add_counter("teardowns_per_s", [this] {
+    return static_cast<double>(metrics_.lifetime_teardowns(TeardownCause::kExplicit));
+  });
+  tl.add_counter("drops_fault_per_s", [this] {
+    return static_cast<double>(metrics_.lifetime_teardowns(TeardownCause::kLinkFault));
+  });
+  tl.add_counter("drops_churn_per_s", [this] {
+    return static_cast<double>(metrics_.lifetime_teardowns(TeardownCause::kChurn));
+  });
+  tl.add_counter("failover_attempts_per_s", [this] {
+    return static_cast<double>(metrics_.lifetime_failover_attempts());
+  });
+  tl.add_counter("failover_admitted_per_s", [this] {
+    return static_cast<double>(metrics_.lifetime_failover_admitted());
+  });
+  const bool is_dac = !config_.use_gdi && !config_.use_centralized;
+  for (std::size_t index = 0; index < group_.size(); ++index) {
+    const std::string member = topology_->router_name(group_.member(index));
+    tl.add_gauge("member_up:" + member,
+                 [this, index] { return group_.is_up(index) ? 1.0 : 0.0; });
+    if (is_dac) {
+      // Paper-facing view of eqs. (2), (4)-(12): each AC-router keeps its own
+      // weight vector, so the timeline records the mean weight of this member
+      // across every controller instantiated so far.
+      tl.add_gauge("weight:" + member, [this, index] {
+        double sum = 0.0;
+        std::size_t sources = 0;
+        for (const auto& [source, selector] : active_selectors()) {
+          (void)source;
+          const std::vector<double> weights = selector->weights();
+          if (index < weights.size()) {
+            sum += weights[index];
+            ++sources;
+          }
+        }
+        return sources == 0 ? 0.0 : sum / static_cast<double>(sources);
+      });
+    }
+  }
+  link_hwm_columns_.assign(topology_->link_count(), 0);
+  for (net::LinkId id = 0; id < topology_->link_count(); ++id) {
+    const net::Arc& arc = topology_->link(id);
+    std::string label = topology_->router_name(arc.from);
+    label += "->";
+    label += topology_->router_name(arc.to);
+    tl.add_gauge("util:" + label, [this, id] { return ledger_.utilization(id); });
+    link_hwm_columns_[id] =
+        tl.add_watermark("util_hwm:" + label, [this, id] { return ledger_.utilization(id); });
   }
 }
 
@@ -267,7 +366,21 @@ void Simulation::apply_fault(const LinkFault& fault) {
   const double now = simulator_.now();
   link_utilization_[forward].update(now, 1.0);
   link_utilization_[backward].update(now, 1.0);
+  if (timeline_ != nullptr) {
+    // A failed link reads utilization 1.0; note it so the high-water column
+    // shows the outage even when the repair lands within the same window.
+    timeline_->note(link_hwm_columns_[forward], 1.0);
+    timeline_->note(link_hwm_columns_[backward], 1.0);
+  }
   emit_trace(TraceEventKind::kLinkDown, 0, fault.a, fault.b, 0, 0.0);
+  if (flight_ != nullptr) {
+    // Dump after the drops so the snapshot carries the victims' final events.
+    std::string reason = "link_fault ";
+    reason += std::to_string(fault.a);
+    reason += "->";
+    reason += std::to_string(fault.b);
+    flight_->trigger(now, reason);
+  }
 }
 
 void Simulation::repair_fault(const LinkFault& fault) {
@@ -304,6 +417,15 @@ void Simulation::apply_member_down(std::size_t member) {
     }
   }
   metrics_.record_active_flows(simulator_.now(), flows_.size());
+  if (flight_ != nullptr) {
+    // After the teardown/failover loop: the snapshot includes every displaced
+    // flow's drop (and any failover re-admission spans) as its final entries.
+    std::string reason = "member_churn member=";
+    reason += std::to_string(member);
+    reason += " node=";
+    reason += std::to_string(group_.member(member));
+    flight_->trigger(simulator_.now(), reason);
+  }
 }
 
 void Simulation::apply_member_up(std::size_t member) {
@@ -373,6 +495,14 @@ SimulationResult Simulation::run() {
   if (config_.profiler != nullptr) {
     config_.profiler->attach(simulator_, [this] { return flows_.size(); });
   }
+  if (timeline_ != nullptr) {
+    // Register columns before the first event so the artifact's schema is
+    // independent of what the run does, then install the sample event. The
+    // rearm guard mirrors the auditor's checkpoint: a draining run must be
+    // able to empty its calendar.
+    wire_timeline();
+    timeline_->attach(simulator_, [this] { return draining_; });
+  }
   // Seed the event calendar.
   schedule_next_arrival();
   for (const LinkFault& fault : config_.faults) {
@@ -400,6 +530,11 @@ SimulationResult Simulation::run() {
   }
   counter_.reset();
   metrics_.begin_measurement(simulator_.now());
+  if (timeline_ != nullptr) {
+    // After counter_.reset(): counter columns re-baseline here so the reset
+    // cannot read as a negative per-window message rate.
+    timeline_->mark_measurement_start(simulator_.now());
+  }
   metrics_.record_active_flows(simulator_.now(), flows_.size());
   for (net::LinkId id = 0; id < topology_->link_count(); ++id) {
     link_utilization_[id].restart(simulator_.now());

@@ -17,8 +17,10 @@
 #include "src/core/selector.h"
 #include "src/des/simulator.h"
 #include "src/net/bandwidth.h"
+#include "src/obs/flight_recorder.h"
 #include "src/obs/profiler.h"
 #include "src/obs/span.h"
+#include "src/obs/timeline.h"
 #include "src/net/routing.h"
 #include "src/net/topologies.h"
 #include "src/sim/churn.h"
@@ -104,6 +106,21 @@ struct SimulationConfig {
   /// it to the kernel before the first event and brackets the warm-up and
   /// measurement phases with wall-clock timers.
   obs::EngineProfiler* profiler = nullptr;
+  /// Optional windowed telemetry sampler (must outlive the simulation; one
+  /// Timeline records one run — construct fresh per simulation). run()
+  /// registers the standard columns (active flows, admission/teardown/
+  /// signaling rates, per-member weights and up/down state, per-link
+  /// utilization with within-window high-water marks), attaches the sampler
+  /// to the kernel, and marks the warm-up boundary. Interval comes from the
+  /// Timeline's own options. Unset costs nothing on the hot path.
+  obs::Timeline* timeline = nullptr;
+  /// Optional flight recorder (must outlive the simulation). The simulation
+  /// feeds it every flow/link/member event it would trace and fires a dump
+  /// trigger when a link fault or member churn takes flows down. To also
+  /// capture decision spans in the ring, point `tracer`'s sink at the
+  /// recorder's span_sink(); to dump on invariant violations, wire the
+  /// auditor's violation hook to trigger(). Unset costs nothing.
+  obs::FlightRecorder* flight_recorder = nullptr;
 };
 
 /// Aggregated outcome of a run (measurement window only).
@@ -202,6 +219,7 @@ class Simulation {
   void touch_links(const net::Path& path);
   void emit_trace(TraceEventKind kind, std::uint64_t flow, net::NodeId source,
                   net::NodeId destination, std::size_t attempts, double bandwidth_bps);
+  void wire_timeline();
   core::AdmissionController& controller_for(net::NodeId source);
 
   const net::Topology* topology_;
@@ -230,6 +248,9 @@ class Simulation {
   FlowTable flows_;
   MetricsCollector metrics_;
   std::vector<stats::TimeWeighted> link_utilization_;
+  obs::Timeline* timeline_ = nullptr;         // config_.timeline, hot-path copy
+  obs::FlightRecorder* flight_ = nullptr;     // config_.flight_recorder, hot-path copy
+  std::vector<obs::Timeline::ColumnId> link_hwm_columns_;  // by LinkId (timeline runs)
   std::uint64_t next_request_id_ = 0;  // arrival sequence; span/trace join key
   bool ran_ = false;
   bool draining_ = false;  // drain_to_quiescence: arrivals stop, calendar runs dry

@@ -1,0 +1,228 @@
+// End-to-end contract of the telemetry plane: the Timeline's artifacts are
+// deterministic and observation-only (same seed with or without a sampler
+// gives the same run), the per-link high-water columns surface fault
+// transients, and the FlightRecorder's snapshots carry the causal window —
+// including the victim flow's spans — for faults, churn, and audit findings.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+
+#include "src/audit/auditor.h"
+#include "src/net/topologies.h"
+#include "src/obs/flight_recorder.h"
+#include "src/obs/span.h"
+#include "src/obs/timeline.h"
+#include "src/sim/churn.h"
+#include "src/sim/simulation.h"
+#include "src/sim/trace.h"
+
+namespace anyqos {
+namespace {
+
+sim::SimulationConfig busy_mci_config() {
+  sim::SimulationConfig config;
+  config.traffic.arrival_rate = 25.0;
+  config.traffic.mean_holding_s = 60.0;
+  config.traffic.flow_bandwidth_bps = 64'000.0;
+  config.traffic.sources = {1, 3, 5, 7, 9, 11, 13, 15, 17};
+  config.group_members = {0, 4, 8, 12, 16};
+  config.algorithm = core::SelectionAlgorithm::kEvenDistribution;
+  config.max_tries = 2;
+  config.warmup_s = 100.0;
+  config.measure_s = 500.0;
+  config.seed = 77;
+  return config;
+}
+
+std::size_t column_index(const obs::Timeline& timeline, const std::string& name) {
+  for (std::size_t i = 0; i < timeline.columns().size(); ++i) {
+    if (timeline.columns()[i].name == name) {
+      return i;
+    }
+  }
+  ADD_FAILURE() << "timeline has no column named " << name;
+  return 0;
+}
+
+TEST(TimelineIntegration, SameSeedRunsAreByteIdenticalAndAnnotateWarmup) {
+  const net::Topology topo = net::topologies::mci_backbone();
+  const auto render = [&topo] {
+    sim::SimulationConfig config = busy_mci_config();
+    config.faults.push_back(sim::LinkFault{1, 4, 250.0, 400.0});
+    config.churn.push_back(sim::single_churn(1, 300.0, 450.0));
+    obs::Timeline timeline(obs::TimelineOptions{50.0});
+    config.timeline = &timeline;
+    sim::Simulation simulation(topo, config);
+    (void)simulation.run();
+    std::ostringstream jsonl;
+    timeline.write_jsonl(jsonl);
+    std::ostringstream csv;
+    timeline.write_csv(csv);
+    // 600 simulated seconds at a 50 s interval: 12 rows, 2 of them warm-up.
+    EXPECT_EQ(timeline.samples().size(), 12u);
+    std::size_t warmup_rows = 0;
+    for (const obs::TimelineSample& row : timeline.samples()) {
+      warmup_rows += row.warmup ? 1 : 0;
+    }
+    EXPECT_EQ(warmup_rows, 2u);
+    EXPECT_TRUE(timeline.measurement_start().has_value());
+    return jsonl.str() + "\x1f" + csv.str();
+  };
+  const std::string first = render();
+  const std::string second = render();
+  EXPECT_EQ(first, second);
+  EXPECT_NE(first.find("\"measurement_start_s\":100"), std::string::npos);
+}
+
+TEST(TimelineIntegration, SamplerIsObservationOnly) {
+  const net::Topology topo = net::topologies::mci_backbone();
+  sim::SimulationConfig with_config = busy_mci_config();
+  with_config.churn.push_back(sim::single_churn(0, 200.0, 350.0));
+  sim::SimulationConfig without_config = with_config;
+
+  obs::Timeline timeline(obs::TimelineOptions{25.0});
+  with_config.timeline = &timeline;
+  sim::Simulation with_timeline(topo, with_config);
+  const sim::SimulationResult a = with_timeline.run();
+  sim::Simulation without_timeline(topo, without_config);
+  const sim::SimulationResult b = without_timeline.run();
+
+  // Sampling must not touch the RNG streams or the event interleaving.
+  EXPECT_EQ(a.offered, b.offered);
+  EXPECT_EQ(a.admitted, b.admitted);
+  EXPECT_EQ(a.dropped, b.dropped);
+  EXPECT_EQ(a.failover_attempts, b.failover_attempts);
+  EXPECT_EQ(a.messages.total(), b.messages.total());
+  EXPECT_DOUBLE_EQ(a.average_active_flows, b.average_active_flows);
+  EXPECT_DOUBLE_EQ(a.mean_link_utilization, b.mean_link_utilization);
+  ASSERT_GT(timeline.samples().size(), 0u);
+}
+
+TEST(TimelineIntegration, HighWaterColumnSurfacesTheFaultTransient) {
+  const net::Topology topo = net::topologies::mci_backbone();
+  sim::SimulationConfig config = busy_mci_config();
+  // Fail and repair within one 100 s window: only the high-water mark can
+  // see the outage, a point-sampled gauge at the window end reads repaired.
+  config.faults.push_back(sim::LinkFault{1, 4, 210.0, 260.0});
+  obs::Timeline timeline(obs::TimelineOptions{100.0});
+  config.timeline = &timeline;
+  sim::Simulation simulation(topo, config);
+  (void)simulation.run();
+
+  const std::string link = topo.router_name(1) + "->" + topo.router_name(4);
+  const std::size_t hwm = column_index(timeline, "util_hwm:" + link);
+  ASSERT_GE(timeline.samples().size(), 3u);
+  // The t = 300 row covers (200, 300], which contains the outage.
+  const obs::TimelineSample& outage_row = timeline.samples()[2];
+  EXPECT_DOUBLE_EQ(outage_row.time, 300.0);
+  EXPECT_DOUBLE_EQ(outage_row.values[hwm], 1.0);
+  // Offered-rate sanity: roughly lambda once the system is busy.
+  const std::size_t offered = column_index(timeline, "offered_per_s");
+  EXPECT_GT(outage_row.values[offered], 0.5 * config.traffic.arrival_rate);
+}
+
+TEST(TimelineIntegration, FaultTriggerDumpsTheVictimFlowsCausalWindow) {
+  const net::Topology topo = net::topologies::mci_backbone();
+  sim::SimulationConfig config = busy_mci_config();
+  // Zero warm-up so the tracer's span stream covers exactly the offered
+  // requests, and a ring deep enough that nothing recorded before the
+  // trigger has been evicted.
+  config.warmup_s = 0.0;
+  config.faults.push_back(sim::LinkFault{1, 4, 200.0, 500.0});
+
+  obs::FlightRecorder recorder(obs::FlightRecorderOptions{65536, 16});
+  std::ostringstream dump;
+  recorder.set_output(&dump);
+  obs::MemorySpanSink downstream;
+  recorder.set_forward(&downstream);
+  obs::DecisionTracer tracer;
+  tracer.set_sink(&recorder.span_sink());
+  sim::MemoryTraceSink trace;
+  config.flight_recorder = &recorder;
+  config.tracer = &tracer;
+  config.trace = &trace;
+
+  sim::Simulation simulation(topo, config);
+  const sim::SimulationResult result = simulation.run();
+  ASSERT_GT(result.dropped_by_fault, 0u);
+  EXPECT_EQ(recorder.triggers(), 1u);
+  EXPECT_EQ(recorder.dumps_written(), 1u);
+
+  const std::string text = dump.str();
+  EXPECT_NE(text.find("{\"flight\":\"snapshot\",\"reason\":\"link_fault 1->4\",\"t\":200"),
+            std::string::npos);
+  // Every victim appears twice in the snapshot: its DROPPED event note and
+  // the decision span that originally admitted it (ring depth 4096 spans the
+  // whole short run, so nothing was evicted).
+  std::size_t drops_in_dump = 0;
+  for (const sim::TraceEvent& event : trace.events()) {
+    if (event.kind != sim::TraceEventKind::kDropped) {
+      continue;
+    }
+    ++drops_in_dump;
+    const std::string note = "\"detail\":\"flow=" + std::to_string(event.flow) + " ";
+    EXPECT_NE(text.find(note), std::string::npos) << "missing drop note for " << event.flow;
+    const std::string span = "\"request\":" + std::to_string(event.flow) + ",";
+    EXPECT_NE(text.find(span), std::string::npos) << "missing span for " << event.flow;
+  }
+  EXPECT_EQ(drops_in_dump, result.dropped_by_fault);
+  // The tee kept the full span stream for the downstream sink.
+  EXPECT_EQ(downstream.decisions().size(), result.offered);
+}
+
+TEST(TimelineIntegration, ChurnTriggerDumpsOnePerOutage) {
+  const net::Topology topo = net::topologies::mci_backbone();
+  sim::SimulationConfig config = busy_mci_config();
+  config.churn.push_back(sim::single_churn(2, 150.0, 300.0));
+  config.churn.push_back(sim::single_churn(4, 350.0, 500.0));
+
+  obs::FlightRecorder recorder;
+  std::ostringstream dump;
+  recorder.set_output(&dump);
+  config.flight_recorder = &recorder;
+
+  sim::Simulation simulation(topo, config);
+  const sim::SimulationResult result = simulation.run();
+  ASSERT_GT(result.dropped_by_churn, 0u);
+  EXPECT_EQ(recorder.triggers(), 2u);
+  EXPECT_NE(dump.str().find("\"reason\":\"member_churn member=2 node=8\""),
+            std::string::npos);
+  EXPECT_NE(dump.str().find("\"reason\":\"member_churn member=4 node=16\""),
+            std::string::npos);
+}
+
+TEST(TimelineIntegration, AuditorViolationHookTriggersTheRecorder) {
+  audit::AuditorOptions options;
+  options.throw_on_violation = false;
+  audit::InvariantAuditor auditor(options);
+  obs::FlightRecorder recorder;
+  std::ostringstream dump;
+  recorder.set_output(&dump);
+  recorder.note(9.0, "context", "state before the violation");
+  auditor.set_violation_hook([&recorder](const audit::Violation& violation) {
+    recorder.trigger(violation.sim_time, "audit " + audit::to_string(violation.check));
+  });
+
+  // A release with no matching reserve is a ledger-pairing violation; with
+  // throw_on_violation off it is logged, and the hook must still fire.
+  net::Path path;
+  path.source = 0;
+  path.destination = 1;
+  path.links = {0};
+  auditor.on_release(path, 64'000.0);
+
+  ASSERT_EQ(auditor.log().size(), 1u);
+  EXPECT_EQ(recorder.triggers(), 1u);
+  EXPECT_EQ(recorder.dumps_written(), 1u);
+  EXPECT_NE(dump.str().find("\"reason\":\"audit ledger-pairing\""), std::string::npos);
+  EXPECT_NE(dump.str().find("state before the violation"), std::string::npos);
+
+  auditor.set_violation_hook(nullptr);  // detaching must be safe
+  auditor.on_release(path, 64'000.0);
+  EXPECT_EQ(recorder.triggers(), 1u);
+}
+
+}  // namespace
+}  // namespace anyqos

@@ -1,0 +1,152 @@
+#include "src/obs/flight_recorder.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+#include "src/obs/span.h"
+
+namespace anyqos::obs {
+namespace {
+
+DecisionSpan decision_span(std::uint64_t request_id) {
+  DecisionSpan span;
+  span.request_id = request_id;
+  span.algorithm = "ED";
+  return span;
+}
+
+AttemptSpan attempt_span(std::uint64_t request_id) {
+  AttemptSpan span;
+  span.request_id = request_id;
+  return span;
+}
+
+TEST(FlightRecorder, RejectsZeroDepth) {
+  EXPECT_THROW(FlightRecorder(FlightRecorderOptions{0, 1}), std::invalid_argument);
+}
+
+TEST(FlightRecorder, RingKeepsTheMostRecentDepthEntries) {
+  FlightRecorder recorder(FlightRecorderOptions{3, 16});
+  for (std::uint64_t id = 1; id <= 5; ++id) {
+    recorder.span_sink().on_decision(decision_span(id));
+  }
+  EXPECT_EQ(recorder.entries(), 3u);
+
+  std::ostringstream out;
+  recorder.set_output(&out);
+  EXPECT_EQ(recorder.trigger(10.0, "probe"), 3u);
+  // Oldest-first: requests 1 and 2 were overwritten by the wrap.
+  const std::string text = out.str();
+  EXPECT_EQ(text.find("\"request\":1,"), std::string::npos);
+  EXPECT_EQ(text.find("\"request\":2,"), std::string::npos);
+  const std::size_t third = text.find("\"request\":3");
+  const std::size_t fourth = text.find("\"request\":4");
+  const std::size_t fifth = text.find("\"request\":5");
+  ASSERT_NE(third, std::string::npos);
+  ASSERT_NE(fourth, std::string::npos);
+  ASSERT_NE(fifth, std::string::npos);
+  EXPECT_LT(third, fourth);
+  EXPECT_LT(fourth, fifth);
+}
+
+TEST(FlightRecorder, ForwardsSpansToTheDownstreamSink) {
+  FlightRecorder recorder;
+  MemorySpanSink downstream;
+  recorder.set_forward(&downstream);
+  recorder.span_sink().on_attempt(attempt_span(7));
+  recorder.span_sink().on_decision(decision_span(7));
+  EXPECT_EQ(recorder.entries(), 2u);
+  ASSERT_EQ(downstream.attempts().size(), 1u);
+  ASSERT_EQ(downstream.decisions().size(), 1u);
+  EXPECT_EQ(downstream.decisions()[0].request_id, 7u);
+
+  recorder.set_forward(nullptr);
+  recorder.span_sink().on_decision(decision_span(8));
+  EXPECT_EQ(recorder.entries(), 3u);
+  EXPECT_EQ(downstream.decisions().size(), 1u);  // detached: ring only
+}
+
+TEST(FlightRecorder, SnapshotCarriesHeaderSpansAndEvents) {
+  FlightRecorder recorder;
+  recorder.span_sink().on_attempt(attempt_span(42));
+  recorder.span_sink().on_decision(decision_span(42));
+  recorder.note(12.5, "link_down", "r0->r1");
+
+  std::ostringstream out;
+  recorder.set_output(&out);
+  EXPECT_EQ(recorder.trigger(13.0, "link_fault 0->1"), 3u);
+  EXPECT_EQ(recorder.triggers(), 1u);
+  EXPECT_EQ(recorder.dumps_written(), 1u);
+
+  std::istringstream lines(out.str());
+  std::string line;
+  ASSERT_TRUE(std::getline(lines, line));
+  EXPECT_EQ(line,
+            "{\"flight\":\"snapshot\",\"reason\":\"link_fault 0->1\",\"t\":13,"
+            "\"seq\":1,\"entries\":3}");
+  ASSERT_TRUE(std::getline(lines, line));
+  EXPECT_NE(line.find("\"span\":\"attempt\""), std::string::npos);
+  EXPECT_NE(line.find("\"request\":42"), std::string::npos);
+  ASSERT_TRUE(std::getline(lines, line));
+  EXPECT_NE(line.find("\"span\":\"decision\""), std::string::npos);
+  ASSERT_TRUE(std::getline(lines, line));
+  EXPECT_EQ(line,
+            "{\"flight\":\"event\",\"t\":12.5,\"kind\":\"link_down\","
+            "\"detail\":\"r0->r1\"}");
+  EXPECT_FALSE(std::getline(lines, line));
+
+  // The ring is not cleared by a trigger: a second one sees the same window.
+  out.str("");
+  EXPECT_EQ(recorder.trigger(14.0, "again"), 3u);
+  EXPECT_NE(out.str().find("\"seq\":2"), std::string::npos);
+}
+
+TEST(FlightRecorder, SuppressesDumpsWithoutOutputOrPastTheCap) {
+  FlightRecorder recorder(FlightRecorderOptions{8, 2});
+  recorder.note(1.0, "noted", "x");
+  // No output attached: the trigger counts but writes nothing.
+  EXPECT_EQ(recorder.trigger(1.0, "early"), 0u);
+  EXPECT_EQ(recorder.triggers(), 1u);
+  EXPECT_EQ(recorder.dumps_written(), 0u);
+
+  std::ostringstream out;
+  recorder.set_output(&out);
+  EXPECT_EQ(recorder.trigger(2.0, "first"), 1u);
+  EXPECT_EQ(recorder.trigger(3.0, "second"), 1u);
+  // max_dumps = 2 exhausted: later triggers only count.
+  EXPECT_EQ(recorder.trigger(4.0, "third"), 0u);
+  EXPECT_EQ(recorder.triggers(), 4u);
+  EXPECT_EQ(recorder.dumps_written(), 2u);
+  EXPECT_EQ(out.str().find("third"), std::string::npos);
+}
+
+TEST(FlightRecorder, ClearDropsEntriesButKeepsCounters) {
+  FlightRecorder recorder(FlightRecorderOptions{2, 16});
+  recorder.note(1.0, "a", "");
+  recorder.note(2.0, "b", "");
+  recorder.note(3.0, "c", "");  // wraps
+  std::ostringstream out;
+  recorder.set_output(&out);
+  EXPECT_EQ(recorder.trigger(3.0, "full"), 2u);
+
+  recorder.clear();
+  EXPECT_EQ(recorder.entries(), 0u);
+  out.str("");
+  EXPECT_EQ(recorder.trigger(4.0, "empty"), 0u);  // header-only snapshot
+  EXPECT_NE(out.str().find("\"entries\":0"), std::string::npos);
+  EXPECT_EQ(recorder.triggers(), 2u);
+  EXPECT_EQ(recorder.dumps_written(), 2u);
+  // Post-clear pushes start a fresh ring (no stale rotation).
+  recorder.note(5.0, "d", "");
+  out.str("");
+  EXPECT_EQ(recorder.trigger(5.0, "fresh"), 1u);
+  EXPECT_EQ(recorder.triggers(), 3u);
+  EXPECT_EQ(recorder.dumps_written(), 3u);
+  EXPECT_NE(out.str().find("\"kind\":\"d\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace anyqos::obs

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
 #include <sstream>
 #include <stdexcept>
 #include <string>
@@ -128,6 +130,87 @@ TEST(MetricsRegistry, PrometheusEscapesLabelValues) {
   registry.write_prometheus(out);
   // Backslash, double quote, and newline must be escaped in label values.
   EXPECT_NE(out.str().find("m{k=\"a\\\\b\\\"c\\nd\"} 1\n"), std::string::npos);
+}
+
+TEST(MetricsRegistry, EmptyRegistryRendersNothing) {
+  MetricsRegistry registry;
+  std::ostringstream prom;
+  registry.write_prometheus(prom);
+  EXPECT_EQ(prom.str(), "");
+  std::ostringstream jsonl;
+  registry.write_jsonl(jsonl);
+  EXPECT_EQ(jsonl.str(), "");
+  EXPECT_EQ(registry.family_count(), 0u);
+  EXPECT_EQ(registry.series_count(), 0u);
+}
+
+TEST(MetricsRegistry, LabelEscapingRoundTripsAcrossFormats) {
+  // One value exercising every escape class: backslash, double quote,
+  // newline, and a literal that must survive untouched.
+  const std::string raw = "a\\b\"c\nd,e{f}";
+  MetricsRegistry registry;
+  registry.counter("m", "help", {{"k", raw}}).increment();
+
+  std::ostringstream prom;
+  registry.write_prometheus(prom);
+  EXPECT_NE(prom.str().find("m{k=\"a\\\\b\\\"c\\nd,e{f}\"} 1\n"), std::string::npos);
+
+  std::ostringstream jsonl;
+  registry.write_jsonl(jsonl);
+  EXPECT_NE(jsonl.str().find("\"labels\":{\"k\":\"a\\\\b\\\"c\\nd,e{f}\"}"),
+            std::string::npos);
+
+  // Round-trip: the escaped value still identifies the same series.
+  Counter& again = registry.counter("m", "help", {{"k", raw}});
+  EXPECT_EQ(again.value(), 1u);
+  EXPECT_EQ(registry.series_count(), 1u);
+}
+
+TEST(MetricsRegistry, PrometheusSpellsNonFiniteValues) {
+  const double inf = std::numeric_limits<double>::infinity();
+  MetricsRegistry registry;
+  registry.gauge("pos", "help").set(inf);
+  registry.gauge("neg", "help").set(-inf);
+  registry.gauge("nan", "help").set(std::nan(""));
+
+  std::ostringstream out;
+  registry.write_prometheus(out);
+  const std::string text = out.str();
+  // The exposition format requires +Inf/-Inf/NaN, not printf's inf/nan.
+  EXPECT_NE(text.find("pos +Inf\n"), std::string::npos);
+  EXPECT_NE(text.find("neg -Inf\n"), std::string::npos);
+  EXPECT_NE(text.find("nan NaN\n"), std::string::npos);
+
+  // JSON cannot carry non-finite numbers: all three map to null.
+  std::ostringstream jsonl;
+  registry.write_jsonl(jsonl);
+  std::size_t nulls = 0;
+  for (std::size_t at = jsonl.str().find("\"value\":null"); at != std::string::npos;
+       at = jsonl.str().find("\"value\":null", at + 1)) {
+    ++nulls;
+  }
+  EXPECT_EQ(nulls, 3u);
+}
+
+TEST(MetricsRegistry, HistogramInfObservationsRenderAcrossFormats) {
+  const double inf = std::numeric_limits<double>::infinity();
+  MetricsRegistry registry;
+  Histogram& h = registry.histogram("lat", "help", {1.0});
+  h.observe(0.5);
+  h.observe(inf);  // lands in the +Inf bucket and poisons the sum
+
+  std::ostringstream prom;
+  registry.write_prometheus(prom);
+  const std::string text = prom.str();
+  EXPECT_NE(text.find("lat_bucket{le=\"1\"} 1\n"), std::string::npos);
+  EXPECT_NE(text.find("lat_bucket{le=\"+Inf\"} 2\n"), std::string::npos);
+  EXPECT_NE(text.find("lat_sum +Inf\n"), std::string::npos);
+  EXPECT_NE(text.find("lat_count 2\n"), std::string::npos);
+
+  std::ostringstream jsonl;
+  registry.write_jsonl(jsonl);
+  EXPECT_NE(jsonl.str().find("\"sum\":null"), std::string::npos);
+  EXPECT_NE(jsonl.str().find("\"count\":2"), std::string::npos);
 }
 
 TEST(MetricsRegistry, JsonlSnapshotIsOneObjectPerLine) {

@@ -1,0 +1,180 @@
+#include "src/obs/timeline.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+#include "src/des/simulator.h"
+
+namespace anyqos::obs {
+namespace {
+
+TEST(Timeline, RejectsInvalidOptionsAndRegistration) {
+  EXPECT_THROW(Timeline(TimelineOptions{0.0}), std::invalid_argument);
+  EXPECT_THROW(Timeline(TimelineOptions{-1.0}), std::invalid_argument);
+
+  Timeline timeline;
+  EXPECT_THROW(timeline.add_gauge("", [] { return 0.0; }), std::invalid_argument);
+  EXPECT_THROW(timeline.add_gauge("g", nullptr), std::invalid_argument);
+  EXPECT_THROW(timeline.sample(), std::invalid_argument);
+  EXPECT_THROW(timeline.mark_measurement_start(0.0), std::invalid_argument);
+
+  des::Simulator simulator;
+  timeline.add_gauge("g", [] { return 1.0; });
+  timeline.attach(simulator);
+  EXPECT_TRUE(timeline.active());
+  EXPECT_THROW(timeline.add_gauge("late", [] { return 0.0; }), std::invalid_argument);
+  EXPECT_THROW(timeline.attach(simulator), std::invalid_argument);
+  timeline.mark_measurement_start(0.0);
+  EXPECT_THROW(timeline.mark_measurement_start(0.0), std::invalid_argument);
+}
+
+TEST(Timeline, SamplesGaugeRateAndWatermarkPerWindow) {
+  des::Simulator simulator;
+  Timeline timeline(TimelineOptions{10.0});
+  double gauge = 0.0;
+  double counter = 0.0;
+  double floor = 0.4;
+  timeline.add_gauge("gauge", [&] { return gauge; });
+  timeline.add_counter("rate", [&] { return counter; });
+  const Timeline::ColumnId hwm = timeline.add_watermark("hwm", [&] { return floor; });
+
+  // note() before attach is a guarded no-op.
+  timeline.note(hwm, 99.0);
+  EXPECT_FALSE(timeline.active());
+  timeline.attach(simulator);
+
+  simulator.schedule_at(3.0, [&] {
+    gauge = 5.0;
+    counter = 20.0;
+    timeline.note(hwm, 0.9);  // spike inside window 1, gone by the sample
+    timeline.note(hwm, 0.2);  // lower than the running max: ignored
+  });
+  simulator.run_until(20.0);
+
+  ASSERT_EQ(timeline.samples().size(), 2u);
+  const TimelineSample& first = timeline.samples()[0];
+  EXPECT_DOUBLE_EQ(first.time, 10.0);
+  EXPECT_DOUBLE_EQ(first.window_s, 10.0);
+  EXPECT_TRUE(first.warmup);
+  EXPECT_DOUBLE_EQ(first.values[0], 5.0);  // gauge: point sample
+  EXPECT_DOUBLE_EQ(first.values[1], 2.0);  // rate: 20 / 10 s
+  EXPECT_DOUBLE_EQ(first.values[2], 0.9);  // watermark: noted spike wins
+
+  // Window 2 saw no activity: the rate drops to zero and the watermark
+  // falls back to the probe floor (the noted max resets every window).
+  const TimelineSample& second = timeline.samples()[1];
+  EXPECT_DOUBLE_EQ(second.values[1], 0.0);
+  EXPECT_DOUBLE_EQ(second.values[2], 0.4);
+}
+
+TEST(Timeline, MeasurementStartRebaselinesCountersAndFlagsWarmup) {
+  des::Simulator simulator;
+  Timeline timeline(TimelineOptions{10.0});
+  double counter = 0.0;
+  timeline.add_counter("rate", [&] { return counter; });
+  timeline.attach(simulator);
+
+  simulator.schedule_at(5.0, [&] { counter = 100.0; });
+  simulator.run_until(10.0);
+  // Warm-up boundary mid-window with a counter reset (the simulation resets
+  // its MessageCounter there): rebaselining keeps the next rate non-negative.
+  simulator.schedule_at(15.0, [&] {
+    counter = 0.0;
+    timeline.mark_measurement_start(simulator.now());
+  });
+  simulator.schedule_at(18.0, [&] { counter = 30.0; });
+  simulator.run_until(20.0);
+
+  ASSERT_EQ(timeline.samples().size(), 2u);
+  EXPECT_TRUE(timeline.samples()[0].warmup);
+  EXPECT_DOUBLE_EQ(timeline.samples()[0].values[0], 10.0);  // 100 / 10 s
+  const TimelineSample& measured = timeline.samples()[1];
+  EXPECT_FALSE(measured.warmup);
+  EXPECT_DOUBLE_EQ(measured.window_s, 5.0);  // window restarted at t = 15
+  EXPECT_DOUBLE_EQ(measured.values[0], 6.0);  // 30 / 5 s, not (30 - 100) / 5
+  ASSERT_TRUE(timeline.measurement_start().has_value());
+  EXPECT_DOUBLE_EQ(*timeline.measurement_start(), 15.0);
+}
+
+TEST(Timeline, StopRearmingGuardEmptiesTheCalendar) {
+  des::Simulator simulator;
+  Timeline timeline(TimelineOptions{10.0});
+  timeline.add_gauge("g", [] { return 1.0; });
+  bool stop = false;
+  timeline.attach(simulator, [&] { return stop; });
+  simulator.schedule_at(15.0, [&] { stop = true; });
+  // The t = 20 sample sees the guard and parks no successor, so run() (to
+  // calendar exhaustion, the drain-to-quiescence contract) terminates.
+  simulator.run();
+  EXPECT_EQ(timeline.samples().size(), 2u);
+  EXPECT_DOUBLE_EQ(simulator.now(), 20.0);
+}
+
+TEST(Timeline, WritesJsonlHeaderAndRows) {
+  des::Simulator simulator;
+  Timeline timeline(TimelineOptions{10.0});
+  double counter = 0.0;
+  timeline.add_gauge("active", [] { return 3.0; });
+  timeline.add_counter("offered_per_s", [&] { return counter; });
+  timeline.attach(simulator);
+  simulator.schedule_at(4.0, [&] { counter = 5.0; });
+  simulator.run_until(10.0);
+
+  std::ostringstream out;
+  timeline.write_jsonl(out);
+  EXPECT_EQ(out.str(),
+            "{\"timeline\":\"header\",\"interval_s\":10,\"measurement_start_s\":null,"
+            "\"columns\":[{\"name\":\"active\",\"kind\":\"gauge\"},"
+            "{\"name\":\"offered_per_s\",\"kind\":\"rate\"}]}\n"
+            "{\"timeline\":\"sample\",\"t\":10,\"window_s\":10,\"warmup\":true,"
+            "\"values\":[3,0.5]}\n");
+}
+
+TEST(Timeline, WritesWideCsv) {
+  des::Simulator simulator;
+  Timeline timeline(TimelineOptions{5.0});
+  timeline.add_gauge("util", [] { return 0.25; });
+  timeline.attach(simulator);
+  simulator.run_until(10.0);
+  timeline.mark_measurement_start(10.0);
+  simulator.run_until(15.0);
+
+  std::ostringstream out;
+  timeline.write_csv(out);
+  EXPECT_EQ(out.str(),
+            "time,window_s,warmup,util\n"
+            "5,5,1,0.25\n"
+            "10,5,1,0.25\n"
+            "15,5,0,0.25\n");
+}
+
+TEST(Timeline, SameInputsProduceByteIdenticalArtifacts) {
+  const auto render = [] {
+    des::Simulator simulator;
+    Timeline timeline(TimelineOptions{7.0});
+    double counter = 0.0;
+    timeline.add_gauge("g", [&] { return counter / 3.0; });
+    timeline.add_counter("c", [&] { return counter; });
+    const Timeline::ColumnId hwm = timeline.add_watermark("w", [&] { return counter / 7.0; });
+    timeline.attach(simulator);
+    for (int i = 1; i <= 9; ++i) {
+      simulator.schedule_at(2.5 * i, [&timeline, &counter, hwm, i] {
+        counter += 1.0 / i;
+        timeline.note(hwm, counter);
+      });
+    }
+    simulator.run_until(25.0);
+    std::ostringstream jsonl;
+    timeline.write_jsonl(jsonl);
+    std::ostringstream csv;
+    timeline.write_csv(csv);
+    return jsonl.str() + csv.str();
+  };
+  EXPECT_EQ(render(), render());
+}
+
+}  // namespace
+}  // namespace anyqos::obs
