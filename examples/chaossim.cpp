@@ -26,10 +26,12 @@
 #include <vector>
 
 #include "src/audit/auditor.h"
+#include "src/control/governor.h"
 #include "src/net/topologies.h"
 #include "src/obs/flight_recorder.h"
 #include "src/obs/registry.h"
 #include "src/obs/span.h"
+#include "src/obs/timeline.h"
 #include "src/sim/churn.h"
 #include "src/sim/faults.h"
 #include "src/sim/metrics_export.h"
@@ -101,7 +103,10 @@ struct CellVerdict {
   bool leaked = false;          // reserved bandwidth or orphans survived the drain
   bool violations = false;      // the auditor logged at least one finding
   bool unreconciled = false;    // hop mirror != MessageCounter (when checkable)
-  [[nodiscard]] bool clean() const { return !leaked && !violations && !unreconciled; }
+  bool breaker_open = false;    // a circuit breaker survived the drain Open
+  [[nodiscard]] bool clean() const {
+    return !leaked && !violations && !unreconciled && !breaker_open;
+  }
 };
 
 }  // namespace
@@ -136,6 +141,12 @@ int main(int argc, char** argv) {
   flags.add_string("flight-prefix", "chaos-flight",
                    "flight snapshots go to <prefix>-cell<N>.jsonl");
   flags.add_unsigned("flight-depth", 256, "flight-recorder ring capacity, entries");
+  flags.add_bool("adaptive", false,
+                 "run every cell under the overload governor (adaptive retrial + member"
+                 " breakers); a breaker left Open after the drain fails the cell");
+  flags.add_string("timeline-prefix", "",
+                   "write each cell's windowed timeline to <prefix>-cell<N>.jsonl");
+  flags.add_double("timeline-interval", 50.0, "simulated seconds between timeline samples");
   flags.parse(argc, argv);
   if (flags.help_requested()) {
     std::cout << flags.help_text();
@@ -163,13 +174,15 @@ int main(int argc, char** argv) {
   std::vector<std::string> flight_files;
   std::uint64_t flight_triggers = 0;
   std::uint64_t spans_emitted = 0;
+  std::size_t timeline_files = 0;
 
+  const bool adaptive = flags.get_bool("adaptive");
   util::TablePrinter table({"loss", "churn/s", "faults", "AP", "retx", "orphans", "dropped",
-                            "failover", "verdict"});
+                            "failover", "governor", "verdict"});
   std::ostringstream csv;
   csv << "loss,churn_rate,faults,admission_probability,retransmits,orphans_reclaimed,"
-         "dropped_by_fault,dropped_by_churn,failover_admitted,failover_attempts,leaked,"
-         "violations,unreconciled\n";
+         "dropped_by_fault,dropped_by_churn,failover_admitted,failover_attempts,adaptive,"
+         "effective_r,breaker_trips,breaker_open,shed,leaked,violations,unreconciled\n";
 
   std::size_t failures = 0;
   std::uint64_t cell = 0;
@@ -233,6 +246,27 @@ int main(int argc, char** argv) {
           config.tracer = &tracer;
         }
 
+        // The governor rides along when --adaptive is set: its floor drops to
+        // 1 so AIMD has headroom even against this matrix's R = 2 cells, and
+        // the cooldown is short enough that mid-run trips (churn!) probe and
+        // close well before the drain.
+        std::unique_ptr<control::OverloadGovernor> governor;
+        if (adaptive) {
+          control::GovernorOptions governor_options;
+          governor_options.min_tries = 1;
+          governor_options.breaker.cooldown_s = 30.0;
+          governor = std::make_unique<control::OverloadGovernor>(governor_options);
+          config.governor = governor.get();
+        }
+
+        std::unique_ptr<obs::Timeline> timeline;
+        if (!flags.get_string("timeline-prefix").empty()) {
+          obs::TimelineOptions timeline_options;
+          timeline_options.interval_s = flags.get_double("timeline-interval");
+          timeline = std::make_unique<obs::Timeline>(timeline_options);
+          config.timeline = timeline.get();
+        }
+
         sim::Simulation simulation(topology, config);
         audit::AuditorOptions audit_options;
         audit_options.throw_on_violation = false;  // survey the whole matrix
@@ -261,6 +295,10 @@ int main(int argc, char** argv) {
         verdict.violations = !auditor.log().empty();
         verdict.unreconciled =
             result.resilience.hops_counted != result.messages.total();
+        // Cooldown timers are one-shot and fire through the drain, so an Open
+        // breaker at quiescence means the half-open path broke — a CI-grade
+        // failure, same as a ledger leak.
+        verdict.breaker_open = governor != nullptr && governor->open_breakers() > 0;
         if (!verdict.clean()) {
           ++failures;
         }
@@ -269,22 +307,35 @@ int main(int argc, char** argv) {
         drops << result.dropped_by_fault << "/" << result.dropped_by_churn;
         std::ostringstream failover;
         failover << result.failover_admitted << "/" << result.failover_attempts;
+        std::ostringstream gov;
+        if (governor != nullptr) {
+          gov << "R" << governor->effective_max_tries() << "/"
+              << governor->max_tries_ceiling() << " trips=" << governor->stats().breaker_trips
+              << " open=" << governor->open_breakers();
+        } else {
+          gov << "-";
+        }
         table.add_row({util::format_fixed(loss, 2), util::format_fixed(churn_rate, 4),
                        faults_on ? "on" : "off",
                        util::format_fixed(result.admission_probability, 4),
                        std::to_string(result.resilience.retransmits),
                        std::to_string(result.resilience.orphans_reclaimed), drops.str(),
-                       failover.str(),
+                       failover.str(), gov.str(),
                        verdict.clean() ? "clean"
                                        : (std::string(verdict.leaked ? " leak" : "") +
                                           (verdict.violations ? " audit" : "") +
-                                          (verdict.unreconciled ? " msgs" : ""))});
+                                          (verdict.unreconciled ? " msgs" : "") +
+                                          (verdict.breaker_open ? " breaker" : ""))});
         csv << loss << ',' << churn_rate << ',' << (faults_on ? 1 : 0) << ','
             << result.admission_probability << ',' << result.resilience.retransmits << ','
             << result.resilience.orphans_reclaimed << ',' << result.dropped_by_fault << ','
             << result.dropped_by_churn << ',' << result.failover_admitted << ','
-            << result.failover_attempts << ',' << (verdict.leaked ? 1 : 0) << ','
-            << (verdict.violations ? 1 : 0) << ',' << (verdict.unreconciled ? 1 : 0) << "\n";
+            << result.failover_attempts << ',' << (governor != nullptr ? 1 : 0) << ','
+            << (governor != nullptr ? governor->effective_max_tries() : config.max_tries)
+            << ',' << (governor != nullptr ? governor->stats().breaker_trips : 0) << ','
+            << (verdict.breaker_open ? 1 : 0) << ',' << result.shed << ','
+            << (verdict.leaked ? 1 : 0) << ',' << (verdict.violations ? 1 : 0) << ','
+            << (verdict.unreconciled ? 1 : 0) << "\n";
         if (verdict.violations) {
           std::cerr << "audit findings (loss=" << loss << " churn=" << churn_rate
                     << " faults=" << (faults_on ? "on" : "off") << "):\n"
@@ -306,6 +357,16 @@ int main(int argc, char** argv) {
             dump << flight_buffer.str();
             flight_files.push_back(std::move(path));
           }
+        }
+        if (timeline != nullptr) {
+          std::string path = flags.get_string("timeline-prefix");
+          path += "-cell";
+          path += std::to_string(cell);
+          path += ".jsonl";
+          std::ofstream out(path);
+          util::require(out.good(), "cannot open timeline file");
+          timeline->write_jsonl(out);
+          ++timeline_files;
         }
       }
     }
@@ -344,6 +405,10 @@ int main(int argc, char** argv) {
       std::cout << " " << path;
     }
     std::cout << "\n";
+  }
+  if (timeline_files > 0) {
+    std::cout << "timelines written to " << flags.get_string("timeline-prefix")
+              << "-cell<N>.jsonl (" << timeline_files << " cells)\n";
   }
   return failures == 0 ? 0 : 1;
 }

@@ -14,6 +14,7 @@
 #include <iostream>
 
 #include "src/audit/auditor.h"
+#include "src/control/governor.h"
 #include "src/net/topology_io.h"
 #include "src/obs/flight_recorder.h"
 #include "src/obs/profiler.h"
@@ -102,6 +103,14 @@ int main(int argc, char** argv) {
   flags.add_duration("retransmit-timeout", 1.0, "wait before the first PATH retransmit, seconds");
   flags.add_unsigned("max-retransmits", 3, "PATH re-sends before giving up");
   flags.add_duration("orphan-hold", 30.0, "soft-state hold before orphan reclaim, seconds");
+  flags.add_bool("adaptive", false, "AIMD-adapt the retrial bound from windowed feedback");
+  flags.add_bool("breaker", false, "per-member circuit breakers (mask failing members)");
+  flags.add_double("shed-budget", 0.0, "PATH-message budget/s; exhausted -> fast-reject (0 = off)");
+  flags.add_double("shed-burst", 0.0, "shed bucket depth, messages (0 = 2 x budget)");
+  flags.add_double("governor-window", 50.0, "feedback window for the overload governor, seconds");
+  flags.add_unsigned("min-retries", 3, "floor the adaptive bound may tighten to");
+  flags.add_unsigned("breaker-threshold", 5, "consecutive failures that trip a member breaker");
+  flags.add_duration("breaker-cooldown", 60.0, "seconds a tripped breaker stays open");
   flags.add_double("churn-rate", 0.0, "per-member outages/s (0 = no churn)");
   flags.add_duration("churn-downtime", 300.0, "mean member outage duration, seconds");
   flags.add_bool("failover", true, "re-admit flows displaced by member churn");
@@ -172,6 +181,23 @@ int main(int argc, char** argv) {
   }
   config.failover_readmit = flags.get_bool("failover");
   config.drain_to_quiescence = flags.get_bool("drain");
+
+  std::unique_ptr<control::OverloadGovernor> governor;
+  if (flags.get_bool("adaptive") || flags.get_bool("breaker") ||
+      flags.get_double("shed-budget") > 0.0) {
+    util::require(!config.use_gdi, "the overload governor requires a DAC run (not --gdi)");
+    control::GovernorOptions governor_options;
+    governor_options.window_s = flags.get_double("governor-window");
+    governor_options.adaptive_retrial = flags.get_bool("adaptive");
+    governor_options.min_tries = flags.get_unsigned("min-retries");
+    governor_options.member_breakers = flags.get_bool("breaker");
+    governor_options.breaker.failure_threshold = flags.get_unsigned("breaker-threshold");
+    governor_options.breaker.cooldown_s = flags.get_double("breaker-cooldown");
+    governor_options.shed_budget_msgs_per_s = flags.get_double("shed-budget");
+    governor_options.shed_burst_msgs = flags.get_double("shed-burst");
+    governor = std::make_unique<control::OverloadGovernor>(governor_options);
+    config.governor = governor.get();
+  }
 
   std::ofstream trace_file;
   std::unique_ptr<sim::CsvTraceSink> trace;
@@ -273,6 +299,22 @@ int main(int argc, char** argv) {
               << result.resilience.orphans_reclaimed << " orphans reclaimed ("
               << util::format_fixed(result.resilience.orphaned_bandwidth_reclaimed_bps / 1e6, 2)
               << " Mbit/s)\n";
+  }
+  if (governor != nullptr) {
+    const control::GovernorStats& gov = governor->stats();
+    std::cout << "overload governor R " << governor->effective_max_tries() << "/"
+              << governor->max_tries_ceiling() << " effective/ceiling, " << gov.windows
+              << " windows (" << gov.tighten_steps << " tightened, " << gov.relax_steps
+              << " relaxed)\n";
+    if (governor->options().member_breakers) {
+      std::cout << "member breakers   " << gov.breaker_trips << " trips, "
+                << gov.breaker_probes << " probes, " << gov.breaker_closes << " closes, "
+                << governor->open_breakers() << " open at end\n";
+    }
+    if (governor->options().shed_budget_msgs_per_s > 0.0) {
+      std::cout << "load shedding     " << result.shed
+                << " requests fast-rejected (measured window; lifetime " << gov.shed << ")\n";
+    }
   }
   if (auditor != nullptr) {
     std::cout << "audit violations  " << auditor->log().size()

@@ -1,0 +1,129 @@
+#!/usr/bin/env python3
+"""Compare two timeline artifacts (JSONL or CSV) window by window.
+
+Timelines from `obs::Timeline` are deterministic for a fixed seed and
+config, so two runs of the same experiment should be byte-identical. This
+script diffs them structurally instead of with `cmp` so a divergence is
+reported as *when* and *which signal* drifted, not just "files differ":
+
+  * first divergent window: time, column name, both values
+  * per-column maximum absolute delta across all shared windows
+
+Values within --tolerance (absolute) are treated as equal; the default 0
+demands exact agreement, which is what same-seed determinism promises.
+The default mode is warn-only (exit 0 regardless) so CI can surface drift
+without blocking; pass --strict to turn any divergence into a nonzero exit.
+
+  scripts/compare-timeline.py --baseline a.jsonl --current b.jsonl \
+      [--tolerance 0.0] [--strict]
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_timeline(path):
+    """Return (columns, samples) where samples is a list of (t, [values]).
+
+    JSONL: first line is the header record ({"timeline":"header",...}),
+    the rest are sample records keyed on "t". CSV: header row is
+    time,window_s,warmup,<columns>.
+    """
+    with open(path) as f:
+        first = f.readline()
+        if not first.strip():
+            raise ValueError(f"{path}: empty file")
+        if first.lstrip().startswith("{"):
+            header = json.loads(first)
+            if header.get("timeline") != "header":
+                raise ValueError(f"{path}: first record is not a timeline header")
+            columns = [col["name"] for col in header["columns"]]
+            samples = []
+            for line in f:
+                record = json.loads(line)
+                if record.get("timeline") != "sample":
+                    continue
+                samples.append((float(record["t"]), [float(v) for v in record["values"]]))
+            return columns, samples
+        fields = first.rstrip("\n").split(",")
+        if fields[:3] != ["time", "window_s", "warmup"]:
+            raise ValueError(f"{path}: not a timeline CSV (header {fields[:3]})")
+        columns = fields[3:]
+        samples = []
+        for line in f:
+            row = line.rstrip("\n").split(",")
+            samples.append((float(row[0]), [float(v) for v in row[3:]]))
+        return columns, samples
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--baseline", required=True, help="reference timeline (.jsonl or .csv)")
+    parser.add_argument("--current", required=True, help="timeline to compare against it")
+    parser.add_argument("--tolerance", type=float, default=0.0,
+                        help="absolute slack before two values count as divergent "
+                             "(default 0 = exact, the same-seed guarantee)")
+    parser.add_argument("--strict", action="store_true",
+                        help="exit 1 on divergence instead of warning")
+    args = parser.parse_args()
+    if args.tolerance < 0:
+        parser.error("--tolerance must be non-negative")
+
+    base_cols, base_samples = load_timeline(args.baseline)
+    cur_cols, cur_samples = load_timeline(args.current)
+
+    divergences = []
+    if base_cols != cur_cols:
+        only_base = [c for c in base_cols if c not in cur_cols]
+        only_cur = [c for c in cur_cols if c not in base_cols]
+        divergences.append(f"column sets differ (baseline-only {only_base}, "
+                           f"current-only {only_cur})")
+        print(f"columns: baseline has {len(base_cols)}, current has {len(cur_cols)}")
+    if len(base_samples) != len(cur_samples):
+        divergences.append(f"window counts differ "
+                           f"({len(base_samples)} vs {len(cur_samples)})")
+    shared_cols = min(len(base_cols), len(cur_cols))
+    shared = min(len(base_samples), len(cur_samples))
+    print(f"comparing {shared} windows x {shared_cols} columns")
+
+    first_divergence = None
+    max_delta = {}  # column name -> (delta, time)
+    for (bt, bvals), (ct, cvals) in zip(base_samples, cur_samples):
+        if bt != ct:
+            divergences.append(f"window times diverge ({bt} vs {ct})")
+            break
+        for i in range(shared_cols):
+            delta = abs(cvals[i] - bvals[i])
+            if delta <= args.tolerance:
+                continue
+            name = base_cols[i]
+            if first_divergence is None:
+                first_divergence = (bt, name, bvals[i], cvals[i])
+            if name not in max_delta or delta > max_delta[name][0]:
+                max_delta[name] = (delta, bt)
+
+    if first_divergence is not None:
+        t, name, bval, cval = first_divergence
+        divergences.append(f"first divergent window at t={t:g}: "
+                           f"{name} {bval:g} -> {cval:g}")
+        print(f"first divergence: t={t:g} column={name} "
+              f"baseline={bval:g} current={cval:g}")
+        for name in sorted(max_delta):
+            delta, t = max_delta[name]
+            print(f"max delta {name}: {delta:g} (at t={t:g})")
+
+    if not divergences:
+        print("timeline comparison: OK (runs agree within tolerance)")
+        return 0
+    for item in divergences:
+        print(f"DIVERGENCE: {item}", file=sys.stderr)
+    if args.strict:
+        return 1
+    print("warn-only mode: not failing the build (use --strict to enforce)",
+          file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

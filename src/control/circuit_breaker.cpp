@@ -1,0 +1,67 @@
+#include "src/control/circuit_breaker.h"
+
+#include "src/util/require.h"
+
+namespace anyqos::control {
+
+std::string to_string(BreakerState state) {
+  switch (state) {
+    case BreakerState::kClosed:
+      return "closed";
+    case BreakerState::kOpen:
+      return "open";
+    case BreakerState::kHalfOpen:
+      return "half_open";
+  }
+  util::unreachable("BreakerState");
+}
+
+CircuitBreaker::CircuitBreaker(BreakerOptions options) : options_(options) {
+  util::require(options.failure_threshold >= 1, "breaker failure threshold must be at least 1");
+  util::require(options.cooldown_s > 0.0, "breaker cooldown must be positive");
+}
+
+bool CircuitBreaker::record_success() {
+  consecutive_failures_ = 0;
+  if (state_ == BreakerState::kHalfOpen) {
+    state_ = BreakerState::kClosed;
+    return true;
+  }
+  return false;
+}
+
+bool CircuitBreaker::record_failure() {
+  if (state_ == BreakerState::kHalfOpen) {
+    // The probe failed: back to Open without waiting for a fresh streak.
+    state_ = BreakerState::kOpen;
+    consecutive_failures_ = 0;
+    return true;
+  }
+  if (state_ == BreakerState::kOpen) {
+    return false;  // already excluded; nothing to trip
+  }
+  ++consecutive_failures_;
+  if (consecutive_failures_ >= options_.failure_threshold) {
+    state_ = BreakerState::kOpen;
+    consecutive_failures_ = 0;
+    return true;
+  }
+  return false;
+}
+
+bool CircuitBreaker::trip() {
+  if (state_ == BreakerState::kOpen) {
+    return false;
+  }
+  state_ = BreakerState::kOpen;
+  consecutive_failures_ = 0;
+  return true;
+}
+
+void CircuitBreaker::half_open() {
+  if (state_ == BreakerState::kOpen) {
+    state_ = BreakerState::kHalfOpen;
+  }
+}
+
+}  // namespace anyqos::control

@@ -1,0 +1,84 @@
+// Per-member circuit breaker (overload-protection extension).
+//
+// The anycast-CDN load-management practice: when one frontend degrades,
+// stop routing to it instead of letting every request pay for the failure.
+// Here a breaker guards one anycast group member. It is a pure state
+// machine — Closed / Open / HalfOpen — with no clock of its own: the owner
+// (control::OverloadGovernor) schedules the Open -> HalfOpen cooldown on
+// the DES kernel and calls half_open() when the timer fires, so breaker
+// behaviour is deterministic in virtual time.
+//
+//   Closed   --(failure_threshold consecutive failures, or trip())-->  Open
+//   Open     --(cooldown timer)-->                                     HalfOpen
+//   HalfOpen --(probe success)-->  Closed
+//   HalfOpen --(probe failure)-->  Open (again; a fresh cooldown starts)
+//
+// While Open the member is excluded from destination selection entirely —
+// its weight is masked to zero and the selector renormalizes over the
+// remaining members. HalfOpen admits probe attempts: real requests that
+// test whether the member recovered.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace anyqos::control {
+
+/// Where a breaker stands; see the file comment for the transitions.
+enum class BreakerState : std::uint8_t {
+  kClosed,    ///< member in normal service
+  kOpen,      ///< member excluded from selection (cooldown pending)
+  kHalfOpen,  ///< cooldown elapsed; probe attempts allowed
+};
+
+std::string to_string(BreakerState state);
+
+/// Tuning knobs for one breaker (shared by every member's breaker).
+struct BreakerOptions {
+  /// Consecutive reservation failures against the member that trip the
+  /// breaker; must be at least 1. Retransmit exhaustion and member churn
+  /// trip immediately regardless of this threshold.
+  std::size_t failure_threshold = 5;
+  /// Simulated seconds a tripped breaker stays Open before the owner's
+  /// cooldown timer moves it to HalfOpen; must be positive.
+  double cooldown_s = 60.0;
+};
+
+/// One member's breaker; see the file comment for the contract.
+class CircuitBreaker {
+ public:
+  explicit CircuitBreaker(BreakerOptions options = {});
+
+  [[nodiscard]] BreakerState state() const { return state_; }
+  /// True when the member may be offered an attempt (Closed or HalfOpen).
+  [[nodiscard]] bool allows() const { return state_ != BreakerState::kOpen; }
+  [[nodiscard]] std::size_t consecutive_failures() const { return consecutive_failures_; }
+
+  /// A reservation against the member succeeded. Closes a HalfOpen breaker
+  /// (the probe passed) and resets the failure streak. Returns true when
+  /// this call closed the breaker.
+  bool record_success();
+
+  /// A reservation against the member failed on capacity. In Closed state
+  /// the failure streak advances and trips at the threshold; in HalfOpen
+  /// the probe failed and the breaker re-opens immediately. Returns true
+  /// when this call tripped the breaker — the owner must then schedule the
+  /// cooldown timer.
+  [[nodiscard]] bool record_failure();
+
+  /// Force the breaker Open (retransmit exhaustion, member churn). Returns
+  /// true when the state changed (the owner schedules the cooldown); false
+  /// when the breaker was already Open.
+  [[nodiscard]] bool trip();
+
+  /// Cooldown elapsed: Open -> HalfOpen. Called by the owner's DES timer;
+  /// no-op unless currently Open (a stale timer must not resurrect state).
+  void half_open();
+
+ private:
+  BreakerOptions options_;
+  BreakerState state_ = BreakerState::kClosed;
+  std::size_t consecutive_failures_ = 0;
+};
+
+}  // namespace anyqos::control

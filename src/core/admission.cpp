@@ -52,9 +52,12 @@ AdmissionDecision AdmissionController::admit(const FlowRequest& request, des::Ra
   // weight over the live members, exactly as it does for retried ones. When
   // every member is down, select() returns nullopt immediately and the
   // request is rejected with zero attempts.
+  // A circuit-broken member (gate veto) is excluded the same way, so an
+  // Open breaker zeroes the member's effective selection weight and the
+  // remaining members absorb it through renormalization.
   const auto tried = std::make_unique<bool[]>(group_->size());
   for (std::size_t i = 0; i < group_->size(); ++i) {
-    tried[i] = !group_->is_up(i);
+    tried[i] = !group_->is_up(i) || (gate_ != nullptr && !gate_->allow_member(i));
   }
   const std::span<const bool> tried_view(tried.get(), group_->size());
   // Figure 1: REPEAT { select; reserve; retry-control } UNTIL rejected.
@@ -77,6 +80,9 @@ AdmissionDecision AdmissionController::admit(const FlowRequest& request, des::Ra
     const net::Path& route = routes_->route(source_, *index);
     const signaling::ReservationResult result = rsvp_->reserve(route, request.bandwidth_bps);
     selector_->report(*index, result.admitted);
+    if (gate_ != nullptr) {
+      gate_->on_member_result(*index, result);
+    }
     if (tracer != nullptr) {
       const std::size_t budget = retrial_->max_attempts();
       tracer->record_attempt(*index, group_->member(*index), std::move(weight_snapshot),

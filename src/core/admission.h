@@ -55,6 +55,26 @@ class AdmissionObserver {
                            std::size_t max_attempts, std::size_t group_size) = 0;
 };
 
+/// Vetoes individual group members before the selector sees them and hears
+/// every attempt's reservation outcome. Implemented by the overload
+/// governor's per-member circuit breakers: a vetoed member enters the DAC
+/// loop pre-marked as tried, so the selector's masking machinery zeroes its
+/// weight and renormalizes over the remaining members — the same mechanism
+/// that excludes churned-down members. Consulted only for members that are
+/// up (down members are excluded before the gate is asked).
+class MemberGate {
+ public:
+  virtual ~MemberGate() = default;
+
+  /// False excludes `member_index` from this request's selection.
+  [[nodiscard]] virtual bool allow_member(std::size_t member_index) = 0;
+
+  /// The reservation outcome of one attempt against `member_index` (called
+  /// once per attempt, after the selector's report()).
+  virtual void on_member_result(std::size_t member_index,
+                                const signaling::ReservationResult& result) = 0;
+};
+
 /// One AC-router's admission controller for one anycast group: owns the
 /// destination selector state (weights, history) and executes Figure 1's
 /// select -> reserve -> retry loop.
@@ -88,6 +108,13 @@ class AdmissionController {
   /// detached first.
   void set_tracer(obs::DecisionTracer* tracer) { tracer_ = tracer; }
 
+  /// Registers `gate` to veto members and observe per-attempt reservation
+  /// outcomes (nullptr detaches). At most one gate; it must outlive the
+  /// controller or be detached first. When the gate vetoes every live
+  /// member the request is rejected with zero attempts, exactly as when
+  /// every member is down.
+  void set_member_gate(MemberGate* gate) { gate_ = gate; }
+
   [[nodiscard]] net::NodeId source() const { return source_; }
   [[nodiscard]] const DestinationSelector& selector() const { return *selector_; }
   [[nodiscard]] const RetrialPolicy& retrial_policy() const { return *retrial_; }
@@ -101,6 +128,7 @@ class AdmissionController {
   std::unique_ptr<RetrialPolicy> retrial_;
   AdmissionObserver* observer_ = nullptr;
   obs::DecisionTracer* tracer_ = nullptr;
+  MemberGate* gate_ = nullptr;
 };
 
 /// GDI baseline: perfect global knowledge, free path choice. A request is

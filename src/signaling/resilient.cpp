@@ -141,6 +141,15 @@ ReservationResult ResilientReservationProtocol::reserve(const net::Path& route,
     return result;
   }
   ++stats_.give_ups;
+  if (recovery_hook_ != nullptr) {
+    std::string detail = "dst=";
+    detail += std::to_string(route.destination);
+    detail += " hops=";
+    detail += std::to_string(route.links.size());
+    detail += " retransmits=";
+    detail += std::to_string(result.retransmits);
+    recovery_hook_(simulator_->now(), "retransmit_exhaustion", detail);
+  }
   result.messages = charged;
   pending_wait_s_ += plane_.delay_injected_s() - delay_before;
   return result;
@@ -173,18 +182,27 @@ void ResilientReservationProtocol::add_orphan(const net::Path& route, net::Bandw
   Orphan orphan;
   orphan.route = route;
   orphan.bandwidth = bandwidth;
-  orphan.timer =
-      simulator_->schedule_in(options_.orphan_hold_s, [this, id] { reclaim_orphan(id); });
+  orphan.timer = simulator_->schedule_in(options_.orphan_hold_s,
+                                         [this, id] { reclaim_orphan(id, /*expired=*/true); });
   orphans_.emplace(id, std::move(orphan));
 }
 
-void ResilientReservationProtocol::reclaim_orphan(std::uint64_t id) {
+void ResilientReservationProtocol::reclaim_orphan(std::uint64_t id, bool expired) {
   const auto it = orphans_.find(id);
   util::ensure(it != orphans_.end(), "orphan reclaim fired for an unknown orphan");
   // Soft-state expiry is silent — routers drop the state locally, no TEAR.
   ledger().release(it->second.route, it->second.bandwidth);
   ++stats_.orphans_reclaimed;
   stats_.orphaned_bandwidth_reclaimed_bps += it->second.bandwidth;
+  if (expired && recovery_hook_ != nullptr) {
+    std::string detail = "dst=";
+    detail += std::to_string(it->second.route.destination);
+    detail += " hops=";
+    detail += std::to_string(it->second.route.links.size());
+    detail += " bw_bps=";
+    detail += std::to_string(static_cast<std::uint64_t>(it->second.bandwidth));
+    recovery_hook_(simulator_->now(), "orphan_expiry", detail);
+  }
   orphans_.erase(it);
 }
 
@@ -201,7 +219,7 @@ void ResilientReservationProtocol::on_link_failing(net::LinkId id) {
   std::sort(crossing.begin(), crossing.end());  // deterministic order
   for (const std::uint64_t orphan_id : crossing) {
     simulator_->cancel(orphans_.at(orphan_id).timer);
-    reclaim_orphan(orphan_id);
+    reclaim_orphan(orphan_id, /*expired=*/false);
   }
 }
 
@@ -228,7 +246,7 @@ std::size_t ResilientReservationProtocol::reclaim_pending() {
   std::sort(ids.begin(), ids.end());
   for (const std::uint64_t id : ids) {
     simulator_->cancel(orphans_.at(id).timer);
-    reclaim_orphan(id);
+    reclaim_orphan(id, /*expired=*/false);
   }
   return ids.size();
 }

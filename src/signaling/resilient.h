@@ -31,6 +31,9 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
 #include <unordered_map>
 
 #include "src/des/random.h"
@@ -98,6 +101,17 @@ class ResilientReservationProtocol final : public ReservationProtocol {
   /// this when the InvariantAuditor reports open reservations at quiescence.
   std::size_t reclaim_pending();
 
+  /// Observer for the two diagnosable give-up moments of the recovery
+  /// machinery: `kind` is "retransmit_exhaustion" (a reservation abandoned
+  /// with its retransmit budget spent) or "orphan_expiry" (a soft-state
+  /// timer reclaimed an orphaned reservation). Cancelled-timer reclaims
+  /// (link failing, reclaim_pending) are repairs, not expiries, and do not
+  /// fire the hook. The simulation wires this to the flight recorder so
+  /// both moments trigger a causal snapshot. nullptr detaches.
+  using RecoveryHook =
+      std::function<void(double time, std::string_view kind, const std::string& detail)>;
+  void set_recovery_hook(RecoveryHook hook) { recovery_hook_ = std::move(hook); }
+
   /// Recovery tallies so far (loss counts folded in from the FaultPlane).
   [[nodiscard]] ResilienceStats stats() const;
 
@@ -111,7 +125,9 @@ class ResilientReservationProtocol final : public ReservationProtocol {
   void count_hops(MessageKind kind, std::uint64_t hops) override;
   /// Registers an orphaned (still installed) reservation for reclamation.
   void add_orphan(const net::Path& route, net::Bandwidth bandwidth);
-  void reclaim_orphan(std::uint64_t id);
+  /// `expired` distinguishes a soft-state timer firing (fires the recovery
+  /// hook) from a cancelled-timer repair path (silent).
+  void reclaim_orphan(std::uint64_t id, bool expired);
   /// Waits out timeout number `retransmit_index` (0 = original send).
   void wait_timeout(std::size_t retransmit_index);
 
@@ -128,6 +144,7 @@ class ResilientReservationProtocol final : public ReservationProtocol {
   ResilienceStats stats_;
   std::unordered_map<std::uint64_t, Orphan> orphans_;
   std::uint64_t next_orphan_id_ = 1;
+  RecoveryHook recovery_hook_;
   double pending_wait_s_ = 0.0;
   double plane_delay_seen_s_ = 0.0;  // FaultPlane delay already drained
 };

@@ -78,6 +78,13 @@ void MetricsCollector::record_failover(bool admitted) {
   }
 }
 
+void MetricsCollector::record_shed() {
+  ++lifetime_shed_;
+  if (measuring_) {
+    ++shed_;
+  }
+}
+
 std::uint64_t MetricsCollector::teardowns(TeardownCause cause) const {
   const auto index = static_cast<std::size_t>(cause);
   util::require(index < kTeardownCauseCount, "unknown teardown cause");

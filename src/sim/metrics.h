@@ -53,6 +53,12 @@ class MetricsCollector {
   /// Records one failover re-admission attempt for a flow displaced by
   /// churn, and whether the network re-admitted it.
   void record_failover(bool admitted);
+  /// Records one request fast-rejected by the overload governor's signaling
+  /// budget before any reservation walk. Shed requests are *not* offered
+  /// load: they appear in neither the admission probability nor the
+  /// attempts/messages statistics, exactly because they cost zero walks —
+  /// the separate tally keeps the two rejection causes distinguishable.
+  void record_shed();
 
   // --- Results (valid once measuring) ---
   [[nodiscard]] std::uint64_t offered() const { return offered_; }
@@ -79,6 +85,8 @@ class MetricsCollector {
   [[nodiscard]] std::uint64_t teardowns(TeardownCause cause) const;
   [[nodiscard]] std::uint64_t failover_attempts() const { return failover_attempts_; }
   [[nodiscard]] std::uint64_t failover_admitted() const { return failover_admitted_; }
+  /// Requests shed by the governor's signaling budget (measurement window).
+  [[nodiscard]] std::uint64_t shed() const { return shed_; }
 
   // --- Lifetime tallies (warm-up included) ---
   // The timeline sampler computes windowed rates from cumulative counters,
@@ -98,6 +106,7 @@ class MetricsCollector {
   [[nodiscard]] std::uint64_t lifetime_failover_admitted() const {
     return lifetime_failover_admitted_;
   }
+  [[nodiscard]] std::uint64_t lifetime_shed() const { return lifetime_shed_; }
 
  private:
   bool measuring_ = false;
@@ -107,6 +116,8 @@ class MetricsCollector {
   std::uint64_t teardowns_[kTeardownCauseCount] = {0, 0, 0};
   std::uint64_t failover_attempts_ = 0;
   std::uint64_t failover_admitted_ = 0;
+  std::uint64_t shed_ = 0;
+  std::uint64_t lifetime_shed_ = 0;
   std::uint64_t lifetime_offered_ = 0;
   std::uint64_t lifetime_admitted_ = 0;
   std::uint64_t lifetime_attempts_ = 0;

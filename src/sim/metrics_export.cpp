@@ -32,6 +32,12 @@ void export_metrics(const Simulation& simulation, const SimulationConfig& config
   };
   outcome_counter("admitted", result.admitted);
   outcome_counter("rejected", result.offered - result.admitted);
+  if (result.shed > 0) {
+    // Shed requests never enter the offered tally (no reservation walk ran),
+    // so they get their own outcome row. Gated on non-zero to keep the
+    // export byte-identical for runs without a governor.
+    outcome_counter("shed", result.shed);
+  }
 
   registry
       .counter("anyqos_flows_dropped_total",

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <optional>
+#include <string_view>
 
+#include "src/control/adaptive_retrial.h"
 #include "src/core/retrial.h"
 #include "src/util/require.h"
 #include "src/util/strings.h"
@@ -56,6 +58,8 @@ Simulation::Simulation(const net::Topology& topology, SimulationConfig config)
   util::require(is_dac || !config_.resilience.has_value(),
                 "resilient signaling applies to DAC runs only");
   util::require(is_dac || config_.churn.empty(), "member churn applies to DAC runs only");
+  util::require(is_dac || config_.governor == nullptr,
+                "the overload governor applies to DAC runs only");
   if (config_.resilience.has_value()) {
     rsvp_ = std::make_unique<signaling::ResilientReservationProtocol>(
         ledger_, counter_, simulator_, control_rng_, *config_.resilience);
@@ -70,6 +74,23 @@ Simulation::Simulation(const net::Topology& topology, SimulationConfig config)
   // keep the nullptr test a member load rather than a config indirection.
   timeline_ = config_.timeline;
   flight_ = config_.flight_recorder;
+  governor_ = config_.governor;
+  if (governor_ != nullptr) {
+    governor_->bind(group_.size(), config_.max_tries);
+  }
+  if (resilient_ != nullptr && flight_ != nullptr) {
+    // Satellite triggers from the recovery machinery: a retransmit-budget
+    // give-up or a soft-state orphan expiry lands in the ring as a note and
+    // dumps the causal window that led up to it.
+    resilient_->set_recovery_hook(
+        [this](double time, std::string_view kind, const std::string& detail) {
+          flight_->note(time, kind, detail);
+          std::string reason(kind);
+          reason += ' ';
+          reason += detail;
+          flight_->trigger(time, reason);
+        });
+  }
   if (config_.use_gdi) {
     oracle_ = std::make_unique<core::GlobalAdmissionOracle>(topology, ledger_, group_);
   } else if (config_.use_centralized) {
@@ -95,12 +116,23 @@ core::AdmissionController& Simulation::controller_for(net::NodeId source) {
     env.alpha = config_.alpha;
     env.wdb_mask_infeasible = config_.wdb_mask_infeasible;
     env.flow_bandwidth = config_.traffic.flow_bandwidth_bps;
+    // The governor's adaptive bound replaces the static counter policy, and
+    // its breakers gate member selection; every AC-router shares the one
+    // governor, so control state is system-wide (unlike selector state).
+    std::unique_ptr<core::RetrialPolicy> retrial;
+    if (governor_ != nullptr && governor_->options().adaptive_retrial) {
+      retrial = std::make_unique<control::AdaptiveRetrialPolicy>(*governor_);
+    } else {
+      retrial = std::make_unique<core::CounterRetrialPolicy>(config_.max_tries);
+    }
     slot = std::make_unique<core::AdmissionController>(
         source, group_, routes_, *rsvp_,
-        core::make_selector(config_.algorithm, env),
-        std::make_unique<core::CounterRetrialPolicy>(config_.max_tries));
+        core::make_selector(config_.algorithm, env), std::move(retrial));
     slot->set_observer(admission_observer_);
     slot->set_tracer(config_.tracer);
+    if (governor_ != nullptr && governor_->options().member_breakers) {
+      slot->set_member_gate(governor_);
+    }
   }
   return *slot;
 }
@@ -174,6 +206,9 @@ void Simulation::touch_links(const net::Path& path) {
       // survives into the window's row even after the flow departs.
       timeline_->note(link_hwm_columns_[id], utilization);
     }
+    if (governor_ != nullptr) {
+      governor_->note_utilization(utilization);
+    }
   }
 }
 
@@ -208,6 +243,15 @@ void Simulation::wire_timeline() {
   tl.add_counter("failover_admitted_per_s", [this] {
     return static_cast<double>(metrics_.lifetime_failover_admitted());
   });
+  if (governor_ != nullptr) {
+    tl.add_gauge("governor_effective_r", [this] {
+      return static_cast<double>(governor_->effective_max_tries());
+    });
+    tl.add_gauge("governor_open_breakers",
+                 [this] { return static_cast<double>(governor_->open_breakers()); });
+    tl.add_counter("shed_per_s",
+                   [this] { return static_cast<double>(metrics_.lifetime_shed()); });
+  }
   const bool is_dac = !config_.use_gdi && !config_.use_centralized;
   for (std::size_t index = 0; index < group_.size(); ++index) {
     const std::string member = topology_->router_name(group_.member(index));
@@ -259,7 +303,24 @@ void Simulation::handle_arrival() {
   request.bandwidth_bps = config_.traffic.flow_bandwidth_bps;
   request.request_id = ++next_request_id_;
 
+  if (governor_ != nullptr && !governor_->admit_request(simulator_.now())) {
+    // Signaling budget exhausted: fast-reject with zero messages — the
+    // request never reaches the DAC loop, so it is counted as shed, not as
+    // offered load (the AC-router answered from local state alone).
+    metrics_.record_shed();
+    emit_trace(TraceEventKind::kShed, request.request_id, request.source, net::kInvalidNode,
+               0, request.bandwidth_bps);
+    if (config_.tracer != nullptr && config_.tracer->active()) {
+      config_.tracer->begin_request(request.request_id, request.source, request.bandwidth_bps,
+                                    "shed", 0, group_.size());
+      config_.tracer->end_request(false, std::nullopt, 0);
+    }
+    return;
+  }
+
   core::AdmissionDecision decision;
+  const std::uint64_t path_before =
+      governor_ != nullptr ? counter_.by_kind(signaling::MessageKind::kPath) : 0;
   if (config_.use_gdi) {
     decision = oracle_->admit(request);
   } else if (config_.use_centralized) {
@@ -275,6 +336,10 @@ void Simulation::handle_arrival() {
     }
   } else {
     decision = controller_for(request.source).admit(request, selection_rng_);
+  }
+  if (governor_ != nullptr) {
+    governor_->on_decision(simulator_.now(), decision.admitted,
+                           counter_.by_kind(signaling::MessageKind::kPath) - path_before);
   }
   metrics_.record_decision(decision.admitted, decision.attempts, decision.messages,
                            decision.destination_index.value_or(0));
@@ -401,6 +466,11 @@ void Simulation::apply_member_down(std::size_t member) {
   // Exclude the member from selection *before* tearing flows down so any
   // failover re-admission can only land on the surviving members.
   group_.set_member_up(member, false);
+  if (governor_ != nullptr) {
+    // Trip the breaker with the outage: when the member recovers it stays
+    // masked until the cooldown's half-open probe proves it healthy.
+    governor_->on_member_churn(member);
+  }
   emit_trace(TraceEventKind::kMemberDown, 0, group_.member(member), net::kInvalidNode, 0, 0.0);
   for (const FlowId id : flows_.flows_to_member(member)) {
     const ActiveFlow flow = flows_.take(id);
@@ -444,8 +514,17 @@ void Simulation::attempt_failover(const ActiveFlow& displaced) {
   request.source = displaced.source;
   request.bandwidth_bps = displaced.bandwidth_bps;
   request.request_id = ++next_request_id_;
+  // Failover is exempt from shedding (dropping an already-admitted user is
+  // worse than spending signaling) but its walk still pays the budget and
+  // its outcome still feeds the feedback window — it is real load.
+  const std::uint64_t path_before =
+      governor_ != nullptr ? counter_.by_kind(signaling::MessageKind::kPath) : 0;
   const core::AdmissionDecision decision =
       controller_for(request.source).admit(request, selection_rng_);
+  if (governor_ != nullptr) {
+    governor_->on_decision(simulator_.now(), decision.admitted,
+                           counter_.by_kind(signaling::MessageKind::kPath) - path_before);
+  }
   metrics_.record_failover(decision.admitted);
   // Failover is not offered load: its control-plane waiting stays out of the
   // per-request setup-delay statistics, but must still be drained.
@@ -502,6 +581,11 @@ SimulationResult Simulation::run() {
     // able to empty its calendar.
     wire_timeline();
     timeline_->attach(simulator_, [this] { return draining_; });
+  }
+  if (governor_ != nullptr) {
+    // The window timer stops rearming at drain; breaker cooldowns are
+    // one-shot and still fire, so no breaker is left open at quiescence.
+    governor_->attach(simulator_, [this] { return draining_; });
   }
   // Seed the event calendar.
   schedule_next_arrival();
@@ -579,6 +663,7 @@ SimulationResult Simulation::run() {
   result.explicit_teardowns = metrics_.teardowns(TeardownCause::kExplicit);
   result.failover_attempts = metrics_.failover_attempts();
   result.failover_admitted = metrics_.failover_admitted();
+  result.shed = metrics_.shed();
   if (resilient_ != nullptr) {
     result.resilience = resilient_->stats();
   }

@@ -12,6 +12,7 @@
 #include <utility>
 #include <vector>
 
+#include "src/control/governor.h"
 #include "src/core/admission.h"
 #include "src/core/centralized.h"
 #include "src/core/selector.h"
@@ -121,6 +122,18 @@ struct SimulationConfig {
   /// recorder's span_sink(); to dump on invariant violations, wire the
   /// auditor's violation hook to trigger(). Unset costs nothing.
   obs::FlightRecorder* flight_recorder = nullptr;
+  /// Optional overload governor (must outlive the simulation; one governor
+  /// records one run — construct fresh per simulation). DAC runs only. The
+  /// constructor bind()s it (group size, retry ceiling R = max_tries) and
+  /// run() attaches its feedback window to the kernel. Depending on its
+  /// options it then (1) adapts the effective retrial bound from windowed
+  /// rejection/utilization feedback, (2) gates members through per-member
+  /// circuit breakers fed by every reservation outcome and by churn, and
+  /// (3) sheds requests without any reservation walk when its signaling
+  /// budget is exhausted (counted in SimulationResult::shed, not in
+  /// offered). Unset costs one pointer check per use and leaves every
+  /// artifact byte-identical.
+  control::OverloadGovernor* governor = nullptr;
 };
 
 /// Aggregated outcome of a run (measurement window only).
@@ -139,6 +152,10 @@ struct SimulationResult {
   std::uint64_t explicit_teardowns = 0;      ///< normal end-of-holding releases
   std::uint64_t failover_attempts = 0;       ///< churn-displaced flows re-offered
   std::uint64_t failover_admitted = 0;       ///< ... of which the network re-admitted
+  /// Requests fast-rejected by the overload governor's signaling budget
+  /// with no reservation walk. Counted separately from capacity rejections
+  /// and excluded from `offered` (shed requests never enter the DAC loop).
+  std::uint64_t shed = 0;
   /// Control-plane recovery tallies (all zero unless config.resilience set).
   signaling::ResilienceStats resilience;
   std::vector<std::uint64_t> per_destination_admissions;
@@ -250,6 +267,7 @@ class Simulation {
   std::vector<stats::TimeWeighted> link_utilization_;
   obs::Timeline* timeline_ = nullptr;         // config_.timeline, hot-path copy
   obs::FlightRecorder* flight_ = nullptr;     // config_.flight_recorder, hot-path copy
+  control::OverloadGovernor* governor_ = nullptr;  // config_.governor, hot-path copy
   std::vector<obs::Timeline::ColumnId> link_hwm_columns_;  // by LinkId (timeline runs)
   std::uint64_t next_request_id_ = 0;  // arrival sequence; span/trace join key
   bool ran_ = false;

@@ -27,6 +27,8 @@ std::string to_string(TraceEventKind kind) {
       return "MEMBER_UP";
     case TraceEventKind::kFailover:
       return "FAILOVER";
+    case TraceEventKind::kShed:
+      return "SHED";
   }
   util::unreachable("TraceEventKind");
 }

@@ -23,6 +23,7 @@ enum class TraceEventKind : std::uint8_t {
   kMemberDown, // churn took a group member out of service
   kMemberUp,   // a churned member recovered
   kFailover,   // a displaced flow was re-admitted to another member
+  kShed,       // request fast-rejected by the governor's signaling budget
 };
 
 std::string to_string(TraceEventKind kind);

@@ -1,0 +1,99 @@
+#include "src/control/circuit_breaker.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace anyqos::control {
+namespace {
+
+BreakerOptions options(std::size_t threshold, double cooldown = 60.0) {
+  BreakerOptions o;
+  o.failure_threshold = threshold;
+  o.cooldown_s = cooldown;
+  return o;
+}
+
+TEST(CircuitBreaker, StartsClosedAndAllowing) {
+  const CircuitBreaker breaker;
+  EXPECT_EQ(breaker.state(), BreakerState::kClosed);
+  EXPECT_TRUE(breaker.allows());
+  EXPECT_EQ(breaker.consecutive_failures(), 0u);
+}
+
+TEST(CircuitBreaker, TripsAtFailureThreshold) {
+  CircuitBreaker breaker(options(3));
+  EXPECT_FALSE(breaker.record_failure());
+  EXPECT_FALSE(breaker.record_failure());
+  EXPECT_EQ(breaker.state(), BreakerState::kClosed);
+  EXPECT_TRUE(breaker.record_failure());  // third consecutive failure trips
+  EXPECT_EQ(breaker.state(), BreakerState::kOpen);
+  EXPECT_FALSE(breaker.allows());
+}
+
+TEST(CircuitBreaker, SuccessResetsTheStreak) {
+  CircuitBreaker breaker(options(2));
+  EXPECT_FALSE(breaker.record_failure());
+  EXPECT_FALSE(breaker.record_success());  // Closed stays Closed: not a close event
+  EXPECT_EQ(breaker.consecutive_failures(), 0u);
+  EXPECT_FALSE(breaker.record_failure());  // streak restarted, below threshold again
+  EXPECT_EQ(breaker.state(), BreakerState::kClosed);
+}
+
+TEST(CircuitBreaker, TripForcesOpenOnce) {
+  CircuitBreaker breaker(options(5));
+  EXPECT_TRUE(breaker.trip());
+  EXPECT_EQ(breaker.state(), BreakerState::kOpen);
+  EXPECT_FALSE(breaker.trip());  // already Open: owner must not restart cooldown
+}
+
+TEST(CircuitBreaker, CooldownMovesOpenToHalfOpen) {
+  CircuitBreaker breaker(options(1));
+  EXPECT_TRUE(breaker.record_failure());
+  breaker.half_open();
+  EXPECT_EQ(breaker.state(), BreakerState::kHalfOpen);
+  EXPECT_TRUE(breaker.allows());  // probes are admitted
+}
+
+TEST(CircuitBreaker, HalfOpenIsNoOpUnlessOpen) {
+  CircuitBreaker breaker(options(2));
+  breaker.half_open();  // stale timer against a Closed breaker
+  EXPECT_EQ(breaker.state(), BreakerState::kClosed);
+  EXPECT_TRUE(breaker.trip());
+  breaker.half_open();
+  EXPECT_TRUE(breaker.record_success());  // probe passes, breaker Closed
+  breaker.half_open();  // stale timer again: must not resurrect HalfOpen
+  EXPECT_EQ(breaker.state(), BreakerState::kClosed);
+}
+
+TEST(CircuitBreaker, ProbeSuccessClosesAndReportsIt) {
+  CircuitBreaker breaker(options(1));
+  EXPECT_TRUE(breaker.record_failure());
+  breaker.half_open();
+  EXPECT_TRUE(breaker.record_success());  // the close event
+  EXPECT_EQ(breaker.state(), BreakerState::kClosed);
+  EXPECT_EQ(breaker.consecutive_failures(), 0u);
+}
+
+TEST(CircuitBreaker, ProbeFailureReopensImmediately) {
+  CircuitBreaker breaker(options(3));
+  EXPECT_TRUE(breaker.trip());
+  breaker.half_open();
+  EXPECT_TRUE(breaker.record_failure());  // one failed probe suffices, not threshold
+  EXPECT_EQ(breaker.state(), BreakerState::kOpen);
+}
+
+TEST(CircuitBreaker, OptionValidation) {
+  EXPECT_THROW(CircuitBreaker(options(0)), std::invalid_argument);
+  EXPECT_THROW(CircuitBreaker(options(1, 0.0)), std::invalid_argument);
+  EXPECT_THROW(CircuitBreaker(options(1, -1.0)), std::invalid_argument);
+}
+
+TEST(CircuitBreaker, StateNames) {
+  EXPECT_EQ(to_string(BreakerState::kClosed), "closed");
+  EXPECT_EQ(to_string(BreakerState::kOpen), "open");
+  EXPECT_EQ(to_string(BreakerState::kHalfOpen), "half_open");
+}
+
+}  // namespace
+}  // namespace anyqos::control

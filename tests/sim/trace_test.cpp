@@ -106,6 +106,12 @@ TEST(SimulationTracing, FlowEventsCarryRequestIdAndBandwidth) {
         EXPECT_GE(event.flow, 1u);
         EXPECT_DOUBLE_EQ(event.bandwidth_bps, 64'000.0);
         break;
+      case TraceEventKind::kShed:
+        // Shed requests consume an arrival sequence number but walk nothing.
+        EXPECT_EQ(event.flow, last_arrival_id + 1);
+        last_arrival_id = event.flow;
+        EXPECT_EQ(event.attempts, 0u);
+        break;
     }
   }
   EXPECT_GT(last_arrival_id, 0u);
