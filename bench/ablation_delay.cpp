@@ -77,10 +77,11 @@ Outcome run(const sim::ExperimentModel& model, double lambda, double deadline_s,
       }
     }
     if (decision.admitted) {
-      const core::DelayAdmissionDecision kept = decision;
       auto& controller = ac_for(request.source);
+      // Init-capture keeps the closure member mutable so des::Action can
+      // relocate it with a move instead of a reallocating copy.
       simulator.schedule_in(arrivals.draw_holding(),
-                            [&controller, kept] { controller.release(kept); });
+                            [&controller, kept = decision] { controller.release(kept); });
     }
   };
   simulator.schedule_in(arrivals.next_interarrival(), arrival);

@@ -59,10 +59,12 @@ double run_multipath(const sim::ExperimentModel& model, double lambda, std::size
       }
     }
     if (decision.admitted) {
-      const net::Path route = decision.route;
-      simulator.schedule_in(arrivals.draw_holding(), [&rsvp, route, &traffic] {
-        rsvp.teardown(route, traffic.flow_bandwidth_bps);
-      });
+      // Init-capture keeps the closure member mutable so des::Action can
+      // relocate it with a move instead of a reallocating copy.
+      simulator.schedule_in(arrivals.draw_holding(),
+                            [&rsvp, route = decision.route, &traffic] {
+                              rsvp.teardown(route, traffic.flow_bandwidth_bps);
+                            });
     }
   };
   simulator.schedule_in(arrivals.next_interarrival(), arrival);

@@ -163,10 +163,10 @@ RunStats run_custom(const net::Topology& topo, bool sticky,
     tries += decision.attempts;
     if (decision.admitted) {
       ++admitted;
-      const net::Path route = decision.route;
-      simulator.schedule_in(arrivals.draw_holding(), [&rsvp, route, &traffic] {
-        rsvp.teardown(route, traffic.flow_bandwidth_bps);
-      });
+      simulator.schedule_in(arrivals.draw_holding(),
+                            [&rsvp, route = decision.route, &traffic] {
+                              rsvp.teardown(route, traffic.flow_bandwidth_bps);
+                            });
     }
   };
   simulator.schedule_in(arrivals.next_interarrival(), arrival);

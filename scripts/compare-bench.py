@@ -7,8 +7,10 @@ Two signals are diffed, both from the anyqos-bench-engine/1 schema:
   * microbench.benchmarks[].real_time, keyed by name (lower is better)
 
 Regressions beyond --tolerance are reported. The default mode is warn-only
-(exit 0 regardless) because CI runners have noisy clocks; pass --strict to
-turn regressions into a nonzero exit for local A/B runs on quiet machines.
+(exit 0 on regressions) because CI runners have noisy clocks; pass --strict
+to turn regressions into a nonzero exit for local A/B runs on quiet
+machines. Missing or malformed input files are exit 2 in BOTH modes — a
+typo'd artifact path must fail the build, not silently "pass" the diff.
 
   scripts/compare-bench.py --baseline bench/BENCH_baseline.json \
       --current BENCH_engine.json [--tolerance 0.25] [--strict]
@@ -31,7 +33,10 @@ def load_record(path):
 def microbench_times(record):
     """name -> real_time (ns) for plain benchmarks (skip aggregates)."""
     times = {}
-    for bench in record["microbench"]["benchmarks"]:
+    benches = record.get("microbench", {}).get("benchmarks")
+    if not isinstance(benches, list):
+        raise ValueError("record has no microbench.benchmarks list")
+    for bench in benches:
         if bench.get("run_type", "iteration") != "iteration":
             continue
         times[bench["name"]] = float(bench["real_time"])
@@ -51,20 +56,31 @@ def main():
     if args.tolerance < 0:
         parser.error("--tolerance must be non-negative")
 
-    baseline = load_record(args.baseline)
-    current = load_record(args.current)
+    # Input problems are always fatal (exit 2), even in warn-only mode:
+    # warn-only covers noisy-clock *regressions*, never a comparison that
+    # silently never happened.
+    try:
+        baseline = load_record(args.baseline)
+        current = load_record(args.current)
+        base_times = microbench_times(baseline)
+        cur_times = microbench_times(current)
+        base_eps = float(baseline["engine"]["events_per_second"])
+        cur_eps = float(current["engine"]["events_per_second"])
+    except (OSError, ValueError, KeyError, TypeError, IndexError) as error:
+        print(f"ERROR: unusable benchmark record: {error}", file=sys.stderr)
+        return 2
+    if base_eps <= 0:
+        print(f"ERROR: {args.baseline}: non-positive baseline throughput",
+              file=sys.stderr)
+        return 2
     regressions = []
 
-    base_eps = float(baseline["engine"]["events_per_second"])
-    cur_eps = float(current["engine"]["events_per_second"])
     delta = (cur_eps - base_eps) / base_eps
     print(f"engine events_per_second: {base_eps:,.0f} -> {cur_eps:,.0f} ({delta:+.1%})")
     if delta < -args.tolerance:
         regressions.append(f"engine throughput fell {-delta:.1%} "
                            f"(tolerance {args.tolerance:.0%})")
 
-    base_times = microbench_times(baseline)
-    cur_times = microbench_times(current)
     for name in sorted(base_times):
         if name not in cur_times:
             print(f"microbench {name}: missing from current run")

@@ -11,8 +11,10 @@ reported as *when* and *which signal* drifted, not just "files differ":
 
 Values within --tolerance (absolute) are treated as equal; the default 0
 demands exact agreement, which is what same-seed determinism promises.
-The default mode is warn-only (exit 0 regardless) so CI can surface drift
-without blocking; pass --strict to turn any divergence into a nonzero exit.
+The default mode is warn-only (exit 0 on divergence) so CI can surface
+drift without blocking; pass --strict to turn any divergence into a nonzero
+exit. Missing, empty, or malformed timelines are exit 2 in BOTH modes — a
+typo'd artifact path must fail the build, not silently "pass" the diff.
 
   scripts/compare-timeline.py --baseline a.jsonl --current b.jsonl \
       [--tolerance 0.0] [--strict]
@@ -70,8 +72,21 @@ def main():
     if args.tolerance < 0:
         parser.error("--tolerance must be non-negative")
 
-    base_cols, base_samples = load_timeline(args.baseline)
-    cur_cols, cur_samples = load_timeline(args.current)
+    # Input problems are always fatal (exit 2), even in warn-only mode:
+    # warn-only covers *divergences*, never a comparison that silently never
+    # happened against a missing or garbled artifact.
+    try:
+        base_cols, base_samples = load_timeline(args.baseline)
+        cur_cols, cur_samples = load_timeline(args.current)
+    except (OSError, ValueError, IndexError) as error:
+        print(f"ERROR: unusable timeline: {error}", file=sys.stderr)
+        return 2
+    if not base_samples:
+        print(f"ERROR: {args.baseline}: no sample windows", file=sys.stderr)
+        return 2
+    if not cur_samples:
+        print(f"ERROR: {args.current}: no sample windows", file=sys.stderr)
+        return 2
 
     divergences = []
     if base_cols != cur_cols:

@@ -6,6 +6,11 @@
 #   scripts/run-tidy.sh --strict     # CI mode: missing clang-tidy is an error
 #   scripts/run-tidy.sh --fix        # apply suggested fixes in place
 #
+# Per-file check waivers come from scripts/tidy-suppressions.txt (format
+# documented there) — NOT from inline NOLINT comments, so every exemption
+# stays auditable in one place. A malformed or stale suppression entry fails
+# the run.
+#
 # A compile_commands.json is produced on demand in build/tidy/ so the script
 # works from a pristine checkout.
 set -euo pipefail
@@ -46,6 +51,52 @@ if [[ -z "${tidy}" ]]; then
   exit 0
 fi
 
+# Parse the tracked suppression file before spending any time on the build:
+# a bad entry should fail fast. Populates suppress_files[] / suppress_checks[]
+# as parallel arrays (bash 3 has no associative arrays on every platform).
+suppressions_file="${repo_root}/scripts/tidy-suppressions.txt"
+suppress_files=()
+suppress_checks=()
+if [[ -f "${suppressions_file}" ]]; then
+  lineno=0
+  while IFS= read -r line; do
+    lineno=$((lineno + 1))
+    # Strip comments and surrounding whitespace; skip blanks.
+    entry="${line%%#*}"
+    entry="$(echo "${entry}" | xargs || true)"
+    [[ -z "${entry}" ]] && continue
+    if [[ "${line}" != *"#"* ]]; then
+      echo "run-tidy: ${suppressions_file}:${lineno}: entry needs a '# reason' comment" >&2
+      exit 2
+    fi
+    if [[ "${entry}" != *:* ]]; then
+      echo "run-tidy: ${suppressions_file}:${lineno}: expected <path>:<check>" >&2
+      exit 2
+    fi
+    entry_path="${entry%%:*}"
+    entry_check="${entry#*:}"
+    if [[ ! -f "${repo_root}/${entry_path}" ]]; then
+      echo "run-tidy: ${suppressions_file}:${lineno}: stale entry, no such file ${entry_path}" >&2
+      exit 2
+    fi
+    suppress_files+=("${entry_path}")
+    suppress_checks+=("${entry_check}")
+  done < "${suppressions_file}"
+fi
+
+# Emit the extra --checks argument (possibly empty) for one source path.
+checks_arg_for() {
+  local source="$1" disabled="" i
+  for i in "${!suppress_files[@]}"; do
+    if [[ "${suppress_files[$i]}" == "${source}" ]]; then
+      disabled="${disabled},-${suppress_checks[$i]}"
+    fi
+  done
+  if [[ -n "${disabled}" ]]; then
+    echo "--checks=${disabled#,}"
+  fi
+}
+
 if [[ ! -f "${build_dir}/compile_commands.json" ]]; then
   cmake -S "${repo_root}" -B "${build_dir}" \
     -DCMAKE_BUILD_TYPE=Release \
@@ -57,10 +108,17 @@ fi
 # same style but are checked indirectly through the headers they include.
 mapfile -t sources < <(cd "${repo_root}" && find src -name '*.cpp' | sort)
 
-echo "run-tidy: ${tidy} over ${#sources[@]} files (config: .clang-tidy)"
+echo "run-tidy: ${tidy} over ${#sources[@]} files (config: .clang-tidy," \
+     "suppressions: $(basename "${suppressions_file}"), ${#suppress_files[@]} entries)"
 status=0
 for source in "${sources[@]}"; do
-  if ! "${tidy}" -p "${build_dir}" --quiet "${fix_args[@]}" \
+  extra_checks="$(checks_arg_for "${source}")"
+  extra_args=()
+  if [[ -n "${extra_checks}" ]]; then
+    extra_args=("${extra_checks}")
+    echo "run-tidy: ${source}: waived ${extra_checks#--checks=}"
+  fi
+  if ! "${tidy}" -p "${build_dir}" --quiet "${extra_args[@]}" "${fix_args[@]}" \
       "${repo_root}/${source}"; then
     status=1
     echo "run-tidy: FAILED ${source}" >&2

@@ -1,11 +1,13 @@
+// detlint: hot-path
 // Pending-event set for the discrete-event simulator.
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <queue>
 #include <unordered_map>
 #include <vector>
+
+#include "src/des/action.h"
 
 namespace anyqos::des {
 
@@ -20,7 +22,9 @@ struct EventHandle {
 /// Cancellation is lazy (tombstoned) so it stays O(log n) amortized.
 class EventQueue {
  public:
-  using Action = std::function<void()>;
+  /// Scheduled callbacks are des::Action — inline storage, move-only, no
+  /// type-erased std::function on the hot path (DESIGN.md §12, rule 5).
+  using Action = des::Action;
 
   /// Schedules `action` at absolute time `time`; returns a cancellation handle.
   EventHandle schedule(double time, Action action);

@@ -1,3 +1,4 @@
+// detlint: hot-path
 // Event-driven simulation kernel.
 //
 // Replaces the paper's Mesquite CSIM (process-oriented, commercial) with an
@@ -5,23 +6,44 @@
 // schedules closures at absolute or relative virtual times; `run` dispatches
 // them in timestamp order. Single-threaded by design — determinism matters
 // more than parallelism at this model size.
+//
+// A Simulator instance is fully self-contained: it owns its clock, its
+// pending-event set, and its randomness (a SeedSequence every model stream
+// derives from). Nothing in the kernel reads global state or the host
+// clock, so two instances at the same seed replay byte-identically and many
+// instances can run side by side — the isolation contract conservative
+// parallel DES builds on (DESIGN.md §12).
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <limits>
+#include <string_view>
 
 #include "src/des/event_queue.h"
+#include "src/des/random.h"
 
 namespace anyqos::des {
 
-/// The simulation kernel: owns the virtual clock and the pending-event set.
+/// The simulation kernel: owns the virtual clock, the pending-event set, and
+/// the per-instance seed universe.
 class Simulator {
  public:
   using Action = EventQueue::Action;
 
+  /// `seed` is this instance's RNG master seed: every stochastic component
+  /// of a model must draw from a stream derived via seeds()/stream(), never
+  /// from an engine it constructed itself (DESIGN.md §12, rule 2).
+  explicit Simulator(std::uint64_t seed = 0) : seeds_(seed) {}
+
   /// Current virtual time (seconds). Starts at 0.
   [[nodiscard]] double now() const { return now_; }
+
+  /// The per-instance seed universe model streams derive from.
+  [[nodiscard]] const SeedSequence& seeds() const { return seeds_; }
+  /// A fresh named stream from this instance's seed universe.
+  [[nodiscard]] RandomStream stream(std::string_view name) const {
+    return seeds_.stream(name);
+  }
 
   /// Schedules `action` at absolute virtual time `time` (>= now()).
   EventHandle schedule_at(double time, Action action);
@@ -52,6 +74,7 @@ class Simulator {
   [[nodiscard]] std::size_t peak_pending_events() const { return peak_pending_; }
 
  private:
+  SeedSequence seeds_;
   EventQueue queue_;
   double now_ = 0.0;
   std::uint64_t dispatched_ = 0;

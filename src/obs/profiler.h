@@ -13,7 +13,7 @@
 // virtual-time behaviour is untouched — the profiler only spends wall time.
 #pragma once
 
-#include <chrono>
+#include <chrono>  // wall-clock throughput profiling; see ALLOW notes below
 #include <cstdint>
 #include <functional>
 #include <iosfwd>

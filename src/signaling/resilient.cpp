@@ -4,6 +4,7 @@
 #include <cmath>
 #include <vector>
 
+#include "src/util/annotations.h"
 #include "src/util/require.h"
 
 namespace anyqos::signaling {
@@ -26,6 +27,7 @@ ResilientReservationProtocol::~ResilientReservationProtocol() {
   // Orphan timers capture `this`; cancel them so a reclaim cannot fire into
   // a destroyed protocol if the simulator keeps running. The bandwidth stays
   // reserved — whoever destroys the protocol mid-run owns that state.
+  ANYQOS_DETLINT_ALLOW(unordered_artifact_iteration, "order-insensitive cancel");
   for (auto& [id, orphan] : orphans_) {
     simulator_->cancel(orphan.timer);
   }
@@ -210,6 +212,7 @@ void ResilientReservationProtocol::on_link_failing(net::LinkId id) {
   // State crossing a dying link vanishes with the link; reclaim now so the
   // ledger's fail_link() precondition (nothing reserved) holds.
   std::vector<std::uint64_t> crossing;
+  ANYQOS_DETLINT_ALLOW(unordered_artifact_iteration, "sorted-key extraction");
   for (const auto& [orphan_id, orphan] : orphans_) {
     if (std::find(orphan.route.links.begin(), orphan.route.links.end(), id) !=
         orphan.route.links.end()) {
@@ -231,6 +234,7 @@ double ResilientReservationProtocol::consume_pending_wait() {
 
 net::Bandwidth ResilientReservationProtocol::orphaned_bandwidth_bps() const {
   net::Bandwidth total = 0.0;
+  ANYQOS_DETLINT_ALLOW(unordered_artifact_iteration, "order-insensitive sum");
   for (const auto& [id, orphan] : orphans_) {
     total += orphan.bandwidth;
   }
@@ -240,6 +244,7 @@ net::Bandwidth ResilientReservationProtocol::orphaned_bandwidth_bps() const {
 std::size_t ResilientReservationProtocol::reclaim_pending() {
   std::vector<std::uint64_t> ids;
   ids.reserve(orphans_.size());
+  ANYQOS_DETLINT_ALLOW(unordered_artifact_iteration, "sorted-key extraction");
   for (const auto& [id, orphan] : orphans_) {
     ids.push_back(id);
   }

@@ -1,5 +1,9 @@
 #include "src/signaling/soft_state.h"
 
+#include <algorithm>
+#include <vector>
+
+#include "src/util/annotations.h"
 #include "src/util/require.h"
 
 namespace anyqos::signaling {
@@ -80,7 +84,17 @@ bool SoftStateManager::alive(SessionId id) const {
 
 void SoftStateManager::for_each_session(
     const std::function<void(const SessionView&)>& fn) const {
+  // Callers feed artifacts (auditor reports, monitoring dumps), so the visit
+  // order must not depend on hash-table layout: sorted-key extraction.
+  std::vector<SessionId> ids;
+  ids.reserve(sessions_.size());
+  ANYQOS_DETLINT_ALLOW(unordered_artifact_iteration, "sorted-key extraction");
   for (const auto& [id, session] : sessions_) {
+    ids.push_back(id);
+  }
+  std::sort(ids.begin(), ids.end());
+  for (const SessionId id : ids) {
+    const Session& session = sessions_.at(id);
     SessionView view;
     view.id = id;
     view.route = &session.route;

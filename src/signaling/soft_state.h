@@ -71,8 +71,9 @@ class SoftStateManager {
   /// Sessions that timed out over the manager's lifetime.
   [[nodiscard]] std::uint64_t expired_count() const { return expired_; }
 
-  /// Invokes `fn` once per live session (iteration order unspecified).
-  /// `fn` must not install or remove sessions.
+  /// Invokes `fn` once per live session in ascending id order (artifact
+  /// paths depend on this determinism). `fn` must not install or remove
+  /// sessions.
   void for_each_session(const std::function<void(const SessionView&)>& fn) const;
 
   /// The configuration this manager runs under.

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "src/util/annotations.h"
 #include "src/util/require.h"
 
 namespace anyqos::sim {
@@ -31,6 +32,7 @@ const ActiveFlow& FlowTable::get(FlowId id) const {
 
 std::vector<FlowId> FlowTable::flows_using_link(net::LinkId link) const {
   std::vector<FlowId> ids;
+  ANYQOS_DETLINT_ALLOW(unordered_artifact_iteration, "sorted-key extraction");
   for (const auto& [id, flow] : flows_) {
     if (std::find(flow.route.links.begin(), flow.route.links.end(), link) !=
         flow.route.links.end()) {
@@ -43,6 +45,7 @@ std::vector<FlowId> FlowTable::flows_using_link(net::LinkId link) const {
 
 std::vector<FlowId> FlowTable::flows_to_member(std::size_t destination_index) const {
   std::vector<FlowId> ids;
+  ANYQOS_DETLINT_ALLOW(unordered_artifact_iteration, "sorted-key extraction");
   for (const auto& [id, flow] : flows_) {
     if (flow.destination_index == destination_index) {
       ids.push_back(id);
@@ -55,6 +58,7 @@ std::vector<FlowId> FlowTable::flows_to_member(std::size_t destination_index) co
 void FlowTable::for_each(const std::function<void(const ActiveFlow&)>& visit) const {
   std::vector<FlowId> ids;
   ids.reserve(flows_.size());
+  ANYQOS_DETLINT_ALLOW(unordered_artifact_iteration, "sorted-key extraction");
   for (const auto& [id, flow] : flows_) {
     ids.push_back(id);
   }

@@ -13,12 +13,12 @@ MultiGroupSimulation::MultiGroupSimulation(const net::Topology& topology,
       ledger_(topology, config_.anycast_share),
       rsvp_(ledger_, counter_),
       probe_(ledger_, counter_),
-      seeds_(config_.seed),
-      arrival_rng_(seeds_.stream("arrivals")),
-      source_rng_(seeds_.stream("sources")),
-      holding_rng_(seeds_.stream("holding")),
-      group_rng_(seeds_.stream("groups")),
-      selection_rng_(seeds_.stream("selection")) {
+      simulator_(config_.seed),
+      arrival_rng_(simulator_.stream("arrivals")),
+      source_rng_(simulator_.stream("sources")),
+      holding_rng_(simulator_.stream("holding")),
+      group_rng_(simulator_.stream("groups")),
+      selection_rng_(simulator_.stream("selection")) {
   util::require(config_.total_arrival_rate > 0.0, "arrival rate must be positive");
   util::require(config_.mean_holding_s > 0.0, "holding time must be positive");
   util::require(!config_.sources.empty(), "need at least one source");

@@ -92,8 +92,7 @@ class MultiGroupSimulation {
   signaling::MessageCounter counter_;
   signaling::ReservationProtocol rsvp_;
   signaling::ProbeService probe_;
-  des::SeedSequence seeds_;
-  des::Simulator simulator_;
+  des::Simulator simulator_;  ///< owns this run's seed universe (DESIGN.md §12)
   des::RandomStream arrival_rng_;
   des::RandomStream source_rng_;
   des::RandomStream holding_rng_;

@@ -26,11 +26,11 @@ Simulation::Simulation(const net::Topology& topology, SimulationConfig config)
       group_("anycast://sim", checked_members(config_.group_members)),
       ledger_(topology, config_.anycast_share),
       routes_(topology, config_.group_members),
-      seeds_(config_.seed),
-      control_rng_(seeds_.stream("control-plane")),
+      simulator_(config_.seed),
+      control_rng_(simulator_.stream("control-plane")),
       probe_(ledger_, counter_),
-      arrivals_(config_.traffic, seeds_),
-      selection_rng_(seeds_.stream("selection")),
+      arrivals_(config_.traffic, simulator_.seeds()),
+      selection_rng_(simulator_.stream("selection")),
       metrics_(group_.size(), config_.ci_batches),
       link_utilization_(topology.link_count()) {
   util::require(config_.warmup_s >= 0.0, "warmup must be non-negative");

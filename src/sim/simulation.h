@@ -245,7 +245,9 @@ class Simulation {
   net::BandwidthLedger ledger_;
   net::RouteTable routes_;
   signaling::MessageCounter counter_;
-  des::SeedSequence seeds_;
+  /// The kernel owns this run's seed universe: every stream below derives
+  /// from simulator_.seeds(), so the (simulator, model) pair is fully
+  /// isolated — no RNG state outside the instance (DESIGN.md §12).
   des::Simulator simulator_;
   /// Loss, jitter, and backoff draws for the resilient signaling plane.
   /// Declared (and therefore constructed) before rsvp_, which captures it.

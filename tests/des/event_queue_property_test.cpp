@@ -86,7 +86,7 @@ TEST_P(EventQueueDifferential, MatchesReferenceUnderRandomWorkload) {
       ASSERT_EQ(cancelled_real, cancelled_ref);
     } else {
       // Pop from both; same event must fire.
-      const auto fired = queue.pop();
+      auto fired = queue.pop();
       fired.action();
       const auto [ref_time, ref_id] = reference.pop();
       fired_ref.push_back(ref_id);

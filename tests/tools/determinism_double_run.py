@@ -1,0 +1,87 @@
+#!/usr/bin/env python3
+"""Dynamic determinism regression: run dacsim twice at one seed, byte-compare.
+
+The determinism contract (DESIGN.md §12) is enforced statically by
+tools/detlint; this test enforces it dynamically: two runs of the same
+configuration must produce byte-identical artifacts — the event trace CSV
+and the windowed timeline JSONL. A rule-4 violation (hash-order reaching an
+artifact) or any hidden global/RNG/wall-clock leak shows up here as a byte
+diff even if the static pass missed it.
+
+Usage: determinism_double_run.py <path-to-dacsim> [workdir]
+Registered via ctest (see examples/CMakeLists.txt).
+"""
+
+import filecmp
+import os
+import subprocess
+import sys
+import tempfile
+
+ARGS = [
+    "--lambda=25", "--warmup=100", "--measure=600", "--seed=11",
+    "--fault-rate=0.0003", "--churn-rate=0.002",
+    "--timeline-interval=50",
+]
+
+
+def run_once(dacsim, workdir, tag):
+    trace = os.path.join(workdir, f"trace-{tag}.csv")
+    timeline = os.path.join(workdir, f"timeline-{tag}.jsonl")
+    cmd = [dacsim, *ARGS, f"--trace={trace}", f"--timeline-out={timeline}"]
+    proc = subprocess.run(cmd, capture_output=True, text=True)
+    if proc.returncode != 0:
+        sys.stderr.write(proc.stdout + proc.stderr)
+        raise SystemExit(f"dacsim run {tag} failed with {proc.returncode}")
+    for artifact in (trace, timeline):
+        if not os.path.exists(artifact) or os.path.getsize(artifact) == 0:
+            raise SystemExit(f"dacsim run {tag} left no artifact {artifact}")
+    return trace, timeline
+
+
+def first_diff(path_a, path_b):
+    with open(path_a, "rb") as fa, open(path_b, "rb") as fb:
+        for lineno, (line_a, line_b) in enumerate(zip(fa, fb), start=1):
+            if line_a != line_b:
+                return (lineno, line_a.decode(errors="replace").rstrip(),
+                        line_b.decode(errors="replace").rstrip())
+    return None
+
+
+def main():
+    if len(sys.argv) < 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    dacsim = sys.argv[1]
+    if not os.path.exists(dacsim):
+        print(f"determinism_double_run: no such binary {dacsim}", file=sys.stderr)
+        return 2
+    workdir = sys.argv[2] if len(sys.argv) > 2 else tempfile.mkdtemp(
+        prefix="anyqos-determinism-")
+    os.makedirs(workdir, exist_ok=True)
+
+    trace_a, timeline_a = run_once(dacsim, workdir, "a")
+    trace_b, timeline_b = run_once(dacsim, workdir, "b")
+
+    failures = []
+    for label, a, b in (("trace", trace_a, trace_b),
+                        ("timeline", timeline_a, timeline_b)):
+        if filecmp.cmp(a, b, shallow=False):
+            print(f"determinism: {label} byte-identical "
+                  f"({os.path.getsize(a)} bytes)")
+            continue
+        diff = first_diff(a, b)
+        where = (f"line {diff[0]}:\n  run a: {diff[1]}\n  run b: {diff[2]}"
+                 if diff else "file sizes differ")
+        failures.append(f"{label} artifacts diverge at {where}")
+
+    if failures:
+        for failure in failures:
+            print(f"DETERMINISM VIOLATION: {failure}", file=sys.stderr)
+        return 1
+    print("determinism: double run OK (same seed => same bytes)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

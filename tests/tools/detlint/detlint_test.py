@@ -1,0 +1,132 @@
+#!/usr/bin/env python3
+"""Golden-fixture tests for tools/detlint.
+
+Each fixture tree under fixtures/ is a miniature repository (a src/
+directory) probing one rule: a positive file that must fire, a suppressed
+file whose ANYQOS_DETLINT_ALLOW must silence the finding (with its reason
+surfaced in the report), and a clean file that must stay quiet. The hygiene
+tree checks the suppression mechanism itself (unused / empty-reason /
+unknown-rule ALLOWs are findings). Run directly or through ctest.
+"""
+
+import json
+import os
+import subprocess
+import sys
+import unittest
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+REPO_ROOT = os.path.normpath(os.path.join(HERE, "..", "..", ".."))
+DETLINT = os.path.join(REPO_ROOT, "tools", "detlint", "detlint.py")
+FIXTURES = os.path.join(HERE, "fixtures")
+
+
+def run_detlint(tree):
+    proc = subprocess.run(
+        [sys.executable, DETLINT, "--root", os.path.join(FIXTURES, tree),
+         "--format", "json"],
+        capture_output=True, text=True)
+    try:
+        report = json.loads(proc.stdout)
+    except json.JSONDecodeError as error:  # pragma: no cover - debugging aid
+        raise AssertionError(
+            f"detlint emitted invalid JSON for {tree}:\n{proc.stdout}\n"
+            f"{proc.stderr}") from error
+    return proc.returncode, report
+
+
+def findings_for(report, filename):
+    return [f for f in report["findings"] if f["file"].endswith(filename)]
+
+
+class RuleFixtureTest(unittest.TestCase):
+    """One (tree, rule) pair per detlint rule: positive + suppressed + clean."""
+
+    CASES = {
+        "global_state": ("global-state", ".cpp", 2, 2),
+        "rng_ownership": ("rng-ownership", ".cpp", 3, 1),
+        "wall_clock": ("wall-clock", ".cpp", 2, 1),
+        "unordered": ("unordered-artifact-iteration", ".cpp", 1, 1),
+        "hot_path": ("hot-path-std-function", ".h", 2, 2),
+    }
+
+    def check_tree(self, tree, rule, ext, n_positive, n_suppressed):
+        code, report = run_detlint(tree)
+        self.assertEqual(code, 1, f"{tree}: positive findings must fail the run")
+
+        positive = findings_for(report, "positive" + ext)
+        self.assertEqual(len(positive), n_positive,
+                         f"{tree}: expected {n_positive} findings in the "
+                         f"positive file, got {json.dumps(positive, indent=2)}")
+        for finding in positive:
+            self.assertEqual(finding["rule"], rule)
+            self.assertFalse(finding["suppressed"])
+
+        suppressed = findings_for(report, "suppressed" + ext)
+        self.assertEqual(len(suppressed), n_suppressed,
+                         f"{tree}: expected {n_suppressed} suppressed "
+                         f"findings, got {json.dumps(suppressed, indent=2)}")
+        for finding in suppressed:
+            self.assertEqual(finding["rule"], rule)
+            self.assertTrue(finding["suppressed"],
+                            f"{tree}: ALLOW did not suppress {finding}")
+            self.assertTrue(finding["reason"].strip(),
+                            f"{tree}: suppression lost its reason")
+
+        clean = findings_for(report, "clean" + ext)
+        self.assertEqual(clean, [],
+                         f"{tree}: clean file fired {json.dumps(clean, indent=2)}")
+
+        # The suppressed file alone must not fail: unsuppressed findings all
+        # come from the positive file.
+        unsuppressed = [f for f in report["findings"] if not f["suppressed"]]
+        self.assertTrue(all(f["file"].endswith("positive" + ext)
+                            for f in unsuppressed),
+                        f"{tree}: unexpected unsuppressed findings "
+                        f"{json.dumps(unsuppressed, indent=2)}")
+
+    def test_rule_fixtures(self):
+        for tree, (rule, ext, n_pos, n_sup) in self.CASES.items():
+            with self.subTest(tree=tree):
+                self.check_tree(tree, rule, ext, n_pos, n_sup)
+
+
+class SuppressionHygieneTest(unittest.TestCase):
+    def test_hygiene_tree_fails(self):
+        code, report = run_detlint("hygiene")
+        self.assertEqual(code, 1)
+
+        unused = findings_for(report, "unused_allow.cpp")
+        self.assertEqual(len(unused), 1)
+        self.assertIn("unused", unused[0]["message"])
+
+        empty = findings_for(report, "empty_reason.cpp")
+        self.assertEqual(len(empty), 1)
+        self.assertIn("empty reason", empty[0]["message"])
+
+        unknown = findings_for(report, "unknown_rule.cpp")
+        self.assertEqual(len(unknown), 1)
+        self.assertIn("unknown rule", unknown[0]["message"])
+
+
+class RealTreeTest(unittest.TestCase):
+    """The repository's own src/ must be clean: zero unsuppressed findings,
+    and every surviving suppression carries a reason."""
+
+    def test_src_tree_is_clean(self):
+        proc = subprocess.run(
+            [sys.executable, DETLINT, "--root", REPO_ROOT, "--format", "json"],
+            capture_output=True, text=True)
+        report = json.loads(proc.stdout)
+        unsuppressed = [f for f in report["findings"] if not f["suppressed"]]
+        self.assertEqual(
+            proc.returncode, 0,
+            "detlint must pass on the tree; unsuppressed findings:\n" +
+            json.dumps(unsuppressed, indent=2))
+        for finding in report["findings"]:
+            self.assertTrue(finding.get("reason", "").strip(),
+                            f"suppression without a reason: {finding}")
+
+
+if __name__ == "__main__":
+    unittest.main(verbosity=2)

@@ -1,0 +1,12 @@
+// Fixture: immutable globals, static member functions, and instance state
+// must not fire rule global-state.
+namespace fixture {
+constexpr int kLimit = 8;
+const double kShare = 0.2;
+static constexpr int kBatch = 20;
+struct Widget {
+  static Widget uniform(int k);
+  int count = 0;
+};
+void bump(Widget& w) { ++w.count; }
+}  // namespace fixture

@@ -1,0 +1,10 @@
+// Fixture: rule global-state must fire on namespace-scope and function-local
+// mutable state.
+namespace fixture {
+int request_counter = 0;
+void bump() {
+  static int calls = 0;
+  ++calls;
+  ++request_counter;
+}
+}  // namespace fixture

@@ -1,0 +1,10 @@
+// Fixture: a documented ALLOW silences rule global-state.
+namespace fixture {
+ANYQOS_DETLINT_ALLOW(global_state, "fixture: intentional global for testing");
+int request_counter = 0;
+void bump() {
+  ANYQOS_DETLINT_ALLOW(global_state, "fixture: memoized pure lookup");
+  static int calls = 0;
+  ++calls;
+}
+}  // namespace fixture

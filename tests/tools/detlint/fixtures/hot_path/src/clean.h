@@ -1,0 +1,10 @@
+// detlint: hot-path
+// Fixture: a hot-path file with inline callables only must stay clean.
+#pragma once
+namespace fixture {
+struct Action {
+  void (*invoke)(void*) = nullptr;
+  void* state = nullptr;
+  void operator()() { invoke(state); }
+};
+}  // namespace fixture

@@ -1,0 +1,7 @@
+// detlint: hot-path
+// Fixture: std::function in a hot-path-annotated file must fire.
+#pragma once
+#include <functional>
+namespace fixture {
+using Callback = std::function<void()>;
+}  // namespace fixture

@@ -1,0 +1,10 @@
+// detlint: hot-path
+// Fixture: documented ALLOWs silence rule hot-path-std-function, including
+// the comment form for positions where a statement cannot appear.
+#pragma once
+// ANYQOS_DETLINT_ALLOW(hot_path_std_function, "fixture: cold include seam")
+#include <functional>
+namespace fixture {
+ANYQOS_DETLINT_ALLOW(hot_path_std_function, "fixture: cold registration API");
+using Callback = std::function<void()>;
+}  // namespace fixture

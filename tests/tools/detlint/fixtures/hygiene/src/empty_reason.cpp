@@ -1,0 +1,5 @@
+// Fixture: an ALLOW with an empty reason is rejected.
+namespace fixture {
+ANYQOS_DETLINT_ALLOW(wall_clock, "");
+constexpr int kFine = 1;
+}  // namespace fixture

@@ -1,0 +1,5 @@
+// Fixture: an ALLOW naming an unknown rule is rejected.
+namespace fixture {
+ANYQOS_DETLINT_ALLOW(made_up_rule, "fixture: no such rule exists");
+constexpr int kFine = 1;
+}  // namespace fixture

@@ -1,0 +1,5 @@
+// Fixture: an ALLOW with no finding under it is itself a finding.
+namespace fixture {
+ANYQOS_DETLINT_ALLOW(wall_clock, "fixture: nothing here reads a clock");
+constexpr int kFine = 1;
+}  // namespace fixture

@@ -1,0 +1,10 @@
+// Fixture: distributions fed by an injected stream are the supported idiom.
+#include <random>
+namespace fixture {
+struct Stream { unsigned long long next(); };
+double draw(Stream& stream) {
+  std::uniform_real_distribution<double> uniform(0.0, 1.0);
+  (void)uniform;
+  return static_cast<double>(stream.next());  // rng comes from the simulator
+}
+}  // namespace fixture

@@ -1,0 +1,9 @@
+// Fixture: engine construction and C rand() outside src/des/random must fire.
+#include <random>
+namespace fixture {
+int draw() {
+  std::mt19937 gen(42);
+  std::random_device entropy;
+  return static_cast<int>(gen() + entropy() + rand());
+}
+}  // namespace fixture

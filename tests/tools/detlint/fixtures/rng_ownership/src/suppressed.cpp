@@ -1,0 +1,9 @@
+// Fixture: a documented ALLOW silences rule rng-ownership.
+#include <random>
+namespace fixture {
+int draw() {
+  ANYQOS_DETLINT_ALLOW(rng_ownership, "fixture: deliberate engine for testing");
+  std::mt19937 gen(42);
+  return static_cast<int>(gen());
+}
+}  // namespace fixture

@@ -1,0 +1,17 @@
+// Fixture: ordered maps and keyed unordered lookups must not fire.
+#include <map>
+#include <unordered_map>
+namespace fixture {
+struct Writer {
+  std::map<int, double> ordered_;
+  std::unordered_map<int, double> index_;
+  double dump(int key) {
+    double total = 0.0;
+    for (const auto& [k, value] : ordered_) {
+      total += value + k;
+    }
+    const auto it = index_.find(key);  // keyed access: order-free
+    return it == index_.end() ? total : total + it->second;
+  }
+};
+}  // namespace fixture

@@ -1,0 +1,14 @@
+// Fixture: unordered iteration in an artifact-path file must fire.
+#include <unordered_map>
+namespace fixture {
+struct Writer {
+  std::unordered_map<int, double> cells_;
+  double dump() {
+    double total = 0.0;
+    for (const auto& [key, value] : cells_) {
+      total += value + key;
+    }
+    return total;
+  }
+};
+}  // namespace fixture

@@ -1,0 +1,18 @@
+// Fixture: a documented ALLOW (sorted-key extraction) silences the rule.
+#include <algorithm>
+#include <unordered_map>
+#include <vector>
+namespace fixture {
+struct Writer {
+  std::unordered_map<int, double> cells_;
+  std::vector<int> sorted_keys() {
+    std::vector<int> keys;
+    ANYQOS_DETLINT_ALLOW(unordered_artifact_iteration, "sorted-key extraction");
+    for (const auto& [key, value] : cells_) {
+      keys.push_back(key);
+    }
+    std::sort(keys.begin(), keys.end());
+    return keys;
+  }
+};
+}  // namespace fixture

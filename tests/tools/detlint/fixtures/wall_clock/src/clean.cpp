@@ -1,0 +1,7 @@
+// Fixture: DES-clock reads and identifiers containing "time" must not fire.
+namespace fixture {
+struct Simulator { double now() const; double next_time() const; };
+double sample(const Simulator& sim) {
+  return sim.now() + sim.next_time();  // the only clock is the DES clock
+}
+}  // namespace fixture

@@ -1,0 +1,10 @@
+// Fixture: host clock reads must fire rule wall-clock.
+#include <chrono>
+#include <ctime>
+namespace fixture {
+double sample() {
+  const auto wall = std::chrono::steady_clock::now();
+  const auto stamp = time(nullptr);
+  return static_cast<double>(stamp) + wall.time_since_epoch().count();
+}
+}  // namespace fixture
