@@ -26,9 +26,11 @@
 #include <vector>
 
 #include "src/audit/auditor.h"
+#include "src/control/directive.h"
 #include "src/control/governor.h"
 #include "src/net/topologies.h"
 #include "src/obs/flight_recorder.h"
+#include "src/obs/ops_server.h"
 #include "src/obs/registry.h"
 #include "src/obs/span.h"
 #include "src/obs/timeline.h"
@@ -147,6 +149,10 @@ int main(int argc, char** argv) {
   flags.add_string("timeline-prefix", "",
                    "write each cell's windowed timeline to <prefix>-cell<N>.jsonl");
   flags.add_double("timeline-interval", 50.0, "simulated seconds between timeline samples");
+  flags.add_string("ops-port", "",
+                   "serve the live ops plane on this TCP port (0 = ephemeral); one server for"
+                   " the whole matrix, every series carries the running cell's cell=<n> label;"
+                   " POST /control steers the governor and needs --adaptive");
   flags.parse(argc, argv);
   if (flags.help_requested()) {
     std::cout << flags.help_text();
@@ -177,6 +183,51 @@ int main(int argc, char** argv) {
   std::size_t timeline_files = 0;
 
   const bool adaptive = flags.get_bool("adaptive");
+
+  // One ops server spans the whole matrix: each cell re-publishes /metrics
+  // with its own cell=<n> label, so a scraper watching the sweep sees the
+  // running cell. The mailbox only drains into cells that carry a governor.
+  control::DirectiveMailbox ops_mailbox;
+  std::unique_ptr<obs::OpsServer> ops_server;
+  if (!flags.get_string("ops-port").empty()) {
+    const auto port = util::parse_unsigned(flags.get_string("ops-port"));
+    util::require(port.has_value() && *port <= 65'535,
+                  "--ops-port must be a TCP port number (0 = ephemeral)");
+    obs::OpsServerOptions server_options;
+    server_options.port = static_cast<std::uint16_t>(*port);
+    ops_server = std::make_unique<obs::OpsServer>(server_options);
+    if (adaptive) {
+      ops_server->set_control_handler(
+          [&ops_mailbox](const std::string& knob_name, const std::string& body) {
+            obs::ControlOutcome outcome;
+            const std::optional<control::Knob> knob = control::parse_knob(knob_name);
+            if (!knob.has_value()) {
+              outcome.status = 404;
+              outcome.body = "{\"error\":\"unknown knob '" + util::json_escape(knob_name) +
+                             "'\"}\n";
+              return outcome;
+            }
+            const std::optional<double> value = util::parse_double(util::trim(body));
+            if (!value.has_value()) {
+              outcome.status = 422;
+              outcome.body = "{\"error\":\"body must be a single number\"}\n";
+              return outcome;
+            }
+            if (const auto error = control::validate_directive(*knob, *value)) {
+              outcome.status = 422;
+              outcome.body = "{\"error\":\"" + util::json_escape(*error) + "\"}\n";
+              return outcome;
+            }
+            ops_mailbox.post({*knob, *value});
+            outcome.body = "{\"queued\":{\"knob\":\"" + control::to_string(*knob) + "\"}}\n";
+            return outcome;
+          });
+    }
+    ops_server->start();
+    std::cout << "ops server        http://127.0.0.1:" << ops_server->port()
+              << "  (one server, cell=<n> labels)" << std::endl;
+  }
+
   util::TablePrinter table({"loss", "churn/s", "faults", "AP", "retx", "orphans", "dropped",
                             "failover", "governor", "verdict"});
   std::ostringstream csv;
@@ -257,6 +308,14 @@ int main(int argc, char** argv) {
           governor_options.breaker.cooldown_s = 30.0;
           governor = std::make_unique<control::OverloadGovernor>(governor_options);
           config.governor = governor.get();
+        }
+
+        if (ops_server != nullptr) {
+          config.ops_server = ops_server.get();
+          config.ops_labels = {{"cell", std::to_string(cell)}};
+          if (governor != nullptr) {
+            config.ops_mailbox = &ops_mailbox;
+          }
         }
 
         std::unique_ptr<obs::Timeline> timeline;
@@ -409,6 +468,11 @@ int main(int argc, char** argv) {
   if (timeline_files > 0) {
     std::cout << "timelines written to " << flags.get_string("timeline-prefix")
               << "-cell<N>.jsonl (" << timeline_files << " cells)\n";
+  }
+  if (ops_server != nullptr) {
+    ops_server->stop();
+    std::cout << "ops server        " << ops_server->requests_served()
+              << " requests served across the matrix\n";
   }
   return failures == 0 ? 0 : 1;
 }

@@ -14,9 +14,11 @@
 #include <iostream>
 
 #include "src/audit/auditor.h"
+#include "src/control/directive.h"
 #include "src/control/governor.h"
 #include "src/net/topology_io.h"
 #include "src/obs/flight_recorder.h"
+#include "src/obs/ops_server.h"
 #include "src/obs/profiler.h"
 #include "src/obs/registry.h"
 #include "src/obs/span.h"
@@ -130,6 +132,10 @@ int main(int argc, char** argv) {
   flags.add_bool("profile", false, "print engine profiling summary after the run");
   flags.add_string("profile-out", "", "write the profiling summary + samples as JSON");
   flags.add_double("profile-interval", 50.0, "sim seconds between profiler checkpoints");
+  flags.add_string("ops-port", "", "serve the live ops plane on this TCP port (0 = ephemeral)");
+  flags.add_string("ops-log", "", "append applied control directives here (JSONL)");
+  flags.add_string("ops-replay", "", "re-apply a recorded ops log (serverless re-run)");
+  flags.add_double("ops-interval", 50.0, "simulated seconds between ops polls");
   flags.parse(argc, argv);
   if (flags.help_requested()) {
     std::cout << flags.help_text();
@@ -182,21 +188,94 @@ int main(int argc, char** argv) {
   config.failover_readmit = flags.get_bool("failover");
   config.drain_to_quiescence = flags.get_bool("drain");
 
+  const std::string ops_port = flags.get_string("ops-port");
+  const std::string ops_replay_path = flags.get_string("ops-replay");
+  util::require(ops_port.empty() || ops_replay_path.empty(),
+                "--ops-port and --ops-replay are mutually exclusive (a replay is serverless)");
+  const bool ops_plane =
+      !ops_port.empty() || !ops_replay_path.empty() || !flags.get_string("ops-log").empty();
+
   std::unique_ptr<control::OverloadGovernor> governor;
-  if (flags.get_bool("adaptive") || flags.get_bool("breaker") ||
-      flags.get_double("shed-budget") > 0.0) {
+  const bool governor_flags = flags.get_bool("adaptive") || flags.get_bool("breaker") ||
+                              flags.get_double("shed-budget") > 0.0;
+  if (governor_flags || ops_plane) {
     util::require(!config.use_gdi, "the overload governor requires a DAC run (not --gdi)");
     control::GovernorOptions governor_options;
     governor_options.window_s = flags.get_double("governor-window");
-    governor_options.adaptive_retrial = flags.get_bool("adaptive");
+    // The ops plane steers through the governor, so an ops-enabled run gets
+    // one even without governor flags — then with both mechanisms engaged.
+    governor_options.adaptive_retrial = governor_flags ? flags.get_bool("adaptive") : true;
     governor_options.min_tries = flags.get_unsigned("min-retries");
-    governor_options.member_breakers = flags.get_bool("breaker");
+    governor_options.member_breakers = governor_flags ? flags.get_bool("breaker") : true;
     governor_options.breaker.failure_threshold = flags.get_unsigned("breaker-threshold");
     governor_options.breaker.cooldown_s = flags.get_double("breaker-cooldown");
     governor_options.shed_budget_msgs_per_s = flags.get_double("shed-budget");
     governor_options.shed_burst_msgs = flags.get_double("shed-burst");
     governor = std::make_unique<control::OverloadGovernor>(governor_options);
     config.governor = governor.get();
+  }
+
+  // --- Live ops plane (DESIGN.md §13) ---
+  // The mailbox outlives the server: the accept thread's control handler
+  // posts into it, so it must be destroyed after the server joins.
+  control::DirectiveMailbox ops_mailbox;
+  std::ofstream ops_log_file;
+  std::unique_ptr<control::OpsLogWriter> ops_log;
+  std::unique_ptr<obs::OpsServer> ops_server;
+  if (!flags.get_string("ops-log").empty()) {
+    ops_log_file.open(flags.get_string("ops-log"));
+    util::require(ops_log_file.good(), "cannot open ops log file");
+    ops_log = std::make_unique<control::OpsLogWriter>(ops_log_file);
+    config.ops_log = ops_log.get();
+  }
+  if (!ops_replay_path.empty()) {
+    std::ifstream replay_file(ops_replay_path);
+    util::require(replay_file.good(), "cannot open ops replay file");
+    config.ops_replay = control::load_ops_log(replay_file);
+  }
+  if (!ops_port.empty()) {
+    const auto port = util::parse_unsigned(ops_port);
+    util::require(port.has_value() && *port <= 65'535,
+                  "--ops-port must be a TCP port number (0 = ephemeral)");
+    obs::OpsServerOptions server_options;
+    server_options.port = static_cast<std::uint16_t>(*port);
+    ops_server = std::make_unique<obs::OpsServer>(server_options);
+    ops_server->set_control_handler(
+        [&ops_mailbox](const std::string& knob_name, const std::string& body) {
+          obs::ControlOutcome outcome;
+          const std::optional<control::Knob> knob = control::parse_knob(knob_name);
+          if (!knob.has_value()) {
+            outcome.status = 404;
+            outcome.body = "{\"error\":\"unknown knob '" + util::json_escape(knob_name) +
+                           "'\"}\n";
+            return outcome;
+          }
+          const std::optional<double> value = util::parse_double(util::trim(body));
+          if (!value.has_value()) {
+            outcome.status = 422;
+            outcome.body = "{\"error\":\"body must be a single number\"}\n";
+            return outcome;
+          }
+          if (const auto error = control::validate_directive(*knob, *value)) {
+            outcome.status = 422;
+            outcome.body = "{\"error\":\"" + util::json_escape(*error) + "\"}\n";
+            return outcome;
+          }
+          ops_mailbox.post({*knob, *value});
+          outcome.body = "{\"queued\":{\"knob\":\"" + control::to_string(*knob) +
+                         "\",\"value\":" + std::string(util::trim(body)) + "}}\n";
+          return outcome;
+        });
+    ops_server->start();
+    config.ops_server = ops_server.get();
+    config.ops_mailbox = &ops_mailbox;
+    // Flushed eagerly: scripts watching a redirected stdout need the port
+    // (ephemeral with --ops-port=0) before the run finishes.
+    std::cout << "ops server        http://127.0.0.1:" << ops_server->port()
+              << "  (GET /metrics /healthz /status, POST /control/<knob>)" << std::endl;
+  }
+  if (ops_plane) {
+    config.ops_interval_s = flags.get_double("ops-interval");
   }
 
   std::ofstream trace_file;
@@ -271,6 +350,9 @@ int main(int argc, char** argv) {
     }
   }
   const sim::SimulationResult result = simulation.run();
+  if (ops_server != nullptr) {
+    ops_server->stop();  // free the port before summaries; documents stay published
+  }
 
   std::cout << "system            " << result.system_label << "\n"
             << "topology          " << topology.router_count() << " routers, "
@@ -315,6 +397,19 @@ int main(int argc, char** argv) {
       std::cout << "load shedding     " << result.shed
                 << " requests fast-rejected (measured window; lifetime " << gov.shed << ")\n";
     }
+  }
+  if (ops_server != nullptr) {
+    std::cout << "ops server        " << ops_server->requests_served() << " requests served, "
+              << simulation.ops_directives_applied() << " directives applied\n";
+  }
+  if (!ops_replay_path.empty()) {
+    std::cout << "ops replay        " << simulation.ops_directives_applied() << "/"
+              << config.ops_replay.size() << " directives re-applied from " << ops_replay_path
+              << "\n";
+  }
+  if (ops_log != nullptr) {
+    std::cout << "ops log           " << ops_log->entries() << " entries -> "
+              << flags.get_string("ops-log") << "\n";
   }
   if (auditor != nullptr) {
     std::cout << "audit violations  " << auditor->log().size()

@@ -1,0 +1,181 @@
+#!/usr/bin/env python3
+"""Validate a Prometheus text-format (0.0.4) exposition file.
+
+Stdlib-only linter for the expositions the simulators emit (dacsim
+--metrics-out, the live /metrics scrape). Checks, per file:
+
+  * every line is a comment (# HELP / # TYPE), blank, or a sample;
+  * metric and label names are legal, label values are properly quoted;
+  * # TYPE precedes the samples of its family and appears at most once;
+  * sample values parse as Go-style floats (including +Inf/-Inf/NaN);
+  * no duplicate series (same name + identical label set);
+  * histogram families are internally consistent per series:
+      - bucket counts are cumulative (monotone non-decreasing by le),
+      - exactly one le="+Inf" bucket, equal to the _count sample,
+      - _count and _sum are present.
+
+Usage: check-prometheus.py <file> [<file> ...]   (exit 1 on any violation)
+"""
+
+import re
+import sys
+
+METRIC_NAME = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+LABEL_NAME = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+# One label pair: name="value" with \\, \" and \n escapes allowed inside.
+LABEL_PAIR = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
+SAMPLE = re.compile(r"^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{(.*)\})?\s+(\S+)(\s+\S+)?$")
+
+
+def parse_value(token):
+    if token in ("+Inf", "Inf"):
+        return float("inf")
+    if token == "-Inf":
+        return float("-inf")
+    if token == "NaN":
+        return float("nan")
+    return float(token)  # raises ValueError on garbage
+
+
+def parse_labels(raw, complain):
+    """Returns the labels as a sorted tuple of (name, value) pairs."""
+    labels = []
+    rest = raw.strip()
+    while rest:
+        match = LABEL_PAIR.match(rest)
+        if match is None:
+            complain(f"malformed label block near {rest!r}")
+            return None
+        labels.append((match.group(1), match.group(2)))
+        rest = rest[match.end():].lstrip()
+        if rest.startswith(","):
+            rest = rest[1:].lstrip()
+        elif rest:
+            complain(f"expected ',' between labels near {rest!r}")
+            return None
+    names = [name for name, _ in labels]
+    if len(names) != len(set(names)):
+        complain("duplicate label name in one series")
+        return None
+    return tuple(sorted(labels))
+
+
+def base_family(name):
+    for suffix in ("_bucket", "_sum", "_count"):
+        if name.endswith(suffix):
+            return name[: -len(suffix)], suffix
+    return name, ""
+
+
+def check_file(path):
+    errors = []
+    types = {}          # family name -> declared type
+    seen_series = set()  # (name, labels) of every sample line
+    histograms = {}      # (family, labels-sans-le) -> {buckets, count, sum}
+
+    with open(path, encoding="utf-8") as handle:
+        for lineno, line in enumerate(handle, start=1):
+            line = line.rstrip("\n")
+
+            def complain(message, lineno=lineno):
+                errors.append(f"{path}:{lineno}: {message}")
+
+            if not line.strip():
+                continue
+            if line.startswith("#"):
+                parts = line.split(None, 3)
+                if len(parts) >= 2 and parts[1] in ("HELP", "TYPE"):
+                    if len(parts) < 3 or not METRIC_NAME.match(parts[2]):
+                        complain(f"bad {parts[1]} comment")
+                    elif parts[1] == "TYPE":
+                        kind = parts[3].strip() if len(parts) > 3 else ""
+                        if kind not in ("counter", "gauge", "histogram",
+                                        "summary", "untyped"):
+                            complain(f"unknown TYPE {kind!r}")
+                        elif parts[2] in types:
+                            complain(f"duplicate TYPE for {parts[2]}")
+                        else:
+                            types[parts[2]] = kind
+                continue
+
+            match = SAMPLE.match(line)
+            if match is None:
+                complain(f"unparsable sample line: {line!r}")
+                continue
+            name, _, raw_labels, value_token, _ = match.groups()
+            labels = parse_labels(raw_labels or "", complain)
+            if labels is None:
+                continue
+            try:
+                value = parse_value(value_token)
+            except ValueError:
+                complain(f"bad sample value {value_token!r}")
+                continue
+
+            series = (name, labels)
+            if series in seen_series:
+                complain(f"duplicate series {name}{dict(labels)}")
+            seen_series.add(series)
+
+            family, suffix = base_family(name)
+            declared = types.get(family)
+            if declared == "histogram" and suffix:
+                key_labels = tuple(p for p in labels if p[0] != "le")
+                entry = histograms.setdefault((family, key_labels), {
+                    "buckets": [], "count": None, "sum": None, "line": lineno,
+                })
+                if suffix == "_bucket":
+                    le = dict(labels).get("le")
+                    if le is None:
+                        complain(f"{name} sample without le label")
+                        continue
+                    entry["buckets"].append((lineno, le, value))
+                elif suffix == "_count":
+                    entry["count"] = (lineno, value)
+                else:
+                    entry["sum"] = (lineno, value)
+            elif types.get(name) is None and declared is None:
+                complain(f"sample {name} precedes its # TYPE")
+
+    for (family, labels), entry in histograms.items():
+        where = f"{path}:{entry['line']}"
+        label_note = f"{family}{dict(labels)}"
+        if entry["count"] is None or entry["sum"] is None:
+            errors.append(f"{where}: histogram {label_note} missing _count/_sum")
+            continue
+        inf_buckets = [b for b in entry["buckets"] if b[1] == "+Inf"]
+        if len(inf_buckets) != 1:
+            errors.append(f"{where}: histogram {label_note} has "
+                          f"{len(inf_buckets)} le=\"+Inf\" buckets (want 1)")
+            continue
+        if inf_buckets[0][2] != entry["count"][1]:
+            errors.append(f"{where}: histogram {label_note} +Inf bucket "
+                          f"{inf_buckets[0][2]} != _count {entry['count'][1]}")
+        previous = None
+        for lineno, le, value in entry["buckets"]:
+            if previous is not None and value < previous:
+                errors.append(f"{path}:{lineno}: histogram {label_note} "
+                              f"bucket le={le} not cumulative "
+                              f"({value} < {previous})")
+            previous = value
+
+    return errors
+
+
+def main():
+    if len(sys.argv) < 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    failures = []
+    for path in sys.argv[1:]:
+        failures.extend(check_file(path))
+    for failure in failures:
+        print(f"PROMETHEUS FORMAT: {failure}", file=sys.stderr)
+    if failures:
+        return 1
+    print(f"check-prometheus: {len(sys.argv) - 1} file(s) OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -64,4 +64,10 @@ void CircuitBreaker::half_open() {
   }
 }
 
+void CircuitBreaker::set_options(const BreakerOptions& options) {
+  util::require(options.failure_threshold >= 1, "breaker failure threshold must be at least 1");
+  util::require(options.cooldown_s > 0.0, "breaker cooldown must be positive");
+  options_ = options;
+}
+
 }  // namespace anyqos::control

@@ -75,6 +75,13 @@ class CircuitBreaker {
   /// no-op unless currently Open (a stale timer must not resurrect state).
   void half_open();
 
+  /// Replaces the tuning knobs at runtime (ops-plane directive). The new
+  /// threshold judges the streak going forward: a streak already at or past
+  /// a lowered threshold trips on the next failure, not retroactively. The
+  /// owner reads cooldown_s at schedule time, so a new cooldown applies to
+  /// trips after this call.
+  void set_options(const BreakerOptions& options);
+
  private:
   BreakerOptions options_;
   BreakerState state_ = BreakerState::kClosed;

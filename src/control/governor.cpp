@@ -27,16 +27,23 @@ void OverloadGovernor::bind(std::size_t group_size, std::size_t max_tries) {
   util::require(group_size >= 1, "governor needs a non-empty group");
   util::require(max_tries >= 1, "retry ceiling R must be at least 1");
   bound_ = true;
+  bind_tries_ = max_tries;
   max_tries_ = max_tries;
   floor_tries_ = std::min(options_.min_tries, max_tries);
   effective_tries_ = max_tries;  // start wide open; the loop tightens from evidence
   breakers_.assign(group_size, CircuitBreaker(options_.breaker));
   breaker_generation_.assign(group_size, 0);
+  rebuild_shed_bucket();
+}
+
+void OverloadGovernor::rebuild_shed_bucket() {
   if (options_.shed_budget_msgs_per_s > 0.0) {
     const double depth = options_.shed_burst_msgs > 0.0
                              ? options_.shed_burst_msgs
                              : std::max(1.0, 2.0 * options_.shed_budget_msgs_per_s);
     budget_.emplace(options_.shed_budget_msgs_per_s, depth);
+  } else {
+    budget_.reset();
   }
 }
 
@@ -80,6 +87,54 @@ void OverloadGovernor::advance_window() {
   window_offered_ = 0;
   window_rejected_ = 0;
   window_util_hwm_ = 0.0;
+}
+
+double OverloadGovernor::apply_directive(const ControlDirective& directive) {
+  util::require(bound_, "bind() the governor before applying directives");
+  const std::optional<std::string> error = validate_directive(directive.knob, directive.value);
+  util::require(!error.has_value(), "invalid control directive: " + error.value_or(""));
+  switch (directive.knob) {
+    case Knob::kRetrialCeiling: {
+      const auto requested = static_cast<std::size_t>(directive.value);
+      max_tries_ = std::clamp<std::size_t>(requested, 1, bind_tries_);
+      floor_tries_ = std::min(floor_tries_, max_tries_);
+      options_.min_tries = floor_tries_;
+      effective_tries_ = std::clamp(effective_tries_, floor_tries_, max_tries_);
+      return static_cast<double>(max_tries_);
+    }
+    case Knob::kRetrialFloor: {
+      const auto requested = static_cast<std::size_t>(directive.value);
+      floor_tries_ = std::clamp<std::size_t>(requested, 1, max_tries_);
+      options_.min_tries = floor_tries_;
+      effective_tries_ = std::max(effective_tries_, floor_tries_);
+      return static_cast<double>(floor_tries_);
+    }
+    case Knob::kShedBudget:
+      options_.shed_budget_msgs_per_s = directive.value;
+      rebuild_shed_bucket();
+      return directive.value;
+    case Knob::kShedBurst:
+      options_.shed_burst_msgs = directive.value;
+      rebuild_shed_bucket();
+      return directive.value;
+    case Knob::kBreakerThreshold:
+      options_.breaker.failure_threshold = static_cast<std::size_t>(directive.value);
+      for (CircuitBreaker& breaker : breakers_) {
+        breaker.set_options(options_.breaker);
+      }
+      return static_cast<double>(options_.breaker.failure_threshold);
+    case Knob::kBreakerCooldown:
+      // trip_breaker reads options_.breaker.cooldown_s at schedule time, so
+      // the new cooldown governs every trip after this directive.
+      options_.breaker.cooldown_s = directive.value;
+      return directive.value;
+  }
+  util::unreachable("Knob");
+}
+
+double OverloadGovernor::shed_tokens(double now) const {
+  util::require(budget_.has_value(), "shed_tokens requires an engaged budget");
+  return budget_->tokens_at(now);
 }
 
 bool OverloadGovernor::admit_request(double now) {

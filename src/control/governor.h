@@ -54,6 +54,7 @@
 
 #include "src/core/admission.h"
 #include "src/control/circuit_breaker.h"
+#include "src/control/directive.h"
 #include "src/sched/token_bucket.h"
 
 namespace anyqos::des {
@@ -161,8 +162,39 @@ class OverloadGovernor final : public core::MemberGate {
   /// kernel; the attached timer calls this every window_s.
   void advance_window();
 
+  // --- Runtime control (the ops plane's seam; DES thread only) ---
+  /// Applies one pre-validated directive (validate_directive must have
+  /// passed — invalid values throw here) and returns the value actually
+  /// applied after clamping:
+  ///   retrial-ceiling    clamped to [1, R-at-bind] — the bind-time ceiling
+  ///                      is the hard envelope the auditor and span budgets
+  ///                      were sized against, so an operator can tighten or
+  ///                      re-relax but never exceed it. The floor and the
+  ///                      effective bound are re-clamped underneath it.
+  ///   retrial-floor      clamped to [1, current ceiling]; the effective
+  ///                      bound rises to the floor if it was below.
+  ///   shed-budget        0 disengages the bucket; > 0 (re)builds it full
+  ///                      at the new rate (deterministic: bucket state is a
+  ///                      pure function of the directive and its DES time).
+  ///   shed-burst         new depth; rebuilds an engaged bucket.
+  ///   breaker-threshold  propagated to every member breaker (judges the
+  ///                      streak going forward).
+  ///   breaker-cooldown   read at the next trip's schedule time.
+  /// Directives act regardless of which mechanisms the options enabled at
+  /// construction — e.g. a shed-budget directive engages shedding on a
+  /// governor built without it.
+  double apply_directive(const ControlDirective& directive);
+
   // --- Views ---
   [[nodiscard]] bool bound() const { return bound_; }
+  /// The floor the AIMD decrease clamps to, min(options.min_tries, R);
+  /// retrial-floor directives move it.
+  [[nodiscard]] std::size_t min_tries_floor() const { return floor_tries_; }
+  /// True when the shed bucket is engaged (budget > 0 configured or
+  /// directed at runtime).
+  [[nodiscard]] bool shedding() const { return budget_.has_value(); }
+  /// Tokens left in the shed bucket at `now`; requires shedding().
+  [[nodiscard]] double shed_tokens(double now) const;
   [[nodiscard]] std::size_t open_breakers() const;
   [[nodiscard]] BreakerState breaker_state(std::size_t member_index) const;
   [[nodiscard]] const GovernorStats& stats() const { return stats_; }
@@ -171,12 +203,14 @@ class OverloadGovernor final : public core::MemberGate {
  private:
   void schedule_window();
   void trip_breaker(std::size_t member_index);
+  void rebuild_shed_bucket();
 
   GovernorOptions options_;
   des::Simulator* simulator_ = nullptr;
   std::function<bool()> stop_rearming_;
   bool bound_ = false;
-  std::size_t max_tries_ = 1;        ///< static ceiling R
+  std::size_t bind_tries_ = 1;       ///< R at bind: the hard retry envelope
+  std::size_t max_tries_ = 1;        ///< current ceiling, <= bind_tries_
   std::size_t floor_tries_ = 1;      ///< min(options.min_tries, R)
   std::size_t effective_tries_ = 1;  ///< current adaptive bound
   // Window accumulators (reset by advance_window).

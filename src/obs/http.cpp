@@ -1,0 +1,141 @@
+#include "src/obs/http.h"
+
+#include <algorithm>
+#include <cctype>
+
+#include "src/util/strings.h"
+
+namespace anyqos::obs {
+
+namespace {
+
+// ASCII lower-case; header names are token characters, so no locale issues.
+std::string to_lower(std::string_view text) {
+  std::string out(text);
+  std::transform(out.begin(), out.end(), out.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  return out;
+}
+
+// Splits `head` into lines, accepting CRLF or bare LF terminators. A
+// trailing newline yields no empty final line.
+std::vector<std::string_view> split_lines(std::string_view head) {
+  std::vector<std::string_view> lines;
+  while (!head.empty()) {
+    const std::size_t nl = head.find('\n');
+    std::string_view line = head.substr(0, nl);
+    if (!line.empty() && line.back() == '\r') {
+      line.remove_suffix(1);
+    }
+    lines.push_back(line);
+    if (nl == std::string_view::npos) {
+      break;
+    }
+    head.remove_prefix(nl + 1);
+  }
+  return lines;
+}
+
+}  // namespace
+
+std::optional<HttpRequest> parse_request_head(std::string_view head) {
+  const std::vector<std::string_view> lines = split_lines(head);
+  if (lines.empty()) {
+    return std::nullopt;
+  }
+  // Request line: method SP request-target SP HTTP-version (single spaces).
+  const std::string_view request_line = lines.front();
+  const std::size_t sp1 = request_line.find(' ');
+  const std::size_t sp2 = sp1 == std::string_view::npos
+                              ? std::string_view::npos
+                              : request_line.find(' ', sp1 + 1);
+  if (sp1 == std::string_view::npos || sp2 == std::string_view::npos || sp1 == 0 ||
+      sp2 == sp1 + 1 || sp2 + 1 >= request_line.size() ||
+      request_line.find(' ', sp2 + 1) != std::string_view::npos) {
+    return std::nullopt;
+  }
+  HttpRequest request;
+  request.method = std::string(request_line.substr(0, sp1));
+  request.target = std::string(request_line.substr(sp1 + 1, sp2 - sp1 - 1));
+  request.version = std::string(request_line.substr(sp2 + 1));
+  if (!util::starts_with(request.version, "HTTP/")) {
+    return std::nullopt;
+  }
+  for (std::size_t i = 1; i < lines.size(); ++i) {
+    const std::string_view line = lines[i];
+    if (line.empty()) {
+      break;  // blank line: end of the head (callers usually strip it)
+    }
+    const std::size_t colon = line.find(':');
+    // A name is non-empty and carries no whitespace (RFC 9112 rejects space
+    // before the colon to close request-smuggling ambiguity).
+    if (colon == std::string_view::npos || colon == 0 ||
+        line.substr(0, colon).find_first_of(" \t") != std::string_view::npos) {
+      return std::nullopt;
+    }
+    request.headers.emplace_back(to_lower(line.substr(0, colon)),
+                                 std::string(util::trim(line.substr(colon + 1))));
+  }
+  return request;
+}
+
+std::optional<std::string_view> find_header(const HttpRequest& request,
+                                            std::string_view name) {
+  const std::string wanted = to_lower(name);
+  for (const auto& [key, value] : request.headers) {
+    if (key == wanted) {
+      return value;
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<std::size_t> content_length(const HttpRequest& request) {
+  const std::optional<std::string_view> value = find_header(request, "content-length");
+  if (!value.has_value()) {
+    return 0;
+  }
+  const std::optional<unsigned long long> parsed = util::parse_unsigned(*value);
+  if (!parsed.has_value()) {
+    return std::nullopt;
+  }
+  return static_cast<std::size_t>(*parsed);
+}
+
+std::string_view status_reason(int status) {
+  switch (status) {
+    case 200:
+      return "OK";
+    case 400:
+      return "Bad Request";
+    case 404:
+      return "Not Found";
+    case 405:
+      return "Method Not Allowed";
+    case 413:
+      return "Content Too Large";
+    case 422:
+      return "Unprocessable Content";
+    case 503:
+      return "Service Unavailable";
+    default:
+      return "Unknown";
+  }
+}
+
+std::string render_response(int status, std::string_view content_type,
+                            std::string_view body) {
+  std::string out = "HTTP/1.1 ";
+  out += std::to_string(status);
+  out += ' ';
+  out += status_reason(status);
+  out += "\r\nContent-Type: ";
+  out += content_type;
+  out += "\r\nContent-Length: ";
+  out += std::to_string(body.size());
+  out += "\r\nConnection: close\r\n\r\n";
+  out += body;
+  return out;
+}
+
+}  // namespace anyqos::obs

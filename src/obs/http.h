@@ -1,0 +1,56 @@
+// Minimal HTTP/1.1 message handling for the ops plane (observability layer).
+//
+// Just enough of RFC 9112 for a scrape-and-steer endpoint: a request-line +
+// header-field parser and a response renderer, both pure functions over
+// strings so they unit-test without a socket. obs::OpsServer owns the
+// sockets and calls in here; nothing in this file performs I/O.
+//
+// Deliberate limits (the server closes the connection after one exchange):
+// no chunked transfer coding, no continuation lines, no percent-decoding of
+// the request target. Header names are lower-cased at parse time so lookup
+// is case-insensitive per RFC 9110 §5.1.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace anyqos::obs {
+
+/// One parsed request head (everything before the body).
+struct HttpRequest {
+  std::string method;   ///< e.g. "GET", "POST" (case-sensitive per spec)
+  std::string target;   ///< origin-form target, e.g. "/metrics"
+  std::string version;  ///< e.g. "HTTP/1.1"
+  /// Header fields in arrival order; names lower-cased, values trimmed of
+  /// optional whitespace.
+  std::vector<std::pair<std::string, std::string>> headers;
+  std::string body;  ///< filled by the caller after reading Content-Length
+};
+
+/// Parses a request head — the request line plus header fields, i.e. the
+/// bytes before (not including) the blank line. Accepts both CRLF and bare
+/// LF line endings. Returns nullopt on any malformed line.
+std::optional<HttpRequest> parse_request_head(std::string_view head);
+
+/// First value of header `name` (ASCII case-insensitive); nullopt if absent.
+std::optional<std::string_view> find_header(const HttpRequest& request,
+                                            std::string_view name);
+
+/// The request's Content-Length: 0 when the header is absent, nullopt when
+/// present but not a plain non-negative integer.
+std::optional<std::size_t> content_length(const HttpRequest& request);
+
+/// Canonical reason phrase for the status codes the ops server emits
+/// (unknown codes render as "Unknown").
+std::string_view status_reason(int status);
+
+/// Renders a complete HTTP/1.1 response with Content-Type, Content-Length,
+/// and Connection: close headers.
+std::string render_response(int status, std::string_view content_type,
+                            std::string_view body);
+
+}  // namespace anyqos::obs

@@ -121,6 +121,9 @@ void write_number_json(std::ostream& out, double value) {
 
 Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
   util::require(!bounds_.empty(), "histogram needs at least one bucket bound");
+  for (const double bound : bounds_) {
+    util::require(!std::isnan(bound), "histogram bounds must not be NaN");
+  }
   util::require(std::is_sorted(bounds_.begin(), bounds_.end()) &&
                     std::adjacent_find(bounds_.begin(), bounds_.end()) == bounds_.end(),
                 "histogram bounds must be strictly increasing");
@@ -129,23 +132,52 @@ Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
 
 void Histogram::observe(double value, std::uint64_t count) {
   const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), value);
+  const std::lock_guard<std::mutex> lock(mutex_);
   buckets_[static_cast<std::size_t>(it - bounds_.begin())] += count;
   count_ += count;
   sum_ += value * static_cast<double>(count);
 }
 
 std::uint64_t Histogram::bucket_count(std::size_t i) const {
-  util::require(i < buckets_.size(), "histogram bucket index out of range");
+  util::require(i < bounds_.size() + 1, "histogram bucket index out of range");
+  const std::lock_guard<std::mutex> lock(mutex_);
   return buckets_[i];
 }
 
 std::uint64_t Histogram::cumulative_count(std::size_t i) const {
-  util::require(i < buckets_.size(), "histogram bucket index out of range");
+  util::require(i < bounds_.size() + 1, "histogram bucket index out of range");
+  const std::lock_guard<std::mutex> lock(mutex_);
   std::uint64_t total = 0;
   for (std::size_t b = 0; b <= i; ++b) {
     total += buckets_[b];
   }
   return total;
+}
+
+std::uint64_t Histogram::count() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return count_;
+}
+
+double Histogram::sum() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return sum_;
+}
+
+Histogram::Snapshot Histogram::snapshot() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  Snapshot snap;
+  snap.cumulative.reserve(bounds_.size() + 1);
+  std::uint64_t running = 0;
+  for (std::size_t b = 0; b < bounds_.size(); ++b) {
+    running += buckets_[b];
+    snap.cumulative.push_back(running);
+  }
+  // The implicit +Inf bucket: cumulative.back() always equals count.
+  snap.cumulative.push_back(count_);
+  snap.count = count_;
+  snap.sum = sum_;
+  return snap;
 }
 
 std::string to_string(MetricType type) {
@@ -194,6 +226,7 @@ MetricsRegistry::Series& MetricsRegistry::series_for(Family& family, Labels labe
 
 Counter& MetricsRegistry::counter(const std::string& name, const std::string& help,
                                   Labels labels) {
+  const std::lock_guard<std::mutex> lock(mutex_);
   Series& series = series_for(family_for(name, help, MetricType::kCounter), std::move(labels));
   if (series.counter == nullptr) {
     series.counter = std::make_unique<Counter>();
@@ -202,6 +235,7 @@ Counter& MetricsRegistry::counter(const std::string& name, const std::string& he
 }
 
 Gauge& MetricsRegistry::gauge(const std::string& name, const std::string& help, Labels labels) {
+  const std::lock_guard<std::mutex> lock(mutex_);
   Series& series = series_for(family_for(name, help, MetricType::kGauge), std::move(labels));
   if (series.gauge == nullptr) {
     series.gauge = std::make_unique<Gauge>();
@@ -211,6 +245,7 @@ Gauge& MetricsRegistry::gauge(const std::string& name, const std::string& help, 
 
 Histogram& MetricsRegistry::histogram(const std::string& name, const std::string& help,
                                       std::vector<double> bounds, Labels labels) {
+  const std::lock_guard<std::mutex> lock(mutex_);
   Series& series =
       series_for(family_for(name, help, MetricType::kHistogram), std::move(labels));
   if (series.histogram == nullptr) {
@@ -222,12 +257,19 @@ Histogram& MetricsRegistry::histogram(const std::string& name, const std::string
   return *series.histogram;
 }
 
+std::size_t MetricsRegistry::family_count() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return families_.size();
+}
+
 std::size_t MetricsRegistry::cardinality(const std::string& name) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
   const auto it = families_.find(name);
   return it == families_.end() ? 0 : it->second.series.size();
 }
 
 std::size_t MetricsRegistry::series_count() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
   std::size_t total = 0;
   for (const auto& [name, family] : families_) {
     total += family.series.size();
@@ -236,6 +278,7 @@ std::size_t MetricsRegistry::series_count() const {
 }
 
 void MetricsRegistry::write_prometheus(std::ostream& out) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
   for (const auto& [name, family] : families_) {
     out << "# HELP " << name << ' ' << prometheus_escape_help(family.help) << '\n';
     out << "# TYPE " << name << ' ' << to_string(family.type) << '\n';
@@ -253,20 +296,29 @@ void MetricsRegistry::write_prometheus(std::ostream& out) const {
           break;
         case MetricType::kHistogram: {
           const Histogram& h = *series.histogram;
+          const Histogram::Snapshot snap = h.snapshot();
           const std::string sep = canonical.empty() ? "" : ",";
+          // Non-finite bounds are skipped: a user-supplied +Inf last bound
+          // must not double-emit against the mandatory +Inf line below (its
+          // observations are still in snap.count), and a -Inf bound has no
+          // meaningful exposition of its own.
           for (std::size_t i = 0; i < h.bounds().size(); ++i) {
+            if (!std::isfinite(h.bounds()[i])) {
+              continue;
+            }
             out << name << "_bucket{" << canonical << sep
                 << "le=\"" << render_number(h.bounds()[i]) << "\"} "
-                << h.cumulative_count(i) << '\n';
+                << snap.cumulative[i] << '\n';
           }
-          out << name << "_bucket{" << canonical << sep << "le=\"+Inf\"} " << h.count()
+          // The cumulative +Inf bucket is mandatory and always equals _count.
+          out << name << "_bucket{" << canonical << sep << "le=\"+Inf\"} " << snap.count
               << '\n';
           out << name << "_sum";
           write_label_block(out, canonical);
-          out << ' ' << render_number(h.sum()) << '\n';
+          out << ' ' << render_number(snap.sum) << '\n';
           out << name << "_count";
           write_label_block(out, canonical);
-          out << ' ' << h.count() << '\n';
+          out << ' ' << snap.count << '\n';
           break;
         }
       }
@@ -275,6 +327,7 @@ void MetricsRegistry::write_prometheus(std::ostream& out) const {
 }
 
 void MetricsRegistry::write_jsonl(std::ostream& out) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
   for (const auto& [name, family] : families_) {
     for (const auto& [canonical, series] : family.series) {
       out << "{\"name\":\"" << util::json_escape(name) << "\",\"type\":\""
@@ -290,18 +343,26 @@ void MetricsRegistry::write_jsonl(std::ostream& out) const {
           break;
         case MetricType::kHistogram: {
           const Histogram& h = *series.histogram;
+          const Histogram::Snapshot snap = h.snapshot();
           out << ",\"buckets\":[";
+          bool first = true;
           for (std::size_t i = 0; i < h.bounds().size(); ++i) {
-            if (i > 0) {
+            // Non-finite bounds would render as {"le":null}; skip them like
+            // the Prometheus writer does (count/sum still cover them).
+            if (!std::isfinite(h.bounds()[i])) {
+              continue;
+            }
+            if (!first) {
               out << ',';
             }
+            first = false;
             out << "{\"le\":";
             write_number_json(out, h.bounds()[i]);
-            out << ",\"count\":" << h.cumulative_count(i) << '}';
+            out << ",\"count\":" << snap.cumulative[i] << '}';
           }
           out << "],\"sum\":";
-          write_number_json(out, h.sum());
-          out << ",\"count\":" << h.count();
+          write_number_json(out, snap.sum);
+          out << ",\"count\":" << snap.count;
           break;
         }
       }

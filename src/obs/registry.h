@@ -11,12 +11,27 @@
 // identity twice returns the same instrument, so call sites can re-resolve
 // cheaply instead of caching pointers. Families are type-stable: registering
 // a name as a counter and later as a gauge throws.
+//
+// Threading contract (live ops plane, DESIGN.md §13): the registry is safe
+// for concurrent scrape — one writer thread recording while other threads
+// call write_prometheus / write_jsonl / the count accessors. A registry-
+// level mutex guards the family/series maps (registration and iteration),
+// counters and gauges are atomics, and each histogram serializes observe
+// against its readers with its own mutex. Writers see internally consistent
+// instruments; a scrape concurrent with recording is a point-in-time
+// snapshot per instrument, not across instruments (a histogram's buckets,
+// count, and sum are mutually consistent; two different series may straddle
+// the scrape). Instrument references returned by counter()/gauge()/
+// histogram() remain valid for the registry's lifetime and may be used from
+// any thread.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <iosfwd>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -31,33 +46,45 @@ struct Label {
 /// Label sets are sorted by key for identity; duplicate keys are rejected.
 using Labels = std::vector<Label>;
 
-/// Monotone event tally.
+/// Monotone event tally. Thread-safe: increments are atomic (relaxed — a
+/// scrape needs a recent value, not a fence).
 class Counter {
  public:
-  void increment(std::uint64_t by = 1) { value_ += by; }
-  [[nodiscard]] std::uint64_t value() const { return value_; }
+  void increment(std::uint64_t by = 1) { value_.fetch_add(by, std::memory_order_relaxed); }
+  [[nodiscard]] std::uint64_t value() const { return value_.load(std::memory_order_relaxed); }
 
  private:
-  std::uint64_t value_ = 0;
+  std::atomic<std::uint64_t> value_{0};
 };
 
-/// Point-in-time measurement.
+/// Point-in-time measurement. Thread-safe: set/add/value are atomic (add is
+/// a CAS loop — there is no hardware fetch-add for doubles to rely on).
 class Gauge {
  public:
-  void set(double value) { value_ = value; }
-  void add(double delta) { value_ += delta; }
-  [[nodiscard]] double value() const { return value_; }
+  void set(double value) { value_.store(value, std::memory_order_relaxed); }
+  void add(double delta) {
+    double current = value_.load(std::memory_order_relaxed);
+    while (!value_.compare_exchange_weak(current, current + delta,
+                                         std::memory_order_relaxed)) {
+    }
+  }
+  [[nodiscard]] double value() const { return value_.load(std::memory_order_relaxed); }
 
  private:
-  double value_ = 0.0;
+  std::atomic<double> value_{0.0};
 };
 
 /// Fixed-boundary histogram. A value lands in the first bucket whose upper
 /// bound is >= value (Prometheus `le` semantics); values above the last
-/// bound go to the implicit +Inf bucket.
+/// bound go to the implicit +Inf bucket. Thread-safe: observe and the
+/// aggregate accessors serialize on an internal mutex so buckets, count,
+/// and sum always read mutually consistent; bounds() is immutable and
+/// lock-free.
 class Histogram {
  public:
-  /// `bounds` must be non-empty and strictly increasing.
+  /// `bounds` must be non-empty, NaN-free, and strictly increasing (an
+  /// explicit +Inf last bound is allowed; the exposition writers merge it
+  /// with the implicit +Inf bucket so it is never emitted twice).
   explicit Histogram(std::vector<double> bounds);
 
   void observe(double value) { observe(value, 1); }
@@ -72,11 +99,24 @@ class Histogram {
   /// Observations with value <= bounds()[i] (cumulative, Prometheus-style);
   /// index bounds().size() equals count().
   [[nodiscard]] std::uint64_t cumulative_count(std::size_t i) const;
-  [[nodiscard]] std::uint64_t count() const { return count_; }
-  [[nodiscard]] double sum() const { return sum_; }
+  [[nodiscard]] std::uint64_t count() const;
+  [[nodiscard]] double sum() const;
+
+  /// All aggregates read under one lock — what the exposition writers use,
+  /// so one rendered series is internally consistent (bucket monotonicity,
+  /// +Inf bucket == count) even while another thread observes.
+  struct Snapshot {
+    /// One entry per bound plus a final implicit +Inf entry, cumulative
+    /// Prometheus-style; cumulative.back() always equals count.
+    std::vector<std::uint64_t> cumulative;
+    std::uint64_t count = 0;
+    double sum = 0.0;
+  };
+  [[nodiscard]] Snapshot snapshot() const;
 
  private:
-  std::vector<double> bounds_;
+  std::vector<double> bounds_;  // immutable after construction
+  mutable std::mutex mutex_;    // guards the three aggregates below
   std::vector<std::uint64_t> buckets_;  // bounds().size() + 1 (+Inf last)
   std::uint64_t count_ = 0;
   double sum_ = 0.0;
@@ -100,7 +140,7 @@ class MetricsRegistry {
                        std::vector<double> bounds, Labels labels = {});
 
   /// Number of registered families.
-  [[nodiscard]] std::size_t family_count() const { return families_.size(); }
+  [[nodiscard]] std::size_t family_count() const;
   /// Number of label-distinct series under `name` (0 when unregistered) —
   /// the family's label cardinality.
   [[nodiscard]] std::size_t cardinality(const std::string& name) const;
@@ -131,6 +171,9 @@ class MetricsRegistry {
   Family& family_for(const std::string& name, const std::string& help, MetricType type);
   Series& series_for(Family& family, Labels labels);
 
+  /// Guards families_ (map structure and iteration). Instrument values have
+  /// their own synchronization — see the class comment.
+  mutable std::mutex mutex_;
   std::map<std::string, Family> families_;
 };
 

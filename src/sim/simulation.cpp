@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <optional>
+#include <sstream>
 #include <string_view>
 
 #include "src/control/adaptive_retrial.h"
@@ -60,6 +61,16 @@ Simulation::Simulation(const net::Topology& topology, SimulationConfig config)
   util::require(is_dac || config_.churn.empty(), "member churn applies to DAC runs only");
   util::require(is_dac || config_.governor == nullptr,
                 "the overload governor applies to DAC runs only");
+  util::require(config_.ops_interval_s > 0.0, "ops poll interval must be positive");
+  util::require((config_.ops_mailbox == nullptr && config_.ops_replay.empty()) ||
+                    config_.governor != nullptr,
+                "ops control (mailbox or replay) steers the governor; set config.governor");
+  util::require(config_.ops_mailbox == nullptr || config_.ops_replay.empty(),
+                "live ops steering and ops replay are mutually exclusive");
+  for (std::size_t i = 1; i < config_.ops_replay.size(); ++i) {
+    util::require(config_.ops_replay[i - 1].apply_at <= config_.ops_replay[i].apply_at,
+                  "ops replay directives must be sorted by apply time");
+  }
   if (config_.resilience.has_value()) {
     rsvp_ = std::make_unique<signaling::ResilientReservationProtocol>(
         ledger_, counter_, simulator_, control_rng_, *config_.resilience);
@@ -286,6 +297,180 @@ void Simulation::wire_timeline() {
     link_hwm_columns_[id] =
         tl.add_watermark("util_hwm:" + label, [this, id] { return ledger_.utilization(id); });
   }
+}
+
+bool Simulation::ops_active() const {
+  return config_.ops_server != nullptr || config_.ops_mailbox != nullptr ||
+         !config_.ops_replay.empty();
+}
+
+void Simulation::schedule_ops_poll() {
+  simulator_.schedule_in(config_.ops_interval_s, [this] { ops_poll(); });
+}
+
+void Simulation::ops_poll() {
+  const double now = simulator_.now();
+  // Replay first, then the live mailbox — the two are mutually exclusive in
+  // one run, so the ordering only fixes which branch a given run takes.
+  while (ops_replay_next_ < config_.ops_replay.size() &&
+         config_.ops_replay[ops_replay_next_].apply_at <= now) {
+    apply_ops_directive(config_.ops_replay[ops_replay_next_].directive);
+    ++ops_replay_next_;
+  }
+  if (config_.ops_mailbox != nullptr) {
+    for (const control::ControlDirective& directive : config_.ops_mailbox->drain()) {
+      apply_ops_directive(directive);
+    }
+  }
+  publish_ops();
+  if (!draining_) {
+    schedule_ops_poll();
+  }
+}
+
+void Simulation::apply_ops_directive(const control::ControlDirective& directive) {
+  // The constructor guarantees a governor whenever directives can arrive.
+  const double applied = governor_->apply_directive(directive);
+  ++ops_directives_applied_;
+  if (config_.ops_log != nullptr) {
+    // Stamped with the DES time of *application* — the wall-clock moment the
+    // operator posted it is deliberately erased, which is what makes the log
+    // replayable byte-identically (DESIGN.md §13).
+    config_.ops_log->record(simulator_.now(), directive, applied);
+  }
+}
+
+void Simulation::publish_ops() {
+  if (config_.ops_server == nullptr) {
+    return;  // replay or log-only run: apply and log, nothing to serve
+  }
+  const double now = simulator_.now();
+  obs::Labels labels{{"system", system_label(config_)}};
+  labels.insert(labels.end(), config_.ops_labels.begin(), config_.ops_labels.end());
+
+  // A fresh registry per publish: gauges are point-in-time reads and the
+  // rendered text is swapped into the server whole, so a scrape never sees
+  // a half-updated document.
+  obs::MetricsRegistry registry;
+  registry.gauge("anyqos_sim_time_seconds", "DES clock at publish", labels).set(now);
+  registry.gauge("anyqos_sim_draining", "1 once the post-measurement drain began", labels)
+      .set(draining_ ? 1.0 : 0.0);
+  registry
+      .counter("anyqos_events_dispatched_total", "DES events dispatched so far", labels)
+      .increment(simulator_.dispatched_events());
+  registry.gauge("anyqos_active_flows", "admitted, undeparted flows", labels)
+      .set(static_cast<double>(flows_.size()));
+  registry
+      .gauge("anyqos_reserved_bandwidth_bps", "anycast bandwidth reserved across all links",
+             labels)
+      .set(ledger_.total_reserved());
+  const auto outcome_counter = [&](const char* outcome, std::uint64_t value) {
+    obs::Labels with_outcome = labels;
+    with_outcome.push_back({"outcome", outcome});
+    registry
+        .counter("anyqos_requests_observed_total",
+                 "requests by outcome, lifetime including warm-up (live view)",
+                 std::move(with_outcome))
+        .increment(value);
+  };
+  outcome_counter("offered", metrics_.lifetime_offered());
+  outcome_counter("admitted", metrics_.lifetime_admitted());
+  outcome_counter("rejected", metrics_.lifetime_rejected());
+  outcome_counter("shed", metrics_.lifetime_shed());
+  using signaling::MessageKind;
+  for (const MessageKind kind :
+       {MessageKind::kPath, MessageKind::kResv, MessageKind::kPathErr, MessageKind::kTear,
+        MessageKind::kProbe, MessageKind::kProbeReply}) {
+    obs::Labels with_kind = labels;
+    with_kind.push_back({"kind", signaling::to_string(kind)});
+    registry
+        .counter("anyqos_signaling_observed_total",
+                 "signaling link traversals by kind (resets at measurement start)",
+                 std::move(with_kind))
+        .increment(counter_.by_kind(kind));
+  }
+  if (governor_ != nullptr) {
+    registry
+        .gauge("anyqos_governor_effective_retries", "adaptive retrial bound in force", labels)
+        .set(static_cast<double>(governor_->effective_max_tries()));
+    registry.gauge("anyqos_governor_retry_ceiling", "operator/static retry ceiling", labels)
+        .set(static_cast<double>(governor_->max_tries_ceiling()));
+    registry.gauge("anyqos_governor_retry_floor", "AIMD floor", labels)
+        .set(static_cast<double>(governor_->min_tries_floor()));
+    registry.gauge("anyqos_governor_open_breakers", "members currently masked out", labels)
+        .set(static_cast<double>(governor_->open_breakers()));
+    if (governor_->shedding()) {
+      registry
+          .gauge("anyqos_governor_shed_tokens", "signaling-budget tokens left", labels)
+          .set(governor_->shed_tokens(now));
+    }
+    registry.counter("anyqos_governor_windows_total", "feedback windows evaluated", labels)
+        .increment(governor_->stats().windows);
+    registry
+        .counter("anyqos_governor_breaker_trips_total", "breaker transitions into Open",
+                 labels)
+        .increment(governor_->stats().breaker_trips);
+    registry
+        .counter("anyqos_ops_directives_applied_total",
+                 "runtime control directives applied", labels)
+        .increment(ops_directives_applied_);
+  }
+  for (std::size_t index = 0; index < group_.size(); ++index) {
+    obs::Labels with_member = labels;
+    with_member.push_back({"member", topology_->router_name(group_.member(index))});
+    registry.gauge("anyqos_member_up", "1 while the member is in service", with_member)
+        .set(group_.is_up(index) ? 1.0 : 0.0);
+  }
+  for (net::LinkId id = 0; id < topology_->link_count(); ++id) {
+    const net::Arc& arc = topology_->link(id);
+    std::string link_name = topology_->router_name(arc.from);
+    link_name += "->";
+    link_name += topology_->router_name(arc.to);
+    obs::Labels with_link = labels;
+    with_link.push_back({"link", std::move(link_name)});
+    registry
+        .gauge("anyqos_link_utilization", "anycast-share utilization at publish",
+               std::move(with_link))
+        .set(ledger_.utilization(id));
+  }
+  std::ostringstream prometheus;
+  registry.write_prometheus(prometheus);
+  config_.ops_server->publish("/metrics", "text/plain; version=0.0.4; charset=utf-8",
+                              prometheus.str());
+
+  std::ostringstream status;
+  status << "{\"sim_time_s\":" << util::format_fixed(now, 6)
+         << ",\"draining\":" << (draining_ ? "true" : "false")
+         << ",\"active_flows\":" << flows_.size()
+         << ",\"directives_applied\":" << ops_directives_applied_ << ",\"governor\":";
+  if (governor_ != nullptr) {
+    status << "{\"effective_max_tries\":" << governor_->effective_max_tries()
+           << ",\"retry_ceiling\":" << governor_->max_tries_ceiling()
+           << ",\"retry_floor\":" << governor_->min_tries_floor()
+           << ",\"open_breakers\":" << governor_->open_breakers()
+           << ",\"windows\":" << governor_->stats().windows
+           << ",\"tighten_steps\":" << governor_->stats().tighten_steps
+           << ",\"relax_steps\":" << governor_->stats().relax_steps
+           << ",\"shed\":" << governor_->stats().shed
+           << ",\"breaker_trips\":" << governor_->stats().breaker_trips
+           << ",\"shed_budget_msgs_per_s\":"
+           << util::format_fixed(governor_->options().shed_budget_msgs_per_s, 6)
+           << ",\"breaker_threshold\":" << governor_->options().breaker.failure_threshold
+           << ",\"breaker_cooldown_s\":"
+           << util::format_fixed(governor_->options().breaker.cooldown_s, 6)
+           << ",\"shed_tokens\":";
+    if (governor_->shedding()) {
+      status << util::format_fixed(governor_->shed_tokens(now), 6);
+    } else {
+      status << "null";
+    }
+    status << '}';
+  } else {
+    status << "null";
+  }
+  status << "}\n";
+  config_.ops_server->publish("/status", "application/json", status.str());
+  config_.ops_server->publish_health(now, simulator_.dispatched_events(), draining_);
 }
 
 void Simulation::schedule_next_arrival() {
@@ -586,6 +771,14 @@ SimulationResult Simulation::run() {
     // The window timer stops rearming at drain; breaker cooldowns are
     // one-shot and still fire, so no breaker is left open at quiescence.
     governor_->attach(simulator_, [this] { return draining_; });
+  }
+  if (ops_active()) {
+    // Scheduled right after the governor's window timer so that when the
+    // poll interval equals the window, the shared-timestamp tie breaks the
+    // same way in live and replay runs: window step first, directives after.
+    schedule_ops_poll();
+    // Publish once before the first event so early scrapes see documents.
+    publish_ops();
   }
   // Seed the event calendar.
   schedule_next_arrival();

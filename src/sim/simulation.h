@@ -12,6 +12,7 @@
 #include <utility>
 #include <vector>
 
+#include "src/control/directive.h"
 #include "src/control/governor.h"
 #include "src/core/admission.h"
 #include "src/core/centralized.h"
@@ -19,7 +20,9 @@
 #include "src/des/simulator.h"
 #include "src/net/bandwidth.h"
 #include "src/obs/flight_recorder.h"
+#include "src/obs/ops_server.h"
 #include "src/obs/profiler.h"
+#include "src/obs/registry.h"
 #include "src/obs/span.h"
 #include "src/obs/timeline.h"
 #include "src/net/routing.h"
@@ -134,6 +137,32 @@ struct SimulationConfig {
   /// offered). Unset costs one pointer check per use and leaves every
   /// artifact byte-identical.
   control::OverloadGovernor* governor = nullptr;
+
+  // --- Live ops plane (DESIGN.md §13; all optional, all must outlive the
+  // simulation). A recurring ops-poll timer — scheduled only when any of
+  // these is set — drains replay directives and the live mailbox on the DES
+  // thread, applies them through the governor, logs each application, and
+  // publishes fresh /metrics, /status, and /healthz documents. Live
+  // publishing reads state and writes to the server only, so an ops-enabled
+  // but unsteered run keeps every artifact byte-identical.
+  /// HTTP listener to publish scrape documents to (scrape-only is fine).
+  obs::OpsServer* ops_server = nullptr;
+  /// Live control inlet. Directives drain FIFO at each poll and apply via
+  /// governor->apply_directive, so `governor` is required. Mutually
+  /// exclusive with ops_replay (a replayed run is serverless by contract).
+  control::DirectiveMailbox* ops_mailbox = nullptr;
+  /// Applied-directive log (JSONL). Written at application time with the
+  /// DES clock, so replaying it reproduces the steered run byte-identically.
+  control::OpsLogWriter* ops_log = nullptr;
+  /// Recorded directives to re-apply (load_ops_log). Each applies at the
+  /// first poll whose time reaches its apply_at — the same boundary the
+  /// live run applied it at. Requires `governor`.
+  std::vector<control::TimedDirective> ops_replay;
+  /// Simulated seconds between ops polls; align with the governor window so
+  /// directives land exactly at window boundaries.
+  double ops_interval_s = 50.0;
+  /// Extra labels on every live-scrape series (e.g. the chaos cell id).
+  obs::Labels ops_labels;
 };
 
 /// Aggregated outcome of a run (measurement window only).
@@ -212,6 +241,11 @@ class Simulation {
   /// run-to-empty drain never finds an empty calendar.
   [[nodiscard]] bool draining() const { return draining_; }
 
+  /// Ops directives applied so far (mailbox + replay), for summaries.
+  [[nodiscard]] std::uint64_t ops_directives_applied() const {
+    return ops_directives_applied_;
+  }
+
   /// The resilient signaling plane, or nullptr for fault-free runs. Exposed
   /// so the chaos harness can inspect recovery state and repair leaks
   /// (reclaim_pending) after a drained run.
@@ -237,6 +271,11 @@ class Simulation {
   void emit_trace(TraceEventKind kind, std::uint64_t flow, net::NodeId source,
                   net::NodeId destination, std::size_t attempts, double bandwidth_bps);
   void wire_timeline();
+  [[nodiscard]] bool ops_active() const;
+  void schedule_ops_poll();
+  void ops_poll();
+  void apply_ops_directive(const control::ControlDirective& directive);
+  void publish_ops();
   core::AdmissionController& controller_for(net::NodeId source);
 
   const net::Topology* topology_;
@@ -272,6 +311,8 @@ class Simulation {
   control::OverloadGovernor* governor_ = nullptr;  // config_.governor, hot-path copy
   std::vector<obs::Timeline::ColumnId> link_hwm_columns_;  // by LinkId (timeline runs)
   std::uint64_t next_request_id_ = 0;  // arrival sequence; span/trace join key
+  std::size_t ops_replay_next_ = 0;    // first unapplied config_.ops_replay entry
+  std::uint64_t ops_directives_applied_ = 0;
   bool ran_ = false;
   bool draining_ = false;  // drain_to_quiescence: arrivals stop, calendar runs dry
 };

@@ -1,0 +1,96 @@
+// Unit tests for the dependency-free HTTP/1.1 message handling the ops
+// plane is built on — pure string functions, no sockets (ops_server_test
+// covers the wire).
+#include "src/obs/http.h"
+
+#include <gtest/gtest.h>
+
+namespace anyqos::obs {
+namespace {
+
+TEST(HttpParse, ParsesRequestLineAndHeaders) {
+  const auto request = parse_request_head(
+      "GET /metrics HTTP/1.1\r\nHost: localhost:9000\r\nAccept: */*\r\n");
+  ASSERT_TRUE(request.has_value());
+  EXPECT_EQ(request->method, "GET");
+  EXPECT_EQ(request->target, "/metrics");
+  EXPECT_EQ(request->version, "HTTP/1.1");
+  ASSERT_EQ(request->headers.size(), 2u);
+  EXPECT_EQ(request->headers[0].first, "host");  // names lower-cased
+  EXPECT_EQ(request->headers[0].second, "localhost:9000");
+}
+
+TEST(HttpParse, AcceptsBareLfLineEndings) {
+  const auto request = parse_request_head("POST /control/shed-budget HTTP/1.1\nContent-Length: 2\n");
+  ASSERT_TRUE(request.has_value());
+  EXPECT_EQ(request->method, "POST");
+  EXPECT_EQ(content_length(*request), 2u);
+}
+
+TEST(HttpParse, TrimsOptionalWhitespaceAroundHeaderValues) {
+  const auto request = parse_request_head("GET / HTTP/1.1\r\nX-Pad:   spaced out  \r\n");
+  ASSERT_TRUE(request.has_value());
+  EXPECT_EQ(request->headers[0].second, "spaced out");
+}
+
+TEST(HttpParse, HeaderLookupIsCaseInsensitive) {
+  const auto request = parse_request_head("GET / HTTP/1.1\r\nContent-Type: text/plain\r\n");
+  ASSERT_TRUE(request.has_value());
+  const auto value = find_header(*request, "CONTENT-type");
+  ASSERT_TRUE(value.has_value());
+  EXPECT_EQ(*value, "text/plain");
+  EXPECT_FALSE(find_header(*request, "absent").has_value());
+}
+
+TEST(HttpParse, RejectsMalformedRequestLines) {
+  EXPECT_FALSE(parse_request_head("").has_value());
+  EXPECT_FALSE(parse_request_head("GET\r\n").has_value());
+  EXPECT_FALSE(parse_request_head("GET /metrics\r\n").has_value());  // no version
+  EXPECT_FALSE(parse_request_head("GET  /metrics HTTP/1.1\r\n").has_value());  // double space
+  EXPECT_FALSE(parse_request_head("GET /a b HTTP/1.1\r\n").has_value());
+}
+
+TEST(HttpParse, RejectsWhitespaceInHeaderNames) {
+  // RFC 9112 §5.1: no whitespace between the field name and the colon.
+  EXPECT_FALSE(parse_request_head("GET / HTTP/1.1\r\nHost : x\r\n").has_value());
+  EXPECT_FALSE(parse_request_head("GET / HTTP/1.1\r\nno-colon-line\r\n").has_value());
+}
+
+TEST(HttpContentLength, AbsentMeansZeroMalformedMeansNullopt) {
+  const auto none = parse_request_head("GET / HTTP/1.1\r\n");
+  ASSERT_TRUE(none.has_value());
+  EXPECT_EQ(content_length(*none), 0u);
+
+  const auto bad = parse_request_head("POST / HTTP/1.1\r\nContent-Length: -3\r\n");
+  ASSERT_TRUE(bad.has_value());
+  EXPECT_FALSE(content_length(*bad).has_value());
+
+  const auto word = parse_request_head("POST / HTTP/1.1\r\nContent-Length: two\r\n");
+  ASSERT_TRUE(word.has_value());
+  EXPECT_FALSE(content_length(*word).has_value());
+}
+
+TEST(HttpRender, EmitsStatusLineHeadersAndBody) {
+  const std::string response = render_response(200, "text/plain", "ok\n");
+  EXPECT_EQ(response,
+            "HTTP/1.1 200 OK\r\n"
+            "Content-Type: text/plain\r\n"
+            "Content-Length: 3\r\n"
+            "Connection: close\r\n"
+            "\r\n"
+            "ok\n");
+}
+
+TEST(HttpRender, KnowsTheOpsPlaneStatusCodes) {
+  EXPECT_EQ(status_reason(200), "OK");
+  EXPECT_EQ(status_reason(400), "Bad Request");
+  EXPECT_EQ(status_reason(404), "Not Found");
+  EXPECT_EQ(status_reason(405), "Method Not Allowed");
+  EXPECT_EQ(status_reason(413), "Content Too Large");
+  EXPECT_EQ(status_reason(422), "Unprocessable Content");
+  EXPECT_EQ(status_reason(503), "Service Unavailable");
+  EXPECT_EQ(status_reason(299), "Unknown");
+}
+
+}  // namespace
+}  // namespace anyqos::obs

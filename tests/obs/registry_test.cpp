@@ -213,6 +213,87 @@ TEST(MetricsRegistry, HistogramInfObservationsRenderAcrossFormats) {
   EXPECT_NE(jsonl.str().find("\"count\":2"), std::string::npos);
 }
 
+TEST(MetricsRegistry, ExplicitInfLastBoundEmitsOneInfBucket) {
+  // An explicit +Inf last bound must merge with the implicit +Inf bucket:
+  // exactly one le="+Inf" line, equal to _count, never two.
+  const double inf = std::numeric_limits<double>::infinity();
+  MetricsRegistry registry;
+  Histogram& h = registry.histogram("tries", "attempts", {1.0, 2.0, inf});
+  h.observe(0.5);
+  h.observe(1.5);
+  h.observe(99.0);  // beyond every finite bound
+
+  std::ostringstream prom;
+  registry.write_prometheus(prom);
+  const std::string text = prom.str();
+  std::size_t inf_lines = 0;
+  for (std::size_t at = text.find("le=\"+Inf\""); at != std::string::npos;
+       at = text.find("le=\"+Inf\"", at + 1)) {
+    ++inf_lines;
+  }
+  EXPECT_EQ(inf_lines, 1u);
+  EXPECT_EQ(text,
+            "# HELP tries attempts\n"
+            "# TYPE tries histogram\n"
+            "tries_bucket{le=\"1\"} 1\n"
+            "tries_bucket{le=\"2\"} 2\n"
+            "tries_bucket{le=\"+Inf\"} 3\n"
+            "tries_sum 101\n"
+            "tries_count 3\n");
+
+  // The JSONL writer likewise skips the non-finite bound instead of
+  // emitting an unparsable {"le":inf} key.
+  std::ostringstream jsonl;
+  registry.write_jsonl(jsonl);
+  EXPECT_EQ(jsonl.str().find("inf"), std::string::npos);
+  EXPECT_NE(jsonl.str().find("\"buckets\":[{\"le\":1,\"count\":1},{\"le\":2,\"count\":2}]"),
+            std::string::npos);
+}
+
+TEST(MetricsRegistry, HistogramExpositionIsCumulativeAndConsistent) {
+  MetricsRegistry registry;
+  // Exact binary fractions so %.17g renders them shortest-form.
+  Histogram& h = registry.histogram("lat", "latency", {0.25, 0.5, 1.0}, {{"sys", "ED"}});
+  h.observe(0.125);
+  h.observe(0.375);
+  h.observe(0.375);
+  h.observe(2.0);
+
+  std::ostringstream prom;
+  registry.write_prometheus(prom);
+  // Exact format lock: cumulative buckets, a mandatory +Inf bucket equal to
+  // _count, labels merged with le, and _sum/_count closing the family.
+  EXPECT_EQ(prom.str(),
+            "# HELP lat latency\n"
+            "# TYPE lat histogram\n"
+            "lat_bucket{sys=\"ED\",le=\"0.25\"} 1\n"
+            "lat_bucket{sys=\"ED\",le=\"0.5\"} 3\n"
+            "lat_bucket{sys=\"ED\",le=\"1\"} 3\n"
+            "lat_bucket{sys=\"ED\",le=\"+Inf\"} 4\n"
+            "lat_sum{sys=\"ED\"} 2.875\n"
+            "lat_count{sys=\"ED\"} 4\n");
+}
+
+TEST(Histogram, RejectsNanBounds) {
+  EXPECT_THROW(Histogram({std::numeric_limits<double>::quiet_NaN()}), std::invalid_argument);
+  EXPECT_THROW(Histogram({1.0, std::numeric_limits<double>::quiet_NaN()}),
+               std::invalid_argument);
+}
+
+TEST(Histogram, SnapshotMatchesAccessors) {
+  Histogram h({1.0, 2.0});
+  h.observe(0.5);
+  h.observe(1.5);
+  h.observe(3.0);
+  const Histogram::Snapshot snap = h.snapshot();
+  ASSERT_EQ(snap.cumulative.size(), 3u);  // one per bound plus +Inf
+  EXPECT_EQ(snap.cumulative[0], h.cumulative_count(0));
+  EXPECT_EQ(snap.cumulative[1], h.cumulative_count(1));
+  EXPECT_EQ(snap.cumulative[2], h.count());
+  EXPECT_EQ(snap.count, 3u);
+  EXPECT_EQ(snap.sum, 5.0);
+}
+
 TEST(MetricsRegistry, JsonlSnapshotIsOneObjectPerLine) {
   MetricsRegistry registry;
   registry.counter("c", "help", {{"k", "v"}}).increment(2);

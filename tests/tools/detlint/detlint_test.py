@@ -91,6 +91,34 @@ class RuleFixtureTest(unittest.TestCase):
                 self.check_tree(tree, rule, ext, n_pos, n_sup)
 
 
+class OpsWaiverFixtureTest(unittest.TestCase):
+    """Mixed-rule tree mirroring the ops-plane listener's two waiver shapes
+    (src/obs/ops_server.cpp): a process-global one-time guard and a
+    scrape-side wall-clock read. One tree, two rules — so it gets custom
+    asserts instead of a RuleFixtureTest.CASES row."""
+
+    def test_ops_waiver_tree(self):
+        code, report = run_detlint("ops_waivers")
+        self.assertEqual(code, 1, "positive findings must fail the run")
+
+        positive = findings_for(report, "positive.cpp")
+        self.assertEqual(sorted(f["rule"] for f in positive),
+                         ["global-state", "wall-clock"],
+                         json.dumps(positive, indent=2))
+        self.assertTrue(all(not f["suppressed"] for f in positive))
+
+        suppressed = findings_for(report, "suppressed.cpp")
+        self.assertEqual(sorted(f["rule"] for f in suppressed),
+                         ["global-state", "wall-clock"],
+                         json.dumps(suppressed, indent=2))
+        for finding in suppressed:
+            self.assertTrue(finding["suppressed"],
+                            f"ALLOW did not suppress {finding}")
+            self.assertTrue(finding["reason"].strip())
+
+        self.assertEqual(findings_for(report, "clean.cpp"), [])
+
+
 class SuppressionHygieneTest(unittest.TestCase):
     def test_hygiene_tree_fails(self):
         code, report = run_detlint("hygiene")

@@ -1,0 +1,18 @@
+// Fixture: the waiver-free way to publish health — the DES clock and
+// caller-owned state need no suppressions.
+#include <cstdint>
+namespace fixture {
+struct Simulator {
+  double now() const;
+};
+struct HealthDoc {
+  double sim_time_s = 0.0;
+  std::uint64_t events = 0;
+};
+HealthDoc render_health(const Simulator& sim, std::uint64_t events) {
+  HealthDoc doc;
+  doc.sim_time_s = sim.now();  // the only clock is the DES clock
+  doc.events = events;
+  return doc;
+}
+}  // namespace fixture

@@ -1,0 +1,14 @@
+// Fixture: an ops-plane-style HTTP listener leaks both a process-global
+// (one-time signal guard) and a wall-clock read (events/s rate) when
+// unwaived — the two waiver shapes src/obs/ops_server.cpp relies on.
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+namespace fixture {
+std::once_flag install_once;
+double events_per_second(std::uint64_t events) {
+  const auto now = std::chrono::steady_clock::now();
+  return static_cast<double>(events) /
+         std::chrono::duration<double>(now.time_since_epoch()).count();
+}
+}  // namespace fixture

@@ -1,0 +1,16 @@
+// Fixture: the documented single-line waivers that make the ops-plane
+// listener lint-clean — process-global signal disposition and a wall-clock
+// read that never feeds back into model state.
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+namespace fixture {
+ANYQOS_DETLINT_ALLOW(global_state, "fixture: signal disposition is process-global by nature");
+std::once_flag install_once;
+double events_per_second(std::uint64_t events) {
+  ANYQOS_DETLINT_ALLOW(wall_clock, "fixture: scrape-side rate display only, never reaches model state");
+  const auto now = std::chrono::steady_clock::now();
+  return static_cast<double>(events) /
+         std::chrono::duration<double>(now.time_since_epoch()).count();
+}
+}  // namespace fixture
