@@ -1,16 +1,22 @@
 // chaossim — chaos harness for the resilient signaling plane.
 //
 // Sweeps a fault matrix — control-message loss x injected hop delay x member
-// churn x link faults — and runs every cell to quiescence (arrivals stop
-// after the measurement window, the calendar runs dry) under a non-throwing
-// InvariantAuditor. A cell passes when it ends with an empty flow table,
-// zero reserved bandwidth, zero pending orphans, a clean audit log, and —
-// for probe-free runs started without warm-up — a signaling hop tally that
-// reconciles exactly with the MessageCounter. Exits nonzero if any cell
-// fails, which makes the binary a CI gate.
+// churn x link faults x router crashes — and runs every cell to quiescence
+// (arrivals stop after the measurement window, the calendar runs dry) under
+// a non-throwing InvariantAuditor. A cell passes when it ends with an empty
+// flow table, zero reserved bandwidth, zero pending orphans, an empty
+// path-repair queue, a clean audit log, and — for probe-free runs started
+// without warm-up — a signaling hop tally that reconciles exactly with the
+// MessageCounter. Exits nonzero if any cell fails, which makes the binary a
+// CI gate.
+//
+// Cells on the node-fault axis (--node-mtbfs entries > 0) run the full
+// failure-domain plane: Poisson router crashes, link-state flooding
+// reconvergence, and make-before-break path repair.
 //
 //   $ ./chaossim
 //   $ ./chaossim --losses=0,0.1,0.3 --churn-rates=0,0.005 --fault-rate=1e-4
+//   $ ./chaossim --node-mtbfs=0,4000 --node-mttr=120 --measure=2000
 //   $ ./chaossim --topology=grid:3x3 --group=0,8 --measure=2000 --out=chaos.csv
 //   $ ./chaossim --metrics-out=chaos.prom --spans-out=spans.jsonl --flight-prefix=/tmp/flight
 //
@@ -28,6 +34,7 @@
 #include "src/audit/auditor.h"
 #include "src/control/directive.h"
 #include "src/control/governor.h"
+#include "src/net/reconvergence.h"
 #include "src/net/topologies.h"
 #include "src/obs/flight_recorder.h"
 #include "src/obs/ops_server.h"
@@ -102,7 +109,7 @@ net::Topology build_topology(const std::string& spec) {
 }
 
 struct CellVerdict {
-  bool leaked = false;          // reserved bandwidth or orphans survived the drain
+  bool leaked = false;          // reserved bandwidth, orphans, or queued repairs survived
   bool violations = false;      // the auditor logged at least one finding
   bool unreconciled = false;    // hop mirror != MessageCounter (when checkable)
   bool breaker_open = false;    // a circuit breaker survived the drain Open
@@ -124,6 +131,12 @@ int main(int argc, char** argv) {
   flags.add_duration("hop-delay", 0.0005, "injected control-plane delay per hop, seconds");
   flags.add_double("fault-rate", 2e-4, "per-link failures/s for the faults-on half");
   flags.add_duration("fault-repair", 150.0, "mean link outage duration, seconds");
+  flags.add_string("node-mtbfs", "0",
+                   "comma list of router MTBFs (s) to sweep; 0 disables the node-fault axis,"
+                   " entries > 0 run crashes + flooding reconvergence + path repair");
+  flags.add_duration("node-mttr", 120.0, "mean router recovery time, seconds");
+  flags.add_duration("reconverge-round", 1.0,
+                     "seconds per link-state flooding round (node-fault cells)");
   flags.add_duration("churn-downtime", 120.0, "mean member outage duration, seconds");
   flags.add_duration("retransmit-timeout", 0.5, "wait before the first PATH retransmit");
   flags.add_unsigned("max-retransmits", 2, "PATH re-sends before giving up");
@@ -164,6 +177,11 @@ int main(int argc, char** argv) {
       parse_probabilities(flags.get_string("losses"), "--losses");
   const std::vector<double> churn_rates =
       parse_rates(flags.get_string("churn-rates"), "--churn-rates");
+  const std::vector<double> node_mtbfs =
+      parse_rates(flags.get_string("node-mtbfs"), "--node-mtbfs");
+  // One flooding policy for the whole matrix: every cell shares the
+  // topology, so the O(diameter) convergence lag is the same for all.
+  net::FloodingReconvergence reconvergence(flags.get_double("reconverge-round"));
 
   const bool flight_on = flags.get_bool("flight-recorder");
   std::ofstream spans_file;
@@ -228,204 +246,229 @@ int main(int argc, char** argv) {
               << "  (one server, cell=<n> labels)" << std::endl;
   }
 
-  util::TablePrinter table({"loss", "churn/s", "faults", "AP", "retx", "orphans", "dropped",
-                            "failover", "governor", "verdict"});
+  util::TablePrinter table({"loss", "churn/s", "faults", "node mtbf", "AP", "retx", "orphans",
+                            "dropped", "failover", "repair", "governor", "verdict"});
   std::ostringstream csv;
-  csv << "loss,churn_rate,faults,admission_probability,retransmits,orphans_reclaimed,"
-         "dropped_by_fault,dropped_by_churn,failover_admitted,failover_attempts,adaptive,"
-         "effective_r,breaker_trips,breaker_open,shed,leaked,violations,unreconciled\n";
+  csv << "loss,churn_rate,faults,node_mtbf,admission_probability,retransmits,"
+         "orphans_reclaimed,dropped_by_fault,dropped_by_churn,failover_admitted,"
+         "failover_attempts,node_outages,reconvergences,repaired,unrepairable,"
+         "pending_repairs,adaptive,effective_r,breaker_trips,breaker_open,shed,leaked,"
+         "violations,unreconciled\n";
 
   std::size_t failures = 0;
   std::uint64_t cell = 0;
   for (const double loss : losses) {
     for (const double churn_rate : churn_rates) {
       for (const bool faults_on : {false, true}) {
-        ++cell;
-        sim::SimulationConfig config;
-        config.traffic.arrival_rate = flags.get_double("lambda");
-        config.traffic.mean_holding_s = flags.get_double("holding");
-        config.traffic.flow_bandwidth_bps = flags.get_double("bandwidth");
-        config.traffic.sources = parse_nodes(flags.get_string("sources"), "--sources");
-        config.group_members = parse_nodes(flags.get_string("group"), "--group");
-        config.algorithm = core::SelectionAlgorithm::kEvenDistribution;  // probe-free
-        config.max_tries = 2;
-        // Zero warm-up: the MessageCounter is never reset mid-run, so the
-        // resilient protocol's hop mirror must match it exactly.
-        config.warmup_s = 0.0;
-        config.measure_s = flags.get_double("measure");
-        config.seed = flags.get_unsigned("seed") + cell;
-        config.drain_to_quiescence = true;
+        for (const double node_mtbf : node_mtbfs) {
+          ++cell;
+          sim::SimulationConfig config;
+          config.traffic.arrival_rate = flags.get_double("lambda");
+          config.traffic.mean_holding_s = flags.get_double("holding");
+          config.traffic.flow_bandwidth_bps = flags.get_double("bandwidth");
+          config.traffic.sources = parse_nodes(flags.get_string("sources"), "--sources");
+          config.group_members = parse_nodes(flags.get_string("group"), "--group");
+          config.algorithm = core::SelectionAlgorithm::kEvenDistribution;  // probe-free
+          config.max_tries = 2;
+          // Zero warm-up: the MessageCounter is never reset mid-run, so the
+          // resilient protocol's hop mirror must match it exactly.
+          config.warmup_s = 0.0;
+          config.measure_s = flags.get_double("measure");
+          config.seed = flags.get_unsigned("seed") + cell;
+          config.drain_to_quiescence = true;
 
-        signaling::ResilienceOptions resilience;
-        resilience.faults.loss_probability = loss;
-        resilience.faults.hop_delay_s = flags.get_double("hop-delay");
-        resilience.retransmit_timeout_s = flags.get_double("retransmit-timeout");
-        resilience.max_retransmits = flags.get_unsigned("max-retransmits");
-        resilience.orphan_hold_s = flags.get_double("orphan-hold");
-        config.resilience = resilience;
+          signaling::ResilienceOptions resilience;
+          resilience.faults.loss_probability = loss;
+          resilience.faults.hop_delay_s = flags.get_double("hop-delay");
+          resilience.retransmit_timeout_s = flags.get_double("retransmit-timeout");
+          resilience.max_retransmits = flags.get_unsigned("max-retransmits");
+          resilience.orphan_hold_s = flags.get_double("orphan-hold");
+          config.resilience = resilience;
 
-        if (churn_rate > 0.0) {
-          config.churn = sim::random_churn_schedule(config.group_members.size(),
-                                                    config.measure_s, churn_rate,
-                                                    flags.get_double("churn-downtime"),
-                                                    config.seed + 1);
-        }
-        if (faults_on) {
-          config.faults = sim::random_fault_schedule(topology, config.measure_s,
-                                                     flags.get_double("fault-rate"),
-                                                     flags.get_double("fault-repair"),
-                                                     config.seed + 2);
-        }
-
-        // Arm the per-cell flight recorder: spans land in its ring (teeing to
-        // the shared spans file when one is open) and snapshots buffer in
-        // memory — the file is created only if this cell actually triggers.
-        obs::DecisionTracer tracer;
-        std::ostringstream flight_buffer;
-        std::unique_ptr<obs::FlightRecorder> recorder;
-        if (flight_on) {
-          obs::FlightRecorderOptions flight_options;
-          flight_options.depth = flags.get_unsigned("flight-depth");
-          recorder = std::make_unique<obs::FlightRecorder>(flight_options);
-          recorder->set_output(&flight_buffer);
-          recorder->set_forward(shared_spans.get());  // nullptr detaches
-          tracer.set_sink(&recorder->span_sink());
-          config.tracer = &tracer;
-          config.flight_recorder = recorder.get();
-        } else if (shared_spans != nullptr) {
-          tracer.set_sink(shared_spans.get());
-          config.tracer = &tracer;
-        }
-
-        // The governor rides along when --adaptive is set: its floor drops to
-        // 1 so AIMD has headroom even against this matrix's R = 2 cells, and
-        // the cooldown is short enough that mid-run trips (churn!) probe and
-        // close well before the drain.
-        std::unique_ptr<control::OverloadGovernor> governor;
-        if (adaptive) {
-          control::GovernorOptions governor_options;
-          governor_options.min_tries = 1;
-          governor_options.breaker.cooldown_s = 30.0;
-          governor = std::make_unique<control::OverloadGovernor>(governor_options);
-          config.governor = governor.get();
-        }
-
-        if (ops_server != nullptr) {
-          config.ops_server = ops_server.get();
-          config.ops_labels = {{"cell", std::to_string(cell)}};
-          if (governor != nullptr) {
-            config.ops_mailbox = &ops_mailbox;
+          if (churn_rate > 0.0) {
+            config.churn = sim::random_churn_schedule(config.group_members.size(),
+                                                      config.measure_s, churn_rate,
+                                                      flags.get_double("churn-downtime"),
+                                                      config.seed + 1);
           }
-        }
+          if (faults_on) {
+            config.faults = sim::random_fault_schedule(topology, config.measure_s,
+                                                       flags.get_double("fault-rate"),
+                                                       flags.get_double("fault-repair"),
+                                                       config.seed + 2);
+          }
+          if (node_mtbf > 0.0) {
+            // The node-fault axis runs the full failure-domain plane: router
+            // crashes, flooding reconvergence, and path repair together.
+            config.node_faults = sim::random_node_fault_schedule(
+                topology, config.measure_s, 1.0 / node_mtbf,
+                flags.get_double("node-mttr"), config.seed + 3);
+            config.reconvergence = &reconvergence;
+            config.path_repair = true;
+          }
 
-        std::unique_ptr<obs::Timeline> timeline;
-        if (!flags.get_string("timeline-prefix").empty()) {
-          obs::TimelineOptions timeline_options;
-          timeline_options.interval_s = flags.get_double("timeline-interval");
-          timeline = std::make_unique<obs::Timeline>(timeline_options);
-          config.timeline = timeline.get();
-        }
+          // Arm the per-cell flight recorder: spans land in its ring (teeing to
+          // the shared spans file when one is open) and snapshots buffer in
+          // memory — the file is created only if this cell actually triggers.
+          obs::DecisionTracer tracer;
+          std::ostringstream flight_buffer;
+          std::unique_ptr<obs::FlightRecorder> recorder;
+          if (flight_on) {
+            obs::FlightRecorderOptions flight_options;
+            flight_options.depth = flags.get_unsigned("flight-depth");
+            recorder = std::make_unique<obs::FlightRecorder>(flight_options);
+            recorder->set_output(&flight_buffer);
+            recorder->set_forward(shared_spans.get());  // nullptr detaches
+            tracer.set_sink(&recorder->span_sink());
+            config.tracer = &tracer;
+            config.flight_recorder = recorder.get();
+          } else if (shared_spans != nullptr) {
+            tracer.set_sink(shared_spans.get());
+            config.tracer = &tracer;
+          }
 
-        sim::Simulation simulation(topology, config);
-        audit::AuditorOptions audit_options;
-        audit_options.throw_on_violation = false;  // survey the whole matrix
-        audit_options.checkpoint_interval_s = 50.0;
-        audit::InvariantAuditor auditor(audit_options);
-        auditor.attach(simulation);
-        if (recorder != nullptr) {
-          auditor.set_violation_hook([&recorder](const audit::Violation& violation) {
-            recorder->trigger(violation.sim_time, "audit " + audit::to_string(violation.check));
-          });
-        }
-        const sim::SimulationResult result = simulation.run();
-        spans_emitted += tracer.spans_emitted();
+          // The governor rides along when --adaptive is set: its floor drops to
+          // 1 so AIMD has headroom even against this matrix's R = 2 cells, and
+          // the cooldown is short enough that mid-run trips (churn!) probe and
+          // close well before the drain.
+          std::unique_ptr<control::OverloadGovernor> governor;
+          if (adaptive) {
+            control::GovernorOptions governor_options;
+            governor_options.min_tries = 1;
+            governor_options.breaker.cooldown_s = 30.0;
+            governor = std::make_unique<control::OverloadGovernor>(governor_options);
+            config.governor = governor.get();
+          }
 
-        CellVerdict verdict;
-        auto* resilient = simulation.resilient();
-        util::ensure(resilient != nullptr, "chaos cells always run resilient");
-        if (simulation.ledger().total_reserved() > 0.0 || simulation.active_flows() > 0 ||
-            resilient->pending_orphans() > 0) {
-          verdict.leaked = true;
-          // Documented leak repair: reclaim whatever soft state survived the
-          // drain so the next cell's numbers are not polluted. The cell still
-          // fails — a drained run must not need this.
-          (void)resilient->reclaim_pending();
-        }
-        verdict.violations = !auditor.log().empty();
-        verdict.unreconciled =
-            result.resilience.hops_counted != result.messages.total();
-        // Cooldown timers are one-shot and fire through the drain, so an Open
-        // breaker at quiescence means the half-open path broke — a CI-grade
-        // failure, same as a ledger leak.
-        verdict.breaker_open = governor != nullptr && governor->open_breakers() > 0;
-        if (!verdict.clean()) {
-          ++failures;
-        }
+          if (ops_server != nullptr) {
+            config.ops_server = ops_server.get();
+            config.ops_labels = {{"cell", std::to_string(cell)}};
+            if (governor != nullptr) {
+              config.ops_mailbox = &ops_mailbox;
+            }
+          }
 
-        std::ostringstream drops;
-        drops << result.dropped_by_fault << "/" << result.dropped_by_churn;
-        std::ostringstream failover;
-        failover << result.failover_admitted << "/" << result.failover_attempts;
-        std::ostringstream gov;
-        if (governor != nullptr) {
-          gov << "R" << governor->effective_max_tries() << "/"
-              << governor->max_tries_ceiling() << " trips=" << governor->stats().breaker_trips
-              << " open=" << governor->open_breakers();
-        } else {
-          gov << "-";
-        }
-        table.add_row({util::format_fixed(loss, 2), util::format_fixed(churn_rate, 4),
-                       faults_on ? "on" : "off",
-                       util::format_fixed(result.admission_probability, 4),
-                       std::to_string(result.resilience.retransmits),
-                       std::to_string(result.resilience.orphans_reclaimed), drops.str(),
-                       failover.str(), gov.str(),
-                       verdict.clean() ? "clean"
-                                       : (std::string(verdict.leaked ? " leak" : "") +
-                                          (verdict.violations ? " audit" : "") +
-                                          (verdict.unreconciled ? " msgs" : "") +
-                                          (verdict.breaker_open ? " breaker" : ""))});
-        csv << loss << ',' << churn_rate << ',' << (faults_on ? 1 : 0) << ','
-            << result.admission_probability << ',' << result.resilience.retransmits << ','
-            << result.resilience.orphans_reclaimed << ',' << result.dropped_by_fault << ','
-            << result.dropped_by_churn << ',' << result.failover_admitted << ','
-            << result.failover_attempts << ',' << (governor != nullptr ? 1 : 0) << ','
-            << (governor != nullptr ? governor->effective_max_tries() : config.max_tries)
-            << ',' << (governor != nullptr ? governor->stats().breaker_trips : 0) << ','
-            << (verdict.breaker_open ? 1 : 0) << ',' << result.shed << ','
-            << (verdict.leaked ? 1 : 0) << ',' << (verdict.violations ? 1 : 0) << ','
-            << (verdict.unreconciled ? 1 : 0) << "\n";
-        if (verdict.violations) {
-          std::cerr << "audit findings (loss=" << loss << " churn=" << churn_rate
-                    << " faults=" << (faults_on ? "on" : "off") << "):\n"
-                    << auditor.log().to_text();
-        }
-        if (registry != nullptr) {
-          sim::export_metrics(simulation, config, result, *registry,
-                              {{"cell", std::to_string(cell)}});
-        }
-        if (recorder != nullptr) {
-          flight_triggers += recorder->triggers();
-          if (recorder->dumps_written() > 0) {
-            std::string path = flags.get_string("flight-prefix");
+          std::unique_ptr<obs::Timeline> timeline;
+          if (!flags.get_string("timeline-prefix").empty()) {
+            obs::TimelineOptions timeline_options;
+            timeline_options.interval_s = flags.get_double("timeline-interval");
+            timeline = std::make_unique<obs::Timeline>(timeline_options);
+            config.timeline = timeline.get();
+          }
+
+          sim::Simulation simulation(topology, config);
+          audit::AuditorOptions audit_options;
+          audit_options.throw_on_violation = false;  // survey the whole matrix
+          audit_options.checkpoint_interval_s = 50.0;
+          audit::InvariantAuditor auditor(audit_options);
+          auditor.attach(simulation);
+          if (recorder != nullptr) {
+            auditor.set_violation_hook([&recorder](const audit::Violation& violation) {
+              recorder->trigger(violation.sim_time, "audit " + audit::to_string(violation.check));
+            });
+          }
+          const sim::SimulationResult result = simulation.run();
+          spans_emitted += tracer.spans_emitted();
+
+          CellVerdict verdict;
+          auto* resilient = simulation.resilient();
+          util::ensure(resilient != nullptr, "chaos cells always run resilient");
+          if (simulation.ledger().total_reserved() > 0.0 || simulation.active_flows() > 0 ||
+              resilient->pending_orphans() > 0 || simulation.pending_repairs() > 0) {
+            verdict.leaked = true;
+            // Documented leak repair: reclaim whatever soft state survived the
+            // drain so the next cell's numbers are not polluted. The cell still
+            // fails — a drained run must not need this.
+            (void)resilient->reclaim_pending();
+          }
+          verdict.violations = !auditor.log().empty();
+          verdict.unreconciled =
+              result.resilience.hops_counted != result.messages.total();
+          // Cooldown timers are one-shot and fire through the drain, so an Open
+          // breaker at quiescence means the half-open path broke — a CI-grade
+          // failure, same as a ledger leak.
+          verdict.breaker_open = governor != nullptr && governor->open_breakers() > 0;
+          if (!verdict.clean()) {
+            ++failures;
+          }
+
+          std::ostringstream drops;
+          drops << result.dropped_by_fault << "/" << result.dropped_by_churn;
+          std::ostringstream failover;
+          failover << result.failover_admitted << "/" << result.failover_attempts;
+          std::ostringstream repair;
+          if (node_mtbf > 0.0) {
+            repair << result.repaired << "/" << result.unrepairable << " conv="
+                   << result.reconvergences;
+          } else {
+            repair << "-";
+          }
+          std::ostringstream gov;
+          if (governor != nullptr) {
+            gov << "R" << governor->effective_max_tries() << "/"
+                << governor->max_tries_ceiling() << " trips=" << governor->stats().breaker_trips
+                << " open=" << governor->open_breakers();
+          } else {
+            gov << "-";
+          }
+          table.add_row({util::format_fixed(loss, 2), util::format_fixed(churn_rate, 4),
+                         faults_on ? "on" : "off",
+                         node_mtbf > 0.0 ? util::format_fixed(node_mtbf, 0) : "off",
+                         util::format_fixed(result.admission_probability, 4),
+                         std::to_string(result.resilience.retransmits),
+                         std::to_string(result.resilience.orphans_reclaimed), drops.str(),
+                         failover.str(), repair.str(), gov.str(),
+                         verdict.clean() ? "clean"
+                                         : (std::string(verdict.leaked ? " leak" : "") +
+                                            (verdict.violations ? " audit" : "") +
+                                            (verdict.unreconciled ? " msgs" : "") +
+                                            (verdict.breaker_open ? " breaker" : ""))});
+          csv << loss << ',' << churn_rate << ',' << (faults_on ? 1 : 0) << ',' << node_mtbf
+              << ',' << result.admission_probability << ',' << result.resilience.retransmits
+              << ',' << result.resilience.orphans_reclaimed << ',' << result.dropped_by_fault
+              << ',' << result.dropped_by_churn << ',' << result.failover_admitted << ','
+              << result.failover_attempts << ',' << result.node_outages << ','
+              << result.reconvergences << ',' << result.repaired << ','
+              << result.unrepairable << ',' << simulation.pending_repairs() << ','
+              << (governor != nullptr ? 1 : 0) << ','
+              << (governor != nullptr ? governor->effective_max_tries() : config.max_tries)
+              << ',' << (governor != nullptr ? governor->stats().breaker_trips : 0) << ','
+              << (verdict.breaker_open ? 1 : 0) << ',' << result.shed << ','
+              << (verdict.leaked ? 1 : 0) << ',' << (verdict.violations ? 1 : 0) << ','
+              << (verdict.unreconciled ? 1 : 0) << "\n";
+          if (verdict.violations) {
+            std::cerr << "audit findings (loss=" << loss << " churn=" << churn_rate
+                      << " faults=" << (faults_on ? "on" : "off")
+                      << " node_mtbf=" << node_mtbf << "):\n"
+                      << auditor.log().to_text();
+          }
+          if (registry != nullptr) {
+            sim::export_metrics(simulation, config, result, *registry,
+                                {{"cell", std::to_string(cell)}});
+          }
+          if (recorder != nullptr) {
+            flight_triggers += recorder->triggers();
+            if (recorder->dumps_written() > 0) {
+              std::string path = flags.get_string("flight-prefix");
+              path += "-cell";
+              path += std::to_string(cell);
+              path += ".jsonl";
+              std::ofstream dump(path);
+              util::require(dump.good(), "cannot open flight dump file");
+              dump << flight_buffer.str();
+              flight_files.push_back(std::move(path));
+            }
+          }
+          if (timeline != nullptr) {
+            std::string path = flags.get_string("timeline-prefix");
             path += "-cell";
             path += std::to_string(cell);
             path += ".jsonl";
-            std::ofstream dump(path);
-            util::require(dump.good(), "cannot open flight dump file");
-            dump << flight_buffer.str();
-            flight_files.push_back(std::move(path));
+            std::ofstream out(path);
+            util::require(out.good(), "cannot open timeline file");
+            timeline->write_jsonl(out);
+            ++timeline_files;
           }
-        }
-        if (timeline != nullptr) {
-          std::string path = flags.get_string("timeline-prefix");
-          path += "-cell";
-          path += std::to_string(cell);
-          path += ".jsonl";
-          std::ofstream out(path);
-          util::require(out.good(), "cannot open timeline file");
-          timeline->write_jsonl(out);
-          ++timeline_files;
         }
       }
     }
@@ -434,7 +477,8 @@ int main(int argc, char** argv) {
   std::cout << table.to_text() << "\n"
             << cell << " cells, " << failures << " failed ("
             << losses.size() << " loss x " << churn_rates.size()
-            << " churn x 2 fault settings; drained to quiescence, audited)\n";
+            << " churn x 2 fault x " << node_mtbfs.size()
+            << " node settings; drained to quiescence, audited)\n";
   if (!flags.get_string("out").empty()) {
     std::ofstream out(flags.get_string("out"));
     util::require(out.good(), "cannot open --out file");

@@ -16,6 +16,7 @@
 #include "src/audit/auditor.h"
 #include "src/control/directive.h"
 #include "src/control/governor.h"
+#include "src/net/reconvergence.h"
 #include "src/net/topology_io.h"
 #include "src/obs/flight_recorder.h"
 #include "src/obs/ops_server.h"
@@ -99,6 +100,12 @@ int main(int argc, char** argv) {
   flags.add_unsigned("seed", 1, "master RNG seed");
   flags.add_double("fault-rate", 0.0, "per-link failures/s (0 = no faults)");
   flags.add_double("fault-repair", 300.0, "mean outage duration, seconds");
+  flags.add_double("node-mtbf", 0.0, "mean seconds between router crashes (0 = no crashes)");
+  flags.add_double("node-mttr", 600.0, "mean router recovery time, seconds");
+  flags.add_duration("reconverge-delay", 0.0,
+                     "routing reconvergence lag after a topology change (0 = instant)");
+  flags.add_bool("path-repair", false,
+                 "re-signal broken flows over post-reconvergence routes (make-before-break)");
   flags.add_bool("resilient", false, "use the resilient signaling plane even at zero loss");
   flags.add_probability("loss", 0.0, "control-message loss probability (implies --resilient)");
   flags.add_duration("hop-delay", 0.0, "injected control-plane delay per hop, seconds");
@@ -187,6 +194,28 @@ int main(int argc, char** argv) {
   }
   config.failover_readmit = flags.get_bool("failover");
   config.drain_to_quiescence = flags.get_bool("drain");
+  if (flags.get_double("node-mtbf") > 0.0) {
+    util::require(!config.use_gdi, "node faults require a DAC run (not --gdi)");
+    config.node_faults = sim::random_node_fault_schedule(
+        topology, config.warmup_s + config.measure_s, 1.0 / flags.get_double("node-mtbf"),
+        flags.get_double("node-mttr"), config.seed + 3);
+  }
+  // Any engaged failure-plane axis brings a reconvergence policy with it:
+  // routes must eventually route around a dead router, and path repair
+  // re-signals over the post-convergence table by definition.
+  std::unique_ptr<net::ReconvergencePolicy> reconvergence;
+  if (!config.node_faults.empty() || flags.get_bool("path-repair") ||
+      flags.get_double("reconverge-delay") > 0.0) {
+    util::require(!config.use_gdi, "reconvergence/path repair require a DAC run (not --gdi)");
+    if (flags.get_double("reconverge-delay") > 0.0) {
+      reconvergence =
+          std::make_unique<net::FixedReconvergence>(flags.get_double("reconverge-delay"));
+    } else {
+      reconvergence = std::make_unique<net::InstantReconvergence>();
+    }
+    config.reconvergence = reconvergence.get();
+    config.path_repair = flags.get_bool("path-repair");
+  }
 
   const std::string ops_port = flags.get_string("ops-port");
   const std::string ops_replay_path = flags.get_string("ops-replay");
@@ -373,6 +402,16 @@ int main(int argc, char** argv) {
     std::cout << "churn events      " << config.churn.size() << " outages, failover "
               << result.failover_admitted << "/" << result.failover_attempts
               << " re-admitted\n";
+  }
+  if (reconvergence != nullptr) {
+    std::cout << "failure plane     " << result.node_outages << " node outages, "
+              << result.reconvergences << " reconvergences (" << reconvergence->name()
+              << " policy)\n";
+    if (config.path_repair) {
+      std::cout << "path repair       " << result.repaired << " repaired, "
+                << result.unrepairable << " unrepairable, " << simulation.pending_repairs()
+                << " pending at end\n";
+    }
   }
   if (config.resilience.has_value()) {
     std::cout << "control plane     " << result.resilience.retransmits << " retransmits, "

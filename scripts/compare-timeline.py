@@ -16,8 +16,14 @@ drift without blocking; pass --strict to turn any divergence into a nonzero
 exit. Missing, empty, or malformed timelines are exit 2 in BOTH modes — a
 typo'd artifact path must fail the build, not silently "pass" the diff.
 
+--forbid-columns enforces the zero-perturbation contract: optional planes
+(path repair, reconvergence, node faults) register their timeline columns
+only when attached, so a run that should not have them must not show them.
+Any listed column present in EITHER timeline is exit 1 — always, even
+without --strict (a leaked column is a wiring bug, not numeric drift).
+
   scripts/compare-timeline.py --baseline a.jsonl --current b.jsonl \
-      [--tolerance 0.0] [--strict]
+      [--tolerance 0.0] [--strict] [--forbid-columns routes_stale,nodes_down]
 """
 
 import argparse
@@ -68,9 +74,13 @@ def main():
                              "(default 0 = exact, the same-seed guarantee)")
     parser.add_argument("--strict", action="store_true",
                         help="exit 1 on divergence instead of warning")
+    parser.add_argument("--forbid-columns", default="",
+                        help="comma-separated column names that must not appear in "
+                             "either timeline; any hit is exit 1 even without --strict")
     args = parser.parse_args()
     if args.tolerance < 0:
         parser.error("--tolerance must be non-negative")
+    forbidden = [name for name in args.forbid_columns.split(",") if name]
 
     # Input problems are always fatal (exit 2), even in warn-only mode:
     # warn-only covers *divergences*, never a comparison that silently never
@@ -87,6 +97,15 @@ def main():
     if not cur_samples:
         print(f"ERROR: {args.current}: no sample windows", file=sys.stderr)
         return 2
+
+    leaked = [(label, name)
+              for label, cols in (("baseline", base_cols), ("current", cur_cols))
+              for name in forbidden if name in cols]
+    if leaked:
+        for label, name in leaked:
+            print(f"ERROR: forbidden column '{name}' present in {label} timeline",
+                  file=sys.stderr)
+        return 1
 
     divergences = []
     if base_cols != cur_cols:

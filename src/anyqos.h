@@ -51,6 +51,7 @@
 #include "src/net/link_state.h"
 #include "src/net/metrics.h"
 #include "src/net/multipath.h"
+#include "src/net/reconvergence.h"
 #include "src/net/routing.h"
 #include "src/net/topologies.h"
 #include "src/net/topology.h"
@@ -63,6 +64,7 @@
 #include "src/sched/token_bucket.h"
 #include "src/sched/wfq.h"
 #include "src/signaling/message.h"
+#include "src/signaling/path_repair.h"
 #include "src/signaling/probe.h"
 #include "src/signaling/rsvp.h"
 #include "src/signaling/soft_state.h"

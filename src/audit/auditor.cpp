@@ -1,5 +1,6 @@
 #include "src/audit/auditor.h"
 
+#include <algorithm>
 #include <cmath>
 #include <string>
 #include <utility>
@@ -139,6 +140,40 @@ void InvariantAuditor::on_release(const net::Path& path, net::Bandwidth amount) 
     if (shadow_reserved_[id] < 0.0) {
       shadow_reserved_[id] = 0.0;  // floating-point slack only; drift is
     }                              // caught by the checkpoint comparison
+  }
+}
+
+void InvariantAuditor::on_reservation_narrowed(const net::Path& from, const net::Path& to,
+                                               net::Bandwidth amount) {
+  // A narrow re-keys one open reservation from `from` to `to` and returns
+  // `amount` on the dropped links. Pairing must match the *original* key —
+  // narrowing a reservation that was never opened is the same defect class
+  // as a double release.
+  const auto it = open_.find(ReservationKey{from.links, amount});
+  if (it == open_.end() || it->second == 0) {
+    report(AuditCheck::kLedgerPairing,
+           "narrow with no matching open reservation on " + describe_path(from, amount));
+    return;  // only reached with throw_on_violation off; skip shadow update
+  }
+  if (--it->second == 0) {
+    open_.erase(it);
+  }
+  if (!to.links.empty()) {
+    ++open_[ReservationKey{to.links, amount}];
+  }
+  // Shadow: the dropped links (multiset difference from \ to) give back
+  // `amount`; the kept links are untouched.
+  std::vector<net::LinkId> keep = to.links;
+  for (const net::LinkId id : from.links) {
+    const auto kept = std::find(keep.begin(), keep.end(), id);
+    if (kept != keep.end()) {
+      keep.erase(kept);
+      continue;
+    }
+    shadow_reserved_[id] -= amount;
+    if (shadow_reserved_[id] < 0.0) {
+      shadow_reserved_[id] = 0.0;  // floating-point slack only
+    }
   }
 }
 

@@ -105,6 +105,8 @@ class InvariantAuditor final : public net::LedgerObserver, public core::Admissio
   // --- net::LedgerObserver ---
   void on_reserve(const net::Path& path, net::Bandwidth amount) override;
   void on_release(const net::Path& path, net::Bandwidth amount) override;
+  void on_reservation_narrowed(const net::Path& from, const net::Path& to,
+                               net::Bandwidth amount) override;
   void on_link_failed(net::LinkId id) override;
   void on_link_restored(net::LinkId id) override;
 

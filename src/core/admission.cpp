@@ -54,10 +54,14 @@ AdmissionDecision AdmissionController::admit(const FlowRequest& request, des::Ra
   // request is rejected with zero attempts.
   // A circuit-broken member (gate veto) is excluded the same way, so an
   // Open breaker zeroes the member's effective selection weight and the
-  // remaining members absorb it through renormalization.
+  // remaining members absorb it through renormalization. So is a member the
+  // last routing reconvergence left unreachable (node-failure extension):
+  // the AC-router's table has no live route, so it never signals toward the
+  // partition. has_route() is always true under the paper's static routes.
   const auto tried = std::make_unique<bool[]>(group_->size());
   for (std::size_t i = 0; i < group_->size(); ++i) {
-    tried[i] = !group_->is_up(i) || (gate_ != nullptr && !gate_->allow_member(i));
+    tried[i] = !group_->is_up(i) || !routes_->has_route(source_, i) ||
+               (gate_ != nullptr && !gate_->allow_member(i));
   }
   const std::span<const bool> tried_view(tried.get(), group_->size());
   // Figure 1: REPEAT { select; reserve; retry-control } UNTIL rejected.

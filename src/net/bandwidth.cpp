@@ -13,6 +13,13 @@ namespace {
 constexpr double kSlack = 1e-6;
 }  // namespace
 
+void LedgerObserver::on_reservation_narrowed(const Path& from, const Path& to, Bandwidth amount) {
+  on_release(from, amount);
+  if (!to.links.empty()) {
+    on_reserve(to, amount);
+  }
+}
+
 BandwidthLedger::BandwidthLedger(const Topology& topology, double anycast_share)
     : topology_(&topology) {
   util::require(anycast_share > 0.0 && anycast_share <= 1.0,
@@ -125,6 +132,36 @@ void BandwidthLedger::release(const Path& path, Bandwidth amount) {
     observer_->on_release(path, amount);  // may throw; ledger still untouched
   }
   for (const LinkId id : path.links) {
+    available_[id] = std::min(available_[id] + amount, capacity_[id]);
+  }
+}
+
+void BandwidthLedger::narrow(const Path& from, const Path& to, Bandwidth amount) {
+  util::require(amount > 0.0, "narrow amount must be positive");
+  // Multiset difference: the links of `from` being released. Consumes one
+  // occurrence of each `to` link; everything left over is released.
+  std::vector<LinkId> keep = to.links;
+  std::vector<LinkId> released;
+  released.reserve(from.links.size());
+  for (const LinkId id : from.links) {
+    const auto it = std::find(keep.begin(), keep.end(), id);
+    if (it != keep.end()) {
+      keep.erase(it);
+    } else {
+      released.push_back(id);
+    }
+  }
+  util::require(keep.empty(), "narrowed path must be a sub-path of the original");
+  // Validate first so a bad narrow leaves the ledger untouched.
+  for (const LinkId id : released) {
+    check_link(id);
+    util::ensure(available_[id] + amount <= capacity_[id] + kSlack * amount,
+                 "narrow releases more than was reserved on a link");
+  }
+  if (observer_ != nullptr) {
+    observer_->on_reservation_narrowed(from, to, amount);  // may throw; untouched
+  }
+  for (const LinkId id : released) {
     available_[id] = std::min(available_[id] + amount, capacity_[id]);
   }
 }

@@ -23,6 +23,11 @@ class LedgerObserver {
   /// (the ledger has validated its own bounds but not yet mutated, so a
   /// throwing observer leaves the ledger untouched).
   virtual void on_release(const Path& path, Bandwidth amount) = 0;
+  /// A narrow() is about to shrink a reservation held on `from` down to its
+  /// sub-path `to` (releasing the difference). The default decomposes into
+  /// on_release(from) + on_reserve(to), which keeps any shadow accounting
+  /// exact; override to observe the narrow as a single re-keyed event.
+  virtual void on_reservation_narrowed(const Path& from, const Path& to, Bandwidth amount);
   /// Directed link `id` was taken out of service.
   virtual void on_link_failed(LinkId /*id*/) {}
   /// Directed link `id` was returned to service.
@@ -63,6 +68,14 @@ class BandwidthLedger {
   /// Releases a previous reservation of `amount` on every link of `path`.
   /// Throws InvariantError when releasing more than was reserved.
   void release(const Path& path, Bandwidth amount);
+
+  /// Shrinks a reservation of `amount` held on `from` down to `to`: every
+  /// link of `from` not in `to` (multiset difference) gets `amount` back;
+  /// links in `to` stay reserved. `to.links` must be a sub-multiset of
+  /// `from.links` (an empty `to` releases everything, like release()).
+  /// Used by path repair when part of a route dies: the surviving remnant
+  /// stays reserved while the broken flow waits for re-signaling.
+  void narrow(const Path& from, const Path& to, Bandwidth amount);
 
   /// Number of directed links tracked.
   [[nodiscard]] std::size_t link_count() const { return available_.size(); }

@@ -279,6 +279,33 @@ RouteTable::RouteTable(const Topology& topology, std::vector<NodeId> destination
       routes_.push_back(std::move(*path));
     }
   }
+  reachable_.assign(routes_.size(), 1);
+}
+
+void RouteTable::recompute(const Topology& topology, const std::vector<char>& duplex_up) {
+  util::require(topology.router_count() == router_count_, "topology shape changed");
+  util::require(duplex_up.size() == topology.link_count() / 2,
+                "duplex_up must have one entry per duplex link");
+  const auto usable = [&](LinkId id) { return duplex_up[id / 2] != 0; };
+  std::vector<LinkId> parent;
+  for (NodeId s = 0; s < router_count_; ++s) {
+    const auto dist = bfs(topology, s, usable, &parent);
+    for (std::size_t i = 0; i < destinations_.size(); ++i) {
+      const std::size_t idx = s * destinations_.size() + i;
+      if (dist[destinations_[i]] == kUnreachable) {
+        reachable_[idx] = 0;  // keep the stale path; distance() stays defined
+      } else {
+        routes_[idx] = unwind(topology, s, destinations_[i], parent);
+        reachable_[idx] = 1;
+      }
+    }
+  }
+}
+
+bool RouteTable::has_route(NodeId source, std::size_t index) const {
+  util::require(source < router_count_, "source out of range");
+  util::require(index < destinations_.size(), "destination index out of range");
+  return reachable_[source * destinations_.size() + index] != 0;
 }
 
 const Path& RouteTable::route(NodeId source, std::size_t index) const {
@@ -293,8 +320,11 @@ std::size_t RouteTable::distance(NodeId source, std::size_t index) const {
 
 std::size_t RouteTable::shortest_destination(NodeId source) const {
   std::size_t best = 0;
-  std::size_t best_hops = distance(source, 0);
-  for (std::size_t i = 1; i < destinations_.size(); ++i) {
+  std::size_t best_hops = kUnreachable;
+  for (std::size_t i = 0; i < destinations_.size(); ++i) {
+    if (!has_route(source, i)) {
+      continue;
+    }
     const std::size_t hops = distance(source, i);
     if (hops < best_hops) {
       best = i;

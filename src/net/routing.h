@@ -67,13 +67,30 @@ class RouteTable {
   [[nodiscard]] std::size_t destination_count() const { return destinations_.size(); }
 
   /// Index of the destination with the shortest fixed route from `source`
-  /// (ties toward the lower index) — the SP baseline's choice.
+  /// (ties toward the lower index) — the SP baseline's choice. Destinations
+  /// left unreachable by the last recompute() are skipped; falls back to
+  /// index 0 when nothing is reachable.
   [[nodiscard]] std::size_t shortest_destination(NodeId source) const;
+
+  /// Recomputes every route over the surviving links: `duplex_up[link / 2]`
+  /// says whether that duplex link is operational. Pairs the shrunk topology
+  /// disconnects keep their previous (stale) path — so distance() stays
+  /// defined for selectors — but has_route() turns false for them until a
+  /// later recompute reconnects the pair. Deterministic: same BFS tie-break
+  /// as the constructor, so recomputing with all links up reproduces the
+  /// initial table exactly.
+  void recompute(const Topology& topology, const std::vector<char>& duplex_up);
+
+  /// True when the last (re)computation found a live route for the pair.
+  /// Always true before the first recompute(): the constructor requires a
+  /// connected topology.
+  [[nodiscard]] bool has_route(NodeId source, std::size_t index) const;
 
  private:
   std::vector<NodeId> destinations_;
   std::size_t router_count_;
-  std::vector<Path> routes_;  // router_count x destinations, row-major
+  std::vector<Path> routes_;     // router_count x destinations, row-major
+  std::vector<char> reachable_;  // parallel to routes_; 0 after a partition
 };
 
 }  // namespace anyqos::net

@@ -1,0 +1,91 @@
+#include "src/signaling/path_repair.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "src/util/require.h"
+
+namespace anyqos::signaling {
+
+PathRepair::PathRepair(ReservationProtocol& protocol) : protocol_(&protocol) {}
+
+void PathRepair::add(BrokenFlow flow, const net::Path& held) {
+  util::require(flow.bandwidth_bps > 0.0, "broken flow must carry bandwidth");
+  util::require(queue_.find(flow.flow_id) == queue_.end(), "flow is already queued for repair");
+  util::require(flow.remnant.hops() <= held.hops(), "remnant cannot exceed the held path");
+  protocol_->narrow(held, flow.remnant, flow.bandwidth_bps);
+  stats_.links_released += held.hops() - flow.remnant.hops();
+  ++stats_.broken;
+  queue_.emplace(flow.flow_id, std::move(flow));
+}
+
+void PathRepair::on_link_failing(net::LinkId id) {
+  for (auto& [flow_id, flow] : queue_) {
+    const auto it = std::find(flow.remnant.links.begin(), flow.remnant.links.end(), id);
+    if (it == flow.remnant.links.end()) {
+      continue;
+    }
+    net::Path narrowed = flow.remnant;
+    narrowed.links.erase(narrowed.links.begin() + (it - flow.remnant.links.begin()));
+    protocol_->narrow(flow.remnant, narrowed, flow.bandwidth_bps);
+    flow.remnant = std::move(narrowed);
+    ++stats_.links_released;
+  }
+}
+
+void PathRepair::surrender_remnant(std::uint64_t flow_id) {
+  const auto it = queue_.find(flow_id);
+  util::require(it != queue_.end(), "flow is not queued for repair");
+  BrokenFlow& flow = it->second;
+  if (flow.remnant.links.empty()) {
+    return;
+  }
+  stats_.links_released += flow.remnant.hops();
+  protocol_->force_teardown(flow.remnant, flow.bandwidth_bps);
+  flow.remnant.links.clear();
+}
+
+BrokenFlow PathRepair::resolve(std::uint64_t flow_id, Resolution resolution) {
+  const auto it = queue_.find(flow_id);
+  util::require(it != queue_.end(), "flow is not queued for repair");
+  BrokenFlow flow = std::move(it->second);
+  queue_.erase(it);
+  if (!flow.remnant.links.empty()) {
+    protocol_->force_teardown(flow.remnant, flow.bandwidth_bps);
+  } else if (resolution == Resolution::kRepaired) {
+    ++stats_.break_before_make;
+  }
+  switch (resolution) {
+    case Resolution::kRepaired:
+      ++stats_.repaired;
+      break;
+    case Resolution::kUnrepairable:
+      ++stats_.unrepairable;
+      break;
+    case Resolution::kExpired:
+      ++stats_.expired_in_queue;
+      break;
+  }
+  return flow;
+}
+
+bool PathRepair::contains(std::uint64_t flow_id) const {
+  return queue_.find(flow_id) != queue_.end();
+}
+
+std::vector<std::uint64_t> PathRepair::pending_ids() const {
+  std::vector<std::uint64_t> ids;
+  ids.reserve(queue_.size());
+  for (const auto& [flow_id, flow] : queue_) {
+    ids.push_back(flow_id);
+  }
+  return ids;
+}
+
+const BrokenFlow& PathRepair::broken(std::uint64_t flow_id) const {
+  const auto it = queue_.find(flow_id);
+  util::require(it != queue_.end(), "flow is not queued for repair");
+  return it->second;
+}
+
+}  // namespace anyqos::signaling

@@ -1,0 +1,104 @@
+// Path repair: re-signaling active flows whose route lost a link or router.
+//
+// The paper's model tears a flow down when anything on its fixed route dies.
+// Real deployments re-route: once the routing plane reconverges, the source
+// re-signals the flow over the new route (RSVP "local repair" in spirit).
+// PathRepair is the queue between those two moments. When a link on an
+// active flow's route fails, the flow moves here holding a *narrowed*
+// reservation — the surviving links stay reserved (make-before-break capital)
+// while the dead ones are released so the ledger can take them out of
+// service. After reconvergence the simulation walks the queue in flow-id
+// order and either repairs each flow (reserve the new route, then release
+// the remnant) or declares it unrepairable (endpoint dead, partitioned, or
+// no capacity) and drops it.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "src/net/bandwidth.h"
+#include "src/signaling/rsvp.h"
+
+namespace anyqos::signaling {
+
+/// An admitted flow displaced from the active set by a failure on its route.
+struct BrokenFlow {
+  std::uint64_t flow_id = 0;
+  std::uint64_t request_id = 0;
+  net::NodeId source = 0;
+  std::size_t destination_index = 0;
+  net::Bandwidth bandwidth_bps = 0.0;
+  /// Links of the original route still reserved in the ledger. Not a
+  /// contiguous path — purely a reservation remnant. Empty once every link
+  /// of the route has died (the break-before-make case).
+  net::Path remnant;
+  double admitted_at = 0.0;
+  double broken_at = 0.0;
+};
+
+struct PathRepairStats {
+  std::uint64_t broken = 0;            ///< flows that entered the queue
+  std::uint64_t repaired = 0;          ///< re-signaled onto a live route
+  std::uint64_t unrepairable = 0;      ///< dropped: dead endpoint / no route / no capacity
+  std::uint64_t expired_in_queue = 0;  ///< holding time elapsed while still broken
+  std::uint64_t break_before_make = 0; ///< repairs that completed with no remnant held
+  std::uint64_t links_released = 0;    ///< links narrowed out of queued reservations
+};
+
+/// Holds broken flows between a failure and the post-reconvergence repair
+/// pass. All reservation bookkeeping (narrow on entry, further narrows as
+/// more links die, remnant release on resolution) funnels through the
+/// ReservationProtocol so TEAR hops land in the message counter — the chaos
+/// harness's exact hops reconciliation survives repair storms.
+class PathRepair {
+ public:
+  /// `protocol` must outlive the service.
+  explicit PathRepair(ReservationProtocol& protocol);
+
+  PathRepair(const PathRepair&) = delete;
+  PathRepair& operator=(const PathRepair&) = delete;
+
+  /// Queues a broken flow. `held` is the path whose reservation the flow
+  /// currently holds; it is narrowed down to `flow.remnant` (dead links
+  /// released, TEAR hops charged). `flow.flow_id` must not be queued.
+  void add(BrokenFlow flow, const net::Path& held);
+
+  /// Directed link `id` is about to be taken out of service: narrows every
+  /// queued remnant crossing it so the ledger sees the link idle.
+  void on_link_failing(net::LinkId id);
+
+  /// Releases `flow_id`'s remnant reservation while keeping the flow queued:
+  /// the break-before-make fallback. The remnant's own bandwidth counts
+  /// against links it shares with the replacement route, so when a
+  /// make-before-break reserve fails the caller surrenders the remnant and
+  /// retries once against the freed capacity. No-op on an empty remnant.
+  void surrender_remnant(std::uint64_t flow_id);
+
+  /// Why a queued flow is leaving the queue.
+  enum class Resolution {
+    kRepaired,      ///< caller reserved the new route first (make-before-break)
+    kUnrepairable,  ///< no live route/member/capacity — the flow is dropped
+    kExpired,       ///< the flow's holding time elapsed while broken
+  };
+
+  /// Removes `flow_id` from the queue, releases its remnant reservation (if
+  /// any), and returns the record. For kRepaired the caller must have
+  /// reserved the replacement route *before* calling — the remnant is the
+  /// make-before-break capital and is only surrendered here.
+  BrokenFlow resolve(std::uint64_t flow_id, Resolution resolution);
+
+  [[nodiscard]] bool contains(std::uint64_t flow_id) const;
+  [[nodiscard]] std::size_t pending() const { return queue_.size(); }
+  /// Queued flow ids, ascending — the deterministic repair order.
+  [[nodiscard]] std::vector<std::uint64_t> pending_ids() const;
+  [[nodiscard]] const BrokenFlow& broken(std::uint64_t flow_id) const;
+  [[nodiscard]] const PathRepairStats& stats() const { return stats_; }
+
+ private:
+  ReservationProtocol* protocol_;
+  std::map<std::uint64_t, BrokenFlow> queue_;  // keyed by flow id: ordered, deterministic
+  PathRepairStats stats_;
+};
+
+}  // namespace anyqos::signaling

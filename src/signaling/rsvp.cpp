@@ -49,6 +49,13 @@ void ReservationProtocol::force_teardown(const net::Path& route, net::Bandwidth 
   count_hops(MessageKind::kTear, route.hops());
 }
 
+void ReservationProtocol::narrow(const net::Path& from, const net::Path& to,
+                                 net::Bandwidth bandwidth) {
+  util::require(from.hops() >= to.hops(), "narrow cannot grow a reservation");
+  ledger_->narrow(from, to, bandwidth);
+  count_hops(MessageKind::kTear, from.hops() - to.hops());
+}
+
 void ReservationProtocol::count_hops(MessageKind kind, std::uint64_t hops) {
   counter_->count(kind, hops);
 }

@@ -76,6 +76,13 @@ class ReservationProtocol {
   /// ledger requires the link idle before taking it out of service.
   void force_teardown(const net::Path& route, net::Bandwidth bandwidth);
 
+  /// Shrinks an installed reservation down to the sub-path `to` (see
+  /// BandwidthLedger::narrow); each dropped link sees one TEAR traversal.
+  /// Immediate like force_teardown() — used when the network invalidates
+  /// part of a route and the surviving remnant must stay reserved while the
+  /// flow waits for path repair.
+  void narrow(const net::Path& from, const net::Path& to, net::Bandwidth bandwidth);
+
   /// Hook invoked by the simulation just before directed link `id` is taken
   /// out of service, while reservations on it are still releasable. The
   /// resilient protocol reclaims orphaned state crossing the link here.

@@ -1,11 +1,37 @@
 #include "src/sim/faults.h"
 
 #include <algorithm>
+#include <utility>
 
 #include "src/des/random.h"
+#include "src/net/routing.h"
 #include "src/util/require.h"
 
 namespace anyqos::sim {
+
+namespace {
+
+// One element's alternating up/down renewal process over [0, horizon):
+// Poisson failures at `failure_rate`, exponential(mean_repair_s) outages, the
+// next failure clock starting only after the repair. Consumes `rng` in the
+// exact draw order the link generator has always used (failure gap, then
+// outage length), so link schedules stay byte-identical across versions.
+std::vector<std::pair<double, double>> poisson_outages(des::RandomStream& rng, double horizon_s,
+                                                       double failure_rate,
+                                                       double mean_repair_s) {
+  std::vector<std::pair<double, double>> windows;
+  double t = rng.exponential(1.0 / failure_rate);
+  while (t < horizon_s) {
+    const double down_for = rng.exponential(mean_repair_s);
+    const double repair = std::min(t + down_for, horizon_s + mean_repair_s);
+    windows.emplace_back(t, repair);
+    // The next failure can only begin after the repair completes.
+    t = repair + rng.exponential(1.0 / failure_rate);
+  }
+  return windows;
+}
+
+}  // namespace
 
 LinkFault single_fault(net::NodeId a, net::NodeId b, double fail_at, double repair_at) {
   util::require(repair_at > fail_at, "repair must follow failure");
@@ -32,18 +58,60 @@ std::vector<LinkFault> random_fault_schedule(const net::Topology& topology, doub
   // Each duplex link is represented once by its even (first-direction) id.
   for (net::LinkId id = 0; id < topology.link_count(); id += 2) {
     const net::Arc& arc = topology.link(id);
-    double t = rng.exponential(1.0 / failure_rate);
-    while (t < horizon_s) {
-      const double down_for = rng.exponential(mean_repair_s);
-      const double repair = std::min(t + down_for, horizon_s + mean_repair_s);
-      schedule.push_back(single_fault(arc.from, arc.to, t, repair));
-      // Next failure can only begin after the repair completes.
-      t = repair + rng.exponential(1.0 / failure_rate);
+    for (const auto& [fail_at, repair_at] :
+         poisson_outages(rng, horizon_s, failure_rate, mean_repair_s)) {
+      schedule.push_back(single_fault(arc.from, arc.to, fail_at, repair_at));
     }
   }
   std::sort(schedule.begin(), schedule.end(),
             [](const LinkFault& x, const LinkFault& y) { return x.fail_at < y.fail_at; });
   return schedule;
+}
+
+NodeFault single_node_fault(net::NodeId node, double fail_at, double repair_at) {
+  util::require(repair_at > fail_at, "recovery must follow the crash");
+  util::require(fail_at >= 0.0, "crash time must be non-negative");
+  NodeFault fault;
+  fault.node = node;
+  fault.fail_at = fail_at;
+  fault.repair_at = repair_at;
+  return fault;
+}
+
+std::vector<NodeFault> random_node_fault_schedule(const net::Topology& topology,
+                                                  double horizon_s, double failure_rate,
+                                                  double mean_repair_s, std::uint64_t seed) {
+  util::require(horizon_s >= 0.0, "horizon must be non-negative");
+  util::require(failure_rate >= 0.0, "failure rate must be non-negative");
+  std::vector<NodeFault> schedule;
+  if (horizon_s == 0.0 || failure_rate == 0.0) {
+    return schedule;  // degenerate but well-defined: nothing ever crashes
+  }
+  util::require(mean_repair_s > 0.0, "mean repair time must be positive");
+  des::RandomStream rng(seed);
+  for (net::NodeId node = 0; node < topology.router_count(); ++node) {
+    for (const auto& [fail_at, repair_at] :
+         poisson_outages(rng, horizon_s, failure_rate, mean_repair_s)) {
+      schedule.push_back(single_node_fault(node, fail_at, repair_at));
+    }
+  }
+  std::sort(schedule.begin(), schedule.end(),
+            [](const NodeFault& x, const NodeFault& y) { return x.fail_at < y.fail_at; });
+  return schedule;
+}
+
+std::vector<NodeFault> regional_outage(const net::Topology& topology, net::NodeId epicenter,
+                                       std::size_t radius_hops, double fail_at,
+                                       double repair_at) {
+  util::require(epicenter < topology.router_count(), "epicenter router out of range");
+  const std::vector<std::size_t> distance = net::hop_distances(topology, epicenter);
+  std::vector<NodeFault> outage;
+  for (net::NodeId node = 0; node < topology.router_count(); ++node) {
+    if (distance[node] <= radius_hops) {
+      outage.push_back(single_node_fault(node, fail_at, repair_at));
+    }
+  }
+  return outage;
 }
 
 }  // namespace anyqos::sim

@@ -27,4 +27,27 @@ std::vector<LinkFault> random_fault_schedule(const net::Topology& topology, doub
                                              double failure_rate, double mean_repair_s,
                                              std::uint64_t seed);
 
+/// A single crash/recovery of router `node` (failure-domain plane).
+NodeFault single_node_fault(net::NodeId node, double fail_at, double repair_at);
+
+/// Random router crash schedule: the same per-element renewal process as
+/// random_fault_schedule — each router independently crashes as a Poisson
+/// process with rate `failure_rate` (1 / MTBF, per second) and stays down
+/// for exponential(mean_repair_s) (MTTR) — sorted by crash time and
+/// deterministic in `seed`. Zero rate or zero horizon yields an empty
+/// schedule; per-router outage windows never overlap (a crashed router
+/// cannot crash again until it recovered).
+std::vector<NodeFault> random_node_fault_schedule(const net::Topology& topology,
+                                                  double horizon_s, double failure_rate,
+                                                  double mean_repair_s, std::uint64_t seed);
+
+/// Correlated regional outage: every router within `radius_hops` hops of
+/// `epicenter` (inclusive; radius 0 = the epicenter alone) crashes at
+/// `fail_at` and recovers at `repair_at`. Layer over a random schedule to
+/// model a shared-risk event on top of independent failures — the
+/// simulation hold-counts overlapping outages of the same element.
+std::vector<NodeFault> regional_outage(const net::Topology& topology, net::NodeId epicenter,
+                                       std::size_t radius_hops, double fail_at,
+                                       double repair_at);
+
 }  // namespace anyqos::sim

@@ -14,6 +14,14 @@ FlowId FlowTable::insert(ActiveFlow flow) {
   return id;
 }
 
+void FlowTable::restore(ActiveFlow flow) {
+  util::require(flow.id != 0 && flow.id < next_id_, "restore requires an id this table issued");
+  util::require(flows_.find(flow.id) == flows_.end(),
+                "flow is already active: " + std::to_string(flow.id));
+  const FlowId id = flow.id;
+  flows_.emplace(id, std::move(flow));
+}
+
 ActiveFlow FlowTable::take(FlowId id) {
   const auto it = flows_.find(id);
   util::require(it != flows_.end(), "flow not active: " + std::to_string(id));

@@ -30,6 +30,11 @@ class FlowTable {
   /// Registers a flow; assigns and returns a fresh id.
   FlowId insert(ActiveFlow flow);
 
+  /// Re-registers a flow that was previously removed, keeping its id (path
+  /// repair: the departure timer armed at admission still refers to it).
+  /// The id must have been issued by this table and must not be active.
+  void restore(ActiveFlow flow);
+
   /// Removes and returns the flow; throws std::invalid_argument if absent.
   ActiveFlow take(FlowId id);
 

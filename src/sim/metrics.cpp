@@ -85,6 +85,20 @@ void MetricsCollector::record_shed() {
   }
 }
 
+void MetricsCollector::record_repair(bool repaired) {
+  if (repaired) {
+    ++lifetime_repaired_;
+  }
+  if (!measuring_) {
+    return;
+  }
+  if (repaired) {
+    ++repaired_;
+  } else {
+    ++unrepairable_;
+  }
+}
+
 std::uint64_t MetricsCollector::teardowns(TeardownCause cause) const {
   const auto index = static_cast<std::size_t>(cause);
   util::require(index < kTeardownCauseCount, "unknown teardown cause");

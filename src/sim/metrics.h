@@ -59,6 +59,12 @@ class MetricsCollector {
   /// attempts/messages statistics, exactly because they cost zero walks —
   /// the separate tally keeps the two rejection causes distinguishable.
   void record_shed();
+  /// Records one path-repair resolution for a flow broken by a failure on
+  /// its route: re-signaled onto the post-reconvergence route (`repaired`)
+  /// or dropped (unrepairable — dead endpoint, partition, or no capacity).
+  /// Counted separately from churn failover: repair preserves the admitted
+  /// flow, failover re-offers a torn-down one.
+  void record_repair(bool repaired);
 
   // --- Results (valid once measuring) ---
   [[nodiscard]] std::uint64_t offered() const { return offered_; }
@@ -87,6 +93,10 @@ class MetricsCollector {
   [[nodiscard]] std::uint64_t failover_admitted() const { return failover_admitted_; }
   /// Requests shed by the governor's signaling budget (measurement window).
   [[nodiscard]] std::uint64_t shed() const { return shed_; }
+  /// Broken flows re-signaled onto a live route (measurement window).
+  [[nodiscard]] std::uint64_t repaired() const { return repaired_; }
+  /// Broken flows dropped because no repair was possible (measurement window).
+  [[nodiscard]] std::uint64_t unrepairable() const { return unrepairable_; }
 
   // --- Lifetime tallies (warm-up included) ---
   // The timeline sampler computes windowed rates from cumulative counters,
@@ -107,6 +117,8 @@ class MetricsCollector {
     return lifetime_failover_admitted_;
   }
   [[nodiscard]] std::uint64_t lifetime_shed() const { return lifetime_shed_; }
+  /// Successful path repairs, lifetime (the repairs_per_s timeline column).
+  [[nodiscard]] std::uint64_t lifetime_repaired() const { return lifetime_repaired_; }
 
  private:
   bool measuring_ = false;
@@ -117,7 +129,10 @@ class MetricsCollector {
   std::uint64_t failover_attempts_ = 0;
   std::uint64_t failover_admitted_ = 0;
   std::uint64_t shed_ = 0;
+  std::uint64_t repaired_ = 0;
+  std::uint64_t unrepairable_ = 0;
   std::uint64_t lifetime_shed_ = 0;
+  std::uint64_t lifetime_repaired_ = 0;
   std::uint64_t lifetime_offered_ = 0;
   std::uint64_t lifetime_admitted_ = 0;
   std::uint64_t lifetime_attempts_ = 0;

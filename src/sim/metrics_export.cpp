@@ -65,6 +65,28 @@ void export_metrics(const Simulation& simulation, const SimulationConfig& config
   failover_counter("admitted", result.failover_admitted);
   failover_counter("rejected", result.failover_attempts - result.failover_admitted);
 
+  if (config.path_repair || config.reconvergence != nullptr || !config.node_faults.empty()) {
+    // Failure-domain families appear only when the plane is engaged, keeping
+    // the export byte-identical for runs without it (same gate as `shed`).
+    auto repair_counter = [&](const char* outcome, std::uint64_t value) {
+      registry
+          .counter("anyqos_path_repair_total",
+                   "Broken flows re-signaled after reconvergence, by outcome.",
+                   with({{"outcome", outcome}}))
+          .increment(value);
+    };
+    repair_counter("repaired", result.repaired);
+    repair_counter("unrepairable", result.unrepairable);
+    registry
+        .counter("anyqos_reconvergences_total",
+                 "Route-table recomputes committed after topology changes.", system)
+        .increment(result.reconvergences);
+    registry
+        .counter("anyqos_node_outages_total",
+                 "Router crash transitions applied (overlaps merged).", system)
+        .increment(result.node_outages);
+  }
+
   auto recovery_counter = [&](const char* event, std::uint64_t value) {
     registry
         .counter("anyqos_signaling_recovery_total",

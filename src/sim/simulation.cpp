@@ -52,6 +52,11 @@ Simulation::Simulation(const net::Topology& topology, SimulationConfig config)
                   "churn event references a member outside the group");
     util::require(event.up_at > event.down_at, "member recovery must follow the outage");
   }
+  for (const NodeFault& fault : config_.node_faults) {
+    util::require(fault.node < topology.router_count(),
+                  "node fault references a router out of range");
+    util::require(fault.repair_at > fault.fail_at, "node recovery must follow the crash");
+  }
 
   util::require(!(config_.use_gdi && config_.use_centralized),
                 "GDI and centralized baselines are mutually exclusive");
@@ -61,6 +66,12 @@ Simulation::Simulation(const net::Topology& topology, SimulationConfig config)
   util::require(is_dac || config_.churn.empty(), "member churn applies to DAC runs only");
   util::require(is_dac || config_.governor == nullptr,
                 "the overload governor applies to DAC runs only");
+  util::require(is_dac || config_.node_faults.empty(), "node faults apply to DAC runs only");
+  util::require(is_dac || config_.reconvergence == nullptr,
+                "routing reconvergence applies to DAC runs only");
+  util::require(!config_.path_repair || config_.reconvergence != nullptr,
+                "path repair re-signals over post-reconvergence routes; set "
+                "config.reconvergence");
   util::require(config_.ops_interval_s > 0.0, "ops poll interval must be positive");
   util::require((config_.ops_mailbox == nullptr && config_.ops_replay.empty()) ||
                     config_.governor != nullptr,
@@ -77,6 +88,17 @@ Simulation::Simulation(const net::Topology& topology, SimulationConfig config)
     resilient_ = static_cast<signaling::ResilientReservationProtocol*>(rsvp_.get());
   } else {
     rsvp_ = std::make_unique<signaling::ReservationProtocol>(ledger_, counter_);
+  }
+  duplex_hold_.assign(topology.link_count() / 2, 0);
+  duplex_up_.assign(topology.link_count() / 2, 1);
+  node_hold_.assign(topology.router_count(), 0);
+  if (config_.path_repair) {
+    repair_ = std::make_unique<signaling::PathRepair>(*rsvp_);
+  }
+  if (config_.reconvergence != nullptr) {
+    // The policy's delay depends only on the full topology (flooding rounds
+    // are bounded by the intact diameter), so price it once up front.
+    reconverge_delay_s_ = config_.reconvergence->delay_s(topology);
   }
   if (config_.tracer != nullptr) {
     config_.tracer->set_clock([this] { return simulator_.now(); });
@@ -262,6 +284,21 @@ void Simulation::wire_timeline() {
                  [this] { return static_cast<double>(governor_->open_breakers()); });
     tl.add_counter("shed_per_s",
                    [this] { return static_cast<double>(metrics_.lifetime_shed()); });
+  }
+  if (!config_.node_faults.empty() || config_.reconvergence != nullptr ||
+      config_.path_repair) {
+    // Failure-domain columns appear only when the plane is engaged, keeping
+    // unattached timelines byte-identical (same contract as the governor's).
+    tl.add_gauge("routes_stale", [this] { return routes_stale_ ? 1.0 : 0.0; });
+    tl.add_gauge("nodes_down", [this] {
+      double down = 0.0;
+      for (const std::uint32_t hold : node_hold_) {
+        down += hold > 0 ? 1.0 : 0.0;
+      }
+      return down;
+    });
+    tl.add_counter("repairs_per_s",
+                   [this] { return static_cast<double>(metrics_.lifetime_repaired()); });
   }
   const bool is_dac = !config_.use_gdi && !config_.use_centralized;
   for (std::size_t index = 0; index < group_.size(); ++index) {
@@ -567,6 +604,19 @@ void Simulation::handle_arrival() {
 
 void Simulation::handle_departure(FlowId id) {
   if (!flows_.contains(id)) {
+    if (repair_ != nullptr && repair_->contains(id)) {
+      // The flow's holding time elapsed while it waited for repair: it
+      // departs from the queue, releasing whatever remnant it still held.
+      const signaling::BrokenFlow flow =
+          repair_->resolve(id, signaling::PathRepair::Resolution::kExpired);
+      metrics_.record_teardown(TeardownCause::kExplicit);
+      if (!flow.remnant.links.empty()) {
+        touch_links(flow.remnant);
+      }
+      metrics_.record_active_flows(simulator_.now(), flows_.size());
+      emit_trace(TraceEventKind::kDeparted, flow.request_id, flow.source,
+                 group_.member(flow.destination_index), 0, flow.bandwidth_bps);
+    }
     return;  // the flow was torn down earlier by a link failure
   }
   const ActiveFlow flow = flows_.take(id);
@@ -586,7 +636,30 @@ void Simulation::handle_departure(FlowId id) {
 
 void Simulation::drop_flows_on_link(net::LinkId link) {
   for (const FlowId id : flows_.flows_using_link(link)) {
-    const ActiveFlow flow = flows_.take(id);
+    ActiveFlow flow = flows_.take(id);
+    if (repair_ != nullptr && node_hold_[flow.source] == 0) {
+      // Path repair: instead of dropping, park the flow in the repair queue
+      // holding its surviving links (make-before-break capital). The failing
+      // link itself is narrowed out so the ledger can take it out of service.
+      // Flows sourced at a crashed router fall through to the plain drop —
+      // the AC router that would re-signal them is gone.
+      signaling::BrokenFlow broken;
+      broken.flow_id = flow.id;
+      broken.request_id = flow.request_id;
+      broken.source = flow.source;
+      broken.destination_index = flow.destination_index;
+      broken.bandwidth_bps = flow.bandwidth_bps;
+      broken.admitted_at = flow.admitted_at;
+      broken.broken_at = simulator_.now();
+      for (const net::LinkId survivor : flow.route.links) {
+        if (survivor != link) {
+          broken.remnant.links.push_back(survivor);
+        }
+      }
+      repair_->add(std::move(broken), flow.route);
+      touch_links(flow.route);
+      continue;  // outcome (kRepaired / kRepairFailed / kDeparted) traces later
+    }
     if (config_.use_gdi) {
       ledger_.release(flow.route, flow.bandwidth_bps);
     } else {
@@ -603,14 +676,24 @@ void Simulation::drop_flows_on_link(net::LinkId link) {
   metrics_.record_active_flows(simulator_.now(), flows_.size());
 }
 
-void Simulation::apply_fault(const LinkFault& fault) {
-  const net::LinkId forward = *topology_->find_link(fault.a, fault.b);
+bool Simulation::take_duplex_down(net::LinkId forward) {
+  const std::size_t duplex = forward / 2;
+  if (++duplex_hold_[duplex] > 1) {
+    return false;  // already out of service under an overlapping outage
+  }
+  duplex_up_[duplex] = 0;
   const net::LinkId backward = topology_->reverse_link(forward);
   drop_flows_on_link(forward);
   drop_flows_on_link(backward);
-  // Orphaned (soft-state) reservations crossing the link vanish with it.
+  // Orphaned (soft-state) reservations crossing the link vanish with it, and
+  // queued broken flows shed the dying link from their held remnants — both
+  // before fail_link, which requires the directed links idle.
   rsvp_->on_link_failing(forward);
   rsvp_->on_link_failing(backward);
+  if (repair_ != nullptr) {
+    repair_->on_link_failing(forward);
+    repair_->on_link_failing(backward);
+  }
   ledger_.fail_link(forward);
   ledger_.fail_link(backward);
   const double now = simulator_.now();
@@ -622,26 +705,222 @@ void Simulation::apply_fault(const LinkFault& fault) {
     timeline_->note(link_hwm_columns_[forward], 1.0);
     timeline_->note(link_hwm_columns_[backward], 1.0);
   }
-  emit_trace(TraceEventKind::kLinkDown, 0, fault.a, fault.b, 0, 0.0);
-  if (flight_ != nullptr) {
-    // Dump after the drops so the snapshot carries the victims' final events.
-    std::string reason = "link_fault ";
-    reason += std::to_string(fault.a);
-    reason += "->";
-    reason += std::to_string(fault.b);
-    flight_->trigger(now, reason);
-  }
+  note_topology_change();
+  // Trace the transition here so link kills from a node crash are visible
+  // exactly like scheduled link faults.
+  const net::Arc& arc = topology_->link(forward);
+  emit_trace(TraceEventKind::kLinkDown, 0, arc.from, arc.to, 0, 0.0);
+  return true;
 }
 
-void Simulation::repair_fault(const LinkFault& fault) {
-  const net::LinkId forward = *topology_->find_link(fault.a, fault.b);
+bool Simulation::bring_duplex_up(net::LinkId forward) {
+  const std::size_t duplex = forward / 2;
+  util::ensure(duplex_hold_[duplex] > 0, "duplex repair without a matching outage");
+  if (--duplex_hold_[duplex] > 0) {
+    return false;  // another overlapping outage still holds the link down
+  }
+  duplex_up_[duplex] = 1;
   const net::LinkId backward = topology_->reverse_link(forward);
   ledger_.restore_link(forward);
   ledger_.restore_link(backward);
   const double now = simulator_.now();
   link_utilization_[forward].update(now, 0.0);
   link_utilization_[backward].update(now, 0.0);
-  emit_trace(TraceEventKind::kLinkUp, 0, fault.a, fault.b, 0, 0.0);
+  note_topology_change();
+  const net::Arc& arc = topology_->link(forward);
+  emit_trace(TraceEventKind::kLinkUp, 0, arc.from, arc.to, 0, 0.0);
+  return true;
+}
+
+void Simulation::apply_fault(const LinkFault& fault) {
+  const net::LinkId forward = *topology_->find_link(fault.a, fault.b);
+  if (!take_duplex_down(forward)) {
+    return;  // overlapping schedules (or the enclosing node is down)
+  }
+  if (flight_ != nullptr) {
+    // Dump after the drops so the snapshot carries the victims' final events.
+    std::string reason = "link_fault ";
+    reason += std::to_string(fault.a);
+    reason += "->";
+    reason += std::to_string(fault.b);
+    flight_->trigger(simulator_.now(), reason);
+  }
+}
+
+void Simulation::repair_fault(const LinkFault& fault) {
+  const net::LinkId forward = *topology_->find_link(fault.a, fault.b);
+  (void)bring_duplex_up(forward);  // no-op while an overlapping outage holds it
+}
+
+void Simulation::apply_node_down(const NodeFault& fault) {
+  if (++node_hold_[fault.node] > 1) {
+    return;  // overlapping outages: the router is already down
+  }
+  ++node_outages_;
+  emit_trace(TraceEventKind::kNodeDown, 0, fault.node, net::kInvalidNode, 0, 0.0);
+  // Co-located group members die with the router. Their flows' endpoints are
+  // gone even where the route survives, so they tear down as churn does —
+  // but failover is deferred until after the incident links fail, so a
+  // re-admission walks the (stale) routes against the true post-crash
+  // network and fails realistically with PATH_ERR where they cross it.
+  std::vector<ActiveFlow> displaced;
+  for (std::size_t member = 0; member < group_.size(); ++member) {
+    if (group_.member(member) != fault.node || !group_.is_up(member)) {
+      continue;
+    }
+    group_.set_member_up(member, false);
+    if (governor_ != nullptr) {
+      // Trip the breaker with the crash: when the router recovers the member
+      // stays masked until the cooldown's half-open probe proves it healthy.
+      governor_->on_member_churn(member);
+    }
+    emit_trace(TraceEventKind::kMemberDown, 0, fault.node, net::kInvalidNode, 0, 0.0);
+    for (const FlowId id : flows_.flows_to_member(member)) {
+      ActiveFlow flow = flows_.take(id);
+      rsvp_->teardown(flow.route, flow.bandwidth_bps);
+      touch_links(flow.route);
+      metrics_.record_teardown(TeardownCause::kChurn);
+      emit_trace(TraceEventKind::kDropped, flow.request_id, flow.source,
+                 group_.member(flow.destination_index), 0, flow.bandwidth_bps);
+      if (config_.failover_readmit && !draining_) {
+        displaced.push_back(std::move(flow));
+      }
+    }
+  }
+  // Every incident duplex link fails atomically with the crash; transit
+  // flows crossing the router are dropped (or queued for repair) here.
+  for (net::LinkId id = 0; id < topology_->link_count(); id += 2) {
+    const net::Arc& arc = topology_->link(id);
+    if (arc.from == fault.node || arc.to == fault.node) {
+      take_duplex_down(id);
+    }
+  }
+  for (const ActiveFlow& flow : displaced) {
+    if (node_hold_[flow.source] > 0) {
+      continue;  // the AC-router that would re-signal crashed too
+    }
+    attempt_failover(flow);
+  }
+  metrics_.record_active_flows(simulator_.now(), flows_.size());
+  if (flight_ != nullptr) {
+    // After the teardown/failover cascade: the snapshot carries every
+    // victim's final events and any re-admission spans.
+    std::string reason = "node_crash node=";
+    reason += std::to_string(fault.node);
+    flight_->trigger(simulator_.now(), reason);
+  }
+}
+
+void Simulation::apply_node_up(const NodeFault& fault) {
+  util::ensure(node_hold_[fault.node] > 0, "node recovery without a matching crash");
+  if (--node_hold_[fault.node] > 0) {
+    return;  // another overlapping outage still holds the router down
+  }
+  for (net::LinkId id = 0; id < topology_->link_count(); id += 2) {
+    const net::Arc& arc = topology_->link(id);
+    if (arc.from == fault.node || arc.to == fault.node) {
+      bring_duplex_up(id);
+    }
+  }
+  for (std::size_t member = 0; member < group_.size(); ++member) {
+    if (group_.member(member) == fault.node && !group_.is_up(member)) {
+      group_.set_member_up(member, true);
+      emit_trace(TraceEventKind::kMemberUp, 0, fault.node, net::kInvalidNode, 0, 0.0);
+    }
+  }
+  emit_trace(TraceEventKind::kNodeUp, 0, fault.node, net::kInvalidNode, 0, 0.0);
+}
+
+void Simulation::note_topology_change() {
+  if (config_.reconvergence == nullptr) {
+    return;  // the paper's static-route model: tables never react
+  }
+  routes_stale_ = true;
+  const std::uint64_t generation = ++route_generation_;
+  // Restart semantics: every change re-arms the full convergence delay, and
+  // a superseded timer no-ops — a burst of changes (a node crash failing
+  // several links at once) converges once, after its last change.
+  simulator_.schedule_in(reconverge_delay_s_, [this, generation] {
+    if (generation != route_generation_) {
+      return;
+    }
+    reconverge();
+  });
+}
+
+void Simulation::reconverge() {
+  routes_.recompute(*topology_, duplex_up_);
+  routes_stale_ = false;
+  ++reconvergences_;
+  emit_trace(TraceEventKind::kReconverged, 0, net::kInvalidNode, net::kInvalidNode, 0, 0.0);
+  if (repair_ != nullptr) {
+    run_repair_pass();
+  }
+}
+
+void Simulation::run_repair_pass() {
+  for (const FlowId id : repair_->pending_ids()) {
+    const signaling::BrokenFlow& broken = repair_->broken(id);
+    const std::size_t member = broken.destination_index;
+    // Make-before-break: reserve the fresh route while the remnant is still
+    // held, then resolve() releases the remnant. When nothing survived the
+    // outage this degrades to break-before-make (tallied by the service).
+    bool admitted = false;
+    net::Path route;
+    const std::uint64_t messages_before = counter_.total();
+    if (config_.tracer != nullptr && config_.tracer->active()) {
+      config_.tracer->begin_request(broken.request_id, broken.source, broken.bandwidth_bps,
+                                    "repair", 0, group_.size());
+    }
+    if (group_.is_up(member) && routes_.has_route(broken.source, member)) {
+      route = routes_.route(broken.source, member);
+      admitted = rsvp_->reserve(route, broken.bandwidth_bps).admitted;
+      (void)rsvp_->consume_pending_wait();  // repair waits stay out of setup delay
+      if (!admitted && !broken.remnant.links.empty()) {
+        // Break-before-make fallback: the remnant's own bandwidth blocks the
+        // fresh reserve on links the old and new routes share, so surrender
+        // it and retry once against the freed capacity.
+        const net::Path surrendered = broken.remnant;
+        repair_->surrender_remnant(id);
+        touch_links(surrendered);
+        admitted = rsvp_->reserve(route, broken.bandwidth_bps).admitted;
+        (void)rsvp_->consume_pending_wait();
+      }
+    }
+    if (config_.tracer != nullptr && config_.tracer->active()) {
+      config_.tracer->end_request(admitted,
+                                  admitted ? std::optional<std::size_t>(member) : std::nullopt,
+                                  counter_.total() - messages_before);
+    }
+    if (admitted) {
+      const signaling::BrokenFlow done =
+          repair_->resolve(id, signaling::PathRepair::Resolution::kRepaired);
+      ActiveFlow flow;
+      flow.id = id;
+      flow.request_id = done.request_id;
+      flow.source = done.source;
+      flow.destination_index = done.destination_index;
+      flow.route = route;
+      flow.bandwidth_bps = done.bandwidth_bps;
+      flow.admitted_at = done.admitted_at;
+      flows_.restore(std::move(flow));  // keeps the armed departure timer valid
+      touch_links(route);
+      metrics_.record_repair(true);
+      emit_trace(TraceEventKind::kRepaired, done.request_id, done.source,
+                 group_.member(member), 0, done.bandwidth_bps);
+    } else {
+      const signaling::BrokenFlow done =
+          repair_->resolve(id, signaling::PathRepair::Resolution::kUnrepairable);
+      if (!done.remnant.links.empty()) {
+        touch_links(done.remnant);
+      }
+      metrics_.record_dropped_flow();
+      metrics_.record_repair(false);
+      emit_trace(TraceEventKind::kRepairFailed, done.request_id, done.source,
+                 group_.member(member), 0, done.bandwidth_bps);
+    }
+  }
+  metrics_.record_active_flows(simulator_.now(), flows_.size());
 }
 
 void Simulation::apply_member_down(std::size_t member) {
@@ -686,6 +965,9 @@ void Simulation::apply_member_down(std::size_t member) {
 void Simulation::apply_member_up(std::size_t member) {
   if (group_.is_up(member)) {
     return;
+  }
+  if (node_hold_[group_.member(member)] > 0) {
+    return;  // the member's router is crashed; node recovery will revive it
   }
   group_.set_member_up(member, true);
   emit_trace(TraceEventKind::kMemberUp, 0, group_.member(member), net::kInvalidNode, 0, 0.0);
@@ -792,6 +1074,10 @@ SimulationResult Simulation::run() {
     simulator_.schedule_at(event.up_at,
                            [this, event] { apply_member_up(event.member_index); });
   }
+  for (const NodeFault& fault : config_.node_faults) {
+    simulator_.schedule_at(fault.fail_at, [this, fault] { apply_node_down(fault); });
+    simulator_.schedule_at(fault.repair_at, [this, fault] { apply_node_up(fault); });
+  }
   // Initialize utilization tracking at t = 0 so time averages cover the run.
   for (net::LinkId id = 0; id < topology_->link_count(); ++id) {
     link_utilization_[id].update(0.0, 0.0);
@@ -857,6 +1143,10 @@ SimulationResult Simulation::run() {
   result.failover_attempts = metrics_.failover_attempts();
   result.failover_admitted = metrics_.failover_admitted();
   result.shed = metrics_.shed();
+  result.repaired = metrics_.repaired();
+  result.unrepairable = metrics_.unrepairable();
+  result.reconvergences = reconvergences_;
+  result.node_outages = node_outages_;
   if (resilient_ != nullptr) {
     result.resilience = resilient_->stats();
   }

@@ -25,6 +25,7 @@
 #include "src/obs/registry.h"
 #include "src/obs/span.h"
 #include "src/obs/timeline.h"
+#include "src/net/reconvergence.h"
 #include "src/net/routing.h"
 #include "src/net/topologies.h"
 #include "src/sim/churn.h"
@@ -32,6 +33,7 @@
 #include "src/sim/metrics.h"
 #include "src/sim/trace.h"
 #include "src/sim/traffic.h"
+#include "src/signaling/path_repair.h"
 #include "src/signaling/probe.h"
 #include "src/signaling/resilient.h"
 #include "src/signaling/rsvp.h"
@@ -47,6 +49,18 @@ struct LinkFault {
   net::NodeId b = net::kInvalidNode;  ///< duplex link endpoint
   double fail_at = 0.0;               ///< outage start (simulated seconds)
   double repair_at = 0.0;             ///< outage end; must exceed fail_at
+};
+
+/// A scheduled router crash/recovery (failure-domain plane; see faults.h for
+/// generators). A down router takes every incident duplex link out
+/// atomically and any co-located group members with it. Outages of the same
+/// element may overlap (correlated regional outages + independent link
+/// faults): links and nodes are hold-counted, so an element returns to
+/// service only when every overlapping outage holding it down has ended.
+struct NodeFault {
+  net::NodeId node = net::kInvalidNode;  ///< the crashing router
+  double fail_at = 0.0;                  ///< crash time (simulated seconds)
+  double repair_at = 0.0;                ///< recovery; must exceed fail_at
 };
 
 /// Full description of one simulation run.
@@ -94,6 +108,26 @@ struct SimulationConfig {
   /// procedure (fresh request, remaining members only). Counted separately
   /// from offered traffic as failover attempts/admissions.
   bool failover_readmit = true;
+  /// Router crash/recovery schedule (see faults.h for Poisson MTBF/MTTR and
+  /// regional-outage generators). DAC runs only. A crash fails every
+  /// incident link (hold-counted against overlapping link faults) and takes
+  /// co-located group members down; member churn cannot revive a member
+  /// whose router is crashed.
+  std::vector<NodeFault> node_faults;
+  /// Routing reconvergence model (must outlive the simulation). When set,
+  /// every duplex up/down transition schedules a route-table recompute
+  /// `delay_s` later (restart semantics: a burst converges once, after its
+  /// last change). During the stale window admission walks the old routes
+  /// and fails realistically with PATH_ERR; members the recompute leaves
+  /// unreachable are masked from selection like down members. Unset keeps
+  /// the paper's static routes forever — unchanged behaviour. DAC runs only.
+  net::ReconvergencePolicy* reconvergence = nullptr;
+  /// Re-signal flows whose route lost a link instead of dropping them: the
+  /// broken flow holds its surviving links (narrowed reservation) until the
+  /// next reconvergence, then re-reserves over the fresh route
+  /// (make-before-break; break-before-make when nothing survived) or is
+  /// dropped as unrepairable. Requires `reconvergence`. DAC runs only.
+  bool path_repair = false;
   /// After the measurement window, stop offering new flows and run the
   /// calendar dry (departures, orphan reclaims, repairs, recoveries). With
   /// this set a clean run ends with zero reserved bandwidth everywhere —
@@ -185,6 +219,17 @@ struct SimulationResult {
   /// with no reservation walk. Counted separately from capacity rejections
   /// and excluded from `offered` (shed requests never enter the DAC loop).
   std::uint64_t shed = 0;
+  /// Broken flows re-signaled onto the post-reconvergence route (path
+  /// repair; counted separately from churn failover — repair preserves the
+  /// admitted flow, failover re-offers a torn-down one).
+  std::uint64_t repaired = 0;
+  /// Broken flows dropped because no repair was possible (dead endpoint,
+  /// partition, or no capacity on the new route). Also in dropped_by_fault.
+  std::uint64_t unrepairable = 0;
+  /// Route-table recomputes committed (0 without a reconvergence policy).
+  std::uint64_t reconvergences = 0;
+  /// Router crash transitions applied (overlap-merged).
+  std::uint64_t node_outages = 0;
   /// Control-plane recovery tallies (all zero unless config.resilience set).
   signaling::ResilienceStats resilience;
   std::vector<std::uint64_t> per_destination_admissions;
@@ -254,6 +299,18 @@ class Simulation {
     return resilient_;
   }
 
+  /// Broken flows still queued for repair (0 after a clean drain — the chaos
+  /// harness counts a non-empty queue as a leak).
+  [[nodiscard]] std::size_t pending_repairs() const {
+    return repair_ ? repair_->pending() : 0;
+  }
+  /// Repair-plane tallies (all zero unless config.path_repair).
+  [[nodiscard]] signaling::PathRepairStats repair_stats() const {
+    return repair_ ? repair_->stats() : signaling::PathRepairStats{};
+  }
+  /// True while the route table lags a topology change (reconvergence runs).
+  [[nodiscard]] bool routes_stale() const { return routes_stale_; }
+
   /// "<A,R>" label for this configuration (e.g. "<WD/D+H,2>", "GDI").
   [[nodiscard]] static std::string system_label(const SimulationConfig& config);
 
@@ -263,7 +320,20 @@ class Simulation {
   void handle_departure(FlowId id);
   void apply_fault(const LinkFault& fault);
   void repair_fault(const LinkFault& fault);
+  void apply_node_down(const NodeFault& fault);
+  void apply_node_up(const NodeFault& fault);
+  /// Hold-counted duplex transitions (`forward` = even link id). Return true
+  /// on an actual 0->1 (down) / 1->0 (up) state change; overlapping outages
+  /// of the same duplex only transition once.
+  bool take_duplex_down(net::LinkId forward);
+  bool bring_duplex_up(net::LinkId forward);
   void drop_flows_on_link(net::LinkId link);
+  /// Records a duplex up/down transition with the reconvergence plane:
+  /// schedules a route recompute after the policy delay (restart semantics —
+  /// a later change supersedes the pending one). No-op without a policy.
+  void note_topology_change();
+  void reconverge();
+  void run_repair_pass();
   void apply_member_down(std::size_t member);
   void apply_member_up(std::size_t member);
   void attempt_failover(const ActiveFlow& displaced);
@@ -306,6 +376,17 @@ class Simulation {
   FlowTable flows_;
   MetricsCollector metrics_;
   std::vector<stats::TimeWeighted> link_utilization_;
+  // --- Failure-domain plane (empty/idle unless node faults, reconvergence,
+  // or path repair are configured) ---
+  std::vector<std::uint32_t> duplex_hold_;  // overlapping outages per duplex link
+  std::vector<char> duplex_up_;             // 1 while hold count is zero
+  std::vector<std::uint32_t> node_hold_;    // overlapping outages per router
+  std::unique_ptr<signaling::PathRepair> repair_;  // non-null iff path_repair
+  double reconverge_delay_s_ = 0.0;
+  std::uint64_t route_generation_ = 0;  // bumps per change; stale timers no-op
+  bool routes_stale_ = false;
+  std::uint64_t reconvergences_ = 0;
+  std::uint64_t node_outages_ = 0;
   obs::Timeline* timeline_ = nullptr;         // config_.timeline, hot-path copy
   obs::FlightRecorder* flight_ = nullptr;     // config_.flight_recorder, hot-path copy
   control::OverloadGovernor* governor_ = nullptr;  // config_.governor, hot-path copy

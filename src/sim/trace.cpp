@@ -29,6 +29,16 @@ std::string to_string(TraceEventKind kind) {
       return "FAILOVER";
     case TraceEventKind::kShed:
       return "SHED";
+    case TraceEventKind::kNodeDown:
+      return "NODE_DOWN";
+    case TraceEventKind::kNodeUp:
+      return "NODE_UP";
+    case TraceEventKind::kReconverged:
+      return "RECONVERGED";
+    case TraceEventKind::kRepaired:
+      return "REPAIRED";
+    case TraceEventKind::kRepairFailed:
+      return "REPAIR_FAILED";
   }
   util::unreachable("TraceEventKind");
 }

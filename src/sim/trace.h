@@ -24,6 +24,11 @@ enum class TraceEventKind : std::uint8_t {
   kMemberUp,   // a churned member recovered
   kFailover,   // a displaced flow was re-admitted to another member
   kShed,       // request fast-rejected by the governor's signaling budget
+  kNodeDown,   // a router crashed (all incident links + co-located members)
+  kNodeUp,     // a crashed router recovered
+  kReconverged,// the route table recomputed after a topology change
+  kRepaired,   // a broken flow was re-signaled onto the new route
+  kRepairFailed, // a broken flow could not be repaired and was dropped
 };
 
 std::string to_string(TraceEventKind kind);

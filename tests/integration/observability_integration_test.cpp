@@ -107,7 +107,12 @@ TEST(ObservabilityIntegration, SpansReconcileExactlyWithMetrics) {
       case sim::TraceEventKind::kLinkUp:
       case sim::TraceEventKind::kMemberDown:
       case sim::TraceEventKind::kMemberUp:
-      case sim::TraceEventKind::kShed:  // no governor in this run
+      case sim::TraceEventKind::kShed:          // no governor in this run
+      case sim::TraceEventKind::kNodeDown:      // no node faults in this run
+      case sim::TraceEventKind::kNodeUp:
+      case sim::TraceEventKind::kReconverged:   // no reconvergence policy either
+      case sim::TraceEventKind::kRepaired:
+      case sim::TraceEventKind::kRepairFailed:
         break;
     }
   }

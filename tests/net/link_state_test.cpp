@@ -156,5 +156,65 @@ TEST_P(LsEquivalence, FloodedSpfMatchesBfs) {
 
 INSTANTIATE_TEST_SUITE_P(Topologies, LsEquivalence, ::testing::Values(0, 1, 2, 3, 4));
 
+TEST(LinkState, RepairPathsEqualFreshSpfAfterFailAndRestore) {
+  // The path-repair plane's core assumption: after a fail + restore cycle
+  // and full reconvergence, every router's SPF answer is indistinguishable
+  // from a freshly computed one — stale "down" LSAs must not linger. Swept
+  // across the paper's backbone, a grid, and a random Waxman graph.
+  const Topology topologies[] = {
+      topologies::mci_backbone(),
+      topologies::grid(4, 4),
+      topologies::waxman(16, 0.6, 0.4, 42),
+  };
+  for (const Topology& topo : topologies) {
+    LinkStateProtocol protocol(topo);
+    protocol.converge();
+    // Fail and later restore a handful of links spread over the graph.
+    for (LinkId link = 0; link < topo.link_count(); link += 10) {
+      protocol.fail_duplex_link(link);
+      protocol.converge();
+      protocol.restore_duplex_link(link);
+      protocol.converge();
+    }
+    ASSERT_TRUE(protocol.converged());
+    for (NodeId s = 0; s < topo.router_count(); ++s) {
+      ASSERT_TRUE(protocol.database_complete(s)) << "router " << s;
+      for (NodeId d = 0; d < topo.router_count(); ++d) {
+        const auto spf = protocol.spf_path(s, d);
+        const auto central = shortest_path(topo, s, d);
+        ASSERT_EQ(spf.has_value(), central.has_value()) << s << "->" << d;
+        if (spf.has_value()) {
+          EXPECT_EQ(spf->links, central->links) << s << "->" << d;
+        }
+      }
+    }
+  }
+}
+
+TEST(LinkState, RoutesDuringOutageEqualSpfOnThePrunedTopology) {
+  // Mid-outage (failure flooded, link still down) every reachable pair's
+  // route must avoid the dead link — the invariant Simulation::reconverge
+  // relies on when it recomputes the static route table.
+  const Topology topo = topologies::grid(4, 4);
+  LinkStateProtocol protocol(topo);
+  protocol.converge();
+  const LinkId victim = *topo.find_link(5, 6);
+  protocol.fail_duplex_link(victim);
+  protocol.converge();
+  const LinkId reverse = topo.reverse_link(victim);
+  for (NodeId s = 0; s < topo.router_count(); ++s) {
+    for (NodeId d = 0; d < topo.router_count(); ++d) {
+      const auto spf = protocol.spf_path(s, d);
+      if (!spf.has_value()) {
+        continue;  // grid stays connected, but keep the check general
+      }
+      for (const LinkId link : spf->links) {
+        EXPECT_NE(link, victim) << s << "->" << d;
+        EXPECT_NE(link, reverse) << s << "->" << d;
+      }
+    }
+  }
+}
+
 }  // namespace
 }  // namespace anyqos::net

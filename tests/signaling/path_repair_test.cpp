@@ -1,0 +1,156 @@
+#include "src/signaling/path_repair.h"
+
+#include <gtest/gtest.h>
+
+#include "src/net/topology.h"
+
+namespace anyqos::signaling {
+namespace {
+
+struct Fixture {
+  net::Topology topo;
+  net::Path path;  // 0 -> 1 -> 2 -> 3
+
+  Fixture() {
+    for (int i = 0; i < 4; ++i) {
+      topo.add_router();
+    }
+    topo.add_duplex_link(0, 1, 100.0e6);
+    topo.add_duplex_link(1, 2, 100.0e6);
+    topo.add_duplex_link(2, 3, 100.0e6);
+    path.source = 0;
+    path.destination = 3;
+    path.links = {*topo.find_link(0, 1), *topo.find_link(1, 2), *topo.find_link(2, 3)};
+  }
+
+  BrokenFlow broken(std::uint64_t flow_id, net::LinkId dead) const {
+    BrokenFlow flow;
+    flow.flow_id = flow_id;
+    flow.request_id = flow_id;
+    flow.source = 0;
+    flow.destination_index = 0;
+    flow.bandwidth_bps = 64'000.0;
+    for (const net::LinkId link : path.links) {
+      if (link != dead) {
+        flow.remnant.links.push_back(link);
+      }
+    }
+    return flow;
+  }
+};
+
+TEST(PathRepair, AddNarrowsTheHeldReservationToTheRemnant) {
+  Fixture f;
+  net::BandwidthLedger ledger(f.topo, 0.2);
+  MessageCounter counter;
+  ReservationProtocol rsvp(ledger, counter);
+  ASSERT_TRUE(rsvp.reserve(f.path, 64'000.0).admitted);
+  const net::LinkId dead = f.path.links[1];
+  PathRepair repair(rsvp);
+  repair.add(f.broken(7, dead), f.path);
+  // The dead link's share is released (one TEAR traversal); survivors held.
+  EXPECT_DOUBLE_EQ(ledger.available(dead), 20.0e6);
+  EXPECT_DOUBLE_EQ(ledger.available(f.path.links[0]), 20.0e6 - 64'000.0);
+  EXPECT_DOUBLE_EQ(ledger.available(f.path.links[2]), 20.0e6 - 64'000.0);
+  EXPECT_EQ(counter.by_kind(MessageKind::kTear), 1u);
+  EXPECT_TRUE(repair.contains(7));
+  EXPECT_EQ(repair.pending(), 1u);
+  EXPECT_EQ(repair.stats().broken, 1u);
+  EXPECT_EQ(repair.stats().links_released, 1u);
+}
+
+TEST(PathRepair, OnLinkFailingNarrowsEveryQueuedRemnant) {
+  Fixture f;
+  net::BandwidthLedger ledger(f.topo, 0.2);
+  MessageCounter counter;
+  ReservationProtocol rsvp(ledger, counter);
+  ASSERT_TRUE(rsvp.reserve(f.path, 64'000.0).admitted);
+  ASSERT_TRUE(rsvp.reserve(f.path, 64'000.0).admitted);
+  PathRepair repair(rsvp);
+  const net::LinkId first_dead = f.path.links[1];
+  repair.add(f.broken(1, first_dead), f.path);
+  repair.add(f.broken(2, first_dead), f.path);
+  // A second link dies while both flows wait: each remnant sheds it.
+  repair.on_link_failing(f.path.links[0]);
+  EXPECT_DOUBLE_EQ(ledger.available(f.path.links[0]), 20.0e6);
+  EXPECT_DOUBLE_EQ(ledger.available(f.path.links[2]), 20.0e6 - 2 * 64'000.0);
+  EXPECT_EQ(repair.stats().links_released, 4u);
+  EXPECT_EQ(repair.broken(1).remnant.hops(), 1u);
+  // A link no remnant crosses is a no-op.
+  repair.on_link_failing(f.path.links[1]);
+  EXPECT_EQ(repair.stats().links_released, 4u);
+}
+
+TEST(PathRepair, ResolveReleasesTheRemnantAndTalliesTheOutcome) {
+  Fixture f;
+  net::BandwidthLedger ledger(f.topo, 0.2);
+  MessageCounter counter;
+  ReservationProtocol rsvp(ledger, counter);
+  ASSERT_TRUE(rsvp.reserve(f.path, 64'000.0).admitted);
+  ASSERT_TRUE(rsvp.reserve(f.path, 64'000.0).admitted);
+  ASSERT_TRUE(rsvp.reserve(f.path, 64'000.0).admitted);
+  PathRepair repair(rsvp);
+  const net::LinkId dead = f.path.links[1];
+  repair.add(f.broken(1, dead), f.path);
+  repair.add(f.broken(2, dead), f.path);
+  repair.add(f.broken(3, dead), f.path);
+  const BrokenFlow repaired = repair.resolve(1, PathRepair::Resolution::kRepaired);
+  EXPECT_EQ(repaired.flow_id, 1u);
+  const BrokenFlow dropped = repair.resolve(2, PathRepair::Resolution::kUnrepairable);
+  EXPECT_EQ(dropped.flow_id, 2u);
+  const BrokenFlow expired = repair.resolve(3, PathRepair::Resolution::kExpired);
+  EXPECT_EQ(expired.flow_id, 3u);
+  // Every remnant released: the ledger is fully idle again.
+  EXPECT_DOUBLE_EQ(ledger.total_reserved(), 0.0);
+  EXPECT_EQ(repair.pending(), 0u);
+  EXPECT_EQ(repair.stats().repaired, 1u);
+  EXPECT_EQ(repair.stats().unrepairable, 1u);
+  EXPECT_EQ(repair.stats().expired_in_queue, 1u);
+  // None of these held an empty remnant, so no break-before-make.
+  EXPECT_EQ(repair.stats().break_before_make, 0u);
+  EXPECT_THROW(repair.resolve(1, PathRepair::Resolution::kRepaired),
+               std::invalid_argument);
+}
+
+TEST(PathRepair, SurrenderRemnantFreesCapacityButKeepsTheFlowQueued) {
+  Fixture f;
+  net::BandwidthLedger ledger(f.topo, 0.2);
+  MessageCounter counter;
+  ReservationProtocol rsvp(ledger, counter);
+  ASSERT_TRUE(rsvp.reserve(f.path, 64'000.0).admitted);
+  PathRepair repair(rsvp);
+  repair.add(f.broken(9, f.path.links[1]), f.path);
+  repair.surrender_remnant(9);
+  EXPECT_DOUBLE_EQ(ledger.total_reserved(), 0.0);
+  EXPECT_TRUE(repair.contains(9));
+  EXPECT_TRUE(repair.broken(9).remnant.links.empty());
+  EXPECT_EQ(repair.stats().links_released, 3u);  // 1 on add + 2 surrendered
+  // Idempotent on an empty remnant.
+  repair.surrender_remnant(9);
+  EXPECT_EQ(repair.stats().links_released, 3u);
+  // Resolving kRepaired with nothing held is the break-before-make case.
+  (void)repair.resolve(9, PathRepair::Resolution::kRepaired);
+  EXPECT_EQ(repair.stats().break_before_make, 1u);
+}
+
+TEST(PathRepair, PendingIdsAreAscendingAndAddRejectsDuplicates) {
+  Fixture f;
+  net::BandwidthLedger ledger(f.topo, 0.2);
+  MessageCounter counter;
+  ReservationProtocol rsvp(ledger, counter);
+  ASSERT_TRUE(rsvp.reserve(f.path, 64'000.0).admitted);
+  ASSERT_TRUE(rsvp.reserve(f.path, 64'000.0).admitted);
+  PathRepair repair(rsvp);
+  const net::LinkId dead = f.path.links[0];
+  repair.add(f.broken(42, dead), f.path);
+  repair.add(f.broken(7, dead), f.path);
+  const std::vector<std::uint64_t> ids = repair.pending_ids();
+  ASSERT_EQ(ids.size(), 2u);
+  EXPECT_EQ(ids[0], 7u);   // flow-id order, not insertion order: the
+  EXPECT_EQ(ids[1], 42u);  // deterministic repair-pass sequence
+  ASSERT_TRUE(rsvp.reserve(f.path, 64'000.0).admitted);
+  EXPECT_THROW(repair.add(f.broken(7, dead), f.path), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace anyqos::signaling

@@ -80,6 +80,101 @@ TEST(RandomFaultScheduleProperty, DeterministicInSeedAcrossTheGrid) {
   }
 }
 
+TEST(RandomFaultScheduleProperty, ZeroRateOrZeroHorizonYieldsEmptySchedule) {
+  // Degenerate but well-defined corners: no randomness is consumed, nothing
+  // is scheduled, and mean_repair_s is never validated (0.0 is accepted).
+  const net::Topology topo = net::topologies::ring(6);
+  EXPECT_TRUE(random_fault_schedule(topo, 0.0, 1e-2, 50.0, 7).empty());
+  EXPECT_TRUE(random_fault_schedule(topo, 1'000.0, 0.0, 50.0, 7).empty());
+  EXPECT_TRUE(random_fault_schedule(topo, 0.0, 0.0, 0.0, 7).empty());
+  EXPECT_TRUE(random_node_fault_schedule(topo, 0.0, 1e-2, 50.0, 7).empty());
+  EXPECT_TRUE(random_node_fault_schedule(topo, 1'000.0, 0.0, 50.0, 7).empty());
+  EXPECT_TRUE(random_node_fault_schedule(topo, 0.0, 0.0, 0.0, 7).empty());
+}
+
+TEST(RandomNodeFaultScheduleProperty, SortedBoundedAndDisjointForManySeeds) {
+  // Same renewal-process invariants as the link generator, per router: the
+  // crash/recover windows of one router never overlap, crashes land inside
+  // the horizon, and recoveries are capped for drained runs.
+  const net::Topology topo = net::topologies::grid(3, 3);
+  for (const Params& p : kGrid) {
+    for (std::uint64_t seed = 1; seed <= 25; ++seed) {
+      const auto schedule = random_node_fault_schedule(topo, p.horizon_s, p.failure_rate,
+                                                       p.mean_repair_s, seed);
+      for (std::size_t i = 1; i < schedule.size(); ++i) {
+        ASSERT_LE(schedule[i - 1].fail_at, schedule[i].fail_at);
+      }
+      std::map<net::NodeId, std::vector<std::pair<double, double>>> per_node;
+      for (const NodeFault& fault : schedule) {
+        ASSERT_LT(fault.node, topo.router_count());
+        ASSERT_GE(fault.fail_at, 0.0);
+        ASSERT_LT(fault.fail_at, p.horizon_s);
+        ASSERT_GT(fault.repair_at, fault.fail_at);
+        ASSERT_LE(fault.repair_at, p.horizon_s + p.mean_repair_s);
+        per_node[fault.node].emplace_back(fault.fail_at, fault.repair_at);
+      }
+      for (const auto& [node, outages] : per_node) {
+        for (std::size_t i = 1; i < outages.size(); ++i) {
+          ASSERT_GE(outages[i].first, outages[i - 1].second)
+              << "overlapping outages on router " << node << " (seed " << seed << ")";
+        }
+      }
+    }
+  }
+}
+
+TEST(RandomNodeFaultScheduleProperty, DeterministicInSeedAcrossTheGrid) {
+  const net::Topology topo = net::topologies::grid(3, 3);
+  for (const Params& p : kGrid) {
+    for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+      const auto a = random_node_fault_schedule(topo, p.horizon_s, p.failure_rate,
+                                                p.mean_repair_s, seed);
+      const auto b = random_node_fault_schedule(topo, p.horizon_s, p.failure_rate,
+                                                p.mean_repair_s, seed);
+      ASSERT_EQ(a.size(), b.size());
+      for (std::size_t i = 0; i < a.size(); ++i) {
+        ASSERT_EQ(a[i].node, b[i].node);
+        ASSERT_DOUBLE_EQ(a[i].fail_at, b[i].fail_at);
+        ASSERT_DOUBLE_EQ(a[i].repair_at, b[i].repair_at);
+      }
+    }
+  }
+}
+
+TEST(RandomNodeFaultScheduleProperty, BusyGridsActuallyProduceCrashes) {
+  const net::Topology topo = net::topologies::grid(3, 3);
+  std::size_t total = 0;
+  for (std::uint64_t seed = 1; seed <= 25; ++seed) {
+    total += random_node_fault_schedule(topo, 1'000.0, 1e-2, 50.0, seed).size();
+  }
+  EXPECT_GT(total, 100u);
+}
+
+TEST(RegionalOutageProperty, RadiusNestsFromEpicenterToWholeNetwork) {
+  // A regional outage is the closed hop-ball around the epicenter: radius 0
+  // is the epicenter alone, radii nest monotonically, and a radius at least
+  // the network diameter takes every router down.
+  const net::Topology topo = net::topologies::grid(3, 3);
+  for (net::NodeId epicenter = 0; epicenter < topo.router_count(); ++epicenter) {
+    std::size_t previous = 0;
+    for (std::size_t radius = 0; radius <= 4; ++radius) {
+      const auto outage = regional_outage(topo, epicenter, radius, 10.0, 20.0);
+      if (radius == 0) {
+        ASSERT_EQ(outage.size(), 1u);
+        ASSERT_EQ(outage.front().node, epicenter);
+      }
+      ASSERT_GE(outage.size(), previous);
+      for (const NodeFault& fault : outage) {
+        ASSERT_DOUBLE_EQ(fault.fail_at, 10.0);
+        ASSERT_DOUBLE_EQ(fault.repair_at, 20.0);
+      }
+      previous = outage.size();
+    }
+    // Grid(3,3) has diameter 4: the widest ball is the whole network.
+    ASSERT_EQ(regional_outage(topo, epicenter, 4, 10.0, 20.0).size(), topo.router_count());
+  }
+}
+
 TEST(RandomFaultScheduleProperty, BusyGridsActuallyProduceFaults) {
   // Guard against a silently empty sweep: the busy corner of the grid must
   // generate work, otherwise the properties above are vacuously true.

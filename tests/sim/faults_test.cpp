@@ -109,6 +109,85 @@ TEST(FaultedSimulation, OutageOutsideMeasurementLeavesApIntact) {
   EXPECT_EQ(result.dropped, 0u);
 }
 
+TEST(FaultedSimulation, DuplexFaultListedInBothDirectionsIsIdempotent) {
+  // Regression: a schedule naming the same duplex link as (a,b) AND (b,a)
+  // with overlapping windows must take the link down once and bring it back
+  // only when the LAST outage ends. The old code failed the ledger twice
+  // (fail_link requires an in-service link) and double-released the crossing
+  // flows; hold counts make the second fault a no-op and the first repair a
+  // decrement.
+  const net::Topology topo = net::topologies::line(3);
+  SimulationConfig config;
+  config.traffic.arrival_rate = 5.0;
+  config.traffic.mean_holding_s = 50.0;
+  config.traffic.flow_bandwidth_bps = 64'000.0;
+  config.traffic.sources = {0};
+  config.group_members = {2};
+  config.warmup_s = 100.0;
+  config.measure_s = 400.0;
+  config.seed = 5;
+  config.max_tries = 1;
+  config.faults.push_back(single_fault(1, 2, 200.0, 300.0));
+  config.faults.push_back(single_fault(2, 1, 250.0, 350.0));
+  MemoryTraceSink trace;
+  config.trace = &trace;
+  Simulation sim(topo, config);
+  const SimulationResult result = sim.run();
+  // Exactly one down/up transition pair despite four fault events.
+  ASSERT_EQ(trace.count(TraceEventKind::kLinkDown), 1u);
+  ASSERT_EQ(trace.count(TraceEventKind::kLinkUp), 1u);
+  double down_at = 0.0;
+  double up_at = 0.0;
+  for (const TraceEvent& event : trace.events()) {
+    if (event.kind == TraceEventKind::kLinkDown) {
+      down_at = event.time;
+    } else if (event.kind == TraceEventKind::kLinkUp) {
+      up_at = event.time;
+    }
+  }
+  EXPECT_DOUBLE_EQ(down_at, 200.0);
+  EXPECT_DOUBLE_EQ(up_at, 350.0);  // the overlapping outage extends the window
+  // Flows crossing at 200 s were torn down exactly once; the run stays
+  // consistent and admissions resume after 350 s.
+  EXPECT_GT(result.dropped, 0u);
+  EXPECT_GE(sim.ledger().available(*topo.find_link(1, 2)), 0.0);
+}
+
+TEST(FaultedSimulation, SameInstantDuplexDuplicateTearsFlowsOnce) {
+  // The tightest duplicate: both directions fail AND repair at the same
+  // instants. Every crossing flow must be released exactly once — a double
+  // release would underflow the ledger and fail its conservation audit.
+  const net::Topology topo = net::topologies::line(3);
+  SimulationConfig config;
+  config.traffic.arrival_rate = 5.0;
+  config.traffic.mean_holding_s = 50.0;
+  config.traffic.flow_bandwidth_bps = 64'000.0;
+  config.traffic.sources = {0};
+  config.group_members = {2};
+  config.warmup_s = 100.0;
+  config.measure_s = 400.0;
+  config.seed = 5;
+  config.max_tries = 1;
+  config.faults.push_back(single_fault(1, 2, 200.0, 300.0));
+  config.faults.push_back(single_fault(2, 1, 200.0, 300.0));
+  MemoryTraceSink trace;
+  config.trace = &trace;
+  Simulation sim(topo, config);
+  const SimulationResult result = sim.run();
+  EXPECT_EQ(trace.count(TraceEventKind::kLinkDown), 1u);
+  EXPECT_EQ(trace.count(TraceEventKind::kLinkUp), 1u);
+  // The duplicated schedule behaves exactly like the single-fault run.
+  SimulationConfig single = config;
+  single.faults.clear();
+  single.faults.push_back(single_fault(1, 2, 200.0, 300.0));
+  single.trace = nullptr;
+  Simulation reference(topo, single);
+  const SimulationResult expected = reference.run();
+  EXPECT_EQ(result.admitted, expected.admitted);
+  EXPECT_EQ(result.dropped, expected.dropped);
+  EXPECT_DOUBLE_EQ(result.admission_probability, expected.admission_probability);
+}
+
 TEST(FaultedSimulation, GdiRoutesAroundFailures) {
   // Ring: GDI should keep admitting during a single-link outage because an
   // alternative path always exists.

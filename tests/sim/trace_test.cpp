@@ -112,6 +112,17 @@ TEST(SimulationTracing, FlowEventsCarryRequestIdAndBandwidth) {
         last_arrival_id = event.flow;
         EXPECT_EQ(event.attempts, 0u);
         break;
+      case TraceEventKind::kNodeDown:
+      case TraceEventKind::kNodeUp:
+      case TraceEventKind::kReconverged:
+        EXPECT_EQ(event.flow, 0u);
+        break;
+      case TraceEventKind::kRepaired:
+      case TraceEventKind::kRepairFailed:
+        // Repair outcomes reference a previously admitted flow's request.
+        EXPECT_GE(event.flow, 1u);
+        EXPECT_DOUBLE_EQ(event.bandwidth_bps, 64'000.0);
+        break;
     }
   }
   EXPECT_GT(last_arrival_id, 0u);

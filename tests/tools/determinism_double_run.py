@@ -18,17 +18,29 @@ import subprocess
 import sys
 import tempfile
 
-ARGS = [
+BASE_ARGS = [
     "--lambda=25", "--warmup=100", "--measure=600", "--seed=11",
     "--fault-rate=0.0003", "--churn-rate=0.002",
     "--timeline-interval=50",
 ]
 
+# Each scenario is double-run independently. "node-faults" layers the
+# failure-domain plane (router crashes, delayed reconvergence, path repair)
+# on top of the link-fault + churn mix: repairs re-signal through the same
+# seeded streams, so they must be just as replayable.
+SCENARIOS = [
+    ("base", BASE_ARGS),
+    ("node-faults", BASE_ARGS + [
+        "--node-mtbf=2000", "--node-mttr=120",
+        "--reconverge-delay=0.5", "--path-repair",
+    ]),
+]
 
-def run_once(dacsim, workdir, tag):
+
+def run_once(dacsim, workdir, tag, args):
     trace = os.path.join(workdir, f"trace-{tag}.csv")
     timeline = os.path.join(workdir, f"timeline-{tag}.jsonl")
-    cmd = [dacsim, *ARGS, f"--trace={trace}", f"--timeline-out={timeline}"]
+    cmd = [dacsim, *args, f"--trace={trace}", f"--timeline-out={timeline}"]
     proc = subprocess.run(cmd, capture_output=True, text=True)
     if proc.returncode != 0:
         sys.stderr.write(proc.stdout + proc.stderr)
@@ -60,20 +72,20 @@ def main():
         prefix="anyqos-determinism-")
     os.makedirs(workdir, exist_ok=True)
 
-    trace_a, timeline_a = run_once(dacsim, workdir, "a")
-    trace_b, timeline_b = run_once(dacsim, workdir, "b")
-
     failures = []
-    for label, a, b in (("trace", trace_a, trace_b),
-                        ("timeline", timeline_a, timeline_b)):
-        if filecmp.cmp(a, b, shallow=False):
-            print(f"determinism: {label} byte-identical "
-                  f"({os.path.getsize(a)} bytes)")
-            continue
-        diff = first_diff(a, b)
-        where = (f"line {diff[0]}:\n  run a: {diff[1]}\n  run b: {diff[2]}"
-                 if diff else "file sizes differ")
-        failures.append(f"{label} artifacts diverge at {where}")
+    for scenario, args in SCENARIOS:
+        trace_a, timeline_a = run_once(dacsim, workdir, f"{scenario}-a", args)
+        trace_b, timeline_b = run_once(dacsim, workdir, f"{scenario}-b", args)
+        for label, a, b in (("trace", trace_a, trace_b),
+                            ("timeline", timeline_a, timeline_b)):
+            if filecmp.cmp(a, b, shallow=False):
+                print(f"determinism[{scenario}]: {label} byte-identical "
+                      f"({os.path.getsize(a)} bytes)")
+                continue
+            diff = first_diff(a, b)
+            where = (f"line {diff[0]}:\n  run a: {diff[1]}\n  run b: {diff[2]}"
+                     if diff else "file sizes differ")
+            failures.append(f"[{scenario}] {label} artifacts diverge at {where}")
 
     if failures:
         for failure in failures:
