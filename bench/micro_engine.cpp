@@ -5,11 +5,14 @@
 // cost shows up directly in the admission benchmarks.
 #include <benchmark/benchmark.h>
 
+#include <vector>
+
 #include "src/analysis/ap_analysis.h"
 #include "src/core/admission.h"
 #include "src/core/retrial.h"
 #include "src/des/simulator.h"
 #include "src/net/topologies.h"
+#include "src/obs/kernel_stats.h"
 #include "src/sim/experiment.h"
 
 namespace {
@@ -33,6 +36,52 @@ void BM_EventQueueScheduleAndPop(benchmark::State& state) {
 }
 BENCHMARK(BM_EventQueueScheduleAndPop);
 
+void BM_EventQueueCancelHeavy(benchmark::State& state) {
+  // Tombstone churn: every iteration schedules two events, cancels one, and
+  // pops one — half of all heap entries become lazy-cancel garbage the pop
+  // path must walk over. Prices the cancellation scheme the soft-state
+  // refresh and orphan timers lean on.
+  des::EventQueue queue;
+  des::RandomStream rng(7);
+  std::vector<des::EventHandle> victims;
+  for (int i = 0; i < 1024; ++i) {
+    queue.schedule(rng.uniform01(), [] {});
+    victims.push_back(queue.schedule(rng.uniform01(), [] {}));
+  }
+  double t = 1.0;
+  std::size_t next_victim = 0;
+  for (auto _ : state) {
+    auto fired = queue.pop();
+    benchmark::DoNotOptimize(fired.time);
+    queue.cancel(victims[next_victim]);
+    queue.schedule(t, [] {});
+    victims[next_victim] = queue.schedule(t, [] {});
+    next_victim = (next_victim + 1) % victims.size();
+    t += 1e-6;
+  }
+}
+BENCHMARK(BM_EventQueueCancelHeavy);
+
+void BM_EventQueueSameTimestampBurst(benchmark::State& state) {
+  // FIFO tie-break cost: drain a burst of events scheduled at one identical
+  // timestamp (the shape fault handlers and reconvergence sweeps produce).
+  const int burst = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    state.PauseTiming();
+    des::EventQueue queue;
+    for (int i = 0; i < burst; ++i) {
+      queue.schedule(1.0, [] {});
+    }
+    state.ResumeTiming();
+    while (!queue.empty()) {
+      auto fired = queue.pop();
+      benchmark::DoNotOptimize(fired.id);
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * burst);
+}
+BENCHMARK(BM_EventQueueSameTimestampBurst)->Arg(16)->Arg(256);
+
 void BM_SimulatorEventChain(benchmark::State& state) {
   for (auto _ : state) {
     des::Simulator sim;
@@ -48,6 +97,30 @@ void BM_SimulatorEventChain(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * 1000);
 }
 BENCHMARK(BM_SimulatorEventChain);
+
+void BM_SimulatorEventChainAttached(benchmark::State& state) {
+  // The same chain with the kernel telemetry sink attached — a worst case:
+  // the events do nothing, so this ratio is the sink's cost against a bare
+  // dispatch. The CI overhead budget is held on the realistic pair
+  // (BM_SimulatedSecondKernelStats vs BM_SimulatedSecond); this one exists
+  // to see sink-cost drift early, before the model hides it.
+  for (auto _ : state) {
+    des::Simulator sim;
+    obs::KernelStats stats;
+    stats.attach(sim);
+    const des::EventCategory cat = sim.category("bench.chain");
+    int remaining = 1000;
+    std::function<void()> hop = [&] {
+      if (--remaining > 0) {
+        sim.schedule_in(1.0, cat, hop);
+      }
+    };
+    sim.schedule_in(1.0, cat, hop);
+    benchmark::DoNotOptimize(sim.run());
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_SimulatorEventChainAttached);
 
 void BM_RandomExponential(benchmark::State& state) {
   des::RandomStream rng(2);
@@ -192,6 +265,27 @@ void BM_SimulatedSecond(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * 50);
 }
 BENCHMARK(BM_SimulatedSecond)->Unit(benchmark::kMillisecond);
+
+void BM_SimulatedSecondKernelStats(benchmark::State& state) {
+  // The same simulated second with kernel telemetry attached — the
+  // realistic overhead measurement, where real event work amortizes the
+  // sink's counter bumps. compare-bench.py --attached-overhead holds the
+  // ratio of this to BM_SimulatedSecond at <= 5% in CI.
+  const sim::ExperimentModel model = sim::paper_model();
+  for (auto _ : state) {
+    sim::SimulationConfig config = model.base_config(35.0);
+    config.algorithm = core::SelectionAlgorithm::kDistanceHistory;
+    config.warmup_s = 0.0;
+    config.measure_s = 50.0;
+    config.seed = 11;
+    obs::KernelStats stats;
+    config.kernel_stats = &stats;
+    sim::Simulation simulation(model.topology, config);
+    benchmark::DoNotOptimize(simulation.run().offered);
+  }
+  state.SetItemsProcessed(state.iterations() * 50);
+}
+BENCHMARK(BM_SimulatedSecondKernelStats)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 

@@ -37,6 +37,7 @@
 #include "src/net/reconvergence.h"
 #include "src/net/topologies.h"
 #include "src/obs/flight_recorder.h"
+#include "src/obs/kernel_stats.h"
 #include "src/obs/ops_server.h"
 #include "src/obs/registry.h"
 #include "src/obs/span.h"
@@ -161,6 +162,8 @@ int main(int argc, char** argv) {
                  " breakers); a breaker left Open after the drain fails the cell");
   flags.add_string("timeline-prefix", "",
                    "write each cell's windowed timeline to <prefix>-cell<N>.jsonl");
+  flags.add_string("kernel-stats-prefix", "",
+                   "write each cell's kernel event telemetry to <prefix>-cell<N>.jsonl");
   flags.add_double("timeline-interval", 50.0, "simulated seconds between timeline samples");
   flags.add_string("ops-port", "",
                    "serve the live ops plane on this TCP port (0 = ephemeral); one server for"
@@ -199,6 +202,7 @@ int main(int argc, char** argv) {
   std::uint64_t flight_triggers = 0;
   std::uint64_t spans_emitted = 0;
   std::size_t timeline_files = 0;
+  std::size_t kernel_stats_files = 0;
 
   const bool adaptive = flags.get_bool("adaptive");
 
@@ -348,6 +352,12 @@ int main(int argc, char** argv) {
             }
           }
 
+          std::unique_ptr<obs::KernelStats> kernel_stats;
+          if (!flags.get_string("kernel-stats-prefix").empty()) {
+            kernel_stats = std::make_unique<obs::KernelStats>();
+            config.kernel_stats = kernel_stats.get();
+          }
+
           std::unique_ptr<obs::Timeline> timeline;
           if (!flags.get_string("timeline-prefix").empty()) {
             obs::TimelineOptions timeline_options;
@@ -469,6 +479,16 @@ int main(int argc, char** argv) {
             timeline->write_jsonl(out);
             ++timeline_files;
           }
+          if (kernel_stats != nullptr) {
+            std::string path = flags.get_string("kernel-stats-prefix");
+            path += "-cell";
+            path += std::to_string(cell);
+            path += ".jsonl";
+            std::ofstream out(path);
+            util::require(out.good(), "cannot open kernel-stats file");
+            kernel_stats->write_jsonl(out);
+            ++kernel_stats_files;
+          }
         }
       }
     }
@@ -512,6 +532,10 @@ int main(int argc, char** argv) {
   if (timeline_files > 0) {
     std::cout << "timelines written to " << flags.get_string("timeline-prefix")
               << "-cell<N>.jsonl (" << timeline_files << " cells)\n";
+  }
+  if (kernel_stats_files > 0) {
+    std::cout << "kernel stats written to " << flags.get_string("kernel-stats-prefix")
+              << "-cell<N>.jsonl (" << kernel_stats_files << " cells)\n";
   }
   if (ops_server != nullptr) {
     ops_server->stop();

@@ -153,8 +153,12 @@ RunStats run_custom(const net::Topology& topo, bool sticky,
   std::uint64_t offered = 0;
   std::uint64_t admitted = 0;
   std::uint64_t tries = 0;
+  // Kernel category tags: free when no obs::KernelStats sink is attached,
+  // and they make this model legible to the kernel telemetry plane.
+  const des::EventCategory cat_arrival = simulator.category("sim.arrival");
+  const des::EventCategory cat_departure = simulator.category("sim.departure");
   std::function<void()> arrival = [&] {
-    simulator.schedule_in(arrivals.next_interarrival(), arrival);
+    simulator.schedule_in(arrivals.next_interarrival(), cat_arrival, arrival);
     core::FlowRequest request;
     request.source = arrivals.draw_source();
     request.bandwidth_bps = traffic.flow_bandwidth_bps;
@@ -163,13 +167,13 @@ RunStats run_custom(const net::Topology& topo, bool sticky,
     tries += decision.attempts;
     if (decision.admitted) {
       ++admitted;
-      simulator.schedule_in(arrivals.draw_holding(),
+      simulator.schedule_in(arrivals.draw_holding(), cat_departure,
                             [&rsvp, route = decision.route, &traffic] {
                               rsvp.teardown(route, traffic.flow_bandwidth_bps);
                             });
     }
   };
-  simulator.schedule_in(arrivals.next_interarrival(), arrival);
+  simulator.schedule_in(arrivals.next_interarrival(), cat_arrival, arrival);
   simulator.run_until(4'000.0);
 
   RunStats stats;

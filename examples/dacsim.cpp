@@ -19,6 +19,7 @@
 #include "src/net/reconvergence.h"
 #include "src/net/topology_io.h"
 #include "src/obs/flight_recorder.h"
+#include "src/obs/kernel_stats.h"
 #include "src/obs/ops_server.h"
 #include "src/obs/profiler.h"
 #include "src/obs/registry.h"
@@ -135,6 +136,8 @@ int main(int argc, char** argv) {
   flags.add_double("timeline-interval", 50.0, "simulated seconds between timeline samples");
   flags.add_string("flight-recorder", "",
                    "dump fault-triggered flight snapshots to this file (JSONL)");
+  flags.add_string("kernel-stats-out", "",
+                   "write per-category kernel event telemetry here (JSONL)");
   flags.add_unsigned("flight-depth", 256, "flight-recorder ring capacity, entries");
   flags.add_bool("profile", false, "print engine profiling summary after the run");
   flags.add_string("profile-out", "", "write the profiling summary + samples as JSON");
@@ -328,6 +331,12 @@ int main(int argc, char** argv) {
     config.tracer = &tracer;
   }
 
+  std::unique_ptr<obs::KernelStats> kernel_stats;
+  if (!flags.get_string("kernel-stats-out").empty()) {
+    kernel_stats = std::make_unique<obs::KernelStats>();
+    config.kernel_stats = kernel_stats.get();
+  }
+
   std::unique_ptr<obs::Timeline> timeline;
   if (!flags.get_string("timeline-out").empty()) {
     obs::TimelineOptions timeline_options;
@@ -507,6 +516,16 @@ int main(int argc, char** argv) {
     }
     std::cout << "timeline written to " << path << " (" << timeline->samples().size()
               << " samples x " << timeline->columns().size() << " columns)\n";
+  }
+  if (kernel_stats != nullptr) {
+    const std::string& path = flags.get_string("kernel-stats-out");
+    std::ofstream kernel_file(path);
+    util::require(kernel_file.good(), "cannot open kernel-stats file");
+    kernel_stats->write_jsonl(kernel_file);
+    std::cout << "kernel stats written to " << path << " ("
+              << kernel_stats->total_scheduled() << " scheduled, "
+              << kernel_stats->total_fired() << " fired, "
+              << kernel_stats->total_cancelled() << " cancelled)\n";
   }
   if (recorder != nullptr) {
     std::cout << "flight recorder   " << recorder->triggers() << " triggers, "

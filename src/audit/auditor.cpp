@@ -65,6 +65,7 @@ void InvariantAuditor::watch_soft_state(const signaling::SoftStateManager& manag
 void InvariantAuditor::attach(sim::Simulation& simulation) {
   util::require(simulation_ == nullptr, "auditor already attached to a simulation");
   simulation_ = &simulation;
+  category_ = simulation.simulator().category("audit.checkpoint");
   watch_ledger(simulation.ledger());
   simulation.set_admission_observer(this);
   if (options_.checkpoint_interval_s > 0.0) {
@@ -75,7 +76,7 @@ void InvariantAuditor::attach(sim::Simulation& simulation) {
 void InvariantAuditor::schedule_checkpoint() {
   // Self-rescheduling like SoftStateManager's refresh timer: one pending
   // event at all times, so run_until() leaves it parked past the horizon.
-  simulation_->simulator().schedule_in(options_.checkpoint_interval_s, [this] {
+  simulation_->simulator().schedule_in(options_.checkpoint_interval_s, category_, [this] {
     checkpoint(now());
     // A draining run (drain_to_quiescence) ends when the calendar empties;
     // parking another checkpoint would keep it spinning forever. The final

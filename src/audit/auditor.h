@@ -31,6 +31,7 @@
 #include <vector>
 
 #include "src/audit/violation.h"
+#include "src/des/category.h"
 #include "src/core/admission.h"
 #include "src/net/bandwidth.h"
 #include "src/signaling/soft_state.h"
@@ -142,6 +143,7 @@ class InvariantAuditor final : public net::LedgerObserver, public core::Admissio
   std::map<ReservationKey, std::size_t> open_;          // reserve/release pairing
 
   sim::Simulation* simulation_ = nullptr;
+  des::EventCategory category_;  // "audit.checkpoint" kernel tag
   std::vector<const signaling::SoftStateManager*> soft_state_;
 
   // Per-source tried-set of the request currently inside the DAC loop.

@@ -51,12 +51,14 @@ void OverloadGovernor::attach(des::Simulator& simulator, std::function<bool()> s
   util::require(bound_, "bind() the governor before attaching it");
   util::require(simulator_ == nullptr, "governor already attached");
   simulator_ = &simulator;
+  cat_window_ = simulator.category("control.window");
+  cat_breaker_ = simulator.category("control.breaker");
   stop_rearming_ = std::move(stop_rearming);
   schedule_window();
 }
 
 void OverloadGovernor::schedule_window() {
-  simulator_->schedule_in(options_.window_s, [this] {
+  simulator_->schedule_in(options_.window_s, cat_window_, [this] {
     advance_window();
     if (!stop_rearming_ || !stop_rearming_()) {
       schedule_window();
@@ -209,7 +211,8 @@ void OverloadGovernor::trip_breaker(std::size_t member_index) {
   // ending a cooldown early.
   const std::uint64_t generation = ++breaker_generation_[member_index];
   if (simulator_ != nullptr) {
-    simulator_->schedule_in(options_.breaker.cooldown_s, [this, member_index, generation] {
+    simulator_->schedule_in(options_.breaker.cooldown_s, cat_breaker_,
+                            [this, member_index, generation] {
       if (breaker_generation_[member_index] == generation) {
         breakers_[member_index].half_open();
       }

@@ -54,6 +54,7 @@
 
 #include "src/core/admission.h"
 #include "src/control/circuit_breaker.h"
+#include "src/des/category.h"
 #include "src/control/directive.h"
 #include "src/sched/token_bucket.h"
 
@@ -207,6 +208,8 @@ class OverloadGovernor final : public core::MemberGate {
 
   GovernorOptions options_;
   des::Simulator* simulator_ = nullptr;
+  des::EventCategory cat_window_;   // "control.window" kernel tag
+  des::EventCategory cat_breaker_;  // "control.breaker" kernel tag
   std::function<bool()> stop_rearming_;
   bool bound_ = false;
   std::size_t bind_tries_ = 1;       ///< R at bind: the hard retry envelope

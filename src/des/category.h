@@ -1,0 +1,26 @@
+// detlint: hot-path
+// Interned category tag for scheduled events.
+//
+// Every schedule call can carry a small tag naming the class of the event
+// (arrival, holding timer, soft-state refresh, breaker cooldown, ...). The
+// tag is a plain 16-bit id: the Simulator instance owns the name table
+// (Simulator::category interns names in first-use order, which model wiring
+// fixes deterministically), so passing a category costs one register and
+// nothing reads it unless a KernelSink is attached. Id 0 is the reserved
+// "uncategorized" bucket every untagged schedule call lands in.
+#pragma once
+
+#include <cstdint>
+
+namespace anyqos::des {
+
+/// Instance-local interned identifier for an event class. Obtain via
+/// Simulator::category(name); only meaningful to the simulator (and any
+/// attached KernelSink) that interned it.
+struct EventCategory {
+  std::uint16_t id = 0;
+
+  [[nodiscard]] bool uncategorized() const { return id == 0; }
+};
+
+}  // namespace anyqos::des

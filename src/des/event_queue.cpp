@@ -4,16 +4,22 @@
 
 namespace anyqos::des {
 
-EventHandle EventQueue::schedule(double time, Action action) {
+EventHandle EventQueue::schedule(double time, Action action, EventCategory category,
+                                 double scheduled_at) {
   util::require(static_cast<bool>(action), "cannot schedule an empty action");
   const std::uint64_t id = next_id_++;
   heap_.push(Entry{time, next_sequence_++, id});
-  pending_.emplace(id, std::move(action));
+  pending_.emplace(id, Stored{std::move(action), category, scheduled_at});
   ++live_;
   return EventHandle{id};
 }
 
 bool EventQueue::cancel(EventHandle handle) {
+  EventCategory ignored;
+  return cancel(handle, ignored);
+}
+
+bool EventQueue::cancel(EventHandle handle, EventCategory& category) {
   if (!handle.valid()) {
     return false;
   }
@@ -21,6 +27,7 @@ bool EventQueue::cancel(EventHandle handle) {
   if (it == pending_.end()) {
     return false;
   }
+  category = it->second.category;
   pending_.erase(it);
   --live_;
   return true;
@@ -29,6 +36,7 @@ bool EventQueue::cancel(EventHandle handle) {
 void EventQueue::drop_cancelled() const {
   while (!heap_.empty() && pending_.find(heap_.top().id) == pending_.end()) {
     heap_.pop();
+    ++tombstones_popped_;
   }
 }
 
@@ -47,7 +55,8 @@ EventQueue::Fired EventQueue::pop() {
   heap_.pop();
   const auto it = pending_.find(top.id);
   util::ensure(it != pending_.end(), "live heap top has no pending action");
-  Fired fired{top.time, top.id, std::move(it->second)};
+  Fired fired{top.time, top.id, std::move(it->second.action), it->second.category,
+              it->second.scheduled_at};
   pending_.erase(it);
   --live_;
   return fired;

@@ -1,0 +1,43 @@
+// detlint: hot-path
+// Observer interface for kernel event telemetry.
+#pragma once
+
+#include "src/des/category.h"
+
+namespace anyqos::des {
+
+/// Kernel telemetry hook. When a sink is attached the simulator reports
+/// every schedule / fire / cancel; with no sink the cost is one null-pointer
+/// test per operation (the attach-gating contract: unattached runs behave
+/// and perform exactly as before). The interface is a plain virtual class —
+/// no std::function on the hot path (DESIGN.md §12, rule 5).
+///
+/// The callbacks are stateless by design: the event queue carries each
+/// event's category and schedule-time through to fire/cancel, so a sink
+/// needs no per-event shadow state — every call hands it everything a
+/// tally or histogram wants. All arguments are virtual-clock values, so an
+/// implementation that derives its statistics from them alone keeps
+/// attached runs byte-identical at equal seed.
+class KernelSink {
+ public:
+  virtual ~KernelSink() = default;
+
+  /// Event of class `category` scheduled at virtual time `now`, due at
+  /// virtual time `when` (when >= now; when - now is the scheduling horizon).
+  virtual void on_scheduled(EventCategory category, double now, double when) = 0;
+
+  /// Event popped for dispatch at virtual time `now` (its due time);
+  /// `scheduled_at` is the clock value when it was scheduled, so
+  /// now - scheduled_at is its time in the queue.
+  virtual void on_fired(EventCategory category, double scheduled_at, double now) = 0;
+
+  /// Event cancelled while still pending, at virtual time `now`.
+  virtual void on_cancelled(EventCategory category, double now) = 0;
+
+ protected:
+  KernelSink() = default;
+  KernelSink(const KernelSink&) = default;
+  KernelSink& operator=(const KernelSink&) = default;
+};
+
+}  // namespace anyqos::des

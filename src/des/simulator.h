@@ -17,9 +17,13 @@
 
 #include <cstdint>
 #include <limits>
+#include <string>
 #include <string_view>
+#include <vector>
 
+#include "src/des/category.h"
 #include "src/des/event_queue.h"
+#include "src/des/kernel_sink.h"
 #include "src/des/random.h"
 
 namespace anyqos::des {
@@ -46,11 +50,36 @@ class Simulator {
   }
 
   /// Schedules `action` at absolute virtual time `time` (>= now()).
-  EventHandle schedule_at(double time, Action action);
+  EventHandle schedule_at(double time, Action action) {
+    return schedule_at(time, EventCategory{}, std::move(action));
+  }
   /// Schedules `action` `delay` seconds from now (delay >= 0).
-  EventHandle schedule_in(double delay, Action action);
+  EventHandle schedule_in(double delay, Action action) {
+    return schedule_in(delay, EventCategory{}, std::move(action));
+  }
+  /// Tagged variants: `category` names the event class for an attached
+  /// KernelSink (from this instance's category(name)). With no sink the tag
+  /// is dead weight in one register — zero cost on the unattached path.
+  EventHandle schedule_at(double time, EventCategory category, Action action);
+  EventHandle schedule_in(double delay, EventCategory category, Action action);
   /// Cancels a pending event; returns false if it already fired/cancelled.
   bool cancel(EventHandle handle);
+
+  /// Interns `name` in this instance's category table and returns its tag.
+  /// Repeated interning of the same name returns the same id; ids are
+  /// assigned in first-intern order, which deterministic model wiring fixes.
+  EventCategory category(std::string_view name);
+  /// Category names indexed by EventCategory::id. Index 0 is the reserved
+  /// "uncategorized" bucket untagged schedule calls land in.
+  [[nodiscard]] const std::vector<std::string>& category_names() const {
+    return category_names_;
+  }
+
+  /// Attaches (nullptr detaches) a kernel telemetry sink. Attach before the
+  /// first schedule call — a sink only sees operations from attach onward.
+  /// Unattached, every schedule/fire/cancel pays one null-pointer test.
+  void set_kernel_sink(KernelSink* sink) { kernel_sink_ = sink; }
+  [[nodiscard]] KernelSink* kernel_sink() const { return kernel_sink_; }
 
   /// Dispatches events in timestamp order until the queue is empty or the
   /// next event is strictly after `until`. The clock ends at
@@ -72,6 +101,10 @@ class Simulator {
   /// High-water mark of the pending-event set over the simulator's lifetime
   /// (engine profiling: how deep the calendar actually got).
   [[nodiscard]] std::size_t peak_pending_events() const { return peak_pending_; }
+  /// Cumulative tombstoned heap entries the queue skipped (lazy cancels).
+  [[nodiscard]] std::uint64_t tombstones_popped() const {
+    return queue_.tombstones_popped();
+  }
 
  private:
   SeedSequence seeds_;
@@ -80,6 +113,8 @@ class Simulator {
   std::uint64_t dispatched_ = 0;
   std::size_t peak_pending_ = 0;
   bool stop_requested_ = false;
+  KernelSink* kernel_sink_ = nullptr;
+  std::vector<std::string> category_names_{std::string("uncategorized")};
 };
 
 }  // namespace anyqos::des

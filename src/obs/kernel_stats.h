@@ -1,0 +1,147 @@
+// Kernel telemetry sink (observability layer for the DES core).
+//
+// KernelStats implements des::KernelSink and, once attached to a Simulator,
+// tallies every schedule / fire / cancel by event category: counts,
+// virtual-clock scheduling-horizon and time-in-queue histograms, queue-depth
+// high-water, same-timestamp burst lengths, and the tombstone ratio of the
+// lazy-cancellation scheme. Everything is derived from the virtual clock
+// only, so an attached run is byte-identical at equal seed, and the
+// attach-gating contract holds: with no sink attached the kernel pays one
+// null-pointer test per operation and every artifact stays byte-identical
+// to a build without this plane engaged (DESIGN.md §15).
+//
+// This is the instrumentation behind the planned calendar-queue rewrite
+// (ROADMAP "10× the DES kernel"): the horizon histogram sizes calendar
+// buckets, the per-category populations say which timer wheels pay off, and
+// the burst-length histogram bounds the FIFO tie-break cost.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "src/des/category.h"
+#include "src/des/kernel_sink.h"
+#include "src/obs/registry.h"
+
+namespace anyqos::des {
+class Simulator;
+}
+
+namespace anyqos::obs {
+
+/// Per-category event telemetry collector; attach one per Simulator run.
+class KernelStats final : public des::KernelSink {
+ public:
+  /// Fixed-bound bucket counts (Prometheus `le` semantics: a value lands in
+  /// the first bucket whose upper bound is >= value; above the last bound is
+  /// the implicit +Inf bucket at index n). Exact count and sum are kept
+  /// alongside so the JSONL artifact is lossless. Storage is inline
+  /// fixed-capacity (no heap vectors): observe() runs twice per simulated
+  /// event when a sink is attached, and chasing two heap pointers per call
+  /// is what the attached-overhead budget cannot afford. Unused bound slots
+  /// are padded with +Inf so the rank loop is a fixed, branch-free 8
+  /// compares regardless of n.
+  struct BucketCounts {
+    static constexpr std::size_t kMaxBounds = 8;
+
+    std::array<double, kMaxBounds> upper{};             // [0, n) real, rest +Inf
+    std::array<std::uint64_t, kMaxBounds + 1> counts{};  // [0, n] used, +Inf at n
+    std::size_t n = 0;  // bounds in use
+    double sum = 0.0;
+
+    explicit BucketCounts(const std::vector<double>& bounds);
+    void observe(double value);
+    /// Total observations — derived from the buckets at read time so the
+    /// hot path pays one increment, not two.
+    [[nodiscard]] std::uint64_t total() const;
+  };
+
+  /// Tallies for one event category.
+  struct CategoryStats {
+    std::uint64_t scheduled = 0;
+    std::uint64_t fired = 0;
+    std::uint64_t cancelled = 0;
+    BucketCounts horizon;  // due - now at schedule time (virtual seconds)
+    BucketCounts wait;     // fire time - schedule time (virtual seconds)
+
+    CategoryStats(const std::vector<double>& horizon_bounds,
+                  const std::vector<double>& wait_bounds);
+    /// scheduled - fired - cancelled: events still sitting in the queue.
+    [[nodiscard]] std::uint64_t still_pending() const {
+      return scheduled - fired - cancelled;
+    }
+  };
+
+  KernelStats();
+
+  /// Registers this sink on `simulator` and remembers it for category names
+  /// and queue-level counters. Must run before the simulator's first
+  /// schedule call — the sink keeps no per-event state (the queue carries
+  /// category and schedule time through Fired), so its counters only
+  /// reconcile when it sees every event from the start. One simulator per
+  /// collector.
+  void attach(des::Simulator& simulator);
+  [[nodiscard]] bool attached() const { return simulator_ != nullptr; }
+
+  // des::KernelSink
+  void on_scheduled(des::EventCategory category, double now, double when) override;
+  void on_fired(des::EventCategory category, double scheduled_at, double now) override;
+  void on_cancelled(des::EventCategory category, double now) override;
+
+  /// Per-category tallies indexed by category id; may be shorter than
+  /// category_names() when late-interned categories never scheduled.
+  [[nodiscard]] const std::vector<CategoryStats>& categories() const {
+    return categories_;
+  }
+  /// Category names from the attached simulator (index = category id).
+  [[nodiscard]] const std::vector<std::string>& category_names() const;
+
+  [[nodiscard]] std::uint64_t total_scheduled() const;
+  [[nodiscard]] std::uint64_t total_fired() const;
+  [[nodiscard]] std::uint64_t total_cancelled() const;
+  /// Events scheduled through this sink and not yet fired or cancelled.
+  /// Read from the simulator (attach() requires an empty one, so its
+  /// pending set and this sink's view coincide) — the hot path does not
+  /// maintain a separate live counter.
+  [[nodiscard]] std::size_t still_pending() const;
+  /// Deepest the pending-event set got while attached (the simulator's
+  /// unconditional peak counter; identical because attach() requires an
+  /// empty simulator).
+  [[nodiscard]] std::size_t queue_depth_high_water() const;
+  /// Tombstoned heap entries the queue skipped (from the simulator).
+  [[nodiscard]] std::uint64_t tombstones_popped() const;
+  /// tombstones_popped / (tombstones_popped + fired): the fraction of heap
+  /// pops that were cancellation garbage. 0 when nothing popped yet.
+  [[nodiscard]] double tombstone_ratio() const;
+  /// Lengths of maximal runs of events fired at identical timestamps,
+  /// including the still-open run (the copy is finalized, the collector is
+  /// not mutated).
+  [[nodiscard]] BucketCounts burst_histogram() const;
+
+  /// One JSON object per line, schema anyqos-kernel-stats/1: a header, one
+  /// row per interned category (zeros included, so equal-seed runs are
+  /// byte-identical), and a summary row carrying the queue-level counters.
+  void write_jsonl(std::ostream& out) const;
+
+  /// Exports into `registry`: anyqos_kernel_events_total{category,outcome},
+  /// aggregate horizon / wait / burst histograms, and queue-level gauges.
+  /// Histogram sums are replayed at bucket upper bounds (counts exact, sum
+  /// approximate — the JSONL artifact keeps the exact sums).
+  void export_to(MetricsRegistry& registry, const Labels& extra = {}) const;
+
+ private:
+  CategoryStats& stats_for(std::uint16_t category_id);
+
+  des::Simulator* simulator_ = nullptr;
+  std::vector<double> seconds_bounds_;  // horizon + wait bucket bounds
+  std::vector<double> burst_bounds_;
+  std::vector<CategoryStats> categories_;
+  BucketCounts burst_;
+  double last_fire_time_ = 0.0;
+  std::uint64_t open_burst_ = 0;  // 0 until the first fire
+};
+
+}  // namespace anyqos::obs

@@ -35,6 +35,7 @@ void EngineProfiler::attach(des::Simulator& simulator,
                             std::function<std::size_t()> active_flows) {
   util::require(simulator_ == nullptr, "profiler already attached");
   simulator_ = &simulator;
+  category_ = simulator.category("obs.profiler");
   active_flows_ = std::move(active_flows);
   ANYQOS_DETLINT_ALLOW(wall_clock, "profiler measures real engine throughput");
   attach_wall_ = std::chrono::steady_clock::now();
@@ -45,7 +46,7 @@ void EngineProfiler::attach(des::Simulator& simulator,
 }
 
 void EngineProfiler::schedule_checkpoint() {
-  simulator_->schedule_in(checkpoint_interval_s_, [this] {
+  simulator_->schedule_in(checkpoint_interval_s_, category_, [this] {
     sample();
     schedule_checkpoint();
   });

@@ -21,6 +21,7 @@
 #include <utility>
 #include <vector>
 
+#include "src/des/category.h"
 #include "src/obs/registry.h"
 
 namespace anyqos::des {
@@ -110,6 +111,7 @@ class EngineProfiler {
 
   double checkpoint_interval_s_;
   des::Simulator* simulator_ = nullptr;
+  des::EventCategory category_;  // "obs.profiler" kernel tag
   std::function<std::size_t()> active_flows_;
   std::chrono::steady_clock::time_point attach_wall_{};
   std::uint64_t baseline_events_ = 0;

@@ -78,6 +78,7 @@ Timeline::ColumnId Timeline::add_watermark(std::string name, Probe probe) {
 void Timeline::attach(des::Simulator& simulator, std::function<bool()> stop_rearming) {
   util::require(!attached_, "timeline already attached");
   simulator_ = &simulator;
+  category_ = simulator.category("obs.timeline");
   stop_rearming_ = std::move(stop_rearming);
   attached_ = true;
   window_start_ = simulator.now();
@@ -92,7 +93,7 @@ void Timeline::attach(des::Simulator& simulator, std::function<bool()> stop_rear
 void Timeline::schedule_sample() {
   // Self-rescheduling like the auditor's checkpoint: one pending event at
   // all times, parked past the horizon between run_until() calls.
-  simulator_->schedule_in(options_.interval_s, [this] {
+  simulator_->schedule_in(options_.interval_s, category_, [this] {
     sample();
     if (stop_rearming_ == nullptr || !stop_rearming_()) {
       schedule_sample();

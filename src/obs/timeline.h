@@ -33,6 +33,8 @@
 #include <string>
 #include <vector>
 
+#include "src/des/category.h"
+
 namespace anyqos::des {
 class Simulator;
 }  // namespace anyqos::des
@@ -140,6 +142,7 @@ class Timeline {
 
   TimelineOptions options_;
   des::Simulator* simulator_ = nullptr;
+  des::EventCategory category_;  // "obs.timeline" kernel tag
   std::function<bool()> stop_rearming_;
   bool attached_ = false;
   std::optional<double> measurement_start_;

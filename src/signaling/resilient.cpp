@@ -14,6 +14,7 @@ ResilientReservationProtocol::ResilientReservationProtocol(
     des::RandomStream& rng, ResilienceOptions options)
     : ReservationProtocol(ledger, counter),
       simulator_(&simulator),
+      cat_orphan_(simulator.category("signaling.orphan")),
       rng_(&rng),
       options_(options),
       plane_(ledger, rng, options.faults) {
@@ -184,8 +185,9 @@ void ResilientReservationProtocol::add_orphan(const net::Path& route, net::Bandw
   Orphan orphan;
   orphan.route = route;
   orphan.bandwidth = bandwidth;
-  orphan.timer = simulator_->schedule_in(options_.orphan_hold_s,
-                                         [this, id] { reclaim_orphan(id, /*expired=*/true); });
+  orphan.timer =
+      simulator_->schedule_in(options_.orphan_hold_s, cat_orphan_,
+                              [this, id] { reclaim_orphan(id, /*expired=*/true); });
   orphans_.emplace(id, std::move(orphan));
 }
 

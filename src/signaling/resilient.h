@@ -138,6 +138,7 @@ class ResilientReservationProtocol final : public ReservationProtocol {
   };
 
   des::Simulator* simulator_;
+  des::EventCategory cat_orphan_;  // "signaling.orphan" kernel tag
   des::RandomStream* rng_;
   ResilienceOptions options_;
   FaultPlane plane_;

@@ -12,6 +12,7 @@ SoftStateManager::SoftStateManager(des::Simulator& simulator, net::BandwidthLedg
                                    MessageCounter& counter, des::RandomStream& rng,
                                    SoftStateOptions options)
     : simulator_(&simulator),
+      cat_refresh_(simulator.category("signaling.refresh")),
       ledger_(&ledger),
       counter_(&counter),
       rng_(&rng),
@@ -39,7 +40,8 @@ SessionId SoftStateManager::install(net::Path route, net::Bandwidth bandwidth_bp
 void SoftStateManager::schedule_refresh(SessionId id) {
   Session& session = sessions_.at(id);
   session.timer =
-      simulator_->schedule_in(options_.refresh_interval_s, [this, id] { refresh(id); });
+      simulator_->schedule_in(options_.refresh_interval_s, cat_refresh_,
+                              [this, id] { refresh(id); });
 }
 
 void SoftStateManager::refresh(SessionId id) {

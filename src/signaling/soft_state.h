@@ -92,6 +92,7 @@ class SoftStateManager {
   void refresh(SessionId id);
 
   des::Simulator* simulator_;
+  des::EventCategory cat_refresh_;  // "signaling.refresh" kernel tag
   net::BandwidthLedger* ledger_;
   MessageCounter* counter_;
   des::RandomStream* rng_;

@@ -161,6 +161,12 @@ void export_metrics(const Simulation& simulation, const SimulationConfig& config
         .increment(result.per_destination_admissions[i]);
   }
 
+  if (config.kernel_stats != nullptr) {
+    // Kernel telemetry families appear only when the sink rode the run,
+    // keeping the exposition byte-identical for plain runs (DESIGN.md Â§15).
+    config.kernel_stats->export_to(registry, system);
+  }
+
   registry
       .gauge("anyqos_active_flows_avg",
              "Time-averaged number of concurrently active flows.", system)

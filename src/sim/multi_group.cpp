@@ -14,6 +14,8 @@ MultiGroupSimulation::MultiGroupSimulation(const net::Topology& topology,
       rsvp_(ledger_, counter_),
       probe_(ledger_, counter_),
       simulator_(config_.seed),
+      cat_arrival_(simulator_.category("sim.arrival")),
+      cat_departure_(simulator_.category("sim.departure")),
       arrival_rng_(simulator_.stream("arrivals")),
       source_rng_(simulator_.stream("sources")),
       holding_rng_(simulator_.stream("holding")),
@@ -66,7 +68,7 @@ core::AdmissionController& MultiGroupSimulation::controller_for(GroupRuntime& ru
 
 void MultiGroupSimulation::schedule_next_arrival() {
   simulator_.schedule_in(arrival_rng_.exponential(1.0 / config_.total_arrival_rate),
-                         [this] { handle_arrival(); });
+                         cat_arrival_, [this] { handle_arrival(); });
 }
 
 void MultiGroupSimulation::handle_arrival() {
@@ -97,7 +99,8 @@ void MultiGroupSimulation::handle_arrival() {
   flow.bandwidth_bps = request.bandwidth_bps;
   flow.admitted_at = simulator_.now();
   const FlowId id = flows_.insert(std::move(flow));
-  simulator_.schedule_in(holding_rng_.exponential(config_.mean_holding_s), [this, id] {
+  simulator_.schedule_in(holding_rng_.exponential(config_.mean_holding_s), cat_departure_,
+                         [this, id] {
     const ActiveFlow flow = flows_.take(id);
     rsvp_.teardown(flow.route, flow.bandwidth_bps);
   });

@@ -93,6 +93,8 @@ class MultiGroupSimulation {
   signaling::ReservationProtocol rsvp_;
   signaling::ProbeService probe_;
   des::Simulator simulator_;  ///< owns this run's seed universe (DESIGN.md §12)
+  des::EventCategory cat_arrival_;    // "sim.arrival" kernel tag
+  des::EventCategory cat_departure_;  // "sim.departure" kernel tag
   des::RandomStream arrival_rng_;
   des::RandomStream source_rng_;
   des::RandomStream holding_rng_;

@@ -82,6 +82,22 @@ Simulation::Simulation(const net::Topology& topology, SimulationConfig config)
     util::require(config_.ops_replay[i - 1].apply_at <= config_.ops_replay[i].apply_at,
                   "ops replay directives must be sorted by apply time");
   }
+  // Kernel category taxonomy for the flow plane (DESIGN.md §15). Interned
+  // before any component construction so these always take the low ids;
+  // wiring order is fixed, so the table is deterministic per config.
+  cat_arrival_ = simulator_.category("sim.arrival");
+  cat_departure_ = simulator_.category("sim.departure");
+  cat_link_fault_ = simulator_.category("fault.link");
+  cat_churn_ = simulator_.category("fault.churn");
+  cat_node_fault_ = simulator_.category("fault.node");
+  cat_reconverge_ = simulator_.category("net.reconverge");
+  cat_ops_poll_ = simulator_.category("ops.poll");
+  if (config_.kernel_stats != nullptr) {
+    // Attached before any component can schedule: the sink must see every
+    // event from the seed calendar on (soft-state refresh and orphan timers
+    // start in component constructors), or its counters cannot reconcile.
+    config_.kernel_stats->attach(simulator_);
+  }
   if (config_.resilience.has_value()) {
     rsvp_ = std::make_unique<signaling::ResilientReservationProtocol>(
         ledger_, counter_, simulator_, control_rng_, *config_.resilience);
@@ -285,6 +301,18 @@ void Simulation::wire_timeline() {
     tl.add_counter("shed_per_s",
                    [this] { return static_cast<double>(metrics_.lifetime_shed()); });
   }
+  if (config_.kernel_stats != nullptr) {
+    // Kernel telemetry columns ride only when the sink is attached, keeping
+    // plain runs' timeline artifacts byte-identical (DESIGN.md Â§15).
+    tl.add_gauge("kernel_pending",
+                 [this] { return static_cast<double>(simulator_.pending_events()); });
+    tl.add_counter("kernel_events_per_s", [this] {
+      return static_cast<double>(simulator_.dispatched_events());
+    });
+    tl.add_counter("kernel_tombstones_per_s", [this] {
+      return static_cast<double>(simulator_.tombstones_popped());
+    });
+  }
   if (!config_.node_faults.empty() || config_.reconvergence != nullptr ||
       config_.path_repair) {
     // Failure-domain columns appear only when the plane is engaged, keeping
@@ -342,7 +370,7 @@ bool Simulation::ops_active() const {
 }
 
 void Simulation::schedule_ops_poll() {
-  simulator_.schedule_in(config_.ops_interval_s, [this] { ops_poll(); });
+  simulator_.schedule_in(config_.ops_interval_s, cat_ops_poll_, [this] { ops_poll(); });
 }
 
 void Simulation::ops_poll() {
@@ -511,7 +539,8 @@ void Simulation::publish_ops() {
 }
 
 void Simulation::schedule_next_arrival() {
-  simulator_.schedule_in(arrivals_.next_interarrival(), [this] { handle_arrival(); });
+  simulator_.schedule_in(arrivals_.next_interarrival(), cat_arrival_,
+                         [this] { handle_arrival(); });
 }
 
 void Simulation::handle_arrival() {
@@ -599,7 +628,8 @@ void Simulation::handle_arrival() {
              group_.member(*decision.destination_index), decision.attempts,
              request.bandwidth_bps);
 
-  simulator_.schedule_in(arrivals_.draw_holding(), [this, id] { handle_departure(id); });
+  simulator_.schedule_in(arrivals_.draw_holding(), cat_departure_,
+                         [this, id] { handle_departure(id); });
 }
 
 void Simulation::handle_departure(FlowId id) {
@@ -840,7 +870,7 @@ void Simulation::note_topology_change() {
   // Restart semantics: every change re-arms the full convergence delay, and
   // a superseded timer no-ops — a burst of changes (a node crash failing
   // several links at once) converges once, after its last change.
-  simulator_.schedule_in(reconverge_delay_s_, [this, generation] {
+  simulator_.schedule_in(reconverge_delay_s_, cat_reconverge_, [this, generation] {
     if (generation != route_generation_) {
       return;
     }
@@ -1011,7 +1041,8 @@ void Simulation::attempt_failover(const ActiveFlow& displaced) {
   emit_trace(TraceEventKind::kFailover, request.request_id, request.source,
              group_.member(*decision.destination_index), decision.attempts,
              request.bandwidth_bps);
-  simulator_.schedule_in(arrivals_.draw_holding(), [this, id] { handle_departure(id); });
+  simulator_.schedule_in(arrivals_.draw_holding(), cat_departure_,
+                         [this, id] { handle_departure(id); });
 }
 
 std::string Simulation::system_label(const SimulationConfig& config) {
@@ -1065,18 +1096,22 @@ SimulationResult Simulation::run() {
   // Seed the event calendar.
   schedule_next_arrival();
   for (const LinkFault& fault : config_.faults) {
-    simulator_.schedule_at(fault.fail_at, [this, fault] { apply_fault(fault); });
-    simulator_.schedule_at(fault.repair_at, [this, fault] { repair_fault(fault); });
+    simulator_.schedule_at(fault.fail_at, cat_link_fault_,
+                           [this, fault] { apply_fault(fault); });
+    simulator_.schedule_at(fault.repair_at, cat_link_fault_,
+                           [this, fault] { repair_fault(fault); });
   }
   for (const MemberChurnEvent& event : config_.churn) {
-    simulator_.schedule_at(event.down_at,
+    simulator_.schedule_at(event.down_at, cat_churn_,
                            [this, event] { apply_member_down(event.member_index); });
-    simulator_.schedule_at(event.up_at,
+    simulator_.schedule_at(event.up_at, cat_churn_,
                            [this, event] { apply_member_up(event.member_index); });
   }
   for (const NodeFault& fault : config_.node_faults) {
-    simulator_.schedule_at(fault.fail_at, [this, fault] { apply_node_down(fault); });
-    simulator_.schedule_at(fault.repair_at, [this, fault] { apply_node_up(fault); });
+    simulator_.schedule_at(fault.fail_at, cat_node_fault_,
+                           [this, fault] { apply_node_down(fault); });
+    simulator_.schedule_at(fault.repair_at, cat_node_fault_,
+                           [this, fault] { apply_node_up(fault); });
   }
   // Initialize utilization tracking at t = 0 so time averages cover the run.
   for (net::LinkId id = 0; id < topology_->link_count(); ++id) {

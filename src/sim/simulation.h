@@ -20,6 +20,7 @@
 #include "src/des/simulator.h"
 #include "src/net/bandwidth.h"
 #include "src/obs/flight_recorder.h"
+#include "src/obs/kernel_stats.h"
 #include "src/obs/ops_server.h"
 #include "src/obs/profiler.h"
 #include "src/obs/registry.h"
@@ -171,6 +172,14 @@ struct SimulationConfig {
   /// offered). Unset costs one pointer check per use and leaves every
   /// artifact byte-identical.
   control::OverloadGovernor* governor = nullptr;
+  /// Optional kernel telemetry sink (must outlive the simulation; one
+  /// collector records one run). run() attaches it to the kernel before the
+  /// first event, so it sees every schedule/fire/cancel tagged with the
+  /// model's category taxonomy (DESIGN.md §15). Attached runs stay
+  /// byte-identical at equal seed — the collector reads only the virtual
+  /// clock; unset costs one pointer test per kernel operation and leaves
+  /// every artifact byte-identical.
+  obs::KernelStats* kernel_stats = nullptr;
 
   // --- Live ops plane (DESIGN.md §13; all optional, all must outlive the
   // simulation). A recurring ops-poll timer — scheduled only when any of
@@ -390,6 +399,16 @@ class Simulation {
   obs::Timeline* timeline_ = nullptr;         // config_.timeline, hot-path copy
   obs::FlightRecorder* flight_ = nullptr;     // config_.flight_recorder, hot-path copy
   control::OverloadGovernor* governor_ = nullptr;  // config_.governor, hot-path copy
+  // Kernel event categories (interned per instance in the constructor; the
+  // tags ride every schedule call and are read only by an attached
+  // obs::KernelStats — zero-cost otherwise, DESIGN.md §15).
+  des::EventCategory cat_arrival_;
+  des::EventCategory cat_departure_;
+  des::EventCategory cat_link_fault_;
+  des::EventCategory cat_churn_;
+  des::EventCategory cat_node_fault_;
+  des::EventCategory cat_reconverge_;
+  des::EventCategory cat_ops_poll_;
   std::vector<obs::Timeline::ColumnId> link_hwm_columns_;  // by LinkId (timeline runs)
   std::uint64_t next_request_id_ = 0;  // arrival sequence; span/trace join key
   std::size_t ops_replay_next_ = 0;    // first unapplied config_.ops_replay entry

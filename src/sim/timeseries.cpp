@@ -5,7 +5,10 @@
 namespace anyqos::sim {
 
 TimeSeriesProbe::TimeSeriesProbe(des::Simulator& simulator, double start, double period)
-    : simulator_(&simulator), start_(start), period_(period) {
+    : simulator_(&simulator),
+      category_(simulator.category("obs.timeseries")),
+      start_(start),
+      period_(period) {
   util::require(period > 0.0, "sampling period must be positive");
   util::require(start >= simulator.now(), "sampling cannot start in the past");
 }
@@ -23,7 +26,7 @@ void TimeSeriesProbe::arm() {
   util::require(!armed_, "probe already armed");
   util::require(!gauges_.empty(), "no gauges registered");
   armed_ = true;
-  simulator_->schedule_at(start_, [this] { sample(); });
+  simulator_->schedule_at(start_, category_, [this] { sample(); });
 }
 
 void TimeSeriesProbe::disarm() { stopped_ = true; }
@@ -37,7 +40,7 @@ void TimeSeriesProbe::sample() {
     series_[i].times.push_back(now);
     series_[i].values.push_back(gauges_[i]());
   }
-  simulator_->schedule_in(period_, [this] { sample(); });
+  simulator_->schedule_in(period_, category_, [this] { sample(); });
 }
 
 const TimeSeries& TimeSeriesProbe::series(const std::string& name) const {

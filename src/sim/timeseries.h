@@ -50,6 +50,7 @@ class TimeSeriesProbe {
   void sample();
 
   des::Simulator* simulator_;
+  des::EventCategory category_;  // "obs.timeseries" kernel tag
   double start_;
   double period_;
   bool armed_ = false;

@@ -1,0 +1,104 @@
+// Cancellation edge cases for the lazy-tombstone event queue: the handle
+// protocol (cancel-after-fire, double-cancel), FIFO tie-break stability
+// around interleaved cancels, and the tombstone accounting the kernel
+// telemetry plane reports (heap entries vs live size, tombstones_popped).
+#include "src/des/event_queue.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/des/simulator.h"
+
+namespace anyqos::des {
+namespace {
+
+TEST(EventQueueCancel, CancelAfterFireReturnsFalse) {
+  EventQueue queue;
+  const EventHandle handle = queue.schedule(1.0, [] {});
+  queue.pop().action();
+  EXPECT_FALSE(queue.cancel(handle));
+}
+
+TEST(EventQueueCancel, DoubleCancelReturnsFalse) {
+  EventQueue queue;
+  const EventHandle handle = queue.schedule(1.0, [] {});
+  EXPECT_TRUE(queue.cancel(handle));
+  EXPECT_FALSE(queue.cancel(handle));
+  EXPECT_FALSE(queue.cancel(handle));
+}
+
+TEST(EventQueueCancel, CancelInterleavedKeepsSameTimeFifoOrder) {
+  EventQueue queue;
+  std::vector<int> order;
+  std::vector<EventHandle> handles;
+  for (int i = 0; i < 8; ++i) {
+    handles.push_back(queue.schedule(5.0, [&order, i] { order.push_back(i); }));
+  }
+  // Cancel alternating entries of the same-timestamp run; the survivors must
+  // still fire in their original FIFO positions.
+  for (int i = 1; i < 8; i += 2) {
+    EXPECT_TRUE(queue.cancel(handles[static_cast<std::size_t>(i)]));
+  }
+  while (!queue.empty()) {
+    queue.pop().action();
+  }
+  EXPECT_EQ(order, (std::vector<int>{0, 2, 4, 6}));
+}
+
+TEST(EventQueueCancel, TombstonesStayInHeapUntilPopped) {
+  EventQueue queue;
+  std::vector<EventHandle> handles;
+  for (int i = 0; i < 4; ++i) {
+    handles.push_back(queue.schedule(1.0 + i, [] {}));
+  }
+  queue.cancel(handles[0]);
+  queue.cancel(handles[2]);
+  // Live size drops immediately; the heap keeps the tombstones until pop
+  // walks over them.
+  EXPECT_EQ(queue.size(), 2u);
+  EXPECT_EQ(queue.heap_entries(), 4u);
+  EXPECT_EQ(queue.tombstones_popped(), 0u);
+  while (!queue.empty()) {
+    queue.pop().action();
+  }
+  EXPECT_EQ(queue.tombstones_popped(), 2u);
+  EXPECT_EQ(queue.heap_entries(), 0u);
+}
+
+TEST(EventQueueCancel, CancelEverythingLeavesEmptyQueue) {
+  EventQueue queue;
+  std::vector<EventHandle> handles;
+  for (int i = 0; i < 5; ++i) {
+    handles.push_back(queue.schedule(2.0, [] {}));
+  }
+  for (const EventHandle& handle : handles) {
+    EXPECT_TRUE(queue.cancel(handle));
+  }
+  EXPECT_TRUE(queue.empty());
+  // Draining an all-tombstone heap must not surface a cancelled event.
+  EXPECT_EQ(queue.tombstones_popped(), 0u);
+}
+
+TEST(SimulatorCancel, CancelAfterRunReturnsFalse) {
+  Simulator simulator;
+  int fired = 0;
+  const EventHandle handle = simulator.schedule_at(1.0, [&] { ++fired; });
+  simulator.run();
+  EXPECT_EQ(fired, 1);
+  EXPECT_FALSE(simulator.cancel(handle));
+  EXPECT_EQ(simulator.tombstones_popped(), 0u);
+}
+
+TEST(SimulatorCancel, TombstonesPoppedVisibleThroughSimulator) {
+  Simulator simulator;
+  const EventHandle doomed = simulator.schedule_at(1.0, [] {});
+  simulator.schedule_at(2.0, [] {});
+  EXPECT_TRUE(simulator.cancel(doomed));
+  simulator.run();
+  EXPECT_EQ(simulator.tombstones_popped(), 1u);
+  EXPECT_EQ(simulator.dispatched_events(), 1u);
+}
+
+}  // namespace
+}  // namespace anyqos::des

@@ -24,31 +24,43 @@ BASE_ARGS = [
     "--timeline-interval=50",
 ]
 
+FAULT_ARGS = BASE_ARGS + [
+    "--node-mtbf=2000", "--node-mttr=120",
+    "--reconverge-delay=0.5", "--path-repair",
+]
+
 # Each scenario is double-run independently. "node-faults" layers the
 # failure-domain plane (router crashes, delayed reconvergence, path repair)
 # on top of the link-fault + churn mix: repairs re-signal through the same
-# seeded streams, so they must be just as replayable.
+# seeded streams, so they must be just as replayable. "kernel-stats" is the
+# same run with the kernel introspection sink attached: the kernel-stats
+# artifact itself must double-run byte-identical, and — the attach-gating
+# contract — attaching the sink must not move a single byte of the trace
+# relative to the unattached "node-faults" run.
 SCENARIOS = [
-    ("base", BASE_ARGS),
-    ("node-faults", BASE_ARGS + [
-        "--node-mtbf=2000", "--node-mttr=120",
-        "--reconverge-delay=0.5", "--path-repair",
-    ]),
+    ("base", BASE_ARGS, False),
+    ("node-faults", FAULT_ARGS, False),
+    ("kernel-stats", FAULT_ARGS, True),
 ]
 
 
-def run_once(dacsim, workdir, tag, args):
+def run_once(dacsim, workdir, tag, args, kernel):
     trace = os.path.join(workdir, f"trace-{tag}.csv")
     timeline = os.path.join(workdir, f"timeline-{tag}.jsonl")
     cmd = [dacsim, *args, f"--trace={trace}", f"--timeline-out={timeline}"]
+    artifacts = [trace, timeline]
+    if kernel:
+        kernel_out = os.path.join(workdir, f"kernel-{tag}.jsonl")
+        cmd.append(f"--kernel-stats-out={kernel_out}")
+        artifacts.append(kernel_out)
     proc = subprocess.run(cmd, capture_output=True, text=True)
     if proc.returncode != 0:
         sys.stderr.write(proc.stdout + proc.stderr)
         raise SystemExit(f"dacsim run {tag} failed with {proc.returncode}")
-    for artifact in (trace, timeline):
+    for artifact in artifacts:
         if not os.path.exists(artifact) or os.path.getsize(artifact) == 0:
             raise SystemExit(f"dacsim run {tag} left no artifact {artifact}")
-    return trace, timeline
+    return artifacts
 
 
 def first_diff(path_a, path_b):
@@ -73,11 +85,13 @@ def main():
     os.makedirs(workdir, exist_ok=True)
 
     failures = []
-    for scenario, args in SCENARIOS:
-        trace_a, timeline_a = run_once(dacsim, workdir, f"{scenario}-a", args)
-        trace_b, timeline_b = run_once(dacsim, workdir, f"{scenario}-b", args)
-        for label, a, b in (("trace", trace_a, trace_b),
-                            ("timeline", timeline_a, timeline_b)):
+    traces = {}
+    labels = ("trace", "timeline", "kernel")
+    for scenario, args, kernel in SCENARIOS:
+        run_a = run_once(dacsim, workdir, f"{scenario}-a", args, kernel)
+        run_b = run_once(dacsim, workdir, f"{scenario}-b", args, kernel)
+        traces[scenario] = run_a[0]
+        for label, a, b in zip(labels, run_a, run_b):
             if filecmp.cmp(a, b, shallow=False):
                 print(f"determinism[{scenario}]: {label} byte-identical "
                       f"({os.path.getsize(a)} bytes)")
@@ -86,6 +100,17 @@ def main():
             where = (f"line {diff[0]}:\n  run a: {diff[1]}\n  run b: {diff[2]}"
                      if diff else "file sizes differ")
             failures.append(f"[{scenario}] {label} artifacts diverge at {where}")
+
+    # Attach-gating: the kernel sink observes, it must not steer. The traced
+    # flow history with the sink attached must byte-match the unattached run
+    # of the identical configuration.
+    if filecmp.cmp(traces["node-faults"], traces["kernel-stats"], shallow=False):
+        print("determinism[attach-gating]: kernel sink left the trace untouched")
+    else:
+        diff = first_diff(traces["node-faults"], traces["kernel-stats"])
+        where = (f"line {diff[0]}:\n  unattached: {diff[1]}\n  attached: {diff[2]}"
+                 if diff else "file sizes differ")
+        failures.append(f"[attach-gating] kernel sink perturbed the trace at {where}")
 
     if failures:
         for failure in failures:

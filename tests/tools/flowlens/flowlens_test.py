@@ -1,0 +1,112 @@
+#!/usr/bin/env python3
+"""Golden-fixture tests for tools/flowlens.
+
+fixtures/clean/ is a miniature but fully consistent artifact set covering
+every lifecycle shape flowlens understands: plain admit/depart, reject,
+shed (with its zero-attempt marker span), repair continuation, churn
+failover under a fresh request id, and a rejected failover that never
+enters the trace. fixtures/broken/ holds one deliberately inconsistent
+artifact per check class; each must drive the exit code to 1 and name its
+check. Run directly or through ctest.
+"""
+
+import os
+import subprocess
+import sys
+import unittest
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+REPO_ROOT = os.path.normpath(os.path.join(HERE, "..", "..", ".."))
+FLOWLENS = os.path.join(REPO_ROOT, "tools", "flowlens", "flowlens.py")
+CLEAN = os.path.join(HERE, "fixtures", "clean")
+BROKEN = os.path.join(HERE, "fixtures", "broken")
+
+
+def run_flowlens(*args):
+    return subprocess.run([sys.executable, FLOWLENS] + list(args),
+                          capture_output=True, text=True)
+
+
+def clean(name):
+    return os.path.join(CLEAN, name)
+
+
+def broken(name):
+    return os.path.join(BROKEN, name)
+
+
+class CleanFixture(unittest.TestCase):
+    def test_full_artifact_set_is_consistent(self):
+        proc = run_flowlens("--trace", clean("trace.csv"),
+                            "--spans", clean("spans.jsonl"),
+                            "--timeline", clean("timeline.jsonl"),
+                            "--ops", clean("ops.jsonl"),
+                            "--kernel", clean("kernel.jsonl"))
+        self.assertEqual(proc.returncode, 0, proc.stderr)
+        self.assertIn("flowlens: consistent", proc.stdout)
+
+    def test_each_artifact_passes_alone(self):
+        for flag, name in (("--trace", "trace.csv"),
+                           ("--spans", "spans.jsonl"),
+                           ("--timeline", "timeline.jsonl"),
+                           ("--ops", "ops.jsonl"),
+                           ("--kernel", "kernel.jsonl")):
+            proc = run_flowlens(flag, clean(name))
+            self.assertEqual(proc.returncode, 0,
+                             "%s alone failed:\n%s" % (name, proc.stderr))
+
+    def test_summary_reconstructs_chains(self):
+        proc = run_flowlens("--trace", clean("trace.csv"),
+                            "--spans", clean("spans.jsonl"), "--chains", "10")
+        self.assertEqual(proc.returncode, 0, proc.stderr)
+        self.assertIn("ADMITTED@0.5 -> DROPPED@3", proc.stdout)
+        self.assertIn("REPAIRED@2.6 -> DEPARTED@4", proc.stdout)
+        self.assertIn("FAILOVER@3 -> DEPARTED@5", proc.stdout)
+
+
+class BrokenFixtures(unittest.TestCase):
+    def assert_violation(self, proc, check):
+        self.assertEqual(proc.returncode, 1,
+                         "expected exit 1, got %d:\n%s%s" %
+                         (proc.returncode, proc.stdout, proc.stderr))
+        self.assertIn("[%s]" % check, proc.stderr)
+
+    def test_repaired_flow_counted_dropped(self):
+        proc = run_flowlens("--trace", broken("repaired_after_drop.csv"))
+        self.assert_violation(proc, "chain-after-terminal")
+
+    def test_span_without_trace_events(self):
+        proc = run_flowlens("--trace", clean("trace.csv"),
+                            "--spans", broken("span_unmatched.jsonl"))
+        self.assert_violation(proc, "span-unmatched")
+
+    def test_shed_flow_in_offered_stream(self):
+        proc = run_flowlens("--trace", clean("trace.csv"),
+                            "--spans", broken("shed_offered.jsonl"))
+        self.assert_violation(proc, "shed-offered")
+
+    def test_kernel_fired_disagrees_with_engine(self):
+        proc = run_flowlens("--kernel", broken("kernel_dispatch.jsonl"))
+        self.assert_violation(proc, "kernel-dispatch")
+
+    def test_kernel_category_does_not_reconcile(self):
+        proc = run_flowlens("--kernel", broken("kernel_reconcile.jsonl"))
+        self.assert_violation(proc, "kernel-reconcile")
+
+
+class UnusableInput(unittest.TestCase):
+    def test_malformed_trace_exits_2(self):
+        proc = run_flowlens("--trace", broken("malformed_trace.csv"))
+        self.assertEqual(proc.returncode, 2, proc.stderr)
+
+    def test_missing_file_exits_2(self):
+        proc = run_flowlens("--kernel", os.path.join(BROKEN, "nope.jsonl"))
+        self.assertEqual(proc.returncode, 2, proc.stderr)
+
+    def test_no_artifacts_exits_2(self):
+        proc = run_flowlens()
+        self.assertEqual(proc.returncode, 2, proc.stderr)
+
+
+if __name__ == "__main__":
+    unittest.main()
