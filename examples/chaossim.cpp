@@ -32,6 +32,7 @@
 #include <vector>
 
 #include "src/audit/auditor.h"
+#include "src/audit/chaos_oracle.h"
 #include "src/control/directive.h"
 #include "src/control/governor.h"
 #include "src/net/reconvergence.h"
@@ -45,6 +46,7 @@
 #include "src/sim/churn.h"
 #include "src/sim/faults.h"
 #include "src/sim/metrics_export.h"
+#include "src/sim/scenario.h"
 #include "src/sim/simulation.h"
 #include "src/util/cli.h"
 #include "src/util/require.h"
@@ -110,12 +112,13 @@ net::Topology build_topology(const std::string& spec) {
 }
 
 struct CellVerdict {
+  bool hung = false;            // the drain watchdog tripped before quiescence
   bool leaked = false;          // reserved bandwidth, orphans, or queued repairs survived
   bool violations = false;      // the auditor logged at least one finding
   bool unreconciled = false;    // hop mirror != MessageCounter (when checkable)
   bool breaker_open = false;    // a circuit breaker survived the drain Open
   [[nodiscard]] bool clean() const {
-    return !leaked && !violations && !unreconciled && !breaker_open;
+    return !hung && !leaked && !violations && !unreconciled && !breaker_open;
   }
 };
 
@@ -124,6 +127,9 @@ struct CellVerdict {
 int main(int argc, char** argv) {
   util::CliFlags flags("chaossim",
                        "Chaos matrix for the resilient signaling plane (CI gate)");
+  flags.add_string("scenario", "",
+                   "single-scenario mode: run this scenario file (sim/scenario.h) through the"
+                   " chaos oracle instead of the matrix; exit 1 on any violation");
   flags.add_string("topology", "ring:8", "mci | line:N | ring:N | grid:RxC");
   flags.add_string("group", "0,4", "anycast member routers");
   flags.add_string("sources", "1,3,5,7", "source routers");
@@ -148,6 +154,12 @@ int main(int argc, char** argv) {
   flags.add_duration("measure", 1'000.0, "measured seconds per cell (warm-up is zero so the"
                                          " message reconciliation stays exact)");
   flags.add_unsigned("seed", 101, "master RNG seed (each cell offsets it)");
+  flags.add_unsigned("drain-max-events", 0,
+                     "drain watchdog: abort a cell's drain after this many events; a tripped"
+                     " watchdog fails the cell (0 = uncapped)");
+  flags.add_duration("drain-max-sim", 0.0,
+                     "drain watchdog: abort a cell's drain this many sim-seconds past the"
+                     " horizon (0 = uncapped)");
   flags.add_string("out", "", "also write the matrix as CSV to this file");
   flags.add_string("metrics-out", "",
                    "write per-cell metrics here (.prom = Prometheus text, else JSONL); every"
@@ -173,6 +185,41 @@ int main(int argc, char** argv) {
   if (flags.help_requested()) {
     std::cout << flags.help_text();
     return 0;
+  }
+
+  // Single-scenario mode: one replayable file, the full oracle stack, one
+  // classified verdict. This is how a chaosfuzz-shrunk repro is re-judged
+  // under the same gates CI applies to the matrix.
+  if (!flags.get_string("scenario").empty()) {
+    std::ifstream scenario_file(flags.get_string("scenario"));
+    util::require(scenario_file.good(), "cannot open scenario file");
+    std::ostringstream scenario_text;
+    scenario_text << scenario_file.rdbuf();
+    const sim::Scenario scenario = sim::load_scenario(scenario_text.str());
+    const audit::ChaosOracleOutcome outcome = audit::run_chaos_oracle(scenario);
+    if (outcome.clean()) {
+      std::cout << "scenario '" << scenario.name << "' clean ("
+                << scenario.fault_entries() << " fault entries, seed " << scenario.seed
+                << ")\n";
+      return 0;
+    }
+    std::cout << "scenario '" << scenario.name << "' FAILED: " << outcome.violation_class
+              << "\n";
+    if (!outcome.detail.empty()) {
+      std::cout << outcome.detail << "\n";
+    }
+    if (!outcome.audit_log.empty()) {
+      std::cout << outcome.audit_log;
+    }
+    if (!outcome.flight_dump.empty()) {
+      std::string path = flags.get_string("flight-prefix");
+      path += "-scenario.jsonl";
+      std::ofstream dump(path);
+      util::require(dump.good(), "cannot open flight dump file");
+      dump << outcome.flight_dump;
+      std::cout << "flight snapshot written to " << path << "\n";
+    }
+    return 1;
   }
 
   const net::Topology topology = build_topology(flags.get_string("topology"));
@@ -289,27 +336,34 @@ int main(int argc, char** argv) {
           resilience.orphan_hold_s = flags.get_double("orphan-hold");
           config.resilience = resilience;
 
-          if (churn_rate > 0.0) {
-            config.churn = sim::random_churn_schedule(config.group_members.size(),
-                                                      config.measure_s, churn_rate,
-                                                      flags.get_double("churn-downtime"),
-                                                      config.seed + 1);
-          }
+          // All three random axes through the one shared scenario builder
+          // (churn at seed+1, link faults at seed+2, node faults at seed+3 —
+          // the same offsets every scenario file uses, so a cell's schedules
+          // are exactly reproducible from an `axes` block).
+          sim::FaultAxes axes;
+          axes.churn_rate = churn_rate;
+          axes.churn_mean_down_s = flags.get_double("churn-downtime");
           if (faults_on) {
-            config.faults = sim::random_fault_schedule(topology, config.measure_s,
-                                                       flags.get_double("fault-rate"),
-                                                       flags.get_double("fault-repair"),
-                                                       config.seed + 2);
+            axes.link_rate = flags.get_double("fault-rate");
+            axes.link_mean_repair_s = flags.get_double("fault-repair");
           }
+          if (node_mtbf > 0.0) {
+            axes.node_rate = 1.0 / node_mtbf;
+            axes.node_mean_repair_s = flags.get_double("node-mttr");
+          }
+          sim::ScenarioSchedules schedules = sim::scenario_schedules(
+              topology, config.group_members.size(), config.measure_s, axes, config.seed);
+          config.churn = std::move(schedules.churn);
+          config.faults = std::move(schedules.link_faults);
+          config.node_faults = std::move(schedules.node_faults);
           if (node_mtbf > 0.0) {
             // The node-fault axis runs the full failure-domain plane: router
             // crashes, flooding reconvergence, and path repair together.
-            config.node_faults = sim::random_node_fault_schedule(
-                topology, config.measure_s, 1.0 / node_mtbf,
-                flags.get_double("node-mttr"), config.seed + 3);
             config.reconvergence = &reconvergence;
             config.path_repair = true;
           }
+          config.drain_max_events = flags.get_unsigned("drain-max-events");
+          config.drain_max_sim_s = flags.get_double("drain-max-sim");
 
           // Arm the per-cell flight recorder: spans land in its ring (teeing to
           // the shared spans file when one is open) and snapshots buffer in
@@ -381,6 +435,7 @@ int main(int argc, char** argv) {
           spans_emitted += tracer.spans_emitted();
 
           CellVerdict verdict;
+          verdict.hung = simulation.drain_watchdog().tripped;
           auto* resilient = simulation.resilient();
           util::ensure(resilient != nullptr, "chaos cells always run resilient");
           if (simulation.ledger().total_reserved() > 0.0 || simulation.active_flows() > 0 ||
@@ -429,7 +484,8 @@ int main(int argc, char** argv) {
                          std::to_string(result.resilience.orphans_reclaimed), drops.str(),
                          failover.str(), repair.str(), gov.str(),
                          verdict.clean() ? "clean"
-                                         : (std::string(verdict.leaked ? " leak" : "") +
+                                         : (std::string(verdict.hung ? " hang" : "") +
+                                            (verdict.leaked ? " leak" : "") +
                                             (verdict.violations ? " audit" : "") +
                                             (verdict.unreconciled ? " msgs" : "") +
                                             (verdict.breaker_open ? " breaker" : ""))});

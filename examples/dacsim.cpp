@@ -12,6 +12,7 @@
 //   $ ./dacsim --timeline-out=tl.csv --flight-recorder=flight.jsonl --fault-rate=1e-4
 #include <fstream>
 #include <iostream>
+#include <sstream>
 
 #include "src/audit/auditor.h"
 #include "src/control/directive.h"
@@ -28,6 +29,7 @@
 #include "src/sim/metrics_export.h"
 #include "src/sim/experiment.h"
 #include "src/sim/faults.h"
+#include "src/sim/scenario.h"
 #include "src/util/cli.h"
 #include "src/util/require.h"
 #include "src/util/strings.h"
@@ -84,6 +86,9 @@ net::Topology build_topology(const std::string& spec, const std::string& file) {
 
 int main(int argc, char** argv) {
   util::CliFlags flags("dacsim", "Configurable DAC anycast-flow simulation");
+  flags.add_string("scenario", "",
+                   "run this scenario file (sim/scenario.h); replaces the workload/system/"
+                   "fault flags, observability flags still apply");
   flags.add_string("topology", "mci", "mci | line:N | ring:N | star:N | grid:RxC | waxman:NxSEED");
   flags.add_string("topology-file", "", "load a topology file instead (see topology_io.h)");
   flags.add_string("group", "0,4,8,12,16", "anycast member routers");
@@ -125,6 +130,11 @@ int main(int argc, char** argv) {
   flags.add_duration("churn-downtime", 300.0, "mean member outage duration, seconds");
   flags.add_bool("failover", true, "re-admit flows displaced by member churn");
   flags.add_bool("drain", false, "drain to quiescence after the measurement window");
+  flags.add_unsigned("drain-max-events", 0,
+                     "drain watchdog: abort the drain after this many events (0 = uncapped)");
+  flags.add_duration("drain-max-sim", 0.0,
+                     "drain watchdog: abort the drain this many sim-seconds past the horizon "
+                     "(0 = uncapped)");
   flags.add_string("trace", "", "write a CSV event trace to this file");
   flags.add_bool("audit", true, "attach the runtime invariant auditor");
   flags.add_double("audit-interval", 100.0, "seconds between audit checkpoints");
@@ -152,85 +162,114 @@ int main(int argc, char** argv) {
     return 0;
   }
 
-  const net::Topology topology =
-      build_topology(flags.get_string("topology"), flags.get_string("topology-file"));
-
-  sim::SimulationConfig config;
-  config.traffic.arrival_rate = flags.get_double("lambda");
-  config.traffic.mean_holding_s = flags.get_double("holding");
-  config.traffic.flow_bandwidth_bps = flags.get_double("bandwidth");
-  if (flags.get_string("sources").empty()) {
-    for (net::NodeId id = 1; id < topology.router_count(); id += 2) {
-      config.traffic.sources.push_back(id);
-    }
-  } else {
-    config.traffic.sources = parse_nodes(flags.get_string("sources"), "--sources");
-  }
-  config.group_members = parse_nodes(flags.get_string("group"), "--group");
-  config.anycast_share = flags.get_double("share");
-  config.use_gdi = flags.get_bool("gdi");
-  config.algorithm = core::parse_algorithm(flags.get_string("algorithm"));
-  config.max_tries = flags.get_unsigned("retries");
-  config.alpha = flags.get_double("alpha");
-  config.warmup_s = flags.get_double("warmup");
-  config.measure_s = flags.get_double("measure");
-  config.seed = flags.get_unsigned("seed");
-  if (flags.get_double("fault-rate") > 0.0) {
-    config.faults = sim::random_fault_schedule(
-        topology, config.warmup_s + config.measure_s, flags.get_double("fault-rate"),
-        flags.get_double("fault-repair"), config.seed + 1);
-  }
-  if (flags.get_bool("resilient") || flags.get_double("loss") > 0.0 ||
-      flags.get_double("hop-delay") > 0.0) {
-    signaling::ResilienceOptions resilience;
-    resilience.faults.loss_probability = flags.get_double("loss");
-    resilience.faults.hop_delay_s = flags.get_double("hop-delay");
-    resilience.retransmit_timeout_s = flags.get_double("retransmit-timeout");
-    resilience.max_retransmits = flags.get_unsigned("max-retransmits");
-    resilience.orphan_hold_s = flags.get_double("orphan-hold");
-    config.resilience = resilience;
-  }
-  if (flags.get_double("churn-rate") > 0.0) {
-    config.churn = sim::random_churn_schedule(
-        config.group_members.size(), config.warmup_s + config.measure_s,
-        flags.get_double("churn-rate"), flags.get_double("churn-downtime"), config.seed + 2);
-  }
-  config.failover_readmit = flags.get_bool("failover");
-  config.drain_to_quiescence = flags.get_bool("drain");
-  if (flags.get_double("node-mtbf") > 0.0) {
-    util::require(!config.use_gdi, "node faults require a DAC run (not --gdi)");
-    config.node_faults = sim::random_node_fault_schedule(
-        topology, config.warmup_s + config.measure_s, 1.0 / flags.get_double("node-mtbf"),
-        flags.get_double("node-mttr"), config.seed + 3);
-  }
-  // Any engaged failure-plane axis brings a reconvergence policy with it:
-  // routes must eventually route around a dead router, and path repair
-  // re-signals over the post-convergence table by definition.
+  // --scenario replaces the whole workload/system/fault surface with one
+  // serialized run description; the flag-driven path below stays the
+  // ns-style front end. Either way the rest of main sees one topology and
+  // one config (references into whichever source was chosen).
+  std::unique_ptr<sim::ScenarioRun> scenario_run;
+  net::Topology flag_topology;
+  sim::SimulationConfig flag_config;
   std::unique_ptr<net::ReconvergencePolicy> reconvergence;
-  if (!config.node_faults.empty() || flags.get_bool("path-repair") ||
-      flags.get_double("reconverge-delay") > 0.0) {
-    util::require(!config.use_gdi, "reconvergence/path repair require a DAC run (not --gdi)");
-    if (flags.get_double("reconverge-delay") > 0.0) {
-      reconvergence =
-          std::make_unique<net::FixedReconvergence>(flags.get_double("reconverge-delay"));
-    } else {
-      reconvergence = std::make_unique<net::InstantReconvergence>();
-    }
-    config.reconvergence = reconvergence.get();
-    config.path_repair = flags.get_bool("path-repair");
+  std::unique_ptr<control::OverloadGovernor> governor;
+  if (!flags.get_string("scenario").empty()) {
+    std::ifstream scenario_file(flags.get_string("scenario"));
+    util::require(scenario_file.good(), "cannot open scenario file");
+    std::ostringstream scenario_text;
+    scenario_text << scenario_file.rdbuf();
+    scenario_run = sim::make_scenario_run(sim::load_scenario(scenario_text.str()));
+  } else {
+    flag_topology = build_topology(flags.get_string("topology"), flags.get_string("topology-file"));
   }
+  const net::Topology& topology = scenario_run != nullptr ? scenario_run->topology : flag_topology;
+  sim::SimulationConfig& config = scenario_run != nullptr ? scenario_run->config : flag_config;
+  if (scenario_run == nullptr) {
+    config.traffic.arrival_rate = flags.get_double("lambda");
+    config.traffic.mean_holding_s = flags.get_double("holding");
+    config.traffic.flow_bandwidth_bps = flags.get_double("bandwidth");
+    if (flags.get_string("sources").empty()) {
+      for (net::NodeId id = 1; id < topology.router_count(); id += 2) {
+        config.traffic.sources.push_back(id);
+      }
+    } else {
+      config.traffic.sources = parse_nodes(flags.get_string("sources"), "--sources");
+    }
+    config.group_members = parse_nodes(flags.get_string("group"), "--group");
+    config.anycast_share = flags.get_double("share");
+    config.use_gdi = flags.get_bool("gdi");
+    config.algorithm = core::parse_algorithm(flags.get_string("algorithm"));
+    config.max_tries = flags.get_unsigned("retries");
+    config.alpha = flags.get_double("alpha");
+    config.warmup_s = flags.get_double("warmup");
+    config.measure_s = flags.get_double("measure");
+    config.seed = flags.get_unsigned("seed");
+    // All three random fault axes come from the one shared scenario builder
+    // (axis streams at seed+1..+3), the same draws a scenario file with the
+    // equivalent `axes` block produces.
+    sim::FaultAxes axes;
+    axes.link_rate = flags.get_double("fault-rate");
+    axes.link_mean_repair_s = flags.get_double("fault-repair");
+    axes.churn_rate = flags.get_double("churn-rate");
+    axes.churn_mean_down_s = flags.get_double("churn-downtime");
+    if (flags.get_double("node-mtbf") > 0.0) {
+      util::require(!config.use_gdi, "node faults require a DAC run (not --gdi)");
+      axes.node_rate = 1.0 / flags.get_double("node-mtbf");
+      axes.node_mean_repair_s = flags.get_double("node-mttr");
+    }
+    sim::ScenarioSchedules schedules = sim::scenario_schedules(
+        topology, config.group_members.size(), config.warmup_s + config.measure_s, axes,
+        config.seed);
+    config.faults = std::move(schedules.link_faults);
+    config.churn = std::move(schedules.churn);
+    config.node_faults = std::move(schedules.node_faults);
+    if (flags.get_bool("resilient") || flags.get_double("loss") > 0.0 ||
+        flags.get_double("hop-delay") > 0.0) {
+      signaling::ResilienceOptions resilience;
+      resilience.faults.loss_probability = flags.get_double("loss");
+      resilience.faults.hop_delay_s = flags.get_double("hop-delay");
+      resilience.retransmit_timeout_s = flags.get_double("retransmit-timeout");
+      resilience.max_retransmits = flags.get_unsigned("max-retransmits");
+      resilience.orphan_hold_s = flags.get_double("orphan-hold");
+      config.resilience = resilience;
+    }
+    config.failover_readmit = flags.get_bool("failover");
+    config.drain_to_quiescence = flags.get_bool("drain");
+    config.drain_max_events = flags.get_unsigned("drain-max-events");
+    config.drain_max_sim_s = flags.get_double("drain-max-sim");
+    // Any engaged failure-plane axis brings a reconvergence policy with it:
+    // routes must eventually route around a dead router, and path repair
+    // re-signals over the post-convergence table by definition.
+    if (!config.node_faults.empty() || flags.get_bool("path-repair") ||
+        flags.get_double("reconverge-delay") > 0.0) {
+      util::require(!config.use_gdi, "reconvergence/path repair require a DAC run (not --gdi)");
+      if (flags.get_double("reconverge-delay") > 0.0) {
+        reconvergence =
+            std::make_unique<net::FixedReconvergence>(flags.get_double("reconverge-delay"));
+      } else {
+        reconvergence = std::make_unique<net::InstantReconvergence>();
+      }
+      config.reconvergence = reconvergence.get();
+      config.path_repair = flags.get_bool("path-repair");
+    }
+  }
+  net::ReconvergencePolicy* reconvergence_in_use =
+      scenario_run != nullptr ? scenario_run->reconvergence.get() : reconvergence.get();
 
   const std::string ops_port = flags.get_string("ops-port");
   const std::string ops_replay_path = flags.get_string("ops-replay");
   util::require(ops_port.empty() || ops_replay_path.empty(),
                 "--ops-port and --ops-replay are mutually exclusive (a replay is serverless)");
+  util::require(scenario_run == nullptr || ops_replay_path.empty(),
+                "--ops-replay conflicts with --scenario (the scenario carries its own ops)");
   const bool ops_plane =
       !ops_port.empty() || !ops_replay_path.empty() || !flags.get_string("ops-log").empty();
+  if (scenario_run != nullptr && ops_plane) {
+    util::require(scenario_run->governor != nullptr,
+                  "the ops plane on a scenario run needs the scenario's governor block");
+  }
 
-  std::unique_ptr<control::OverloadGovernor> governor;
   const bool governor_flags = flags.get_bool("adaptive") || flags.get_bool("breaker") ||
                               flags.get_double("shed-budget") > 0.0;
-  if (governor_flags || ops_plane) {
+  if (scenario_run == nullptr && (governor_flags || ops_plane)) {
     util::require(!config.use_gdi, "the overload governor requires a DAC run (not --gdi)");
     control::GovernorOptions governor_options;
     governor_options.window_s = flags.get_double("governor-window");
@@ -246,6 +285,8 @@ int main(int argc, char** argv) {
     governor = std::make_unique<control::OverloadGovernor>(governor_options);
     config.governor = governor.get();
   }
+  control::OverloadGovernor* governor_in_use =
+      scenario_run != nullptr ? scenario_run->governor.get() : governor.get();
 
   // --- Live ops plane (DESIGN.md §13) ---
   // The mailbox outlives the server: the accept thread's control handler
@@ -407,14 +448,21 @@ int main(int argc, char** argv) {
             << ", max " << util::format_fixed(result.max_link_utilization, 4) << "\n"
             << "dropped flows     " << result.dropped << " (faults " << result.dropped_by_fault
             << ", churn " << result.dropped_by_churn << ")\n";
+  if (simulation.drain_watchdog().tripped) {
+    const sim::DrainWatchdogReport& watchdog = simulation.drain_watchdog();
+    std::cout << "drain watchdog    TRIPPED (" << watchdog.reason << "): "
+              << watchdog.pending_events << " events and " << watchdog.active_flows
+              << " flows still pending at t=" << util::format_fixed(watchdog.sim_time_s, 1)
+              << " after " << watchdog.drained_events << " drained events\n";
+  }
   if (!config.churn.empty()) {
     std::cout << "churn events      " << config.churn.size() << " outages, failover "
               << result.failover_admitted << "/" << result.failover_attempts
               << " re-admitted\n";
   }
-  if (reconvergence != nullptr) {
+  if (reconvergence_in_use != nullptr) {
     std::cout << "failure plane     " << result.node_outages << " node outages, "
-              << result.reconvergences << " reconvergences (" << reconvergence->name()
+              << result.reconvergences << " reconvergences (" << reconvergence_in_use->name()
               << " policy)\n";
     if (config.path_repair) {
       std::cout << "path repair       " << result.repaired << " repaired, "
@@ -430,18 +478,18 @@ int main(int argc, char** argv) {
               << util::format_fixed(result.resilience.orphaned_bandwidth_reclaimed_bps / 1e6, 2)
               << " Mbit/s)\n";
   }
-  if (governor != nullptr) {
-    const control::GovernorStats& gov = governor->stats();
-    std::cout << "overload governor R " << governor->effective_max_tries() << "/"
-              << governor->max_tries_ceiling() << " effective/ceiling, " << gov.windows
+  if (governor_in_use != nullptr) {
+    const control::GovernorStats& gov = governor_in_use->stats();
+    std::cout << "overload governor R " << governor_in_use->effective_max_tries() << "/"
+              << governor_in_use->max_tries_ceiling() << " effective/ceiling, " << gov.windows
               << " windows (" << gov.tighten_steps << " tightened, " << gov.relax_steps
               << " relaxed)\n";
-    if (governor->options().member_breakers) {
+    if (governor_in_use->options().member_breakers) {
       std::cout << "member breakers   " << gov.breaker_trips << " trips, "
                 << gov.breaker_probes << " probes, " << gov.breaker_closes << " closes, "
-                << governor->open_breakers() << " open at end\n";
+                << governor_in_use->open_breakers() << " open at end\n";
     }
-    if (governor->options().shed_budget_msgs_per_s > 0.0) {
+    if (governor_in_use->options().shed_budget_msgs_per_s > 0.0) {
       std::cout << "load shedding     " << result.shed
                 << " requests fast-rejected (measured window; lifetime " << gov.shed << ")\n";
     }

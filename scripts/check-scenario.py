@@ -1,0 +1,308 @@
+#!/usr/bin/env python3
+"""Validate anyqos scenario files (schema anyqos.scenario/1).
+
+Stdlib-only linter for the scenario plane (src/sim/scenario.h): the JSON
+documents consumed by `dacsim --scenario`, `chaossim --scenario`, and
+written by tools/chaosfuzz as shrunk repros. Checks, per file:
+
+  * the document is a JSON object carrying the exact schema tag;
+  * no unknown keys at any level (typo safety for hand-edited repros);
+  * required blocks (workload, system, run) with sane domains: positive
+    rates/holding/bandwidth, alpha and shares in range, non-empty group
+    and sources, max_tries >= 1;
+  * optional blocks (resilience, reconvergence, governor, axes) key-by-key;
+  * fault entries ordered (fail_at < repair_at, down_at < up_at), node ids
+    non-negative integers, churn member indices inside the group;
+  * ops directives sorted by time, knob names known, values in each knob's
+    domain, and a governor block present when ops exist;
+  * path_repair only with a reconvergence block.
+
+Usage: check-scenario.py <file> [<file> ...]   (exit 1 on any violation)
+"""
+
+import json
+import sys
+
+SCHEMA = "anyqos.scenario/1"
+RECONVERGENCE_POLICIES = ("instant", "fixed", "flooding")
+# Knob name -> (minimum, must_be_integer); mirrors control::validate_directive.
+KNOBS = {
+    "retrial-ceiling": (1, True),
+    "retrial-floor": (1, True),
+    "shed-budget": (0, False),
+    "shed-burst": (0, False),
+    "breaker-threshold": (1, True),
+    "breaker-cooldown": (1e-308, False),  # strictly positive
+}
+
+errors = []
+
+
+def complain(path, what):
+    errors.append(f"{path}: {what}")
+
+
+def is_number(value):
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
+def check_keys(path, obj, where, required, optional=()):
+    """Flags unknown keys and missing required keys; returns True when usable."""
+    if not isinstance(obj, dict):
+        complain(path, f"{where} must be a JSON object")
+        return False
+    ok = True
+    for key in obj:
+        if key not in required and key not in optional:
+            complain(path, f"{where}: unknown key '{key}'")
+            ok = False
+    for key in required:
+        if key not in obj:
+            complain(path, f"{where}: missing required key '{key}'")
+            ok = False
+    return ok
+
+
+def check_number(path, obj, where, key, minimum=None, maximum=None,
+                 integer=False, exclusive_min=False):
+    value = obj.get(key)
+    if value is None:
+        return None
+    if not is_number(value) or (integer and value != int(value)):
+        kind = "an integer" if integer else "a number"
+        complain(path, f"{where}.{key} must be {kind}, got {value!r}")
+        return None
+    if minimum is not None and (value <= minimum if exclusive_min else value < minimum):
+        op = ">" if exclusive_min else ">="
+        complain(path, f"{where}.{key} must be {op} {minimum}, got {value}")
+        return None
+    if maximum is not None and value > maximum:
+        complain(path, f"{where}.{key} must be <= {maximum}, got {value}")
+        return None
+    return value
+
+
+def check_bool(path, obj, where, key):
+    value = obj.get(key)
+    if value is not None and not isinstance(value, bool):
+        complain(path, f"{where}.{key} must be a boolean, got {value!r}")
+
+
+def check_nodes(path, obj, where, key):
+    """A non-empty list of non-negative integer node ids."""
+    nodes = obj.get(key)
+    if not isinstance(nodes, list) or not nodes:
+        complain(path, f"{where}.{key} must be a non-empty list of node ids")
+        return None
+    for node in nodes:
+        if not is_number(node) or node != int(node) or node < 0:
+            complain(path, f"{where}.{key} entries must be non-negative integers, got {node!r}")
+            return None
+    return nodes
+
+
+def check_window(path, where, entry, start_key, end_key):
+    start = check_number(path, entry, where, start_key, minimum=0)
+    end = check_number(path, entry, where, end_key, minimum=0)
+    if start is not None and end is not None and end <= start:
+        complain(path, f"{where}: {end_key} ({end}) must exceed {start_key} ({start})")
+
+
+def check_entry_list(path, doc, key, fields, validate):
+    entries = doc.get(key)
+    if entries is None:
+        return
+    if not isinstance(entries, list):
+        complain(path, f"{key} must be a list")
+        return
+    for index, entry in enumerate(entries):
+        where = f"{key}[{index}]"
+        if check_keys(path, entry, where, fields):
+            validate(where, entry)
+
+
+def check_file(path):
+    try:
+        with open(path, encoding="utf-8") as handle:
+            doc = json.load(handle)
+    except (OSError, json.JSONDecodeError) as error:
+        complain(path, f"unreadable: {error}")
+        return
+
+    if not check_keys(
+            path, doc, "document",
+            required=("schema", "name", "topology", "seed", "workload", "system", "run"),
+            optional=("resilience", "reconvergence", "governor", "axes", "link_faults",
+                      "churn", "node_faults", "regional_outages", "ops")):
+        return
+    if doc["schema"] != SCHEMA:
+        complain(path, f"schema must be '{SCHEMA}', got {doc['schema']!r}")
+    if not isinstance(doc["name"], str) or not doc["name"]:
+        complain(path, "name must be a non-empty string")
+    if not isinstance(doc["topology"], str) or not doc["topology"]:
+        complain(path, "topology must be a non-empty spec string")
+    check_number(path, doc, "document", "seed", minimum=0, integer=True)
+
+    workload = doc["workload"]
+    if check_keys(path, workload, "workload",
+                  required=("lambda", "mean_holding_s", "flow_bandwidth_bps", "sources")):
+        check_number(path, workload, "workload", "lambda", minimum=0, exclusive_min=True)
+        check_number(path, workload, "workload", "mean_holding_s", minimum=0,
+                     exclusive_min=True)
+        check_number(path, workload, "workload", "flow_bandwidth_bps", minimum=0,
+                     exclusive_min=True)
+        check_nodes(path, workload, "workload", "sources")
+
+    group = []
+    system = doc["system"]
+    if check_keys(path, system, "system",
+                  required=("algorithm", "max_tries", "alpha", "anycast_share", "group",
+                            "failover_readmit", "path_repair")):
+        if system["algorithm"] not in ("ED", "WD/D+H", "WD/D+B", "SP"):
+            complain(path, f"system.algorithm unknown: {system['algorithm']!r}")
+        check_number(path, system, "system", "max_tries", minimum=1, integer=True)
+        check_number(path, system, "system", "alpha", minimum=0, maximum=1)
+        check_number(path, system, "system", "anycast_share", minimum=0, maximum=1,
+                     exclusive_min=True)
+        group = check_nodes(path, system, "system", "group") or []
+        check_bool(path, system, "system", "failover_readmit")
+        check_bool(path, system, "system", "path_repair")
+        if system.get("path_repair") is True and "reconvergence" not in doc:
+            complain(path, "system.path_repair requires a reconvergence block")
+
+    run = doc["run"]
+    if check_keys(path, run, "run",
+                  required=("warmup_s", "measure_s", "drain_to_quiescence",
+                            "drain_max_events", "drain_max_sim_s")):
+        check_number(path, run, "run", "warmup_s", minimum=0)
+        check_number(path, run, "run", "measure_s", minimum=0, exclusive_min=True)
+        check_bool(path, run, "run", "drain_to_quiescence")
+        check_number(path, run, "run", "drain_max_events", minimum=0, integer=True)
+        check_number(path, run, "run", "drain_max_sim_s", minimum=0)
+
+    resilience = doc.get("resilience")
+    if resilience is not None and check_keys(
+            path, resilience, "resilience",
+            required=("loss_probability", "hop_delay_s", "hop_jitter_s",
+                      "retransmit_timeout_s", "backoff_factor", "backoff_jitter",
+                      "max_retransmits", "orphan_hold_s")):
+        check_number(path, resilience, "resilience", "loss_probability", minimum=0, maximum=1)
+        check_number(path, resilience, "resilience", "hop_delay_s", minimum=0)
+        check_number(path, resilience, "resilience", "hop_jitter_s", minimum=0)
+        check_number(path, resilience, "resilience", "retransmit_timeout_s", minimum=0,
+                     exclusive_min=True)
+        check_number(path, resilience, "resilience", "backoff_factor", minimum=1)
+        check_number(path, resilience, "resilience", "backoff_jitter", minimum=0, maximum=1)
+        check_number(path, resilience, "resilience", "max_retransmits", minimum=0,
+                     integer=True)
+        check_number(path, resilience, "resilience", "orphan_hold_s", minimum=0,
+                     exclusive_min=True)
+
+    reconvergence = doc.get("reconvergence")
+    if reconvergence is not None and check_keys(path, reconvergence, "reconvergence",
+                                                required=("policy", "param_s")):
+        if reconvergence["policy"] not in RECONVERGENCE_POLICIES:
+            complain(path, f"reconvergence.policy must be one of {RECONVERGENCE_POLICIES}, "
+                           f"got {reconvergence['policy']!r}")
+        check_number(path, reconvergence, "reconvergence", "param_s", minimum=0)
+
+    governor = doc.get("governor")
+    if governor is not None and check_keys(
+            path, governor, "governor",
+            required=("adaptive_retrial", "member_breakers", "window_s", "min_tries",
+                      "breaker_threshold", "breaker_cooldown_s", "shed_budget_msgs_per_s",
+                      "shed_burst_msgs")):
+        check_bool(path, governor, "governor", "adaptive_retrial")
+        check_bool(path, governor, "governor", "member_breakers")
+        check_number(path, governor, "governor", "window_s", minimum=0, exclusive_min=True)
+        check_number(path, governor, "governor", "min_tries", minimum=1, integer=True)
+        check_number(path, governor, "governor", "breaker_threshold", minimum=1, integer=True)
+        check_number(path, governor, "governor", "breaker_cooldown_s", minimum=0,
+                     exclusive_min=True)
+        check_number(path, governor, "governor", "shed_budget_msgs_per_s", minimum=0)
+        check_number(path, governor, "governor", "shed_burst_msgs", minimum=0)
+
+    axes = doc.get("axes")
+    if axes is not None and check_keys(
+            path, axes, "axes",
+            required=("link_rate", "link_mean_repair_s", "churn_rate", "churn_mean_down_s",
+                      "node_rate", "node_mean_repair_s")):
+        for rate in ("link_rate", "churn_rate", "node_rate"):
+            check_number(path, axes, "axes", rate, minimum=0)
+        for mean in ("link_mean_repair_s", "churn_mean_down_s", "node_mean_repair_s"):
+            check_number(path, axes, "axes", mean, minimum=0, exclusive_min=True)
+
+    def validate_link(where, entry):
+        a = check_number(path, entry, where, "a", minimum=0, integer=True)
+        b = check_number(path, entry, where, "b", minimum=0, integer=True)
+        if a is not None and a == b:
+            complain(path, f"{where}: endpoints must differ (a == b == {a})")
+        check_window(path, where, entry, "fail_at", "repair_at")
+
+    def validate_churn(where, entry):
+        member = check_number(path, entry, where, "member", minimum=0, integer=True)
+        if member is not None and group and member >= len(group):
+            complain(path, f"{where}: member {int(member)} outside the group "
+                           f"(size {len(group)})")
+        check_window(path, where, entry, "down_at", "up_at")
+
+    def validate_node(where, entry):
+        check_number(path, entry, where, "node", minimum=0, integer=True)
+        check_window(path, where, entry, "fail_at", "repair_at")
+
+    def validate_regional(where, entry):
+        check_number(path, entry, where, "epicenter", minimum=0, integer=True)
+        check_number(path, entry, where, "radius_hops", minimum=0, integer=True)
+        check_window(path, where, entry, "fail_at", "repair_at")
+
+    check_entry_list(path, doc, "link_faults", ("a", "b", "fail_at", "repair_at"),
+                     validate_link)
+    check_entry_list(path, doc, "churn", ("member", "down_at", "up_at"), validate_churn)
+    check_entry_list(path, doc, "node_faults", ("node", "fail_at", "repair_at"),
+                     validate_node)
+    check_entry_list(path, doc, "regional_outages",
+                     ("epicenter", "radius_hops", "fail_at", "repair_at"), validate_regional)
+
+    ops = doc.get("ops")
+    if ops is not None:
+        if not isinstance(ops, list):
+            complain(path, "ops must be a list")
+            return
+        if ops and governor is None:
+            complain(path, "ops directives require a governor block")
+        last_t = None
+        for index, entry in enumerate(ops):
+            where = f"ops[{index}]"
+            if not check_keys(path, entry, where, ("t", "knob", "value")):
+                continue
+            t = check_number(path, entry, where, "t", minimum=0)
+            if t is not None:
+                if last_t is not None and t < last_t:
+                    complain(path, f"{where}: ops must be sorted by t "
+                                   f"({t} after {last_t})")
+                last_t = t
+            knob = entry["knob"]
+            if knob not in KNOBS:
+                complain(path, f"{where}: unknown knob {knob!r}")
+                continue
+            minimum, integer = KNOBS[knob]
+            check_number(path, entry, where, "value", minimum=minimum, integer=integer)
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    for path in argv[1:]:
+        check_file(path)
+    for error in errors:
+        print(error, file=sys.stderr)
+    if errors:
+        print(f"check-scenario: {len(errors)} problem(s)", file=sys.stderr)
+        return 1
+    print(f"check-scenario: {len(argv) - 1} file(s) clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -1,0 +1,146 @@
+#include "src/audit/chaos_oracle.h"
+
+#include <memory>
+#include <sstream>
+#include <utility>
+
+#include "src/audit/auditor.h"
+#include "src/control/governor.h"
+#include "src/obs/flight_recorder.h"
+#include "src/obs/span.h"
+#include "src/util/require.h"
+
+namespace anyqos::audit {
+namespace {
+
+/// The hop-count mirror reconciles exactly only when nothing but the
+/// resilient protocol charges the MessageCounter: zero warmup (the counter
+/// resets at the boundary but the mirror does not), ED selection (WD/D+B
+/// probes share the counter), and the resilient plane present at all.
+bool reconciliation_checkable(const sim::Scenario& scenario) {
+  return scenario.warmup_s == 0.0 && scenario.algorithm == "ED" &&
+         scenario.resilience.has_value();
+}
+
+}  // namespace
+
+ChaosOracleOutcome run_chaos_oracle(const sim::Scenario& scenario,
+                                    const ChaosOracleOptions& options) {
+  ChaosOracleOutcome outcome;
+
+  // Phase 1: lower the scenario onto the simulation API. Failures here are
+  // the scenario's fault (bad member index, unknown knob, fault on a
+  // missing link), not the model's — classified separately so the shrinker
+  // can never "minimize" a model bug into a validation error.
+  std::unique_ptr<sim::ScenarioRun> run;
+  std::unique_ptr<sim::Simulation> simulation;
+  obs::DecisionTracer tracer;
+  std::ostringstream flight_buffer;
+  obs::FlightRecorderOptions flight_options;
+  flight_options.depth = options.flight_depth;
+  obs::FlightRecorder recorder(flight_options);
+  recorder.set_output(&flight_buffer);
+  tracer.set_sink(&recorder.span_sink());
+  AuditorOptions audit_options;
+  audit_options.throw_on_violation = true;
+  audit_options.checkpoint_interval_s = options.checkpoint_interval_s;
+  InvariantAuditor auditor(audit_options);
+  try {
+    run = sim::make_scenario_run(scenario);
+    run->config.defeat_duplex_idempotency = options.defeat_duplex_idempotency;
+    if (run->config.drain_to_quiescence) {
+      if (run->config.drain_max_events == 0) {
+        run->config.drain_max_events = options.fallback_drain_max_events;
+      }
+      if (run->config.drain_max_sim_s == 0.0) {
+        run->config.drain_max_sim_s = options.fallback_drain_max_sim_s;
+      }
+    }
+    run->config.trace = options.trace;
+    run->config.tracer = &tracer;
+    run->config.flight_recorder = &recorder;
+    simulation = std::make_unique<sim::Simulation>(run->topology, run->config);
+    auditor.attach(*simulation);
+  } catch (const std::exception& error) {
+    outcome.violation_class = std::string("invalid:") + error.what();
+    outcome.detail = "scenario rejected before run";
+    return outcome;
+  }
+  auditor.set_violation_hook([&recorder](const Violation& violation) {
+    recorder.trigger(violation.sim_time, "audit " + to_string(violation.check));
+  });
+
+  // Phase 2: run under the throwing auditor. An InvariantError with a
+  // non-empty audit log is an audit violation; anything else the model
+  // threw is its own class (the ledger's preconditions, most notably).
+  try {
+    outcome.result = simulation->run();
+    outcome.ran = true;
+  } catch (const std::exception& error) {
+    outcome.audit_log = auditor.log().to_text();
+    if (!auditor.log().empty()) {
+      outcome.violation_class =
+          "audit:" + to_string(auditor.log().entries().back().check);
+    } else {
+      outcome.violation_class = std::string("exception:") + error.what();
+    }
+    outcome.detail = error.what();
+    outcome.flight_dump = flight_buffer.str();
+    return outcome;
+  }
+
+  // Phase 3: post-run gates, most severe first. The flight dump (if any
+  // trigger fired mid-run) rides along either way.
+  outcome.flight_dump = flight_buffer.str();
+  const sim::DrainWatchdogReport& watchdog = simulation->drain_watchdog();
+  if (watchdog.tripped) {
+    outcome.violation_class = "hang:" + watchdog.reason;
+    std::ostringstream detail;
+    detail << "drain watchdog tripped at t=" << watchdog.sim_time_s << " with "
+           << watchdog.pending_events << " pending events, " << watchdog.active_flows
+           << " active flows after " << watchdog.drained_events << " drained events";
+    outcome.detail = detail.str();
+    return outcome;
+  }
+  if (run->config.drain_to_quiescence) {
+    auto leak = [&outcome](const char* kind, std::uint64_t amount) {
+      outcome.violation_class = std::string("leak:") + kind;
+      outcome.detail = std::string(kind) + " survived the drain (" +
+                       std::to_string(amount) + ")";
+    };
+    auto* resilient = simulation->resilient();
+    if (simulation->ledger().total_reserved() > 0.0) {
+      leak("reserved", static_cast<std::uint64_t>(simulation->ledger().total_reserved()));
+      return outcome;
+    }
+    if (simulation->active_flows() > 0) {
+      leak("flows", simulation->active_flows());
+      return outcome;
+    }
+    if (resilient != nullptr && resilient->pending_orphans() > 0) {
+      leak("orphans", resilient->pending_orphans());
+      return outcome;
+    }
+    if (simulation->pending_repairs() > 0) {
+      leak("repairs", simulation->pending_repairs());
+      return outcome;
+    }
+  }
+  if (reconciliation_checkable(scenario) &&
+      outcome.result.resilience.hops_counted != outcome.result.messages.total()) {
+    outcome.violation_class = "unreconciled";
+    outcome.detail = "hop mirror " + std::to_string(outcome.result.resilience.hops_counted) +
+                     " != message counter " +
+                     std::to_string(outcome.result.messages.total());
+    return outcome;
+  }
+  if (run->governor != nullptr && run->governor->open_breakers() > 0) {
+    outcome.violation_class = "breaker-open";
+    outcome.detail = std::to_string(run->governor->open_breakers()) +
+                     " breakers still Open after the drain";
+    return outcome;
+  }
+  return outcome;
+}
+
+}  // namespace anyqos::audit

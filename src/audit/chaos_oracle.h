@@ -1,0 +1,67 @@
+// The chaos oracle: run one Scenario through every correctness gate the
+// repo has and return a single classified verdict.
+//
+// chaossim's per-cell verdict logic and tools/chaosfuzz need the exact same
+// judgement — "did this fault schedule break anything, and what class of
+// breakage was it?" — so it lives here, once. The oracle runs the scenario
+// under a throwing InvariantAuditor with a flight recorder armed, then
+// applies the post-drain gates in a fixed severity order:
+//
+//   invalid:<what>      scenario failed validation/construction (not a bug)
+//   audit:<check>       an invariant auditor check fired
+//   exception:<what>    the model threw outside the auditor (e.g. ledger
+//                       preconditions — the planted-bug class)
+//   hang:<reason>       the drain watchdog tripped (no quiescence)
+//   leak:<kind>         reserved bandwidth / flows / orphans / repairs
+//                       survived a clean drain
+//   unreconciled        hop mirror != MessageCounter (exact-count runs only)
+//   breaker-open        a circuit breaker survived the drain Open
+//
+// The class string is the shrinker's preservation target: a shrunk scenario
+// reproduces the original failure only if its class matches exactly.
+#pragma once
+
+#include <string>
+
+#include "src/sim/scenario.h"
+#include "src/sim/simulation.h"
+#include "src/sim/trace.h"
+
+namespace anyqos::audit {
+
+struct ChaosOracleOptions {
+  /// Auditor checkpoint period (simulated seconds).
+  double checkpoint_interval_s = 50.0;
+  /// Flight-recorder ring depth for the violation dump.
+  std::size_t flight_depth = 256;
+  /// Watchdog fallbacks applied when the scenario itself sets no cap — the
+  /// oracle never runs an unbounded drain (unattended fuzzing must not
+  /// hang). 0 disables the fallback.
+  std::size_t fallback_drain_max_events = 10'000'000;
+  double fallback_drain_max_sim_s = 10'000.0;
+  /// TEST ONLY: forwarded to SimulationConfig::defeat_duplex_idempotency
+  /// (the chaosfuzz planted-bug gate).
+  bool defeat_duplex_idempotency = false;
+  /// Optional flow-event observer (e.g. a CsvTraceSink so a failing run
+  /// leaves a flowlens-able artifact). Must outlive the call.
+  sim::TraceSink* trace = nullptr;
+};
+
+/// One classified run. `violation_class` empty = clean.
+struct ChaosOracleOutcome {
+  std::string violation_class;
+  std::string detail;          ///< human diagnostic (counts, messages)
+  bool ran = false;            ///< run() returned (false for invalid:/audit:/exception:)
+  sim::SimulationResult result;  ///< valid when `ran`
+  std::string flight_dump;     ///< buffered flight JSONL ("" when nothing dumped)
+  std::string audit_log;       ///< auditor findings text ("" when clean)
+
+  [[nodiscard]] bool clean() const { return violation_class.empty(); }
+};
+
+/// Runs `scenario` to completion under the full oracle stack. Deterministic:
+/// equal scenarios produce byte-equal outcomes.
+ChaosOracleOutcome run_chaos_oracle(const sim::Scenario& scenario,
+                                    const ChaosOracleOptions& options = {});
+
+}  // namespace anyqos::audit

@@ -90,6 +90,18 @@ class Simulator {
   /// Runs until the event queue is empty. Returns events dispatched.
   std::size_t run() { return run_until(std::numeric_limits<double>::infinity()); }
 
+  /// run_until with an event budget: dispatches at most `max_events` events
+  /// (0 = unlimited, identical to run_until). A drain that would otherwise
+  /// spin forever — a self-rescheduling timer that never stops, a
+  /// ping-ponging pair — exhausts the budget and returns with the remaining
+  /// events still queued, so callers can diagnose instead of hang
+  /// (sim::Simulation's drain watchdog). Unlike run_until, an emptied queue
+  /// leaves the clock at the last dispatched event rather than advancing to
+  /// `until`: a bounded drain that completes ends at quiescence, exactly
+  /// like run(). Off the hot path by construction: bounded runs are for
+  /// drains, run_until stays branch-free.
+  std::size_t run_bounded(double until, std::size_t max_events);
+
   /// Stops the current run_until loop after the in-flight event completes.
   /// Pending events stay queued; a later run_until resumes them.
   void stop() { stop_requested_ = true; }

@@ -9,17 +9,15 @@
 
 namespace anyqos::sim {
 
-namespace {
-
-// One element's alternating up/down renewal process over [0, horizon):
-// Poisson failures at `failure_rate`, exponential(mean_repair_s) outages, the
-// next failure clock starting only after the repair. Consumes `rng` in the
-// exact draw order the link generator has always used (failure gap, then
-// outage length), so link schedules stay byte-identical across versions.
 std::vector<std::pair<double, double>> poisson_outages(des::RandomStream& rng, double horizon_s,
                                                        double failure_rate,
                                                        double mean_repair_s) {
+  util::require(failure_rate > 0.0, "failure rate must be positive");
+  util::require(mean_repair_s > 0.0, "mean repair time must be positive");
   std::vector<std::pair<double, double>> windows;
+  // Draw order is a compatibility contract (failure gap, then outage
+  // length): link schedules predate this helper being public and must stay
+  // byte-identical across versions.
   double t = rng.exponential(1.0 / failure_rate);
   while (t < horizon_s) {
     const double down_for = rng.exponential(mean_repair_s);
@@ -30,8 +28,6 @@ std::vector<std::pair<double, double>> poisson_outages(des::RandomStream& rng, d
   }
   return windows;
 }
-
-}  // namespace
 
 LinkFault single_fault(net::NodeId a, net::NodeId b, double fail_at, double repair_at) {
   util::require(repair_at > fail_at, "repair must follow failure");
@@ -112,6 +108,25 @@ std::vector<NodeFault> regional_outage(const net::Topology& topology, net::NodeI
     }
   }
   return outage;
+}
+
+ScenarioSchedules scenario_schedules(const net::Topology& topology, std::size_t group_size,
+                                     double horizon_s, const FaultAxes& axes,
+                                     std::uint64_t seed) {
+  ScenarioSchedules schedules;
+  if (axes.churn_rate > 0.0) {
+    schedules.churn = random_churn_schedule(group_size, horizon_s, axes.churn_rate,
+                                            axes.churn_mean_down_s, seed + 1);
+  }
+  if (axes.link_rate > 0.0) {
+    schedules.link_faults = random_fault_schedule(topology, horizon_s, axes.link_rate,
+                                                  axes.link_mean_repair_s, seed + 2);
+  }
+  if (axes.node_rate > 0.0) {
+    schedules.node_faults = random_node_fault_schedule(topology, horizon_s, axes.node_rate,
+                                                       axes.node_mean_repair_s, seed + 3);
+  }
+  return schedules;
 }
 
 }  // namespace anyqos::sim

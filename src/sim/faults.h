@@ -7,12 +7,28 @@
 #pragma once
 
 #include <cstdint>
+#include <utility>
 #include <vector>
 
+#include "src/des/random.h"
 #include "src/net/topology.h"
 #include "src/sim/simulation.h"
 
 namespace anyqos::sim {
+
+/// One element's alternating up/down renewal process over [0, horizon_s):
+/// Poisson failures at `failure_rate` (per second), outages lasting
+/// exponential(mean_repair_s), the next failure clock starting only after
+/// the repair. Repairs are capped at horizon_s + mean_repair_s so a run
+/// that drains past the horizon still sees the element come back. This is
+/// THE draw-order contract every random schedule in the repo shares — link
+/// faults, member churn, node crashes, and the chaosfuzz generator all
+/// consume streams through it, so schedules stay byte-identical across
+/// generators and versions. Returns (fail_at, repair_at) windows in order;
+/// per-element windows never overlap.
+std::vector<std::pair<double, double>> poisson_outages(des::RandomStream& rng, double horizon_s,
+                                                       double failure_rate,
+                                                       double mean_repair_s);
 
 /// A single outage of the duplex link between `a` and `b`.
 LinkFault single_fault(net::NodeId a, net::NodeId b, double fail_at, double repair_at);
@@ -49,5 +65,34 @@ std::vector<NodeFault> random_node_fault_schedule(const net::Topology& topology,
 std::vector<NodeFault> regional_outage(const net::Topology& topology, net::NodeId epicenter,
                                        std::size_t radius_hops, double fail_at,
                                        double repair_at);
+
+/// Every random fault axis of one run in one place (scenario plane). A zero
+/// rate disables that axis; the remaining knobs for a disabled axis are
+/// ignored.
+struct FaultAxes {
+  double link_rate = 0.0;           ///< per-duplex-link failures per second
+  double link_mean_repair_s = 60.0;
+  double churn_rate = 0.0;          ///< per-member outages per second
+  double churn_mean_down_s = 120.0;
+  double node_rate = 0.0;           ///< per-router crashes per second (1/MTBF)
+  double node_mean_repair_s = 120.0;
+};
+
+/// The three random schedules of a run, drawn from one seed.
+struct ScenarioSchedules {
+  std::vector<MemberChurnEvent> churn;
+  std::vector<LinkFault> link_faults;
+  std::vector<NodeFault> node_faults;
+};
+
+/// One seeded builder for every random schedule, shared by dacsim, chaossim,
+/// and the chaosfuzz generator so all three agree on draw order: churn draws
+/// from seed+1, link faults from seed+2, node faults from seed+3 (each axis
+/// gets its own stream, so enabling one never perturbs another). `seed` is
+/// the run's master seed — the simulation itself derives its streams by
+/// name, so the +1..+3 offsets cannot collide with model draws.
+ScenarioSchedules scenario_schedules(const net::Topology& topology, std::size_t group_size,
+                                     double horizon_s, const FaultAxes& axes,
+                                     std::uint64_t seed);
 
 }  // namespace anyqos::sim

@@ -1,6 +1,7 @@
 #include "src/sim/simulation.h"
 
 #include <algorithm>
+#include <limits>
 #include <optional>
 #include <sstream>
 #include <string_view>
@@ -36,6 +37,7 @@ Simulation::Simulation(const net::Topology& topology, SimulationConfig config)
       link_utilization_(topology.link_count()) {
   util::require(config_.warmup_s >= 0.0, "warmup must be non-negative");
   util::require(config_.measure_s > 0.0, "measurement window must be positive");
+  util::require(config_.drain_max_sim_s >= 0.0, "drain sim-time cap must be non-negative");
   for (const net::NodeId s : config_.traffic.sources) {
     util::require(s < topology.router_count(), "source router out of range");
   }
@@ -708,7 +710,7 @@ void Simulation::drop_flows_on_link(net::LinkId link) {
 
 bool Simulation::take_duplex_down(net::LinkId forward) {
   const std::size_t duplex = forward / 2;
-  if (++duplex_hold_[duplex] > 1) {
+  if (++duplex_hold_[duplex] > 1 && !config_.defeat_duplex_idempotency) {
     return false;  // already out of service under an overlapping outage
   }
   duplex_up_[duplex] = 0;
@@ -1156,7 +1158,33 @@ SimulationResult Simulation::run() {
       timed.emplace(config_.profiler->phase("drain"));
     }
     draining_ = true;
-    simulator_.run();
+    if (config_.drain_max_events == 0 && config_.drain_max_sim_s == 0.0) {
+      simulator_.run();
+    } else {
+      // Watchdog-capped drain: bound simulated time and/or dispatched
+      // events so a drain that never quiesces (a bug, by definition, once
+      // arrivals have stopped) surfaces as a diagnosable trip instead of a
+      // hung process. A capped drain that completes is byte-identical to an
+      // unbounded one (run_bounded leaves the clock at the last event).
+      const double cap_time = config_.drain_max_sim_s > 0.0
+                                  ? end_time + config_.drain_max_sim_s
+                                  : std::numeric_limits<double>::infinity();
+      drain_watchdog_.drained_events =
+          simulator_.run_bounded(cap_time, config_.drain_max_events);
+      if (simulator_.pending_events() > 0) {
+        drain_watchdog_.tripped = true;
+        drain_watchdog_.reason = (config_.drain_max_events > 0 &&
+                                  drain_watchdog_.drained_events >= config_.drain_max_events)
+                                     ? "event budget exhausted"
+                                     : "sim-time cap reached";
+        drain_watchdog_.pending_events = simulator_.pending_events();
+        drain_watchdog_.active_flows = flows_.size();
+        drain_watchdog_.sim_time_s = simulator_.now();
+        if (flight_ != nullptr) {
+          flight_->trigger(simulator_.now(), "drain_watchdog " + drain_watchdog_.reason);
+        }
+      }
+    }
   }
   // Drained runs extend past the nominal window; time averages must cover
   // the extension or the integrals would double-count the tail.

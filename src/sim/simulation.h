@@ -134,6 +134,26 @@ struct SimulationConfig {
   /// this set a clean run ends with zero reserved bandwidth everywhere —
   /// the chaos harness's leak check.
   bool drain_to_quiescence = false;
+  /// Drain watchdog (unattended chaos/fuzz hardening): caps on the
+  /// drain_to_quiescence run-to-empty. `drain_max_events` bounds events
+  /// dispatched during the drain; `drain_max_sim_s` bounds simulated time
+  /// past the measurement window. 0 disables a cap (the drain runs
+  /// unbounded, exactly as before). A drain that hits either cap with
+  /// events still queued trips the watchdog: run() fires a flight-recorder
+  /// dump ("drain_watchdog <reason>"), records a DrainWatchdogReport
+  /// (drain_watchdog()), and returns normally — a tripped report is the
+  /// harness's cue to fail the run with diagnostics instead of hanging a CI
+  /// job. A capped drain that completes is byte-identical to an unbounded
+  /// one.
+  std::size_t drain_max_events = 0;
+  double drain_max_sim_s = 0.0;
+  /// TEST ONLY. Disables the duplex-link hold-count idempotency guard so an
+  /// overlapping outage of an already-down duplex re-applies the failure —
+  /// the exact bug class the hold counts were built to prevent (the ledger
+  /// throws "link is already failed"). Exists so the chaosfuzz planted-bug
+  /// gate can prove the fuzzer finds, shrinks, and deterministically
+  /// replays a real violation. Never set outside tests.
+  bool defeat_duplex_idempotency = false;
   /// Optional flow-event observer (must outlive the simulation). Receives
   /// every event including warm-up; aggregate metrics stay warm-up-filtered.
   TraceSink* trace = nullptr;
@@ -206,6 +226,20 @@ struct SimulationConfig {
   double ops_interval_s = 50.0;
   /// Extra labels on every live-scrape series (e.g. the chaos cell id).
   obs::Labels ops_labels;
+};
+
+/// What the drain watchdog saw (SimulationConfig::drain_max_events /
+/// drain_max_sim_s). `tripped` means the post-measurement drain hit a cap
+/// with events still queued — the run never reached quiescence and its
+/// leak gates are meaningless; harnesses treat this as its own failure
+/// class ("hang") rather than a leak.
+struct DrainWatchdogReport {
+  bool tripped = false;
+  std::string reason;              ///< "event budget exhausted" or "sim-time cap reached"
+  std::size_t pending_events = 0;  ///< calendar entries still queued at the trip
+  std::size_t active_flows = 0;    ///< flows still holding bandwidth at the trip
+  double sim_time_s = 0.0;         ///< virtual clock at the trip
+  std::size_t drained_events = 0;  ///< events the drain dispatched (capped or not)
 };
 
 /// Aggregated outcome of a run (measurement window only).
@@ -306,6 +340,12 @@ class Simulation {
   [[nodiscard]] signaling::ResilientReservationProtocol* resilient() { return resilient_; }
   [[nodiscard]] const signaling::ResilientReservationProtocol* resilient() const {
     return resilient_;
+  }
+
+  /// The drain watchdog's report (valid after run(); `tripped` is always
+  /// false when no cap was configured or the drain reached quiescence).
+  [[nodiscard]] const DrainWatchdogReport& drain_watchdog() const {
+    return drain_watchdog_;
   }
 
   /// Broken flows still queued for repair (0 after a clean drain — the chaos
@@ -413,6 +453,7 @@ class Simulation {
   std::uint64_t next_request_id_ = 0;  // arrival sequence; span/trace join key
   std::size_t ops_replay_next_ = 0;    // first unapplied config_.ops_replay entry
   std::uint64_t ops_directives_applied_ = 0;
+  DrainWatchdogReport drain_watchdog_;
   bool ran_ = false;
   bool draining_ = false;  // drain_to_quiescence: arrivals stop, calendar runs dry
 };

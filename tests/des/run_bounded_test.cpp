@@ -1,0 +1,78 @@
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <limits>
+
+#include "src/des/simulator.h"
+
+namespace anyqos::des {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+TEST(RunBounded, CompletedDrainEndsAtQuiescenceNotTheCap) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule_at(1.0, [&] { ++fired; });
+  sim.schedule_at(2.5, [&] { ++fired; });
+  EXPECT_EQ(sim.run_bounded(100.0, 10), 2U);
+  EXPECT_EQ(fired, 2);
+  // run_until would advance to 100; a bounded drain stops at the last event.
+  EXPECT_EQ(sim.now(), 2.5);
+  EXPECT_EQ(sim.pending_events(), 0U);
+}
+
+TEST(RunBounded, ZeroBudgetMeansUnlimited) {
+  Simulator sim;
+  int fired = 0;
+  for (int i = 1; i <= 5; ++i) {
+    sim.schedule_at(static_cast<double>(i), [&] { ++fired; });
+  }
+  EXPECT_EQ(sim.run_bounded(kInf, 0), 5U);
+  EXPECT_EQ(fired, 5);
+  EXPECT_EQ(sim.now(), 5.0);
+}
+
+TEST(RunBounded, EventBudgetStopsASelfRescheduler) {
+  Simulator sim;
+  // The pathology the watchdog exists for: a timer that never stops.
+  std::function<void()> tick = [&] { sim.schedule_in(1.0, tick); };
+  sim.schedule_at(1.0, tick);
+  EXPECT_EQ(sim.run_bounded(kInf, 50), 50U);
+  EXPECT_EQ(sim.now(), 50.0);            // clock at the last dispatched event
+  EXPECT_EQ(sim.pending_events(), 1U);   // the next tick is still queued
+  // The drain can resume where it left off.
+  EXPECT_EQ(sim.run_bounded(kInf, 3), 3U);
+  EXPECT_EQ(sim.now(), 53.0);
+}
+
+TEST(RunBounded, SimTimeCapStopsBeforeLaterEvents) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule_at(1.0, [&] { ++fired; });
+  sim.schedule_at(10.0, [&] { ++fired; });
+  EXPECT_EQ(sim.run_bounded(5.0, 0), 1U);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.now(), 5.0);           // stopped at the cap, not the next event
+  EXPECT_EQ(sim.pending_events(), 1U);
+}
+
+TEST(RunBounded, CappedDrainThatCompletesMatchesUnboundedRun) {
+  auto build = [](Simulator& sim, int& fired) {
+    for (int i = 1; i <= 4; ++i) {
+      sim.schedule_at(0.5 * i, [&fired] { ++fired; });
+    }
+  };
+  Simulator bounded;
+  Simulator unbounded;
+  int bounded_fired = 0;
+  int unbounded_fired = 0;
+  build(bounded, bounded_fired);
+  build(unbounded, unbounded_fired);
+  EXPECT_EQ(bounded.run_bounded(kInf, 1000), unbounded.run());
+  EXPECT_EQ(bounded_fired, unbounded_fired);
+  EXPECT_EQ(bounded.now(), unbounded.now());
+}
+
+}  // namespace
+}  // namespace anyqos::des

@@ -1,0 +1,94 @@
+#!/usr/bin/env python3
+"""Fixture suite for scripts/check-scenario.py.
+
+The linter must accept the fuzzer's built-in base scenario (the canonical
+well-formed document) and reject one fixture per error class: unknown keys,
+inverted fault windows, unsorted ops, ops without a governor, and a wrong
+schema tag.
+
+Usage: check_scenario_lint_test.py <chaosfuzz-binary> <check-scenario.py>
+"""
+
+import json
+import pathlib
+import subprocess
+import sys
+import tempfile
+
+
+def run(argv):
+    return subprocess.run(argv, capture_output=True, text=True, timeout=120)
+
+
+def fail(message, proc):
+    sys.stderr.write(proc.stdout)
+    sys.stderr.write(proc.stderr)
+    sys.stderr.write("FAIL: %s\n" % message)
+    sys.exit(1)
+
+
+def lint(check_scenario, path):
+    return run([sys.executable, check_scenario, str(path)])
+
+
+def expect_rejected(check_scenario, tmp, name, document, needle):
+    path = pathlib.Path(tmp) / (name + ".json")
+    path.write_text(json.dumps(document), encoding="utf-8")
+    proc = lint(check_scenario, path)
+    if proc.returncode == 0:
+        fail("linter accepted fixture %s" % name, proc)
+    if needle not in proc.stderr:
+        fail("fixture %s: expected %r in linter output" % (name, needle), proc)
+
+
+def main():
+    if len(sys.argv) != 3:
+        sys.stderr.write(__doc__)
+        return 2
+    chaosfuzz = sys.argv[1]
+    check_scenario = sys.argv[2]
+
+    with tempfile.TemporaryDirectory(prefix="scenario-lint-") as tmp:
+        base_path = pathlib.Path(tmp) / "base.json"
+        save = run([chaosfuzz, "--save-default=%s" % base_path])
+        if save.returncode != 0:
+            fail("chaosfuzz --save-default failed", save)
+        clean = lint(check_scenario, base_path)
+        if clean.returncode != 0:
+            fail("linter rejected the built-in base scenario", clean)
+
+        base = json.loads(base_path.read_text(encoding="utf-8"))
+
+        wrong_schema = dict(base)
+        wrong_schema["schema"] = "anyqos.scenario/999"
+        expect_rejected(check_scenario, tmp, "wrong-schema", wrong_schema, "schema")
+
+        unknown_key = dict(base)
+        unknown_key["surprise"] = 1
+        expect_rejected(check_scenario, tmp, "unknown-key", unknown_key, "unknown key")
+
+        bad_window = json.loads(json.dumps(base))
+        bad_window["link_faults"][0]["fail_at"] = (
+            bad_window["link_faults"][0]["repair_at"] + 10
+        )
+        expect_rejected(check_scenario, tmp, "bad-window", bad_window, "repair_at")
+
+        unsorted_ops = json.loads(json.dumps(base))
+        unsorted_ops.setdefault("governor", {})
+        unsorted_ops["ops"] = [
+            {"t": 60, "knob": "retrial-ceiling", "value": 2},
+            {"t": 50, "knob": "retrial-ceiling", "value": 3},
+        ]
+        expect_rejected(check_scenario, tmp, "unsorted-ops", unsorted_ops, "sorted")
+
+        orphan_ops = json.loads(json.dumps(base))
+        orphan_ops.pop("governor", None)
+        orphan_ops["ops"] = [{"t": 50, "knob": "retrial-ceiling", "value": 2}]
+        expect_rejected(check_scenario, tmp, "orphan-ops", orphan_ops, "governor")
+
+    print("check-scenario fixtures: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

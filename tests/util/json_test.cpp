@@ -1,0 +1,116 @@
+#include "src/util/json.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+#include <string>
+
+namespace anyqos::util {
+namespace {
+
+TEST(Json, BuildsAndDumpsEveryKind) {
+  JsonValue doc = JsonValue::object();
+  doc.set("flag", JsonValue::boolean(true));
+  doc.set("nothing", JsonValue::null());
+  doc.set("count", JsonValue::number(3.0));
+  doc.set("label", JsonValue::string("hi"));
+  JsonValue list = JsonValue::array();
+  list.push_back(JsonValue::number(1.0));
+  list.push_back(JsonValue::number(2.5));
+  doc.set("list", std::move(list));
+  EXPECT_EQ(doc.dump(),
+            R"({"flag":true,"nothing":null,"count":3,"label":"hi","list":[1,2.5]})");
+}
+
+TEST(Json, ObjectPreservesInsertionOrder) {
+  JsonValue doc = JsonValue::object();
+  doc.set("zebra", JsonValue::number(1.0));
+  doc.set("alpha", JsonValue::number(2.0));
+  doc.set("mid", JsonValue::number(3.0));
+  EXPECT_EQ(doc.dump(), R"({"zebra":1,"alpha":2,"mid":3})");
+  // Overwrite keeps the original position.
+  doc.set("alpha", JsonValue::number(9.0));
+  EXPECT_EQ(doc.dump(), R"({"zebra":1,"alpha":9,"mid":3})");
+}
+
+TEST(Json, ParseRoundTripsCompactAndPretty) {
+  const std::string text =
+      R"({"a":1,"b":[true,false,null],"c":{"nested":"x\n\"y\""},"d":0.125})";
+  const JsonValue parsed = parse_json(text);
+  EXPECT_EQ(parsed.dump(), text);
+  // Pretty output re-parses to the same document.
+  EXPECT_EQ(parse_json(parsed.dump(true)).dump(), text);
+}
+
+TEST(Json, NumbersRoundTripExactly) {
+  // Integral doubles render as integers; non-integral via %.17g.
+  EXPECT_EQ(json_number(42.0), "42");
+  EXPECT_EQ(json_number(-7.0), "-7");
+  EXPECT_EQ(json_number(0.0), "0");
+  const double awkward = 0.1 + 0.2;  // 0.30000000000000004
+  const std::string rendered = json_number(awkward);
+  EXPECT_EQ(parse_json(rendered).as_number(), awkward);
+  const double tiny = 5e-324;  // smallest denormal survives the trip
+  EXPECT_EQ(parse_json(json_number(tiny)).as_number(), tiny);
+}
+
+TEST(Json, AccessorsThrowOnKindMismatch) {
+  const JsonValue number = JsonValue::number(1.0);
+  EXPECT_THROW((void)number.as_string(), std::invalid_argument);
+  EXPECT_THROW((void)number.as_object(), std::invalid_argument);
+  const JsonValue doc = parse_json(R"({"k":1})");
+  EXPECT_EQ(doc.find("missing"), nullptr);
+  EXPECT_THROW((void)doc.at("missing"), std::invalid_argument);
+  EXPECT_EQ(doc.at("k").as_number(), 1.0);
+}
+
+TEST(Json, RejectsMalformedDocuments) {
+  EXPECT_THROW(parse_json(""), std::invalid_argument);
+  EXPECT_THROW(parse_json("{"), std::invalid_argument);
+  EXPECT_THROW(parse_json("[1,]"), std::invalid_argument);
+  EXPECT_THROW(parse_json("{\"a\":1,}"), std::invalid_argument);
+  EXPECT_THROW(parse_json("{'a':1}"), std::invalid_argument);
+  EXPECT_THROW(parse_json("[1] trailing"), std::invalid_argument);
+  EXPECT_THROW(parse_json("+1"), std::invalid_argument);
+  EXPECT_THROW(parse_json("nul"), std::invalid_argument);
+  EXPECT_THROW(parse_json("\"unterminated"), std::invalid_argument);
+  EXPECT_THROW(parse_json("1e999"), std::invalid_argument);  // non-finite
+}
+
+TEST(Json, RejectsDuplicateKeys) {
+  EXPECT_THROW(parse_json(R"({"a":1,"a":2})"), std::invalid_argument);
+}
+
+TEST(Json, DepthCapStopsAdversarialNesting) {
+  std::string deep;
+  for (int i = 0; i < 200; ++i) {
+    deep += '[';
+  }
+  for (int i = 0; i < 200; ++i) {
+    deep += ']';
+  }
+  EXPECT_THROW(parse_json(deep), std::invalid_argument);
+}
+
+TEST(Json, ErrorsCarryByteOffsets) {
+  try {
+    parse_json("{\"a\": }");
+    FAIL() << "expected a parse error";
+  } catch (const std::invalid_argument& error) {
+    EXPECT_NE(std::string(error.what()).find("at byte"), std::string::npos) << error.what();
+  }
+}
+
+TEST(Json, ParsesUnicodeEscapes) {
+  EXPECT_EQ(parse_json("[\"\\u00e9\"]").as_array()[0].as_string(), "\xC3\xA9");
+  EXPECT_EQ(parse_json("[\"\\u2192\"]").as_array()[0].as_string(),
+            "\xE2\x86\x92");
+  // Raw UTF-8 passes through untouched.
+  EXPECT_EQ(parse_json(R"(["Aé"])").as_array()[0].as_string(), "A\xC3\xA9");
+  // Surrogate halves are not representable.
+  EXPECT_THROW(parse_json(R"(["\ud800"])"), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace anyqos::util

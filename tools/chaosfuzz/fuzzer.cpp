@@ -1,0 +1,570 @@
+#include "tools/chaosfuzz/fuzzer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <optional>
+#include <ostream>
+#include <utility>
+#include <vector>
+
+#include "src/sim/churn.h"
+#include "src/sim/faults.h"
+#include "src/util/require.h"
+
+namespace anyqos::chaosfuzz {
+namespace {
+
+/// Where a fault entry lives inside a Scenario; the shrinker's ddmin runs
+/// over the concatenation of all five lists so one pass can drop any mix.
+enum class EntryKind : std::uint8_t { kLink, kChurn, kNode, kRegional, kOps };
+
+struct EntryRef {
+  EntryKind kind = EntryKind::kLink;
+  std::size_t index = 0;  ///< into the scenario's list for `kind`
+};
+
+std::vector<EntryRef> flatten(const sim::Scenario& scenario) {
+  std::vector<EntryRef> entries;
+  entries.reserve(scenario.fault_entries() + scenario.ops.size());
+  for (std::size_t i = 0; i < scenario.link_faults.size(); ++i) {
+    entries.push_back({EntryKind::kLink, i});
+  }
+  for (std::size_t i = 0; i < scenario.churn.size(); ++i) {
+    entries.push_back({EntryKind::kChurn, i});
+  }
+  for (std::size_t i = 0; i < scenario.node_faults.size(); ++i) {
+    entries.push_back({EntryKind::kNode, i});
+  }
+  for (std::size_t i = 0; i < scenario.regional_outages.size(); ++i) {
+    entries.push_back({EntryKind::kRegional, i});
+  }
+  for (std::size_t i = 0; i < scenario.ops.size(); ++i) {
+    entries.push_back({EntryKind::kOps, i});
+  }
+  return entries;
+}
+
+/// Rebuilds `base` keeping only the referenced entries. `keep` is in flatten
+/// order, so per-list relative order (and the ops sort invariant) survives.
+sim::Scenario with_entries(const sim::Scenario& base, const std::vector<EntryRef>& keep) {
+  sim::Scenario result = base;
+  result.link_faults.clear();
+  result.churn.clear();
+  result.node_faults.clear();
+  result.regional_outages.clear();
+  result.ops.clear();
+  for (const EntryRef& ref : keep) {
+    switch (ref.kind) {
+      case EntryKind::kLink:
+        result.link_faults.push_back(base.link_faults[ref.index]);
+        break;
+      case EntryKind::kChurn:
+        result.churn.push_back(base.churn[ref.index]);
+        break;
+      case EntryKind::kNode:
+        result.node_faults.push_back(base.node_faults[ref.index]);
+        break;
+      case EntryKind::kRegional:
+        result.regional_outages.push_back(base.regional_outages[ref.index]);
+        break;
+      case EntryKind::kOps:
+        result.ops.push_back(base.ops[ref.index]);
+        break;
+    }
+  }
+  return result;
+}
+
+/// (start, end) accessors over every timed entry kind, so window mutations
+/// and the shrinker's duration pass need no per-kind code.
+std::pair<double, double> window_of(const sim::Scenario& scenario, const EntryRef& ref) {
+  switch (ref.kind) {
+    case EntryKind::kLink: {
+      const sim::LinkFault& fault = scenario.link_faults[ref.index];
+      return {fault.fail_at, fault.repair_at};
+    }
+    case EntryKind::kChurn: {
+      const sim::MemberChurnEvent& event = scenario.churn[ref.index];
+      return {event.down_at, event.up_at};
+    }
+    case EntryKind::kNode: {
+      const sim::NodeFault& fault = scenario.node_faults[ref.index];
+      return {fault.fail_at, fault.repair_at};
+    }
+    case EntryKind::kRegional: {
+      const sim::RegionalOutageSpec& outage = scenario.regional_outages[ref.index];
+      return {outage.fail_at, outage.repair_at};
+    }
+    case EntryKind::kOps: {
+      const control::TimedDirective& directive = scenario.ops[ref.index];
+      return {directive.apply_at, directive.apply_at};
+    }
+  }
+  util::unreachable("unhandled entry kind");
+}
+
+void set_window(sim::Scenario& scenario, const EntryRef& ref, double start, double end) {
+  switch (ref.kind) {
+    case EntryKind::kLink: {
+      sim::LinkFault& fault = scenario.link_faults[ref.index];
+      fault.fail_at = start;
+      fault.repair_at = end;
+      return;
+    }
+    case EntryKind::kChurn: {
+      sim::MemberChurnEvent& event = scenario.churn[ref.index];
+      event.down_at = start;
+      event.up_at = end;
+      return;
+    }
+    case EntryKind::kNode: {
+      sim::NodeFault& fault = scenario.node_faults[ref.index];
+      fault.fail_at = start;
+      fault.repair_at = end;
+      return;
+    }
+    case EntryKind::kRegional: {
+      sim::RegionalOutageSpec& outage = scenario.regional_outages[ref.index];
+      outage.fail_at = start;
+      outage.repair_at = end;
+      return;
+    }
+    case EntryKind::kOps:
+      scenario.ops[ref.index].apply_at = start;
+      return;
+  }
+  util::unreachable("unhandled entry kind");
+}
+
+/// A random outage window inside [0, horizon): starts in the first 90%,
+/// lasts 2%..25% of the horizon.
+std::pair<double, double> random_window(des::RandomStream& rng, double horizon) {
+  const double start = rng.uniform(0.0, horizon * 0.9);
+  const double length = rng.uniform(horizon * 0.02, horizon * 0.25);
+  return {start, start + length};
+}
+
+/// Picks a random duplex link's endpoints (via one of its directed arcs).
+std::pair<net::NodeId, net::NodeId> random_duplex(const net::Topology& topology,
+                                                  des::RandomStream& rng) {
+  const net::Arc& arc = topology.link(
+      static_cast<net::LinkId>(rng.uniform_index(topology.link_count())));
+  return {arc.from, arc.to};
+}
+
+/// The mutation catalogue. Every op keeps the scenario valid: entries
+/// reference real links/members/routers and windows stay ordered, so the
+/// oracle's "invalid:" class can only ever mean a generator bug.
+enum class MutationOp : std::uint8_t {
+  kAddLinkFault,
+  kAddChurn,
+  kAddNodeFault,
+  kAddRegionalOutage,
+  kRemoveEntry,
+  kShiftWindow,
+  kWidenWindow,
+  kOverlapDuplicate,
+  kCrankLambda,
+  kCrankLoss,
+  kAddOpsDirective,
+  kCount,
+};
+
+void apply_mutation(sim::Scenario& scenario, const net::Topology& topology,
+                    des::RandomStream& rng, MutationOp op) {
+  const double horizon = scenario.warmup_s + scenario.measure_s;
+  switch (op) {
+    case MutationOp::kAddLinkFault: {
+      const auto [a, b] = random_duplex(topology, rng);
+      const auto [start, end] = random_window(rng, horizon);
+      scenario.link_faults.push_back(sim::single_fault(a, b, start, end));
+      return;
+    }
+    case MutationOp::kAddChurn: {
+      const auto [start, end] = random_window(rng, horizon);
+      scenario.churn.push_back(
+          sim::single_churn(rng.uniform_index(scenario.group.size()), start, end));
+      return;
+    }
+    case MutationOp::kAddNodeFault: {
+      const auto node = static_cast<net::NodeId>(rng.uniform_index(topology.router_count()));
+      const auto [start, end] = random_window(rng, horizon);
+      scenario.node_faults.push_back(sim::single_node_fault(node, start, end));
+      return;
+    }
+    case MutationOp::kAddRegionalOutage: {
+      sim::RegionalOutageSpec outage;
+      outage.epicenter = static_cast<net::NodeId>(rng.uniform_index(topology.router_count()));
+      outage.radius_hops = 1;
+      const auto [start, end] = random_window(rng, horizon);
+      outage.fail_at = start;
+      outage.repair_at = end;
+      scenario.regional_outages.push_back(outage);
+      return;
+    }
+    case MutationOp::kRemoveEntry: {
+      const std::vector<EntryRef> entries = flatten(scenario);
+      if (entries.empty()) {
+        return;
+      }
+      std::vector<EntryRef> keep = entries;
+      keep.erase(keep.begin() + static_cast<std::ptrdiff_t>(rng.uniform_index(keep.size())));
+      scenario = with_entries(scenario, keep);
+      return;
+    }
+    case MutationOp::kShiftWindow: {
+      const std::vector<EntryRef> entries = flatten(scenario);
+      if (entries.empty()) {
+        return;
+      }
+      const EntryRef& ref = entries[rng.uniform_index(entries.size())];
+      const auto [start, end] = window_of(scenario, ref);
+      const double shift = rng.uniform(-0.2, 0.2) * horizon;
+      const double shifted = std::max(0.0, start + shift);
+      set_window(scenario, ref, shifted, shifted + (end - start));
+      if (ref.kind == EntryKind::kOps) {
+        // The scenario plane requires ops sorted by application time.
+        std::stable_sort(scenario.ops.begin(), scenario.ops.end(),
+                         [](const control::TimedDirective& lhs,
+                            const control::TimedDirective& rhs) {
+                           return lhs.apply_at < rhs.apply_at;
+                         });
+      }
+      return;
+    }
+    case MutationOp::kWidenWindow: {
+      const std::vector<EntryRef> entries = flatten(scenario);
+      if (entries.empty()) {
+        return;
+      }
+      const EntryRef& ref = entries[rng.uniform_index(entries.size())];
+      if (ref.kind == EntryKind::kOps) {
+        return;  // directives are instants; nothing to widen
+      }
+      const auto [start, end] = window_of(scenario, ref);
+      set_window(scenario, ref, start, start + (end - start) * rng.uniform(1.5, 3.0));
+      return;
+    }
+    case MutationOp::kOverlapDuplicate: {
+      // Duplicate a timed entry with a window that starts inside the
+      // original and ends after it. Same-element overlapping outages are
+      // legal (the simulation hold-counts them) — this op exists to probe
+      // exactly that idempotency machinery.
+      std::vector<EntryRef> entries = flatten(scenario);
+      std::erase_if(entries, [](const EntryRef& ref) { return ref.kind == EntryKind::kOps; });
+      if (entries.empty()) {
+        return;
+      }
+      const EntryRef& ref = entries[rng.uniform_index(entries.size())];
+      const auto [start, end] = window_of(scenario, ref);
+      const double overlap_start = rng.uniform(start, end);
+      const double overlap_end = end + rng.uniform(0.1, 0.5) * (end - start);
+      switch (ref.kind) {
+        case EntryKind::kLink: {
+          const sim::LinkFault& fault = scenario.link_faults[ref.index];
+          scenario.link_faults.push_back(
+              sim::single_fault(fault.a, fault.b, overlap_start, overlap_end));
+          return;
+        }
+        case EntryKind::kChurn:
+          scenario.churn.push_back(sim::single_churn(
+              scenario.churn[ref.index].member_index, overlap_start, overlap_end));
+          return;
+        case EntryKind::kNode:
+          scenario.node_faults.push_back(sim::single_node_fault(
+              scenario.node_faults[ref.index].node, overlap_start, overlap_end));
+          return;
+        case EntryKind::kRegional: {
+          sim::RegionalOutageSpec outage = scenario.regional_outages[ref.index];
+          outage.fail_at = overlap_start;
+          outage.repair_at = overlap_end;
+          scenario.regional_outages.push_back(outage);
+          return;
+        }
+        case EntryKind::kOps:
+          return;  // filtered above
+      }
+      return;
+    }
+    case MutationOp::kCrankLambda:
+      scenario.lambda = std::min(200.0, scenario.lambda * rng.uniform(1.2, 2.0));
+      return;
+    case MutationOp::kCrankLoss: {
+      if (!scenario.resilience.has_value()) {
+        scenario.resilience.emplace();
+      }
+      scenario.resilience->loss_probability =
+          std::min(0.5, scenario.resilience->loss_probability + rng.uniform(0.05, 0.2));
+      return;
+    }
+    case MutationOp::kAddOpsDirective: {
+      if (!scenario.governor.has_value()) {
+        return;  // ops replay requires the governor plane
+      }
+      control::TimedDirective directive;
+      directive.apply_at = rng.uniform(0.0, horizon);
+      switch (rng.uniform_index(4)) {
+        case 0:
+          directive.directive.knob = control::Knob::kRetrialCeiling;
+          directive.directive.value = 1.0 + static_cast<double>(rng.uniform_index(8));
+          break;
+        case 1:
+          directive.directive.knob = control::Knob::kBreakerThreshold;
+          directive.directive.value = 1.0 + static_cast<double>(rng.uniform_index(10));
+          break;
+        case 2:
+          directive.directive.knob = control::Knob::kBreakerCooldown;
+          directive.directive.value = rng.uniform(5.0, 120.0);
+          break;
+        default:
+          directive.directive.knob = control::Knob::kShedBudget;
+          directive.directive.value = static_cast<double>(rng.uniform_index(200));
+          break;
+      }
+      // The scenario plane requires ops sorted by application time.
+      const auto at = std::upper_bound(
+          scenario.ops.begin(), scenario.ops.end(), directive.apply_at,
+          [](double t, const control::TimedDirective& other) { return t < other.apply_at; });
+      scenario.ops.insert(at, directive);
+      return;
+    }
+    case MutationOp::kCount:
+      break;
+  }
+  util::unreachable("unhandled mutation op");
+}
+
+/// One class-preserving oracle probe, budget-counted.
+class ShrinkJudge {
+ public:
+  ShrinkJudge(std::string target_class, const audit::ChaosOracleOptions& oracle,
+              std::size_t budget)
+      : target_class_(std::move(target_class)), oracle_(oracle), budget_(budget) {}
+
+  /// Runs the oracle on `candidate`; returns the outcome when the violation
+  /// class matches the target exactly, nullopt otherwise (including when
+  /// the budget is gone — callers just see "no").
+  std::optional<audit::ChaosOracleOutcome> matches(const sim::Scenario& candidate) {
+    if (runs_ >= budget_) {
+      return std::nullopt;
+    }
+    ++runs_;
+    audit::ChaosOracleOutcome outcome = audit::run_chaos_oracle(candidate, oracle_);
+    if (outcome.violation_class != target_class_) {
+      return std::nullopt;
+    }
+    return outcome;
+  }
+
+  [[nodiscard]] std::size_t runs() const { return runs_; }
+  [[nodiscard]] bool exhausted() const { return runs_ >= budget_; }
+
+ private:
+  std::string target_class_;
+  const audit::ChaosOracleOptions& oracle_;
+  std::size_t budget_;
+  std::size_t runs_ = 0;
+};
+
+}  // namespace
+
+sim::Scenario default_base_scenario() {
+  sim::Scenario scenario;
+  scenario.name = "chaosfuzz-base";
+  scenario.topology = "mci";
+  scenario.seed = 1;
+  scenario.lambda = 25.0;
+  scenario.mean_holding_s = 60.0;
+  scenario.sources = {0, 3, 5, 9, 13, 16};
+  scenario.group = {2, 7, 11, 15, 18};
+  scenario.max_tries = 2;
+  scenario.warmup_s = 0.0;  // exact hop reconciliation stays checkable
+  scenario.measure_s = 300.0;
+  scenario.drain_to_quiescence = true;
+  scenario.drain_max_events = 2'000'000;
+  scenario.drain_max_sim_s = 2'000.0;
+
+  scenario.resilience.emplace();
+  scenario.resilience->loss_probability = 0.05;
+  scenario.resilience->hop_delay_s = 0.01;
+  scenario.resilience->hop_jitter_s = 0.005;
+
+  scenario.reconvergence.emplace();
+  scenario.reconvergence->policy = "flooding";
+  scenario.reconvergence->param_s = 0.05;
+  scenario.path_repair = true;
+
+  scenario.governor.emplace();
+  scenario.governor->min_tries = 1;
+  scenario.governor->breaker_cooldown_s = 30.0;
+
+  // Seed material on every entry axis so entry-level mutations (shift,
+  // widen, overlap-duplicate) always have something to act on.
+  scenario.link_faults.push_back(sim::single_fault(0, 1, 40.0, 80.0));
+  scenario.link_faults.push_back(sim::single_fault(7, 11, 120.0, 160.0));
+  scenario.churn.push_back(sim::single_churn(1, 60.0, 100.0));
+  scenario.node_faults.push_back(sim::single_node_fault(9, 150.0, 190.0));
+  return scenario;
+}
+
+void mutate(sim::Scenario& scenario, const net::Topology& topology, des::RandomStream& rng,
+            std::size_t count) {
+  util::require(!scenario.group.empty(), "mutate needs a non-empty anycast group");
+  for (std::size_t i = 0; i < count; ++i) {
+    apply_mutation(scenario, topology, rng,
+                   static_cast<MutationOp>(
+                       rng.uniform_index(static_cast<std::size_t>(MutationOp::kCount))));
+  }
+}
+
+ShrinkResult shrink(const sim::Scenario& failing, const std::string& violation_class,
+                    const audit::ChaosOracleOptions& oracle, std::size_t budget) {
+  ShrinkResult result;
+  // Materialize the random axes first so every drawn fault becomes an
+  // individually droppable entry (the expansion runs identically).
+  sim::Scenario current = failing;
+  sim::materialize_random_axes(current, sim::build_scenario_topology(current.topology));
+  result.initial_entries = current.fault_entries() + current.ops.size();
+
+  ShrinkJudge judge(violation_class, oracle, budget);
+
+  // Pass 1: ddmin over the flattened entry list — try dropping ever-finer
+  // chunks, re-coarsening after every successful reduction.
+  std::vector<EntryRef> entries = flatten(current);
+  std::optional<audit::ChaosOracleOutcome> best;
+  std::size_t granularity = 2;
+  while (entries.size() >= 2 && !judge.exhausted()) {
+    const std::size_t chunk = (entries.size() + granularity - 1) / granularity;
+    bool reduced = false;
+    for (std::size_t start = 0; start < entries.size() && !judge.exhausted(); start += chunk) {
+      std::vector<EntryRef> keep;
+      keep.reserve(entries.size());
+      for (std::size_t i = 0; i < entries.size(); ++i) {
+        if (i < start || i >= start + chunk) {
+          keep.push_back(entries[i]);
+        }
+      }
+      if (auto outcome = judge.matches(with_entries(current, keep))) {
+        entries = std::move(keep);
+        best = std::move(outcome);
+        granularity = std::max<std::size_t>(2, granularity - 1);
+        reduced = true;
+        break;
+      }
+    }
+    if (!reduced) {
+      if (granularity >= entries.size()) {
+        break;
+      }
+      granularity = std::min(granularity * 2, entries.size());
+    }
+  }
+  current = with_entries(current, entries);
+
+  // Pass 2: halve each surviving entry's outage window.
+  for (const EntryRef& ref : flatten(current)) {
+    if (ref.kind == EntryKind::kOps || judge.exhausted()) {
+      continue;
+    }
+    const auto [start, end] = window_of(current, ref);
+    const double halved = start + (end - start) / 2.0;
+    if (halved <= start) {
+      continue;
+    }
+    sim::Scenario candidate = current;
+    set_window(candidate, ref, start, halved);
+    if (auto outcome = judge.matches(candidate)) {
+      current = std::move(candidate);
+      best = std::move(outcome);
+    }
+  }
+
+  // Pass 3: scalar reductions — shorter run, lighter load, less loss. Each
+  // knob halves repeatedly while the class survives.
+  const auto try_scalar = [&](auto&& reduce) {
+    while (!judge.exhausted()) {
+      sim::Scenario candidate = current;
+      if (!reduce(candidate)) {
+        return;
+      }
+      auto outcome = judge.matches(candidate);
+      if (!outcome.has_value()) {
+        return;
+      }
+      current = std::move(candidate);
+      best = std::move(outcome);
+    }
+  };
+  try_scalar([](sim::Scenario& candidate) {
+    if (candidate.measure_s <= 30.0) {
+      return false;
+    }
+    candidate.measure_s = std::max(30.0, candidate.measure_s / 2.0);
+    return true;
+  });
+  try_scalar([](sim::Scenario& candidate) {
+    if (candidate.lambda <= 1.0) {
+      return false;
+    }
+    candidate.lambda = std::max(1.0, candidate.lambda / 2.0);
+    return true;
+  });
+  try_scalar([](sim::Scenario& candidate) {
+    if (!candidate.resilience.has_value() || candidate.resilience->loss_probability < 0.01) {
+      return false;
+    }
+    candidate.resilience->loss_probability /= 2.0;
+    return true;
+  });
+
+  result.scenario = std::move(current);
+  result.scenario.name = failing.name + "-shrunk";
+  if (best.has_value()) {
+    result.outcome = std::move(*best);
+  } else {
+    // No candidate was accepted; re-run the (materialized) original so the
+    // reported outcome always describes result.scenario. One extra run,
+    // outside the budget by design.
+    result.outcome = audit::run_chaos_oracle(result.scenario, oracle);
+  }
+  result.oracle_runs = judge.runs();
+  result.final_entries = result.scenario.fault_entries() + result.scenario.ops.size();
+  return result;
+}
+
+FuzzReport fuzz(const sim::Scenario& base, const FuzzOptions& options, std::ostream* log) {
+  FuzzReport report;
+  const net::Topology topology = sim::build_scenario_topology(base.topology);
+  des::RandomStream rng(options.seed);
+  for (std::size_t i = 0; i < options.iterations; ++i) {
+    sim::Scenario candidate = base;
+    candidate.name = base.name + "-" + std::to_string(i);
+    candidate.seed = base.seed + i;
+    mutate(candidate, topology, rng, options.mutations_per_candidate);
+    audit::ChaosOracleOutcome outcome = audit::run_chaos_oracle(candidate, options.oracle);
+    ++report.oracle_runs;
+    ++report.iterations_run;
+    if (log != nullptr) {
+      *log << "[chaosfuzz] iter " << i << " seed " << candidate.seed << " entries "
+           << candidate.fault_entries() << " -> "
+           << (outcome.clean() ? "clean" : outcome.violation_class) << "\n";
+    }
+    if (!outcome.clean()) {
+      report.found = true;
+      report.failing = candidate;
+      report.outcome = outcome;
+      report.shrunk =
+          shrink(candidate, outcome.violation_class, options.oracle, options.shrink_budget);
+      report.oracle_runs += report.shrunk.oracle_runs;
+      if (log != nullptr) {
+        *log << "[chaosfuzz] shrunk " << report.shrunk.initial_entries << " -> "
+             << report.shrunk.final_entries << " entries in " << report.shrunk.oracle_runs
+             << " oracle runs (class " << report.shrunk.outcome.violation_class << ")\n";
+      }
+      return report;
+    }
+  }
+  return report;
+}
+
+}  // namespace anyqos::chaosfuzz

@@ -1,0 +1,84 @@
+// chaosfuzz: deterministic fault-schedule fuzzing with delta-debug
+// shrinking over the scenario plane (sim/scenario.h).
+//
+// The loop is classic search-then-shrink. A seeded generator mutates a base
+// Scenario along every fault axis (add/remove/shift/widen entries, overlap
+// outages, crank load and loss, inject regional outages); each candidate
+// runs through the full oracle stack (audit::run_chaos_oracle). On the
+// first violation, a ddmin-style shrinker minimizes the scenario — dropping
+// entries, halving windows, lowering rates — while preserving the exact
+// violation class, and the minimal scenario is the committed repro.
+//
+// Everything is deterministic: the fuzz RNG is seeded, every candidate run
+// is a seeded simulation, and a written repro replays to the same verdict
+// byte-for-byte. No wall clocks, no global state (DESIGN.md §12).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+#include "src/audit/chaos_oracle.h"
+#include "src/des/random.h"
+#include "src/net/topology.h"
+#include "src/sim/scenario.h"
+
+namespace anyqos::chaosfuzz {
+
+struct FuzzOptions {
+  std::uint64_t seed = 1;                 ///< fuzz RNG seed (mutation choices)
+  std::size_t iterations = 50;            ///< candidates to generate and run
+  std::size_t mutations_per_candidate = 4;
+  std::size_t shrink_budget = 150;        ///< max oracle runs while shrinking
+  audit::ChaosOracleOptions oracle;       ///< shared gate configuration
+};
+
+/// The built-in fuzz base: MCI backbone, five-member group, resilient
+/// signaling with mild loss, flooding reconvergence + path repair, a
+/// governor with breakers, zero warmup (exact reconciliation), drain with
+/// watchdog caps, and a handful of explicit fault entries on every axis so
+/// entry-level mutations always have material to work with.
+sim::Scenario default_base_scenario();
+
+/// Applies `count` seeded mutations to `scenario` in place. All mutations
+/// produce valid scenarios (entries reference real links/members/routers,
+/// windows stay ordered). `topology` must be the scenario's own topology.
+void mutate(sim::Scenario& scenario, const net::Topology& topology, des::RandomStream& rng,
+            std::size_t count);
+
+/// Outcome of one shrink campaign.
+struct ShrinkResult {
+  sim::Scenario scenario;              ///< the minimized failing scenario
+  audit::ChaosOracleOutcome outcome;   ///< its (class-preserving) verdict
+  std::size_t oracle_runs = 0;         ///< budget actually spent
+  std::size_t initial_entries = 0;     ///< fault entries before shrinking
+  std::size_t final_entries = 0;       ///< fault entries after shrinking
+};
+
+/// Minimizes `failing` while preserving `violation_class` exactly:
+/// ddmin over the concatenated entry list (link faults, churn, node
+/// faults, regional outages, ops), then per-entry window halving, then
+/// scalar reductions (measure window, lambda, loss). Every candidate is
+/// judged by run_chaos_oracle with `oracle`; at most `budget` runs are
+/// spent. The input scenario's random axes are materialized first so every
+/// fault is individually droppable.
+ShrinkResult shrink(const sim::Scenario& failing, const std::string& violation_class,
+                    const audit::ChaosOracleOptions& oracle, std::size_t budget);
+
+/// One full fuzz campaign.
+struct FuzzReport {
+  bool found = false;
+  std::size_t iterations_run = 0;      ///< candidates generated
+  std::size_t oracle_runs = 0;         ///< total runs including shrinking
+  sim::Scenario failing;               ///< first failing candidate (if found)
+  audit::ChaosOracleOutcome outcome;   ///< its verdict (if found)
+  ShrinkResult shrunk;                 ///< minimized repro (if found)
+};
+
+/// Runs the search-then-shrink loop: mutate the base, run the oracle, stop
+/// at the first violation and shrink it. `log` (optional) receives one
+/// progress line per candidate.
+FuzzReport fuzz(const sim::Scenario& base, const FuzzOptions& options,
+                std::ostream* log = nullptr);
+
+}  // namespace anyqos::chaosfuzz

@@ -1,0 +1,127 @@
+// The fuzzing engine's own contract: a clean base, deterministic valid
+// mutations, and a shrinker that preserves the violation class (the
+// property test the issue's satellite asks for). The end-to-end planted-bug
+// gate (find -> shrink -> replay twice) lives in
+// tests/tools/chaosfuzz_planted_bug.py on the built CLI.
+#include "tools/chaosfuzz/fuzzer.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "src/audit/chaos_oracle.h"
+#include "src/sim/faults.h"
+#include "src/sim/scenario.h"
+
+namespace anyqos::chaosfuzz {
+namespace {
+
+/// The planted-bug class (see SimulationConfig::defeat_duplex_idempotency).
+constexpr const char* kPlantedClass = "exception:link is already failed";
+
+/// A fast base for engine tests: the built-in base with a shorter window.
+sim::Scenario fast_base() {
+  sim::Scenario base = default_base_scenario();
+  base.measure_s = 120.0;
+  return base;
+}
+
+/// The planted-bug trigger distilled: two overlapping outages of one duplex
+/// link, which the defeated idempotency guard turns into a double fail.
+sim::Scenario overlapping_duplex_scenario(std::uint64_t seed) {
+  sim::Scenario scenario = fast_base();
+  scenario.name = "overlap";
+  scenario.seed = seed;
+  scenario.link_faults.push_back(sim::single_fault(0, 1, 50.0, 90.0));
+  return scenario;  // overlaps the base's (0,1) fault at 40..80
+}
+
+TEST(ChaosFuzz, DefaultBaseRunsClean) {
+  const audit::ChaosOracleOutcome outcome = audit::run_chaos_oracle(fast_base());
+  EXPECT_TRUE(outcome.clean()) << outcome.violation_class << ": " << outcome.detail;
+}
+
+TEST(ChaosFuzz, DefaultBaseStaysCleanWithGuardDefeated) {
+  // The planted bug only fires on *overlapping* duplex outages; the base has
+  // none, so the defeat flag alone must not change the verdict.
+  audit::ChaosOracleOptions oracle;
+  oracle.defeat_duplex_idempotency = true;
+  const audit::ChaosOracleOutcome outcome = audit::run_chaos_oracle(fast_base(), oracle);
+  EXPECT_TRUE(outcome.clean()) << outcome.violation_class << ": " << outcome.detail;
+}
+
+TEST(ChaosFuzz, MutateIsDeterministic) {
+  const sim::Scenario base = fast_base();
+  const net::Topology topology = sim::build_scenario_topology(base.topology);
+  sim::Scenario first = base;
+  sim::Scenario second = base;
+  des::RandomStream rng_first(42);
+  des::RandomStream rng_second(42);
+  mutate(first, topology, rng_first, 16);
+  mutate(second, topology, rng_second, 16);
+  EXPECT_EQ(sim::save_scenario(first), sim::save_scenario(second));
+}
+
+TEST(ChaosFuzz, MutationsAlwaysProduceValidScenarios) {
+  const sim::Scenario base = fast_base();
+  const net::Topology topology = sim::build_scenario_topology(base.topology);
+  for (std::uint64_t seed = 1; seed <= 40; ++seed) {
+    sim::Scenario candidate = base;
+    des::RandomStream rng(seed);
+    mutate(candidate, topology, rng, 12);
+    // Valid means: it lowers onto the simulation API and survives a
+    // serialization round trip (the repro-file contract).
+    EXPECT_NO_THROW(sim::make_scenario_run(candidate)) << "seed " << seed;
+    EXPECT_NO_THROW(sim::load_scenario(sim::save_scenario(candidate))) << "seed " << seed;
+  }
+}
+
+TEST(ChaosFuzz, OverlapTriggersPlantedBugOnlyWhenDefeated) {
+  const sim::Scenario scenario = overlapping_duplex_scenario(1);
+  EXPECT_TRUE(audit::run_chaos_oracle(scenario).clean());
+  audit::ChaosOracleOptions oracle;
+  oracle.defeat_duplex_idempotency = true;
+  const audit::ChaosOracleOutcome outcome = audit::run_chaos_oracle(scenario, oracle);
+  EXPECT_EQ(outcome.violation_class, kPlantedClass);
+}
+
+// The satellite property test: over a seed grid, shrinking a failing
+// scenario preserves the violation class exactly and never grows the
+// entry count.
+TEST(ChaosFuzz, ShrinkPreservesViolationClassAcrossSeeds) {
+  audit::ChaosOracleOptions oracle;
+  oracle.defeat_duplex_idempotency = true;
+  for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+    const sim::Scenario failing = overlapping_duplex_scenario(seed);
+    const audit::ChaosOracleOutcome outcome = audit::run_chaos_oracle(failing, oracle);
+    ASSERT_EQ(outcome.violation_class, kPlantedClass) << "seed " << seed;
+
+    const ShrinkResult shrunk = shrink(failing, outcome.violation_class, oracle, 60);
+    EXPECT_EQ(shrunk.outcome.violation_class, kPlantedClass) << "seed " << seed;
+    EXPECT_LE(shrunk.final_entries, shrunk.initial_entries) << "seed " << seed;
+    EXPECT_LE(shrunk.oracle_runs, 60U) << "seed " << seed;
+
+    // The shrunk scenario is itself a committed repro: replaying it (fresh
+    // oracle, same options) reproduces the same class.
+    const audit::ChaosOracleOutcome replay = audit::run_chaos_oracle(shrunk.scenario, oracle);
+    EXPECT_EQ(replay.violation_class, kPlantedClass) << "seed " << seed;
+  }
+}
+
+TEST(ChaosFuzz, ShrinkDropsIrrelevantEntries) {
+  // The double-fault needs exactly the two overlapping (0,1) faults; the
+  // base's other entries (churn, node fault, second link fault) are noise
+  // the shrinker must remove.
+  audit::ChaosOracleOptions oracle;
+  oracle.defeat_duplex_idempotency = true;
+  const sim::Scenario failing = overlapping_duplex_scenario(1);
+  const ShrinkResult shrunk = shrink(failing, kPlantedClass, oracle, 80);
+  ASSERT_EQ(shrunk.outcome.violation_class, kPlantedClass);
+  EXPECT_EQ(shrunk.scenario.fault_entries(), 2U)
+      << sim::save_scenario(shrunk.scenario);
+  EXPECT_EQ(shrunk.scenario.churn.size(), 0U);
+  EXPECT_EQ(shrunk.scenario.node_faults.size(), 0U);
+}
+
+}  // namespace
+}  // namespace anyqos::chaosfuzz
